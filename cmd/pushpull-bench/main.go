@@ -1,0 +1,80 @@
+// Command pushpull-bench regenerates the experiment tables of
+// EXPERIMENTS.md:
+//
+//	pushpull-bench -table model      # E4/E5/E7 model-strategy sweep
+//	pushpull-bench -table substrate  # E10 substrate contention sweep
+//	pushpull-bench -table htm        # E10 HTM capacity/fallback sweep
+//	pushpull-bench -table all        # everything
+//
+// Knobs: -threads, -txns/-ops, -keys (comma list of key ranges),
+// -readpct, -seed, -yield.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pushpull/internal/bench"
+)
+
+func main() {
+	table := flag.String("table", "all", "model | substrate | htm | all")
+	threads := flag.Int("threads", 4, "worker threads")
+	txns := flag.Int("txns", 6, "transactions per thread (model sweep)")
+	ops := flag.Int("ops", 300, "transactions per goroutine (substrate sweep)")
+	keysFlag := flag.String("keys", "2,8,64", "comma-separated key ranges (contention levels)")
+	readPct := flag.Int("readpct", 20, "percentage of read-only transactions")
+	seed := flag.Int64("seed", 1, "workload/scheduler seed")
+	yield := flag.Int("yield", 2, "yields inside substrate transactions (conflict window)")
+	flag.Parse()
+
+	keys, err := parseKeys(*keysFlag)
+	if err != nil {
+		fail(err)
+	}
+
+	if *table == "model" || *table == "all" {
+		fmt.Println("== model-level strategy sweep (E4/E5/E7): abort shapes under contention ==")
+		out, _, err := bench.SweepModel(*threads, *txns, keys, *readPct, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(out)
+	}
+	if *table == "substrate" || *table == "all" {
+		fmt.Println("== substrate contention sweep (E10): who wins where ==")
+		out, _, err := bench.SweepSubstrates(*threads, *ops, keys, *readPct, *seed, *yield)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(out)
+	}
+	if *table == "htm" || *table == "all" {
+		fmt.Println("== HTM capacity sweep (E10): speculative budget vs fallback rate ==")
+		out, err := bench.HTMCapacitySweep(8, []int{2, 4, 8, 12, 16, 32}, 200, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(out)
+	}
+}
+
+func parseKeys(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad key range %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pushpull-bench:", err)
+	os.Exit(1)
+}

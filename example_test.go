@@ -1,0 +1,90 @@
+package pushpull_test
+
+import (
+	"fmt"
+
+	"pushpull"
+)
+
+// ExampleMachine_rules drives the seven Push/Pull rules by hand.
+func Example() {
+	reg := pushpull.StandardRegistry()
+	m := pushpull.NewMachine(reg, pushpull.DefaultOptions())
+	t := m.Spawn("t1")
+	txn := pushpull.MustParseTxn(`tx demo { ht.put(1, 10); v := ht.get(1); }`)
+	if err := m.Begin(t, txn, nil); err != nil {
+		panic(err)
+	}
+	for {
+		steps := m.Steps(t)
+		if len(steps) == 0 {
+			break
+		}
+		op, err := m.App(t, steps[0]) // APP
+		if err != nil {
+			panic(err)
+		}
+		if err := m.Push(t, len(t.Local)-1); err != nil { // PUSH
+			panic(err)
+		}
+		if op.Ret == pushpull.Absent {
+			fmt.Printf("%s.%s -> absent\n", op.Obj, op.Method)
+		} else {
+			fmt.Printf("%s.%s -> %d\n", op.Obj, op.Method, op.Ret)
+		}
+	}
+	if _, err := m.Commit(t); err != nil { // CMT
+		panic(err)
+	}
+	fmt.Println(pushpull.CheckCommitOrder(m))
+	// Output:
+	// ht.put -> absent
+	// ht.get -> 10
+	// serializable: commit order [demo]
+}
+
+// ExampleCheckOpacity shows the §6.1 fragment check on a dependent run.
+func ExampleCheckOpacity() {
+	reg := pushpull.StandardRegistry()
+	m := pushpull.NewMachine(reg, pushpull.DefaultOptions())
+	t1, t2 := m.Spawn("t1"), m.Spawn("t2")
+
+	_ = m.Begin(t1, pushpull.MustParseTxn(`tx src { set.add(1); }`), nil)
+	steps := m.Steps(t1)
+	_, _ = m.App(t1, steps[0])
+	_ = m.Push(t1, 0)
+
+	_ = m.Begin(t2, pushpull.MustParseTxn(`tx dep { set.add(2); }`), nil)
+	_ = m.Pull(t2, 0) // observes the UNCOMMITTED add(1)
+
+	violations := pushpull.CheckOpacity(m.Events())
+	fmt.Println("strict opacity violations:", len(violations))
+	relaxed := pushpull.CheckOpacityRelaxed(reg, pushpull.MoverHybrid, m.Events())
+	fmt.Println("after the commutativity relaxation:", len(relaxed))
+	// Output:
+	// strict opacity violations: 1
+	// after the commutativity relaxation: 0
+}
+
+// ExampleRunAtomic executes a transaction on the Figure 3 reference
+// machine.
+func ExampleRunAtomic() {
+	reg := pushpull.StandardRegistry()
+	txn := pushpull.MustParseTxn(`tx a { ctr.inc(); ctr.inc(); v := ctr.get(); }`)
+	res, ok := pushpull.RunAtomic(reg, txn, nil, nil)
+	fmt.Println(ok, res.Stack["v"], len(res.Ops))
+	// Output:
+	// true 2 3
+}
+
+// ExampleValidate statically checks a program before running it.
+func ExampleValidate() {
+	reg := pushpull.StandardRegistry()
+	txn := pushpull.MustParseTxn(`tx bad { ht.put(1); set.frobnicate(2); }`)
+	for _, e := range pushpull.Validate(reg, txn) {
+		fmt.Println(e)
+	}
+	// Output:
+	// lang: tx bad: ht.put(1): method ht.put takes 2 argument(s), got 1
+	// lang: tx bad: set.frobnicate(2): object "set" has no method "frobnicate"
+}

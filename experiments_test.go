@@ -1,0 +1,405 @@
+package pushpull_test
+
+// This file regenerates the paper's figure-level artifacts on the
+// model itself (the E-series of DESIGN.md / EXPERIMENTS.md). The
+// substrate-level counterparts live in internal/stm/*'s certified
+// tests; the throughput-shape experiments in bench_test.go.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pushpull"
+	"pushpull/internal/adt"
+)
+
+// fig7Registry is the Section 7 object set: a boosted skiplist (set), a
+// boosted hashtable (map), and the HTM-controlled integers size, x, y
+// (counters, whose increments commute abstractly).
+func fig7Registry() *pushpull.Registry {
+	reg := pushpull.NewRegistry()
+	reg.Register("skiplist", adt.Set{})
+	reg.Register("hashT", adt.Map{})
+	reg.Register("size", adt.Counter{})
+	reg.Register("x", adt.Counter{})
+	reg.Register("y", adt.Counter{})
+	return reg
+}
+
+func mustApp(t *testing.T, m *pushpull.Machine, th *pushpull.Thread, method string) pushpull.Op {
+	t.Helper()
+	for _, s := range m.Steps(th) {
+		if s.Call.Method == method {
+			op, err := m.App(th, s)
+			if err != nil {
+				t.Fatalf("APP(%s): %v", method, err)
+			}
+			return op
+		}
+	}
+	t.Fatalf("no step for method %q from code %v", method, th.Code)
+	return pushpull.Op{}
+}
+
+func mustAppObj(t *testing.T, m *pushpull.Machine, th *pushpull.Thread, obj, method string) pushpull.Op {
+	t.Helper()
+	for _, s := range m.Steps(th) {
+		if s.Call.Obj == obj && s.Call.Method == method {
+			op, err := m.App(th, s)
+			if err != nil {
+				t.Fatalf("APP(%s.%s): %v", obj, method, err)
+			}
+			return op
+		}
+	}
+	t.Fatalf("no step for %s.%s from code %v", obj, method, th.Code)
+	return pushpull.Op{}
+}
+
+func pushIdx(t *testing.T, m *pushpull.Machine, th *pushpull.Thread, i int) {
+	t.Helper()
+	if err := m.Push(th, i); err != nil {
+		t.Fatalf("PUSH local[%d]: %v", i, err)
+	}
+}
+
+func pullAllCommitted(t *testing.T, m *pushpull.Machine, th *pushpull.Thread) int {
+	t.Helper()
+	n := 0
+	local := m.LocalLog(th)
+	for gi, e := range m.GlobalEntries() {
+		if !e.Committed || local.Contains(e.Op) {
+			continue
+		}
+		if err := m.Pull(th, gi); err != nil {
+			t.Fatalf("PULL committed %v: %v", e.Op, err)
+		}
+		n++
+	}
+	return n
+}
+
+func ruleNames(events []pushpull.Event) []string {
+	var out []string
+	for _, e := range events {
+		switch e.Rule {
+		case pushpull.RBegin, pushpull.REnd:
+			continue
+		case pushpull.RCmt:
+			out = append(out, "CMT")
+		default:
+			out = append(out, fmt.Sprintf("%v(%s.%s)", e.Rule, e.Op.Obj, e.Op.Method))
+		}
+	}
+	return out
+}
+
+// TestE1Fig2Decomposition replays Figure 2's boosted hashtable put —
+// the happy path PULL*;APP;PUSH;CMT and both abort cases
+// (UNPUSH;UNAPP with the key previously defined and undefined) — and
+// checks the emitted rule sequence and the restored shared state.
+func TestE1Fig2Decomposition(t *testing.T) {
+	reg := pushpull.StandardRegistry()
+	m := pushpull.NewMachine(reg, pushpull.DefaultOptions())
+
+	// Seed committed state: ht[5] = 1 (so the overwrite-abort case has
+	// an old binding to restore).
+	seeder := m.Spawn("seed")
+	if err := m.Begin(seeder, pushpull.MustParseTxn(`tx seed { ht.put(5, 1); }`), nil); err != nil {
+		t.Fatal(err)
+	}
+	mustApp(t, m, seeder, "put")
+	pushIdx(t, m, seeder, 0)
+	if _, err := m.Commit(seeder); err != nil {
+		t.Fatal(err)
+	}
+
+	// The boosted transaction: put over key 5 (defined → inverse is
+	// put-back) and key 6 (undefined → inverse is remove).
+	booster := m.Spawn("booster")
+	txn := pushpull.MustParseTxn(`tx boostedPut { ht.put(5, 10); ht.put(6, 20); }`)
+	if err := m.Begin(booster, txn, nil); err != nil {
+		t.Fatal(err)
+	}
+	// BEGIN's implicit PULL: "modifications are made directly to the
+	// shared state so the local view is the same as the shared view".
+	if n := pullAllCommitted(t, m, booster); n != 1 {
+		t.Fatalf("pulled %d committed ops, want 1", n)
+	}
+	op1 := mustApp(t, m, booster, "put") // APP(ht.put(5,10))
+	if op1.Ret != 1 {
+		t.Fatalf("put(5,10) old = %d, want 1 (view must include the pull)", op1.Ret)
+	}
+	pushIdx(t, m, booster, 1) // PUSH at the linearization point
+	op2 := mustApp(t, m, booster, "put")
+	if op2.Ret != pushpull.Absent {
+		t.Fatalf("put(6,20) old = %d, want absent", op2.Ret)
+	}
+	pushIdx(t, m, booster, 2)
+
+	// Abort path: UNPUSH and UNAPP in reverse — the two Figure 2 abort
+	// cases (remove for the fresh key, restore for the overwritten one).
+	if err := m.Abort(booster); err != nil {
+		t.Fatalf("abort: %v", err)
+	}
+	// The shared log must be back to the committed seed only.
+	if g := m.GlobalLog(); len(g) != 1 {
+		t.Fatalf("abort left shared log %v", g)
+	}
+
+	// Retry to commit.
+	if err := m.Begin(booster, txn, nil); err != nil {
+		t.Fatal(err)
+	}
+	pullAllCommitted(t, m, booster)
+	mustApp(t, m, booster, "put")
+	pushIdx(t, m, booster, 1)
+	mustApp(t, m, booster, "put")
+	pushIdx(t, m, booster, 2)
+	if _, err := m.Commit(booster); err != nil {
+		t.Fatalf("CMT: %v", err)
+	}
+
+	rep := pushpull.CheckCommitOrder(m)
+	if !rep.Serializable {
+		t.Fatal(rep)
+	}
+
+	got := strings.Join(ruleNames(m.Events()), " ")
+	want := strings.Join([]string{
+		// seed
+		"APP(ht.put)", "PUSH(ht.put)", "CMT",
+		// boosted attempt 1: pull, app+push, app+push, then abort
+		"PULL(ht.put)", "APP(ht.put)", "PUSH(ht.put)", "APP(ht.put)", "PUSH(ht.put)",
+		"UNPUSH(ht.put)", "UNAPP(ht.put)", "UNPUSH(ht.put)", "UNAPP(ht.put)", "UNPULL(ht.put)",
+		// retry
+		"PULL(ht.put)", "APP(ht.put)", "PUSH(ht.put)", "APP(ht.put)", "PUSH(ht.put)", "CMT",
+	}, " ")
+	if got != want {
+		t.Fatalf("Figure 2 rule sequence mismatch:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestE2Fig7RuleSequence reproduces Figure 7 exactly: the mixed
+// boosting/HTM transaction that pushes its HTM operations, is forced by
+// an HTM abort to UNPUSH them out of order with respect to the boosted
+// effects (which remain in the shared view), partially rewinds with
+// UNAPP, marches forward down the other branch, and finally pushes the
+// retained operation without re-executing it.
+func TestE2Fig7RuleSequence(t *testing.T) {
+	reg := fig7Registry()
+	m := pushpull.NewMachine(reg, pushpull.DefaultOptions())
+
+	// Committed context so the initial PULLs have something to pull.
+	seeder := m.Spawn("seed")
+	if err := m.Begin(seeder, pushpull.MustParseTxn(`tx seed { skiplist.add(99); hashT.put(99, 1); }`), nil); err != nil {
+		t.Fatal(err)
+	}
+	mustApp(t, m, seeder, "add")
+	mustApp(t, m, seeder, "put")
+	pushIdx(t, m, seeder, 0)
+	pushIdx(t, m, seeder, 1)
+	if _, err := m.Commit(seeder); err != nil {
+		t.Fatal(err)
+	}
+
+	// The Section 7 transaction.
+	th := m.Spawn("s7")
+	txn := pushpull.MustParseTxn(`
+tx s7 {
+  skiplist.add(7);
+  size.inc();
+  hashT.put(7, 70);
+  choice { x.inc(); } or { y.inc(); }
+}`)
+	if err := m.Begin(th, txn, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Transaction begins": PULL(all skiplist operations) — and the
+	// committed hashtable op, per the boosted shared-view discipline.
+	pullAllCommitted(t, m, th)
+	mustAppObj(t, m, th, "skiplist", "add") // APP(skiplist.insert(foo))
+	pushIdx(t, m, th, 2)                    // PUSH(skiplist.insert(foo))
+	mustAppObj(t, m, th, "size", "inc")     // APP(size++), NOT yet pushed (HTM-buffered)
+	mustAppObj(t, m, th, "hashT", "put")    // APP(hashT.map(foo=>bar))
+	pushIdx(t, m, th, 4)                    // PUSH(hashT.map(foo=>bar))
+	mustAppObj(t, m, th, "x", "inc")        // APP(x++), the if-branch
+
+	// "Push HTM ops": size++ then x++ — note size++ is pushed AFTER the
+	// hashtable op although it was applied before it (out-of-order
+	// publication, PUSH criterion (i) by commutativity).
+	pushIdx(t, m, th, 3) // PUSH(size++)
+	pushIdx(t, m, th, 5) // PUSH(x++)
+
+	// "HTM signals abort": UNPUSH(x++), UNPUSH(size++) — the boosted
+	// skiplist/hashtable effects stay in the shared view.
+	if err := m.Unpush(th, 5); err != nil {
+		t.Fatalf("UNPUSH(x++): %v", err)
+	}
+	if err := m.Unpush(th, 3); err != nil {
+		t.Fatalf("UNPUSH(size++): %v", err)
+	}
+	if g := m.GlobalLog(); len(g) != 4 { // 2 seed + insert + map
+		t.Fatalf("shared view after HTM rewind: %v", g)
+	}
+
+	// "Rewind some code": UNAPP(x++) only — size++ stays applied.
+	if err := m.Unapp(th); err != nil {
+		t.Fatalf("UNAPP(x++): %v", err)
+	}
+
+	// "March forward again": APP(y++) down the other branch.
+	mustAppObj(t, m, th, "y", "inc")
+
+	// "Uninterleaved commit": PUSH(size++), PUSH(y++), CMT. size++ is
+	// pushed WITHOUT having been re-applied.
+	pushIdx(t, m, th, 3)
+	pushIdx(t, m, th, 5)
+	if _, err := m.Commit(th); err != nil {
+		t.Fatalf("CMT: %v", err)
+	}
+
+	rep := pushpull.CheckCommitOrder(m)
+	if !rep.Serializable {
+		t.Fatal(rep)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := strings.Join(ruleNames(m.Events()), " ")
+	want := strings.Join([]string{
+		"APP(skiplist.add)", "APP(hashT.put)", "PUSH(skiplist.add)", "PUSH(hashT.put)", "CMT",
+		"PULL(skiplist.add)", "PULL(hashT.put)",
+		"APP(skiplist.add)", "PUSH(skiplist.add)",
+		"APP(size.inc)",
+		"APP(hashT.put)", "PUSH(hashT.put)",
+		"APP(x.inc)",
+		"PUSH(size.inc)", "PUSH(x.inc)",
+		"UNPUSH(x.inc)", "UNPUSH(size.inc)",
+		"UNAPP(x.inc)",
+		"APP(y.inc)",
+		"PUSH(size.inc)", "PUSH(y.inc)",
+		"CMT",
+	}, " ")
+	if got != want {
+		t.Fatalf("Figure 7 rule sequence mismatch:\n got: %s\nwant: %s", got, want)
+	}
+
+	// Final state: foo inserted, mapped; size=1; y=1; x=0.
+	finalLog := m.GlobalCommitted()
+	if len(finalLog) != 6 { // 2 seed + insert + map + size++ + y++
+		t.Fatalf("committed ops = %d, want 6: %v", len(finalLog), finalLog)
+	}
+}
+
+// TestE3OpacityFragment: a run whose transactions never pull
+// uncommitted effects is opaque; a dependent run is not, but the
+// relaxed §6.1 criterion accepts pulls followed only by commuting
+// operations.
+func TestE3OpacityFragment(t *testing.T) {
+	reg := pushpull.StandardRegistry()
+	m := pushpull.NewMachine(reg, pushpull.DefaultOptions())
+
+	// Opaque: two committed transactions, pulls of committed ops only.
+	t1, t2 := m.Spawn("t1"), m.Spawn("t2")
+	if err := m.Begin(t1, pushpull.MustParseTxn(`tx a { set.add(1); }`), nil); err != nil {
+		t.Fatal(err)
+	}
+	mustApp(t, m, t1, "add")
+	pushIdx(t, m, t1, 0)
+	if _, err := m.Commit(t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Begin(t2, pushpull.MustParseTxn(`tx b { v := set.contains(1); }`), nil); err != nil {
+		t.Fatal(err)
+	}
+	pullAllCommitted(t, m, t2)
+	mustApp(t, m, t2, "contains")
+	pushIdx(t, m, t2, 1)
+	if _, err := m.Commit(t2); err != nil {
+		t.Fatal(err)
+	}
+	if v := pushpull.CheckOpacity(m.Events()); len(v) != 0 {
+		t.Fatalf("committed-only pulls must be opaque, got %v", v)
+	}
+
+	// Non-opaque: t4 pulls t3's uncommitted push.
+	t3, t4 := m.Spawn("t3"), m.Spawn("t4")
+	if err := m.Begin(t3, pushpull.MustParseTxn(`tx c { set.add(2); }`), nil); err != nil {
+		t.Fatal(err)
+	}
+	mustApp(t, m, t3, "add")
+	pushIdx(t, m, t3, 0)
+	if err := m.Begin(t4, pushpull.MustParseTxn(`tx d { set.add(3); }`), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Pull t3's uncommitted add(2).
+	gIdx := -1
+	for gi, e := range m.GlobalEntries() {
+		if !e.Committed {
+			gIdx = gi
+		}
+	}
+	if gIdx < 0 {
+		t.Fatal("no uncommitted entry to pull")
+	}
+	if err := m.Pull(t4, gIdx); err != nil {
+		t.Fatal(err)
+	}
+	mustApp(t, m, t4, "add") // add(3): commutes with the pulled add(2)
+	pushIdx(t, m, t4, 1)
+	if _, err := m.Commit(t3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Commit(t4); err != nil {
+		t.Fatal(err)
+	}
+
+	strict := pushpull.CheckOpacity(m.Events())
+	if len(strict) != 1 {
+		t.Fatalf("expected exactly one strict violation, got %v", strict)
+	}
+	relaxed := pushpull.CheckOpacityRelaxed(reg, pushpull.MoverHybrid, m.Events())
+	if len(relaxed) != 0 {
+		t.Fatalf("commuting-only suffix must satisfy the relaxed criterion, got %v", relaxed)
+	}
+	if rep := pushpull.CheckCommitOrder(m); !rep.Serializable {
+		t.Fatal(rep)
+	}
+}
+
+// TestE8ExhaustiveSerializability model-checks every interleaving of a
+// three-driver mixed workload: all terminal states serializable.
+func TestE8ExhaustiveSerializability(t *testing.T) {
+	reg := pushpull.StandardRegistry()
+	m := pushpull.NewMachine(reg, pushpull.Options{Mode: pushpull.MoverHybrid, EnforceGray: true})
+	env := pushpull.NewEnv()
+	cfg := pushpull.DriverConfig{Deterministic: true, RetryLimit: 2}
+	t1 := m.Spawn("t1")
+	t2 := m.Spawn("t2")
+	ds := []pushpull.Driver{
+		pushpull.NewOptimistic("t1", t1, []pushpull.Txn{
+			pushpull.MustParseTxn(`tx a { ctr.inc(); set.add(1); }`),
+		}, cfg, env),
+		pushpull.NewBoosting("t2", t2, []pushpull.Txn{
+			pushpull.MustParseTxn(`tx b { set.add(2); ctr.inc(); }`),
+		}, cfg, env),
+	}
+	res, err := pushpull.Explore(m, env, ds, 80, func(fm *pushpull.Machine) error {
+		rep := pushpull.CheckCommitOrder(fm)
+		if !rep.Serializable {
+			return fmt.Errorf("unserializable terminal: %v", rep)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Terminals == 0 || res.Pruned != 0 {
+		t.Fatalf("exploration incomplete: %+v", res)
+	}
+	t.Logf("terminal interleavings: %d", res.Terminals)
+}

@@ -1,0 +1,289 @@
+package adt_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pushpull/internal/adt"
+	"pushpull/internal/spec"
+)
+
+func reg() *spec.Registry {
+	r := spec.NewRegistry()
+	r.Register("mem", adt.Register{})
+	r.Register("set", adt.Set{})
+	r.Register("map", adt.Map{})
+	r.Register("ctr", adt.Counter{})
+	r.Register("q", adt.Queue{})
+	return r
+}
+
+func mk(obj, method string, ret int64, args ...int64) spec.Op {
+	return spec.Op{ID: spec.FreshID(), Obj: obj, Method: method, Args: args, Ret: ret}
+}
+
+// genLog produces a random allowed log over the given object by
+// generating random method calls and recording their true returns.
+func genLog(r *spec.Registry, rng *rand.Rand, obj string, gen func(*rand.Rand) (string, []int64), n int) spec.Log {
+	var l spec.Log
+	for i := 0; i < n; i++ {
+		m, args := gen(rng)
+		ret, ok := r.Eval(l, obj, m, args)
+		if !ok {
+			continue
+		}
+		l = l.Append(spec.Op{ID: spec.FreshID(), Obj: obj, Method: m, Args: args, Ret: ret})
+	}
+	return l
+}
+
+func setCall(rng *rand.Rand) (string, []int64) {
+	k := int64(rng.Intn(4))
+	switch rng.Intn(4) {
+	case 0:
+		return adt.MSetAdd, []int64{k}
+	case 1:
+		return adt.MSetRemove, []int64{k}
+	case 2:
+		return adt.MSetContains, []int64{k}
+	default:
+		return adt.MSetSize, nil
+	}
+}
+
+func mapCall(rng *rand.Rand) (string, []int64) {
+	k := int64(rng.Intn(4))
+	switch rng.Intn(4) {
+	case 0:
+		return adt.MMapPut, []int64{k, int64(rng.Intn(5))}
+	case 1:
+		return adt.MMapRemove, []int64{k}
+	case 2:
+		return adt.MMapGet, []int64{k}
+	default:
+		return adt.MMapSize, nil
+	}
+}
+
+func regCall(rng *rand.Rand) (string, []int64) {
+	a := int64(rng.Intn(3))
+	if rng.Intn(2) == 0 {
+		return adt.MRead, []int64{a}
+	}
+	return adt.MWrite, []int64{a, int64(rng.Intn(4))}
+}
+
+func ctrCall(rng *rand.Rand) (string, []int64) {
+	switch rng.Intn(4) {
+	case 0:
+		return adt.MInc, nil
+	case 1:
+		return adt.MDec, nil
+	case 2:
+		return adt.MAdd, []int64{int64(rng.Intn(7)) - 3}
+	default:
+		return adt.MGet, nil
+	}
+}
+
+func qCall(rng *rand.Rand) (string, []int64) {
+	switch rng.Intn(3) {
+	case 0:
+		return adt.MEnq, []int64{int64(rng.Intn(4))}
+	case 1:
+		return adt.MDeq, nil
+	default:
+		return adt.MPeek, nil
+	}
+}
+
+// TestOracleSoundness validates every "known" static mover judgment
+// against the dynamic checker over randomly generated allowed logs:
+// if the oracle claims op1 ⋖ op2 holds, no log may refute it (Lemma
+// obligations of Section 2, validated by testing/quick-style search).
+func TestOracleSoundness(t *testing.T) {
+	r := reg()
+	cases := []struct {
+		obj string
+		gen func(*rand.Rand) (string, []int64)
+	}{
+		{"set", setCall}, {"map", mapCall}, {"mem", regCall}, {"ctr", ctrCall}, {"q", qCall},
+	}
+	for _, tc := range cases {
+		rng := rand.New(rand.NewSource(42))
+		for trial := 0; trial < 300; trial++ {
+			l := genLog(r, rng, tc.obj, tc.gen, rng.Intn(6))
+			// Two candidate next operations, with returns valid at l and
+			// at l·op1 respectively.
+			m1, a1 := tc.gen(rng)
+			ret1, ok := r.Eval(l, tc.obj, m1, a1)
+			if !ok {
+				continue
+			}
+			op1 := spec.Op{ID: spec.FreshID(), Obj: tc.obj, Method: m1, Args: a1, Ret: ret1}
+			m2, a2 := tc.gen(rng)
+			ret2, ok := r.Eval(l.Append(op1), tc.obj, m2, a2)
+			if !ok {
+				continue
+			}
+			op2 := spec.Op{ID: spec.FreshID(), Obj: tc.obj, Method: m2, Args: a2, Ret: ret2}
+			holds, known := spec.LeftMoverStatic(r, op1, op2)
+			if !known || !holds {
+				continue
+			}
+			if !spec.LeftMoverAt(r, l, op1, op2) {
+				t.Fatalf("%s oracle unsound: claims %v ⋖ %v but log %v refutes it", tc.obj, op1, op2, l)
+			}
+		}
+	}
+}
+
+// TestOracleRefutationsJustified checks that statically refuted pairs
+// (known ∧ ¬holds) are genuinely refutable at some log, i.e. the oracle
+// is not over-conservative to the point of vacuity on the clear cases.
+func TestOracleRefutationsJustified(t *testing.T) {
+	r := reg()
+	// get vs inc on the counter: refuted, and the empty log refutes it.
+	get := mk("ctr", adt.MGet, 0)
+	inc := mk("ctr", adt.MInc, 0)
+	holds, known := spec.LeftMoverStatic(r, get, inc)
+	if holds || !known {
+		t.Fatal("counter oracle must refute get ⋖ inc")
+	}
+	if spec.LeftMoverAt(r, nil, get, inc) {
+		t.Fatal("empty log should refute get;inc swap (get would return 1 after inc)")
+	}
+}
+
+func TestRegisterInverse(t *testing.T) {
+	r := reg()
+	w := mk("mem", adt.MWrite, 0, 1, 5) // old value 0
+	m, args, ok := adt.Register{}.Invert(w)
+	if !ok || m != adt.MWrite || args[0] != 1 || args[1] != 0 {
+		t.Fatalf("write inverse: got %s %v", m, args)
+	}
+	// Applying op then inverse restores the initial state.
+	l := spec.Log{w}
+	ret, ok := r.Eval(l, "mem", m, args)
+	if !ok {
+		t.Fatal("inverse must be applicable")
+	}
+	inv := spec.Op{ID: spec.FreshID(), Obj: "mem", Method: m, Args: args, Ret: ret}
+	c0, _ := r.Denote(nil)
+	c2, ok := r.Denote(l.Append(inv))
+	if !ok || !c0.Eq(c2) {
+		t.Fatal("write;inverse must restore the initial state")
+	}
+}
+
+// TestInverseRoundTrip property: for each invertible ADT, op·inverse
+// denotes the same state as the empty extension, over random logs.
+func TestInverseRoundTrip(t *testing.T) {
+	r := reg()
+	cases := []struct {
+		obj string
+		gen func(*rand.Rand) (string, []int64)
+		inv spec.Inverter
+	}{
+		{"set", setCall, adt.Set{}},
+		{"map", mapCall, adt.Map{}},
+		{"mem", regCall, adt.Register{}},
+		{"ctr", ctrCall, adt.Counter{}},
+	}
+	for _, tc := range cases {
+		rng := rand.New(rand.NewSource(7))
+		for trial := 0; trial < 200; trial++ {
+			l := genLog(r, rng, tc.obj, tc.gen, rng.Intn(6))
+			m, args := tc.gen(rng)
+			ret, ok := r.Eval(l, tc.obj, m, args)
+			if !ok {
+				continue
+			}
+			op := spec.Op{ID: spec.FreshID(), Obj: tc.obj, Method: m, Args: args, Ret: ret}
+			im, iargs, ok := tc.inv.Invert(op)
+			if !ok {
+				t.Fatalf("%s: no inverse for %v", tc.obj, op)
+			}
+			l2 := l.Append(op)
+			iret, ok := r.Eval(l2, tc.obj, im, iargs)
+			if !ok {
+				t.Fatalf("%s: inverse of %v not applicable", tc.obj, op)
+			}
+			iop := spec.Op{ID: spec.FreshID(), Obj: tc.obj, Method: im, Args: iargs, Ret: iret}
+			before, _ := r.Denote(l)
+			after, ok := r.Denote(l2.Append(iop))
+			if !ok || !before.Eq(after) {
+				t.Fatalf("%s: %v then inverse %v does not restore state", tc.obj, op, iop)
+			}
+		}
+	}
+}
+
+func TestMapSemantics(t *testing.T) {
+	r := reg()
+	l := spec.Log{
+		mk("map", adt.MMapGet, spec.Absent, 1),
+		mk("map", adt.MMapPut, spec.Absent, 1, 10),
+		mk("map", adt.MMapGet, 10, 1),
+		mk("map", adt.MMapPut, 10, 1, 20),
+		mk("map", adt.MMapRemove, 20, 1),
+		mk("map", adt.MMapGet, spec.Absent, 1),
+		mk("map", adt.MMapSize, 0),
+	}
+	if !r.Allowed(l) {
+		t.Fatalf("map log should be allowed: %v", l)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	r := reg()
+	l := spec.Log{
+		mk("q", adt.MEnq, 0, 1),
+		mk("q", adt.MEnq, 0, 2),
+		mk("q", adt.MDeq, 1),
+		mk("q", adt.MPeek, 2),
+		mk("q", adt.MDeq, 2),
+		mk("q", adt.MDeq, spec.Absent),
+	}
+	if !r.Allowed(l) {
+		t.Fatalf("queue log should be allowed: %v", l)
+	}
+}
+
+// TestQuickCounterCommutes uses testing/quick to validate the counter's
+// headline algebraic fact: any two mutator sequences reach the same
+// state regardless of interleaving order.
+func TestQuickCounterCommutes(t *testing.T) {
+	r := reg()
+	f := func(incs1, incs2 uint8) bool {
+		n1, n2 := int(incs1%8), int(incs2%8)
+		var l1, l2 spec.Log
+		for i := 0; i < n1; i++ {
+			l1 = l1.Append(mk("ctr", adt.MInc, 0))
+		}
+		for i := 0; i < n2; i++ {
+			l2 = l2.Append(mk("ctr", adt.MDec, 0))
+		}
+		return spec.Equivalent(r, l1.Concat(l2), l2.Concat(l1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSetDistinctKeysCommute: testing/quick over key pairs.
+func TestQuickSetDistinctKeysCommute(t *testing.T) {
+	r := reg()
+	f := func(k1, k2 int8) bool {
+		a := mk("set", adt.MSetAdd, 1, int64(k1))
+		b := mk("set", adt.MSetAdd, 1, int64(k2))
+		if k1 == k2 {
+			return true
+		}
+		return spec.LeftMoverAt(r, nil, a, b) && spec.LeftMoverAt(r, nil, b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+package adt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pushpull/internal/spec"
+)
+
+// Bank methods.
+const (
+	// MDeposit is deposit(acct, n) -> 0, n > 0.
+	MDeposit = "deposit"
+	// MWithdraw is withdraw(acct, n) -> 0, n > 0; UNDEFINED (not
+	// allowed) when the balance is insufficient — the partial method
+	// that makes `allowed` state-dependent.
+	MWithdraw = "withdraw"
+	// MBalance is balance(acct) -> current balance.
+	MBalance = "balance"
+)
+
+// Bank is a map of accounts with a *partial* withdraw: the sequential
+// specification forbids overdrafts outright, so whether a log is
+// allowed depends on the balances it reaches — unlike the total
+// register/set/map methods, extensions here can be rejected by state,
+// which exercises APP criterion (ii) and PUSH criterion (iii) in ways
+// recorded return values alone cannot.
+//
+// Algebraically (Definition 4.1, op1 ⋖ op2 ≡ ∀ℓ. ℓ·op1·op2 ≼
+// ℓ·op2·op1): withdraw ⋖ deposit holds — a withdrawal that succeeded
+// BEFORE a deposit surely succeeds after it — but deposit ⋖ withdraw
+// fails, because the withdrawal may only have been possible thanks to
+// the deposit preceding it. This is Lipton's original semaphore
+// asymmetry (V is a left-mover, P is not), encoded in the oracle below.
+type Bank struct{}
+
+var (
+	_ spec.Object       = Bank{}
+	_ spec.Inverter     = Bank{}
+	_ spec.MoverOracle  = Bank{}
+	_ spec.MethodLister = Bank{}
+)
+
+// Type implements spec.Object.
+func (Bank) Type() string { return "bank" }
+
+type bankState struct {
+	bal map[int64]int64
+}
+
+func (s bankState) Eq(t spec.State) bool {
+	u, ok := t.(bankState)
+	if !ok {
+		return false
+	}
+	for a, v := range s.bal {
+		if v != 0 && u.bal[a] != v {
+			return false
+		}
+	}
+	for a, v := range u.bal {
+		if v != 0 && s.bal[a] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (s bankState) String() string {
+	accts := make([]int64, 0, len(s.bal))
+	for a, v := range s.bal {
+		if v != 0 {
+			accts = append(accts, a)
+		}
+	}
+	sort.Slice(accts, func(i, j int) bool { return accts[i] < accts[j] })
+	parts := make([]string, len(accts))
+	for i, a := range accts {
+		parts[i] = fmt.Sprintf("%d:%d", a, s.bal[a])
+	}
+	return "«" + strings.Join(parts, " ") + "»"
+}
+
+// Init implements spec.Object: all balances zero.
+func (Bank) Init() spec.State { return bankState{bal: map[int64]int64{}} }
+
+func (s bankState) with(acct, v int64) bankState {
+	next := make(map[int64]int64, len(s.bal)+1)
+	for a, b := range s.bal {
+		next[a] = b
+	}
+	next[acct] = v
+	return bankState{bal: next}
+}
+
+// Apply implements spec.Object.
+func (Bank) Apply(s spec.State, method string, args []int64) (spec.State, int64, bool) {
+	st, ok := s.(bankState)
+	if !ok {
+		return nil, 0, false
+	}
+	switch method {
+	case MDeposit:
+		if len(args) != 2 || args[1] <= 0 {
+			return nil, 0, false
+		}
+		return st.with(args[0], st.bal[args[0]]+args[1]), 0, true
+	case MWithdraw:
+		if len(args) != 2 || args[1] <= 0 {
+			return nil, 0, false
+		}
+		if st.bal[args[0]] < args[1] {
+			return nil, 0, false // overdraft: the log extension is not allowed
+		}
+		return st.with(args[0], st.bal[args[0]]-args[1]), 0, true
+	case MBalance:
+		if len(args) != 1 {
+			return nil, 0, false
+		}
+		return st, st.bal[args[0]], true
+	default:
+		return nil, 0, false
+	}
+}
+
+// Invert implements spec.Inverter: deposit ↔ withdraw. (The inverse of
+// a deposit is a withdrawal that is always allowed right after it.)
+func (Bank) Invert(op spec.Op) (string, []int64, bool) {
+	switch op.Method {
+	case MDeposit:
+		return MWithdraw, append([]int64(nil), op.Args...), true
+	case MWithdraw:
+		return MDeposit, append([]int64(nil), op.Args...), true
+	case MBalance:
+		return MBalance, append([]int64(nil), op.Args...), true
+	default:
+		return "", nil, false
+	}
+}
+
+// LeftMover implements spec.MoverOracle — Lipton's classic asymmetry:
+//
+//   - distinct accounts commute;
+//   - withdraw ⋖ deposit and deposit ⋖ deposit on the same account
+//     (a withdrawal allowed before the deposit is allowed after it);
+//   - withdraw ⋖ withdraw holds (if both succeeded in one order, the
+//     balance covered both, so the other order is allowed too);
+//   - deposit ⋖ withdraw FAILS in general: the withdrawal may only have
+//     been allowed because the deposit preceded it (left undecided for
+//     the dynamic checker — some instances are vacuously movers);
+//   - balance conflicts with same-account mutators (its return changes).
+func (Bank) LeftMover(op1, op2 spec.Op) (holds, known bool) {
+	if op1.Args[0] != op2.Args[0] {
+		return true, true
+	}
+	m1, m2 := op1.Method, op2.Method
+	switch {
+	case m1 == MBalance && m2 == MBalance:
+		return true, true
+	case m1 == MBalance || m2 == MBalance:
+		return false, false // value-dependent; leave to the dynamic checker
+	case m1 == MDeposit:
+		// ℓ·deposit·op2 ≼ ℓ·op2·deposit: moving the deposit later can
+		// invalidate a following withdrawal that needed it.
+		if m2 == MWithdraw && op2.Args[1] > 0 {
+			return false, false // refutable in general; may be vacuous
+		}
+		return true, true // deposit/deposit commute
+	case m1 == MWithdraw && m2 == MWithdraw:
+		return true, true
+	case m1 == MWithdraw && m2 == MDeposit:
+		// ℓ·withdraw·deposit ≼ ℓ·deposit·withdraw: if withdraw-first was
+		// allowed, withdraw-after-deposit is allowed a fortiori.
+		return true, true
+	default:
+		return false, false
+	}
+}
+
+// Methods implements spec.MethodLister.
+func (Bank) Methods() []spec.MethodSig {
+	return []spec.MethodSig{
+		{Name: MDeposit, Arity: 2},
+		{Name: MWithdraw, Arity: 2},
+		{Name: MBalance, Arity: 1, ReadOnly: true},
+	}
+}

@@ -1,0 +1,118 @@
+package adt
+
+import (
+	"fmt"
+
+	"pushpull/internal/spec"
+)
+
+// Counter methods.
+const (
+	// MInc is inc() -> 0.
+	MInc = "inc"
+	// MDec is dec() -> 0.
+	MDec = "dec"
+	// MAdd is add(n) -> 0.
+	MAdd = "add"
+	// MGet is get() -> current value.
+	MGet = "get"
+)
+
+// Counter is an integer counter whose mutators return unit, making them
+// mutually commutative — the abstract-conflict view of the size variable
+// in Section 7 (a fetch-and-add style counter commutes with itself,
+// whereas its read/write encoding does not; this gap is exactly what
+// boosting exploits over word-level TMs).
+type Counter struct{}
+
+var (
+	_ spec.Object      = Counter{}
+	_ spec.Inverter    = Counter{}
+	_ spec.MoverOracle = Counter{}
+)
+
+// Type implements spec.Object.
+func (Counter) Type() string { return "counter" }
+
+type ctrState struct{ v int64 }
+
+func (s ctrState) Eq(t spec.State) bool {
+	u, ok := t.(ctrState)
+	return ok && s.v == u.v
+}
+
+func (s ctrState) String() string { return fmt.Sprintf("%d", s.v) }
+
+// Init implements spec.Object: the counter starts at zero.
+func (Counter) Init() spec.State { return ctrState{} }
+
+// Apply implements spec.Object.
+func (Counter) Apply(s spec.State, method string, args []int64) (spec.State, int64, bool) {
+	st, ok := s.(ctrState)
+	if !ok {
+		return nil, 0, false
+	}
+	switch method {
+	case MInc:
+		if len(args) != 0 {
+			return nil, 0, false
+		}
+		return ctrState{v: st.v + 1}, 0, true
+	case MDec:
+		if len(args) != 0 {
+			return nil, 0, false
+		}
+		return ctrState{v: st.v - 1}, 0, true
+	case MAdd:
+		if len(args) != 1 {
+			return nil, 0, false
+		}
+		return ctrState{v: st.v + args[0]}, 0, true
+	case MGet:
+		if len(args) != 0 {
+			return nil, 0, false
+		}
+		return st, st.v, true
+	default:
+		return nil, 0, false
+	}
+}
+
+// Invert implements spec.Inverter: inc ↔ dec, add(n) ↔ add(-n).
+func (Counter) Invert(op spec.Op) (string, []int64, bool) {
+	switch op.Method {
+	case MInc:
+		return MDec, nil, true
+	case MDec:
+		return MInc, nil, true
+	case MAdd:
+		return MAdd, []int64{-op.Args[0]}, true
+	case MGet:
+		return MGet, nil, true
+	default:
+		return "", nil, false
+	}
+}
+
+// LeftMover implements spec.MoverOracle: mutators commute with each
+// other (addition is commutative and they return unit); gets commute
+// with gets; a get against a mutator is refuted unless the mutator is a
+// no-op add(0).
+func (Counter) LeftMover(op1, op2 spec.Op) (holds, known bool) {
+	mut := func(o spec.Op) bool { return o.Method != MGet }
+	switch {
+	case mut(op1) && mut(op2):
+		return true, true
+	case !mut(op1) && !mut(op2):
+		return true, true
+	default:
+		m := op1
+		if mut(op2) {
+			m = op2
+		}
+		if m.Method == MAdd && m.Args[0] == 0 {
+			return true, true
+		}
+		return false, true
+	}
+}

@@ -1,0 +1,175 @@
+package adt_test
+
+import (
+	"strings"
+	"testing"
+
+	"pushpull/internal/adt"
+	"pushpull/internal/spec"
+)
+
+func TestCounterFullSurface(t *testing.T) {
+	r := reg()
+	l := spec.Log{
+		mk("ctr", adt.MInc, 0),
+		mk("ctr", adt.MAdd, 0, 5),
+		mk("ctr", adt.MDec, 0),
+		mk("ctr", adt.MGet, 5),
+	}
+	if !r.Allowed(l) {
+		t.Fatalf("counter log rejected: %v", l)
+	}
+	// Wrong arity is undefined.
+	if r.Allowed(spec.Log{mk("ctr", adt.MInc, 0, 7)}) {
+		t.Fatal("inc with an argument must be undefined")
+	}
+	if r.Allowed(spec.Log{mk("ctr", adt.MGet, 0, 7)}) {
+		t.Fatal("get with an argument must be undefined")
+	}
+	// Unknown method.
+	if r.Allowed(spec.Log{mk("ctr", "frob", 0)}) {
+		t.Fatal("unknown method must be undefined")
+	}
+}
+
+func TestSetFullSurface(t *testing.T) {
+	r := reg()
+	l := spec.Log{
+		mk("set", adt.MSetAdd, 1, 4),
+		mk("set", adt.MSetAdd, 1, 5),
+		mk("set", adt.MSetSize, 2),
+		mk("set", adt.MSetRemove, 1, 4),
+		mk("set", adt.MSetRemove, 0, 4), // second remove is a no-op
+		mk("set", adt.MSetContains, 0, 4),
+		mk("set", adt.MSetSize, 1),
+	}
+	if !r.Allowed(l) {
+		t.Fatalf("set log rejected")
+	}
+	c, _ := r.Denote(l)
+	s, _ := c.StateOf("set")
+	if s.String() != "{5}" {
+		t.Fatalf("set state %v", s)
+	}
+}
+
+func TestMapRemoveAbsentAndSize(t *testing.T) {
+	r := reg()
+	l := spec.Log{
+		mk("map", adt.MMapRemove, spec.Absent, 9),
+		mk("map", adt.MMapSize, 0),
+		mk("map", adt.MMapPut, spec.Absent, 1, 1),
+		mk("map", adt.MMapSize, 1),
+	}
+	if !r.Allowed(l) {
+		t.Fatal("map log rejected")
+	}
+	// put of Absent value is undefined.
+	if r.Allowed(spec.Log{mk("map", adt.MMapPut, 0, 1, spec.Absent)}) {
+		t.Fatal("put(absent) must be undefined")
+	}
+}
+
+func TestQueuePeekAndEmptyDeq(t *testing.T) {
+	r := reg()
+	l := spec.Log{
+		mk("q", adt.MPeek, spec.Absent),
+		mk("q", adt.MDeq, spec.Absent),
+		mk("q", adt.MEnq, 0, 4),
+		mk("q", adt.MPeek, 4),
+		mk("q", adt.MDeq, 4),
+	}
+	if !r.Allowed(l) {
+		t.Fatal("queue log rejected")
+	}
+	// enq of Absent is undefined (reserved sentinel).
+	if r.Allowed(spec.Log{mk("q", adt.MEnq, 0, spec.Absent)}) {
+		t.Fatal("enq(absent) must be undefined")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	r := reg()
+	l := spec.Log{
+		mk("mem", adt.MWrite, 0, 1, 5),
+		mk("map", adt.MMapPut, spec.Absent, 2, 7),
+		mk("q", adt.MEnq, 0, 3),
+	}
+	c, ok := r.Denote(l)
+	if !ok {
+		t.Fatal("denote failed")
+	}
+	for obj, frag := range map[string]string{
+		"mem": "1↦5",
+		"map": "2↦7",
+		"q":   "⟨3⟩",
+	} {
+		s, _ := c.StateOf(obj)
+		if !strings.Contains(s.String(), frag) {
+			t.Fatalf("%s state %q missing %q", obj, s.String(), frag)
+		}
+	}
+}
+
+func TestRegisterZeroUnobservable(t *testing.T) {
+	r := reg()
+	// Writing zero then comparing against the untouched state: the
+	// support-based equality treats explicit zeros as unobservable.
+	l1 := spec.Log{mk("mem", adt.MWrite, 0, 1, 0)}
+	c1, _ := r.Denote(l1)
+	c0, _ := r.Denote(nil)
+	if !c1.Eq(c0) {
+		t.Fatal("a zero write must be observationally identity")
+	}
+}
+
+func TestQueueEnqSameValueOracle(t *testing.T) {
+	r := reg()
+	a := mk("q", adt.MEnq, 0, 7)
+	b := mk("q", adt.MEnq, 0, 7)
+	holds, known := spec.LeftMoverStatic(r, a, b)
+	if !holds || !known {
+		t.Fatal("identical enqueues commute")
+	}
+	if !spec.LeftMoverAt(r, nil, a, b) {
+		t.Fatal("dynamic check must agree")
+	}
+}
+
+func TestCounterOracleNoOpAdd(t *testing.T) {
+	r := reg()
+	get := mk("ctr", adt.MGet, 0)
+	noop := mk("ctr", adt.MAdd, 0, 0)
+	holds, known := spec.LeftMoverStatic(r, get, noop)
+	if !holds || !known {
+		t.Fatal("get must commute with add(0)")
+	}
+}
+
+func TestInvertersRejectUnknownMethods(t *testing.T) {
+	for _, inv := range []spec.Inverter{adt.Register{}, adt.Counter{}, adt.Set{}, adt.Map{}} {
+		if _, _, ok := inv.Invert(spec.Op{Method: "nosuch"}); ok {
+			t.Fatalf("%T inverted an unknown method", inv)
+		}
+	}
+}
+
+func TestMethodTablesCoverApply(t *testing.T) {
+	// Every method in each table must be applicable with zero-ish args
+	// in the initial state (verifying name/arity agreement between the
+	// tables and Apply).
+	r := reg()
+	for _, obj := range []string{"mem", "set", "map", "ctr", "q"} {
+		o, _ := r.Object(obj)
+		lister := o.(spec.MethodLister)
+		for _, sig := range lister.Methods() {
+			args := make([]int64, sig.Arity)
+			for i := range args {
+				args[i] = 1
+			}
+			if _, ok := r.Eval(nil, obj, sig.Name, args); !ok {
+				t.Fatalf("%s.%s/%d not applicable in initial state", obj, sig.Name, sig.Arity)
+			}
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package adt
+
+import "pushpull/internal/spec"
+
+// Method tables for static program validation (lang.Validate).
+
+var (
+	_ spec.MethodLister = Register{}
+	_ spec.MethodLister = Counter{}
+	_ spec.MethodLister = Set{}
+	_ spec.MethodLister = Map{}
+	_ spec.MethodLister = Queue{}
+)
+
+// Methods implements spec.MethodLister.
+func (Register) Methods() []spec.MethodSig {
+	return []spec.MethodSig{
+		{Name: MRead, Arity: 1, ReadOnly: true},
+		{Name: MWrite, Arity: 2},
+	}
+}
+
+// Methods implements spec.MethodLister.
+func (Counter) Methods() []spec.MethodSig {
+	return []spec.MethodSig{
+		{Name: MInc, Arity: 0},
+		{Name: MDec, Arity: 0},
+		{Name: MAdd, Arity: 1},
+		{Name: MGet, Arity: 0, ReadOnly: true},
+	}
+}
+
+// Methods implements spec.MethodLister.
+func (Set) Methods() []spec.MethodSig {
+	return []spec.MethodSig{
+		{Name: MSetAdd, Arity: 1},
+		{Name: MSetRemove, Arity: 1},
+		{Name: MSetContains, Arity: 1, ReadOnly: true},
+		{Name: MSetSize, Arity: 0, ReadOnly: true},
+	}
+}
+
+// Methods implements spec.MethodLister.
+func (Map) Methods() []spec.MethodSig {
+	return []spec.MethodSig{
+		{Name: MMapPut, Arity: 2},
+		{Name: MMapGet, Arity: 1, ReadOnly: true},
+		{Name: MMapRemove, Arity: 1},
+		{Name: MMapSize, Arity: 0, ReadOnly: true},
+	}
+}
+
+// Methods implements spec.MethodLister.
+func (Queue) Methods() []spec.MethodSig {
+	return []spec.MethodSig{
+		{Name: MEnq, Arity: 1},
+		{Name: MDeq, Arity: 0},
+		{Name: MPeek, Arity: 0, ReadOnly: true},
+	}
+}

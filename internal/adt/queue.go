@@ -1,0 +1,117 @@
+package adt
+
+import (
+	"fmt"
+	"strings"
+
+	"pushpull/internal/spec"
+)
+
+// Queue methods.
+const (
+	// MEnq is enq(v) -> 0.
+	MEnq = "enq"
+	// MDeq is deq() -> front value, or spec.Absent on empty.
+	MDeq = "deq"
+	// MPeek is peek() -> front value, or spec.Absent on empty.
+	MPeek = "peek"
+)
+
+// Queue is a FIFO queue: a deliberately order-sensitive specification.
+// Almost nothing commutes, so Push/Pull criteria force queue-touching
+// transactions to serialize — the negative counterpart to the highly
+// commutative Set/Map/Counter specifications, used to test that the
+// machine *rejects* unserializable rule applications.
+type Queue struct{}
+
+var (
+	_ spec.Object      = Queue{}
+	_ spec.MoverOracle = Queue{}
+)
+
+// Type implements spec.Object.
+func (Queue) Type() string { return "queue" }
+
+type queueState struct {
+	items []int64 // front at index 0; never mutated in place
+}
+
+func (s queueState) Eq(t spec.State) bool {
+	u, ok := t.(queueState)
+	if !ok || len(s.items) != len(u.items) {
+		return false
+	}
+	for i, v := range s.items {
+		if u.items[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (s queueState) String() string {
+	parts := make([]string, len(s.items))
+	for i, v := range s.items {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return "⟨" + strings.Join(parts, ",") + "⟩"
+}
+
+// Init implements spec.Object: the empty queue.
+func (Queue) Init() spec.State { return queueState{} }
+
+// Apply implements spec.Object.
+func (Queue) Apply(s spec.State, method string, args []int64) (spec.State, int64, bool) {
+	st, ok := s.(queueState)
+	if !ok {
+		return nil, 0, false
+	}
+	switch method {
+	case MEnq:
+		if len(args) != 1 || args[0] == spec.Absent {
+			return nil, 0, false
+		}
+		next := make([]int64, len(st.items)+1)
+		copy(next, st.items)
+		next[len(st.items)] = args[0]
+		return queueState{items: next}, 0, true
+	case MDeq:
+		if len(args) != 0 {
+			return nil, 0, false
+		}
+		if len(st.items) == 0 {
+			return st, spec.Absent, true
+		}
+		next := make([]int64, len(st.items)-1)
+		copy(next, st.items[1:])
+		return queueState{items: next}, st.items[0], true
+	case MPeek:
+		if len(args) != 0 {
+			return nil, 0, false
+		}
+		if len(st.items) == 0 {
+			return st, spec.Absent, true
+		}
+		return st, st.items[0], true
+	default:
+		return nil, 0, false
+	}
+}
+
+// LeftMover implements spec.MoverOracle. Enq/enq of distinct values and
+// deq/deq with distinct results are refuted outright (the swapped log
+// observably differs); peek/peek commute; the rest is left to the
+// dynamic checker because empty-queue cases can be vacuous.
+func (Queue) LeftMover(op1, op2 spec.Op) (holds, known bool) {
+	switch {
+	case op1.Method == MPeek && op2.Method == MPeek:
+		return true, true
+	case op1.Method == MEnq && op2.Method == MEnq:
+		if op1.Args[0] == op2.Args[0] {
+			return true, true // identical effect either order
+		}
+		return false, true
+	default:
+		return false, false
+	}
+}

@@ -1,0 +1,190 @@
+package adt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pushpull/internal/spec"
+)
+
+// Set methods.
+const (
+	// MSetAdd is add(k) -> 1 if k was inserted, 0 if already present.
+	MSetAdd = "add"
+	// MSetRemove is remove(k) -> 1 if k was removed, 0 if absent.
+	MSetRemove = "remove"
+	// MSetContains is contains(k) -> 1 if present else 0.
+	MSetContains = "contains"
+	// MSetSize is size() -> number of elements.
+	MSetSize = "size"
+)
+
+// Set is an integer set: the boosted ConcurrentSkipList Set of Figure 2.
+// Its mover oracle encodes the boosting conflict relation: operations on
+// distinct keys commute; same-key operations conflict unless reads or
+// provably effect-free.
+type Set struct{}
+
+var (
+	_ spec.Object      = Set{}
+	_ spec.Inverter    = Set{}
+	_ spec.MoverOracle = Set{}
+)
+
+// Type implements spec.Object.
+func (Set) Type() string { return "set" }
+
+type setState struct {
+	elems map[int64]bool
+}
+
+func (s setState) Eq(t spec.State) bool {
+	u, ok := t.(setState)
+	if !ok || len(s.elems) != len(u.elems) {
+		return false
+	}
+	for k := range s.elems {
+		if !u.elems[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s setState) String() string {
+	keys := make([]int64, 0, len(s.elems))
+	for k := range s.elems {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%d", k)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Init implements spec.Object: the empty set.
+func (Set) Init() spec.State { return setState{elems: map[int64]bool{}} }
+
+func (s setState) with(k int64) setState {
+	next := make(map[int64]bool, len(s.elems)+1)
+	for e := range s.elems {
+		next[e] = true
+	}
+	next[k] = true
+	return setState{elems: next}
+}
+
+func (s setState) without(k int64) setState {
+	next := make(map[int64]bool, len(s.elems))
+	for e := range s.elems {
+		if e != k {
+			next[e] = true
+		}
+	}
+	return setState{elems: next}
+}
+
+// Apply implements spec.Object.
+func (Set) Apply(s spec.State, method string, args []int64) (spec.State, int64, bool) {
+	st, ok := s.(setState)
+	if !ok {
+		return nil, 0, false
+	}
+	switch method {
+	case MSetAdd:
+		if len(args) != 1 {
+			return nil, 0, false
+		}
+		if st.elems[args[0]] {
+			return st, 0, true
+		}
+		return st.with(args[0]), 1, true
+	case MSetRemove:
+		if len(args) != 1 {
+			return nil, 0, false
+		}
+		if !st.elems[args[0]] {
+			return st, 0, true
+		}
+		return st.without(args[0]), 1, true
+	case MSetContains:
+		if len(args) != 1 {
+			return nil, 0, false
+		}
+		if st.elems[args[0]] {
+			return st, 1, true
+		}
+		return st, 0, true
+	case MSetSize:
+		if len(args) != 0 {
+			return nil, 0, false
+		}
+		return st, int64(len(st.elems)), true
+	default:
+		return nil, 0, false
+	}
+}
+
+// Invert implements spec.Inverter, using the recorded return value to
+// decide effectiveness: an add that actually inserted is undone by
+// remove, a no-op add by nothing (modelled as an effect-free contains).
+func (Set) Invert(op spec.Op) (string, []int64, bool) {
+	switch op.Method {
+	case MSetAdd:
+		if op.Ret == 1 {
+			return MSetRemove, append([]int64(nil), op.Args...), true
+		}
+		return MSetContains, append([]int64(nil), op.Args...), true
+	case MSetRemove:
+		if op.Ret == 1 {
+			return MSetAdd, append([]int64(nil), op.Args...), true
+		}
+		return MSetContains, append([]int64(nil), op.Args...), true
+	case MSetContains, MSetSize:
+		return op.Method, append([]int64(nil), op.Args...), true
+	default:
+		return "", nil, false
+	}
+}
+
+func setEffective(op spec.Op) bool {
+	switch op.Method {
+	case MSetAdd, MSetRemove:
+		return op.Ret == 1
+	default:
+		return false
+	}
+}
+
+func setReadOnly(op spec.Op) bool {
+	return op.Method == MSetContains || op.Method == MSetSize || !setEffective(op)
+}
+
+// LeftMover implements spec.MoverOracle, the boosting commutativity
+// table of Figure 2 / Section 2:
+//
+//   - distinct keys commute (size excepted: size observes every key);
+//   - reads and recorded no-ops commute with everything on any key
+//     except an effective mutation of the same key;
+//   - size conflicts with effective mutations and commutes otherwise.
+func (Set) LeftMover(op1, op2 spec.Op) (holds, known bool) {
+	if op1.Method == MSetSize || op2.Method == MSetSize {
+		if setReadOnly(op1) && setReadOnly(op2) {
+			return true, true
+		}
+		return false, false // size vs effective mutation: refutable, maybe vacuous
+	}
+	if op1.Args[0] != op2.Args[0] {
+		return true, true
+	}
+	if setReadOnly(op1) && setReadOnly(op2) {
+		return true, true
+	}
+	// Same key, at least one effective mutation: not movers in general
+	// (returns or final presence change), but some orders are vacuous
+	// (never allowed), so leave it to the dynamic checker.
+	return false, false
+}

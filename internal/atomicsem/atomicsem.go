@@ -1,0 +1,109 @@
+// Package atomicsem implements the atomic (uninterleaved) semantics of
+// Figure 3: transactions execute instantly against the shared log via
+// the big-step relation ⇓, which scans the language nondeterminism with
+// step()/fin() (rules BSSTEP and BSFIN) and extends the log only with
+// operations the sequential specification allows.
+//
+// The Push/Pull machine of internal/core simulates this machine
+// (Theorem 5.17); internal/serial uses this package as the reference
+// side of that simulation.
+package atomicsem
+
+import (
+	"fmt"
+
+	"pushpull/internal/lang"
+	"pushpull/internal/spec"
+)
+
+// Result is one successful big-step outcome (σ′, ℓ′) of running a
+// transaction from (σ, ℓ), together with the operations it appended.
+type Result struct {
+	Stack lang.Stack
+	Log   spec.Log
+	Ops   spec.Log
+}
+
+// RunTxn executes tx c atomically from stack sigma and shared log l,
+// resolving nondeterminism by depth-first search: the first reduction
+// to skip wins (AM_RUNTX with ⇓). ok=false means no path through the
+// transaction is allowed by the specification.
+func RunTxn(reg *spec.Registry, txn lang.Txn, sigma lang.Stack, l spec.Log) (Result, bool) {
+	return RunTxnFrom(reg, reg.InitState(), txn, sigma, l)
+}
+
+// RunTxnFrom is RunTxn with the log replayed from an explicit start
+// state (a compacted machine baseline).
+func RunTxnFrom(reg *spec.Registry, start spec.Composite, txn lang.Txn, sigma lang.Stack, l spec.Log) (Result, bool) {
+	if sigma == nil {
+		sigma = lang.Stack{}
+	}
+	return bigStep(reg, start, txn.Body, sigma.Clone(), l, nil)
+}
+
+func bigStep(reg *spec.Registry, start spec.Composite, c lang.Code, sigma lang.Stack, l, ops spec.Log) (Result, bool) {
+	// BSFIN: a path to skip with no further methods.
+	if lang.Fin(c, sigma) {
+		return Result{Stack: sigma, Log: l, Ops: ops}, true
+	}
+	// BSSTEP: pick any next reachable method the specification allows.
+	for _, s := range lang.StepSet(c, sigma) {
+		ret, ok := reg.EvalFrom(start, l, s.Call.Obj, s.Call.Method, s.Args)
+		if !ok {
+			continue
+		}
+		op := spec.Op{
+			ID:     spec.FreshID(),
+			Obj:    s.Call.Obj,
+			Method: s.Call.Method,
+			Args:   append([]int64(nil), s.Args...),
+			Ret:    ret,
+		}
+		sigma2 := sigma
+		if s.Call.Dst != "" {
+			sigma2 = sigma.Clone()
+			sigma2[s.Call.Dst] = ret
+		}
+		if r, ok := bigStep(reg, start, s.Cont, sigma2, l.Append(op), ops.Append(op)); ok {
+			return r, true
+		}
+	}
+	return Result{}, false
+}
+
+// RunProgram runs a list of transactions atomically, in order, each
+// with its own initial stack (AMS_TRANS over AMACH_ONE). It returns the
+// final shared log and per-transaction results.
+func RunProgram(reg *spec.Registry, txns []lang.Txn, stacks []lang.Stack, l spec.Log) ([]Result, spec.Log, error) {
+	results := make([]Result, 0, len(txns))
+	for i, txn := range txns {
+		var sigma lang.Stack
+		if i < len(stacks) {
+			sigma = stacks[i]
+		}
+		r, ok := RunTxn(reg, txn, sigma, l)
+		if !ok {
+			return nil, nil, fmt.Errorf("atomicsem: transaction %q has no allowed path from log %v", txn.Name, l)
+		}
+		results = append(results, r)
+		l = r.Log
+	}
+	return results, l, nil
+}
+
+// ReplayOps extends l with a recorded operation sequence, recomputing
+// each return value against the growing log. ok=false if some
+// operation is undefined. The recomputed returns may differ from the
+// recorded ones — callers compare.
+func ReplayOps(reg *spec.Registry, l spec.Log, ops spec.Log) (spec.Log, bool) {
+	for _, op := range ops {
+		ret, ok := reg.Eval(l, op.Obj, op.Method, op.Args)
+		if !ok {
+			return nil, false
+		}
+		replayed := op
+		replayed.Ret = ret
+		l = l.Append(replayed)
+	}
+	return l, true
+}

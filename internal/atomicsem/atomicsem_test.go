@@ -1,0 +1,128 @@
+package atomicsem_test
+
+import (
+	"testing"
+
+	"pushpull/internal/adt"
+	"pushpull/internal/atomicsem"
+	"pushpull/internal/lang"
+	"pushpull/internal/spec"
+)
+
+func reg() *spec.Registry {
+	r := spec.NewRegistry()
+	r.Register("ht", adt.Map{})
+	r.Register("set", adt.Set{})
+	r.Register("ctr", adt.Counter{})
+	return r
+}
+
+func TestRunTxnStraightLine(t *testing.T) {
+	r := reg()
+	txn := lang.MustParseTxn(`tx a { ht.put(1, 10); v := ht.get(1); }`)
+	res, ok := atomicsem.RunTxn(r, txn, nil, nil)
+	if !ok {
+		t.Fatal("straight-line txn must run")
+	}
+	if len(res.Ops) != 2 || res.Ops[1].Ret != 10 {
+		t.Fatalf("ops = %v", res.Ops)
+	}
+	if res.Stack["v"] != 10 {
+		t.Fatalf("stack = %v", res.Stack)
+	}
+	if !r.Allowed(res.Log) {
+		t.Fatal("result log must be allowed")
+	}
+}
+
+func TestRunTxnResolvesNondeterminism(t *testing.T) {
+	r := reg()
+	// The first branch is disallowed (put of absent); the search must
+	// find the second.
+	txn := lang.MustParseTxn(`tx a { choice { ht.put(1, absent); } or { ht.put(1, 5); } }`)
+	res, ok := atomicsem.RunTxn(r, txn, nil, nil)
+	if !ok {
+		t.Fatal("second branch must be found")
+	}
+	if len(res.Ops) != 1 || res.Ops[0].Args[1] != 5 {
+		t.Fatalf("ops = %v", res.Ops)
+	}
+}
+
+func TestRunTxnNoAllowedPath(t *testing.T) {
+	r := reg()
+	txn := lang.MustParseTxn(`tx a { ht.put(1, absent); }`)
+	if _, ok := atomicsem.RunTxn(r, txn, nil, nil); ok {
+		t.Fatal("disallowed-only txn must fail")
+	}
+}
+
+func TestRunTxnFromLogContext(t *testing.T) {
+	r := reg()
+	seed := lang.MustParseTxn(`tx s { ctr.inc(); ctr.inc(); }`)
+	res1, ok := atomicsem.RunTxn(r, seed, nil, nil)
+	if !ok {
+		t.Fatal("seed failed")
+	}
+	reader := lang.MustParseTxn(`tx r { v := ctr.get(); }`)
+	res2, ok := atomicsem.RunTxn(r, reader, nil, res1.Log)
+	if !ok || res2.Stack["v"] != 2 {
+		t.Fatalf("reader saw %v", res2.Stack)
+	}
+}
+
+func TestRunProgramSequences(t *testing.T) {
+	r := reg()
+	txns := []lang.Txn{
+		lang.MustParseTxn(`tx a { set.add(1); }`),
+		lang.MustParseTxn(`tx b { v := set.contains(1); if v == 1 { set.add(2); } }`),
+	}
+	results, l, err := atomicsem.RunProgram(r, txns, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || len(l) != 3 {
+		t.Fatalf("results=%d log=%v", len(results), l)
+	}
+	c, _ := r.Denote(l)
+	s, _ := c.StateOf("set")
+	if s.String() != "{1,2}" {
+		t.Fatalf("final set = %v", s)
+	}
+}
+
+func TestRunProgramFailsLoudly(t *testing.T) {
+	r := reg()
+	txns := []lang.Txn{lang.MustParseTxn(`tx bad { ht.put(1, absent); }`)}
+	if _, _, err := atomicsem.RunProgram(r, txns, nil, nil); err == nil {
+		t.Fatal("disallowed program must error")
+	}
+}
+
+func TestReplayOps(t *testing.T) {
+	r := reg()
+	ops := spec.Log{
+		{ID: spec.FreshID(), Obj: "ctr", Method: adt.MInc, Ret: 0},
+		{ID: spec.FreshID(), Obj: "ctr", Method: adt.MGet, Ret: 999}, // stale ret
+	}
+	l, ok := atomicsem.ReplayOps(r, nil, ops)
+	if !ok {
+		t.Fatal("replay must succeed (returns recomputed)")
+	}
+	if l[1].Ret != 1 {
+		t.Fatalf("recomputed get = %d, want 1", l[1].Ret)
+	}
+}
+
+func TestLoopBoundedByFin(t *testing.T) {
+	r := reg()
+	// (ctr.inc())*: the DFS must take the fin exit, not unroll forever.
+	txn := lang.MustParseTxn(`tx a { loop { ctr.inc(); } }`)
+	res, ok := atomicsem.RunTxn(r, txn, nil, nil)
+	if !ok {
+		t.Fatal("loop txn must terminate via BSFIN")
+	}
+	if len(res.Ops) != 0 {
+		t.Fatalf("fin-first search must take zero iterations, got %v", res.Ops)
+	}
+}

@@ -1,0 +1,256 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"pushpull/internal/stm/boost"
+	"pushpull/internal/stm/dep"
+	"pushpull/internal/stm/htmsim"
+	"pushpull/internal/stm/pess"
+	"pushpull/internal/stm/tl2"
+)
+
+// SubstrateParams configures one real-substrate throughput run.
+type SubstrateParams struct {
+	Substrate string // tl2 | pess | boost | htmsim | dep
+	Threads   int
+	OpsEach   int
+	Keys      int // word/key range; fewer = hotter
+	ReadPct   int
+	Seed      int64
+	// Yield inserts this many scheduler yields between a transaction's
+	// read and its write, widening the conflict window — necessary to
+	// exercise contention under GOMAXPROCS=1, where short transactions
+	// otherwise run to completion unpreempted.
+	Yield int
+}
+
+// SubstrateResult reports a substrate run. Commits/Aborts are the
+// substrate's own counters; Throughput is transactions per second.
+type SubstrateResult struct {
+	Params   SubstrateParams
+	Commits  uint64
+	Aborts   uint64
+	Extra    string // substrate-specific (fallbacks, cascades, ...)
+	Duration time.Duration
+}
+
+// AbortRatio is aborts per commit.
+func (r SubstrateResult) AbortRatio() float64 {
+	if r.Commits == 0 {
+		return 0
+	}
+	return float64(r.Aborts) / float64(r.Commits)
+}
+
+// Throughput is committed transactions per second.
+func (r SubstrateResult) Throughput() float64 {
+	if r.Duration == 0 {
+		return 0
+	}
+	return float64(r.Commits) / r.Duration.Seconds()
+}
+
+// SubstrateNames lists the sweepable substrates.
+func SubstrateNames() []string { return []string{"tl2", "pess", "boost", "htmsim", "dep"} }
+
+// RunSubstrate runs the common read-modify-write workload on the named
+// substrate: each transaction touches one key — readPct% of the time a
+// pure read, otherwise a read-increment-write — so contention is
+// controlled purely by the key range.
+func RunSubstrate(p SubstrateParams) (SubstrateResult, error) {
+	run := func(txn func(g, i int, rng *rand.Rand) error) time.Duration {
+		var wg sync.WaitGroup
+		start := time.Now()
+		for g := 0; g < p.Threads; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(p.Seed + int64(g)))
+				for i := 0; i < p.OpsEach; i++ {
+					if err := txn(g, i, rng); err != nil {
+						panic(fmt.Sprintf("bench substrate %s: %v", p.Substrate, err))
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+
+	switch p.Substrate {
+	case "tl2":
+		m := tl2.New(p.Keys)
+		d := run(func(g, i int, rng *rand.Rand) error {
+			addr := rng.Intn(p.Keys)
+			read := rng.Intn(100) < p.ReadPct
+			return m.Atomic(func(tx *tl2.Tx) error {
+				v, err := tx.Read(addr)
+				if err != nil || read {
+					return err
+				}
+				yieldN(p.Yield)
+				return tx.Write(addr, v+1)
+			})
+		})
+		st := m.Stats()
+		return SubstrateResult{Params: p, Commits: st.Commits, Aborts: st.Aborts, Duration: d}, nil
+
+	case "pess":
+		m := pess.New(p.Keys)
+		d := run(func(g, i int, rng *rand.Rand) error {
+			addr := rng.Intn(p.Keys)
+			read := rng.Intn(100) < p.ReadPct
+			return m.Atomic(func(tx *pess.Tx) error {
+				v, err := tx.Read(addr)
+				if err != nil || read {
+					return err
+				}
+				yieldN(p.Yield)
+				return tx.Write(addr, v+1)
+			})
+		})
+		st := m.Stats()
+		return SubstrateResult{Params: p, Commits: st.Commits, Aborts: st.Aborts, Duration: d}, nil
+
+	case "boost":
+		rt := boost.NewRuntime()
+		ht := boost.NewMap(rt, "ht", p.Seed)
+		d := run(func(g, i int, rng *rand.Rand) error {
+			key := int64(rng.Intn(p.Keys))
+			read := rng.Intn(100) < p.ReadPct
+			return rt.Atomic("b", func(tx *boost.Txn) error {
+				v, present, err := tx2val(ht.Get(tx, key))
+				if err != nil || read {
+					return err
+				}
+				if !present {
+					v = 0
+				}
+				yieldN(p.Yield)
+				_, _, err = ht.Put(tx, key, v+1)
+				return err
+			})
+		})
+		st := rt.Stats()
+		return SubstrateResult{Params: p, Commits: st.Commits, Aborts: st.Aborts, Duration: d}, nil
+
+	case "htmsim":
+		h := htmsim.New(p.Keys)
+		d := run(func(g, i int, rng *rand.Rand) error {
+			addr := rng.Intn(p.Keys)
+			read := rng.Intn(100) < p.ReadPct
+			return h.Atomic("h", func(tx *htmsim.Tx) error {
+				v, err := tx.Read(addr)
+				if err != nil || read {
+					return err
+				}
+				yieldN(p.Yield)
+				return tx.Write(addr, v+1)
+			})
+		})
+		st := h.Stats()
+		return SubstrateResult{Params: p, Commits: st.Commits,
+			Aborts: st.ConflictAborts + st.CapacityAborts,
+			Extra:  fmt.Sprintf("fallbacks=%d", st.Fallbacks), Duration: d}, nil
+
+	case "dep":
+		m := dep.New(p.Keys)
+		d := run(func(g, i int, rng *rand.Rand) error {
+			addr := rng.Intn(p.Keys)
+			read := rng.Intn(100) < p.ReadPct
+			return m.Atomic("d", func(tx *dep.Tx) error {
+				v, err := tx.Read(addr)
+				if err != nil || read {
+					return err
+				}
+				yieldN(p.Yield)
+				return tx.Write(addr, v+1)
+			})
+		})
+		st := m.Stats()
+		return SubstrateResult{Params: p, Commits: st.Commits, Aborts: st.Aborts,
+			Extra: fmt.Sprintf("cascades=%d", st.Cascades), Duration: d}, nil
+
+	default:
+		return SubstrateResult{}, fmt.Errorf("bench: unknown substrate %q", p.Substrate)
+	}
+}
+
+func tx2val(v int64, present bool, err error) (int64, bool, error) { return v, present, err }
+
+func yieldN(n int) {
+	for i := 0; i < n; i++ {
+		runtime.Gosched()
+	}
+}
+
+// SweepSubstrates runs every substrate across contention levels and
+// renders the E10 comparison table.
+func SweepSubstrates(threads, opsEach int, keyRanges []int, readPct int, seed int64, yield int) (string, []SubstrateResult, error) {
+	var rows []Row
+	var results []SubstrateResult
+	for _, keys := range keyRanges {
+		for _, s := range SubstrateNames() {
+			res, err := RunSubstrate(SubstrateParams{
+				Substrate: s, Threads: threads, OpsEach: opsEach,
+				Keys: keys, ReadPct: readPct, Seed: seed, Yield: yield,
+			})
+			if err != nil {
+				return "", nil, err
+			}
+			results = append(results, res)
+			rows = append(rows, Row{
+				s, fmt.Sprintf("%d", keys),
+				fmt.Sprintf("%d", res.Commits), fmt.Sprintf("%d", res.Aborts),
+				fmt.Sprintf("%.3f", res.AbortRatio()),
+				fmt.Sprintf("%.0f", res.Throughput()),
+				res.Extra,
+			})
+		}
+	}
+	table := Table(Row{"substrate", "keys", "commits", "aborts", "aborts/commit", "txn/s", "notes"}, rows)
+	return table, results, nil
+}
+
+// HTMCapacitySweep measures fallback behaviour as transaction footprint
+// crosses the speculative capacity — the E10 HTM shape: small
+// footprints commit speculatively, large ones fall back to the lock.
+func HTMCapacitySweep(capacity int, footprints []int, opsEach int, seed int64) (string, error) {
+	var rows []Row
+	for _, fp := range footprints {
+		h := htmsim.New(4096)
+		h.Capacity = capacity
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < opsEach; i++ {
+			base := rng.Intn(2048)
+			err := h.Atomic("cap", func(tx *htmsim.Tx) error {
+				for k := 0; k < fp; k++ {
+					v, err := tx.Read(base + k)
+					if err != nil {
+						return err
+					}
+					if err := tx.Write(base+k, v+1); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return "", err
+			}
+		}
+		st := h.Stats()
+		rows = append(rows, Row{
+			fmt.Sprintf("%d", fp), fmt.Sprintf("%d", capacity),
+			fmt.Sprintf("%d", st.Commits), fmt.Sprintf("%d", st.CapacityAborts),
+			fmt.Sprintf("%d", st.Fallbacks),
+			fmt.Sprintf("%.2f", float64(st.Fallbacks)/float64(opsEach)),
+		})
+	}
+	return Table(Row{"footprint", "capacity", "commits", "capacity-aborts", "fallbacks", "fallback-rate"}, rows), nil
+}

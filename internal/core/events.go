@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"pushpull/internal/spec"
+)
+
+// Event records one successful rule application: the raw material of
+// the decomposition figures (Figures 2 and 7).
+type Event struct {
+	Rule   Rule
+	Thread uint64
+	TxName string
+	Op     spec.Op // zero for BEGIN/CMT/END
+	Stamp  uint64  // commit stamp for CMT events
+	// UncommittedPull marks PULL events whose operation belonged to a
+	// then-uncommitted transaction — the observations that break opacity
+	// (Section 6.1) and create dependencies (Section 6.5).
+	UncommittedPull bool
+}
+
+func (e Event) String() string {
+	who := e.TxName
+	if who == "" {
+		who = fmt.Sprintf("t%d", e.Thread)
+	}
+	switch e.Rule {
+	case RBegin, REnd:
+		return fmt.Sprintf("%-8s %s", e.Rule, who)
+	case RCmt:
+		return fmt.Sprintf("%-8s %s (stamp %d)", e.Rule, who, e.Stamp)
+	default:
+		return fmt.Sprintf("%-8s %s  %s", e.Rule, who, e.Op)
+	}
+}
+
+func (m *Machine) record(e Event) {
+	if m.opts.RecordEvents {
+		m.events = append(m.events, e)
+	}
+}
+
+// Events returns the recorded rule-application trace.
+func (m *Machine) Events() []Event {
+	return append([]Event(nil), m.events...)
+}
+
+// RuleSequence renders the trace compactly, one "RULE(op)" per line —
+// the format of Figure 7.
+func (m *Machine) RuleSequence() string {
+	var b strings.Builder
+	for _, e := range m.events {
+		switch e.Rule {
+		case RBegin:
+			fmt.Fprintf(&b, "%s: begin\n", e.TxName)
+		case REnd:
+			fmt.Fprintf(&b, "%s: end\n", e.TxName)
+		case RCmt:
+			fmt.Fprintf(&b, "%s: CMT\n", e.TxName)
+		default:
+			fmt.Fprintf(&b, "%s: %s(%s.%s)\n", e.TxName, e.Rule, e.Op.Obj, e.Op.Method)
+		}
+	}
+	return b.String()
+}

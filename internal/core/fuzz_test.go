@@ -1,0 +1,156 @@
+package core_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pushpull/internal/core"
+	"pushpull/internal/lang"
+	"pushpull/internal/serial"
+	"pushpull/internal/spec"
+)
+
+// TestMachineFuzz applies random rule sequences — legal and illegal —
+// across several threads with the Section 5 invariants re-verified
+// after every successful rule (SelfCheck) and commit-order
+// serializability certified at the end. Criterion rejections are
+// expected and ignored; any other error, invariant panic, or failed
+// final certification is a model-soundness bug.
+func TestMachineFuzz(t *testing.T) {
+	srcs := []string{
+		`tx f1 { set.add(1); set.add(2); }`,
+		`tx f2 { v := set.contains(1); ctr.inc(); }`,
+		`tx f3 { ht.put(1, 5); w := ht.get(1); }`,
+		`tx f4 { mem.write(0, 3); v := mem.read(0); }`,
+		`tx f5 { ctr.inc(); choice { set.add(3); } or { set.remove(3); } }`,
+		`tx f6 { v := ctr.get(); if v < 2 { set.add(9); } }`,
+	}
+	var txns []lang.Txn
+	for _, s := range srcs {
+		txns = append(txns, lang.MustParseTxn(s))
+	}
+
+	for seed := int64(1); seed <= 60; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			opts := core.Options{
+				Mode:         spec.MoverHybrid,
+				EnforceGray:  true,
+				RecordEvents: true,
+				SelfCheck:    true,
+			}
+			m := core.NewMachine(reg(), opts)
+			const nThreads = 3
+			threads := make([]*core.Thread, nThreads)
+			remaining := make([]int, nThreads) // txns left per thread
+			for i := range threads {
+				threads[i] = m.Spawn(fmt.Sprintf("f%d", i))
+				remaining[i] = 2
+			}
+
+			tolerate := func(err error) {
+				if err == nil {
+					return
+				}
+				var ce *core.CriterionError
+				if errors.As(err, &ce) {
+					return // rejected step: expected under fuzzing
+				}
+				t.Fatalf("non-criterion failure: %v", err)
+			}
+
+			for step := 0; step < 400; step++ {
+				th := threads[rng.Intn(nThreads)]
+				if !th.Active() {
+					idx := -1
+					for i, cand := range threads {
+						if cand == th {
+							idx = i
+						}
+					}
+					if remaining[idx] == 0 {
+						continue
+					}
+					remaining[idx]--
+					if err := m.Begin(th, txns[rng.Intn(len(txns))], nil); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				switch rng.Intn(10) {
+				case 0, 1, 2: // APP a random step
+					steps := m.Steps(th)
+					if len(steps) == 0 {
+						continue
+					}
+					_, err := m.App(th, steps[rng.Intn(len(steps))])
+					tolerate(err)
+				case 3, 4: // PUSH a random local entry
+					if len(th.Local) == 0 {
+						continue
+					}
+					tolerate(m.Push(th, rng.Intn(len(th.Local))))
+				case 5: // PULL a random global entry
+					g := m.GlobalEntries()
+					if len(g) == 0 {
+						continue
+					}
+					tolerate(m.Pull(th, rng.Intn(len(g))))
+				case 6: // UNAPP
+					tolerate(m.Unapp(th))
+				case 7: // UNPUSH / UNPULL a random entry
+					if len(th.Local) == 0 {
+						continue
+					}
+					i := rng.Intn(len(th.Local))
+					if th.Local[i].Flag == core.Pld {
+						tolerate(m.Unpull(th, i))
+					} else {
+						tolerate(m.Unpush(th, i))
+					}
+				case 8: // CMT
+					_, err := m.Commit(th)
+					tolerate(err)
+				case 9: // full abort
+					tolerate(m.Abort(th))
+				}
+			}
+
+			// Quiesce: abort everything still active. Aborts can be
+			// temporarily blocked by dependents' pulled entries; a few
+			// rounds always converge because UNPULL of dangling pulls
+			// frees the sources.
+			for round := 0; round < 8; round++ {
+				busy := false
+				for _, th := range threads {
+					if th.Active() {
+						busy = true
+						tolerate(m.Abort(th))
+					}
+				}
+				if !busy {
+					break
+				}
+			}
+			for _, th := range threads {
+				if th.Active() {
+					t.Fatalf("thread %s could not quiesce", th.Name)
+				}
+			}
+
+			if err := m.Verify(); err != nil {
+				t.Fatalf("terminal invariants: %v", err)
+			}
+			rep := serial.CheckCommitOrder(m)
+			if !rep.Serializable {
+				t.Fatalf("terminal state unserializable: %v\nevents:\n%s", rep, m.RuleSequence())
+			}
+			if _, ok, exhausted := serial.FindSerialWitness(m, 6); exhausted && !ok {
+				t.Fatalf("no serial witness for fuzzed run")
+			}
+		})
+	}
+}

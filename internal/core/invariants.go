@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+
+	"pushpull/internal/spec"
+)
+
+// This file makes the Section 5 proof invariants executable. The paper
+// establishes them once and for all; here they double as machine
+// self-checks (Options.SelfCheck) and as test assertions.
+
+// CheckILG verifies Lemma 5.7's I_LG for one thread: every pshd local
+// entry appears in G and every npshd entry does not.
+func (m *Machine) CheckILG(t *Thread) error {
+	for _, e := range t.Local {
+		_, inG := m.globalIndexOf(e.Op.ID)
+		switch e.Flag {
+		case Pshd:
+			if !inG {
+				return fmt.Errorf("I_LG: pshd %v missing from G", e.Op)
+			}
+		case Npshd:
+			if inG {
+				return fmt.Errorf("I_LG: npshd %v present in G", e.Op)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckLocalAllowed verifies that the thread's local log is allowed —
+// APP criterion (ii) and PULL criterion (ii) preserve this.
+func (m *Machine) CheckLocalAllowed(t *Thread) error {
+	if l := m.LocalLog(t); !m.Reg.AllowedFrom(m.StartState(), l) {
+		return fmt.Errorf("local log of thread %d not allowed: %v", t.ID, l)
+	}
+	return nil
+}
+
+// CheckGlobalAllowed verifies that G itself is allowed — PUSH criterion
+// (iii) and UNPUSH criterion (ii) preserve this.
+func (m *Machine) CheckGlobalAllowed() error {
+	if g := m.GlobalLog(); !m.Reg.AllowedFrom(m.StartState(), g) {
+		return fmt.Errorf("global log not allowed: %v", g)
+	}
+	return nil
+}
+
+// CheckCommittedProjection verifies that ⌊G⌋gCmt is allowed: the
+// committed projection must remain a meaningful history (the left-hand
+// side of the simulation relation ⌊G⌋gCmt ≼ ℓ).
+func (m *Machine) CheckCommittedProjection() error {
+	if g := m.GlobalCommitted(); !m.Reg.AllowedFrom(m.StartState(), g) {
+		return fmt.Errorf("committed projection not allowed: %v", g)
+	}
+	return nil
+}
+
+// CheckSlidePushed verifies Lemma 5.9's I_slidePushed for one thread:
+//
+//	G ≼ (G ∖ ⌊L⌋pshd) · (G ∩ ⌊L⌋pshd)
+//
+// i.e. the thread's pushed operations can slide, in order, to the end
+// of the shared log.
+func (m *Machine) CheckSlidePushed(t *Thread) error {
+	g := m.GlobalLog()
+	mine := m.LocalByFlag(t, Pshd)
+	rhs := g.Without(mine).Concat(g.Intersect(mine))
+	if !spec.PrecongruentFrom(m.Reg, m.StartState(), g, rhs) {
+		return fmt.Errorf("I_slidePushed: G ⋠ (G∖L)·(G∩L) for thread %d", t.ID)
+	}
+	return nil
+}
+
+// CheckChronPush verifies Lemma 5.11's I_chronPush for one thread:
+//
+//	(G ∖ ⌊L⌋pshd) · (G ∩ ⌊L⌋pshd) ≼ (G ∖ ⌊L⌋pshd) · ⌊L⌋pshd
+//
+// a non-chronological push order is interchangeable with local order.
+func (m *Machine) CheckChronPush(t *Thread) error {
+	g := m.GlobalLog()
+	mine := m.LocalByFlag(t, Pshd)
+	lhs := g.Without(mine).Concat(g.Intersect(mine))
+	rhs := g.Without(mine).Concat(mine)
+	if !spec.PrecongruentFrom(m.Reg, m.StartState(), lhs, rhs) {
+		return fmt.Errorf("I_chronPush: pushed-order log ⋠ local-order log for thread %d", t.ID)
+	}
+	return nil
+}
+
+// CheckLocalReorder verifies Lemma 5.13's I_localReorder for one
+// thread:
+//
+//	(G ∖ ⌊L⌋pshd) · ⌊L⌋pshd · ⌊L⌋npshd ≼ (G ∖ ⌊L⌋pshd) · ⌊L⌋(pshd·npshd order)
+//
+// pushed-then-unpushed regrouping matches the local application order.
+func (m *Machine) CheckLocalReorder(t *Thread) error {
+	g := m.GlobalLog()
+	pshd := m.LocalByFlag(t, Pshd)
+	npshd := m.LocalByFlag(t, Npshd)
+	lhs := g.Without(pshd).Concat(pshd).Concat(npshd)
+	rhs := g.Without(pshd).Concat(m.LocalOwn(t))
+	if !spec.PrecongruentFrom(m.Reg, m.StartState(), lhs, rhs) {
+		return fmt.Errorf("I_localReorder: grouped log ⋠ local-order log for thread %d", t.ID)
+	}
+	return nil
+}
+
+// CheckCommitPreservation is the executable heart of Definition 5.2's
+// cmtpres invariant, specialised to the zero-rewind instance the CMT
+// simulation case uses: dropping all other transactions' uncommitted
+// operations from G and committing t's pushed operations must yield a
+// log from which t's remaining unpushed suffix is still precongruent
+// with rewinding t entirely and running it atomically after G ∖ L.
+//
+// We check the log-shape consequence that drives the proof:
+//
+//	⌊G⌋gCmt-or-mine · ⌊L⌋npshd ≼ (⌊G⌋gCmt) · (own ops in local order)
+func (m *Machine) CheckCommitPreservation(t *Thread) error {
+	var gpost spec.Log
+	for _, e := range m.global {
+		if e.Committed || e.Op.Tx == t.ID {
+			gpost = append(gpost, e.Op)
+		}
+	}
+	lhs := gpost.Concat(m.LocalByFlag(t, Npshd))
+	rhs := m.GlobalCommitted().Concat(m.LocalOwn(t))
+	if !spec.PrecongruentFrom(m.Reg, m.StartState(), lhs, rhs) {
+		return fmt.Errorf("cmtpres: hypothetical commit of thread %d not precongruent with atomic run", t.ID)
+	}
+	return nil
+}
+
+// Verify runs every invariant check over the whole machine.
+func (m *Machine) Verify() error {
+	if err := m.CheckGlobalAllowed(); err != nil {
+		return err
+	}
+	if err := m.CheckCommittedProjection(); err != nil {
+		return err
+	}
+	for _, t := range m.Threads() {
+		if !t.active {
+			continue
+		}
+		for _, check := range []func(*Thread) error{
+			m.CheckILG,
+			m.CheckLocalAllowed,
+			m.CheckSlidePushed,
+			m.CheckChronPush,
+			m.CheckLocalReorder,
+			m.CheckCommitPreservation,
+		} {
+			if err := check(t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (m *Machine) selfCheck() {
+	if !m.opts.SelfCheck {
+		return
+	}
+	if err := m.Verify(); err != nil {
+		panic("core: machine invariant broken: " + err.Error())
+	}
+}

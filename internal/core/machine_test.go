@@ -1,0 +1,647 @@
+package core_test
+
+import (
+	"testing"
+
+	"pushpull/internal/adt"
+	"pushpull/internal/core"
+	"pushpull/internal/lang"
+	"pushpull/internal/spec"
+)
+
+func reg() *spec.Registry {
+	r := spec.NewRegistry()
+	r.Register("mem", adt.Register{})
+	r.Register("set", adt.Set{})
+	r.Register("ht", adt.Map{})
+	r.Register("ctr", adt.Counter{})
+	r.Register("q", adt.Queue{})
+	return r
+}
+
+func testMachine(t *testing.T) *core.Machine {
+	t.Helper()
+	opts := core.DefaultOptions()
+	opts.SelfCheck = true
+	return core.NewMachine(reg(), opts)
+}
+
+// appOne APPlies the single next step, failing the test if the step set
+// is not a singleton.
+func appOne(t *testing.T, m *core.Machine, th *core.Thread) spec.Op {
+	t.Helper()
+	steps := m.Steps(th)
+	if len(steps) == 0 {
+		t.Fatalf("no steps available for %s (code %v)", th.Name, th.Code)
+	}
+	op, err := m.App(th, steps[0])
+	if err != nil {
+		t.Fatalf("APP failed for %s: %v", th.Name, err)
+	}
+	return op
+}
+
+func begin(t *testing.T, m *core.Machine, th *core.Thread, src string) {
+	t.Helper()
+	if err := m.Begin(th, lang.MustParseTxn(src), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pushAll(t *testing.T, m *core.Machine, th *core.Thread) {
+	t.Helper()
+	for i, e := range th.Local {
+		if e.Flag == core.Npshd {
+			if err := m.Push(th, i); err != nil {
+				t.Fatalf("PUSH %v: %v", e.Op, err)
+			}
+		}
+	}
+}
+
+func TestSimpleTransactionLifecycle(t *testing.T) {
+	m := testMachine(t)
+	th := m.Spawn("t1")
+	begin(t, m, th, `tx a { ht.put(1, 10); v := ht.get(1); }`)
+
+	op1 := appOne(t, m, th) // put
+	if op1.Method != adt.MMapPut || op1.Ret != spec.Absent {
+		t.Fatalf("put op = %v", op1)
+	}
+	op2 := appOne(t, m, th) // get sees local put
+	if op2.Method != adt.MMapGet || op2.Ret != 10 {
+		t.Fatalf("get op = %v (local view must see own put)", op2)
+	}
+	if th.Stack["v"] != 10 {
+		t.Fatalf("stack v = %d, want 10", th.Stack["v"])
+	}
+	// Commit must fail before pushing (criterion (ii)).
+	if _, err := m.Commit(th); !core.IsCriterion(err, core.RCmt, "(ii)") {
+		t.Fatalf("CMT before PUSH: err = %v, want CMT criterion (ii)", err)
+	}
+	pushAll(t, m, th)
+	rec, err := m.Commit(th)
+	if err != nil {
+		t.Fatalf("CMT: %v", err)
+	}
+	if len(rec.Ops) != 2 || rec.Stamp != 1 {
+		t.Fatalf("commit record = %+v", rec)
+	}
+	if th.Active() {
+		t.Fatal("thread must be idle after CMT")
+	}
+	if g := m.GlobalCommitted(); len(g) != 2 {
+		t.Fatalf("committed global = %v", g)
+	}
+}
+
+func TestAppCriterionII(t *testing.T) {
+	// A put with an Absent value is never allowed by the map spec.
+	m := testMachine(t)
+	th := m.Spawn("t1")
+	begin(t, m, th, `tx a { ht.put(1, absent); }`)
+	steps := m.Steps(th)
+	if _, err := m.App(th, steps[0]); !core.IsCriterion(err, core.RApp, "(ii)") {
+		t.Fatalf("err = %v, want APP criterion (ii)", err)
+	}
+}
+
+func TestUnappRestoresCodeAndStack(t *testing.T) {
+	m := testMachine(t)
+	th := m.Spawn("t1")
+	begin(t, m, th, `tx a { v := ctr.get(); ctr.inc(); }`)
+	preCode := th.Code
+	appOne(t, m, th)
+	if th.Stack["v"] != 0 {
+		t.Fatal("get must bind v")
+	}
+	appOne(t, m, th)
+	if err := m.Unapp(th); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unapp(th); err != nil {
+		t.Fatal(err)
+	}
+	if len(th.Local) != 0 {
+		t.Fatal("local log must be empty after full rewind")
+	}
+	if _, bound := th.Stack["v"]; bound {
+		t.Fatal("UNAPP must restore the pre-stack")
+	}
+	if th.Code.String() != preCode.String() {
+		t.Fatalf("code %v, want %v", th.Code, preCode)
+	}
+}
+
+func TestUnappRequiresNpshd(t *testing.T) {
+	m := testMachine(t)
+	th := m.Spawn("t1")
+	begin(t, m, th, `tx a { ctr.inc(); }`)
+	appOne(t, m, th)
+	if err := m.Push(th, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unapp(th); !core.IsCriterion(err, core.RUnapp, "(i)") {
+		t.Fatalf("UNAPP of pshd entry: err = %v", err)
+	}
+}
+
+func TestPushCriterionII_Conflict(t *testing.T) {
+	// Two transactions pushing non-commuting operations: the second
+	// PUSH must fail criterion (ii) while the first is uncommitted.
+	m := testMachine(t)
+	t1, t2 := m.Spawn("t1"), m.Spawn("t2")
+	begin(t, m, t1, `tx a { ctr.inc(); }`)
+	begin(t, m, t2, `tx b { v := ctr.get(); }`)
+	appOne(t, m, t1)
+	appOne(t, m, t2)
+	if err := m.Push(t1, 0); err != nil {
+		t.Fatalf("first push: %v", err)
+	}
+	// t2's get cannot be pushed: t1's uncommitted inc cannot move right
+	// of a get (the get's return would change).
+	if err := m.Push(t2, 0); !core.IsCriterion(err, core.RPush, "(ii)") {
+		t.Fatalf("conflicting push: err = %v, want PUSH criterion (ii)", err)
+	}
+	// After t1 commits, the get's return (0) is stale: pushing it would
+	// make G disallowed, so criterion (iii) rejects it.
+	if _, err := m.Commit(t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Push(t2, 0); !core.IsCriterion(err, core.RPush, "(iii)") {
+		t.Fatalf("stale push: err = %v, want PUSH criterion (iii)", err)
+	}
+	// t2 recovers by rewinding and re-running (optimistic retry). The
+	// retry must PULL the newly committed state first: with a stale
+	// (empty) view the re-applied get would still return 0 and its PUSH
+	// would again fail criterion (iii).
+	if err := m.Abort(t2); err != nil {
+		t.Fatal(err)
+	}
+	begin(t, m, t2, `tx b { v := ctr.get(); }`)
+	if err := m.Pull(t2, 0); err != nil {
+		t.Fatal(err)
+	}
+	appOne(t, m, t2)
+	pushAll(t, m, t2)
+	if _, err := m.Commit(t2); err != nil {
+		t.Fatal(err)
+	}
+	if t2.Stack["v"] != 1 {
+		t.Fatalf("retried get = %d, want 1", t2.Stack["v"])
+	}
+}
+
+func TestPushCommutingOperationsInterleave(t *testing.T) {
+	// Boosting's bread and butter: adds of distinct keys interleave
+	// freely while both uncommitted.
+	m := testMachine(t)
+	t1, t2 := m.Spawn("t1"), m.Spawn("t2")
+	begin(t, m, t1, `tx a { set.add(1); }`)
+	begin(t, m, t2, `tx b { set.add(2); }`)
+	appOne(t, m, t1)
+	appOne(t, m, t2)
+	if err := m.Push(t1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Push(t2, 0); err != nil {
+		t.Fatalf("commuting push must succeed: %v", err)
+	}
+	if _, err := m.Commit(t2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Commit(t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPushCriterionI_OutOfOrder(t *testing.T) {
+	// Section 7's signature move: pushing a later operation before an
+	// earlier one is fine when they commute, rejected when they don't.
+	m := testMachine(t)
+	th := m.Spawn("t1")
+	begin(t, m, th, `tx a { set.add(1); set.add(2); }`)
+	appOne(t, m, th)
+	appOne(t, m, th)
+	// Push index 1 (add(2)) before index 0 (add(1)): distinct keys, OK.
+	if err := m.Push(th, 1); err != nil {
+		t.Fatalf("out-of-order commuting push: %v", err)
+	}
+	if err := m.Push(th, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Commit(th); err != nil {
+		t.Fatal(err)
+	}
+
+	// Non-commuting pair: inc then get; pushing the get first would
+	// publish a value that must precede the inc — criterion (i).
+	th2 := m.Spawn("t2")
+	begin(t, m, th2, `tx b { ctr.inc(); v := ctr.get(); }`)
+	appOne(t, m, th2)
+	appOne(t, m, th2)
+	if err := m.Push(th2, 1); !core.IsCriterion(err, core.RPush, "(i)") {
+		t.Fatalf("out-of-order non-commuting push: err = %v, want PUSH criterion (i)", err)
+	}
+	// In order is fine.
+	if err := m.Push(th2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Push(th2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Commit(th2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnpushRestoresSharedLog(t *testing.T) {
+	m := testMachine(t)
+	th := m.Spawn("t1")
+	begin(t, m, th, `tx a { set.add(5); }`)
+	appOne(t, m, th)
+	if err := m.Push(th, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.GlobalLog()) != 1 {
+		t.Fatal("push must append to G")
+	}
+	if err := m.Unpush(th, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.GlobalLog()) != 0 {
+		t.Fatal("unpush must remove from G")
+	}
+	if th.Local[0].Flag != core.Npshd {
+		t.Fatal("unpush must restore npshd")
+	}
+}
+
+func TestUnpushCriterionII_DependentSuffix(t *testing.T) {
+	// A transaction pushes two same-address writes (its own later push
+	// is exempt from PUSH criterion (ii)); unpushing the first would
+	// orphan the second's recorded return value.
+	m := testMachine(t)
+	th := m.Spawn("t1")
+	begin(t, m, th, `tx a { mem.write(1, 5); mem.write(1, 7); }`)
+	appOne(t, m, th)
+	appOne(t, m, th)
+	if err := m.Push(th, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Push(th, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unpush(th, 0); !core.IsCriterion(err, core.RUnpush, "(ii)") {
+		t.Fatalf("unpush under dependent suffix: err = %v, want UNPUSH criterion (ii)", err)
+	}
+	// Unpushing from the tail works.
+	if err := m.Unpush(th, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unpush(th, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnpushCommittedForbidden(t *testing.T) {
+	m := testMachine(t)
+	th := m.Spawn("t1")
+	begin(t, m, th, `tx a { ctr.inc(); }`)
+	appOne(t, m, th)
+	if err := m.Push(th, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Commit(th); err != nil {
+		t.Fatal(err)
+	}
+	// The thread is idle now; a fresh transaction cannot unpush history
+	// (entry no longer in any local log), and committed entries are
+	// permanent by construction — verify by rebeginning and checking no
+	// pshd entries exist to unpush.
+	begin(t, m, th, `tx b { ctr.inc(); }`)
+	if err := m.Unpush(th, 0); err == nil {
+		t.Fatal("unpush with no pshd entry must fail")
+	}
+}
+
+func TestPullCommittedAndRead(t *testing.T) {
+	m := testMachine(t)
+	t1, t2 := m.Spawn("t1"), m.Spawn("t2")
+	begin(t, m, t1, `tx a { ctr.inc(); }`)
+	appOne(t, m, t1)
+	pushAll(t, m, t1)
+	if _, err := m.Commit(t1); err != nil {
+		t.Fatal(err)
+	}
+
+	begin(t, m, t2, `tx b { v := ctr.get(); }`)
+	// Without pulling, the local view misses the inc.
+	if err := m.Pull(t2, 0); err != nil {
+		t.Fatalf("PULL committed: %v", err)
+	}
+	op := appOne(t, m, t2)
+	if op.Ret != 1 {
+		t.Fatalf("get after pull = %d, want 1", op.Ret)
+	}
+	// Double pull rejected (criterion (i)).
+	if err := m.Pull(t2, 0); !core.IsCriterion(err, core.RPull, "(i)") {
+		t.Fatalf("double pull: err = %v", err)
+	}
+	pushAll(t, m, t2)
+	if _, err := m.Commit(t2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPullCriterionIII_OwnOpsMustMoveRight(t *testing.T) {
+	// t2 has already done a get (sees 0); pulling t1's committed inc
+	// would need the get to move right of the inc — refused.
+	m := testMachine(t)
+	t1, t2 := m.Spawn("t1"), m.Spawn("t2")
+	begin(t, m, t2, `tx b { v := ctr.get(); ctr.inc(); }`)
+	appOne(t, m, t2) // get -> 0
+
+	begin(t, m, t1, `tx a { ctr.inc(); }`)
+	appOne(t, m, t1)
+	pushAll(t, m, t1)
+	if _, err := m.Commit(t1); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := m.Pull(t2, 0); !core.IsCriterion(err, core.RPull, "(iii)") {
+		t.Fatalf("pull behind a conflicting own op: err = %v, want PULL criterion (iii)", err)
+	}
+}
+
+func TestPullCriterionII_LocalMustAllow(t *testing.T) {
+	// Pulling the same committed write twice in a row is caught by (i);
+	// pulling a write whose recorded old-value contradicts the local
+	// view is caught by (ii).
+	m := testMachine(t)
+	t1, t2, t3 := m.Spawn("t1"), m.Spawn("t2"), m.Spawn("t3")
+	begin(t, m, t1, `tx a { mem.write(1, 5); }`)
+	appOne(t, m, t1)
+	pushAll(t, m, t1)
+	if _, err := m.Commit(t1); err != nil {
+		t.Fatal(err)
+	}
+	begin(t, m, t2, `tx b { mem.write(1, 9); }`)
+	if err := m.Pull(t2, 0); err != nil {
+		t.Fatal(err)
+	}
+	appOne(t, m, t2)
+	pushAll(t, m, t2)
+	if _, err := m.Commit(t2); err != nil {
+		t.Fatal(err)
+	}
+	// t3 cannot pull the SECOND write alone: its recorded old-value (5)
+	// contradicts the empty local view — criterion (ii). Pulling in
+	// order succeeds and yields the current value.
+	begin(t, m, t3, `tx c { v := mem.read(1); }`)
+	if err := m.Pull(t3, 1); !core.IsCriterion(err, core.RPull, "(ii)") {
+		t.Fatalf("out-of-order dependent pull: err = %v, want PULL criterion (ii)", err)
+	}
+	if err := m.Pull(t3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Pull(t3, 1); err != nil {
+		t.Fatal(err)
+	}
+	op := appOne(t, m, t3)
+	if op.Ret != 9 {
+		t.Fatalf("read after ordered pulls = %d, want 9", op.Ret)
+	}
+}
+
+func TestDependentTransactionCommitOrder(t *testing.T) {
+	// Section 6.5: t2 pulls t1's uncommitted push and cannot commit
+	// until t1 does (CMT criterion (iii)).
+	m := testMachine(t)
+	t1, t2 := m.Spawn("t1"), m.Spawn("t2")
+	begin(t, m, t1, `tx a { set.add(1); }`)
+	appOne(t, m, t1)
+	pushAll(t, m, t1)
+
+	begin(t, m, t2, `tx b { v := set.contains(1); }`)
+	if err := m.Pull(t2, 0); err != nil {
+		t.Fatalf("pull uncommitted: %v", err)
+	}
+	op := appOne(t, m, t2)
+	if op.Ret != 1 {
+		t.Fatalf("dependent read = %d, want 1 (sees uncommitted add)", op.Ret)
+	}
+	// The dependent contains cannot be PUSHed while the source add is
+	// uncommitted: the add could not move right of it (criterion (ii)).
+	if err := m.Push(t2, 1); !core.IsCriterion(err, core.RPush, "(ii)") {
+		t.Fatalf("dependent push before source commit: err = %v, want PUSH criterion (ii)", err)
+	}
+	// A pull-only observer exhibits CMT criterion (iii) directly.
+	t3 := m.Spawn("t3")
+	begin(t, m, t3, `tx c { skip; }`)
+	if err := m.Pull(t3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Commit(t3); !core.IsCriterion(err, core.RCmt, "(iii)") {
+		t.Fatalf("pull-only commit before source: err = %v, want CMT criterion (iii)", err)
+	}
+	// Source commits; dependent pushes and commits afterwards — the
+	// commit-order stipulation of Section 6.5.
+	if _, err := m.Commit(t1); err != nil {
+		t.Fatal(err)
+	}
+	pushAll(t, m, t2)
+	if _, err := m.Commit(t2); err != nil {
+		t.Fatalf("dependent commit after source: %v", err)
+	}
+	if _, err := m.Commit(t3); err != nil {
+		t.Fatalf("observer commit after source: %v", err)
+	}
+}
+
+func TestDependentAbortCascadesViaDetangle(t *testing.T) {
+	// t1 aborts after t2 pulled its effect: t2 must detangle (UNPULL,
+	// rewinding dependent APPs first).
+	m := testMachine(t)
+	t1, t2 := m.Spawn("t1"), m.Spawn("t2")
+	begin(t, m, t1, `tx a { set.add(1); }`)
+	appOne(t, m, t1)
+	pushAll(t, m, t1)
+
+	begin(t, m, t2, `tx b { v := set.contains(1); }`)
+	if err := m.Pull(t2, 0); err != nil {
+		t.Fatal(err)
+	}
+	appOne(t, m, t2) // contains -> 1, depends on pulled add
+
+	// UNPULL is blocked while the dependent read is in the local log.
+	if err := m.Unpull(t2, 0); !core.IsCriterion(err, core.RUnpull, "(i)") {
+		t.Fatalf("unpull with dependent op: err = %v, want UNPULL criterion (i)", err)
+	}
+	// t1 aborts; its push is removed from G.
+	if err := m.Abort(t1); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.GlobalLog()) != 0 {
+		t.Fatal("abort must unpush t1's operation")
+	}
+	// t2 cannot commit: its pulled op is gone (criterion (iii)), and its
+	// own contains push would now be over a view G does not support.
+	if _, err := m.Commit(t2); err == nil {
+		t.Fatal("dependent of an aborted transaction must not commit")
+	}
+	// Detangle: rewind the dependent APP, then unpull, then re-execute.
+	if err := m.Unapp(t2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unpull(t2, 0); err != nil {
+		t.Fatalf("unpull after rewind: %v", err)
+	}
+	op := appOne(t, m, t2)
+	if op.Ret != 0 {
+		t.Fatalf("re-run contains = %d, want 0 after t1's abort", op.Ret)
+	}
+	pushAll(t, m, t2)
+	if _, err := m.Commit(t2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbortFullRestore(t *testing.T) {
+	m := testMachine(t)
+	th := m.Spawn("t1")
+	src := `tx a { ht.put(1, 2); v := ht.get(1); set.add(3); }`
+	begin(t, m, th, src)
+	appOne(t, m, th)
+	appOne(t, m, th)
+	if err := m.Push(th, 0); err != nil {
+		t.Fatal(err)
+	}
+	appOne(t, m, th)
+	if err := m.Abort(th); err != nil {
+		t.Fatal(err)
+	}
+	if th.Active() || len(th.Local) != 0 || len(m.GlobalLog()) != 0 {
+		t.Fatal("abort must fully rewind thread and shared log")
+	}
+	if _, bound := th.Stack["v"]; bound {
+		t.Fatal("abort must restore the original stack")
+	}
+	// The transaction can rerun from scratch.
+	begin(t, m, th, src)
+	appOne(t, m, th)
+	appOne(t, m, th)
+	appOne(t, m, th)
+	pushAll(t, m, th)
+	if _, err := m.Commit(th); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommitRequiresFin(t *testing.T) {
+	m := testMachine(t)
+	th := m.Spawn("t1")
+	begin(t, m, th, `tx a { ctr.inc(); ctr.inc(); }`)
+	appOne(t, m, th)
+	pushAll(t, m, th)
+	if _, err := m.Commit(th); !core.IsCriterion(err, core.RCmt, "(i)") {
+		t.Fatalf("commit with remaining method: err = %v, want CMT criterion (i)", err)
+	}
+}
+
+func TestEventsRecordDecomposition(t *testing.T) {
+	m := testMachine(t)
+	th := m.Spawn("t1")
+	begin(t, m, th, `tx boost { ht.put(1, 7); }`)
+	appOne(t, m, th)
+	pushAll(t, m, th)
+	if _, err := m.Commit(th); err != nil {
+		t.Fatal(err)
+	}
+	events := m.Events()
+	var rules []core.Rule
+	for _, e := range events {
+		rules = append(rules, e.Rule)
+	}
+	want := []core.Rule{core.RBegin, core.RApp, core.RPush, core.RCmt}
+	if len(rules) != len(want) {
+		t.Fatalf("events = %v", events)
+	}
+	for i := range want {
+		if rules[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v", i, rules[i], want[i])
+		}
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	m := testMachine(t)
+	th := m.Spawn("t1")
+	begin(t, m, th, `tx a { ctr.inc(); ctr.inc(); }`)
+	appOne(t, m, th)
+
+	c := m.Clone()
+	ct, ok := c.Thread(th.ID)
+	if !ok {
+		t.Fatal("clone lost thread")
+	}
+	// Advance the clone; the original must not change.
+	steps := c.Steps(ct)
+	if _, err := c.App(ct, steps[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Push(ct, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(th.Local) != 1 || len(m.GlobalLog()) != 0 {
+		t.Fatal("mutating a clone leaked into the original")
+	}
+	if len(ct.Local) != 2 || len(c.GlobalLog()) != 1 {
+		t.Fatal("clone did not advance")
+	}
+}
+
+func TestInvariantsAcrossInterleaving(t *testing.T) {
+	// A mixed interleaving across three threads, verifying the Section 5
+	// invariants at every point (SelfCheck on).
+	m := testMachine(t)
+	t1, t2, t3 := m.Spawn("t1"), m.Spawn("t2"), m.Spawn("t3")
+	begin(t, m, t1, `tx a { set.add(1); ctr.inc(); }`)
+	begin(t, m, t2, `tx b { set.add(2); }`)
+	begin(t, m, t3, `tx c { ht.put(9, 9); }`)
+	appOne(t, m, t1)
+	appOne(t, m, t2)
+	if err := m.Push(t2, 0); err != nil {
+		t.Fatal(err)
+	}
+	appOne(t, m, t1)
+	if err := m.Push(t1, 0); err != nil {
+		t.Fatal(err)
+	}
+	appOne(t, m, t3)
+	if err := m.Push(t3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Commit(t3); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Push(t1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Commit(t1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Commit(t2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	recs := m.Commits()
+	if len(recs) != 3 {
+		t.Fatalf("commits = %v", recs)
+	}
+}

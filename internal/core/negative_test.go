@@ -1,0 +1,172 @@
+package core_test
+
+import (
+	"testing"
+
+	"pushpull/internal/core"
+	"pushpull/internal/serial"
+)
+
+// TestQueueInterleavingRejected: FIFO queues barely commute, so the
+// machine must refuse to interleave two uncommitted enqueues — exactly
+// the unserializable schedules the criteria exist to exclude.
+func TestQueueInterleavingRejected(t *testing.T) {
+	m := testMachine(t)
+	t1, t2 := m.Spawn("t1"), m.Spawn("t2")
+	begin(t, m, t1, `tx a { q.enq(1); }`)
+	begin(t, m, t2, `tx b { q.enq(2); }`)
+	appOne(t, m, t1)
+	appOne(t, m, t2)
+	if err := m.Push(t1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// t2's enq(2) cannot be published while enq(1) is uncommitted:
+	// enq(1) cannot move right of enq(2) (the orders are observable).
+	if err := m.Push(t2, 0); !core.IsCriterion(err, core.RPush, "(ii)") {
+		t.Fatalf("interleaved enqueue: err = %v, want PUSH criterion (ii)", err)
+	}
+	// Serial execution goes through.
+	if _, err := m.Commit(t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Push(t2, 0); err != nil {
+		t.Fatalf("post-commit push: %v", err)
+	}
+	if _, err := m.Commit(t2); err != nil {
+		t.Fatal(err)
+	}
+	if rep := serial.CheckCommitOrder(m); !rep.Serializable {
+		t.Fatal(rep)
+	}
+}
+
+// TestQueueDequeueOrdering: a dequeuer serializes against the enqueuer
+// through the criteria and observes FIFO order.
+func TestQueueDequeueOrdering(t *testing.T) {
+	m := testMachine(t)
+	t1, t2 := m.Spawn("t1"), m.Spawn("t2")
+	begin(t, m, t1, `tx p { q.enq(1); q.enq(2); }`)
+	appOne(t, m, t1)
+	appOne(t, m, t1)
+	pushAll(t, m, t1)
+	if _, err := m.Commit(t1); err != nil {
+		t.Fatal(err)
+	}
+	begin(t, m, t2, `tx c { v := q.deq(); w := q.deq(); }`)
+	if err := m.Pull(t2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Pull(t2, 1); err != nil {
+		t.Fatal(err)
+	}
+	op1 := appOne(t, m, t2)
+	op2 := appOne(t, m, t2)
+	if op1.Ret != 1 || op2.Ret != 2 {
+		t.Fatalf("dequeues = %d,%d, want FIFO 1,2", op1.Ret, op2.Ret)
+	}
+	pushAll(t, m, t2)
+	if _, err := m.Commit(t2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCriterionErrorAnatomy: errors carry the rule and criterion
+// verbatim, so algorithm authors can match on the specific obligation
+// they failed (the paper's named criteria).
+func TestCriterionErrorAnatomy(t *testing.T) {
+	m := testMachine(t)
+	th := m.Spawn("t1")
+	begin(t, m, th, `tx a { ctr.inc(); }`)
+	_, err := m.Commit(th) // fin fails: the inc has not run
+	ce, ok := err.(*core.CriterionError)
+	if !ok {
+		t.Fatalf("err = %T", err)
+	}
+	if ce.Rule != core.RCmt || ce.Criterion != "(i)" {
+		t.Fatalf("got %v %v", ce.Rule, ce.Criterion)
+	}
+	if got := ce.Error(); got == "" || got[:3] != "CMT" {
+		t.Fatalf("rendered: %q", got)
+	}
+	if !core.IsCriterion(err, core.RCmt, "(i)") || core.IsCriterion(err, core.RPush, "(i)") {
+		t.Fatal("IsCriterion misbehaves")
+	}
+}
+
+// TestRetireAndCompactLifecycle: MS_END + log compaction across many
+// sequential transactions keep the machine small while preserving
+// semantics across the baseline.
+func TestRetireAndCompactLifecycle(t *testing.T) {
+	m := testMachine(t)
+	for i := 0; i < 30; i++ {
+		th := m.Spawn("w")
+		begin(t, m, th, `tx w { ctr.inc(); }`)
+		appOne(t, m, th)
+		pushAll(t, m, th)
+		if _, err := m.Commit(th); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Retire(th); err != nil {
+			t.Fatal(err)
+		}
+		if i%10 == 9 {
+			if err := m.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if len(m.Threads()) != 0 {
+		t.Fatalf("threads remain: %d", len(m.Threads()))
+	}
+	// The counter's value survives compaction: a fresh reader sees 30.
+	th := m.Spawn("r")
+	begin(t, m, th, `tx r { v := ctr.get(); }`)
+	local := m.LocalLog(th)
+	for gi, e := range m.GlobalEntries() {
+		if e.Committed && !local.Contains(e.Op) {
+			if err := m.Pull(th, gi); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	op := appOne(t, m, th)
+	if op.Ret != 30 {
+		t.Fatalf("counter after compactions = %d, want 30", op.Ret)
+	}
+	pushAll(t, m, th)
+	if _, err := m.Commit(th); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompactRefusals: compaction demands a quiescent, fully committed
+// log.
+func TestCompactRefusals(t *testing.T) {
+	m := testMachine(t)
+	th := m.Spawn("t1")
+	begin(t, m, th, `tx a { set.add(1); }`)
+	if err := m.Compact(); err == nil {
+		t.Fatal("compact with an active transaction must fail")
+	}
+	appOne(t, m, th)
+	pushAll(t, m, th)
+	if _, err := m.Commit(th); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.GlobalLog()) != 0 {
+		t.Fatal("compact must clear the log")
+	}
+}
+
+// TestRetireActiveRefused: MS_END applies only to finished threads.
+func TestRetireActiveRefused(t *testing.T) {
+	m := testMachine(t)
+	th := m.Spawn("t1")
+	begin(t, m, th, `tx a { set.add(1); }`)
+	if err := m.Retire(th); err == nil {
+		t.Fatal("retiring an active thread must fail")
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"pushpull/internal/lang"
+	"pushpull/internal/spec"
+)
+
+// This file implements the Section 6.1 opacity refinement as a machine
+// restriction: "An active transaction T may PULL an operation m′ that
+// is due to an uncommitted transaction T′ provided that T will never
+// execute a method m that does not commute with m′. This suggests an
+// interesting way of ensuring opacity while PULLing uncommitted effects
+// by examining (statically or dynamically) the set of all reachable
+// operations that a transaction may perform."
+//
+// The check here is the static variant: every syntactically reachable
+// call of the remaining code must instantiate (all-literal arguments)
+// to an operation the static mover oracles certify as commuting both
+// ways with the pulled operation. Unknown oracles, non-literal
+// arguments, or refuted pairs all reject — conservative, as a static
+// analysis must be.
+
+// opaquePullAdmissible decides whether pulling the uncommitted op is
+// admissible under the opacity refinement.
+func (m *Machine) opaquePullAdmissible(t *Thread, op spec.Op) error {
+	calls := reachableCalls(t.Code, nil)
+	for _, call := range calls {
+		args, ok := literalArgs(call)
+		if !ok {
+			return criterion(RPull, "(opaque)",
+				"reachable call %s.%s has non-literal arguments; cannot prove commutation with uncommitted %v",
+				call.Obj, call.Method, op)
+		}
+		candidate := spec.Op{Obj: call.Obj, Method: call.Method, Args: args}
+		if h, known := spec.LeftMoverStatic(m.Reg, candidate, op); !known || !h {
+			return criterion(RPull, "(opaque)",
+				"reachable %s.%s(%v) not statically known to commute with uncommitted %v",
+				call.Obj, call.Method, args, op)
+		}
+		if h, known := spec.LeftMoverStatic(m.Reg, op, candidate); !known || !h {
+			return criterion(RPull, "(opaque)",
+				"uncommitted %v not statically known to commute with reachable %s.%s(%v)",
+				op, call.Obj, call.Method, args)
+		}
+	}
+	return nil
+}
+
+// reachableCalls collects every Call syntactically reachable in c —
+// an over-approximation of the methods the transaction may still
+// execute (both branches of conditionals and choices, loop bodies).
+func reachableCalls(c lang.Code, acc []lang.Call) []lang.Call {
+	switch c := c.(type) {
+	case lang.Skip:
+		return acc
+	case lang.Call:
+		return append(acc, c)
+	case lang.Seq:
+		return reachableCalls(c.B, reachableCalls(c.A, acc))
+	case lang.Choice:
+		return reachableCalls(c.B, reachableCalls(c.A, acc))
+	case lang.Star:
+		return reachableCalls(c.Body, acc)
+	case lang.If:
+		return reachableCalls(c.Else, reachableCalls(c.Then, acc))
+	default:
+		return acc
+	}
+}
+
+// literalArgs evaluates the call's arguments if they are all literals.
+func literalArgs(c lang.Call) ([]int64, bool) {
+	args := make([]int64, len(c.Args))
+	for i, e := range c.Args {
+		lit, ok := e.(lang.Lit)
+		if !ok {
+			return nil, false
+		}
+		args[i] = int64(lit)
+	}
+	return args, true
+}
+
+// RewindTo partially rewinds the transaction's own tail back to (and
+// excluding) local index k: pulled entries are UNPULLed, pushed entries
+// UNPUSHed then UNAPPed, unpushed entries UNAPPed — the checkpoint /
+// partial-abort behaviour of nested transactions ([19], §6.2: "if an
+// abort is detected, UNAPP only needs to be performed for some
+// operations"). On a criterion failure the machine is left at the
+// deepest rewind reached and the error returned.
+func (m *Machine) RewindTo(t *Thread, k int) error {
+	if k < 0 {
+		k = 0
+	}
+	for len(t.Local) > k {
+		last := t.Local[len(t.Local)-1]
+		switch last.Flag {
+		case Pld:
+			if err := m.Unpull(t, len(t.Local)-1); err != nil {
+				return err
+			}
+		case Pshd:
+			if err := m.Unpush(t, len(t.Local)-1); err != nil {
+				return err
+			}
+			if err := m.Unapp(t); err != nil {
+				return err
+			}
+		case Npshd:
+			if err := m.Unapp(t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

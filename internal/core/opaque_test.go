@@ -1,0 +1,161 @@
+package core_test
+
+import (
+	"testing"
+
+	"pushpull/internal/core"
+	"pushpull/internal/serial"
+)
+
+func opaqueMachine(t *testing.T) *core.Machine {
+	t.Helper()
+	opts := core.DefaultOptions()
+	opts.OpaqueFragment = true
+	return core.NewMachine(reg(), opts)
+}
+
+// TestOpaqueFragmentForbidsConflictingUncommittedPull: the restricted
+// machine rejects pulling an uncommitted effect when the puller may
+// still execute a non-commuting method.
+func TestOpaqueFragmentForbidsConflictingUncommittedPull(t *testing.T) {
+	m := opaqueMachine(t)
+	t1, t2 := m.Spawn("t1"), m.Spawn("t2")
+	begin(t, m, t1, `tx a { set.add(1); }`)
+	appOne(t, m, t1)
+	pushAll(t, m, t1)
+
+	// t2 may still run set.contains(1), which does not commute with the
+	// uncommitted add(1): the pull must be rejected.
+	begin(t, m, t2, `tx b { v := set.contains(1); }`)
+	if err := m.Pull(t2, 0); !core.IsCriterion(err, core.RPull, "(opaque)") {
+		t.Fatalf("err = %v, want PULL criterion (opaque)", err)
+	}
+}
+
+// TestOpaqueFragmentAllowsCommutingUncommittedPull: the §6.1 refinement
+// admits uncommitted pulls when every reachable method commutes.
+func TestOpaqueFragmentAllowsCommutingUncommittedPull(t *testing.T) {
+	m := opaqueMachine(t)
+	t1, t2 := m.Spawn("t1"), m.Spawn("t2")
+	begin(t, m, t1, `tx a { set.add(1); }`)
+	appOne(t, m, t1)
+	pushAll(t, m, t1)
+
+	// t2 only ever adds key 2 — statically commutes with add(1).
+	begin(t, m, t2, `tx b { set.add(2); }`)
+	if err := m.Pull(t2, 0); err != nil {
+		t.Fatalf("commuting-only pull rejected: %v", err)
+	}
+	appOne(t, m, t2)
+	pushAll(t, m, t2)
+	// Commit order: t1 first (CMT criterion (iii) on t2's pull).
+	if _, err := m.Commit(t1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Commit(t2); err != nil {
+		t.Fatal(err)
+	}
+	if rep := serial.CheckCommitOrder(m); !rep.Serializable {
+		t.Fatal(rep)
+	}
+	// The run does pull uncommitted state (strictly non-opaque trace)...
+	if len(serial.CheckOpacity(m.Events())) != 1 {
+		t.Fatal("expected the uncommitted pull in the trace")
+	}
+	// ...but satisfies the relaxed criterion — the machine restriction
+	// guaranteed it ahead of time.
+	if v := serial.CheckOpacityRelaxed(m.Reg, m.Options().Mode, m.Events()); len(v) != 0 {
+		t.Fatalf("machine-admitted pull failed the relaxed check: %v", v)
+	}
+}
+
+// TestOpaqueFragmentRejectsNonLiteralReachable: reachable calls with
+// computed arguments cannot be proven commutative statically.
+func TestOpaqueFragmentRejectsNonLiteralReachable(t *testing.T) {
+	m := opaqueMachine(t)
+	t1, t2 := m.Spawn("t1"), m.Spawn("t2")
+	begin(t, m, t1, `tx a { set.add(1); }`)
+	appOne(t, m, t1)
+	pushAll(t, m, t1)
+
+	begin(t, m, t2, `tx b { v := ctr.get(); set.add(v + 2); }`)
+	if err := m.Pull(t2, 0); !core.IsCriterion(err, core.RPull, "(opaque)") {
+		t.Fatalf("err = %v, want PULL criterion (opaque)", err)
+	}
+	// Committed pulls are always fine in the opaque fragment.
+	if _, err := m.Commit(t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Pull(t2, 0); err != nil {
+		t.Fatalf("committed pull must be admissible: %v", err)
+	}
+}
+
+func TestRewindTo(t *testing.T) {
+	m := testMachine(t)
+	th := m.Spawn("t1")
+	begin(t, m, th, `tx a { set.add(1); set.add(2); set.add(3); }`)
+	appOne(t, m, th)
+	if err := m.Push(th, 0); err != nil {
+		t.Fatal(err)
+	}
+	appOne(t, m, th)
+	appOne(t, m, th)
+	if err := m.Push(th, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Rewind to keep only the first (pushed) op: UNPUSH+UNAPP add(3),
+	// UNAPP add(2).
+	if err := m.RewindTo(th, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(th.Local) != 1 || th.Local[0].Flag != core.Pshd {
+		t.Fatalf("local after rewind: %+v", th.Local)
+	}
+	if g := m.GlobalLog(); len(g) != 1 {
+		t.Fatalf("global after rewind: %v", g)
+	}
+	// Re-execute and commit: add(2), add(3) again.
+	appOne(t, m, th)
+	appOne(t, m, th)
+	pushAll(t, m, th)
+	if _, err := m.Commit(th); err != nil {
+		t.Fatal(err)
+	}
+	if rep := serial.CheckCommitOrder(m); !rep.Serializable {
+		t.Fatal(rep)
+	}
+}
+
+// TestRewindToZeroIsFullLocalRewind rewinds everything including pulls.
+func TestRewindToZeroIsFullLocalRewind(t *testing.T) {
+	m := testMachine(t)
+	seeder := m.Spawn("seed")
+	begin(t, m, seeder, `tx s { ctr.inc(); }`)
+	appOne(t, m, seeder)
+	pushAll(t, m, seeder)
+	if _, err := m.Commit(seeder); err != nil {
+		t.Fatal(err)
+	}
+	th := m.Spawn("t1")
+	begin(t, m, th, `tx a { v := ctr.get(); }`)
+	if err := m.Pull(th, 0); err != nil {
+		t.Fatal(err)
+	}
+	appOne(t, m, th)
+	if err := m.RewindTo(th, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(th.Local) != 0 {
+		t.Fatalf("local = %+v", th.Local)
+	}
+	// The thread can still finish.
+	if err := m.Pull(th, 0); err != nil {
+		t.Fatal(err)
+	}
+	appOne(t, m, th)
+	pushAll(t, m, th)
+	if _, err := m.Commit(th); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,365 @@
+package core
+
+import (
+	"fmt"
+
+	"pushpull/internal/lang"
+	"pushpull/internal/spec"
+)
+
+// This file implements the seven Figure 5 reductions. Each function
+// validates every side condition before mutating anything, so a
+// criterion failure leaves (T, G) unchanged — machine steps are atomic
+// accept-or-reject, which lets drivers treat failures as conflicts.
+
+// Steps enumerates the APP choices available to t: the step(c) set of
+// the thread's current code under its current stack.
+func (m *Machine) Steps(t *Thread) []lang.Step {
+	if !t.active {
+		return nil
+	}
+	return lang.StepSet(t.Code, t.Stack)
+}
+
+// App performs the APP rule for the chosen step:
+//
+//	criterion (i):   (m1, c2) ∈ step(c1)           — by construction;
+//	criterion (ii):  L allows ⟨m1, σ1, σ2, id⟩     — the local view
+//	                 (replayed from the initial state) must admit the
+//	                 method, and σ2 is resolved from that view;
+//	criterion (iii): fresh(id)                      — spec.FreshID.
+//
+// The new entry is flagged npshd and saves the pre-code and pre-stack
+// so UNAPP can rewind.
+func (m *Machine) App(t *Thread, step lang.Step) (spec.Op, error) {
+	if !t.active {
+		return spec.Op{}, fmt.Errorf("core: APP on idle thread %d", t.ID)
+	}
+	view := m.LocalLog(t)
+	ret, ok := m.Reg.EvalFrom(m.StartState(), view, step.Call.Obj, step.Call.Method, step.Args)
+	if !ok {
+		return spec.Op{}, criterion(RApp, "(ii)",
+			"local log does not allow %s.%s(%v)", step.Call.Obj, step.Call.Method, step.Args)
+	}
+	op := spec.Op{
+		ID:     spec.FreshID(),
+		Tx:     t.ID,
+		Seq:    t.seq,
+		Obj:    step.Call.Obj,
+		Method: step.Call.Method,
+		Args:   append([]int64(nil), step.Args...),
+		Ret:    ret,
+	}
+	entry := LEntry{Op: op, Flag: Npshd, SavedCode: t.Code, SavedStack: t.Stack.Clone()}
+	t.Local = append(t.Local, entry)
+	t.seq++
+	t.Code = step.Cont
+	if step.Call.Dst != "" {
+		t.Stack = t.Stack.Clone()
+		t.Stack[step.Call.Dst] = ret
+	}
+	m.record(Event{Rule: RApp, Thread: t.ID, TxName: t.Name, Op: op})
+	m.selfCheck()
+	return op, nil
+}
+
+// Unapp performs UNAPP: the last local entry must be npshd; the saved
+// code and stack are restored and the entry dropped.
+func (m *Machine) Unapp(t *Thread) error {
+	if !t.active {
+		return fmt.Errorf("core: UNAPP on idle thread %d", t.ID)
+	}
+	if len(t.Local) == 0 {
+		return criterion(RUnapp, "(i)", "local log is empty")
+	}
+	last := t.Local[len(t.Local)-1]
+	if last.Flag != Npshd {
+		return criterion(RUnapp, "(i)", "last local entry is %v, want npshd", last.Flag)
+	}
+	t.Code = last.SavedCode
+	t.Stack = last.SavedStack.Clone()
+	t.Local = t.Local[:len(t.Local)-1]
+	t.seq--
+	m.record(Event{Rule: RUnapp, Thread: t.ID, TxName: t.Name, Op: last.Op})
+	m.selfCheck()
+	return nil
+}
+
+// Push performs PUSH on the local entry at index i:
+//
+//	criterion (i):   op ⋖ every *earlier* unpushed operation of the
+//	                 local log (publishing op as if it were the next
+//	                 thing after everything published so far; in-order
+//	                 pushes satisfy this trivially);
+//	criterion (ii):  every uncommitted operation of other transactions
+//	                 in G can move to the right of op (so a commit now
+//	                 would serialize before all concurrent uncommitted
+//	                 transactions);
+//	criterion (iii): the global log allows op.
+//
+// On success the entry's flag flips npshd→pshd and op is appended to G.
+func (m *Machine) Push(t *Thread, i int) error {
+	if !t.active {
+		return fmt.Errorf("core: PUSH on idle thread %d", t.ID)
+	}
+	if i < 0 || i >= len(t.Local) {
+		return fmt.Errorf("core: PUSH index %d out of range", i)
+	}
+	e := t.Local[i]
+	if e.Flag != Npshd {
+		return criterion(RPush, "(i)", "entry %v is %v, want npshd", e.Op, e.Flag)
+	}
+	op := e.Op
+	glog := m.GlobalLog()
+
+	// Criterion (i): op left-of earlier npshd siblings.
+	for j := 0; j < i; j++ {
+		sib := t.Local[j]
+		if sib.Flag != Npshd {
+			continue
+		}
+		if !spec.LeftMoverFrom(m.Reg, m.opts.Mode, m.StartState(), glog, op, sib.Op) {
+			return criterion(RPush, "(i)",
+				"%v cannot move left of earlier unpushed %v", op, sib.Op)
+		}
+	}
+
+	// Criterion (ii): uncommitted foreign ops move right of op.
+	for k, ge := range m.global {
+		if ge.Committed || ge.Op.Tx == t.ID {
+			continue
+		}
+		if !spec.LeftMoverFrom(m.Reg, m.opts.Mode, m.StartState(), glog[:k], ge.Op, op) {
+			return criterion(RPush, "(ii)",
+				"uncommitted %v (tx %d) cannot move right of %v", ge.Op, ge.Op.Tx, op)
+		}
+	}
+
+	// Criterion (iii): G allows op.
+	if !m.Reg.AllowsFrom(m.StartState(), glog, op) {
+		return criterion(RPush, "(iii)", "global log does not allow %v", op)
+	}
+
+	t.Local[i].Flag = Pshd
+	m.global = append(m.global, GEntry{Op: op})
+	m.record(Event{Rule: RPush, Thread: t.ID, TxName: t.Name, Op: op})
+	m.selfCheck()
+	return nil
+}
+
+// Unpush performs UNPUSH on the local entry at index i: the entry's
+// global record (necessarily uncommitted) is removed and the flag flips
+// pshd→npshd.
+//
+//	criterion (i) (gray): the global suffix after op does not depend on
+//	    it — implied by (ii) and enforced with it;
+//	criterion (ii): everything pushed chronologically after op could
+//	    still have been pushed had op not been: allowed(G ∖ op).
+func (m *Machine) Unpush(t *Thread, i int) error {
+	if !t.active {
+		return fmt.Errorf("core: UNPUSH on idle thread %d", t.ID)
+	}
+	if i < 0 || i >= len(t.Local) {
+		return fmt.Errorf("core: UNPUSH index %d out of range", i)
+	}
+	e := t.Local[i]
+	if e.Flag != Pshd {
+		return criterion(RUnpush, "(i)", "entry %v is %v, want pshd", e.Op, e.Flag)
+	}
+	k, ok := m.globalIndexOf(e.Op.ID)
+	if !ok {
+		return fmt.Errorf("core: UNPUSH: pshd op %v missing from G (invariant I_LG broken)", e.Op)
+	}
+	if m.global[k].Committed {
+		return criterion(RUnpush, "(i)", "operation %v is already committed", e.Op)
+	}
+	rest := make(spec.Log, 0, len(m.global)-1)
+	for j, ge := range m.global {
+		if j != k {
+			rest = append(rest, ge.Op)
+		}
+	}
+	if !m.Reg.AllowedFrom(m.StartState(), rest) {
+		return criterion(RUnpush, "(ii)",
+			"later pushes depend on %v: G without it is not allowed", e.Op)
+	}
+	m.global = append(m.global[:k:k], m.global[k+1:]...)
+	t.Local[i].Flag = Npshd
+	m.record(Event{Rule: RUnpush, Thread: t.ID, TxName: t.Name, Op: e.Op})
+	m.selfCheck()
+	return nil
+}
+
+// Pull performs PULL of the global entry at index g:
+//
+//	criterion (i):   op ∉ L (not pulled or owned already);
+//	criterion (ii):  L allows op — the local view admits the operation
+//	                 with its recorded return value;
+//	criterion (iii) (gray): everything the transaction has done locally
+//	                 can move to the right of op, so the pulled effect
+//	                 can be treated as having preceded the transaction.
+func (m *Machine) Pull(t *Thread, g int) error {
+	if !t.active {
+		return fmt.Errorf("core: PULL on idle thread %d", t.ID)
+	}
+	if g < 0 || g >= len(m.global) {
+		return fmt.Errorf("core: PULL index %d out of range", g)
+	}
+	op := m.global[g].Op
+	view := m.LocalLog(t)
+	if view.Contains(op) {
+		return criterion(RPull, "(i)", "%v already in local log", op)
+	}
+	if m.opts.OpaqueFragment && !m.global[g].Committed {
+		if err := m.opaquePullAdmissible(t, op); err != nil {
+			return err
+		}
+	}
+	if !m.Reg.AllowsFrom(m.StartState(), view, op) {
+		return criterion(RPull, "(ii)", "local log does not allow %v", op)
+	}
+	if m.opts.EnforceGray {
+		glog := m.GlobalLog()
+		for _, e := range t.Local {
+			if e.Flag == Pld {
+				continue
+			}
+			if !spec.LeftMoverFrom(m.Reg, m.opts.Mode, m.StartState(), glog, e.Op, op) {
+				return criterion(RPull, "(iii)",
+					"own %v cannot move right of pulled %v", e.Op, op)
+			}
+		}
+	}
+	uncommitted := !m.global[g].Committed
+	t.Local = append(t.Local, LEntry{Op: op, Flag: Pld})
+	m.record(Event{Rule: RPull, Thread: t.ID, TxName: t.Name, Op: op, UncommittedPull: uncommitted})
+	m.selfCheck()
+	return nil
+}
+
+// Unpull performs UNPULL on the local entry at index i:
+//
+//	criterion (i): the local log without op is still allowed — the
+//	transaction did nothing that depended on the pulled effect.
+func (m *Machine) Unpull(t *Thread, i int) error {
+	if !t.active {
+		return fmt.Errorf("core: UNPULL on idle thread %d", t.ID)
+	}
+	if i < 0 || i >= len(t.Local) {
+		return fmt.Errorf("core: UNPULL index %d out of range", i)
+	}
+	e := t.Local[i]
+	if e.Flag != Pld {
+		return criterion(RUnpull, "(i)", "entry %v is %v, want pld", e.Op, e.Flag)
+	}
+	rest := make(spec.Log, 0, len(t.Local)-1)
+	for j, le := range t.Local {
+		if j != i {
+			rest = append(rest, le.Op)
+		}
+	}
+	if !m.Reg.AllowedFrom(m.StartState(), rest) {
+		return criterion(RUnpull, "(i)",
+			"local log depends on pulled %v: removing it leaves a disallowed log", e.Op)
+	}
+	t.Local = append(t.Local[:i:i], t.Local[i+1:]...)
+	m.record(Event{Rule: RUnpull, Thread: t.ID, TxName: t.Name, Op: e.Op})
+	m.selfCheck()
+	return nil
+}
+
+// Commit performs CMT:
+//
+//	criterion (i):   fin(c) — a path through the remaining code reaches
+//	                 skip without further methods;
+//	criterion (ii):  L ⊆ G — all own operations pushed (no npshd left);
+//	criterion (iii): every pulled operation's transaction committed;
+//	criterion (iv):  cmt(G1, L1, G2) — own global entries flip to gCmt.
+//
+// On success the thread leaves the transaction (MS_END).
+func (m *Machine) Commit(t *Thread) (CommitRecord, error) {
+	if !t.active {
+		return CommitRecord{}, fmt.Errorf("core: CMT on idle thread %d", t.ID)
+	}
+	if !lang.Fin(t.Code, t.Stack) {
+		return CommitRecord{}, criterion(RCmt, "(i)",
+			"remaining code cannot reach skip without methods: %v", t.Code)
+	}
+	for _, e := range t.Local {
+		switch e.Flag {
+		case Npshd:
+			return CommitRecord{}, criterion(RCmt, "(ii)",
+				"operation %v not pushed", e.Op)
+		case Pld:
+			k, ok := m.globalIndexOf(e.Op.ID)
+			if !ok {
+				return CommitRecord{}, criterion(RCmt, "(iii)",
+					"pulled %v no longer in global log (source unpushed)", e.Op)
+			}
+			if !m.global[k].Committed {
+				return CommitRecord{}, criterion(RCmt, "(iii)",
+					"pulled %v belongs to an uncommitted transaction", e.Op)
+			}
+		}
+	}
+	m.commitStamp++
+	for k := range m.global {
+		if m.global[k].Op.Tx == t.ID && !m.global[k].Committed {
+			m.global[k].Committed = true
+			m.global[k].Stamp = m.commitStamp
+		}
+	}
+	rec := CommitRecord{
+		Tx:        t.ID,
+		Name:      t.Name,
+		Stamp:     m.commitStamp,
+		Ops:       m.LocalOwn(t),
+		Pulled:    m.LocalByFlag(t, Pld),
+		Body:      t.origCode,
+		InitStack: t.origStack.Clone(),
+	}
+	m.commits = append(m.commits, rec)
+	t.active = false
+	t.Code = lang.Skip{}
+	t.Local = nil
+	m.record(Event{Rule: RCmt, Thread: t.ID, TxName: t.Name, Stamp: m.commitStamp})
+	m.selfCheck()
+	return rec, nil
+}
+
+// Abort rewinds the transaction completely — UNPULL for pld entries,
+// UNPUSH;UNAPP for pshd entries, UNAPP for npshd entries, from the tail
+// — restoring the original code and stack (the otx of Section 5). It
+// fails without detangling completely if another transaction's pushes
+// depend on ours (the dependent-transaction cascade of Section 6.5 must
+// then abort the dependents first).
+func (m *Machine) Abort(t *Thread) error {
+	if !t.active {
+		return fmt.Errorf("core: abort on idle thread %d", t.ID)
+	}
+	for len(t.Local) > 0 {
+		last := t.Local[len(t.Local)-1]
+		switch last.Flag {
+		case Pld:
+			if err := m.Unpull(t, len(t.Local)-1); err != nil {
+				return err
+			}
+		case Pshd:
+			if err := m.Unpush(t, len(t.Local)-1); err != nil {
+				return err
+			}
+			if err := m.Unapp(t); err != nil {
+				return err
+			}
+		case Npshd:
+			if err := m.Unapp(t); err != nil {
+				return err
+			}
+		}
+	}
+	t.active = false
+	t.Code = t.origCode
+	t.Stack = t.origStack.Clone()
+	m.record(Event{Rule: REnd, Thread: t.ID, TxName: t.Name})
+	return nil
+}

@@ -1,0 +1,138 @@
+package history_test
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"pushpull/internal/adt"
+	"pushpull/internal/history"
+	"pushpull/internal/spec"
+	"pushpull/internal/stm/tl2"
+	"pushpull/internal/trace"
+)
+
+func TestRoundTripAndReplay(t *testing.T) {
+	// Record a certified concurrent TL2 run with the journal on.
+	reg := spec.NewRegistry()
+	reg.Register("mem", adt.Register{})
+	rec := trace.NewRecorder(reg)
+	rec.Journal = true
+	m := tl2.New(8)
+	m.Recorder = rec
+
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				addr := (g + i) % 8
+				_ = m.Atomic(func(tx *tl2.Tx) error {
+					v, err := tx.Read(addr)
+					if err != nil {
+						return err
+					}
+					return tx.Write(addr, v+1)
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := rec.FinalCheck(); err != nil {
+		t.Fatal(err)
+	}
+
+	f := history.Capture(rec, []history.ObjectDecl{{Name: "mem", Type: "register"}})
+	if len(f.Txns) != 75 {
+		t.Fatalf("journal entries = %d, want 75", len(f.Txns))
+	}
+
+	var buf bytes.Buffer
+	if err := history.Save(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := history.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := history.Replay(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Certified != 75 {
+		t.Fatalf("replay certified %d, want 75", rep.Certified)
+	}
+}
+
+func TestReplayCatchesTamperedHistory(t *testing.T) {
+	f := &history.File{
+		FormatVersion: history.CurrentFormat,
+		Objects:       []history.ObjectDecl{{Name: "mem", Type: "register"}},
+		Txns: []trace.JournalEntry{
+			{Name: "w", Ops: []trace.OpRecord{
+				{Obj: "mem", Method: "write", Args: []int64{0, 5}, Ret: 0},
+			}},
+			// Tampered: claims a stale read of 0 after the committed 5.
+			{Name: "forged", Ops: []trace.OpRecord{
+				{Obj: "mem", Method: "read", Args: []int64{0}, Ret: 0},
+			}},
+		},
+	}
+	rep, err := history.Replay(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Err() == nil {
+		t.Fatal("tampered history must fail certification")
+	}
+	if rep.Certified != 1 || len(rep.Violations) != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"format_version": 99, "objects": [], "txns": []}`,
+		`{"format_version": 1, "objects": [], "txns": [], "extra": 1}`,
+	}
+	for _, src := range cases {
+		if _, err := history.Load(strings.NewReader(src)); err == nil {
+			t.Fatalf("expected error for %q", src)
+		}
+	}
+}
+
+func TestRegistryUnknownType(t *testing.T) {
+	f := &history.File{FormatVersion: 1, Objects: []history.ObjectDecl{{Name: "x", Type: "flux"}}}
+	if _, err := f.Registry(); err == nil {
+		t.Fatal("unknown type must error")
+	}
+}
+
+func TestSessionJournaled(t *testing.T) {
+	reg := spec.NewRegistry()
+	reg.Register("set", adt.Set{})
+	rec := trace.NewRecorder(reg)
+	rec.Journal = true
+	s := rec.Begin("eager")
+	if !s.Op("set", "add", []int64{1}, 1) {
+		t.Fatal(rec.Err())
+	}
+	if !s.Commit() {
+		t.Fatal(rec.Err())
+	}
+	f := history.Capture(rec, []history.ObjectDecl{{Name: "set", Type: "set"}})
+	if len(f.Txns) != 1 || len(f.Txns[0].Ops) != 1 {
+		t.Fatalf("journal %+v", f.Txns)
+	}
+	rep, err := history.Replay(f)
+	if err != nil || rep.Err() != nil {
+		t.Fatalf("replay: %v %v", err, rep.Err())
+	}
+}

@@ -1,0 +1,264 @@
+// Package lang is the generic transaction language of Section 3. The
+// paper abstracts the thread language behind two functions — step(c),
+// enumerating the next reachable method calls with their continuations,
+// and fin(c), deciding whether c can reduce to skip without further
+// method calls — and instantiates them for a small grammar of
+// nondeterministic choice, sequencing, looping, skip and method calls
+// (Example 1).
+//
+// This package implements that grammar, extended with data-dependent
+// conditionals over the thread-local stack σ (the paper threads σ
+// through its operation records; letting step/fin consult σ is the
+// natural executable reading), plus a lexer, a recursive-descent parser
+// for a concrete surface syntax, and a pretty-printer.
+package lang
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pushpull/internal/spec"
+)
+
+// Stack is the thread-local stack σ: local variable bindings visible to
+// argument expressions and conditionals.
+type Stack map[string]int64
+
+// Clone returns an independent copy of the stack.
+func (s Stack) Clone() Stack {
+	t := make(Stack, len(s))
+	for k, v := range s {
+		t[k] = v
+	}
+	return t
+}
+
+// Eq reports extensional equality of stacks.
+func (s Stack) Eq(t Stack) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for k, v := range s {
+		w, ok := t[k]
+		if !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (s Stack) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		if s[k] == spec.Absent {
+			parts[i] = k + "=⊥"
+		} else {
+			parts[i] = fmt.Sprintf("%s=%d", k, s[k])
+		}
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Expr is a side-effect-free expression over the local stack.
+type Expr interface {
+	Eval(Stack) int64
+	String() string
+}
+
+// Lit is an integer literal. spec.Absent is written "absent".
+type Lit int64
+
+// Eval implements Expr.
+func (l Lit) Eval(Stack) int64 { return int64(l) }
+
+func (l Lit) String() string {
+	if int64(l) == spec.Absent {
+		return "absent"
+	}
+	return fmt.Sprintf("%d", int64(l))
+}
+
+// Var reads a local variable; unbound variables read as 0.
+type Var string
+
+// Eval implements Expr.
+func (v Var) Eval(s Stack) int64 { return s[string(v)] }
+
+func (v Var) String() string { return string(v) }
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators. Comparisons yield 1 (true) or 0 (false).
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpAnd
+	OpOr
+)
+
+var binOpNames = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpEq: "==", OpNe: "!=",
+	OpLt: "<", OpLe: "<=", OpAnd: "&&", OpOr: "||",
+}
+
+func (o BinOp) String() string { return binOpNames[o] }
+
+// Bin is a binary expression.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (b Bin) Eval(s Stack) int64 {
+	l, r := b.L.Eval(s), b.R.Eval(s)
+	bool2i := func(c bool) int64 {
+		if c {
+			return 1
+		}
+		return 0
+	}
+	switch b.Op {
+	case OpAdd:
+		return l + r
+	case OpSub:
+		return l - r
+	case OpMul:
+		return l * r
+	case OpEq:
+		return bool2i(l == r)
+	case OpNe:
+		return bool2i(l != r)
+	case OpLt:
+		return bool2i(l < r)
+	case OpLe:
+		return bool2i(l <= r)
+	case OpAnd:
+		return bool2i(l != 0 && r != 0)
+	case OpOr:
+		return bool2i(l != 0 || r != 0)
+	default:
+		panic("lang: unknown binary operator")
+	}
+}
+
+func (b Bin) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// Code is the command language c of Example 1:
+//
+//	c ::= c1 + c2 | c1 ; c2 | (c)* | skip | m | if e c1 c2
+//
+// Transactions tx c live one level up (Txn); the paper's step(tx c) =
+// step(c) and fin(tx c) = fin(c) make the wrapper transparent, so the
+// machine operates on bodies directly.
+type Code interface {
+	isCode()
+	String() string
+}
+
+// Skip is the terminated command.
+type Skip struct{}
+
+func (Skip) isCode()        {}
+func (Skip) String() string { return "skip" }
+
+// Call is a method invocation m: obj.method(args), optionally binding
+// the return value to local variable Dst ("" discards it).
+type Call struct {
+	Obj    string
+	Method string
+	Args   []Expr
+	Dst    string
+}
+
+func (Call) isCode() {}
+
+func (c Call) String() string {
+	args := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = a.String()
+	}
+	call := fmt.Sprintf("%s.%s(%s)", c.Obj, c.Method, strings.Join(args, ", "))
+	if c.Dst != "" {
+		return c.Dst + " := " + call
+	}
+	return call
+}
+
+// Seq is sequential composition c1 ; c2.
+type Seq struct{ A, B Code }
+
+func (Seq) isCode()          {}
+func (s Seq) String() string { return s.A.String() + "; " + s.B.String() }
+
+// Choice is nondeterministic choice c1 + c2.
+type Choice struct{ A, B Code }
+
+func (Choice) isCode() {}
+func (c Choice) String() string {
+	return "{ " + c.A.String() + " } + { " + c.B.String() + " }"
+}
+
+// Star is nondeterministic looping (c)*.
+type Star struct{ Body Code }
+
+func (Star) isCode() {}
+func (s Star) String() string {
+	return "(" + s.Body.String() + ")*"
+}
+
+// If is a data-dependent conditional over the local stack.
+type If struct {
+	Cond Expr
+	Then Code
+	Else Code
+}
+
+func (If) isCode() {}
+func (i If) String() string {
+	return fmt.Sprintf("if %s { %s } else { %s }", i.Cond, i.Then, i.Else)
+}
+
+// Txn is a named transaction tx c.
+type Txn struct {
+	Name string
+	Body Code
+}
+
+func (t Txn) String() string {
+	name := t.Name
+	if name != "" {
+		name = " " + name
+	}
+	return "tx" + name + " { " + t.Body.String() + " }"
+}
+
+// SeqOf folds a statement list into nested Seq, with Skip for empty.
+func SeqOf(cs ...Code) Code {
+	switch len(cs) {
+	case 0:
+		return Skip{}
+	case 1:
+		return cs[0]
+	default:
+		out := cs[len(cs)-1]
+		for i := len(cs) - 2; i >= 0; i-- {
+			out = Seq{A: cs[i], B: out}
+		}
+		return out
+	}
+}

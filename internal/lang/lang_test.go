@@ -1,0 +1,223 @@
+package lang_test
+
+import (
+	"strings"
+	"testing"
+
+	"pushpull/internal/lang"
+	"pushpull/internal/spec"
+)
+
+func TestStepSkip(t *testing.T) {
+	if got := lang.StepSet(lang.Skip{}, lang.Stack{}); len(got) != 0 {
+		t.Fatalf("step(skip) = %v, want empty", got)
+	}
+	if !lang.Fin(lang.Skip{}, lang.Stack{}) {
+		t.Fatal("fin(skip) must hold")
+	}
+}
+
+func TestStepCall(t *testing.T) {
+	c := lang.Call{Obj: "ht", Method: "put", Args: []lang.Expr{lang.Lit(1), lang.Var("v")}}
+	sigma := lang.Stack{"v": 9}
+	steps := lang.StepSet(c, sigma)
+	if len(steps) != 1 {
+		t.Fatalf("step(m) = %v, want one element", steps)
+	}
+	s := steps[0]
+	if s.Call.Method != "put" || s.Args[0] != 1 || s.Args[1] != 9 {
+		t.Fatalf("bad step %v", s)
+	}
+	if _, ok := s.Cont.(lang.Skip); !ok {
+		t.Fatalf("continuation of a bare call must be skip, got %v", s.Cont)
+	}
+	if lang.Fin(c, sigma) {
+		t.Fatal("fin(m) must be false")
+	}
+}
+
+// TestStepPaperExample reproduces the paper's worked example: for
+// c = tx (skip ; (c1 + (m + n)) ; c2), one path reaches method n with
+// continuation c2, so (n, c2) ∈ step(c).
+func TestStepPaperExample(t *testing.T) {
+	c1 := lang.Call{Obj: "o", Method: "c1"}
+	m := lang.Call{Obj: "o", Method: "m"}
+	n := lang.Call{Obj: "o", Method: "n"}
+	c2 := lang.Call{Obj: "o", Method: "c2"}
+	body := lang.SeqOf(lang.Skip{}, lang.Choice{A: c1, B: lang.Choice{A: m, B: n}}, c2)
+	steps := lang.StepSet(body, lang.Stack{})
+	var sawN bool
+	for _, s := range steps {
+		if s.Call.Method == "n" {
+			sawN = true
+			cont, ok := s.Cont.(lang.Call)
+			if !ok || cont.Method != "c2" {
+				t.Fatalf("(n, c2) expected, got continuation %v", s.Cont)
+			}
+		}
+	}
+	if !sawN {
+		t.Fatalf("step must reach n; got %v", steps)
+	}
+	if len(steps) != 3 {
+		t.Fatalf("step must offer exactly c1, m, n; got %v", steps)
+	}
+}
+
+func TestStepSeqFinPassthrough(t *testing.T) {
+	// step(c1 ; c2) includes step(c2) when fin(c1).
+	loop := lang.Star{Body: lang.Call{Obj: "o", Method: "a"}}
+	tail := lang.Call{Obj: "o", Method: "b"}
+	steps := lang.StepSet(lang.Seq{A: loop, B: tail}, lang.Stack{})
+	methods := map[string]bool{}
+	for _, s := range steps {
+		methods[s.Call.Method] = true
+	}
+	if !methods["a"] || !methods["b"] {
+		t.Fatalf("want both loop body and tail reachable, got %v", steps)
+	}
+}
+
+func TestFinEquations(t *testing.T) {
+	call := lang.Call{Obj: "o", Method: "m"}
+	sigma := lang.Stack{}
+	cases := []struct {
+		c    lang.Code
+		want bool
+	}{
+		{lang.Skip{}, true},
+		{call, false},
+		{lang.Seq{A: lang.Skip{}, B: lang.Skip{}}, true},
+		{lang.Seq{A: call, B: lang.Skip{}}, false},
+		{lang.Choice{A: call, B: lang.Skip{}}, true},
+		{lang.Choice{A: call, B: call}, false},
+		{lang.Star{Body: call}, true},
+	}
+	for _, tc := range cases {
+		if got := lang.Fin(tc.c, sigma); got != tc.want {
+			t.Errorf("fin(%v) = %v, want %v", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestIfUsesStack(t *testing.T) {
+	c := lang.If{
+		Cond: lang.Bin{Op: OpEqAlias, L: lang.Var("v"), R: lang.Lit(lit0)},
+		Then: lang.Call{Obj: "o", Method: "zero"},
+		Else: lang.Call{Obj: "o", Method: "nonzero"},
+	}
+	steps := lang.StepSet(c, lang.Stack{"v": 0})
+	if len(steps) != 1 || steps[0].Call.Method != "zero" {
+		t.Fatalf("then-branch expected, got %v", steps)
+	}
+	steps = lang.StepSet(c, lang.Stack{"v": 3})
+	if len(steps) != 1 || steps[0].Call.Method != "nonzero" {
+		t.Fatalf("else-branch expected, got %v", steps)
+	}
+}
+
+// Aliases so the literal table above stays tidy.
+const OpEqAlias = lang.OpEq
+const lit0 = 0
+
+func TestParseRoundTrip(t *testing.T) {
+	src := `
+tx putOrGet {
+  v := ht.get(1);
+  if v == absent {
+    ht.put(1, 10);
+  } else {
+    skip;
+  }
+  choice { s.add(2); } or { s.remove(3); }
+  loop { ctr.inc(); }
+}`
+	txn, err := lang.ParseTxn(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if txn.Name != "putOrGet" {
+		t.Fatalf("name = %q", txn.Name)
+	}
+	out := txn.String()
+	for _, frag := range []string{"v := ht.get(1)", "ht.put(1, 10)", "s.add(2)", "s.remove(3)", "(ctr.inc())*", "if (v == absent)"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("pretty output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestParseProgramMultipleTxns(t *testing.T) {
+	src := `tx a { s.add(1); } tx b { s.remove(1); }`
+	txns, err := lang.ParseProgram(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(txns) != 2 || txns[0].Name != "a" || txns[1].Name != "b" {
+		t.Fatalf("got %v", txns)
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	src := `tx e { v := m.get(1 + 2 * 3); n.put(v, (v - 1) * 2); if v < 10 && v != 7 { o.x(); } }`
+	txn, err := lang.ParseTxn(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	steps := lang.StepSet(txn.Body, lang.Stack{})
+	if len(steps) != 1 {
+		t.Fatalf("want the get first, got %v", steps)
+	}
+	if steps[0].Args[0] != 7 {
+		t.Fatalf("1+2*3 must evaluate to 7, got %d", steps[0].Args[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`tx { v := 5; }`,          // bare assignment is not a call
+		`tx { ht.put(1, 2) }`,     // missing semicolon
+		`tx { if { skip; } }`,     // missing condition
+		`tx { choice { skip; } }`, // missing or-branch
+		`tx { ht.put(1,; }`,       // bad args
+		`tx { x = 1; }`,           // single '='
+		`tx { @ }`,                // bad rune
+		`tx { skip; `,             // unterminated
+	}
+	for _, src := range cases {
+		if _, err := lang.ParseProgram(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestAbsentLiteral(t *testing.T) {
+	txn := lang.MustParseTxn(`tx a { if v == absent { skip; } }`)
+	ifc, ok := txn.Body.(lang.If)
+	if !ok {
+		t.Fatalf("body = %T", txn.Body)
+	}
+	bin := ifc.Cond.(lang.Bin)
+	if bin.R.Eval(lang.Stack{}) != spec.Absent {
+		t.Fatal("absent literal must evaluate to spec.Absent")
+	}
+}
+
+func TestMaxCalls(t *testing.T) {
+	txn := lang.MustParseTxn(`tx a { s.add(1); loop { s.add(2); s.add(3); } choice { s.add(4); } or { skip; } }`)
+	if got := lang.MaxCalls(txn.Body, 2); got != 1+2*2+1 {
+		t.Fatalf("MaxCalls = %d, want 6", got)
+	}
+}
+
+func TestStackCloneEq(t *testing.T) {
+	s := lang.Stack{"a": 1, "b": 2}
+	c := s.Clone()
+	if !s.Eq(c) {
+		t.Fatal("clone must be equal")
+	}
+	c["a"] = 5
+	if s.Eq(c) || s["a"] != 1 {
+		t.Fatal("clone must be independent")
+	}
+}

@@ -1,0 +1,254 @@
+package lang
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// tokKind enumerates lexical token classes of the surface syntax.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokLBrace   // {
+	tokRBrace   // }
+	tokLParen   // (
+	tokRParen   // )
+	tokSemi     // ;
+	tokComma    // ,
+	tokDot      // .
+	tokAssign   // :=
+	tokPlus     // +
+	tokMinus    // -
+	tokStarOp   // *
+	tokEq       // ==
+	tokNe       // !=
+	tokLt       // <
+	tokLe       // <=
+	tokAndAnd   // &&
+	tokOrOr     // ||
+	tokKwTx     // tx
+	tokKwSkip   // skip
+	tokKwIf     // if
+	tokKwElse   // else
+	tokKwChoice // choice
+	tokKwOr     // or
+	tokKwLoop   // loop
+	tokKwAbsent // absent
+)
+
+var kindNames = map[tokKind]string{
+	tokEOF: "end of input", tokIdent: "identifier", tokInt: "integer",
+	tokLBrace: "'{'", tokRBrace: "'}'", tokLParen: "'('", tokRParen: "')'",
+	tokSemi: "';'", tokComma: "','", tokDot: "'.'", tokAssign: "':='",
+	tokPlus: "'+'", tokMinus: "'-'", tokStarOp: "'*'", tokEq: "'=='",
+	tokNe: "'!='", tokLt: "'<'", tokLe: "'<='", tokAndAnd: "'&&'",
+	tokOrOr: "'||'", tokKwTx: "'tx'", tokKwSkip: "'skip'", tokKwIf: "'if'",
+	tokKwElse: "'else'", tokKwChoice: "'choice'", tokKwOr: "'or'",
+	tokKwLoop: "'loop'", tokKwAbsent: "'absent'",
+}
+
+func (k tokKind) String() string { return kindNames[k] }
+
+var keywords = map[string]tokKind{
+	"tx": tokKwTx, "skip": tokKwSkip, "if": tokKwIf, "else": tokKwElse,
+	"choice": tokKwChoice, "or": tokKwOr, "loop": tokKwLoop,
+	"absent": tokKwAbsent,
+}
+
+// token is one lexeme with its source position.
+type token struct {
+	kind tokKind
+	text string
+	val  int64
+	line int
+	col  int
+}
+
+// SyntaxError reports a lexing or parsing failure with position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// lexer scans the surface syntax. Comments run from // to end of line.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (lx *lexer) errf(format string, args ...any) *SyntaxError {
+	return &SyntaxError{Line: lx.line, Col: lx.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) peekRune() rune {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) nextRune() rune {
+	r := lx.src[lx.pos]
+	lx.pos++
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		r := lx.peekRune()
+		switch {
+		case unicode.IsSpace(r):
+			lx.nextRune()
+		case r == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.peekRune() != '\n' {
+				lx.nextRune()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next scans one token.
+func (lx *lexer) next() (token, error) {
+	lx.skipSpaceAndComments()
+	t := token{line: lx.line, col: lx.col}
+	if lx.pos >= len(lx.src) {
+		t.kind = tokEOF
+		return t, nil
+	}
+	r := lx.peekRune()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		start := lx.pos
+		for lx.pos < len(lx.src) {
+			r := lx.peekRune()
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+				break
+			}
+			lx.nextRune()
+		}
+		t.text = string(lx.src[start:lx.pos])
+		if kw, ok := keywords[t.text]; ok {
+			t.kind = kw
+		} else {
+			t.kind = tokIdent
+		}
+		return t, nil
+	case unicode.IsDigit(r):
+		start := lx.pos
+		for lx.pos < len(lx.src) && unicode.IsDigit(lx.peekRune()) {
+			lx.nextRune()
+		}
+		t.text = string(lx.src[start:lx.pos])
+		var v int64
+		for _, d := range t.text {
+			v = v*10 + int64(d-'0')
+		}
+		t.kind = tokInt
+		t.val = v
+		return t, nil
+	}
+	lx.nextRune()
+	two := func(second rune, yes, no tokKind) (token, error) {
+		if lx.peekRune() == second {
+			lx.nextRune()
+			t.kind = yes
+		} else {
+			t.kind = no
+		}
+		return t, nil
+	}
+	switch r {
+	case '{':
+		t.kind = tokLBrace
+	case '}':
+		t.kind = tokRBrace
+	case '(':
+		t.kind = tokLParen
+	case ')':
+		t.kind = tokRParen
+	case ';':
+		t.kind = tokSemi
+	case ',':
+		t.kind = tokComma
+	case '.':
+		t.kind = tokDot
+	case '+':
+		t.kind = tokPlus
+	case '-':
+		t.kind = tokMinus
+	case '*':
+		t.kind = tokStarOp
+	case ':':
+		if lx.peekRune() != '=' {
+			return t, lx.errf("expected '=' after ':'")
+		}
+		lx.nextRune()
+		t.kind = tokAssign
+	case '=':
+		if lx.peekRune() != '=' {
+			return t, lx.errf("expected '==' (single '=' is not an operator)")
+		}
+		lx.nextRune()
+		t.kind = tokEq
+	case '!':
+		if lx.peekRune() != '=' {
+			return t, lx.errf("expected '!='")
+		}
+		lx.nextRune()
+		t.kind = tokNe
+	case '<':
+		return two('=', tokLe, tokLt)
+	case '&':
+		if lx.peekRune() != '&' {
+			return t, lx.errf("expected '&&'")
+		}
+		lx.nextRune()
+		t.kind = tokAndAnd
+	case '|':
+		if lx.peekRune() != '|' {
+			return t, lx.errf("expected '||'")
+		}
+		lx.nextRune()
+		t.kind = tokOrOr
+	default:
+		return t, lx.errf("unexpected character %q", r)
+	}
+	return t, nil
+}
+
+// lexAll scans the whole input.
+func lexAll(src string) ([]token, error) {
+	lx := newLexer(src)
+	var toks []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

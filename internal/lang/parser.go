@@ -1,0 +1,385 @@
+package lang
+
+import (
+	"fmt"
+
+	"pushpull/internal/spec"
+)
+
+// The surface grammar parsed here:
+//
+//	program  := txn*
+//	txn      := "tx" IDENT? block
+//	block    := "{" stmt* "}"
+//	stmt     := "skip" ";"
+//	          | call ";"
+//	          | IDENT ":=" call ";"
+//	          | "if" expr block ("else" block)?
+//	          | "choice" block "or" block
+//	          | "loop" block
+//	          | block                      (grouping)
+//	call     := IDENT "." IDENT "(" (expr ("," expr)*)? ")"
+//	expr     := or-expression with && || == != < <= + - * and parens;
+//	            primaries are INT, "absent", IDENT, "(" expr ")"
+//
+// "choice … or …" is the paper's nondeterministic +; "loop" is (c)*.
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) advance()   { p.pos++ }
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return &SyntaxError{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	t := p.cur()
+	if t.kind != k {
+		return t, p.errf("expected %v, found %v", k, t.kind)
+	}
+	p.advance()
+	return t, nil
+}
+
+// ParseProgram parses a sequence of transactions.
+func ParseProgram(src string) ([]Txn, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var txns []Txn
+	for p.cur().kind != tokEOF {
+		t, err := p.parseTxn()
+		if err != nil {
+			return nil, err
+		}
+		txns = append(txns, t)
+	}
+	return txns, nil
+}
+
+// ParseTxn parses exactly one transaction.
+func ParseTxn(src string) (Txn, error) {
+	txns, err := ParseProgram(src)
+	if err != nil {
+		return Txn{}, err
+	}
+	if len(txns) != 1 {
+		return Txn{}, fmt.Errorf("lang: expected exactly one transaction, found %d", len(txns))
+	}
+	return txns[0], nil
+}
+
+// MustParseTxn is ParseTxn for trusted literals; it panics on error.
+func MustParseTxn(src string) Txn {
+	t, err := ParseTxn(src)
+	if err != nil {
+		panic("lang: " + err.Error())
+	}
+	return t
+}
+
+func (p *parser) parseTxn() (Txn, error) {
+	if _, err := p.expect(tokKwTx); err != nil {
+		return Txn{}, err
+	}
+	name := ""
+	if p.cur().kind == tokIdent {
+		name = p.cur().text
+		p.advance()
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return Txn{}, err
+	}
+	return Txn{Name: name, Body: body}, nil
+}
+
+func (p *parser) parseBlock() (Code, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	var stmts []Code
+	for p.cur().kind != tokRBrace {
+		if p.cur().kind == tokEOF {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.advance() // consume '}'
+	return SeqOf(stmts...), nil
+}
+
+func (p *parser) parseStmt() (Code, error) {
+	switch p.cur().kind {
+	case tokKwSkip:
+		p.advance()
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		return Skip{}, nil
+	case tokKwIf:
+		p.advance()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		var els Code = Skip{}
+		if p.cur().kind == tokKwElse {
+			p.advance()
+			els, err = p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return If{Cond: cond, Then: then, Else: els}, nil
+	case tokKwChoice:
+		p.advance()
+		a, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKwOr); err != nil {
+			return nil, err
+		}
+		b, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return Choice{A: a, B: b}, nil
+	case tokKwLoop:
+		p.advance()
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return Star{Body: body}, nil
+	case tokLBrace:
+		return p.parseBlock()
+	case tokIdent:
+		// Either "v := obj.m(...)" or "obj.m(...)".
+		name := p.cur().text
+		p.advance()
+		switch p.cur().kind {
+		case tokAssign:
+			p.advance()
+			call, err := p.parseCall()
+			if err != nil {
+				return nil, err
+			}
+			call.Dst = name
+			if _, err := p.expect(tokSemi); err != nil {
+				return nil, err
+			}
+			return call, nil
+		case tokDot:
+			p.advance()
+			call, err := p.parseCallAfterDot(name)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSemi); err != nil {
+				return nil, err
+			}
+			return call, nil
+		default:
+			return nil, p.errf("expected ':=' or '.' after identifier %q", name)
+		}
+	default:
+		return nil, p.errf("expected a statement, found %v", p.cur().kind)
+	}
+}
+
+func (p *parser) parseCall() (Call, error) {
+	obj, err := p.expect(tokIdent)
+	if err != nil {
+		return Call{}, err
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return Call{}, err
+	}
+	return p.parseCallAfterDot(obj.text)
+}
+
+func (p *parser) parseCallAfterDot(obj string) (Call, error) {
+	method, err := p.expect(tokIdent)
+	if err != nil {
+		return Call{}, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return Call{}, err
+	}
+	var args []Expr
+	if p.cur().kind != tokRParen {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return Call{}, err
+			}
+			args = append(args, e)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.advance()
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return Call{}, err
+	}
+	return Call{Obj: obj, Method: method.text, Args: args}, nil
+}
+
+// Expression parsing by precedence climbing: || < && < (== != < <=) <
+// (+ -) < (*) < unary minus < primary.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokOrOr {
+		p.advance()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Bin{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokAndAnd {
+		p.advance()
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = Bin{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	var op BinOp
+	switch p.cur().kind {
+	case tokEq:
+		op = OpEq
+	case tokNe:
+		op = OpNe
+	case tokLt:
+		op = OpLt
+	case tokLe:
+		op = OpLe
+	default:
+		return l, nil
+	}
+	p.advance()
+	r, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	return Bin{Op: op, L: l, R: r}, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinOp
+		switch p.cur().kind {
+		case tokPlus:
+			op = OpAdd
+		case tokMinus:
+			op = OpSub
+		default:
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = Bin{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokStarOp {
+		p.advance()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = Bin{Op: OpMul, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.cur().kind == tokMinus {
+		p.advance()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Bin{Op: OpSub, L: Lit(0), R: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch t := p.cur(); t.kind {
+	case tokInt:
+		p.advance()
+		return Lit(t.val), nil
+	case tokKwAbsent:
+		p.advance()
+		return Lit(spec.Absent), nil
+	case tokIdent:
+		p.advance()
+		return Var(t.text), nil
+	case tokLParen:
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errf("expected an expression, found %v", t.kind)
+	}
+}

@@ -1,0 +1,132 @@
+package lang
+
+// This file implements the paper's two language-abstraction functions
+// (Section 3):
+//
+//	step(c): the set of pairs (m, c') such that m is a next reachable
+//	         method in the reduction of c, with remaining code c';
+//	fin(c):  true iff c can reduce to skip without a method call.
+//
+// Both take the local stack σ because our grammar includes
+// data-dependent conditionals; for the pure Example 1 fragment the σ
+// argument is inert and the equations specialize to the paper's.
+
+// Step is one element of step(c): a reachable next call together with
+// its evaluated arguments and the continuation code.
+type Step struct {
+	Call Call    // the reachable method call (with unevaluated arg exprs)
+	Args []int64 // Call.Args evaluated under σ at scan time
+	Cont Code    // remaining code c'
+}
+
+// StepSet computes step(c) under stack σ, following Example 1:
+//
+//	step(skip)     = ∅
+//	step(c1 ; c2)  = (step(c1) ; c2) ∪ (fin(c1) ; step(c2))
+//	step(c1 + c2)  = step(c1) ∪ step(c2)
+//	step((c)*)     = step(c) ; (c)*
+//	step(m)        = {(m, skip)}
+//	step(if e a b) = step(a) or step(b), by e under σ
+func StepSet(c Code, sigma Stack) []Step {
+	switch c := c.(type) {
+	case Skip:
+		return nil
+	case Call:
+		args := make([]int64, len(c.Args))
+		for i, e := range c.Args {
+			args[i] = e.Eval(sigma)
+		}
+		return []Step{{Call: c, Args: args, Cont: Skip{}}}
+	case Seq:
+		var out []Step
+		for _, s := range StepSet(c.A, sigma) {
+			out = append(out, Step{Call: s.Call, Args: s.Args, Cont: seqCont(s.Cont, c.B)})
+		}
+		if Fin(c.A, sigma) {
+			out = append(out, StepSet(c.B, sigma)...)
+		}
+		return out
+	case Choice:
+		return append(StepSet(c.A, sigma), StepSet(c.B, sigma)...)
+	case Star:
+		var out []Step
+		for _, s := range StepSet(c.Body, sigma) {
+			out = append(out, Step{Call: s.Call, Args: s.Args, Cont: seqCont(s.Cont, c)})
+		}
+		return out
+	case If:
+		if c.Cond.Eval(sigma) != 0 {
+			return StepSet(c.Then, sigma)
+		}
+		return StepSet(c.Else, sigma)
+	default:
+		panic("lang: unknown code form in StepSet")
+	}
+}
+
+// seqCont builds cont ; rest, simplifying skip ; rest to rest so that
+// continuations stay small.
+func seqCont(cont, rest Code) Code {
+	if _, ok := cont.(Skip); ok {
+		return rest
+	}
+	return Seq{A: cont, B: rest}
+}
+
+// Fin computes fin(c) under stack σ, following Example 1:
+//
+//	fin(skip)     = true      fin(c1 ; c2) = fin(c1) ∧ fin(c2)
+//	fin(c1 + c2)  = fin(c1) ∨ fin(c2)
+//	fin((c)*)     = true      fin(m) = false
+//	fin(if e a b) = fin of the branch selected by e under σ
+func Fin(c Code, sigma Stack) bool {
+	switch c := c.(type) {
+	case Skip:
+		return true
+	case Call:
+		return false
+	case Seq:
+		return Fin(c.A, sigma) && Fin(c.B, sigma)
+	case Choice:
+		return Fin(c.A, sigma) || Fin(c.B, sigma)
+	case Star:
+		return true
+	case If:
+		if c.Cond.Eval(sigma) != 0 {
+			return Fin(c.Then, sigma)
+		}
+		return Fin(c.Else, sigma)
+	default:
+		panic("lang: unknown code form in Fin")
+	}
+}
+
+// MaxCalls bounds the number of method calls any path through c can
+// make, with loops contributing bound iterations of their body. It is
+// used by exhaustive exploration to cap search depth.
+func MaxCalls(c Code, loopBound int) int {
+	switch c := c.(type) {
+	case Skip:
+		return 0
+	case Call:
+		return 1
+	case Seq:
+		return MaxCalls(c.A, loopBound) + MaxCalls(c.B, loopBound)
+	case Choice:
+		a, b := MaxCalls(c.A, loopBound), MaxCalls(c.B, loopBound)
+		if a > b {
+			return a
+		}
+		return b
+	case Star:
+		return loopBound * MaxCalls(c.Body, loopBound)
+	case If:
+		a, b := MaxCalls(c.Then, loopBound), MaxCalls(c.Else, loopBound)
+		if a > b {
+			return a
+		}
+		return b
+	default:
+		panic("lang: unknown code form in MaxCalls")
+	}
+}

@@ -1,0 +1,128 @@
+package lang
+
+import (
+	"fmt"
+
+	"pushpull/internal/spec"
+)
+
+// ValidationError reports one static defect of a transaction.
+type ValidationError struct {
+	Txn  string
+	Call Call
+	Msg  string
+}
+
+func (e ValidationError) Error() string {
+	return fmt.Sprintf("lang: tx %s: %s: %s", e.Txn, e.Call, e.Msg)
+}
+
+// Validate statically checks a transaction against a registry: every
+// called object instance must exist, every method must be in its
+// specification's table, and arities must match. Variables read before
+// any binding are flagged too (a likely programming error: unbound
+// locals silently read 0). Returns all defects, not just the first.
+func Validate(reg *spec.Registry, txn Txn) []ValidationError {
+	v := &validator{reg: reg, name: txn.Name}
+	v.code(txn.Body, map[string]bool{})
+	return v.errs
+}
+
+// ValidateProgram validates every transaction.
+func ValidateProgram(reg *spec.Registry, txns []Txn) []ValidationError {
+	var errs []ValidationError
+	for _, t := range txns {
+		errs = append(errs, Validate(reg, t)...)
+	}
+	return errs
+}
+
+type validator struct {
+	reg  *spec.Registry
+	name string
+	errs []ValidationError
+}
+
+func (v *validator) errf(c Call, format string, args ...any) {
+	v.errs = append(v.errs, ValidationError{Txn: v.name, Call: c, Msg: fmt.Sprintf(format, args...)})
+}
+
+// code walks the AST; bound tracks locals that definitely have a
+// binding on every path reaching the current point.
+func (v *validator) code(c Code, bound map[string]bool) map[string]bool {
+	switch c := c.(type) {
+	case Skip:
+		return bound
+	case Call:
+		for _, e := range c.Args {
+			v.expr(c, e, bound)
+		}
+		if _, ok := v.reg.Object(c.Obj); !ok {
+			v.errf(c, "unknown object instance %q", c.Obj)
+		} else if sig, ok := v.reg.LookupMethod(c.Obj, c.Method); !ok {
+			v.errf(c, "object %q has no method %q", c.Obj, c.Method)
+		} else if sig.Arity != len(c.Args) {
+			v.errf(c, "method %s.%s takes %d argument(s), got %d", c.Obj, c.Method, sig.Arity, len(c.Args))
+		}
+		if c.Dst != "" {
+			out := cloneBound(bound)
+			out[c.Dst] = true
+			return out
+		}
+		return bound
+	case Seq:
+		return v.code(c.B, v.code(c.A, bound))
+	case Choice:
+		a := v.code(c.A, cloneBound(bound))
+		b := v.code(c.B, cloneBound(bound))
+		return intersect(a, b)
+	case Star:
+		// Zero iterations possible: bindings inside don't escape.
+		v.code(c.Body, cloneBound(bound))
+		return bound
+	case If:
+		v.exprNoCall(c.Cond, bound)
+		a := v.code(c.Then, cloneBound(bound))
+		b := v.code(c.Else, cloneBound(bound))
+		return intersect(a, b)
+	default:
+		return bound
+	}
+}
+
+func (v *validator) expr(c Call, e Expr, bound map[string]bool) {
+	switch e := e.(type) {
+	case Lit:
+	case Var:
+		if !bound[string(e)] {
+			v.errf(c, "variable %q read before any binding (reads as 0)", string(e))
+		}
+	case Bin:
+		v.expr(c, e.L, bound)
+		v.expr(c, e.R, bound)
+	}
+}
+
+// exprNoCall validates an expression outside a call context (an if
+// condition); defects are attributed to a synthetic call site.
+func (v *validator) exprNoCall(e Expr, bound map[string]bool) {
+	v.expr(Call{Obj: "<cond>", Method: e.String()}, e, bound)
+}
+
+func cloneBound(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func intersect(a, b map[string]bool) map[string]bool {
+	out := make(map[string]bool)
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package lang_test
+
+import (
+	"strings"
+	"testing"
+
+	"pushpull/internal/adt"
+	"pushpull/internal/lang"
+	"pushpull/internal/spec"
+)
+
+func vreg() *spec.Registry {
+	r := spec.NewRegistry()
+	r.Register("ht", adt.Map{})
+	r.Register("set", adt.Set{})
+	r.Register("ctr", adt.Counter{})
+	return r
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	txn := lang.MustParseTxn(`
+tx ok {
+  v := ht.get(1);
+  if v == absent { ht.put(1, 10); } else { ht.put(1, v + 1); }
+  choice { set.add(2); } or { set.remove(2); }
+  loop { ctr.inc(); }
+}`)
+	if errs := lang.Validate(vreg(), txn); len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+}
+
+func TestValidateUnknownObject(t *testing.T) {
+	txn := lang.MustParseTxn(`tx bad { nosuch.put(1, 2); }`)
+	errs := lang.Validate(vreg(), txn)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "unknown object") {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+func TestValidateUnknownMethod(t *testing.T) {
+	txn := lang.MustParseTxn(`tx bad { set.frobnicate(1); }`)
+	errs := lang.Validate(vreg(), txn)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "no method") {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+func TestValidateArity(t *testing.T) {
+	txn := lang.MustParseTxn(`tx bad { ht.put(1); ctr.inc(5); }`)
+	errs := lang.Validate(vreg(), txn)
+	if len(errs) != 2 {
+		t.Fatalf("errs = %v", errs)
+	}
+	for _, e := range errs {
+		if !strings.Contains(e.Error(), "argument(s)") {
+			t.Fatalf("unexpected error: %v", e)
+		}
+	}
+}
+
+func TestValidateUnboundVariable(t *testing.T) {
+	txn := lang.MustParseTxn(`tx bad { ht.put(1, ghost); }`)
+	errs := lang.Validate(vreg(), txn)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "read before any binding") {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+func TestValidateBranchBindings(t *testing.T) {
+	// v bound on only one branch: using it afterwards is flagged.
+	txn := lang.MustParseTxn(`
+tx bad {
+  choice { v := ctr.get(); } or { skip; }
+  ctr.add(v);
+}`)
+	errs := lang.Validate(vreg(), txn)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), `"v" read before`) {
+		t.Fatalf("errs = %v", errs)
+	}
+	// Bound on both branches: fine.
+	good := lang.MustParseTxn(`
+tx good {
+  choice { v := ctr.get(); } or { v := set.size(); }
+  ctr.add(v);
+}`)
+	if errs := lang.Validate(vreg(), good); len(errs) != 0 {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+func TestValidateLoopBindingsDoNotEscape(t *testing.T) {
+	txn := lang.MustParseTxn(`
+tx bad {
+  loop { v := ctr.get(); }
+  ctr.add(v);
+}`)
+	errs := lang.Validate(vreg(), txn)
+	if len(errs) != 1 {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+func TestValidateConditionVariables(t *testing.T) {
+	txn := lang.MustParseTxn(`tx bad { if ghost == 1 { skip; } }`)
+	errs := lang.Validate(vreg(), txn)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "ghost") {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+func TestValidateProgramAggregates(t *testing.T) {
+	txns, err := lang.ParseProgram(`tx a { nosuch.x(); } tx b { set.add(1); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := lang.ValidateProgram(vreg(), txns)
+	if len(errs) != 1 || errs[0].Txn != "a" {
+		t.Fatalf("errs = %v", errs)
+	}
+}

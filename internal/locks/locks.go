@@ -1,0 +1,230 @@
+// Package locks implements the abstract lock manager transactional
+// boosting uses (Figure 2: "abstractLock(key).lock()"): two-level locks
+// over (object, key) pairs so that only commutative operations proceed
+// in parallel.
+//
+// Key operations take a shared intent lock on the object plus an
+// exclusive lock on their key; whole-object operations (size) take the
+// object lock exclusively. Acquisition is try-lock style with owner
+// bookkeeping, so cooperative drivers implement timeout/wait-die abort
+// policies on top, exactly as boosted transactions abort on lock
+// timeout to avoid deadlock.
+//
+// The manager is also usable under real concurrency (internal/stm/boost)
+// — all state is guarded by an internal mutex and waiting is the
+// caller's business (try/acquire-or-fail), which keeps the model-level
+// cooperative scheduler and the goroutine-level substrate on the same
+// code path.
+package locks
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Owner identifies a lock holder (a transaction).
+type Owner uint64
+
+// None is the zero Owner, held by nobody.
+const None Owner = 0
+
+// Key identifies one abstract lock: an object instance and a key within
+// it. Whole-object locks use the object's entry with WholeObject true.
+type Key struct {
+	Obj         string
+	K           int64
+	WholeObject bool
+}
+
+func (k Key) String() string {
+	if k.WholeObject {
+		return k.Obj + "/*"
+	}
+	return fmt.Sprintf("%s/%d", k.Obj, k.K)
+}
+
+type objLocks struct {
+	// exclusive whole-object owner, if any
+	objOwner Owner
+	// shared intent holders: owner -> count of key locks held
+	intent map[Owner]int
+	// per-key exclusive owners (re-entrant per owner)
+	keys map[int64]Owner
+	// per-key hold counts for re-entrancy
+	holds map[int64]int
+}
+
+// Manager is the abstract lock table.
+type Manager struct {
+	mu   sync.Mutex
+	objs map[string]*objLocks
+}
+
+// NewManager returns an empty lock table.
+func NewManager() *Manager {
+	return &Manager{objs: make(map[string]*objLocks)}
+}
+
+func (m *Manager) obj(name string) *objLocks {
+	ol, ok := m.objs[name]
+	if !ok {
+		ol = &objLocks{intent: make(map[Owner]int), keys: make(map[int64]Owner), holds: make(map[int64]int)}
+		m.objs[name] = ol
+	}
+	return ol
+}
+
+// TryAcquire attempts to take the lock for owner. It is re-entrant:
+// re-acquiring a held lock succeeds and increments the hold count.
+// It returns false (without blocking or partial effects) when the lock
+// conflicts with another owner.
+func (m *Manager) TryAcquire(o Owner, k Key) bool {
+	if o == None {
+		panic("locks: owner 0 is reserved")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ol := m.obj(k.Obj)
+	if k.WholeObject {
+		// Conflicts with any other owner's object lock or intent.
+		if ol.objOwner != None && ol.objOwner != o {
+			return false
+		}
+		for other, n := range ol.intent {
+			if other != o && n > 0 {
+				return false
+			}
+		}
+		ol.objOwner = o
+		ol.holds[allKeysSentinel]++
+		return true
+	}
+	// Key lock: conflicts with another owner's whole-object lock or the
+	// key's exclusive owner.
+	if ol.objOwner != None && ol.objOwner != o {
+		return false
+	}
+	if cur := ol.keys[k.K]; cur != None && cur != o {
+		return false
+	}
+	ol.keys[k.K] = o
+	ol.holds[k.K]++
+	ol.intent[o]++
+	return true
+}
+
+const allKeysSentinel = int64(-1) << 62
+
+// Release drops one hold of the lock. Releasing a lock not held by o
+// panics: that is a driver bug, not a recoverable condition.
+func (m *Manager) Release(o Owner, k Key) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ol := m.obj(k.Obj)
+	if k.WholeObject {
+		if ol.objOwner != o {
+			panic(fmt.Sprintf("locks: %v releasing whole-object %s held by %v", o, k.Obj, ol.objOwner))
+		}
+		ol.holds[allKeysSentinel]--
+		if ol.holds[allKeysSentinel] == 0 {
+			ol.objOwner = None
+		}
+		return
+	}
+	if ol.keys[k.K] != o {
+		panic(fmt.Sprintf("locks: %v releasing %v held by %v", o, k, ol.keys[k.K]))
+	}
+	ol.holds[k.K]--
+	ol.intent[o]--
+	if ol.holds[k.K] == 0 {
+		delete(ol.keys, k.K)
+		delete(ol.holds, k.K)
+	}
+	if ol.intent[o] == 0 {
+		delete(ol.intent, o)
+	}
+}
+
+// ReleaseAll drops every hold owner o has, in deterministic order,
+// returning how many holds were released. Used on commit and abort.
+func (m *Manager) ReleaseAll(o Owner) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	released := 0
+	names := make([]string, 0, len(m.objs))
+	for name := range m.objs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ol := m.objs[name]
+		if ol.objOwner == o {
+			released += ol.holds[allKeysSentinel]
+			ol.holds[allKeysSentinel] = 0
+			ol.objOwner = None
+		}
+		for key, owner := range ol.keys {
+			if owner == o {
+				released += ol.holds[key]
+				ol.intent[o] -= ol.holds[key]
+				delete(ol.keys, key)
+				delete(ol.holds, key)
+			}
+		}
+		if ol.intent[o] <= 0 {
+			delete(ol.intent, o)
+		}
+	}
+	return released
+}
+
+// Holds reports whether o currently holds the lock.
+func (m *Manager) Holds(o Owner, k Key) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ol, ok := m.objs[k.Obj]
+	if !ok {
+		return false
+	}
+	if k.WholeObject {
+		return ol.objOwner == o
+	}
+	return ol.keys[k.K] == o
+}
+
+// OwnerOf returns the current exclusive owner of the lock (None if
+// free). Whole-object queries report the object owner.
+func (m *Manager) OwnerOf(k Key) Owner {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ol, ok := m.objs[k.Obj]
+	if !ok {
+		return None
+	}
+	if k.WholeObject {
+		return ol.objOwner
+	}
+	return ol.keys[k.K]
+}
+
+// Clone deep-copies the lock table (for exhaustive exploration).
+func (m *Manager) Clone() *Manager {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := NewManager()
+	for name, ol := range m.objs {
+		col := c.obj(name)
+		col.objOwner = ol.objOwner
+		for o, n := range ol.intent {
+			col.intent[o] = n
+		}
+		for k, o := range ol.keys {
+			col.keys[k] = o
+		}
+		for k, n := range ol.holds {
+			col.holds[k] = n
+		}
+	}
+	return c
+}

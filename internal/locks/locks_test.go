@@ -1,0 +1,151 @@
+package locks_test
+
+import (
+	"sync"
+	"testing"
+
+	"pushpull/internal/locks"
+)
+
+func TestKeyLockBasics(t *testing.T) {
+	m := locks.NewManager()
+	k1 := locks.Key{Obj: "ht", K: 1}
+	k2 := locks.Key{Obj: "ht", K: 2}
+	if !m.TryAcquire(1, k1) {
+		t.Fatal("free key lock must acquire")
+	}
+	if m.TryAcquire(2, k1) {
+		t.Fatal("held key lock must refuse another owner")
+	}
+	if !m.TryAcquire(2, k2) {
+		t.Fatal("distinct key must be independent")
+	}
+	if !m.TryAcquire(1, k1) {
+		t.Fatal("re-entrant acquire must succeed")
+	}
+	m.Release(1, k1)
+	if m.TryAcquire(2, k1) {
+		t.Fatal("one release of a doubly-held lock must not free it")
+	}
+	m.Release(1, k1)
+	if !m.TryAcquire(2, k1) {
+		t.Fatal("fully released lock must be acquirable")
+	}
+}
+
+func TestWholeObjectLock(t *testing.T) {
+	m := locks.NewManager()
+	key := locks.Key{Obj: "set", K: 5}
+	whole := locks.Key{Obj: "set", WholeObject: true}
+	// Key lock blocks whole-object lock by another owner.
+	if !m.TryAcquire(1, key) {
+		t.Fatal(err1("key"))
+	}
+	if m.TryAcquire(2, whole) {
+		t.Fatal("whole-object lock must conflict with a foreign key lock")
+	}
+	// Same owner may escalate.
+	if !m.TryAcquire(1, whole) {
+		t.Fatal("same owner must escalate to whole-object")
+	}
+	// Whole-object lock blocks foreign key locks.
+	if m.TryAcquire(2, locks.Key{Obj: "set", K: 9}) {
+		t.Fatal("foreign key lock must conflict with whole-object")
+	}
+	m.Release(1, whole)
+	m.Release(1, key)
+	if !m.TryAcquire(2, whole) {
+		t.Fatal("released object must be lockable")
+	}
+	// Whole-object holder may take its own key locks.
+	if !m.TryAcquire(2, locks.Key{Obj: "set", K: 9}) {
+		t.Fatal("whole-object holder must take its own key locks")
+	}
+}
+
+func err1(what string) string { return "setup: could not acquire " + what + " lock" }
+
+func TestReleaseAll(t *testing.T) {
+	m := locks.NewManager()
+	m.TryAcquire(1, locks.Key{Obj: "a", K: 1})
+	m.TryAcquire(1, locks.Key{Obj: "a", K: 2})
+	m.TryAcquire(1, locks.Key{Obj: "b", WholeObject: true})
+	m.TryAcquire(1, locks.Key{Obj: "a", K: 1}) // re-entrant
+	if n := m.ReleaseAll(1); n != 4 {
+		t.Fatalf("ReleaseAll released %d holds, want 4", n)
+	}
+	for _, k := range []locks.Key{{Obj: "a", K: 1}, {Obj: "a", K: 2}, {Obj: "b", WholeObject: true}} {
+		if !m.TryAcquire(2, k) {
+			t.Fatalf("lock %v not released", k)
+		}
+	}
+}
+
+func TestHoldsAndOwnerOf(t *testing.T) {
+	m := locks.NewManager()
+	k := locks.Key{Obj: "x", K: 3}
+	if m.Holds(1, k) || m.OwnerOf(k) != locks.None {
+		t.Fatal("fresh lock must be unowned")
+	}
+	m.TryAcquire(7, k)
+	if !m.Holds(7, k) || m.OwnerOf(k) != 7 {
+		t.Fatal("ownership not tracked")
+	}
+}
+
+func TestReleaseForeignPanics(t *testing.T) {
+	m := locks.NewManager()
+	k := locks.Key{Obj: "x", K: 1}
+	m.TryAcquire(1, k)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("releasing a foreign lock must panic (driver bug)")
+		}
+	}()
+	m.Release(2, k)
+}
+
+func TestClone(t *testing.T) {
+	m := locks.NewManager()
+	k := locks.Key{Obj: "x", K: 1}
+	m.TryAcquire(1, k)
+	c := m.Clone()
+	// Clone sees the hold; releasing in the clone must not affect the
+	// original.
+	if !c.Holds(1, k) {
+		t.Fatal("clone lost holds")
+	}
+	c.ReleaseAll(1)
+	if !m.Holds(1, k) {
+		t.Fatal("clone release leaked into original")
+	}
+	if !c.TryAcquire(2, k) {
+		t.Fatal("clone not released")
+	}
+}
+
+func TestConcurrentAcquisition(t *testing.T) {
+	m := locks.NewManager()
+	const goroutines = 8
+	const iters = 2000
+	var counter int64 // protected by the abstract lock
+	var wg sync.WaitGroup
+	k := locks.Key{Obj: "ctr", WholeObject: true}
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			owner := locks.Owner(g + 1)
+			for i := 0; i < iters; i++ {
+				for !m.TryAcquire(owner, k) {
+				}
+				counter++
+				m.Release(owner, k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		t.Fatalf("counter = %d, want %d: mutual exclusion broken", counter, goroutines*iters)
+	}
+}

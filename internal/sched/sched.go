@@ -1,0 +1,151 @@
+// Package sched interleaves strategy drivers over one Push/Pull
+// machine, realizing the machine reductions of Figure 4: MS_SELECT
+// picks a thread, the driver contributes its single-thread reduction,
+// MS_TRANS chains them, MS_END retires finished threads.
+//
+// Three schedulers are provided: seeded pseudo-random (stress),
+// round-robin (fairness), and exhaustive depth-first exploration of all
+// interleavings (bounded model checking for Theorem 5.17 on small
+// programs).
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"pushpull/internal/core"
+	"pushpull/internal/strategy"
+)
+
+// ErrLivelock reports that no driver made progress within the step
+// budget.
+var ErrLivelock = errors.New("sched: step budget exhausted (livelock or starvation)")
+
+// ErrDeadlock reports that every unfinished driver is blocked.
+var ErrDeadlock = errors.New("sched: all drivers blocked")
+
+// RunRandom interleaves drivers by seeded random selection until all
+// finish, erroring out after maxSteps scheduler decisions.
+func RunRandom(m *core.Machine, drivers []strategy.Driver, seed int64, maxSteps int) error {
+	rng := rand.New(rand.NewSource(seed))
+	for step := 0; step < maxSteps; step++ {
+		live := liveIndexes(drivers)
+		if len(live) == 0 {
+			return nil
+		}
+		i := live[rng.Intn(len(live))]
+		if _, err := drivers[i].Step(m, rng); err != nil {
+			return fmt.Errorf("sched: driver %s: %w", drivers[i].Name(), err)
+		}
+	}
+	return ErrLivelock
+}
+
+// RunRoundRobin interleaves drivers in cyclic order. If a full cycle
+// yields only Blocked statuses, it reports deadlock.
+func RunRoundRobin(m *core.Machine, drivers []strategy.Driver, seed int64, maxSteps int) error {
+	rng := rand.New(rand.NewSource(seed))
+	blockedStreak := 0
+	for step := 0; step < maxSteps; step++ {
+		live := liveIndexes(drivers)
+		if len(live) == 0 {
+			return nil
+		}
+		i := live[step%len(live)]
+		st, err := drivers[i].Step(m, rng)
+		if err != nil {
+			return fmt.Errorf("sched: driver %s: %w", drivers[i].Name(), err)
+		}
+		if st == strategy.Blocked {
+			blockedStreak++
+			// Drivers break waits themselves via their patience bounds
+			// (default 64); only declare deadlock well past that.
+			if blockedStreak > 512*len(live) {
+				return ErrDeadlock
+			}
+		} else {
+			blockedStreak = 0
+		}
+	}
+	return ErrLivelock
+}
+
+func liveIndexes(drivers []strategy.Driver) []int {
+	var live []int
+	for i, d := range drivers {
+		if !d.Done() {
+			live = append(live, i)
+		}
+	}
+	return live
+}
+
+// ExploreResult aggregates an exhaustive exploration.
+type ExploreResult struct {
+	// Terminals counts complete interleavings reaching all-done.
+	Terminals int
+	// Pruned counts branches cut by the depth bound.
+	Pruned int
+	// Deadlocks counts states where every live driver was blocked and
+	// none could advance.
+	Deadlocks int
+}
+
+// Explore enumerates scheduler interleavings exhaustively: at each
+// state it forks one branch per live driver, stepping that driver on a
+// cloned machine/environment. check is invoked at every terminal state
+// (all drivers done); a non-nil error aborts the exploration.
+//
+// Drivers must be configured Deterministic so the only nondeterminism
+// explored is the scheduler's. Blocked steps that change no state do
+// not fork (re-running the same driver from the same state cannot make
+// progress until someone else moves).
+//
+// maxDepth bounds the total number of steps along one interleaving.
+func Explore(m *core.Machine, env *strategy.Env, drivers []strategy.Driver,
+	maxDepth int, check func(*core.Machine) error) (ExploreResult, error) {
+	res := &ExploreResult{}
+	rng := rand.New(rand.NewSource(1)) // drivers are deterministic; rng is inert
+	err := explore(m, env, drivers, maxDepth, rng, res, check)
+	return *res, err
+}
+
+func explore(m *core.Machine, env *strategy.Env, drivers []strategy.Driver,
+	depth int, rng *rand.Rand, res *ExploreResult, check func(*core.Machine) error) error {
+	live := liveIndexes(drivers)
+	if len(live) == 0 {
+		res.Terminals++
+		return check(m)
+	}
+	if depth <= 0 {
+		res.Pruned++
+		return nil
+	}
+	anyProgress := false
+	for _, i := range live {
+		cm := m.Clone()
+		cenv := env.Clone()
+		cdrivers := make([]strategy.Driver, len(drivers))
+		for j, d := range drivers {
+			cdrivers[j] = d.Clone(cenv)
+		}
+		st, err := cdrivers[i].Step(cm, rng)
+		if err != nil {
+			return fmt.Errorf("sched: explore: driver %s: %w", drivers[i].Name(), err)
+		}
+		if st == strategy.Blocked {
+			// No state change: skip this branch; progress must come from
+			// another driver at this same node.
+			continue
+		}
+		anyProgress = true
+		if err := explore(cm, cenv, cdrivers, depth-1, rng, res, check); err != nil {
+			return err
+		}
+	}
+	if !anyProgress {
+		res.Deadlocks++
+	}
+	return nil
+}

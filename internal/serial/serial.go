@@ -1,0 +1,192 @@
+// Package serial makes the paper's correctness statements executable:
+//
+//   - CheckCommitOrder is the instance of Theorem 5.17 (serializability)
+//     for one finished run: the committed projection of the shared log
+//     must be precongruent with the serial log that runs each committed
+//     transaction contiguously in commit order — the atomic machine log
+//     constructed in the CMT case of the simulation proof.
+//
+//   - FindSerialWitness searches for *any* serial order (not just commit
+//     order) explaining the run, by re-running transaction bodies on the
+//     atomic machine of internal/atomicsem. It cross-validates the
+//     theorem on small runs.
+//
+//   - CheckOpacity / CheckOpacityRelaxed decide membership in the opaque
+//     fragment of Section 6.1: strictly, no PULL of an uncommitted
+//     operation; relaxedly, such pulls are tolerated when every method
+//     the puller subsequently executes commutes with the pulled
+//     operation.
+package serial
+
+import (
+	"fmt"
+	"strings"
+
+	"pushpull/internal/atomicsem"
+	"pushpull/internal/core"
+	"pushpull/internal/lang"
+	"pushpull/internal/spec"
+)
+
+// Report carries the verdict and diagnostics of a serializability check.
+type Report struct {
+	Serializable bool
+	// CommitOrder lists committed transactions by name in stamp order.
+	CommitOrder []string
+	// Committed is ⌊G⌋gCmt in shared-log order.
+	Committed spec.Log
+	// Serial is the commit-order serial log.
+	Serial spec.Log
+	// Reason explains a failure.
+	Reason string
+}
+
+func (r Report) String() string {
+	if r.Serializable {
+		return fmt.Sprintf("serializable: commit order [%s]", strings.Join(r.CommitOrder, " → "))
+	}
+	return "NOT serializable: " + r.Reason
+}
+
+// CheckCommitOrder verifies ⌊G⌋gCmt ≼ ℓ for the commit-order atomic log
+// ℓ (the simulation relation's right-hand side at the end of the run).
+func CheckCommitOrder(m *core.Machine) Report {
+	rep := Report{Committed: m.GlobalCommitted()}
+	var serial spec.Log
+	for _, rec := range m.Commits() {
+		rep.CommitOrder = append(rep.CommitOrder, rec.Name)
+		serial = serial.Concat(rec.Ops)
+	}
+	rep.Serial = serial
+	if !m.Reg.AllowedFrom(m.StartState(), rep.Committed) {
+		rep.Reason = fmt.Sprintf("committed projection is not allowed: %v", rep.Committed)
+		return rep
+	}
+	if !m.Reg.AllowedFrom(m.StartState(), serial) {
+		rep.Reason = fmt.Sprintf("commit-order serial log is not allowed: %v", serial)
+		return rep
+	}
+	if !spec.PrecongruentFrom(m.Reg, m.StartState(), rep.Committed, serial) {
+		c1, _ := m.Reg.DenoteFrom(m.StartState(), rep.Committed)
+		c2, _ := m.Reg.DenoteFrom(m.StartState(), serial)
+		rep.Reason = fmt.Sprintf("⌊G⌋gCmt ⋠ serial log: states %v vs %v", c1, c2)
+		return rep
+	}
+	rep.Serializable = true
+	return rep
+}
+
+// FindSerialWitness searches permutations of the committed transactions
+// for a serial order whose atomic execution (re-running each Body on
+// the atomic machine) reaches a state equivalent to the observed
+// committed projection. maxTxns caps the factorial search; runs with
+// more committed transactions return ok=false with exhausted=false.
+func FindSerialWitness(m *core.Machine, maxTxns int) (order []string, ok, exhausted bool) {
+	recs := m.Commits()
+	if len(recs) > maxTxns {
+		return nil, false, false
+	}
+	committed := m.GlobalCommitted()
+	target, allowedG := m.Reg.DenoteFrom(m.StartState(), committed)
+	if !allowedG {
+		return nil, false, true
+	}
+	perm := make([]int, len(recs))
+	for i := range perm {
+		perm[i] = i
+	}
+	var try func(k int, l spec.Log) []string
+	try = func(k int, l spec.Log) []string {
+		if k == len(perm) {
+			got, ok := m.Reg.DenoteFrom(m.StartState(), l)
+			if ok && got.Eq(target) {
+				names := make([]string, len(perm))
+				for i, idx := range perm {
+					names[i] = recs[idx].Name
+				}
+				return names
+			}
+			return nil
+		}
+		for i := k; i < len(perm); i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec := recs[perm[k]]
+			r, okRun := atomicsem.RunTxnFrom(m.Reg, m.StartState(), lang.Txn{Name: rec.Name, Body: rec.Body}, rec.InitStack, l)
+			if okRun {
+				if names := try(k+1, r.Log); names != nil {
+					perm[k], perm[i] = perm[i], perm[k]
+					return names
+				}
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		return nil
+	}
+	names := try(0, nil)
+	return names, names != nil, true
+}
+
+// OpacityViolation describes one break of the opaque fragment.
+type OpacityViolation struct {
+	Thread   uint64
+	TxName   string
+	Pulled   spec.Op
+	Conflict *spec.Op // non-nil in relaxed mode: the non-commuting later op
+}
+
+func (v OpacityViolation) String() string {
+	if v.Conflict != nil {
+		return fmt.Sprintf("tx %s pulled uncommitted %v and later executed non-commuting %v",
+			v.TxName, v.Pulled, *v.Conflict)
+	}
+	return fmt.Sprintf("tx %s pulled uncommitted %v", v.TxName, v.Pulled)
+}
+
+// CheckOpacity returns every strict-fragment violation: each PULL of a
+// then-uncommitted operation. An empty result certifies the run opaque
+// (Section 6.1: "if transactions do not perform PULL operations [of
+// uncommitted effects] during execution then they are opaque").
+func CheckOpacity(events []core.Event) []OpacityViolation {
+	var out []OpacityViolation
+	for _, e := range events {
+		if e.Rule == core.RPull && e.UncommittedPull {
+			out = append(out, OpacityViolation{Thread: e.Thread, TxName: e.TxName, Pulled: e.Op})
+		}
+	}
+	return out
+}
+
+// CheckOpacityRelaxed implements Section 6.1's refinement: a pull of an
+// uncommitted m′ is tolerated when the transaction never afterwards
+// executes a method that does not commute with m′ (checked dynamically
+// over the operations it actually applied before ending). Returns the
+// violations that survive the relaxation.
+func CheckOpacityRelaxed(reg *spec.Registry, mode spec.MoverMode, events []core.Event) []OpacityViolation {
+	var out []OpacityViolation
+	for i, e := range events {
+		if e.Rule != core.RPull || !e.UncommittedPull {
+			continue
+		}
+		// Scan this thread's subsequent APPs until its CMT/END.
+	scan:
+		for j := i + 1; j < len(events); j++ {
+			f := events[j]
+			if f.Thread != e.Thread {
+				continue
+			}
+			switch f.Rule {
+			case core.RApp:
+				if !spec.MutualMovers(reg, mode, nil, f.Op, e.Op) {
+					conflict := f.Op
+					out = append(out, OpacityViolation{
+						Thread: e.Thread, TxName: e.TxName, Pulled: e.Op, Conflict: &conflict,
+					})
+					break scan
+				}
+			case core.RCmt, core.REnd:
+				break scan
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package serial_test
+
+import (
+	"testing"
+
+	"pushpull/internal/adt"
+	"pushpull/internal/core"
+	"pushpull/internal/lang"
+	"pushpull/internal/serial"
+	"pushpull/internal/spec"
+)
+
+func reg() *spec.Registry {
+	r := spec.NewRegistry()
+	r.Register("set", adt.Set{})
+	r.Register("ctr", adt.Counter{})
+	r.Register("mem", adt.Register{})
+	return r
+}
+
+func runTxn(t *testing.T, m *core.Machine, name, src string) {
+	t.Helper()
+	th := m.Spawn(name)
+	if err := m.Begin(th, lang.MustParseTxn(src), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Pull committed view, then run to completion.
+	local := m.LocalLog(th)
+	for gi, e := range m.GlobalEntries() {
+		if e.Committed && !local.Contains(e.Op) {
+			if err := m.Pull(th, gi); err != nil {
+				t.Fatalf("%s: pull: %v", name, err)
+			}
+		}
+	}
+	for {
+		steps := m.Steps(th)
+		if len(steps) == 0 {
+			break
+		}
+		if _, err := m.App(th, steps[0]); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := m.Push(th, len(th.Local)-1); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := m.Commit(th); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+}
+
+func TestCheckCommitOrderAccepts(t *testing.T) {
+	m := core.NewMachine(reg(), core.DefaultOptions())
+	runTxn(t, m, "a", `tx a { set.add(1); ctr.inc(); }`)
+	runTxn(t, m, "b", `tx b { v := set.contains(1); ctr.inc(); }`)
+	rep := serial.CheckCommitOrder(m)
+	if !rep.Serializable {
+		t.Fatal(rep)
+	}
+	if len(rep.CommitOrder) != 2 || rep.CommitOrder[0] != "a" {
+		t.Fatalf("commit order %v", rep.CommitOrder)
+	}
+	if rep.String() == "" || rep.Serial == nil || rep.Committed == nil {
+		t.Fatal("report fields incomplete")
+	}
+}
+
+func TestCheckCommitOrderEmptyRun(t *testing.T) {
+	m := core.NewMachine(reg(), core.DefaultOptions())
+	rep := serial.CheckCommitOrder(m)
+	if !rep.Serializable {
+		t.Fatalf("empty run must be vacuously serializable: %v", rep)
+	}
+}
+
+func TestFindSerialWitness(t *testing.T) {
+	m := core.NewMachine(reg(), core.DefaultOptions())
+	runTxn(t, m, "a", `tx a { mem.write(1, 5); }`)
+	runTxn(t, m, "b", `tx b { v := mem.read(1); mem.write(2, v); }`)
+	order, ok, exhausted := serial.FindSerialWitness(m, 5)
+	if !ok || !exhausted {
+		t.Fatalf("witness search: ok=%v exhausted=%v", ok, exhausted)
+	}
+	if len(order) != 2 {
+		t.Fatalf("order = %v", order)
+	}
+	// Over the cap: must report non-exhaustion, not failure.
+	_, ok, exhausted = serial.FindSerialWitness(m, 1)
+	if ok || exhausted {
+		t.Fatal("cap exceeded must report exhausted=false")
+	}
+}
+
+func TestOpacityCheckers(t *testing.T) {
+	m := core.NewMachine(reg(), core.DefaultOptions())
+	// t1 pushes uncommitted; t2 pulls it then apps a commuting op.
+	t1, t2 := m.Spawn("t1"), m.Spawn("t2")
+	if err := m.Begin(t1, lang.MustParseTxn(`tx a { set.add(1); }`), nil); err != nil {
+		t.Fatal(err)
+	}
+	steps := m.Steps(t1)
+	if _, err := m.App(t1, steps[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Push(t1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Begin(t2, lang.MustParseTxn(`tx b { set.add(2); }`), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Pull(t2, 0); err != nil {
+		t.Fatal(err)
+	}
+	steps = m.Steps(t2)
+	if _, err := m.App(t2, steps[0]); err != nil {
+		t.Fatal(err)
+	}
+	events := m.Events()
+	strict := serial.CheckOpacity(events)
+	if len(strict) != 1 {
+		t.Fatalf("strict violations = %v", strict)
+	}
+	if strict[0].TxName != "b" || strict[0].Conflict != nil {
+		t.Fatalf("violation = %v", strict[0])
+	}
+	relaxed := serial.CheckOpacityRelaxed(m.Reg, spec.MoverHybrid, events)
+	if len(relaxed) != 0 {
+		t.Fatalf("add(2) commutes with pulled add(1); relaxed must accept: %v", relaxed)
+	}
+	if strict[0].String() == "" {
+		t.Fatal("violation must render")
+	}
+}
+
+func TestOpacityRelaxedRejectsConflictingSuffix(t *testing.T) {
+	m := core.NewMachine(reg(), core.DefaultOptions())
+	t1, t2 := m.Spawn("t1"), m.Spawn("t2")
+	if err := m.Begin(t1, lang.MustParseTxn(`tx a { ctr.inc(); }`), nil); err != nil {
+		t.Fatal(err)
+	}
+	steps := m.Steps(t1)
+	if _, err := m.App(t1, steps[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Push(t1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// t2 pulls the uncommitted inc, then GETs — get does not commute
+	// with inc, so the relaxed criterion must flag it.
+	if err := m.Begin(t2, lang.MustParseTxn(`tx b { v := ctr.get(); }`), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Pull(t2, 0); err != nil {
+		t.Fatal(err)
+	}
+	steps = m.Steps(t2)
+	if _, err := m.App(t2, steps[0]); err != nil {
+		t.Fatal(err)
+	}
+	relaxed := serial.CheckOpacityRelaxed(m.Reg, spec.MoverHybrid, m.Events())
+	if len(relaxed) != 1 || relaxed[0].Conflict == nil {
+		t.Fatalf("relaxed must flag the non-commuting get: %v", relaxed)
+	}
+}
+
+// TestCheckRejectsDoctoredHistory: the checker must flag a machine
+// whose committed projection cannot be explained by its commit order.
+// We build it via the one legal-looking but wrong route: committing in
+// an order that contradicts the observed returns is impossible through
+// the rules, so instead we verify the checker's negative path using a
+// non-allowed serial log (wrong recorded returns in a commit record is
+// unreachable; the empty-reason accept path is covered above). Here we
+// check that a queue workload — whose operations do not commute — still
+// certifies when executed serially, guarding the checker against false
+// negatives on order-sensitive specs.
+func TestCheckQueueSerialRuns(t *testing.T) {
+	r := spec.NewRegistry()
+	r.Register("q", adt.Queue{})
+	m := core.NewMachine(r, core.DefaultOptions())
+	runTxn(t, m, "p", `tx p { q.enq(1); q.enq(2); }`)
+	runTxn(t, m, "c", `tx c { v := q.deq(); }`)
+	rep := serial.CheckCommitOrder(m)
+	if !rep.Serializable {
+		t.Fatal(rep)
+	}
+}

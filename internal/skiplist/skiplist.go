@@ -1,0 +1,284 @@
+// Package skiplist is a linearizable concurrent skiplist map from
+// int64 keys to int64 values — the library's stand-in for the
+// java.util.concurrent ConcurrentSkipListMap that Figure 2's boosted
+// hashtable is built on.
+//
+// The design is the lazy skiplist of Herlihy & Shavit (The Art of
+// Multiprocessor Programming, ch. 14.3), adapted to a map:
+//
+//   - wait-free lookups: readers traverse atomic next pointers, skipping
+//     logically deleted (marked) nodes, and never take locks;
+//   - lock-based updates: writers lock the predecessor window at every
+//     level, validate it, and link/unlink; a node is logically inserted
+//     once fullyLinked and logically deleted once marked.
+//
+// Linearization points: Put/Remove at the instant fullyLinked/marked
+// flips (under lock); Get/Contains at the read of the node's flags.
+package skiplist
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+const maxLevel = 24
+
+type node struct {
+	key   int64
+	value atomic.Int64
+
+	mu          sync.Mutex
+	marked      atomic.Bool
+	fullyLinked atomic.Bool
+	topLevel    int
+	next        [maxLevel]atomic.Pointer[node]
+}
+
+// Map is a concurrent sorted map. The zero value is not usable; call
+// New.
+type Map struct {
+	head *node
+	tail *node
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	size atomic.Int64
+}
+
+const (
+	headKey = int64(-1) << 62 // below every user key except itself
+	tailKey = int64(1)<<62 - 1
+)
+
+// New returns an empty map. The seed drives tower-height selection
+// only; any value yields a correct structure.
+func New(seed int64) *Map {
+	head := &node{key: headKey, topLevel: maxLevel - 1}
+	tail := &node{key: tailKey, topLevel: maxLevel - 1}
+	head.fullyLinked.Store(true)
+	tail.fullyLinked.Store(true)
+	for i := 0; i < maxLevel; i++ {
+		head.next[i].Store(tail)
+	}
+	return &Map{head: head, tail: tail, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (m *Map) randomLevel() int {
+	m.rngMu.Lock()
+	r := m.rng.Uint64()
+	m.rngMu.Unlock()
+	lvl := 0
+	for r&1 == 1 && lvl < maxLevel-1 {
+		lvl++
+		r >>= 1
+	}
+	return lvl
+}
+
+// find fills preds/succs with the per-level window around key and
+// returns the level at which a node with the key was found, or -1.
+func (m *Map) find(key int64, preds, succs *[maxLevel]*node) int {
+	found := -1
+	pred := m.head
+	for lvl := maxLevel - 1; lvl >= 0; lvl-- {
+		curr := pred.next[lvl].Load()
+		for curr.key < key {
+			pred = curr
+			curr = pred.next[lvl].Load()
+		}
+		if found == -1 && curr.key == key {
+			found = lvl
+		}
+		preds[lvl] = pred
+		succs[lvl] = curr
+	}
+	return found
+}
+
+// Get returns the value mapped to key.
+func (m *Map) Get(key int64) (int64, bool) {
+	pred := m.head
+	for lvl := maxLevel - 1; lvl >= 0; lvl-- {
+		curr := pred.next[lvl].Load()
+		for curr.key < key {
+			pred = curr
+			curr = pred.next[lvl].Load()
+		}
+		if curr.key == key {
+			if curr.fullyLinked.Load() && !curr.marked.Load() {
+				return curr.value.Load(), true
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// Contains reports whether key is present.
+func (m *Map) Contains(key int64) bool {
+	_, ok := m.Get(key)
+	return ok
+}
+
+// Put maps key to value, returning the previous value and whether one
+// existed.
+func (m *Map) Put(key, value int64) (old int64, existed bool) {
+	topLevel := m.randomLevel()
+	var preds, succs [maxLevel]*node
+	for {
+		lFound := m.find(key, &preds, &succs)
+		if lFound != -1 {
+			found := succs[lFound]
+			if !found.marked.Load() {
+				// Wait for a concurrent inserter to finish linking.
+				for !found.fullyLinked.Load() {
+					runtime.Gosched()
+				}
+				// Update in place under the node lock, re-checking the
+				// mark (a concurrent Remove may have won).
+				found.mu.Lock()
+				if found.marked.Load() {
+					found.mu.Unlock()
+					continue
+				}
+				old := found.value.Swap(value)
+				found.mu.Unlock()
+				return old, true
+			}
+			continue // marked: being removed, retry
+		}
+		// Insert: lock the window bottom-up and validate.
+		var locked [maxLevel]*node
+		ok := true
+		for lvl := 0; lvl <= topLevel; lvl++ {
+			pred, succ := preds[lvl], succs[lvl]
+			if locked[lvl] == nil {
+				if lvl == 0 || preds[lvl] != preds[lvl-1] {
+					pred.mu.Lock()
+					locked[lvl] = pred
+				}
+			}
+			if pred.marked.Load() || succ.marked.Load() || pred.next[lvl].Load() != succ {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			unlockAll(&locked)
+			continue
+		}
+		n := &node{key: key, topLevel: topLevel}
+		n.value.Store(value)
+		for lvl := 0; lvl <= topLevel; lvl++ {
+			n.next[lvl].Store(succs[lvl])
+		}
+		for lvl := 0; lvl <= topLevel; lvl++ {
+			preds[lvl].next[lvl].Store(n)
+		}
+		n.fullyLinked.Store(true) // linearization point
+		unlockAll(&locked)
+		m.size.Add(1)
+		return 0, false
+	}
+}
+
+// Remove deletes key, returning the removed value and whether it was
+// present.
+func (m *Map) Remove(key int64) (old int64, existed bool) {
+	var preds, succs [maxLevel]*node
+	var victim *node
+	isMarked := false
+	topLevel := -1
+	for {
+		lFound := m.find(key, &preds, &succs)
+		if lFound != -1 {
+			victim = succs[lFound]
+		}
+		if !isMarked {
+			if lFound == -1 || !victim.fullyLinked.Load() ||
+				victim.marked.Load() || victim.topLevel != lFound {
+				return 0, false
+			}
+			topLevel = victim.topLevel
+			victim.mu.Lock()
+			if victim.marked.Load() {
+				victim.mu.Unlock()
+				return 0, false
+			}
+			victim.marked.Store(true) // linearization point
+			isMarked = true
+		}
+		// Unlink: lock window and validate.
+		var locked [maxLevel]*node
+		ok := true
+		for lvl := 0; lvl <= topLevel; lvl++ {
+			pred := preds[lvl]
+			if locked[lvl] == nil {
+				if lvl == 0 || preds[lvl] != preds[lvl-1] {
+					pred.mu.Lock()
+					locked[lvl] = pred
+				}
+			}
+			if pred.marked.Load() || pred.next[lvl].Load() != victim {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			unlockAll(&locked)
+			continue
+		}
+		for lvl := topLevel; lvl >= 0; lvl-- {
+			preds[lvl].next[lvl].Store(victim.next[lvl].Load())
+		}
+		old := victim.value.Load()
+		victim.mu.Unlock()
+		unlockAll(&locked)
+		m.size.Add(-1)
+		return old, true
+	}
+}
+
+func unlockAll(locked *[maxLevel]*node) {
+	for i := maxLevel - 1; i >= 0; i-- {
+		if locked[i] != nil {
+			locked[i].mu.Unlock()
+			locked[i] = nil
+		}
+	}
+}
+
+// Len returns the number of present keys. It is exact when quiescent
+// and a consistent-count approximation under concurrency (maintained by
+// atomic insert/remove counters).
+func (m *Map) Len() int {
+	return int(m.size.Load())
+}
+
+// Range calls f on each key/value in ascending key order until f
+// returns false. The traversal is weakly consistent: it sees a snapshot
+// interleaved with concurrent updates, like the JDK skiplist's views.
+func (m *Map) Range(f func(key, value int64) bool) {
+	curr := m.head.next[0].Load()
+	for curr != m.tail {
+		if curr.fullyLinked.Load() && !curr.marked.Load() {
+			if !f(curr.key, curr.value.Load()) {
+				return
+			}
+		}
+		curr = curr.next[0].Load()
+	}
+}
+
+// Keys returns the present keys in ascending order.
+func (m *Map) Keys() []int64 {
+	var out []int64
+	m.Range(func(k, _ int64) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}

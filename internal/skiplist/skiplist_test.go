@@ -1,0 +1,209 @@
+package skiplist_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pushpull/internal/skiplist"
+)
+
+func TestSequentialBasics(t *testing.T) {
+	m := skiplist.New(1)
+	if _, ok := m.Get(5); ok {
+		t.Fatal("empty map must not contain 5")
+	}
+	if old, existed := m.Put(5, 50); existed || old != 0 {
+		t.Fatalf("first put: old=%d existed=%v", old, existed)
+	}
+	if v, ok := m.Get(5); !ok || v != 50 {
+		t.Fatalf("get = %d,%v", v, ok)
+	}
+	if old, existed := m.Put(5, 51); !existed || old != 50 {
+		t.Fatalf("overwrite: old=%d existed=%v", old, existed)
+	}
+	if old, existed := m.Remove(5); !existed || old != 51 {
+		t.Fatalf("remove: old=%d existed=%v", old, existed)
+	}
+	if m.Contains(5) {
+		t.Fatal("removed key still present")
+	}
+	if _, existed := m.Remove(5); existed {
+		t.Fatal("double remove must report absent")
+	}
+}
+
+func TestOrderedTraversal(t *testing.T) {
+	m := skiplist.New(2)
+	keys := []int64{9, 1, 7, 3, 5, 2, 8, 4, 6, 0}
+	for _, k := range keys {
+		m.Put(k, k*10)
+	}
+	got := m.Keys()
+	if len(got) != len(keys) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, k := range got {
+		if int64(i) != k {
+			t.Fatalf("keys not sorted: %v", got)
+		}
+	}
+	if m.Len() != 10 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestAgainstReferenceMap(t *testing.T) {
+	m := skiplist.New(3)
+	ref := map[int64]int64{}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		k := int64(rng.Intn(200))
+		switch rng.Intn(3) {
+		case 0:
+			v := int64(rng.Intn(1000))
+			old, existed := m.Put(k, v)
+			rold, rexisted := ref[k]
+			if existed != rexisted || (existed && old != rold) {
+				t.Fatalf("put(%d,%d): got (%d,%v) want (%d,%v)", k, v, old, existed, rold, rexisted)
+			}
+			ref[k] = v
+		case 1:
+			old, existed := m.Remove(k)
+			rold, rexisted := ref[k]
+			if existed != rexisted || (existed && old != rold) {
+				t.Fatalf("remove(%d): got (%d,%v) want (%d,%v)", k, old, existed, rold, rexisted)
+			}
+			delete(ref, k)
+		default:
+			v, ok := m.Get(k)
+			rv, rok := ref[k]
+			if ok != rok || (ok && v != rv) {
+				t.Fatalf("get(%d): got (%d,%v) want (%d,%v)", k, v, ok, rv, rok)
+			}
+		}
+	}
+	if m.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", m.Len(), len(ref))
+	}
+}
+
+// TestConcurrentDisjointKeys: writers on disjoint key ranges must not
+// interfere; every write must be visible afterwards.
+func TestConcurrentDisjointKeys(t *testing.T) {
+	m := skiplist.New(4)
+	const writers = 8
+	const perWriter = 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			basek := int64(w * perWriter)
+			for i := int64(0); i < perWriter; i++ {
+				m.Put(basek+i, basek+i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Len() != writers*perWriter {
+		t.Fatalf("Len = %d, want %d", m.Len(), writers*perWriter)
+	}
+	for k := int64(0); k < writers*perWriter; k++ {
+		if v, ok := m.Get(k); !ok || v != k {
+			t.Fatalf("missing or wrong key %d: %d,%v", k, v, ok)
+		}
+	}
+}
+
+// TestConcurrentMixedStress hammers a small key range from many
+// goroutines and cross-checks final contents against a mutex-protected
+// reference executing the same linearized effects is impossible to
+// reconstruct, so instead we verify structural sanity: keys sorted,
+// Len consistent with traversal, and last-writer values present.
+func TestConcurrentMixedStress(t *testing.T) {
+	m := skiplist.New(5)
+	const goroutines = 8
+	const opsEach = 3000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < opsEach; i++ {
+				k := int64(rng.Intn(64))
+				switch rng.Intn(3) {
+				case 0:
+					m.Put(k, int64(g*opsEach+i))
+				case 1:
+					m.Remove(k)
+				default:
+					m.Get(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	keys := m.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("keys out of order: %v", keys)
+		}
+	}
+	if m.Len() != len(keys) {
+		t.Fatalf("Len=%d but traversal found %d", m.Len(), len(keys))
+	}
+	// All surviving keys must be in range.
+	for _, k := range keys {
+		if k < 0 || k >= 64 {
+			t.Fatalf("stray key %d", k)
+		}
+	}
+}
+
+// TestConcurrentPutRemoveSameKey: the classic add/remove duel on one
+// key must end with the key either present or absent, never corrupt.
+func TestConcurrentPutRemoveSameKey(t *testing.T) {
+	m := skiplist.New(6)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				if g%2 == 0 {
+					m.Put(7, int64(i))
+				} else {
+					m.Remove(7)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	n := 0
+	m.Range(func(k, v int64) bool {
+		n++
+		if k != 7 {
+			t.Errorf("unexpected key %d", k)
+		}
+		return true
+	})
+	if n > 1 {
+		t.Fatalf("key 7 present %d times", n)
+	}
+}
+
+func BenchmarkSkiplistPutGet(b *testing.B) {
+	m := skiplist.New(7)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := int64(rng.Intn(1024))
+		if i%2 == 0 {
+			m.Put(k, int64(i))
+		} else {
+			m.Get(k)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package spec_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pushpull/internal/adt"
+	"pushpull/internal/spec"
+)
+
+// genProbes builds a set of random allowed logs over the registry's
+// set instance, used as probe contexts for the bounded mover checker.
+func genProbes(r *spec.Registry, seed int64, n int) []spec.Log {
+	rng := rand.New(rand.NewSource(seed))
+	probes := make([]spec.Log, 0, n)
+	for i := 0; i < n; i++ {
+		var l spec.Log
+		steps := rng.Intn(5)
+		for j := 0; j < steps; j++ {
+			k := int64(rng.Intn(3))
+			var method string
+			var args []int64
+			switch rng.Intn(3) {
+			case 0:
+				method, args = adt.MSetAdd, []int64{k}
+			case 1:
+				method, args = adt.MSetRemove, []int64{k}
+			default:
+				method, args = adt.MSetContains, []int64{k}
+			}
+			ret, ok := r.Eval(l, "set", method, args)
+			if !ok {
+				continue
+			}
+			l = l.Append(spec.Op{ID: spec.FreshID(), Obj: "set", Method: method, Args: args, Ret: ret})
+		}
+		probes = append(probes, l)
+	}
+	return probes
+}
+
+// TestBoundedMoverAgreesWithOracle cross-validates the three deciders:
+// when the static oracle claims a judgment (known=true), the bounded
+// checker over many probe logs must agree. A disagreement would mean an
+// unsound oracle — the exact failure class the paper's proof burden
+// ("prove the implementation satisfies the criteria") guards against.
+func TestBoundedMoverAgreesWithOracle(t *testing.T) {
+	r := newReg()
+	probes := genProbes(r, 17, 200)
+	cases := []struct {
+		a, b spec.Op
+	}{
+		{op("set", adt.MSetAdd, 1, 1), op("set", adt.MSetAdd, 1, 2)},
+		{op("set", adt.MSetContains, 0, 1), op("set", adt.MSetContains, 0, 2)},
+		{op("set", adt.MSetAdd, 1, 1), op("set", adt.MSetRemove, 1, 2)},
+		{op("set", adt.MSetContains, 1, 1), op("set", adt.MSetAdd, 0, 1)},
+	}
+	for _, tc := range cases {
+		holds, known := spec.LeftMoverStatic(r, tc.a, tc.b)
+		if !known {
+			continue
+		}
+		bounded := spec.LeftMoverBounded(r, probes, tc.a, tc.b)
+		if holds && !bounded {
+			t.Fatalf("oracle claims %v ⋖ %v but a probe refutes it", tc.a, tc.b)
+		}
+	}
+}
+
+// TestBoundedMoverRefutes: the bounded checker finds the refuting
+// context for a pair that only fails on non-empty logs.
+func TestBoundedMoverRefutes(t *testing.T) {
+	r := newReg()
+	// remove(1)=1 ⋖ add(1)=1: at the empty log the LHS is disallowed
+	// (vacuous), but with 1 present the LHS is allowed and the swap
+	// changes both returns.
+	rem := op("set", adt.MSetRemove, 1, 1)
+	add := op("set", adt.MSetAdd, 1, 1)
+	if !spec.LeftMoverAt(r, nil, rem, add) {
+		t.Fatal("empty log must be vacuous for remove(1)=1·add(1)=1")
+	}
+	seed := spec.Log{op("set", adt.MSetAdd, 1, 1)}
+	probes := []spec.Log{seed}
+	if spec.LeftMoverBounded(r, probes, rem, add) {
+		t.Fatal("bounded checker must refute via the seeded context")
+	}
+}
+
+// TestCrossObjectAlwaysMoves: cross-instance commutation holds at every
+// probe (the product-state theorem).
+func TestCrossObjectAlwaysMoves(t *testing.T) {
+	r := newReg()
+	probes := genProbes(r, 23, 100)
+	a := op("set", adt.MSetAdd, 1, 1)
+	b := op("ctr", adt.MInc, 0)
+	if !spec.LeftMoverBounded(r, probes, a, b) || !spec.LeftMoverBounded(r, probes, b, a) {
+		t.Fatal("cross-object operations must commute at every probe")
+	}
+}

@@ -1,0 +1,39 @@
+package spec
+
+// MethodSig describes one method of a sequential specification, for
+// static program validation (arity and existence checks before a
+// transaction ever runs).
+type MethodSig struct {
+	Name  string
+	Arity int
+	// ReadOnly marks methods that never change state; static tooling
+	// (e.g. the Matveev–Shavit write-deferral classification) may rely
+	// on it.
+	ReadOnly bool
+}
+
+// MethodLister is implemented by specifications that publish their
+// method table.
+type MethodLister interface {
+	Methods() []MethodSig
+}
+
+// LookupMethod finds a method signature on an instance's specification.
+// ok=false when the instance is unknown, the specification does not
+// publish a table, or the method is absent.
+func (r *Registry) LookupMethod(instance, method string) (MethodSig, bool) {
+	obj, okObj := r.Object(instance)
+	if !okObj {
+		return MethodSig{}, false
+	}
+	lister, okList := obj.(MethodLister)
+	if !okList {
+		return MethodSig{}, false
+	}
+	for _, sig := range lister.Methods() {
+		if sig.Name == method {
+			return sig, true
+		}
+	}
+	return MethodSig{}, false
+}

@@ -1,0 +1,161 @@
+package spec
+
+// This file implements Definition 4.1, the coinductive left-mover over
+// logs:
+//
+//	op1 ⋖ op2  ≡  ∀ℓ. ℓ·op1·op2 ≼ ℓ·op2·op1
+//
+// Mnemonically (Section 5.1): the order op1, op2 in "op1 ⋖ op2" is the
+// order the operations appear on the LEFT of ≼; swapping them must be a
+// precongruence. The universally quantified ℓ makes the relation
+// undecidable in general, so the library provides three coordinated
+// deciders:
+//
+//  1. static oracles (per-ADT algebraic facts + the cross-instance
+//     disjointness theorem below);
+//  2. a bounded exhaustive check over caller-supplied probe logs,
+//     used by property tests to validate the oracles; and
+//  3. a dynamic single-log check ℓ·op1·op2 ≼ ℓ·op2·op1 at a specific ℓ,
+//     which is what certifying one concrete history requires.
+
+// MoverMode selects how machine rules decide mover side-conditions.
+type MoverMode int
+
+const (
+	// MoverStatic accepts only statically known judgments; an undecided
+	// oracle answer fails the criterion. This is the paper's "prove the
+	// algebraic fact" discipline.
+	MoverStatic MoverMode = iota
+	// MoverHybrid consults the static oracle first and falls back to the
+	// dynamic single-log check at the relevant log. The certification is
+	// then valid for the observed history (dynamic commutativity, à la
+	// commutativity race detection [7]).
+	MoverHybrid
+	// MoverDynamic uses only the dynamic single-log check.
+	MoverDynamic
+)
+
+func (m MoverMode) String() string {
+	switch m {
+	case MoverStatic:
+		return "static"
+	case MoverHybrid:
+		return "hybrid"
+	case MoverDynamic:
+		return "dynamic"
+	default:
+		return "unknown-mover-mode"
+	}
+}
+
+// LeftMoverStatic consults algebraic knowledge only.
+//
+// Cross-instance theorem: operations on distinct registered instances
+// always satisfy op1 ⋖ op2 and op2 ⋖ op1, because the composite
+// denotation is a product and each component is untouched by the other
+// operation. Within one instance the object's MoverOracle (if any)
+// decides; objects without an oracle yield known=false.
+func LeftMoverStatic(r *Registry, op1, op2 Op) (holds, known bool) {
+	if op1.Obj != op2.Obj {
+		return true, true
+	}
+	obj, ok := r.Object(op1.Obj)
+	if !ok {
+		return false, true // unknown instance: nothing is allowed, be strict
+	}
+	oracle, ok := obj.(MoverOracle)
+	if !ok {
+		return false, false
+	}
+	return oracle.LeftMover(op1, op2)
+}
+
+// LeftMoverAt is the dynamic check at one specific log:
+// ℓ·op1·op2 ≼ ℓ·op2·op1.
+func LeftMoverAt(r *Registry, l Log, op1, op2 Op) bool {
+	return LeftMoverAtFrom(r, r.InitState(), l, op1, op2)
+}
+
+// LeftMoverAtFrom is LeftMoverAt with the context log replayed from an
+// explicit start state.
+func LeftMoverAtFrom(r *Registry, start Composite, l Log, op1, op2 Op) bool {
+	fwd := l.Append(op1).Append(op2)
+	rev := l.Append(op2).Append(op1)
+	return PrecongruentFrom(r, start, fwd, rev)
+}
+
+// LeftMoverBounded checks the mover property over every probe log in
+// probes (typically an enumeration of small reachable logs). It is a
+// sound refutation procedure and, over a state-covering probe set, a
+// complete one for finite-state specifications.
+func LeftMoverBounded(r *Registry, probes []Log, op1, op2 Op) bool {
+	if !LeftMoverAt(r, nil, op1, op2) {
+		return false
+	}
+	for _, l := range probes {
+		if !LeftMoverAt(r, l, op1, op2) {
+			return false
+		}
+	}
+	return true
+}
+
+// LeftMover decides op1 ⋖ op2 under the given mode, using at (the log
+// context the criterion arises in) for dynamic fallback.
+func LeftMover(r *Registry, mode MoverMode, at Log, op1, op2 Op) bool {
+	return LeftMoverFrom(r, mode, r.InitState(), at, op1, op2)
+}
+
+// LeftMoverFrom is LeftMover with the dynamic context replayed from an
+// explicit start state.
+func LeftMoverFrom(r *Registry, mode MoverMode, start Composite, at Log, op1, op2 Op) bool {
+	switch mode {
+	case MoverStatic:
+		holds, known := LeftMoverStatic(r, op1, op2)
+		return known && holds
+	case MoverHybrid:
+		holds, known := LeftMoverStatic(r, op1, op2)
+		if known {
+			return holds
+		}
+		return leftMoverDynamicAll(r, start, at, op1, op2)
+	case MoverDynamic:
+		return leftMoverDynamicAll(r, start, at, op1, op2)
+	default:
+		return false
+	}
+}
+
+// leftMoverDynamicAll checks the swap at every prefix of the context log
+// as well as the empty log. Checking all prefixes (rather than just the
+// full context) makes dynamic certification robust to the log
+// manipulations in the serializability proof, which slide operations
+// across arbitrary cut points of the observed history (Lemmas 5.8–5.13).
+func leftMoverDynamicAll(r *Registry, start Composite, at Log, op1, op2 Op) bool {
+	// Prefixes share structure: at[:i] aliases at's backing array, and
+	// LeftMoverAtFrom copies before appending.
+	for i := 0; i <= len(at); i++ {
+		if !LeftMoverAtFrom(r, start, at[:i], op1, op2) {
+			return false
+		}
+	}
+	return true
+}
+
+// MutualMovers reports both-ways movers (full commutativity):
+// op1 ⋖ op2 ∧ op2 ⋖ op1 under the given mode.
+func MutualMovers(r *Registry, mode MoverMode, at Log, op1, op2 Op) bool {
+	return LeftMover(r, mode, at, op1, op2) && LeftMover(r, mode, at, op2, op1)
+}
+
+// LogLeftMover lifts ⋖ to a list on the left: every operation of l is a
+// left-mover with respect to op (the paper's ℓ ⋖ op lifting used by
+// Lemma 5.1 and PUSH criterion (i)).
+func LogLeftMover(r *Registry, mode MoverMode, at Log, l Log, op Op) bool {
+	for _, o := range l {
+		if !LeftMover(r, mode, at, o, op) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,54 @@
+package spec
+
+// State is the abstract state of one object instance as denoted by a log
+// prefix. States must be immutable once returned from Apply: the
+// machinery replays logs freely and shares State values.
+type State interface {
+	// Eq reports observational equality with another state of the same
+	// object type. For the deterministic specifications used here, state
+	// equality coincides with the coinductive "same allowed extensions
+	// and same results" relation that underlies log precongruence.
+	Eq(State) bool
+	String() string
+}
+
+// Object is a deterministic sequential specification for one object
+// type. It induces the paper's allowed predicate (Parameter 3.1) via
+// the denotation ⟦ℓ·op⟧ = ⟦ℓ⟧;⟦op⟧, ⟦ε⟧ = {Init()}: a log is allowed
+// iff its denotation is non-empty, i.e. every operation applies and
+// returns the value recorded in its operation record.
+type Object interface {
+	// Type names the specification, e.g. "map" or "register".
+	Type() string
+
+	// Init is the initial state I.
+	Init() State
+
+	// Apply attempts method(args) on s. ok=false means the operation is
+	// undefined in s (the log extension would not be allowed regardless
+	// of return value). Apply must be deterministic and must not mutate s.
+	Apply(s State, method string, args []int64) (post State, ret int64, ok bool)
+}
+
+// Inverter is implemented by specifications whose operations have
+// syntactic inverses. UNPUSH in implementations is "typically
+// implemented via inverse operations (such as remove on an element that
+// had been added)"; real substrates (boosting undo logs) use this.
+type Inverter interface {
+	// Invert returns the method and arguments that undo op when applied
+	// immediately after it. ok=false if op has no inverse (e.g. a read,
+	// which needs none, or an unsupported method).
+	Invert(op Op) (method string, args []int64, ok bool)
+}
+
+// MoverOracle is an algebraic commutativity judgment for a single object
+// type: the per-ADT facts the paper expects users to prove once (e.g.
+// "put(k1)/put(k2) commute provided k1 ≠ k2", Section 2).
+//
+// LeftMover reports whether op1 ⋖ op2 (Definition 4.1) holds for ALL
+// logs: ∀ℓ. ℓ·op1·op2 ≼ ℓ·op2·op1. The second result distinguishes
+// "provably holds"/"provably fails" from "this oracle cannot decide";
+// undecided cases fall back to dynamic or bounded checking.
+type MoverOracle interface {
+	LeftMover(op1, op2 Op) (holds, known bool)
+}

@@ -1,0 +1,42 @@
+package spec
+
+// Precongruent decides the shared-log precongruence ℓ1 ≼ ℓ2 of
+// Definition 3.1: coinductively, allowed ℓ1 ⇒ allowed ℓ2 and every
+// one-operation extension preserves the relation.
+//
+// The paper defines ≼ as a greatest fixpoint over all infinite extension
+// sequences. For the deterministic specifications in this library the
+// coinductive definition collapses to a decidable check:
+//
+//   - if ℓ1 is not allowed, ℓ1 ≼ ℓ2 holds vacuously (no observation of
+//     ℓ1 is possible, so none can be missing from ℓ2);
+//   - otherwise ℓ2 must be allowed and the two logs must denote equal
+//     composite states, because with deterministic Apply the set of
+//     allowed extensions (and all their results) is a function of the
+//     denoted state alone.
+//
+// This is exactly the "unobservable state differences are also
+// permitted" reading: our State.Eq is observational equality for each
+// specification.
+func Precongruent(r *Registry, l1, l2 Log) bool {
+	return PrecongruentFrom(r, r.InitState(), l1, l2)
+}
+
+// PrecongruentFrom decides ℓ1 ≼ ℓ2 with both logs replayed from an
+// explicit start state (the machine baseline after compaction).
+func PrecongruentFrom(r *Registry, start Composite, l1, l2 Log) bool {
+	c1, ok1 := r.DenoteFrom(start, l1)
+	if !ok1 {
+		return true
+	}
+	c2, ok2 := r.DenoteFrom(start, l2)
+	if !ok2 {
+		return false
+	}
+	return c1.Eq(c2)
+}
+
+// Equivalent reports ℓ1 ≼ ℓ2 ∧ ℓ2 ≼ ℓ1.
+func Equivalent(r *Registry, l1, l2 Log) bool {
+	return Precongruent(r, l1, l2) && Precongruent(r, l2, l1)
+}

@@ -1,0 +1,211 @@
+package spec_test
+
+import (
+	"testing"
+
+	"pushpull/internal/adt"
+	"pushpull/internal/spec"
+)
+
+func newReg() *spec.Registry {
+	r := spec.NewRegistry()
+	r.Register("mem", adt.Register{})
+	r.Register("set", adt.Set{})
+	r.Register("ctr", adt.Counter{})
+	r.Register("q", adt.Queue{})
+	return r
+}
+
+func op(obj, method string, ret int64, args ...int64) spec.Op {
+	return spec.Op{ID: spec.FreshID(), Obj: obj, Method: method, Args: args, Ret: ret}
+}
+
+func TestAllowedReplay(t *testing.T) {
+	r := newReg()
+	l := spec.Log{
+		op("mem", adt.MWrite, 0, 1, 5), // write mem[1]=5, old 0
+		op("mem", adt.MRead, 5, 1),     // read mem[1] -> 5
+		op("set", adt.MSetAdd, 1, 7),   // add 7 -> inserted
+		op("set", adt.MSetAdd, 0, 7),   // add 7 again -> no-op
+		op("set", adt.MSetContains, 1, 7),
+		op("ctr", adt.MInc, 0),
+		op("ctr", adt.MGet, 1),
+	}
+	if !r.Allowed(l) {
+		t.Fatalf("expected log allowed: %v", l)
+	}
+}
+
+func TestAllowedRejectsWrongReturn(t *testing.T) {
+	r := newReg()
+	l := spec.Log{
+		op("mem", adt.MWrite, 0, 1, 5),
+		op("mem", adt.MRead, 99, 1), // wrong return
+	}
+	if r.Allowed(l) {
+		t.Fatal("log with inconsistent return value must not be allowed")
+	}
+}
+
+func TestAllowedPrefixClosed(t *testing.T) {
+	r := newReg()
+	l := spec.Log{
+		op("mem", adt.MWrite, 0, 1, 5),
+		op("mem", adt.MRead, 5, 1),
+		op("ctr", adt.MInc, 0),
+	}
+	if !r.Allowed(l) {
+		t.Fatal("setup: full log must be allowed")
+	}
+	for i := 0; i <= len(l); i++ {
+		if !r.Allowed(l[:i]) {
+			t.Fatalf("prefix of allowed log not allowed at %d", i)
+		}
+	}
+}
+
+func TestEvalComputesReturns(t *testing.T) {
+	r := newReg()
+	l := spec.Log{op("mem", adt.MWrite, 0, 3, 42)}
+	ret, ok := r.Eval(l, "mem", adt.MRead, []int64{3})
+	if !ok || ret != 42 {
+		t.Fatalf("Eval read mem[3] = %d, ok=%v; want 42, true", ret, ok)
+	}
+	ret, ok = r.Eval(nil, "mem", adt.MRead, []int64{3})
+	if !ok || ret != 0 {
+		t.Fatalf("Eval read of initial mem[3] = %d, ok=%v; want 0, true", ret, ok)
+	}
+}
+
+func TestPrecongruence(t *testing.T) {
+	r := newReg()
+	a := spec.Log{op("set", adt.MSetAdd, 1, 1), op("set", adt.MSetAdd, 1, 2)}
+	b := spec.Log{op("set", adt.MSetAdd, 1, 2), op("set", adt.MSetAdd, 1, 1)}
+	if !spec.Precongruent(r, a, b) || !spec.Precongruent(r, b, a) {
+		t.Fatal("adds of distinct keys must be interchangeable")
+	}
+	// Disallowed LHS is vacuously below anything.
+	bad := spec.Log{op("mem", adt.MRead, 77, 0)}
+	if !spec.Precongruent(r, bad, a) {
+		t.Fatal("disallowed log must be vacuously precongruent")
+	}
+	// Allowed LHS, disallowed RHS must fail.
+	if spec.Precongruent(r, a, bad) {
+		t.Fatal("allowed log cannot be precongruent to a disallowed one")
+	}
+	// Observably different states must fail both ways.
+	c := spec.Log{op("set", adt.MSetAdd, 1, 9)}
+	if spec.Precongruent(r, a, c) {
+		t.Fatal("different sets must not be precongruent")
+	}
+}
+
+func TestPrecongruenceTransitivityAndAppend(t *testing.T) {
+	// Lemma 5.2 (transitivity) and Lemma 5.3 (append congruence) on
+	// concrete instances.
+	r := newReg()
+	a := spec.Log{op("ctr", adt.MInc, 0), op("ctr", adt.MInc, 0)}
+	b := spec.Log{op("ctr", adt.MAdd, 0, 2)}
+	c := spec.Log{op("ctr", adt.MAdd, 0, 1), op("ctr", adt.MInc, 0)}
+	if !spec.Precongruent(r, a, b) || !spec.Precongruent(r, b, c) {
+		t.Fatal("setup: expected chain a ≼ b ≼ c")
+	}
+	if !spec.Precongruent(r, a, c) {
+		t.Fatal("transitivity violated")
+	}
+	ext := op("ctr", adt.MGet, 2)
+	if !spec.Precongruent(r, a.Append(ext), b.Append(ext)) {
+		t.Fatal("append congruence violated")
+	}
+}
+
+func TestLeftMoverStaticCrossObject(t *testing.T) {
+	r := newReg()
+	o1 := op("mem", adt.MWrite, 0, 1, 5)
+	o2 := op("set", adt.MSetAdd, 1, 1)
+	holds, known := spec.LeftMoverStatic(r, o1, o2)
+	if !holds || !known {
+		t.Fatal("ops on distinct instances must statically commute")
+	}
+}
+
+func TestLeftMoverDynamic(t *testing.T) {
+	r := newReg()
+	w1 := op("mem", adt.MWrite, 0, 1, 5)
+	w2 := op("mem", adt.MWrite, 0, 2, 6)
+	if !spec.LeftMoverAt(r, nil, w1, w2) {
+		t.Fatal("writes to distinct addresses must be movers at the empty log")
+	}
+	// Same-address writes with different values: read distinguishes, and
+	// besides the recorded old-values cannot both be right.
+	w3 := op("mem", adt.MWrite, 0, 1, 5)
+	w4 := op("mem", adt.MWrite, 5, 1, 6)
+	if spec.LeftMoverAt(r, nil, w3, w4) {
+		t.Fatal("conflicting same-address writes must not be movers")
+	}
+}
+
+func TestLeftMoverModes(t *testing.T) {
+	r := newReg()
+	a1 := op("set", adt.MSetAdd, 1, 1)
+	a2 := op("set", adt.MSetAdd, 1, 2)
+	for _, mode := range []spec.MoverMode{spec.MoverStatic, spec.MoverHybrid, spec.MoverDynamic} {
+		if !spec.LeftMover(r, mode, nil, a1, a2) {
+			t.Fatalf("mode %v: adds of distinct keys must be movers", mode)
+		}
+	}
+	// Same key effective add/remove: static must refuse (unknown), hybrid
+	// and dynamic decide on the log.
+	add := op("set", adt.MSetAdd, 1, 3)
+	rem := op("set", adt.MSetRemove, 1, 3)
+	if spec.LeftMover(r, spec.MoverStatic, nil, add, rem) {
+		t.Fatal("static mode must not accept an undecided same-key pair")
+	}
+	if spec.LeftMover(r, spec.MoverDynamic, nil, add, rem) {
+		t.Fatal("add;remove of same key is not a mover at the empty log (swap disallowed... rets differ)")
+	}
+}
+
+func TestQueueNonCommutative(t *testing.T) {
+	r := newReg()
+	e1 := op("q", adt.MEnq, 0, 1)
+	e2 := op("q", adt.MEnq, 0, 2)
+	if spec.LeftMoverAt(r, nil, e1, e2) {
+		t.Fatal("enq(1)/enq(2) must not be movers")
+	}
+	holds, known := spec.LeftMoverStatic(r, e1, e2)
+	if holds || !known {
+		t.Fatal("queue oracle must refute enq/enq of distinct values")
+	}
+}
+
+func TestLogSetOperations(t *testing.T) {
+	o1 := op("mem", adt.MRead, 0, 1)
+	o2 := op("mem", adt.MRead, 0, 2)
+	o3 := op("mem", adt.MRead, 0, 3)
+	g := spec.Log{o1, o2, o3}
+	l := spec.Log{o2}
+	if got := g.Without(l); len(got) != 2 || got[0].ID != o1.ID || got[1].ID != o3.ID {
+		t.Fatalf("Without: got %v", got)
+	}
+	if got := g.Intersect(l); len(got) != 1 || got[0].ID != o2.ID {
+		t.Fatalf("Intersect: got %v", got)
+	}
+	if !l.SubsetOf(g) || g.SubsetOf(l) {
+		t.Fatal("SubsetOf misbehaves")
+	}
+	if !g.Contains(o2) || l.Contains(o3) {
+		t.Fatal("Contains misbehaves")
+	}
+}
+
+func TestFreshIDsUnique(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		id := spec.FreshID()
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}

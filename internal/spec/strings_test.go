@@ -1,0 +1,138 @@
+package spec_test
+
+import (
+	"strings"
+	"testing"
+
+	"pushpull/internal/adt"
+	"pushpull/internal/spec"
+)
+
+func TestOpString(t *testing.T) {
+	o := op("ht", adt.MMapPut, spec.Absent, 1, 2)
+	s := o.String()
+	if !strings.Contains(s, "ht.put(1,2)") || !strings.Contains(s, "⊥") {
+		t.Fatalf("op string %q", s)
+	}
+	r := op("ht", adt.MMapGet, 5, spec.Absent)
+	if !strings.Contains(r.String(), "get(⊥)=5") {
+		t.Fatalf("op string %q", r.String())
+	}
+}
+
+func TestLogString(t *testing.T) {
+	l := spec.Log{op("ctr", adt.MInc, 0), op("ctr", adt.MGet, 1)}
+	s := l.String()
+	if !strings.Contains(s, "·") || !strings.HasPrefix(s, "[") {
+		t.Fatalf("log string %q", s)
+	}
+}
+
+func TestCompositeString(t *testing.T) {
+	r := newReg()
+	c, ok := r.Denote(spec.Log{op("set", adt.MSetAdd, 1, 3), op("ctr", adt.MInc, 0)})
+	if !ok {
+		t.Fatal("denote failed")
+	}
+	s := c.String()
+	if !strings.Contains(s, "set={3}") || !strings.Contains(s, "ctr=1") {
+		t.Fatalf("composite string %q", s)
+	}
+	if _, ok := c.StateOf("nosuch"); ok {
+		t.Fatal("StateOf must miss unknown instances")
+	}
+}
+
+func TestMoverModeString(t *testing.T) {
+	for mode, want := range map[spec.MoverMode]string{
+		spec.MoverStatic:   "static",
+		spec.MoverHybrid:   "hybrid",
+		spec.MoverDynamic:  "dynamic",
+		spec.MoverMode(99): "unknown-mover-mode",
+	} {
+		if got := mode.String(); got != want {
+			t.Fatalf("%d: %q", mode, got)
+		}
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := spec.NewRegistry()
+	r.Register("x", adt.Counter{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	r.Register("x", adt.Set{})
+}
+
+func TestRegistryInstancesSorted(t *testing.T) {
+	r := spec.NewRegistry()
+	r.Register("zebra", adt.Counter{})
+	r.Register("apple", adt.Set{})
+	got := r.Instances()
+	if len(got) != 2 || got[0] != "apple" || got[1] != "zebra" {
+		t.Fatalf("instances %v", got)
+	}
+}
+
+func TestLookupMethod(t *testing.T) {
+	r := newReg()
+	sig, ok := r.LookupMethod("set", adt.MSetAdd)
+	if !ok || sig.Arity != 1 || sig.ReadOnly {
+		t.Fatalf("sig %+v ok=%v", sig, ok)
+	}
+	sig, ok = r.LookupMethod("set", adt.MSetContains)
+	if !ok || !sig.ReadOnly {
+		t.Fatalf("contains sig %+v", sig)
+	}
+	if _, ok := r.LookupMethod("set", "nosuch"); ok {
+		t.Fatal("unknown method must miss")
+	}
+	if _, ok := r.LookupMethod("nosuch", "add"); ok {
+		t.Fatal("unknown instance must miss")
+	}
+}
+
+func TestUnknownInstanceSemantics(t *testing.T) {
+	r := newReg()
+	ghost := op("ghost", "m", 0)
+	if r.Allowed(spec.Log{ghost}) {
+		t.Fatal("ops on unknown instances must be disallowed")
+	}
+	if _, ok := r.Eval(nil, "ghost", "m", nil); ok {
+		t.Fatal("Eval on unknown instance must fail")
+	}
+	// Static movers treat unknown instances strictly.
+	holds, known := spec.LeftMoverStatic(r, ghost, op("ghost", "m", 0))
+	if holds || !known {
+		t.Fatalf("unknown instance mover: holds=%v known=%v", holds, known)
+	}
+}
+
+func TestEquivalentHelpers(t *testing.T) {
+	r := newReg()
+	a := spec.Log{op("ctr", adt.MInc, 0)}
+	b := spec.Log{op("ctr", adt.MAdd, 0, 1)}
+	if !spec.Equivalent(r, a, b) {
+		t.Fatal("inc ≡ add(1)")
+	}
+	c := spec.Log{op("ctr", adt.MAdd, 0, 2)}
+	if spec.Equivalent(r, a, c) {
+		t.Fatal("inc ≢ add(2)")
+	}
+}
+
+func TestLogLeftMoverLift(t *testing.T) {
+	r := newReg()
+	l := spec.Log{op("set", adt.MSetAdd, 1, 1), op("set", adt.MSetAdd, 1, 2)}
+	target := op("set", adt.MSetAdd, 1, 3)
+	if !spec.LogLeftMover(r, spec.MoverHybrid, nil, l, target) {
+		t.Fatal("distinct-key adds must lift")
+	}
+	conflicting := op("set", adt.MSetSize, 2)
+	if spec.LogLeftMover(r, spec.MoverStatic, nil, l, conflicting) {
+		t.Fatal("size vs effective adds must not lift statically")
+	}
+}

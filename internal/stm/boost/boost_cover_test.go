@@ -1,0 +1,190 @@
+package boost_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pushpull/internal/adt"
+	"pushpull/internal/spec"
+	"pushpull/internal/stm/boost"
+	"pushpull/internal/trace"
+)
+
+func TestSetRemoveContainsSurface(t *testing.T) {
+	rt := boost.NewRuntime()
+	s := boost.NewSet(rt, "set", 1)
+	err := rt.Atomic("surface", func(tx *boost.Txn) error {
+		ins, err := s.Add(tx, 5)
+		if err != nil || !ins {
+			return fmt.Errorf("add: %v %v", ins, err)
+		}
+		present, err := s.Contains(tx, 5)
+		if err != nil || !present {
+			return fmt.Errorf("contains: %v %v", present, err)
+		}
+		removed, err := s.Remove(tx, 5)
+		if err != nil || !removed {
+			return fmt.Errorf("remove: %v %v", removed, err)
+		}
+		removed, err = s.Remove(tx, 5)
+		if err != nil || removed {
+			return fmt.Errorf("second remove: %v %v", removed, err)
+		}
+		present, err = s.Contains(tx, 5)
+		if err != nil || present {
+			return fmt.Errorf("contains after remove: %v %v", present, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Base().Len() != 0 {
+		t.Fatal("set not empty")
+	}
+}
+
+func TestSetAbortRestoresRemove(t *testing.T) {
+	rt := boost.NewRuntime()
+	s := boost.NewSet(rt, "set", 2)
+	if err := rt.Atomic("seed", func(tx *boost.Txn) error {
+		_, err := s.Add(tx, 1)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	boom := fmt.Errorf("boom")
+	if err := rt.Atomic("ab", func(tx *boost.Txn) error {
+		if _, err := s.Remove(tx, 1); err != nil {
+			return err
+		}
+		return boom
+	}); err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	if !s.Base().Contains(1) {
+		t.Fatal("aborted remove not undone")
+	}
+}
+
+func TestMapRemoveSurface(t *testing.T) {
+	rt := boost.NewRuntime()
+	m := boost.NewMap(rt, "ht", 3)
+	err := rt.Atomic("rm", func(tx *boost.Txn) error {
+		if _, _, err := m.Put(tx, 1, 10); err != nil {
+			return err
+		}
+		old, present, err := m.Remove(tx, 1)
+		if err != nil || !present || old != 10 {
+			return fmt.Errorf("remove: %d %v %v", old, present, err)
+		}
+		_, present, err = m.Remove(tx, 1)
+		if err != nil || present {
+			return fmt.Errorf("second remove: %v %v", present, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterGetAndAbort(t *testing.T) {
+	rt := boost.NewRuntime()
+	c := boost.NewCounter(rt, "ctr")
+	boom := fmt.Errorf("boom")
+	if err := rt.Atomic("ab", func(tx *boost.Txn) error {
+		if err := c.Inc(tx); err != nil {
+			return err
+		}
+		v, err := c.Get(tx)
+		if err != nil {
+			return err
+		}
+		if v != 1 {
+			return fmt.Errorf("get = %d", v)
+		}
+		return boom
+	}); err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Value() != 0 {
+		t.Fatalf("counter = %d after abort", c.Value())
+	}
+}
+
+// TestCertifiedMixedObjects runs set+map+counter in one certified
+// transaction stream under concurrency.
+func TestCertifiedMixedObjects(t *testing.T) {
+	reg := spec.NewRegistry()
+	reg.Register("set", adt.Set{})
+	reg.Register("ht", adt.Map{})
+	reg.Register("ctr", adt.Counter{})
+	rt := boost.NewRuntime()
+	rt.Recorder = trace.NewRecorder(reg)
+	s := boost.NewSet(rt, "set", 4)
+	m := boost.NewMap(rt, "ht", 5)
+	c := boost.NewCounter(rt, "ctr")
+
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				k := int64((g*4 + i) % 9)
+				err := rt.Atomic(fmt.Sprintf("mix%d-%d", g, i), func(tx *boost.Txn) error {
+					if _, err := s.Add(tx, k); err != nil {
+						return err
+					}
+					if _, _, err := m.Put(tx, k, k*2); err != nil {
+						return err
+					}
+					return c.Inc(tx)
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := rt.Recorder.FinalCheck(); err != nil {
+		for _, v := range rt.Recorder.Violations() {
+			t.Log(v)
+		}
+		t.Fatal(err)
+	}
+	if c.Value() != 3*25 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+}
+
+// TestLockTimeoutSurfacesAsRetry: with minimal spins, two whole-object
+// counter transactions force timeouts that resolve by retry.
+func TestLockTimeoutSurfacesAsRetry(t *testing.T) {
+	rt := boost.NewRuntime()
+	rt.LockSpins = 1
+	c := boost.NewCounter(rt, "ctr")
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := rt.Atomic("inc", func(tx *boost.Txn) error {
+					return c.Inc(tx)
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 400 {
+		t.Fatalf("counter = %d (stats %+v)", c.Value(), rt.Stats())
+	}
+}

@@ -1,0 +1,349 @@
+// Package dep implements dependent transactions (Ramadan, Roy, Herlihy,
+// Witchel, PPoPP'09) with early release of writes (Herlihy et al.,
+// PODC'03) — the §6.5 non-opaque model: a transaction's speculative
+// writes are visible in place before it commits; a reader of such a
+// value becomes *dependent* on the writer and
+//
+//	"does not commit until T′ has committed. If T′ aborts, then T must
+//	abort" — the cascading abort.
+//
+// In Push/Pull terms: writers APP and PUSH eagerly; a dependent reader
+// PULLs the uncommitted write, APPlies its read, and must defer the
+// PUSH of that read until the writer commits (PUSH criterion (ii)
+// forbids publishing an operation that uncommitted effects cannot move
+// across); CMT criterion (iii) then enforces the commit ordering, and a
+// writer abort forces the reader to detangle (UNPULL after rewinding) —
+// realized here as a cascading abort and retry.
+package dep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"pushpull/internal/trace"
+)
+
+// ErrConflict aborts the attempt for retry (write-write conflict, or
+// dependency timeout breaking a potential cycle).
+var ErrConflict = errors.New("dep: conflict")
+
+// ErrCascade aborts the attempt because a transaction it depends on
+// aborted.
+var ErrCascade = errors.New("dep: cascading abort")
+
+type txState int32
+
+const (
+	stActive txState = iota
+	stCommitted
+	stAborted
+)
+
+// txnRec is the shared record other transactions hold dependencies on.
+type txnRec struct {
+	id    uint64
+	state atomic.Int32
+}
+
+type word struct {
+	mu      sync.Mutex
+	value   int64
+	writer  *txnRec          // uncommitted writer, nil when value is committed
+	readers map[*txnRec]bool // active transactions that have read this word
+}
+
+// Stats counts memory activity.
+type Stats struct {
+	Commits  uint64
+	Aborts   uint64
+	Cascades uint64
+	DepWaits uint64
+}
+
+// Memory is the shared word array with early release.
+type Memory struct {
+	words []word
+	ids   atomic.Uint64
+
+	// DepSpins bounds commit-time waiting for dependencies before the
+	// transaction aborts to break potential dependency cycles
+	// (default 4096).
+	DepSpins int
+	// Name is the certification object name (an adt.Register binding).
+	Name string
+	// Recorder, when non-nil, certifies runs on a shadow machine
+	// (sessions pull uncommitted effects — the non-opaque fragment).
+	Recorder *trace.Recorder
+
+	commits  atomic.Uint64
+	aborts   atomic.Uint64
+	cascades atomic.Uint64
+	depWaits atomic.Uint64
+}
+
+// New allocates a memory of n words.
+func New(n int) *Memory {
+	return &Memory{words: make([]word, n), DepSpins: 4096, Name: "mem"}
+}
+
+// Stats returns activity counters.
+func (m *Memory) Stats() Stats {
+	return Stats{Commits: m.commits.Load(), Aborts: m.aborts.Load(),
+		Cascades: m.cascades.Load(), DepWaits: m.depWaits.Load()}
+}
+
+// ReadNoTx reads a word non-transactionally (quiescent verification).
+func (m *Memory) ReadNoTx(addr int) int64 {
+	m.words[addr].mu.Lock()
+	defer m.words[addr].mu.Unlock()
+	return m.words[addr].value
+}
+
+type undoRec struct {
+	addr      int
+	old       int64
+	oldWriter *txnRec
+}
+
+// Tx is one dependent-transaction attempt.
+type Tx struct {
+	mem       *Memory
+	rec       *txnRec
+	deps      map[*txnRec]bool
+	readAddrs map[int]bool
+	undo      []undoRec
+	sess      *trace.Session
+}
+
+// Read returns the word's current value — possibly a speculative value
+// released early by an uncommitted writer, in which case this
+// transaction becomes dependent on that writer.
+func (tx *Tx) Read(addr int) (int64, error) {
+	if tx.rec.state.Load() != int32(stActive) {
+		return 0, ErrCascade
+	}
+	w := &tx.mem.words[addr]
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	v := w.value
+	// Visible read: writers must not overtake us before we commit, or
+	// the commit order would no longer be a serialization order.
+	if w.readers == nil {
+		w.readers = make(map[*txnRec]bool)
+	}
+	w.readers[tx.rec] = true
+	tx.readAddrs[addr] = true
+	if w.writer != nil && w.writer != tx.rec {
+		switch txState(w.writer.state.Load()) {
+		case stActive:
+			tx.deps[w.writer] = true // dependency established
+		case stAborted:
+			// Rolled back value is being restored by the aborter; retry.
+			return 0, ErrConflict
+		}
+	}
+	if tx.sess != nil {
+		// A read of committed state publishes eagerly (it must precede
+		// any of our own later writes in the shared log); a dependent
+		// read — one observing an uncommitted foreign write — cannot be
+		// published over that write (PUSH criterion (ii)) and is
+		// deferred to commit, after the dependency commits. OpTryEager
+		// implements exactly that dichotomy. The certification runs
+		// under the word lock — the read's linearization point.
+		if !tx.sess.OpTryEager(tx.mem.Name, "read", []int64{int64(addr)}, v) {
+			return 0, fmt.Errorf("dep: read certification failed: %w", tx.mem.Recorder.Err())
+		}
+	}
+	return v, nil
+}
+
+// Write stores in place, releasing the value early. Overwriting another
+// transaction's uncommitted write is a plain conflict (dependencies
+// flow through reads only).
+func (tx *Tx) Write(addr int, val int64) error {
+	if tx.rec.state.Load() != int32(stActive) {
+		return ErrCascade
+	}
+	// A transaction with a live dependency may keep reading (extending
+	// the dependence chain) but may not release writes of its own until
+	// the dependency commits: its writes are functions of speculative
+	// values, and releasing them would chain speculation through
+	// *different* addresses, which the commit-ordering protocol (and the
+	// Push/Pull publication order) does not track. Conflict-and-retry;
+	// by the retry the dependency has usually resolved.
+	for dep := range tx.deps {
+		if txState(dep.state.Load()) == stActive {
+			return ErrConflict
+		}
+	}
+	w := &tx.mem.words[addr]
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.writer != nil && w.writer != tx.rec && w.writer.state.Load() == int32(stActive) {
+		return ErrConflict
+	}
+	// Visible readers: an active foreign reader has this word in its
+	// snapshot; writing over it would force that reader to serialize
+	// before us despite committing after us. Conflict-and-retry.
+	for r := range w.readers {
+		if r != tx.rec && txState(r.state.Load()) == stActive {
+			return ErrConflict
+		}
+	}
+	old := w.value
+	oldWriter := w.writer
+	tx.undo = append(tx.undo, undoRec{addr: addr, old: old, oldWriter: oldWriter})
+	w.value = val
+	w.writer = tx.rec
+	if tx.sess != nil {
+		// Early-released writes PUSH eagerly (the release), under the
+		// word lock — the write's linearization point.
+		if !tx.sess.Op(tx.mem.Name, "write", []int64{int64(addr), val}, old) {
+			return fmt.Errorf("dep: write certification failed: %w", tx.mem.Recorder.Err())
+		}
+	}
+	return nil
+}
+
+// Atomic runs fn as a dependent transaction, retrying conflicts and
+// cascades.
+func (m *Memory) Atomic(name string, fn func(*Tx) error) error {
+	for attempt := 0; ; attempt++ {
+		tx := &Tx{mem: m, rec: &txnRec{id: m.ids.Add(1)}, deps: make(map[*txnRec]bool), readAddrs: make(map[int]bool)}
+		if m.Recorder != nil {
+			tx.sess = m.Recorder.Begin(name)
+			tx.sess.PullUncommitted = true
+		}
+		err := fn(tx)
+		if err == nil {
+			err = m.commit(tx)
+		}
+		if err == nil {
+			m.commits.Add(1)
+			return nil
+		}
+		m.rollback(tx)
+		m.aborts.Add(1)
+		if errors.Is(err, ErrCascade) {
+			m.cascades.Add(1)
+		} else if !errors.Is(err, ErrConflict) {
+			return err
+		}
+		// Visible-reader/writer storms on hot words thrash without
+		// backoff: yield proportionally to the retry count.
+		backoff := attempt
+		if backoff > 64 {
+			backoff = 64
+		}
+		for i := 0; i <= backoff; i++ {
+			runtime.Gosched()
+		}
+	}
+}
+
+// commit waits for every dependency to commit (aborting on a dependency
+// abort or timeout), then atomically commits: its own words lose their
+// uncommitted-writer mark.
+func (m *Memory) commit(tx *Tx) error {
+	spins := m.DepSpins
+	if spins <= 0 {
+		spins = 4096
+	}
+	for i := 0; ; i++ {
+		pending := false
+		for dep := range tx.deps {
+			switch txState(dep.state.Load()) {
+			case stAborted:
+				return ErrCascade
+			case stActive:
+				pending = true
+			}
+		}
+		if tx.rec.state.Load() != int32(stActive) {
+			return ErrCascade
+		}
+		if !pending {
+			break
+		}
+		if i >= spins {
+			m.depWaits.Add(1)
+			return ErrConflict // dependency cycle / starvation breaker
+		}
+		runtime.Gosched()
+	}
+	// Shadow commit first: every dependency has already shadow-committed
+	// (a writer's shadow CMT precedes its runtime commit flag), so the
+	// deferred read pushes and CMT criterion (iii) go through; readers
+	// that observe our runtime commit afterwards find our shadow ops
+	// committed too.
+	if tx.sess != nil && !tx.sess.Commit() {
+		return fmt.Errorf("dep: commit certification failed: %w", m.Recorder.Err())
+	}
+	tx.rec.state.Store(int32(stCommitted))
+	m.unregisterReads(tx)
+	// Clear writer marks on our words.
+	seen := map[int]bool{}
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		addr := tx.undo[i].addr
+		if seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		w := &m.words[addr]
+		w.mu.Lock()
+		if w.writer == tx.rec {
+			w.writer = nil
+		}
+		w.mu.Unlock()
+	}
+	return nil
+}
+
+// rollback marks the transaction aborted (cascading to dependents, who
+// observe the state change) and restores its words' previous values and
+// writers, newest first. All touched word locks are held across the
+// restore AND the shadow UNPUSH so no reader can observe memory and
+// shadow disagreeing.
+func (m *Memory) unregisterReads(tx *Tx) {
+	for addr := range tx.readAddrs {
+		w := &m.words[addr]
+		w.mu.Lock()
+		delete(w.readers, tx.rec)
+		w.mu.Unlock()
+	}
+}
+
+func (m *Memory) rollback(tx *Tx) {
+	tx.rec.state.Store(int32(stAborted))
+	m.unregisterReads(tx)
+	addrs := make([]int, 0, len(tx.undo))
+	seen := map[int]bool{}
+	for _, u := range tx.undo {
+		if !seen[u.addr] {
+			seen[u.addr] = true
+			addrs = append(addrs, u.addr)
+		}
+	}
+	sort.Ints(addrs)
+	for _, a := range addrs {
+		m.words[a].mu.Lock()
+	}
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		u := tx.undo[i]
+		w := &m.words[u.addr]
+		if w.writer == tx.rec {
+			w.value = u.old
+			w.writer = u.oldWriter
+		}
+	}
+	if tx.sess != nil {
+		tx.sess.Abort()
+	}
+	for i := len(addrs) - 1; i >= 0; i-- {
+		m.words[addrs[i]].mu.Unlock()
+	}
+}

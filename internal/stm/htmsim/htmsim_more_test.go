@@ -1,0 +1,187 @@
+package htmsim_test
+
+import (
+	"sync"
+	"testing"
+
+	"pushpull/internal/stm/htmsim"
+)
+
+// TestManualTxnLifecycle drives the raw XBEGIN/XEND interface.
+func TestManualTxnLifecycle(t *testing.T) {
+	h := htmsim.New(8)
+	tx := h.Begin()
+	if err := tx.Write(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := tx.Read(0); err != nil || v != 5 {
+		t.Fatalf("read own buffer: %d %v", v, err)
+	}
+	ops := tx.Ops()
+	if len(ops) != 2 || ops[0].Method != "write" || ops[1].Ret != 5 {
+		t.Fatalf("ops %v", ops)
+	}
+	if err := tx.Commit("m"); err != nil {
+		t.Fatal(err)
+	}
+	if h.ReadNoTx(0) != 5 {
+		t.Fatal("manual commit missing")
+	}
+	// Ops after commit return the snapshot with pre-commit old values.
+	ops = tx.Ops()
+	if ops[0].Ret != 0 {
+		t.Fatalf("snapshotted write old-value = %d, want 0", ops[0].Ret)
+	}
+}
+
+func TestManualCancelDiscards(t *testing.T) {
+	h := htmsim.New(4)
+	tx := h.Begin()
+	if err := tx.Write(1, 9); err != nil {
+		t.Fatal(err)
+	}
+	tx.Cancel()
+	if h.ReadNoTx(1) != 0 {
+		t.Fatal("cancelled buffer leaked")
+	}
+	// The word is free for others.
+	tx2 := h.Begin()
+	if err := tx2.Write(1, 3); err != nil {
+		t.Fatalf("ownership not released: %v", err)
+	}
+	if err := tx2.Commit("m2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEagerConflictReaderVsWriter: a writer touching a word with a
+// foreign reader aborts immediately (requester loses), and vice versa.
+func TestEagerConflictReaderVsWriter(t *testing.T) {
+	h := htmsim.New(4)
+	reader := h.Begin()
+	if _, err := reader.Read(2); err != nil {
+		t.Fatal(err)
+	}
+	writer := h.Begin()
+	err := writer.Write(2, 1)
+	if code, ok := htmsim.IsAbort(err); !ok || code != htmsim.Conflict {
+		t.Fatalf("writer vs reader: %v", err)
+	}
+	writer.Cancel()
+	// Reader may proceed and commit.
+	if err := reader.Commit("r"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Now writer first, reader second.
+	w2 := h.Begin()
+	if err := w2.Write(2, 7); err != nil {
+		t.Fatal(err)
+	}
+	r2 := h.Begin()
+	_, err = r2.Read(2)
+	if code, ok := htmsim.IsAbort(err); !ok || code != htmsim.Conflict {
+		t.Fatalf("reader vs writer: %v", err)
+	}
+	r2.Cancel()
+	if err := w2.Commit("w"); err != nil {
+		t.Fatal(err)
+	}
+	if h.ReadNoTx(2) != 7 {
+		t.Fatal("writer commit missing")
+	}
+}
+
+// TestSharedReaders: two concurrent readers of one word coexist.
+func TestSharedReaders(t *testing.T) {
+	h := htmsim.New(4)
+	r1, r2 := h.Begin(), h.Begin()
+	if _, err := r1.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.Read(0); err != nil {
+		t.Fatalf("shared read refused: %v", err)
+	}
+	if err := r1.Commit("r1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Commit("r2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFallbackEpochAbortsSpeculation: a speculative transaction begun
+// before a fallback ran must abort at commit (epoch subscription).
+func TestFallbackEpochAbortsSpeculation(t *testing.T) {
+	h := htmsim.New(8)
+	spec := h.Begin()
+	if _, err := spec.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	// A fallback runs (forced by an always-capacity workload).
+	h.Capacity = 1
+	if err := h.Atomic("big", func(tx *htmsim.Tx) error {
+		for i := 1; i < 4; i++ {
+			if err := tx.Write(i, int64(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if h.Stats().Fallbacks == 0 {
+		t.Fatal("fallback expected")
+	}
+	err := spec.Commit("stale")
+	if code, ok := htmsim.IsAbort(err); !ok || code != htmsim.Conflict {
+		t.Fatalf("stale speculation must abort at commit: %v", err)
+	}
+}
+
+// TestConcurrentMixedSpeculativeAndFallback hammers both paths together.
+func TestConcurrentMixedSpeculativeAndFallback(t *testing.T) {
+	h := htmsim.New(64)
+	h.Capacity = 4
+	h.MaxRetries = 2
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				big := i%5 == 0
+				if err := h.Atomic("mx", func(tx *htmsim.Tx) error {
+					n := 1
+					if big {
+						n = 8 // exceeds capacity → fallback path
+					}
+					for k := 0; k < n; k++ {
+						addr := (g*7 + i + k) % 64
+						v, err := tx.Read(addr)
+						if err != nil {
+							return err
+						}
+						if err := tx.Write(addr, v+1); err != nil {
+							return err
+						}
+					}
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var sum int64
+	for a := 0; a < 64; a++ {
+		sum += h.ReadNoTx(a)
+	}
+	// 6 goroutines × 100 txns: 20 big (8 increments) + 80 small (1).
+	want := int64(6 * (20*8 + 80*1))
+	if sum != want {
+		t.Fatalf("sum = %d, want %d (atomicity across fallback boundary broken)", sum, want)
+	}
+}

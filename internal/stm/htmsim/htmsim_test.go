@@ -1,0 +1,203 @@
+package htmsim_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pushpull/internal/adt"
+	"pushpull/internal/spec"
+	"pushpull/internal/stm/htmsim"
+	"pushpull/internal/trace"
+)
+
+func TestSequentialBufferedWrites(t *testing.T) {
+	h := htmsim.New(8)
+	err := h.Atomic("a", func(tx *htmsim.Tx) error {
+		if err := tx.Write(0, 5); err != nil {
+			return err
+		}
+		v, err := tx.Read(0)
+		if err != nil {
+			return err
+		}
+		if v != 5 {
+			return fmt.Errorf("read own buffered write = %d", v)
+		}
+		// Invisible before commit.
+		if h.ReadNoTx(0) != 0 {
+			return fmt.Errorf("buffered write leaked early")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ReadNoTx(0) != 5 {
+		t.Fatal("commit did not apply buffered write")
+	}
+}
+
+func TestCapacityAbort(t *testing.T) {
+	h := htmsim.New(128)
+	h.Capacity = 4
+	h.MaxRetries = 2
+	var sawCapacity bool
+	err := h.TxnOnce("big", func(tx *htmsim.Tx) error {
+		for i := 0; i < 10; i++ {
+			if err := tx.Write(i, 1); err != nil {
+				if code, ok := htmsim.IsAbort(err); ok && code == htmsim.Capacity {
+					sawCapacity = true
+				}
+				return err
+			}
+		}
+		return nil
+	})
+	if err == nil || !sawCapacity {
+		t.Fatalf("err=%v sawCapacity=%v", err, sawCapacity)
+	}
+	if h.Stats().CapacityAborts == 0 {
+		t.Fatal("capacity abort not counted")
+	}
+	// Atomic falls back to the lock and succeeds.
+	if err := h.Atomic("big2", func(tx *htmsim.Tx) error {
+		for i := 0; i < 10; i++ {
+			if err := tx.Write(i, 2); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if h.ReadNoTx(9) != 2 {
+		t.Fatal("fallback writes missing")
+	}
+	if h.Stats().Fallbacks == 0 {
+		t.Fatal("fallback not counted")
+	}
+}
+
+func TestExplicitAbort(t *testing.T) {
+	h := htmsim.New(4)
+	err := h.TxnOnce("x", func(tx *htmsim.Tx) error {
+		if err := tx.Write(0, 9); err != nil {
+			return err
+		}
+		return tx.Abort()
+	})
+	if code, ok := htmsim.IsAbort(err); !ok || code != htmsim.Explicit {
+		t.Fatalf("err = %v", err)
+	}
+	if h.ReadNoTx(0) != 0 {
+		t.Fatal("explicitly aborted write leaked")
+	}
+}
+
+func TestConcurrentCounter(t *testing.T) {
+	h := htmsim.New(4)
+	const goroutines = 8
+	const iters = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if err := h.Atomic("inc", func(tx *htmsim.Tx) error {
+					v, err := tx.Read(0)
+					if err != nil {
+						return err
+					}
+					return tx.Write(0, v+1)
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.ReadNoTx(0); got != goroutines*iters {
+		t.Fatalf("counter = %d, want %d (stats %+v)", got, goroutines*iters, h.Stats())
+	}
+}
+
+func TestCertifiedRun(t *testing.T) {
+	reg := spec.NewRegistry()
+	reg.Register("mem", adt.Register{})
+	h := htmsim.New(16)
+	h.Recorder = trace.NewRecorder(reg)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				addr := (g*5 + i) % 16
+				if err := h.Atomic(fmt.Sprintf("h%d-%d", g, i), func(tx *htmsim.Tx) error {
+					v, err := tx.Read(addr)
+					if err != nil {
+						return err
+					}
+					return tx.Write(addr, v+1)
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := h.Recorder.FinalCheck(); err != nil {
+		for _, v := range h.Recorder.Violations() {
+			t.Log(v)
+		}
+		t.Fatal(err)
+	}
+	t.Logf("certified %d commits; stats %+v", h.Recorder.Commits(), h.Stats())
+}
+
+func BenchmarkHTMSmallFootprint(b *testing.B) {
+	h := htmsim.New(1024)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			addr := (i * 17) % 1024
+			i++
+			_ = h.Atomic("bench", func(tx *htmsim.Tx) error {
+				v, err := tx.Read(addr)
+				if err != nil {
+					return err
+				}
+				return tx.Write(addr, v+1)
+			})
+		}
+	})
+}
+
+func BenchmarkHTMCapacityOverflow(b *testing.B) {
+	h := htmsim.New(1024)
+	h.Capacity = 8
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			base := (i * 31) % 512
+			i++
+			_ = h.Atomic("bench", func(tx *htmsim.Tx) error {
+				for k := 0; k < 16; k++ { // footprint 16 > capacity 8
+					v, err := tx.Read(base + k)
+					if err != nil {
+						return err
+					}
+					if err := tx.Write(base+k, v+1); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}
+	})
+}

@@ -1,0 +1,162 @@
+// Package hybrid combines transactional boosting with the simulated
+// best-effort HTM — the Section 7 interaction. One atomic block mixes
+//
+//   - boosted data-structure operations (skiplist/hashtable/counter):
+//     executed eagerly under abstract locks, expensive to replay, and
+//   - HTM word operations (the paper's size/x/y variables): executed
+//     speculatively, cheap to replay.
+//
+// When the HTM part aborts, the boosted effects stay in the shared view
+// (their abstract locks are still held); only the HTM operations are
+// retracted and re-executed — the UNPUSH/UNAPP-then-march-forward of
+// Figure 7. The combined transaction commits at an uninterleaved moment
+// (Figure 7's "Uninterleaved commit"): a runtime-wide commit section
+// applies the final HTM attempt and the boosted CMT back-to-back.
+//
+// Certification: boosted operations enter the shared trace.Session
+// eagerly; the final HTM attempt's operations enter it at commit as
+// deferred APPs whose PUSHes precede CMT — so the whole mixed
+// transaction certifies as one Push/Pull transaction.
+package hybrid
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"pushpull/internal/stm/boost"
+	"pushpull/internal/stm/htmsim"
+)
+
+// Stats counts hybrid activity.
+type Stats struct {
+	Commits    uint64
+	HTMReplays uint64
+	Boost      boost.Stats
+	HTM        htmsim.Stats
+}
+
+// Runtime couples a boosting runtime and an HTM instance. The HTM
+// instance must be exclusive to this runtime.
+type Runtime struct {
+	Boost *boost.Runtime
+	HTM   *htmsim.HTM
+
+	// HTMRetries bounds speculative replays of the HTM part before the
+	// whole hybrid transaction aborts and retries (default 16).
+	HTMRetries int
+
+	commitMu   sync.Mutex
+	commits    uint64
+	htmReplays uint64
+	statsMu    sync.Mutex
+}
+
+// New builds a hybrid runtime. Attach a shared trace.Recorder through
+// rt.Boost.Recorder; the HTM's own Recorder must stay nil (its
+// operations certify inside the boosted session instead).
+func New(b *boost.Runtime, h *htmsim.HTM) *Runtime {
+	return &Runtime{Boost: b, HTM: h, HTMRetries: 16}
+}
+
+// Stats returns activity counters.
+func (rt *Runtime) Stats() Stats {
+	rt.statsMu.Lock()
+	defer rt.statsMu.Unlock()
+	return Stats{Commits: rt.commits, HTMReplays: rt.htmReplays,
+		Boost: rt.Boost.Stats(), HTM: rt.HTM.Stats()}
+}
+
+// ErrHTMExhausted aborts the hybrid transaction after the HTM part
+// failed every speculative replay; the boosting layer retries the whole
+// transaction.
+var ErrHTMExhausted = errors.New("hybrid: HTM retries exhausted")
+
+// Tx is one hybrid transaction attempt.
+type Tx struct {
+	rt       *Runtime
+	bt       *boost.Txn
+	sections []func(h *htmsim.Tx) error
+}
+
+// Boosted exposes the boosting transaction for boosted object calls.
+func (tx *Tx) Boosted() *boost.Txn { return tx.bt }
+
+// HTMSection registers speculative word-level work. Sections run (and
+// re-run, on HTM aborts) against the HTM; values read inside a section
+// must not flow into boosted operations — boosted effects are never
+// replayed (that asymmetry is the whole point of Section 7).
+func (tx *Tx) HTMSection(section func(h *htmsim.Tx) error) {
+	tx.sections = append(tx.sections, section)
+}
+
+// Atomic runs fn as one hybrid transaction.
+func (rt *Runtime) Atomic(name string, fn func(*Tx) error) error {
+	return rt.Boost.Atomic(name, func(bt *boost.Txn) error {
+		tx := &Tx{rt: rt, bt: bt}
+		if err := fn(tx); err != nil {
+			return err
+		}
+		return rt.commitHTM(name, tx)
+	})
+}
+
+// commitHTM is the uninterleaved commit section: execute the HTM
+// sections speculatively (replaying on aborts — boosted effects stay
+// put), certify the successful attempt's operations into the shared
+// session, and let the boosting layer CMT.
+func (rt *Runtime) commitHTM(name string, tx *Tx) error {
+	if len(tx.sections) == 0 {
+		return nil
+	}
+	rt.commitMu.Lock()
+	defer rt.commitMu.Unlock()
+	for attempt := 0; attempt < rt.HTMRetries; attempt++ {
+		htx := rt.HTM.Begin()
+		err := runSections(htx, tx.sections)
+		if err == nil {
+			err = htx.Commit(name)
+			if err == nil {
+				if sess := tx.bt.Session(); sess != nil {
+					for _, op := range htx.Ops() {
+						if !sess.OpDeferred(op.Obj, op.Method, op.Args, op.Ret) {
+							return fmt.Errorf("hybrid: HTM certification failed")
+						}
+					}
+					// Commit the shared session here, inside the
+					// serialized commit section, so no other hybrid
+					// commit interleaves between the HTM application and
+					// the shadow CMT. The boosting layer's own
+					// sess.Commit is then an idempotent no-op.
+					if !sess.Commit() {
+						return fmt.Errorf("hybrid: commit certification failed")
+					}
+				}
+				rt.statsMu.Lock()
+				rt.commits++
+				rt.htmReplays += uint64(attempt)
+				rt.statsMu.Unlock()
+				return nil
+			}
+		} else {
+			htx.Cancel()
+		}
+		if _, isAbort := htmsim.IsAbort(err); !isAbort {
+			return err // user error from a section: abort the hybrid txn
+		}
+		// HTM abort: Figure 7's UNPUSH of the HTM ops; the boosted
+		// effects remain. March forward again (replay the sections).
+	}
+	// Abort-and-retry the whole hybrid transaction through the boosting
+	// layer's conflict path.
+	return fmt.Errorf("%w: %w", ErrHTMExhausted, boost.ErrConflict)
+}
+
+func runSections(htx *htmsim.Tx, sections []func(h *htmsim.Tx) error) error {
+	for _, s := range sections {
+		if err := s(htx); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package irrevoc_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pushpull/internal/adt"
+	"pushpull/internal/spec"
+	"pushpull/internal/stm/irrevoc"
+	"pushpull/internal/trace"
+)
+
+func TestOptimisticBasics(t *testing.T) {
+	m := irrevoc.New(4)
+	if err := m.Atomic("a", func(tx *irrevoc.Tx) error {
+		v, err := tx.Read(0)
+		if err != nil {
+			return err
+		}
+		return tx.Write(0, v+41)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m.ReadNoTx(0) != 41 {
+		t.Fatalf("mem[0] = %d", m.ReadNoTx(0))
+	}
+}
+
+func TestIrrevocableBasics(t *testing.T) {
+	m := irrevoc.New(4)
+	if err := m.AtomicIrrevocable("irr", func(tx *irrevoc.IrrevTx) error {
+		v, err := tx.Read(1)
+		if err != nil {
+			return err
+		}
+		return tx.Write(1, v+7)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m.ReadNoTx(1) != 7 {
+		t.Fatalf("mem[1] = %d", m.ReadNoTx(1))
+	}
+	if m.Stats().IrrevRuns != 1 {
+		t.Fatalf("stats %+v", m.Stats())
+	}
+}
+
+func TestIrrevocableUserErrorRollsBack(t *testing.T) {
+	m := irrevoc.New(4)
+	boom := fmt.Errorf("boom")
+	if err := m.AtomicIrrevocable("irr", func(tx *irrevoc.IrrevTx) error {
+		if err := tx.Write(0, 99); err != nil {
+			return err
+		}
+		return boom
+	}); err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	if m.ReadNoTx(0) != 0 {
+		t.Fatal("user-error rollback failed")
+	}
+	// Memory remains usable by optimists afterwards.
+	if err := m.Atomic("after", func(tx *irrevoc.Tx) error {
+		return tx.Write(0, 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMixedWorkloadNeverAbortsIrrevocable: optimists hammer the words
+// the irrevocable transaction walks through; the irrevocable side must
+// complete every run with zero TM aborts and totals must be exact.
+func TestMixedWorkloadNeverAbortsIrrevocable(t *testing.T) {
+	m := irrevoc.New(8)
+	var wg sync.WaitGroup
+	const irrRuns = 20
+	const optG = 4
+	const optIters = 100
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < irrRuns; i++ {
+			if err := m.AtomicIrrevocable("irr", func(tx *irrevoc.IrrevTx) error {
+				for a := 0; a < 4; a++ {
+					v, err := tx.Read(a)
+					if err != nil {
+						return err
+					}
+					if err := tx.Write(a, v+1); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < optG; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < optIters; i++ {
+				if err := m.Atomic("opt", func(tx *irrevoc.Tx) error {
+					v, err := tx.Read(g % 4)
+					if err != nil {
+						return err
+					}
+					return tx.Write(g%4, v+1)
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := m.Stats()
+	if st.IrrevAborts != 0 {
+		t.Fatalf("irrevocable suffered TM aborts: %+v", st)
+	}
+	var total int64
+	for a := 0; a < 4; a++ {
+		total += m.ReadNoTx(a)
+	}
+	want := int64(irrRuns*4 + optG*optIters)
+	if total != want {
+		t.Fatalf("total = %d, want %d (lost updates)", total, want)
+	}
+}
+
+func TestCertifiedMixedRun(t *testing.T) {
+	reg := spec.NewRegistry()
+	reg.Register("mem", adt.Register{})
+	m := irrevoc.New(8)
+	m.Recorder = trace.NewRecorder(reg)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 15; i++ {
+			if err := m.AtomicIrrevocable(fmt.Sprintf("irr%d", i), func(tx *irrevoc.IrrevTx) error {
+				v, err := tx.Read(i % 8)
+				if err != nil {
+					return err
+				}
+				return tx.Write(i%8, v+10)
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				if err := m.Atomic(fmt.Sprintf("opt%d-%d", g, i), func(tx *irrevoc.Tx) error {
+					v, err := tx.Read((g + i) % 8)
+					if err != nil {
+						return err
+					}
+					return tx.Write((g+i)%8, v+1)
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := m.Recorder.FinalCheck(); err != nil {
+		for _, v := range m.Recorder.Violations() {
+			t.Log(v)
+		}
+		t.Fatal(err)
+	}
+	t.Logf("certified %d commits; stats %+v", m.Recorder.Commits(), m.Stats())
+}

@@ -1,0 +1,278 @@
+// Package pess is a pessimistic two-phase-locking word STM: reader/
+// writer locks per word, in-place (eager) writes with an undo log, and
+// wait-die deadlock avoidance. It is the memory-level pessimistic
+// counterpart of §6.3.
+//
+// In Push/Pull terms every operation is published at its linearization
+// point — APP immediately followed by PUSH, like boosting — because
+// in-place writes are visible in the shared state the moment they
+// happen; strict 2PL guarantees PUSH criterion (ii) (concurrent
+// uncommitted operations hold disjoint or read-shared words, hence
+// commute). Abort runs the undo log: UNPUSH (write back the old value)
+// then UNAPP, tail first. Instrumented runs certify that decomposition
+// per operation via trace.Session.
+package pess
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pushpull/internal/trace"
+)
+
+// ErrConflict aborts the current attempt (wait-die "die"); Atomic
+// retries with the original timestamp so the transaction ages and
+// eventually wins.
+var ErrConflict = errors.New("pess: conflict (die)")
+
+type wordLock struct {
+	mu      sync.Mutex
+	writer  uint64          // transaction ts holding the write lock (0 none)
+	readers map[uint64]bool // transaction ts holding read locks
+}
+
+// Stats counts memory-wide activity.
+type Stats struct {
+	Commits uint64
+	Aborts  uint64
+}
+
+// Memory is a transactional array of words under strict 2PL.
+type Memory struct {
+	locks  []wordLock
+	values []atomic.Int64
+
+	tsCounter atomic.Uint64
+
+	// Name is the certification object name (an adt.Register binding).
+	Name string
+	// Recorder, when non-nil, certifies every operation eagerly on a
+	// shadow Push/Pull machine.
+	Recorder *trace.Recorder
+
+	commits atomic.Uint64
+	aborts  atomic.Uint64
+}
+
+// New allocates a memory of n words, all zero.
+func New(n int) *Memory {
+	m := &Memory{locks: make([]wordLock, n), values: make([]atomic.Int64, n), Name: "mem"}
+	for i := range m.locks {
+		m.locks[i].readers = make(map[uint64]bool)
+	}
+	return m
+}
+
+// Stats returns commit/abort counts.
+func (m *Memory) Stats() Stats {
+	return Stats{Commits: m.commits.Load(), Aborts: m.aborts.Load()}
+}
+
+// ReadNoTx reads a word non-transactionally (quiescent verification).
+func (m *Memory) ReadNoTx(addr int) int64 { return m.values[addr].Load() }
+
+type undoRec struct {
+	addr int
+	old  int64
+}
+
+// Tx is one transaction attempt.
+type Tx struct {
+	mem *Memory
+	ts  uint64 // wait-die age, stable across retries
+
+	readLocks  map[int]bool
+	writeLocks map[int]bool
+	undo       []undoRec
+	sess       *trace.Session
+}
+
+// lockResult of one acquisition try.
+type lockResult int
+
+const (
+	lockOK lockResult = iota
+	lockWait
+	lockDie
+)
+
+// tryReadLock implements wait-die for shared acquisition.
+func (tx *Tx) tryReadLock(addr int) lockResult {
+	wl := &tx.mem.locks[addr]
+	wl.mu.Lock()
+	defer wl.mu.Unlock()
+	if tx.writeLocks[addr] || wl.readers[tx.ts] {
+		return lockOK
+	}
+	if wl.writer == 0 {
+		wl.readers[tx.ts] = true
+		tx.readLocks[addr] = true
+		return lockOK
+	}
+	if tx.ts < wl.writer {
+		return lockWait // older waits
+	}
+	return lockDie // younger dies
+}
+
+// tryWriteLock implements wait-die for exclusive acquisition, including
+// read→write upgrade.
+func (tx *Tx) tryWriteLock(addr int) lockResult {
+	wl := &tx.mem.locks[addr]
+	wl.mu.Lock()
+	defer wl.mu.Unlock()
+	if wl.writer == tx.ts {
+		return lockOK
+	}
+	if wl.writer != 0 {
+		if tx.ts < wl.writer {
+			return lockWait
+		}
+		return lockDie
+	}
+	// Need no other readers (our own read lock upgrades).
+	oldest := uint64(0)
+	for r := range wl.readers {
+		if r != tx.ts && (oldest == 0 || r < oldest) {
+			oldest = r
+		}
+	}
+	if oldest != 0 {
+		if tx.ts < oldest {
+			return lockWait
+		}
+		return lockDie
+	}
+	delete(wl.readers, tx.ts)
+	delete(tx.readLocks, addr)
+	wl.writer = tx.ts
+	tx.writeLocks[addr] = true
+	return lockOK
+}
+
+func (tx *Tx) acquire(addr int, write bool) error {
+	for {
+		var res lockResult
+		if write {
+			res = tx.tryWriteLock(addr)
+		} else {
+			res = tx.tryReadLock(addr)
+		}
+		switch res {
+		case lockOK:
+			return nil
+		case lockDie:
+			return ErrConflict
+		case lockWait:
+			runtime.Gosched()
+		}
+	}
+}
+
+// Read acquires a read lock and returns the word.
+func (tx *Tx) Read(addr int) (int64, error) {
+	if err := tx.acquire(addr, false); err != nil {
+		return 0, err
+	}
+	v := tx.mem.values[addr].Load()
+	if tx.sess != nil {
+		// The read's linearization point: we hold (at least) the read
+		// lock, so no writer can move the value under us.
+		if !tx.sess.Op(tx.mem.Name, "read", []int64{int64(addr)}, v) {
+			return 0, fmt.Errorf("pess: read certification failed: %w", tx.mem.Recorder.Err())
+		}
+	}
+	return v, nil
+}
+
+// Write acquires the write lock, logs the old value, and updates the
+// word in place (visible to no one: all readers are excluded by 2PL).
+func (tx *Tx) Write(addr int, val int64) error {
+	if err := tx.acquire(addr, true); err != nil {
+		return err
+	}
+	old := tx.mem.values[addr].Load()
+	tx.undo = append(tx.undo, undoRec{addr: addr, old: old})
+	tx.mem.values[addr].Store(val)
+	if tx.sess != nil {
+		if !tx.sess.Op(tx.mem.Name, "write", []int64{int64(addr), val}, old) {
+			return fmt.Errorf("pess: write certification failed: %w", tx.mem.Recorder.Err())
+		}
+	}
+	return nil
+}
+
+func (tx *Tx) releaseAll() {
+	for addr := range tx.writeLocks {
+		wl := &tx.mem.locks[addr]
+		wl.mu.Lock()
+		if wl.writer == tx.ts {
+			wl.writer = 0
+		}
+		wl.mu.Unlock()
+	}
+	for addr := range tx.readLocks {
+		wl := &tx.mem.locks[addr]
+		wl.mu.Lock()
+		delete(wl.readers, tx.ts)
+		wl.mu.Unlock()
+	}
+}
+
+func (tx *Tx) rollback() {
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		tx.mem.values[tx.undo[i].addr].Store(tx.undo[i].old)
+	}
+	tx.undo = nil
+}
+
+// Atomic runs fn under strict two-phase locking, retrying wait-die
+// aborts with the transaction's original timestamp.
+func (m *Memory) Atomic(fn func(*Tx) error) error {
+	return m.AtomicNamed("", fn)
+}
+
+// AtomicNamed is Atomic with a certification name.
+func (m *Memory) AtomicNamed(name string, fn func(*Tx) error) error {
+	ts := m.tsCounter.Add(1)
+	for attempt := 0; ; attempt++ {
+		tx := &Tx{mem: m, ts: ts, readLocks: map[int]bool{}, writeLocks: map[int]bool{}}
+		if m.Recorder != nil {
+			tx.sess = m.Recorder.Begin(name)
+		}
+		err := fn(tx)
+		if err == nil {
+			// Strict 2PL commit: nothing to validate; effects are in
+			// place. Certify CMT, then release.
+			if tx.sess != nil && !tx.sess.Commit() {
+				tx.releaseAll()
+				return fmt.Errorf("pess: commit certification failed: %w", m.Recorder.Err())
+			}
+			tx.releaseAll()
+			m.commits.Add(1)
+			return nil
+		}
+		// Abort: undo in place (the UNPUSH inverses), then release.
+		tx.rollback()
+		if tx.sess != nil {
+			tx.sess.Abort()
+		}
+		tx.releaseAll()
+		m.aborts.Add(1)
+		if !errors.Is(err, ErrConflict) {
+			return err
+		}
+		// Wait-die storms (read→write upgrades on hot words) thrash
+		// without backoff: yield proportionally to the retry count.
+		backoff := attempt
+		if backoff > 64 {
+			backoff = 64
+		}
+		for i := 0; i <= backoff; i++ {
+			runtime.Gosched()
+		}
+	}
+}

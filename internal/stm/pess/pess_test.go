@@ -1,0 +1,167 @@
+package pess_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pushpull/internal/adt"
+	"pushpull/internal/spec"
+	"pushpull/internal/stm/pess"
+	"pushpull/internal/trace"
+)
+
+func TestSequential(t *testing.T) {
+	m := pess.New(8)
+	err := m.Atomic(func(tx *pess.Tx) error {
+		if err := tx.Write(0, 7); err != nil {
+			return err
+		}
+		v, err := tx.Read(0)
+		if err != nil {
+			return err
+		}
+		return tx.Write(1, v*2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ReadNoTx(0) != 7 || m.ReadNoTx(1) != 14 {
+		t.Fatalf("memory = %d,%d", m.ReadNoTx(0), m.ReadNoTx(1))
+	}
+}
+
+func TestAbortRollsBack(t *testing.T) {
+	m := pess.New(4)
+	boom := fmt.Errorf("boom")
+	if err := m.Atomic(func(tx *pess.Tx) error {
+		if err := tx.Write(0, 99); err != nil {
+			return err
+		}
+		return boom
+	}); err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	if m.ReadNoTx(0) != 0 {
+		t.Fatal("undo log failed to roll back in-place write")
+	}
+}
+
+func TestConcurrentCounter(t *testing.T) {
+	m := pess.New(2)
+	const goroutines = 8
+	const iters = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if err := m.Atomic(func(tx *pess.Tx) error {
+					v, err := tx.Read(0)
+					if err != nil {
+						return err
+					}
+					return tx.Write(0, v+1)
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.ReadNoTx(0); got != goroutines*iters {
+		t.Fatalf("counter = %d, want %d", got, goroutines*iters)
+	}
+}
+
+func TestWaitDieMakesProgress(t *testing.T) {
+	// Cross-locking pattern that would deadlock naive 2PL: t1 locks
+	// 0→1, t2 locks 1→0; wait-die must resolve it.
+	m := pess.New(2)
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			a, b := g, 1-g
+			for i := 0; i < 300; i++ {
+				if err := m.Atomic(func(tx *pess.Tx) error {
+					va, err := tx.Read(a)
+					if err != nil {
+						return err
+					}
+					vb, err := tx.Read(b)
+					if err != nil {
+						return err
+					}
+					if err := tx.Write(a, va+1); err != nil {
+						return err
+					}
+					return tx.Write(b, vb+1)
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m.ReadNoTx(0)+m.ReadNoTx(1) != 2*2*300 {
+		t.Fatalf("sum = %d", m.ReadNoTx(0)+m.ReadNoTx(1))
+	}
+}
+
+// TestCertifiedRun: every read/write/commit/abort replayed on the
+// shadow Push/Pull machine as the eager APP;PUSH decomposition.
+func TestCertifiedRun(t *testing.T) {
+	reg := spec.NewRegistry()
+	reg.Register("mem", adt.Register{})
+	m := pess.New(8)
+	m.Recorder = trace.NewRecorder(reg)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				addr := (g + i) % 8
+				if err := m.AtomicNamed(fmt.Sprintf("p%d-%d", g, i), func(tx *pess.Tx) error {
+					v, err := tx.Read(addr)
+					if err != nil {
+						return err
+					}
+					return tx.Write(addr, v+1)
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := m.Recorder.FinalCheck(); err != nil {
+		for _, v := range m.Recorder.Violations() {
+			t.Log(v)
+		}
+		t.Fatal(err)
+	}
+	t.Logf("certified %d commits; stats %+v", m.Recorder.Commits(), m.Stats())
+}
+
+func BenchmarkPessHighContention(b *testing.B) {
+	m := pess.New(4)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_ = m.Atomic(func(tx *pess.Tx) error {
+				v, err := tx.Read(0)
+				if err != nil {
+					return err
+				}
+				return tx.Write(0, v+1)
+			})
+		}
+	})
+}

@@ -1,0 +1,219 @@
+package strategy
+
+import (
+	"math/rand"
+
+	"pushpull/internal/core"
+	"pushpull/internal/lang"
+	"pushpull/internal/locks"
+)
+
+// Boosting is the §6.3 pessimistic pattern of Figure 2 (transactional
+// boosting): before each operation the driver acquires the operation's
+// abstract lock, PULLs the committed effects it may now observe, APPlies
+// the operation, and PUSHes it immediately — "a boosted transaction
+// immediately performs a PUSH at the linearization point because it
+// modifies the shared state in place."
+//
+// The abstract locks guarantee PUSH criterion (ii) for keyed structures:
+// concurrent uncommitted operations hold disjoint keys and therefore
+// commute with the pushed operation. Aborts run UNPUSH (implemented by
+// inverses in a real boosted object, here by the machine's log
+// retraction) and UNAPP, tail first, then release all locks — the two
+// abort cases of Figure 2.
+//
+// Deadlock is avoided by lock timeout: after cfg.Patience consecutive
+// failed acquisitions the transaction aborts and retries.
+type Boosting struct {
+	base
+	phase boostPhase
+	held  []locks.Key // acquisition order, for release on abort/commit
+	// pending is the chosen next step while waiting for its lock.
+	pending     *lang.Step
+	pendingLock locks.Key
+}
+
+type boostPhase int
+
+const (
+	boostIdle boostPhase = iota
+	boostChoose
+	boostLock
+	boostRefresh
+	boostApply
+	boostPush
+	boostCommit
+)
+
+// NewBoosting builds a boosting driver for the thread.
+func NewBoosting(name string, t *core.Thread, txns []lang.Txn, cfg Config, env *Env) *Boosting {
+	return &Boosting{base: newBase(name, t, txns, cfg, env)}
+}
+
+// Clone implements Driver.
+func (d *Boosting) Clone(env *Env) Driver {
+	c := *d
+	c.base = d.cloneBase(env)
+	c.held = append([]locks.Key(nil), d.held...)
+	if d.pending != nil {
+		p := *d.pending
+		c.pending = &p
+	}
+	return &c
+}
+
+// Step implements Driver.
+func (d *Boosting) Step(m *core.Machine, rng *rand.Rand) (Status, error) {
+	if d.Done() {
+		return Done, nil
+	}
+	t, err := d.thread(m)
+	if err != nil {
+		return Done, err
+	}
+	switch d.phase {
+	case boostIdle:
+		if err := d.beginNext(m, t); err != nil {
+			return Running, err
+		}
+		d.held = nil
+		d.phase = boostChoose
+		return Running, nil
+
+	case boostChoose:
+		step, finished := d.chooseStep(m, t, rng)
+		if finished {
+			d.phase = boostCommit
+			return Running, nil
+		}
+		d.pending = &step
+		d.pendingLock = LockKeyFor(m.Reg, step.Call.Obj, step.Call.Method, step.Args)
+		d.phase = boostLock
+		return Running, nil
+
+	case boostLock:
+		if !d.env.LM.TryAcquire(locks.Owner(d.tid), d.pendingLock) {
+			st, timedOut := d.blocked()
+			if timedOut {
+				return d.abortBoosted(m, t)
+			}
+			return st, nil
+		}
+		d.held = append(d.held, d.pendingLock)
+		d.waiting = 0
+		d.phase = boostRefresh
+		return Running, nil
+
+	case boostRefresh:
+		done, err := d.pullNextCommitted(m, t)
+		if err != nil {
+			return Running, err
+		}
+		if done {
+			d.phase = boostApply
+		}
+		return Running, nil
+
+	case boostApply:
+		// Re-enumerate: the pull refresh may have changed the view, so
+		// re-resolve the pending call's return value via a fresh APP.
+		step := d.matchPending(m, t)
+		if step == nil {
+			return d.abortBoosted(m, t)
+		}
+		if _, err := m.App(t, *step); err != nil {
+			return d.abortBoosted(m, t)
+		}
+		d.apps++
+		d.phase = boostPush
+		return Running, nil
+
+	case boostPush:
+		// Push the just-applied operation (last local entry).
+		idx := len(t.Local) - 1
+		if idx < 0 || t.Local[idx].Flag != core.Npshd {
+			d.phase = boostChoose
+			return Running, nil
+		}
+		if err := m.Push(t, idx); err != nil {
+			if _, ok := err.(*core.CriterionError); ok {
+				// Abstract locking should prevent this for keyed
+				// structures; whole-object contenders can still race the
+				// refresh — abort and retry.
+				return d.abortBoosted(m, t)
+			}
+			return Running, err
+		}
+		d.pending = nil
+		d.phase = boostChoose
+		return Running, nil
+
+	case boostCommit:
+		if _, err := m.Commit(t); err != nil {
+			if _, ok := err.(*core.CriterionError); ok {
+				return d.abortBoosted(m, t)
+			}
+			return Running, err
+		}
+		d.env.LM.ReleaseAll(locks.Owner(d.tid))
+		d.held = nil
+		d.commitDone()
+		d.phase = boostIdle
+		if d.Done() {
+			return Done, nil
+		}
+		return Running, nil
+	}
+	return Running, nil
+}
+
+// matchPending re-resolves the pending call against the thread's
+// current step set (the continuation may have been recomputed by
+// UNAPP-based retries).
+func (d *Boosting) matchPending(m *core.Machine, t *core.Thread) *lang.Step {
+	if d.pending == nil {
+		return nil
+	}
+	for _, s := range m.Steps(t) {
+		if s.Call.Obj == d.pending.Call.Obj && s.Call.Method == d.pending.Call.Method &&
+			sameArgs(s.Args, d.pending.Args) && s.Cont.String() == d.pending.Cont.String() {
+			return &s
+		}
+	}
+	// Argument values may legitimately change after a refresh (they
+	// depend on earlier returns) — fall back to matching call site only.
+	for _, s := range m.Steps(t) {
+		if s.Call.Obj == d.pending.Call.Obj && s.Call.Method == d.pending.Call.Method {
+			return &s
+		}
+	}
+	return nil
+}
+
+func sameArgs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// abortBoosted rewinds (UNPUSH + UNAPP via machine Abort), releases all
+// abstract locks, and schedules a retry.
+func (d *Boosting) abortBoosted(m *core.Machine, t *core.Thread) (Status, error) {
+	if err := d.abortAndRetry(m, t); err != nil {
+		return Running, err
+	}
+	d.env.LM.ReleaseAll(locks.Owner(d.tid))
+	d.held = nil
+	d.pending = nil
+	d.phase = boostIdle
+	if d.Done() {
+		return Done, nil
+	}
+	return Running, nil
+}

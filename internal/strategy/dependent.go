@@ -1,0 +1,236 @@
+package strategy
+
+import (
+	"math/rand"
+
+	"pushpull/internal/core"
+	"pushpull/internal/lang"
+	"pushpull/internal/spec"
+)
+
+// Dependent is the §6.5 non-opaque pattern (dependent transactions [30]
+// / early release [14]): a transaction may PULL the pushed effects of
+// *uncommitted* transactions, becoming dependent on them — "with the
+// stipulation that T does not commit until T′ has committed. If T′
+// aborts, then T must abort" (detangle).
+//
+// With EagerPush, the driver also releases its own effects early
+// (PUSH immediately after APP, skipping ops the criteria refuse to
+// publish yet) so other dependents can observe them.
+//
+// The dependency ordering is not scheduled explicitly: it emerges from
+// the machine's criteria. A dependent op cannot be PUSHed while its
+// source is uncommitted (PUSH criterion (ii)), and CMT criterion (iii)
+// refuses to commit over uncommitted pulls — so the driver simply waits
+// (Blocked) for its sources, aborting past its patience bound, which
+// also breaks dependency cycles.
+type Dependent struct {
+	base
+	// EagerPush publishes own effects right after APP where permitted.
+	EagerPush bool
+
+	phase depPhase
+	pushi int
+	// deps maps pulled-uncommitted op IDs to their source tx.
+	deps map[uint64]uint64
+}
+
+type depPhase int
+
+const (
+	depIdle depPhase = iota
+	depExec
+	depWaitDeps
+	depPush
+	depCommit
+)
+
+// NewDependent builds a dependent-transactions driver.
+func NewDependent(name string, t *core.Thread, txns []lang.Txn, cfg Config, env *Env) *Dependent {
+	return &Dependent{base: newBase(name, t, txns, cfg, env), EagerPush: true}
+}
+
+// Clone implements Driver.
+func (d *Dependent) Clone(env *Env) Driver {
+	c := *d
+	c.base = d.cloneBase(env)
+	c.deps = make(map[uint64]uint64, len(d.deps))
+	for k, v := range d.deps {
+		c.deps[k] = v
+	}
+	return &c
+}
+
+// pullNextAny pulls the earliest global entry — committed or not —
+// missing from the local log and acceptable to the PULL criteria.
+// Unacceptable uncommitted entries are skipped (no dependency taken).
+func (d *Dependent) pullNextAny(m *core.Machine, t *core.Thread) (progress bool) {
+	local := m.LocalLog(t)
+	for gi, e := range m.GlobalEntries() {
+		if local.Contains(e.Op) || e.Op.Tx == d.tid {
+			continue
+		}
+		if err := m.Pull(t, gi); err != nil {
+			continue
+		}
+		if !e.Committed {
+			if d.deps == nil {
+				d.deps = make(map[uint64]uint64)
+			}
+			d.deps[e.Op.ID] = e.Op.Tx
+		}
+		return true
+	}
+	return false
+}
+
+// Step implements Driver.
+func (d *Dependent) Step(m *core.Machine, rng *rand.Rand) (Status, error) {
+	if d.Done() {
+		return Done, nil
+	}
+	t, err := d.thread(m)
+	if err != nil {
+		return Done, err
+	}
+	switch d.phase {
+	case depIdle:
+		if err := d.beginNext(m, t); err != nil {
+			return Running, err
+		}
+		d.deps = make(map[uint64]uint64)
+		d.phase = depExec
+		return Running, nil
+
+	case depExec:
+		// Absorb anything new (committed or uncommitted) first.
+		if d.pullNextAny(m, t) {
+			return Running, nil
+		}
+		step, finished := d.chooseStep(m, t, rng)
+		if finished {
+			d.phase = depWaitDeps
+			return Running, nil
+		}
+		if _, err := m.App(t, step); err != nil {
+			return d.abortDep(m, t)
+		}
+		d.apps++
+		if d.EagerPush {
+			idx := len(t.Local) - 1
+			if err := m.Push(t, idx); err != nil {
+				// Not publishable yet (e.g. depends on an uncommitted
+				// pull): leave it npshd; the push phase will retry after
+				// the sources commit.
+				if _, ok := err.(*core.CriterionError); !ok {
+					return Running, err
+				}
+			}
+		}
+		return Running, nil
+
+	case depWaitDeps:
+		status, err := d.checkDeps(m)
+		if err != nil {
+			return Running, err
+		}
+		switch status {
+		case depsAborted:
+			d.stats.Cascades++
+			return d.abortDep(m, t)
+		case depsPending:
+			st, timedOut := d.blocked()
+			if timedOut {
+				return d.abortDep(m, t)
+			}
+			return st, nil
+		}
+		d.phase = depPush
+		d.pushi = 0
+		return Running, nil
+
+	case depPush:
+		for d.pushi < len(t.Local) {
+			if t.Local[d.pushi].Flag != core.Npshd {
+				d.pushi++
+				continue
+			}
+			if err := m.Push(t, d.pushi); err != nil {
+				if _, ok := err.(*core.CriterionError); ok {
+					return d.abortDep(m, t)
+				}
+				return Running, err
+			}
+			d.pushi++
+			return Running, nil
+		}
+		d.phase = depCommit
+		return Running, nil
+
+	case depCommit:
+		if _, err := m.Commit(t); err != nil {
+			if core.IsCriterion(err, core.RCmt, "(iii)") {
+				// A source slipped back to uncommitted? Cannot happen —
+				// but a source abort between checkDeps and here surfaces
+				// as (iii) too. Re-enter the wait.
+				d.phase = depWaitDeps
+				return Running, nil
+			}
+			if _, ok := err.(*core.CriterionError); ok {
+				return d.abortDep(m, t)
+			}
+			return Running, err
+		}
+		d.commitDone()
+		d.phase = depIdle
+		if d.Done() {
+			return Done, nil
+		}
+		return Running, nil
+	}
+	return Running, nil
+}
+
+type depState int
+
+const (
+	depsClear depState = iota
+	depsPending
+	depsAborted
+)
+
+// checkDeps inspects the sources of all uncommitted pulls: committed →
+// clear; vanished from G (source aborted) → aborted; still uncommitted
+// → pending.
+func (d *Dependent) checkDeps(m *core.Machine) (depState, error) {
+	entries := m.GlobalEntries()
+	byID := make(map[uint64]spec.Op, len(entries))
+	committed := make(map[uint64]bool, len(entries))
+	for _, e := range entries {
+		byID[e.Op.ID] = e.Op
+		committed[e.Op.ID] = e.Committed
+	}
+	state := depsClear
+	for id := range d.deps {
+		if _, present := byID[id]; !present {
+			return depsAborted, nil
+		}
+		if !committed[id] {
+			state = depsPending
+		}
+	}
+	return state, nil
+}
+
+// abortDep fully rewinds (detangles from all dependencies) and retries.
+func (d *Dependent) abortDep(m *core.Machine, t *core.Thread) (Status, error) {
+	if err := d.abortAndRetry(m, t); err != nil {
+		return Running, err
+	}
+	d.deps = nil
+	d.phase = depIdle
+	if d.Done() {
+		return Done, nil
+	}
+	return Running, nil
+}

@@ -1,0 +1,298 @@
+// Package strategy implements the rule-usage patterns of Section 6 as
+// cooperative drivers over the Push/Pull machine:
+//
+//   - Optimistic (§6.2, TL2/TinySTM/Intel STM): APP locally, PUSH
+//     everything at commit time, abort by UNAPP only; optionally with
+//     checkpoint partial aborts [19].
+//   - Boosting (§6.3, Herlihy–Koskinen): abstract key locks, PUSH
+//     immediately after APP, abort via UNPUSH (inverses) then UNAPP.
+//   - Matveev–Shavit (§6.3): lazily pessimistic — reads PULL committed
+//     effects only; writes are deferred and PUSHed in a block under a
+//     global commit token.
+//   - Irrevocable (§6.4, Welc et al.): a single token-holding
+//     transaction that pushes eagerly and never aborts, among ordinary
+//     optimists.
+//   - Dependent (§6.5, Ramadan et al. / early release): PULLs
+//     uncommitted effects, deferring commit until its sources commit and
+//     detangling (rewinding) when a source aborts.
+//
+// A driver owns one machine thread and executes a list of transactions
+// sequentially, advancing by (at most) one machine rule per Step call so
+// schedulers can interleave drivers at rule granularity.
+package strategy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pushpull/internal/core"
+	"pushpull/internal/lang"
+	"pushpull/internal/locks"
+)
+
+// Status reports what a Step accomplished.
+type Status int
+
+// Step outcomes.
+const (
+	// Running: the driver made progress (applied a rule, aborted, …).
+	Running Status = iota
+	// Blocked: the driver is waiting on other transactions; the
+	// scheduler should run someone else.
+	Blocked
+	// Done: the driver has finished its whole workload.
+	Done
+)
+
+func (s Status) String() string {
+	switch s {
+	case Running:
+		return "running"
+	case Blocked:
+		return "blocked"
+	case Done:
+		return "done"
+	default:
+		return "badstatus"
+	}
+}
+
+// Stats counts driver activity across its workload.
+type Stats struct {
+	Commits  int
+	Aborts   int
+	Retries  int
+	GaveUp   int
+	Blocked  int
+	Cascades int // dependent-transaction detangles
+}
+
+// Driver is a cooperative transaction executor bound to one machine
+// thread.
+type Driver interface {
+	// Name identifies the driver (thread) for reports.
+	Name() string
+	// ThreadID is the bound machine thread.
+	ThreadID() uint64
+	// Step advances by at most one machine rule. A returned error is a
+	// fatal inconsistency (model violation), not a conflict — conflicts
+	// are handled internally by abort/retry/block.
+	Step(m *core.Machine, rng *rand.Rand) (Status, error)
+	// Done reports whether the whole workload has finished.
+	Done() bool
+	// Stats returns activity counters.
+	Stats() Stats
+	// Clone deep-copies the driver, re-binding shared coordination state
+	// to env (for exhaustive interleaving exploration).
+	Clone(env *Env) Driver
+}
+
+// Token is a single-holder coordination token (the global write token
+// of Matveev–Shavit and the irrevocability token of Welc et al.).
+type Token struct{ holder uint64 }
+
+// TryAcquire takes the token for tid, re-entrantly.
+func (t *Token) TryAcquire(tid uint64) bool {
+	if t.holder == 0 || t.holder == tid {
+		t.holder = tid
+		return true
+	}
+	return false
+}
+
+// Release drops the token if tid holds it.
+func (t *Token) Release(tid uint64) {
+	if t.holder == tid {
+		t.holder = 0
+	}
+}
+
+// Holder returns the current holder (0 if free).
+func (t *Token) Holder() uint64 { return t.holder }
+
+// Env is the coordination state drivers share beside the machine.
+type Env struct {
+	LM          *locks.Manager
+	CommitToken *Token
+	IrrevToken  *Token
+}
+
+// NewEnv returns fresh coordination state.
+func NewEnv() *Env {
+	return &Env{LM: locks.NewManager(), CommitToken: &Token{}, IrrevToken: &Token{}}
+}
+
+// Clone deep-copies the coordination state.
+func (e *Env) Clone() *Env {
+	return &Env{
+		LM:          e.LM.Clone(),
+		CommitToken: &Token{holder: e.CommitToken.holder},
+		IrrevToken:  &Token{holder: e.IrrevToken.holder},
+	}
+}
+
+// Config tunes driver behaviour.
+type Config struct {
+	// RetryLimit bounds aborts per transaction before giving up (the
+	// transaction is abandoned and counted in Stats.GaveUp). <=0 means 16.
+	RetryLimit int
+	// MaxOps caps APPs per transaction attempt, bounding (c)* loops.
+	// <=0 means 32.
+	MaxOps int
+	// Patience bounds consecutive Blocked steps before a waiting driver
+	// aborts to break potential deadlock. <=0 means 64.
+	Patience int
+	// Deterministic makes nondeterminism resolution (step choice, loop
+	// exit) independent of the rng: always the first step, exit loops as
+	// soon as fin holds. Required under exhaustive exploration.
+	Deterministic bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.RetryLimit <= 0 {
+		c.RetryLimit = 16
+	}
+	if c.MaxOps <= 0 {
+		c.MaxOps = 32
+	}
+	if c.Patience <= 0 {
+		c.Patience = 64
+	}
+	return c
+}
+
+// base carries the bookkeeping every driver shares.
+type base struct {
+	name  string
+	tid   uint64
+	txns  []lang.Txn
+	cfg   Config
+	env   *Env
+	cur   int // current transaction index
+	stats Stats
+
+	retries int // aborts of the current transaction
+	apps    int // APPs in the current attempt
+	waiting int // consecutive blocked steps
+	inTx    bool
+}
+
+func newBase(name string, t *core.Thread, txns []lang.Txn, cfg Config, env *Env) base {
+	return base{name: name, tid: t.ID, txns: txns, cfg: cfg.withDefaults(), env: env}
+}
+
+func (b *base) Name() string     { return b.name }
+func (b *base) ThreadID() uint64 { return b.tid }
+func (b *base) Done() bool       { return b.cur >= len(b.txns) }
+func (b *base) Stats() Stats     { return b.stats }
+
+func (b *base) cloneBase(env *Env) base {
+	c := *b
+	c.env = env
+	return c
+}
+
+func (b *base) thread(m *core.Machine) (*core.Thread, error) {
+	t, ok := m.Thread(b.tid)
+	if !ok {
+		return nil, fmt.Errorf("strategy: thread %d vanished", b.tid)
+	}
+	return t, nil
+}
+
+// beginNext enters the current transaction.
+func (b *base) beginNext(m *core.Machine, t *core.Thread) error {
+	if err := m.Begin(t, b.txns[b.cur], nil); err != nil {
+		return err
+	}
+	b.inTx = true
+	b.apps = 0
+	b.waiting = 0
+	return nil
+}
+
+// chooseStep picks the next APP, or reports the execution phase done.
+// Under Deterministic it takes the first step and stops as soon as fin
+// holds; otherwise it samples steps and flips a biased coin to exit
+// optional loops.
+func (b *base) chooseStep(m *core.Machine, t *core.Thread, rng *rand.Rand) (st lang.Step, finished bool) {
+	steps := m.Steps(t)
+	fin := lang.Fin(t.Code, t.Stack)
+	if len(steps) == 0 || b.apps >= b.cfg.MaxOps {
+		return lang.Step{}, true
+	}
+	if fin {
+		if b.cfg.Deterministic {
+			return lang.Step{}, true
+		}
+		if rng.Intn(3) == 0 { // keep looping with probability 2/3
+			return lang.Step{}, true
+		}
+	}
+	if b.cfg.Deterministic {
+		return steps[0], false
+	}
+	return steps[rng.Intn(len(steps))], false
+}
+
+// pullNextCommitted pulls the earliest *absorbable* committed global
+// entry missing from the local log. Entries the PULL criteria reject
+// (e.g. a committed no-op remove of a key this transaction has since
+// re-added) are skipped — the paper's out-of-order PULL: "it may PULL
+// in the effects on a even if they occurred after the effects on b
+// because the transaction is only interested in modifying a." Returns
+// done=true when nothing more can be absorbed; err only for fatal
+// (non-criterion) failures.
+func (b *base) pullNextCommitted(m *core.Machine, t *core.Thread) (done bool, err error) {
+	local := m.LocalLog(t)
+	for gi, e := range m.GlobalEntries() {
+		if !e.Committed || local.Contains(e.Op) {
+			continue
+		}
+		if err := m.Pull(t, gi); err != nil {
+			if _, ok := err.(*core.CriterionError); ok {
+				continue // unabsorbable from this view: skip it
+			}
+			return false, err
+		}
+		return false, nil
+	}
+	return true, nil
+}
+
+// abortAndRetry fully rewinds the current transaction and schedules a
+// retry (or gives up past the retry limit). Lock and token state is the
+// caller's business.
+func (b *base) abortAndRetry(m *core.Machine, t *core.Thread) error {
+	if err := m.Abort(t); err != nil {
+		return fmt.Errorf("strategy %s: abort failed: %w", b.name, err)
+	}
+	b.inTx = false
+	b.stats.Aborts++
+	b.retries++
+	b.waiting = 0
+	if b.retries > b.cfg.RetryLimit {
+		b.stats.GaveUp++
+		b.retries = 0
+		b.cur++
+	} else {
+		b.stats.Retries++
+	}
+	return nil
+}
+
+// commitDone records a successful commit and advances the workload.
+func (b *base) commitDone() {
+	b.stats.Commits++
+	b.inTx = false
+	b.retries = 0
+	b.waiting = 0
+	b.cur++
+}
+
+// blocked bumps the waiting counter; the caller aborts at patience.
+func (b *base) blocked() (Status, bool) {
+	b.stats.Blocked++
+	b.waiting++
+	return Blocked, b.waiting > b.cfg.Patience
+}

@@ -1,0 +1,170 @@
+package strategy
+
+import (
+	"math/rand"
+
+	"pushpull/internal/core"
+	"pushpull/internal/lang"
+)
+
+// Irrevocable is the §6.4 mixed pattern (Welc et al. [34]): "there is
+// at most one pessimistic ('irrevocable') transaction and many
+// optimistic transactions. The pessimistic transaction PUSHes its
+// effects instantaneously after APP."
+//
+// The driver acquires the global irrevocability token at begin (waiting
+// if another irrevocable transaction holds it), then runs eagerly:
+// PULL committed view, APP, PUSH immediately. It never aborts:
+//
+//   - a PUSH blocked by criterion (ii) (a concurrent optimist's pushed
+//     uncommitted op) waits — optimists abort or commit in bounded time;
+//   - a PUSH failing criterion (iii) (the applied return went stale
+//     before it could be pushed) rewinds only that APP (UNAPP) and
+//     re-applies against the refreshed view — a partial, internal
+//     rewind, never a user-visible abort.
+type Irrevocable struct {
+	base
+	phase irrPhase
+}
+
+type irrPhase int
+
+const (
+	irrIdle irrPhase = iota
+	irrToken
+	irrChoose
+	irrRefresh
+	irrApply
+	irrPush
+	irrCommit
+)
+
+// NewIrrevocable builds the singleton-pessimistic driver.
+func NewIrrevocable(name string, t *core.Thread, txns []lang.Txn, cfg Config, env *Env) *Irrevocable {
+	return &Irrevocable{base: newBase(name, t, txns, cfg, env)}
+}
+
+// Clone implements Driver.
+func (d *Irrevocable) Clone(env *Env) Driver {
+	c := *d
+	c.base = d.cloneBase(env)
+	return &c
+}
+
+// Step implements Driver.
+func (d *Irrevocable) Step(m *core.Machine, rng *rand.Rand) (Status, error) {
+	if d.Done() {
+		return Done, nil
+	}
+	t, err := d.thread(m)
+	if err != nil {
+		return Done, err
+	}
+	switch d.phase {
+	case irrIdle:
+		d.phase = irrToken
+		return Running, nil
+
+	case irrToken:
+		if !d.env.IrrevToken.TryAcquire(d.tid) {
+			st, _ := d.blocked() // irrevocable waits forever for the token
+			return st, nil
+		}
+		d.waiting = 0
+		if err := d.beginNext(m, t); err != nil {
+			return Running, err
+		}
+		d.phase = irrChoose
+		return Running, nil
+
+	case irrChoose:
+		if _, finished := d.chooseStep(m, t, rng); finished {
+			d.phase = irrCommit
+			return Running, nil
+		}
+		d.phase = irrRefresh
+		return Running, nil
+
+	case irrRefresh:
+		done, err := d.pullNextCommitted(m, t)
+		if err != nil {
+			return Running, err
+		}
+		if done {
+			d.phase = irrApply
+		}
+		return Running, nil
+
+	case irrApply:
+		step, finished := d.chooseStep(m, t, rng)
+		if finished {
+			d.phase = irrCommit
+			return Running, nil
+		}
+		if _, err := m.App(t, step); err != nil {
+			// The view rejects the op — refresh and retry the APP.
+			d.phase = irrRefresh
+			return Running, nil
+		}
+		d.apps++
+		d.phase = irrPush
+		return Running, nil
+
+	case irrPush:
+		idx := len(t.Local) - 1
+		if idx < 0 || t.Local[idx].Flag != core.Npshd {
+			d.phase = irrChoose
+			return Running, nil
+		}
+		err := m.Push(t, idx)
+		if err == nil {
+			d.waiting = 0
+			d.phase = irrChoose
+			return Running, nil
+		}
+		if core.IsCriterion(err, core.RPush, "(ii)") {
+			// Concurrent optimist in its push window: wait it out.
+			st, _ := d.blocked()
+			return st, nil
+		}
+		if core.IsCriterion(err, core.RPush, "(iii)") {
+			// Stale return value: internal partial rewind, then refresh.
+			if uerr := m.Unapp(t); uerr != nil {
+				return Running, uerr
+			}
+			d.apps--
+			d.stats.Retries++
+			d.phase = irrRefresh
+			return Running, nil
+		}
+		if _, ok := err.(*core.CriterionError); ok {
+			// Criterion (i) cannot arise (we push in order); treat any
+			// other criterion like staleness.
+			if uerr := m.Unapp(t); uerr != nil {
+				return Running, uerr
+			}
+			d.apps--
+			d.phase = irrRefresh
+			return Running, nil
+		}
+		return Running, err
+
+	case irrCommit:
+		if _, err := m.Commit(t); err != nil {
+			if _, ok := err.(*core.CriterionError); ok {
+				// All ops are pushed and nothing was pulled uncommitted;
+				// the only failure is fin, which chooseStep prevents.
+				return Running, err
+			}
+			return Running, err
+		}
+		d.env.IrrevToken.Release(d.tid)
+		d.commitDone()
+		d.phase = irrIdle
+		if d.Done() {
+			return Done, nil
+		}
+		return Running, nil
+	}
+	return Running, nil
+}

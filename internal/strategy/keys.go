@@ -1,0 +1,43 @@
+package strategy
+
+import (
+	"pushpull/internal/locks"
+	"pushpull/internal/spec"
+)
+
+// LockKeyFor maps an operation to the abstract lock transactional
+// boosting must hold for it (Figure 2's abstractLock(key)): the finest
+// lock under which the operation commutes with everything concurrently
+// permitted. Key-indexed methods of keyed structures lock (obj, key);
+// whole-structure observers (size) and order-sensitive structures
+// (queues) lock the whole object; counters lock the whole object
+// (conservative: inc/inc would commute, but a single exclusive lock is
+// the simplest sound abstract lock for them — see DESIGN.md).
+func LockKeyFor(reg *spec.Registry, obj, method string, args []int64) locks.Key {
+	o, ok := reg.Object(obj)
+	if !ok {
+		return locks.Key{Obj: obj, WholeObject: true}
+	}
+	switch o.Type() {
+	case "register":
+		return locks.Key{Obj: obj, K: args[0]}
+	case "set", "map", "bank":
+		if method == "size" || len(args) == 0 {
+			return locks.Key{Obj: obj, WholeObject: true}
+		}
+		return locks.Key{Obj: obj, K: args[0]}
+	default: // counter, queue, unknown
+		return locks.Key{Obj: obj, WholeObject: true}
+	}
+}
+
+// IsReadOnly classifies methods that never change state. Used by the
+// Matveev–Shavit driver to defer writes and push reads eagerly.
+func IsReadOnly(method string) bool {
+	switch method {
+	case "read", "get", "contains", "size", "peek":
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,198 @@
+package strategy
+
+import (
+	"math/rand"
+
+	"pushpull/internal/core"
+	"pushpull/internal/lang"
+)
+
+// MatveevShavit is the §6.3 lazily-pessimistic pattern [25]: "write
+// transactions appear to occur instantaneously at the commit point: all
+// write operations are PUSHed just before CMT, with no interleaved
+// transactions. Consequently, read operations perform PULL only on
+// committed effects."
+//
+// Reads are APPlied against the committed view and PUSHed eagerly
+// (they must end up in G for CMT criterion (ii)); writes are deferred
+// and PUSHed in a block under a global commit token that serializes
+// writer commit phases ("no interleaved transactions"). A reader whose
+// eager read-push conflicts with a writer's in-flight pushes aborts and
+// retries; a writer blocked by a pushed uncommitted read waits (the
+// reader commits or aborts in bounded time), aborting only past its
+// patience bound.
+type MatveevShavit struct {
+	base
+	phase msPhase
+	pushi int
+}
+
+type msPhase int
+
+const (
+	msIdle msPhase = iota
+	msSnapshot
+	msExec
+	msPushRead // push of the read just applied
+	msToken
+	msPushWrites
+	msCommit
+)
+
+// NewMatveevShavit builds a lazily-pessimistic driver for the thread.
+func NewMatveevShavit(name string, t *core.Thread, txns []lang.Txn, cfg Config, env *Env) *MatveevShavit {
+	return &MatveevShavit{base: newBase(name, t, txns, cfg, env)}
+}
+
+// Clone implements Driver.
+func (d *MatveevShavit) Clone(env *Env) Driver {
+	c := *d
+	c.base = d.cloneBase(env)
+	return &c
+}
+
+// Step implements Driver.
+func (d *MatveevShavit) Step(m *core.Machine, rng *rand.Rand) (Status, error) {
+	if d.Done() {
+		return Done, nil
+	}
+	t, err := d.thread(m)
+	if err != nil {
+		return Done, err
+	}
+	switch d.phase {
+	case msIdle:
+		if err := d.beginNext(m, t); err != nil {
+			return Running, err
+		}
+		d.phase = msSnapshot
+		return Running, nil
+
+	case msSnapshot:
+		done, err := d.pullNextCommitted(m, t)
+		if err != nil {
+			return Running, err
+		}
+		if done {
+			d.phase = msExec
+		}
+		return Running, nil
+
+	case msExec:
+		step, finished := d.chooseStep(m, t, rng)
+		if finished {
+			d.phase = msToken
+			return Running, nil
+		}
+		if _, err := m.App(t, step); err != nil {
+			return d.abortMS(m, t)
+		}
+		d.apps++
+		if IsReadOnly(step.Call.Method) {
+			d.phase = msPushRead
+		}
+		return Running, nil
+
+	case msPushRead:
+		idx := len(t.Local) - 1
+		if idx < 0 || t.Local[idx].Flag != core.Npshd {
+			d.phase = msExec
+			return Running, nil
+		}
+		if err := m.Push(t, idx); err != nil {
+			if _, ok := err.(*core.CriterionError); ok {
+				// Conflicting writer in flight: the read aborts (readers
+				// are the cheap party here).
+				return d.abortMS(m, t)
+			}
+			return Running, err
+		}
+		d.phase = msExec
+		return Running, nil
+
+	case msToken:
+		// Read-only transactions commit without the token.
+		if !d.hasUnpushedWrites(t) {
+			d.phase = msCommit
+			d.pushi = 0
+			return Running, nil
+		}
+		if !d.env.CommitToken.TryAcquire(d.tid) {
+			st, timedOut := d.blocked()
+			if timedOut {
+				return d.abortMS(m, t)
+			}
+			return st, nil
+		}
+		d.waiting = 0
+		d.phase = msPushWrites
+		d.pushi = 0
+		return Running, nil
+
+	case msPushWrites:
+		for d.pushi < len(t.Local) {
+			if t.Local[d.pushi].Flag != core.Npshd {
+				d.pushi++
+				continue
+			}
+			err := m.Push(t, d.pushi)
+			if err == nil {
+				d.pushi++
+				return Running, nil
+			}
+			if core.IsCriterion(err, core.RPush, "(ii)") {
+				// A pushed uncommitted read blocks us: wait for its
+				// transaction to finish.
+				st, timedOut := d.blocked()
+				if timedOut {
+					return d.abortMS(m, t)
+				}
+				return st, nil
+			}
+			if _, ok := err.(*core.CriterionError); ok {
+				// Stale returns (criterion (iii)): abort and retry.
+				return d.abortMS(m, t)
+			}
+			return Running, err
+		}
+		d.phase = msCommit
+		return Running, nil
+
+	case msCommit:
+		if _, err := m.Commit(t); err != nil {
+			if _, ok := err.(*core.CriterionError); ok {
+				return d.abortMS(m, t)
+			}
+			return Running, err
+		}
+		d.env.CommitToken.Release(d.tid)
+		d.commitDone()
+		d.phase = msIdle
+		if d.Done() {
+			return Done, nil
+		}
+		return Running, nil
+	}
+	return Running, nil
+}
+
+func (d *MatveevShavit) hasUnpushedWrites(t *core.Thread) bool {
+	for _, e := range t.Local {
+		if e.Flag == core.Npshd {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *MatveevShavit) abortMS(m *core.Machine, t *core.Thread) (Status, error) {
+	if err := d.abortAndRetry(m, t); err != nil {
+		return Running, err
+	}
+	d.env.CommitToken.Release(d.tid)
+	d.phase = msIdle
+	if d.Done() {
+		return Done, nil
+	}
+	return Running, nil
+}

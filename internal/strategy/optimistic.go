@@ -1,0 +1,172 @@
+package strategy
+
+import (
+	"math/rand"
+
+	"pushpull/internal/core"
+	"pushpull/internal/lang"
+)
+
+// Optimistic is the §6.2 pattern (TL2, TinySTM, Intel STM): transactions
+// "begin by PULLing all [committed] operations … APP locally and do not
+// PUSH until an uninterleaved moment … PUSH everything and CMT. Effects
+// are pushed in order so the first PUSH condition is trivial. If a
+// transaction discovers a conflict, it can simply perform UNAPP
+// repeatedly and needn't UNPUSH."
+//
+// Conflicts surface as PUSH criterion (ii) (a concurrent uncommitted
+// push would be unable to serialize after us) or criterion (iii) (our
+// return values are stale with respect to newly committed effects) —
+// exactly TL2's lock-acquisition and validation failures.
+//
+// With PartialAbort, a conflicting attempt rewinds only its unpushed
+// suffix (checkpoints [19]) instead of the whole transaction, keeping
+// the already-pushed prefix.
+type Optimistic struct {
+	base
+	// PartialAbort enables checkpoint-style rewinding.
+	PartialAbort bool
+
+	phase        optPhase
+	pushi        int // local-log push cursor
+	partialTries int // partial rewinds of the current attempt
+}
+
+type optPhase int
+
+const (
+	optIdle optPhase = iota
+	optSnapshot
+	optExec
+	optPush
+	optCommit
+)
+
+// NewOptimistic builds an optimistic driver for the thread.
+func NewOptimistic(name string, t *core.Thread, txns []lang.Txn, cfg Config, env *Env) *Optimistic {
+	return &Optimistic{base: newBase(name, t, txns, cfg, env)}
+}
+
+// Clone implements Driver.
+func (d *Optimistic) Clone(env *Env) Driver {
+	c := *d
+	c.base = d.cloneBase(env)
+	return &c
+}
+
+// Step implements Driver.
+func (d *Optimistic) Step(m *core.Machine, rng *rand.Rand) (Status, error) {
+	if d.Done() {
+		return Done, nil
+	}
+	t, err := d.thread(m)
+	if err != nil {
+		return Done, err
+	}
+	switch d.phase {
+	case optIdle:
+		if err := d.beginNext(m, t); err != nil {
+			return Running, err
+		}
+		d.phase = optSnapshot
+		return Running, nil
+
+	case optSnapshot:
+		done, err := d.pullNextCommitted(m, t)
+		if err != nil {
+			return Running, err
+		}
+		if done {
+			d.phase = optExec
+		}
+		return Running, nil
+
+	case optExec:
+		step, finished := d.chooseStep(m, t, rng)
+		if finished {
+			d.phase = optPush
+			d.pushi = 0
+			return Running, nil
+		}
+		if _, err := m.App(t, step); err != nil {
+			// The local view rejects the op (cannot happen for our ADTs
+			// with well-formed programs) — abort and retry.
+			return d.conflict(m, t, err)
+		}
+		d.apps++
+		return Running, nil
+
+	case optPush:
+		for d.pushi < len(t.Local) {
+			if t.Local[d.pushi].Flag != core.Npshd {
+				d.pushi++
+				continue
+			}
+			if err := m.Push(t, d.pushi); err != nil {
+				if _, ok := err.(*core.CriterionError); ok {
+					return d.conflict(m, t, err)
+				}
+				return Running, err
+			}
+			d.pushi++
+			return Running, nil
+		}
+		d.phase = optCommit
+		return Running, nil
+
+	case optCommit:
+		if _, err := m.Commit(t); err != nil {
+			if _, ok := err.(*core.CriterionError); ok {
+				return d.conflict(m, t, err)
+			}
+			return Running, err
+		}
+		d.commitDone()
+		d.phase = optIdle
+		if d.Done() {
+			return Done, nil
+		}
+		return Running, nil
+	}
+	return Running, nil
+}
+
+// conflict handles a detected conflict: full abort-and-retry, or — for
+// transient PUSH criterion (ii) conflicts under PartialAbort — a
+// checkpoint rewind of the unpushed suffix. Staleness conflicts
+// (criterion (iii)) always abort fully: a partial rewind cannot refresh
+// the snapshot the stale returns came from.
+func (d *Optimistic) conflict(m *core.Machine, t *core.Thread, cause error) (Status, error) {
+	transient := core.IsCriterion(cause, core.RPush, "(ii)")
+	if d.PartialAbort && transient && d.partialTries < 4 && d.partialRewind(m, t) {
+		d.partialTries++
+		d.stats.Retries++
+		d.phase = optExec
+		return Running, nil
+	}
+	d.partialTries = 0
+	if err := d.abortAndRetry(m, t); err != nil {
+		return Running, err
+	}
+	d.phase = optIdle
+	if d.Done() {
+		return Done, nil
+	}
+	return Running, nil
+}
+
+// partialRewind UNAPPs the npshd suffix of the local log, keeping the
+// pushed prefix — the checkpoint [19] / closed-nesting [27] behaviour.
+// Reports false if there was nothing to rewind (caller falls back to a
+// full abort).
+func (d *Optimistic) partialRewind(m *core.Machine, t *core.Thread) bool {
+	rewound := false
+	for len(t.Local) > 0 && t.Local[len(t.Local)-1].Flag == core.Npshd {
+		if err := m.Unapp(t); err != nil {
+			break
+		}
+		d.apps--
+		rewound = true
+	}
+	return rewound
+}

@@ -1,0 +1,328 @@
+package strategy_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pushpull/internal/adt"
+	"pushpull/internal/core"
+	"pushpull/internal/lang"
+	"pushpull/internal/sched"
+	"pushpull/internal/serial"
+	"pushpull/internal/spec"
+	"pushpull/internal/strategy"
+)
+
+func reg() *spec.Registry {
+	r := spec.NewRegistry()
+	r.Register("mem", adt.Register{})
+	r.Register("set", adt.Set{})
+	r.Register("ht", adt.Map{})
+	r.Register("ctr", adt.Counter{})
+	return r
+}
+
+func machine() *core.Machine {
+	return core.NewMachine(reg(), core.DefaultOptions())
+}
+
+type mkDriver func(name string, t *core.Thread, txns []lang.Txn, cfg strategy.Config, env *strategy.Env) strategy.Driver
+
+var drivers = map[string]mkDriver{
+	"optimistic": func(n string, t *core.Thread, x []lang.Txn, c strategy.Config, e *strategy.Env) strategy.Driver {
+		return strategy.NewOptimistic(n, t, x, c, e)
+	},
+	"partialabort": func(n string, t *core.Thread, x []lang.Txn, c strategy.Config, e *strategy.Env) strategy.Driver {
+		d := strategy.NewOptimistic(n, t, x, c, e)
+		d.PartialAbort = true
+		return d
+	},
+	"boosting": func(n string, t *core.Thread, x []lang.Txn, c strategy.Config, e *strategy.Env) strategy.Driver {
+		return strategy.NewBoosting(n, t, x, c, e)
+	},
+	"matveev": func(n string, t *core.Thread, x []lang.Txn, c strategy.Config, e *strategy.Env) strategy.Driver {
+		return strategy.NewMatveevShavit(n, t, x, c, e)
+	},
+	"dependent": func(n string, t *core.Thread, x []lang.Txn, c strategy.Config, e *strategy.Env) strategy.Driver {
+		return strategy.NewDependent(n, t, x, c, e)
+	},
+}
+
+// workload: three threads × two txns over map/set/counter with key
+// overlap, exercising both commutative and conflicting interleavings.
+func workload(i int) []lang.Txn {
+	a := lang.MustParseTxn(fmt.Sprintf(
+		`tx w%dA { v := ht.get(%d); if v == absent { ht.put(%d, %d); } else { ht.put(%d, v + 1); } set.add(%d); }`,
+		i, i%2, i%2, 10*i+10, i%2, i))
+	b := lang.MustParseTxn(fmt.Sprintf(
+		`tx w%dB { ctr.inc(); u := set.contains(%d); if u == 1 { set.remove(%d); } }`,
+		i, (i+1)%3, (i+1)%3))
+	return []lang.Txn{a, b}
+}
+
+func totalStats(ds []strategy.Driver) strategy.Stats {
+	var s strategy.Stats
+	for _, d := range ds {
+		st := d.Stats()
+		s.Commits += st.Commits
+		s.Aborts += st.Aborts
+		s.GaveUp += st.GaveUp
+		s.Cascades += st.Cascades
+	}
+	return s
+}
+
+// TestDriversSerializableUnderRandomScheduling runs every driver kind
+// over many seeds and certifies each final state via the commit-order
+// simulation check plus, for cross-validation, witness search.
+func TestDriversSerializableUnderRandomScheduling(t *testing.T) {
+	for name, mk := range drivers {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 25; seed++ {
+				m := machine()
+				env := strategy.NewEnv()
+				var ds []strategy.Driver
+				for i := 0; i < 3; i++ {
+					th := m.Spawn(fmt.Sprintf("%s%d", name, i))
+					ds = append(ds, mk(th.Name, th, workload(i), strategy.Config{}, env))
+				}
+				if err := sched.RunRandom(m, ds, seed, 20000); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				rep := serial.CheckCommitOrder(m)
+				if !rep.Serializable {
+					t.Fatalf("seed %d: %v", seed, rep)
+				}
+				if _, ok, exhausted := serial.FindSerialWitness(m, 6); exhausted && !ok {
+					t.Fatalf("seed %d: no serial witness found", seed)
+				}
+				if err := m.Verify(); err != nil {
+					t.Fatalf("seed %d: invariants: %v", seed, err)
+				}
+				st := totalStats(ds)
+				if st.Commits+st.GaveUp != 6 {
+					t.Fatalf("seed %d: commits=%d gaveup=%d, want total 6", seed, st.Commits, st.GaveUp)
+				}
+			}
+		})
+	}
+}
+
+// TestDriversSerializableUnderRoundRobin exercises the fair scheduler.
+func TestDriversSerializableUnderRoundRobin(t *testing.T) {
+	for name, mk := range drivers {
+		t.Run(name, func(t *testing.T) {
+			m := machine()
+			env := strategy.NewEnv()
+			var ds []strategy.Driver
+			for i := 0; i < 3; i++ {
+				th := m.Spawn(fmt.Sprintf("%s%d", name, i))
+				ds = append(ds, mk(th.Name, th, workload(i), strategy.Config{}, env))
+			}
+			if err := sched.RunRoundRobin(m, ds, 7, 20000); err != nil {
+				t.Fatal(err)
+			}
+			if rep := serial.CheckCommitOrder(m); !rep.Serializable {
+				t.Fatal(rep)
+			}
+		})
+	}
+}
+
+// TestOptimisticNeverPullsUncommitted: the §6.2 drivers live in the
+// opaque fragment (§6.1).
+func TestOptimisticNeverPullsUncommitted(t *testing.T) {
+	m := machine()
+	env := strategy.NewEnv()
+	var ds []strategy.Driver
+	for i := 0; i < 3; i++ {
+		th := m.Spawn(fmt.Sprintf("o%d", i))
+		ds = append(ds, strategy.NewOptimistic(th.Name, th, workload(i), strategy.Config{}, env))
+	}
+	if err := sched.RunRandom(m, ds, 3, 20000); err != nil {
+		t.Fatal(err)
+	}
+	if v := serial.CheckOpacity(m.Events()); len(v) != 0 {
+		t.Fatalf("optimistic run must be opaque, got violations %v", v)
+	}
+}
+
+// TestBoostingEagerPushPattern: boosting pushes every op right after
+// applying it (PUSH directly follows APP in the event trace).
+func TestBoostingEagerPushPattern(t *testing.T) {
+	m := machine()
+	env := strategy.NewEnv()
+	th := m.Spawn("b0")
+	d := strategy.NewBoosting(th.Name, th, workload(0)[:1], strategy.Config{}, env)
+	if err := sched.RunRandom(m, []strategy.Driver{d}, 1, 5000); err != nil {
+		t.Fatal(err)
+	}
+	events := m.Events()
+	for i, e := range events {
+		if e.Rule == core.RApp {
+			if i+1 >= len(events) || events[i+1].Rule != core.RPush {
+				t.Fatalf("boosting must PUSH immediately after APP; trace:\n%s", m.RuleSequence())
+			}
+		}
+	}
+	if d.Stats().Commits != 1 {
+		t.Fatalf("stats: %+v", d.Stats())
+	}
+}
+
+// TestOptimisticPushesOnlyAtCommit: no PUSH occurs before the last APP
+// of each attempt (the §6.2 commit-time publication pattern).
+func TestOptimisticPushesOnlyAtCommit(t *testing.T) {
+	m := machine()
+	env := strategy.NewEnv()
+	th := m.Spawn("o0")
+	d := strategy.NewOptimistic(th.Name, th, workload(0)[:1], strategy.Config{}, env)
+	if err := sched.RunRandom(m, []strategy.Driver{d}, 1, 5000); err != nil {
+		t.Fatal(err)
+	}
+	sawPush := false
+	for _, e := range m.Events() {
+		if e.Rule == core.RPush {
+			sawPush = true
+		}
+		if e.Rule == core.RApp && sawPush {
+			t.Fatalf("optimistic APPlied after PUSHing; trace:\n%s", m.RuleSequence())
+		}
+	}
+}
+
+// TestIrrevocableNeverAborts: the token transaction commits with zero
+// aborts while optimists around it conflict on the same counter.
+func TestIrrevocableNeverAborts(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		m := machine()
+		env := strategy.NewEnv()
+		irrTh := m.Spawn("irrevocable")
+		irrTxns := []lang.Txn{
+			lang.MustParseTxn(`tx irr1 { ctr.inc(); v := ctr.get(); ht.put(1, v); }`),
+			lang.MustParseTxn(`tx irr2 { ctr.inc(); set.add(1); }`),
+		}
+		irr := strategy.NewIrrevocable(irrTh.Name, irrTh, irrTxns, strategy.Config{}, env)
+		ds := []strategy.Driver{irr}
+		for i := 0; i < 2; i++ {
+			th := m.Spawn(fmt.Sprintf("opt%d", i))
+			txns := []lang.Txn{
+				lang.MustParseTxn(fmt.Sprintf(`tx opt%d { ctr.inc(); v := ctr.get(); ht.put(%d, v); }`, i, i+2)),
+			}
+			ds = append(ds, strategy.NewOptimistic(th.Name, th, txns, strategy.Config{}, env))
+		}
+		if err := sched.RunRandom(m, ds, seed, 40000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if st := irr.Stats(); st.Aborts != 0 || st.Commits != 2 {
+			t.Fatalf("seed %d: irrevocable stats %+v (must never abort)", seed, st)
+		}
+		if rep := serial.CheckCommitOrder(m); !rep.Serializable {
+			t.Fatalf("seed %d: %v", seed, rep)
+		}
+	}
+}
+
+// TestDependentObservesUncommitted: with eager pushes and dependent
+// pulls, at least one run observes an uncommitted effect (breaking
+// strict opacity) while every run stays serializable and honors the
+// commit-order stipulation.
+func TestDependentObservesUncommitted(t *testing.T) {
+	sawDependency := false
+	for seed := int64(1); seed <= 40; seed++ {
+		m := machine()
+		env := strategy.NewEnv()
+		producer := m.Spawn("producer")
+		consumer := m.Spawn("consumer")
+		ds := []strategy.Driver{
+			strategy.NewDependent(producer.Name, producer,
+				[]lang.Txn{lang.MustParseTxn(`tx prod { set.add(1); set.add(2); set.add(3); }`)},
+				strategy.Config{}, env),
+			strategy.NewDependent(consumer.Name, consumer,
+				[]lang.Txn{lang.MustParseTxn(`tx cons { v := set.contains(1); }`)},
+				strategy.Config{}, env),
+		}
+		if err := sched.RunRandom(m, ds, seed, 40000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep := serial.CheckCommitOrder(m); !rep.Serializable {
+			t.Fatalf("seed %d: %v", seed, rep)
+		}
+		if len(serial.CheckOpacity(m.Events())) > 0 {
+			sawDependency = true
+			// The dependent consumer must have committed after the
+			// producer: find both stamps.
+			var prodStamp, consStamp uint64
+			for _, rec := range m.Commits() {
+				switch rec.Name {
+				case "prod":
+					prodStamp = rec.Stamp
+				case "cons":
+					if len(rec.Pulled) > 0 {
+						consStamp = rec.Stamp
+					}
+				}
+			}
+			if consStamp != 0 && prodStamp != 0 && consStamp < prodStamp {
+				t.Fatalf("seed %d: dependent committed before its source", seed)
+			}
+		}
+	}
+	if !sawDependency {
+		t.Fatal("no seed produced an uncommitted observation; dependency machinery untested")
+	}
+}
+
+// TestMatveevReadOnlyCommitsWithoutToken: a read-only transaction never
+// takes the commit token.
+func TestMatveevReadOnlyCommitsWithoutToken(t *testing.T) {
+	m := machine()
+	env := strategy.NewEnv()
+	th := m.Spawn("ro")
+	d := strategy.NewMatveevShavit(th.Name, th,
+		[]lang.Txn{lang.MustParseTxn(`tx ro { v := ht.get(1); u := set.contains(2); }`)},
+		strategy.Config{}, env)
+	if err := sched.RunRandom(m, []strategy.Driver{d}, 1, 5000); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().Commits != 1 {
+		t.Fatalf("stats %+v", d.Stats())
+	}
+	if env.CommitToken.Holder() != 0 {
+		t.Fatal("token leaked")
+	}
+}
+
+// TestExhaustiveSmallProgram model-checks all interleavings of two
+// optimistic counter increments plus a boosted set add: every terminal
+// state must be serializable (Theorem 5.17) with no deadlocks.
+func TestExhaustiveSmallProgram(t *testing.T) {
+	m := machine()
+	env := strategy.NewEnv()
+	t1 := m.Spawn("t1")
+	t2 := m.Spawn("t2")
+	cfg := strategy.Config{Deterministic: true, RetryLimit: 2}
+	ds := []strategy.Driver{
+		strategy.NewOptimistic(t1.Name, t1,
+			[]lang.Txn{lang.MustParseTxn(`tx a { ctr.inc(); }`)}, cfg, env),
+		strategy.NewBoosting(t2.Name, t2,
+			[]lang.Txn{lang.MustParseTxn(`tx b { set.add(1); ctr.inc(); }`)}, cfg, env),
+	}
+	res, err := sched.Explore(m, env, ds, 60, func(fm *core.Machine) error {
+		rep := serial.CheckCommitOrder(fm)
+		if !rep.Serializable {
+			return fmt.Errorf("unserializable terminal state: %v", rep)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Terminals == 0 {
+		t.Fatal("exploration reached no terminal states")
+	}
+	if res.Pruned != 0 {
+		t.Fatalf("exploration pruned %d branches; raise depth", res.Pruned)
+	}
+	t.Logf("explored %d terminal interleavings, %d deadlock nodes", res.Terminals, res.Deadlocks)
+}

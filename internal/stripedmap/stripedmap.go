@@ -1,0 +1,205 @@
+// Package stripedmap is a linearizable concurrent hash map with lock
+// striping — a second base object for transactional boosting (the
+// "ConcurrentHashTable" flavour of Figure 2, next to the skiplist).
+//
+// The table is an array of buckets; each bucket chain is guarded by one
+// of a fixed pool of stripe mutexes (bucketIndex mod stripes). Resizing
+// doubles the bucket array under all stripe locks (acquired in index
+// order), a classic design that keeps the per-operation path short
+// while allowing the table to grow; the stripe count is fixed, so locks
+// never need to be rehashed.
+//
+// Linearization points: Put/Remove/Get at their bucket-lock critical
+// sections; Len via an atomic counter maintained inside them.
+package stripedmap
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	defaultStripes     = 32
+	initialBuckets     = 64
+	maxLoadNumerator   = 3 // resize when size > buckets * 3/2
+	maxLoadDenominator = 2
+)
+
+type entry struct {
+	key   int64
+	value int64
+	next  *entry
+}
+
+// Map is a concurrent int64→int64 hash map. Use New.
+type Map struct {
+	stripes []sync.Mutex
+
+	// buckets is swapped wholesale during resize; readers load it after
+	// taking their stripe lock, so they always see a consistent table.
+	buckets atomic.Pointer[[]*entry]
+
+	size     atomic.Int64
+	resizeMu sync.Mutex // serializes resizes (not ordinary ops)
+}
+
+// New returns an empty map with the default stripe pool.
+func New() *Map {
+	return NewWithStripes(defaultStripes)
+}
+
+// NewWithStripes returns an empty map with n stripe locks (n ≥ 1).
+func NewWithStripes(n int) *Map {
+	if n < 1 {
+		n = 1
+	}
+	m := &Map{stripes: make([]sync.Mutex, n)}
+	b := make([]*entry, initialBuckets)
+	m.buckets.Store(&b)
+	return m
+}
+
+// mix is a 64-bit finalizer (splitmix64) so adversarial keys spread.
+func mix(k int64) uint64 {
+	z := uint64(k) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// lockFor locks the stripe guarding key's bucket in the CURRENT table
+// and returns the table and bucket index. Because a resize takes every
+// stripe lock, the table cannot change while we hold ours.
+func (m *Map) lockFor(key int64) (tab []*entry, idx int, stripe *sync.Mutex) {
+	h := mix(key)
+	for {
+		tabPtr := m.buckets.Load()
+		tab := *tabPtr
+		idx := int(h % uint64(len(tab)))
+		stripe := &m.stripes[idx%len(m.stripes)]
+		stripe.Lock()
+		// Revalidate: a resize may have swapped the table between our
+		// load and the lock. The stripe set differs per table size, so
+		// re-deriving from the current table is required.
+		if m.buckets.Load() == tabPtr {
+			return tab, idx, stripe
+		}
+		stripe.Unlock()
+	}
+}
+
+// Get returns the value mapped to key.
+func (m *Map) Get(key int64) (int64, bool) {
+	_, idx, stripe := m.lockFor(key)
+	defer stripe.Unlock()
+	tab := *m.buckets.Load()
+	for e := tab[idx]; e != nil; e = e.next {
+		if e.key == key {
+			return e.value, true
+		}
+	}
+	return 0, false
+}
+
+// Contains reports whether key is present.
+func (m *Map) Contains(key int64) bool {
+	_, ok := m.Get(key)
+	return ok
+}
+
+// Put maps key to value, returning the previous value if one existed.
+func (m *Map) Put(key, value int64) (old int64, existed bool) {
+	tab, idx, stripe := m.lockFor(key)
+	for e := tab[idx]; e != nil; e = e.next {
+		if e.key == key {
+			old = e.value
+			e.value = value
+			stripe.Unlock()
+			return old, true
+		}
+	}
+	tab[idx] = &entry{key: key, value: value, next: tab[idx]}
+	n := m.size.Add(1)
+	stripe.Unlock()
+	if int(n)*maxLoadDenominator > len(tab)*maxLoadNumerator {
+		m.resize(len(tab))
+	}
+	return 0, false
+}
+
+// Remove deletes key, returning the removed value if it was present.
+func (m *Map) Remove(key int64) (old int64, existed bool) {
+	tab, idx, stripe := m.lockFor(key)
+	defer stripe.Unlock()
+	var prev *entry
+	for e := tab[idx]; e != nil; e = e.next {
+		if e.key == key {
+			if prev == nil {
+				tab[idx] = e.next
+			} else {
+				prev.next = e.next
+			}
+			m.size.Add(-1)
+			return e.value, true
+		}
+		prev = e
+	}
+	return 0, false
+}
+
+// Len returns the number of present keys.
+func (m *Map) Len() int { return int(m.size.Load()) }
+
+// Range calls f for each key/value until it returns false. The
+// traversal locks one stripe at a time: weakly consistent, like the
+// java.util.concurrent views boosting builds on.
+func (m *Map) Range(f func(key, value int64) bool) {
+	tabPtr := m.buckets.Load()
+	tab := *tabPtr
+	for idx := range tab {
+		stripe := &m.stripes[idx%len(m.stripes)]
+		stripe.Lock()
+		// Skip buckets whose table vanished under a resize; the caller
+		// gets the weakly-consistent view contract either way.
+		if m.buckets.Load() != tabPtr {
+			stripe.Unlock()
+			return
+		}
+		for e := tab[idx]; e != nil; e = e.next {
+			k, v := e.key, e.value
+			if !f(k, v) {
+				stripe.Unlock()
+				return
+			}
+		}
+		stripe.Unlock()
+	}
+}
+
+// resize doubles the bucket array if it still has the expected size.
+// All stripes are locked in index order (total order: no deadlock with
+// lockFor, which holds at most one).
+func (m *Map) resize(expect int) {
+	m.resizeMu.Lock()
+	defer m.resizeMu.Unlock()
+	old := *m.buckets.Load()
+	if len(old) != expect {
+		return // someone else already resized
+	}
+	for i := range m.stripes {
+		m.stripes[i].Lock()
+	}
+	defer func() {
+		for i := len(m.stripes) - 1; i >= 0; i-- {
+			m.stripes[i].Unlock()
+		}
+	}()
+	next := make([]*entry, len(old)*2)
+	for _, head := range old {
+		for e := head; e != nil; e = e.next {
+			idx := int(mix(e.key) % uint64(len(next)))
+			next[idx] = &entry{key: e.key, value: e.value, next: next[idx]}
+		}
+	}
+	m.buckets.Store(&next)
+}

@@ -1,0 +1,157 @@
+package stripedmap_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pushpull/internal/stripedmap"
+)
+
+func TestSequentialBasics(t *testing.T) {
+	m := stripedmap.New()
+	if _, ok := m.Get(1); ok {
+		t.Fatal("empty map contains 1")
+	}
+	if old, existed := m.Put(1, 10); existed || old != 0 {
+		t.Fatalf("put: %d,%v", old, existed)
+	}
+	if v, ok := m.Get(1); !ok || v != 10 {
+		t.Fatalf("get: %d,%v", v, ok)
+	}
+	if old, existed := m.Put(1, 20); !existed || old != 10 {
+		t.Fatalf("overwrite: %d,%v", old, existed)
+	}
+	if old, existed := m.Remove(1); !existed || old != 20 {
+		t.Fatalf("remove: %d,%v", old, existed)
+	}
+	if m.Contains(1) || m.Len() != 0 {
+		t.Fatal("remove incomplete")
+	}
+}
+
+func TestResizeKeepsContents(t *testing.T) {
+	m := stripedmap.NewWithStripes(4)
+	const n = 5000 // far past the initial 64 buckets
+	for k := int64(0); k < n; k++ {
+		m.Put(k, k*3)
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	for k := int64(0); k < n; k++ {
+		if v, ok := m.Get(k); !ok || v != k*3 {
+			t.Fatalf("key %d: %d,%v", k, v, ok)
+		}
+	}
+}
+
+func TestAgainstReference(t *testing.T) {
+	m := stripedmap.New()
+	ref := map[int64]int64{}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 30000; i++ {
+		k := int64(rng.Intn(500))
+		switch rng.Intn(3) {
+		case 0:
+			v := int64(rng.Intn(1000))
+			old, existed := m.Put(k, v)
+			rold, rex := ref[k]
+			if existed != rex || (existed && old != rold) {
+				t.Fatalf("put(%d,%d): (%d,%v) want (%d,%v)", k, v, old, existed, rold, rex)
+			}
+			ref[k] = v
+		case 1:
+			old, existed := m.Remove(k)
+			rold, rex := ref[k]
+			if existed != rex || (existed && old != rold) {
+				t.Fatalf("remove(%d): (%d,%v) want (%d,%v)", k, old, existed, rold, rex)
+			}
+			delete(ref, k)
+		default:
+			v, ok := m.Get(k)
+			rv, rok := ref[k]
+			if ok != rok || (ok && v != rv) {
+				t.Fatalf("get(%d): (%d,%v) want (%d,%v)", k, v, ok, rv, rok)
+			}
+		}
+	}
+	if m.Len() != len(ref) {
+		t.Fatalf("Len=%d want %d", m.Len(), len(ref))
+	}
+}
+
+func TestConcurrentDisjoint(t *testing.T) {
+	m := stripedmap.New()
+	const writers = 8
+	const per = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(w * per)
+			for i := int64(0); i < per; i++ {
+				m.Put(base+i, base+i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Len() != writers*per {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	for k := int64(0); k < writers*per; k++ {
+		if v, ok := m.Get(k); !ok || v != k {
+			t.Fatalf("key %d missing", k)
+		}
+	}
+}
+
+func TestConcurrentMixedWithResizes(t *testing.T) {
+	m := stripedmap.NewWithStripes(8)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 4000; i++ {
+				k := int64(rng.Intn(3000))
+				switch rng.Intn(3) {
+				case 0:
+					m.Put(k, int64(i))
+				case 1:
+					m.Remove(k)
+				default:
+					m.Get(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Structural sanity: Len matches a full traversal on the quiescent
+	// table.
+	count := 0
+	m.Range(func(k, v int64) bool {
+		count++
+		return true
+	})
+	if count != m.Len() {
+		t.Fatalf("Len=%d traversal=%d", m.Len(), count)
+	}
+}
+
+func BenchmarkStripedMapPutGet(b *testing.B) {
+	m := stripedmap.New()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := int64(rng.Intn(4096))
+		if i%2 == 0 {
+			m.Put(k, int64(i))
+		} else {
+			m.Get(k)
+		}
+	}
+}

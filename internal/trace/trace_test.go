@@ -1,0 +1,227 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"pushpull/internal/adt"
+	"pushpull/internal/spec"
+	"pushpull/internal/trace"
+)
+
+func reg() *spec.Registry {
+	r := spec.NewRegistry()
+	r.Register("mem", adt.Register{})
+	r.Register("set", adt.Set{})
+	return r
+}
+
+func TestAtomicTxnAcceptsCorrectRun(t *testing.T) {
+	rec := trace.NewRecorder(reg())
+	ok := rec.AtomicTxn("a", []trace.OpRecord{
+		{Obj: "mem", Method: "write", Args: []int64{1, 5}, Ret: 0},
+		{Obj: "mem", Method: "read", Args: []int64{1}, Ret: 5},
+	})
+	if !ok {
+		t.Fatalf("correct txn rejected: %v", rec.Err())
+	}
+	// The second transaction observes the first's committed effects.
+	ok = rec.AtomicTxn("b", []trace.OpRecord{
+		{Obj: "mem", Method: "read", Args: []int64{1}, Ret: 5},
+		{Obj: "mem", Method: "write", Args: []int64{1, 9}, Ret: 5},
+	})
+	if !ok {
+		t.Fatalf("dependent-on-committed txn rejected: %v", rec.Err())
+	}
+	if err := rec.FinalCheck(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Commits() != 2 {
+		t.Fatalf("commits = %d", rec.Commits())
+	}
+}
+
+// TestAtomicTxnCatchesWrongReturn: the certifier is the oracle — a
+// substrate reporting a value the sequential specification contradicts
+// must be flagged, not absorbed.
+func TestAtomicTxnCatchesWrongReturn(t *testing.T) {
+	rec := trace.NewRecorder(reg())
+	if ok := rec.AtomicTxn("good", []trace.OpRecord{
+		{Obj: "mem", Method: "write", Args: []int64{1, 5}, Ret: 0},
+	}); !ok {
+		t.Fatal(rec.Err())
+	}
+	// A "lost update" bug: the substrate claims it read 0 although 5 is
+	// committed.
+	if ok := rec.AtomicTxn("buggy", []trace.OpRecord{
+		{Obj: "mem", Method: "read", Args: []int64{1}, Ret: 0},
+	}); ok {
+		t.Fatal("stale read certified!")
+	}
+	vs := rec.Violations()
+	if len(vs) == 0 || !strings.Contains(vs[0].Error(), "return value mismatch") {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestAtomicTxnFuncAbortPath(t *testing.T) {
+	rec := trace.NewRecorder(reg())
+	called := false
+	ok := rec.AtomicTxnFunc("ro", func() ([]trace.OpRecord, bool) {
+		called = true
+		return nil, false // substrate aborted at the last moment
+	})
+	if ok || !called {
+		t.Fatal("aborting prepare must not certify")
+	}
+	if len(rec.Violations()) != 0 {
+		t.Fatal("an abort is not a violation")
+	}
+	if rec.Commits() != 0 {
+		t.Fatal("nothing committed")
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	rec := trace.NewRecorder(reg())
+	s := rec.Begin("eager")
+	if !s.Op("set", "add", []int64{1}, 1) {
+		t.Fatal(rec.Err())
+	}
+	if !s.Op("set", "contains", []int64{1}, 1) {
+		t.Fatal(rec.Err())
+	}
+	if !s.Commit() {
+		t.Fatal(rec.Err())
+	}
+	// Idempotent commit.
+	if !s.Commit() {
+		t.Fatal("second commit must report the first outcome")
+	}
+	if err := rec.FinalCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionAbortRewinds(t *testing.T) {
+	rec := trace.NewRecorder(reg())
+	s := rec.Begin("aborter")
+	if !s.Op("set", "add", []int64{7}, 1) {
+		t.Fatal(rec.Err())
+	}
+	s.Abort()
+	// The shared shadow state must not contain the aborted add.
+	s2 := rec.Begin("observer")
+	if !s2.Op("set", "contains", []int64{7}, 0) {
+		t.Fatalf("aborted effect leaked: %v", rec.Err())
+	}
+	if !s2.Commit() {
+		t.Fatal(rec.Err())
+	}
+	if err := rec.FinalCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionCatchesWrongEagerReturn(t *testing.T) {
+	rec := trace.NewRecorder(reg())
+	s1 := rec.Begin("w1")
+	if !s1.Op("set", "add", []int64{1}, 1) {
+		t.Fatal(rec.Err())
+	}
+	if !s1.Commit() {
+		t.Fatal(rec.Err())
+	}
+	s2 := rec.Begin("w2")
+	// Claiming add(1) inserted again contradicts the committed state.
+	if s2.Op("set", "add", []int64{1}, 1) {
+		t.Fatal("double-insert return certified!")
+	}
+	s2.Abort()
+	if len(rec.Violations()) == 0 {
+		t.Fatal("expected a violation")
+	}
+}
+
+func TestDeferredOpsPublishAtCommit(t *testing.T) {
+	rec := trace.NewRecorder(reg())
+	s := rec.Begin("htmish")
+	if !s.Op("set", "add", []int64{1}, 1) { // eager (boosted) op
+		t.Fatal(rec.Err())
+	}
+	if !s.OpDeferred("mem", "write", []int64{0, 5}, 0) { // buffered op
+		t.Fatal(rec.Err())
+	}
+	// The deferred write is invisible to a concurrent transaction.
+	other := rec.Begin("reader")
+	if !other.Op("mem", "read", []int64{0}, 0) {
+		t.Fatalf("deferred op leaked: %v", rec.Err())
+	}
+	if !other.Commit() {
+		t.Fatal(rec.Err())
+	}
+	if !s.Commit() { // publishes the deferred write, then CMT
+		t.Fatal(rec.Err())
+	}
+	// Now it is visible.
+	last := rec.Begin("after")
+	if !last.Op("mem", "read", []int64{0}, 5) {
+		t.Fatalf("committed deferred op invisible: %v", rec.Err())
+	}
+	if !last.Commit() {
+		t.Fatal(rec.Err())
+	}
+	if err := rec.FinalCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRewindDeferred(t *testing.T) {
+	rec := trace.NewRecorder(reg())
+	s := rec.Begin("fig7")
+	if !s.Op("set", "add", []int64{1}, 1) {
+		t.Fatal(rec.Err())
+	}
+	if !s.OpDeferred("mem", "write", []int64{0, 5}, 0) {
+		t.Fatal(rec.Err())
+	}
+	if !s.OpDeferred("mem", "write", []int64{1, 6}, 0) {
+		t.Fatal(rec.Err())
+	}
+	if n := s.RewindDeferred(); n != 2 {
+		t.Fatalf("rewound %d, want 2 (stop at the pushed boosted op)", n)
+	}
+	// Re-apply down another path and commit.
+	if !s.OpDeferred("mem", "write", []int64{2, 7}, 0) {
+		t.Fatal(rec.Err())
+	}
+	if !s.Commit() {
+		t.Fatal(rec.Err())
+	}
+	if err := rec.FinalCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactionKeepsCertifying(t *testing.T) {
+	rec := trace.NewRecorder(reg())
+	rec.CompactEvery = 4
+	val := int64(0)
+	for i := 0; i < 40; i++ {
+		ok := rec.AtomicTxn("w", []trace.OpRecord{
+			{Obj: "mem", Method: "read", Args: []int64{0}, Ret: val},
+			{Obj: "mem", Method: "write", Args: []int64{0, val + 1}, Ret: val},
+		})
+		if !ok {
+			t.Fatalf("iteration %d: %v", i, rec.Err())
+		}
+		val++
+	}
+	if err := rec.FinalCheck(); err != nil {
+		t.Fatal(err)
+	}
+	// After compaction the live window must be small.
+	if g := rec.Machine().GlobalEntries(); len(g) > 16 {
+		t.Fatalf("compaction ineffective: %d live entries", len(g))
+	}
+}
