@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build test vet race chaos-smoke chaos bench ci
+
+build:
+	$(GO) build ./...
+
+# Tier 1: must always pass.
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Fault-injection smoke: a small certified chaos campaign over every
+# target (substrates, hybrid, scheduler).
+chaos-smoke:
+	$(GO) test ./internal/bench/ -run TestChaosSmoke -v
+
+# The full campaign: 50 plan seeds per target, non-zero exit on any
+# serializability/invariant/leak violation.
+chaos:
+	$(GO) run ./cmd/pushpull-chaos
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+ci: test vet race chaos-smoke

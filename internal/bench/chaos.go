@@ -1,0 +1,524 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"pushpull/internal/adt"
+	"pushpull/internal/chaos"
+	"pushpull/internal/core"
+	"pushpull/internal/lang"
+	"pushpull/internal/sched"
+	"pushpull/internal/serial"
+	"pushpull/internal/spec"
+	"pushpull/internal/stm/boost"
+	"pushpull/internal/stm/dep"
+	"pushpull/internal/stm/htmsim"
+	"pushpull/internal/stm/hybrid"
+	"pushpull/internal/stm/pess"
+	"pushpull/internal/stm/tl2"
+	"pushpull/internal/strategy"
+	"pushpull/internal/trace"
+)
+
+// ChaosParams configures a fault-injection campaign: a seed sweep over
+// every target, each run certified end to end.
+type ChaosParams struct {
+	// Targets to sweep; nil means ChaosTargets().
+	Targets []string
+	// Seeds is the number of plan seeds per target (BaseSeed,
+	// BaseSeed+1, ...).
+	Seeds    int
+	BaseSeed int64
+	Threads  int
+	OpsEach  int
+	Keys     int
+	// Rate is the reference per-site fault probability; per-target plans
+	// scale it per site (see ChaosPlanFor).
+	Rate float64
+}
+
+func (p ChaosParams) WithDefaults() ChaosParams {
+	if p.Targets == nil {
+		p.Targets = ChaosTargets()
+	}
+	if p.Seeds <= 0 {
+		p.Seeds = 50
+	}
+	if p.BaseSeed == 0 {
+		p.BaseSeed = 1
+	}
+	if p.Threads <= 0 {
+		p.Threads = 4
+	}
+	if p.OpsEach <= 0 {
+		p.OpsEach = 40
+	}
+	if p.Keys <= 0 {
+		p.Keys = 16
+	}
+	if p.Rate <= 0 {
+		p.Rate = 0.08
+	}
+	return p
+}
+
+// ChaosTargets lists the campaign targets: the five goroutine
+// substrates, the hybrid runtime, and the cooperative model under the
+// chaos scheduler.
+func ChaosTargets() []string {
+	return []string{"tl2", "pess", "boost", "htmsim", "dep", "hybrid", "model"}
+}
+
+// ChaosPlanFor builds the fault plan a campaign uses for one target and
+// seed — the reproduction recipe: rerunning the same target with the
+// same plan replays the same injection decisions.
+func ChaosPlanFor(target string, seed int64, rate float64) chaos.Plan {
+	p := chaos.NewPlan(seed)
+	switch target {
+	case "tl2":
+		p = p.WithRate(chaos.SiteTL2Read, rate/4).WithRate(chaos.SiteTL2Commit, rate)
+	case "pess":
+		p = p.WithRate(chaos.SitePessTimeout, rate)
+	case "boost":
+		p = p.WithRate(chaos.SiteBoostTimeout, rate)
+	case "htmsim":
+		p = p.WithRate(chaos.SiteHTMConflict, rate).
+			WithRate(chaos.SiteHTMCapacity, rate/4).
+			WithRate(chaos.SiteHTMCommit, rate)
+	case "dep":
+		p = p.WithRate(chaos.SiteDepConflict, rate/2)
+	case "hybrid":
+		p = p.WithRate(chaos.SiteHTMConflict, rate).
+			WithRate(chaos.SiteHTMCapacity, rate/2).
+			WithRate(chaos.SiteHTMCommit, rate).
+			WithRate(chaos.SiteBoostTimeout, rate/4)
+	case "model":
+		p = p.WithRate(chaos.SiteSchedStall, rate).
+			WithRate(chaos.SiteSchedKill, rate/20).WithBudget(chaos.SiteSchedKill, 1)
+	}
+	return p
+}
+
+// ChaosOutcome is one certified chaos run.
+type ChaosOutcome struct {
+	Target string
+	Seed   int64
+	Plan   string
+	Faults chaos.Stats
+	// Commits/Aborts from the target's own counters; GaveUp counts
+	// controlled retry-budget exhaustions (not failures).
+	Commits uint64
+	Aborts  uint64
+	GaveUp  uint64
+	// Degraded (hybrid): commits that ran HTM sections under the
+	// fallback lock after graceful degradation.
+	Degraded uint64
+	// Kills/Stalls (model): scheduler-level injections.
+	Kills  int
+	Stalls int
+	// Halted (model): the scheduler detected livelock or deadlock and
+	// halted the run — a controlled outcome, certified like any other.
+	Halted bool
+	// Err is a certification, invariant, serializability, or leak
+	// violation — nil means the run recovered from every fault cleanly.
+	Err error
+}
+
+// RunChaosOne runs one certified chaos run. Every path asserts full
+// recovery: substrate runs certify each commit on the shadow machine
+// and pass FinalCheck; the model run passes machine invariants, the
+// commit-order serializability check, and the Env leak check.
+func RunChaosOne(target string, seed int64, p ChaosParams) ChaosOutcome {
+	p = p.WithDefaults()
+	plan := ChaosPlanFor(target, seed, p.Rate)
+	inj := plan.Injector()
+	out := ChaosOutcome{Target: target, Seed: seed, Plan: plan.String()}
+
+	switch target {
+	case "tl2", "pess", "htmsim", "dep":
+		out.Err = runChaosWords(target, seed, p, inj, &out)
+	case "boost":
+		out.Err = runChaosBoost(seed, p, inj, &out)
+	case "hybrid":
+		out.Err = runChaosHybrid(seed, p, inj, &out)
+	case "model":
+		out.Err = runChaosModel(seed, p, inj, &out)
+	default:
+		out.Err = fmt.Errorf("bench: unknown chaos target %q", target)
+	}
+	out.Faults = inj.Stats()
+	return out
+}
+
+// spawnWorkers runs the transaction closure across p.Threads
+// goroutines, counting retry-budget exhaustions as give-ups and
+// returning the first unexpected error.
+func spawnWorkers(p ChaosParams, gaveUp *atomic.Uint64, txn func(g, i int, rng *rand.Rand) error) error {
+	var wg sync.WaitGroup
+	errCh := make(chan error, p.Threads)
+	for g := 0; g < p.Threads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 1))
+			for i := 0; i < p.OpsEach; i++ {
+				err := txn(g, i, rng)
+				if err == nil {
+					continue
+				}
+				if errors.Is(err, chaos.ErrRetriesExhausted) {
+					gaveUp.Add(1)
+					continue
+				}
+				errCh <- err
+				return
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+func registerReg() (*spec.Registry, *trace.Recorder) {
+	reg := spec.NewRegistry()
+	reg.Register("mem", adt.Register{})
+	return reg, trace.NewRecorder(reg)
+}
+
+// runChaosWords drives the word substrates (tl2/pess/htmsim/dep) with
+// the shared read-modify-write workload under injection, certified.
+func runChaosWords(target string, seed int64, p ChaosParams, inj *chaos.Faults, out *ChaosOutcome) error {
+	_, rec := registerReg()
+	retry := chaos.Default(seed)
+	var gaveUp atomic.Uint64
+
+	var atomicRMW func(addr int, readOnly bool, yield int) error
+	var stats func() (commits, aborts uint64)
+
+	switch target {
+	case "tl2":
+		m := tl2.New(p.Keys)
+		m.Recorder, m.Injector, m.Retry = rec, inj, retry
+		atomicRMW = func(addr int, readOnly bool, yield int) error {
+			return m.AtomicNamed("t", func(tx *tl2.Tx) error {
+				v, err := tx.Read(addr)
+				if err != nil || readOnly {
+					return err
+				}
+				yieldN(yield)
+				return tx.Write(addr, v+1)
+			})
+		}
+		stats = func() (uint64, uint64) { s := m.Stats(); return s.Commits, s.Aborts }
+	case "pess":
+		m := pess.New(p.Keys)
+		m.Recorder, m.Injector, m.Retry = rec, inj, retry
+		atomicRMW = func(addr int, readOnly bool, yield int) error {
+			return m.AtomicNamed("t", func(tx *pess.Tx) error {
+				v, err := tx.Read(addr)
+				if err != nil || readOnly {
+					return err
+				}
+				yieldN(yield)
+				return tx.Write(addr, v+1)
+			})
+		}
+		stats = func() (uint64, uint64) { s := m.Stats(); return s.Commits, s.Aborts }
+	case "htmsim":
+		h := htmsim.New(p.Keys)
+		h.Recorder, h.Injector, h.Retry = rec, inj, retry
+		atomicRMW = func(addr int, readOnly bool, yield int) error {
+			return h.Atomic("t", func(tx *htmsim.Tx) error {
+				v, err := tx.Read(addr)
+				if err != nil || readOnly {
+					return err
+				}
+				yieldN(yield)
+				return tx.Write(addr, v+1)
+			})
+		}
+		stats = func() (uint64, uint64) {
+			s := h.Stats()
+			return s.Commits, s.ConflictAborts + s.CapacityAborts
+		}
+	case "dep":
+		m := dep.New(p.Keys)
+		m.Recorder, m.Injector, m.Retry = rec, inj, retry
+		atomicRMW = func(addr int, readOnly bool, yield int) error {
+			return m.Atomic("t", func(tx *dep.Tx) error {
+				v, err := tx.Read(addr)
+				if err != nil || readOnly {
+					return err
+				}
+				yieldN(yield)
+				return tx.Write(addr, v+1)
+			})
+		}
+		stats = func() (uint64, uint64) { s := m.Stats(); return s.Commits, s.Aborts }
+	}
+
+	err := spawnWorkers(p, &gaveUp, func(g, i int, rng *rand.Rand) error {
+		return atomicRMW(rng.Intn(p.Keys), rng.Intn(100) < 30, 2)
+	})
+	out.Commits, out.Aborts = stats()
+	out.GaveUp = gaveUp.Load()
+	if err != nil {
+		return err
+	}
+	return rec.FinalCheck()
+}
+
+// runChaosBoost drives the boosting substrate under lock-timeout
+// injection, certified.
+func runChaosBoost(seed int64, p ChaosParams, inj *chaos.Faults, out *ChaosOutcome) error {
+	reg := spec.NewRegistry()
+	reg.Register("ht", adt.Map{})
+	rt := boost.NewRuntime()
+	rt.Recorder = trace.NewRecorder(reg)
+	rt.Injector, rt.Retry = inj, chaos.Default(seed)
+	ht := boost.NewMap(rt, "ht", seed)
+	var gaveUp atomic.Uint64
+
+	err := spawnWorkers(p, &gaveUp, func(g, i int, rng *rand.Rand) error {
+		key := int64(rng.Intn(p.Keys))
+		readOnly := rng.Intn(100) < 30
+		return rt.Atomic("b", func(tx *boost.Txn) error {
+			v, present, err := tx2val(ht.Get(tx, key))
+			if err != nil || readOnly {
+				return err
+			}
+			if !present {
+				v = 0
+			}
+			yieldN(2)
+			_, _, err = ht.Put(tx, key, v+1)
+			return err
+		})
+	})
+	s := rt.Stats()
+	out.Commits, out.Aborts, out.GaveUp = s.Commits, s.Aborts, gaveUp.Load()
+	if err != nil {
+		return err
+	}
+	return rt.Recorder.FinalCheck()
+}
+
+// runChaosHybrid drives the Section 7 hybrid under capacity/conflict
+// injection: the run must stay certified across graceful degradation to
+// boosting-plus-lock.
+func runChaosHybrid(seed int64, p ChaosParams, inj *chaos.Faults, out *ChaosOutcome) error {
+	reg := spec.NewRegistry()
+	reg.Register("skiplist", adt.Set{})
+	reg.Register("hashT", adt.Map{})
+	reg.Register("htm", adt.Register{})
+	b := boost.NewRuntime()
+	b.Recorder = trace.NewRecorder(reg)
+	b.Injector, b.Retry = inj, chaos.Default(seed)
+	h := htmsim.New(16)
+	h.Name = "htm"
+	h.Injector = inj
+	rt := hybrid.New(b, h)
+	rt.DegradeAfter = 8
+	sl := boost.NewSet(b, "skiplist", seed)
+	ht := boost.NewMap(b, "hashT", seed+1)
+	var gaveUp atomic.Uint64
+
+	err := spawnWorkers(p, &gaveUp, func(g, i int, rng *rand.Rand) error {
+		// Bounded key range: shadow-machine certification clones ADT
+		// state per op, so unbounded unique keys would go quadratic.
+		foo := int64(rng.Intn(p.Keys * 4))
+		branchX := rng.Intn(2) == 0
+		return rt.Atomic(fmt.Sprintf("s7-%d", foo), func(tx *hybrid.Tx) error {
+			if _, err := sl.Add(tx.Boosted(), foo); err != nil {
+				return err
+			}
+			tx.HTMSection(func(htx *htmsim.Tx) error { // size++
+				v, err := htx.Read(0)
+				if err != nil {
+					return err
+				}
+				return htx.Write(0, v+1)
+			})
+			if _, _, err := ht.Put(tx.Boosted(), foo, foo*10); err != nil {
+				return err
+			}
+			tx.HTMSection(func(htx *htmsim.Tx) error { // x++ or y++
+				addr := 2
+				if branchX {
+					addr = 1
+				}
+				v, err := htx.Read(addr)
+				if err != nil {
+					return err
+				}
+				return htx.Write(addr, v+1)
+			})
+			return nil
+		})
+	})
+	s := rt.Stats()
+	out.Commits, out.Aborts, out.Degraded = s.Commits, s.Boost.Aborts, s.Degraded
+	out.GaveUp = gaveUp.Load()
+	if err != nil {
+		return err
+	}
+	if err := b.Recorder.FinalCheck(); err != nil {
+		return err
+	}
+	// Conservation across degradation: size must equal the committed
+	// transaction count (each commit increments word 0 exactly once).
+	want := int64(s.Commits)
+	if got := h.ReadNoTx(0); got != want {
+		return fmt.Errorf("hybrid: size=%d after %d commits (lost updates)", got, want)
+	}
+	return nil
+}
+
+// runChaosModel drives mixed strategy drivers on the cooperative
+// machine under the chaos scheduler (stalls + forced thread death),
+// then checks machine invariants, serializability, and lock/token
+// leaks.
+func runChaosModel(seed int64, p ChaosParams, inj *chaos.Faults, out *ChaosOutcome) error {
+	reg := Registry()
+	m := core.NewMachine(reg, core.Options{Mode: spec.MoverHybrid, EnforceGray: true})
+	env := strategy.NewEnv()
+	rng := rand.New(rand.NewSource(seed))
+	cfg := strategy.Config{Retry: chaos.Default(seed)}
+	kinds := []string{"boosting", "optimistic", "dependent", "matveev"}
+
+	var drivers []strategy.Driver
+	for i := 0; i < p.Threads; i++ {
+		kind := kinds[i%len(kinds)]
+		th := m.Spawn(fmt.Sprintf("%s%d", kind, i))
+		var txns []lang.Txn
+		for j := 0; j < 4; j++ {
+			txns = append(txns, genTxn(rng, fmt.Sprintf("t%d_%d", i, j),
+				ModelParams{Keys: p.Keys, ReadPct: 30, OpsPerTxn: 3}))
+		}
+		d, err := NewDriver(kind, th, txns, cfg, env)
+		if err != nil {
+			return err
+		}
+		drivers = append(drivers, d)
+	}
+
+	res, err := sched.RunChaos(m, drivers, seed, 400_000, inj)
+	out.Kills, out.Stalls = res.Kills, res.Stalls
+	for _, d := range drivers {
+		st := d.Stats()
+		out.Commits += uint64(st.Commits)
+		out.Aborts += uint64(st.Aborts)
+		out.GaveUp += uint64(st.GaveUp)
+	}
+	// Livelock/deadlock under heavy injection is a controlled halt, not a
+	// recovery failure (RunChaos has already released everything): note it
+	// and certify the survivors like any other run. Any other error is a
+	// genuine violation.
+	if err != nil {
+		if !errors.Is(err, sched.ErrLivelock) && !errors.Is(err, sched.ErrDeadlock) {
+			return err
+		}
+		out.Halted = true
+	}
+	if err := m.Verify(); err != nil {
+		return fmt.Errorf("machine invariants: %w", err)
+	}
+	if rep := serial.CheckCommitOrder(m); !rep.Serializable {
+		return fmt.Errorf("not serializable: %s", rep.Reason)
+	}
+	if err := env.LeakCheck(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ChaosCampaign sweeps Seeds plan seeds over every target, certifying
+// each run, and renders the fault/recovery report. The returned error
+// is non-nil if ANY run had a violation; the report always includes the
+// failing plans (the reproduction recipes).
+func ChaosCampaign(p ChaosParams) (string, []ChaosOutcome, error) {
+	p = p.WithDefaults()
+	var outcomes []ChaosOutcome
+	type agg struct {
+		runs, failed            int
+		injected                uint64
+		commits, aborts, gaveUp uint64
+		degraded                uint64
+		kills, stalls, halted   int
+		firstFail               string
+	}
+	aggs := make(map[string]*agg)
+	var firstErr error
+
+	for _, target := range p.Targets {
+		a := &agg{}
+		aggs[target] = a
+		for s := 0; s < p.Seeds; s++ {
+			o := RunChaosOne(target, p.BaseSeed+int64(s), p)
+			outcomes = append(outcomes, o)
+			a.runs++
+			a.injected += o.Faults.TotalInjected()
+			a.commits += o.Commits
+			a.aborts += o.Aborts
+			a.gaveUp += o.GaveUp
+			a.degraded += o.Degraded
+			a.kills += o.Kills
+			a.stalls += o.Stalls
+			if o.Halted {
+				a.halted++
+			}
+			if o.Err != nil {
+				a.failed++
+				if a.firstFail == "" {
+					a.firstFail = fmt.Sprintf("%s: %v", o.Plan, o.Err)
+				}
+				if firstErr == nil {
+					firstErr = fmt.Errorf("chaos: %s seed %d: %w (replay: %s)", target, o.Seed, o.Err, o.Plan)
+				}
+			}
+		}
+	}
+
+	var rows []Row
+	for _, target := range p.Targets {
+		a := aggs[target]
+		notes := ""
+		if a.degraded > 0 {
+			notes = fmt.Sprintf("degraded=%d", a.degraded)
+		}
+		if a.kills > 0 || a.stalls > 0 {
+			if notes != "" {
+				notes += " "
+			}
+			notes += fmt.Sprintf("kills=%d stalls=%d", a.kills, a.stalls)
+		}
+		if a.halted > 0 {
+			if notes != "" {
+				notes += " "
+			}
+			notes += fmt.Sprintf("halted=%d", a.halted)
+		}
+		abortRatio := 0.0
+		if a.commits > 0 {
+			abortRatio = float64(a.aborts) / float64(a.commits)
+		}
+		rows = append(rows, Row{
+			target, fmt.Sprintf("%d", a.runs), fmt.Sprintf("%d", a.injected),
+			fmt.Sprintf("%d", a.commits), fmt.Sprintf("%d", a.aborts),
+			fmt.Sprintf("%.3f", abortRatio), fmt.Sprintf("%d", a.gaveUp),
+			fmt.Sprintf("%d", a.failed), notes,
+		})
+	}
+	report := Table(Row{"target", "seeds", "faults", "commits", "aborts", "aborts/commit", "gaveup", "violations", "notes"}, rows)
+	for _, target := range p.Targets {
+		if f := aggs[target].firstFail; f != "" {
+			report += fmt.Sprintf("\nFAIL %s %s\n", target, f)
+		}
+	}
+	return report, outcomes, firstErr
+}

@@ -1,0 +1,133 @@
+package chaos
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestFireDeterministic: the same plan yields the same decision
+// sequence at every site, visit for visit.
+func TestFireDeterministic(t *testing.T) {
+	p := NewPlan(42).WithRate(SiteTL2Read, 0.3).WithRate(SiteHTMCapacity, 0.1)
+	a, b := p.Injector(), p.Injector()
+	for i := 0; i < 1000; i++ {
+		for _, s := range []Site{SiteTL2Read, SiteHTMCapacity, SitePessTimeout} {
+			if a.Fire(s) != b.Fire(s) {
+				t.Fatalf("divergence at %s visit %d", s, i)
+			}
+		}
+	}
+	if a.Stats().String() != b.Stats().String() {
+		t.Fatalf("stats diverge: %s vs %s", a.Stats(), b.Stats())
+	}
+}
+
+// TestFireRate: the empirical firing rate tracks the configured one.
+func TestFireRate(t *testing.T) {
+	f := NewPlan(7).WithRate(SiteBoostTimeout, 0.25).Injector()
+	fired := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if f.Fire(SiteBoostTimeout) {
+			fired++
+		}
+	}
+	got := float64(fired) / n
+	if math.Abs(got-0.25) > 0.02 {
+		t.Fatalf("rate %.3f, want ~0.25", got)
+	}
+	st := f.Stats()
+	if st.Counts[SiteBoostTimeout].Visits != n || st.Counts[SiteBoostTimeout].Injected != uint64(fired) {
+		t.Fatalf("counts %+v", st.Counts)
+	}
+}
+
+// TestScriptOverridesRate: scripted visits fire exactly as written,
+// then the rate takes over.
+func TestScriptOverridesRate(t *testing.T) {
+	f := NewPlan(1).WithRate(SiteDepConflict, 0).
+		WithScript(SiteDepConflict, []bool{true, false, true}).Injector()
+	want := []bool{true, false, true, false, false}
+	for i, w := range want {
+		if got := f.Fire(SiteDepConflict); got != w {
+			t.Fatalf("visit %d: fire=%v want %v", i, got, w)
+		}
+	}
+}
+
+// TestBudgetCaps: injections stop at the budget even at rate 1.
+func TestBudgetCaps(t *testing.T) {
+	f := NewPlan(1).WithRate(SitePessTimeout, 1).WithBudget(SitePessTimeout, 3).Injector()
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if f.Fire(SitePessTimeout) {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d, want 3", fired)
+	}
+}
+
+// TestZeroPlanNeverFires: the empty plan is inert.
+func TestZeroPlanNeverFires(t *testing.T) {
+	f := NewPlan(99).Injector()
+	for i := 0; i < 100; i++ {
+		for _, s := range Sites() {
+			if f.Fire(s) {
+				t.Fatalf("zero plan fired at %s", s)
+			}
+		}
+	}
+	if f.Stats().TotalInjected() != 0 {
+		t.Fatal("nonzero injections")
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	p := NewPlan(5).WithRate(SiteTL2Read, 0.1).WithBudget(SiteTL2Read, 2)
+	s := p.String()
+	if !strings.Contains(s, "seed=5") || !strings.Contains(s, "tl2/read=0.1(cap 2)") {
+		t.Fatalf("plan string %q", s)
+	}
+}
+
+// TestRetryPolicy: budget bounds, exponential growth, cap, jitter
+// bounds, nil-policy legacy shape.
+func TestRetryPolicy(t *testing.T) {
+	p := &RetryPolicy{MaxRetries: 3, BaseYields: 2, MaxYields: 16, Multiplier: 2}
+	for n := 1; n <= 3; n++ {
+		if !p.Allow(n) {
+			t.Fatalf("retry %d should be allowed", n)
+		}
+	}
+	if p.Allow(4) {
+		t.Fatal("retry 4 should exceed budget")
+	}
+	wantY := []int{2, 4, 8, 16, 16}
+	for i, w := range wantY {
+		if got := p.Yields(i + 1); got != w {
+			t.Fatalf("yields(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+
+	j := Default(3)
+	for n := 1; n < 20; n++ {
+		y := j.Yields(n)
+		if y < 0 || y > j.MaxYields+j.MaxYields/2 {
+			t.Fatalf("jittered yields(%d) = %d out of range", n, y)
+		}
+	}
+
+	var nilP *RetryPolicy
+	if !nilP.Allow(1 << 20) {
+		t.Fatal("nil policy must allow")
+	}
+	if nilP.Yields(10) != 10 || nilP.Yields(100) != 64 {
+		t.Fatal("nil policy legacy backoff shape")
+	}
+	if Unlimited(1).Allow(1<<20) != true {
+		t.Fatal("unlimited must allow")
+	}
+}

@@ -1,0 +1,124 @@
+package chaos
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+)
+
+// ErrRetriesExhausted reports that a transaction used up its retry
+// budget under a bounded RetryPolicy. Substrates return it (wrapped)
+// instead of spinning forever; campaign harnesses count it as a
+// controlled give-up, not a failure.
+var ErrRetriesExhausted = errors.New("chaos: retry budget exhausted")
+
+// RetryPolicy is the shared recovery policy: bounded retries with
+// exponential backoff and deterministic jitter. It replaces the ad-hoc
+// per-substrate retry counters and Gosched loops. In the cooperative
+// world "backoff" is a number of scheduler yields; goroutine substrates
+// spend them as runtime.Gosched calls.
+//
+// The zero value retries forever with no backoff; use Default for the
+// tuned policy.
+type RetryPolicy struct {
+	// MaxRetries bounds retries after the first attempt; < 0 means
+	// unlimited, 0 means no retries.
+	MaxRetries int
+	// BaseYields is the backoff of the first retry (default 1 when
+	// Multiplier is set).
+	BaseYields int
+	// MaxYields caps the backoff (default 64).
+	MaxYields int
+	// Multiplier grows the backoff per retry (default 2 when BaseYields
+	// is set).
+	Multiplier float64
+	// Jitter in [0,1] randomizes each backoff by ±Jitter/2 of its value,
+	// deterministically from Seed and the draw index.
+	Jitter float64
+	// Seed feeds the jitter hash.
+	Seed int64
+
+	draws atomic.Uint64
+}
+
+// Default is the tuned policy: 64 retries, exponential backoff 1→64
+// yields, 25% jitter.
+func Default(seed int64) *RetryPolicy {
+	return &RetryPolicy{MaxRetries: 64, BaseYields: 1, MaxYields: 64, Multiplier: 2, Jitter: 0.25, Seed: seed}
+}
+
+// Unlimited retries forever with the same backoff shape as Default —
+// the drop-in replacement for substrates that must not give up.
+func Unlimited(seed int64) *RetryPolicy {
+	return &RetryPolicy{MaxRetries: -1, BaseYields: 1, MaxYields: 64, Multiplier: 2, Jitter: 0.25, Seed: seed}
+}
+
+// Allow reports whether retry number n (1-based: the n-th re-attempt)
+// is within budget. A nil policy allows everything.
+func (p *RetryPolicy) Allow(n int) bool {
+	if p == nil || p.MaxRetries < 0 {
+		return true
+	}
+	return n <= p.MaxRetries
+}
+
+// Yields returns the backoff, in scheduler yields, before retry n
+// (1-based). A nil policy backs off linearly to 64 — the legacy
+// substrate behaviour.
+func (p *RetryPolicy) Yields(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if p == nil {
+		if n > 64 {
+			return 64
+		}
+		return n
+	}
+	base := p.BaseYields
+	mult := p.Multiplier
+	if base <= 0 && mult > 0 {
+		base = 1
+	}
+	if mult <= 0 && base > 0 {
+		mult = 2
+	}
+	if base <= 0 {
+		return 0
+	}
+	max := p.MaxYields
+	if max <= 0 {
+		max = 64
+	}
+	y := float64(base)
+	for i := 1; i < n; i++ {
+		y *= mult
+		if y >= float64(max) {
+			y = float64(max)
+			break
+		}
+	}
+	if p.Jitter > 0 {
+		// Deterministic jitter in [1-J/2, 1+J/2): same draw sequence for
+		// the same seed.
+		d := p.draws.Add(1)
+		u := hash01(p.Seed, "retry/jitter", d)
+		y *= 1 + p.Jitter*(u-0.5)
+	}
+	n2 := int(y)
+	if n2 > max {
+		n2 = max
+	}
+	if n2 < 0 {
+		n2 = 0
+	}
+	return n2
+}
+
+// Backoff spends retry n's backoff as scheduler yields — what the
+// goroutine substrates call between attempts.
+func (p *RetryPolicy) Backoff(n int) {
+	for i := p.Yields(n); i > 0; i-- {
+		runtime.Gosched()
+	}
+}

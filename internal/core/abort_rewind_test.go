@@ -1,0 +1,211 @@
+package core_test
+
+import (
+	"testing"
+
+	"pushpull/internal/core"
+	"pushpull/internal/spec"
+)
+
+// abortRewindCases drive the full APP→PUSH→PULL entanglement across
+// object kinds, inject an abort, and check that (a) every rewind rule
+// applied out of dependency order is refused by its criterion with the
+// machine state unchanged, and (b) the in-order rewind
+// (UNPULL/UNPUSH/UNAPP from the tail) recovers completely. The machine
+// runs with SelfCheck, so the Section 4 invariants are re-verified
+// after every intermediate rule application, refused or not.
+var abortRewindCases = []struct {
+	name     string
+	src      string // source transaction: APPed and PUSHed
+	srcOps   int
+	dep      string // dependent transaction: PULLs src, then APPs
+	depRet   int64  // dependent's first op return while entangled
+	rerunRet int64  // dependent's return after src's abort (cascade path)
+}{
+	{"set", `tx a { set.add(1); }`, 1, `tx b { v := set.contains(1); }`, 1, 0},
+	{"counter", `tx a { ctr.inc(); }`, 1, `tx b { v := ctr.get(); }`, 1, 0},
+	{"register", `tx a { mem.write(3, 7); }`, 1, `tx b { v := mem.read(3); }`, 7, 0},
+	{"map", `tx a { ht.put(2, 9); }`, 1, `tx b { v := ht.get(2); }`, 9, spec.Absent},
+	{"multi-op", `tx a { set.add(1); set.add(2); }`, 2, `tx b { v := set.contains(2); }`, 1, 0},
+}
+
+// entangle drives src through APP→PUSH and dep through PULL→APP,
+// returning after the dependent has observed src's uncommitted effect.
+func entangle(t *testing.T, m *core.Machine, src, dep *core.Thread, c struct {
+	name     string
+	src      string
+	srcOps   int
+	dep      string
+	depRet   int64
+	rerunRet int64
+}) {
+	t.Helper()
+	begin(t, m, src, c.src)
+	for i := 0; i < c.srcOps; i++ {
+		appOne(t, m, src)
+	}
+	pushAll(t, m, src)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("after src push: %v", err)
+	}
+	begin(t, m, dep, c.dep)
+	for g := 0; g < c.srcOps; g++ {
+		if err := m.Pull(dep, g); err != nil {
+			t.Fatalf("PULL %d: %v", g, err)
+		}
+	}
+	if op := appOne(t, m, dep); op.Ret != c.depRet {
+		t.Fatalf("entangled dep read = %d, want %d", op.Ret, c.depRet)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("after entangle: %v", err)
+	}
+}
+
+// TestAbortRewindDependentFirst injects the abort on the dependent
+// side: out-of-order rewind steps are refused by their criteria
+// (leaving the state intact), the dependent's tail-first Abort
+// succeeds, and the source then aborts cleanly.
+func TestAbortRewindDependentFirst(t *testing.T) {
+	for _, c := range abortRewindCases {
+		t.Run(c.name, func(t *testing.T) {
+			m := testMachine(t)
+			src, dep := m.Spawn("src"), m.Spawn("dep")
+			entangle(t, m, src, dep, c)
+			gBefore, depBefore := len(m.GlobalLog()), len(dep.Local)
+
+			// UNPULL of the pulled effect the dependent APP reads from:
+			// criterion (i). (Earlier pulled siblings the APP does not
+			// depend on are individually unpullable — only the dependency
+			// is protected.)
+			if err := m.Unpull(dep, c.srcOps-1); !core.IsCriterion(err, core.RUnpull, "(i)") {
+				t.Fatalf("UNPULL entangled: err = %v, want UNPULL criterion (i)", err)
+			}
+			// UNAPP on the source whose tail entry is pushed: criterion (i).
+			if err := m.Unapp(src); !core.IsCriterion(err, core.RUnapp, "(i)") {
+				t.Fatalf("UNAPP pushed tail: err = %v, want UNAPP criterion (i)", err)
+			}
+			// The dependent cannot publish over an uncommitted source
+			// (PUSH criterion (ii)) nor commit while its pulled effects
+			// are uncommitted (CMT criterion (iii), the Section 6.5
+			// commit-order stipulation).
+			if err := m.Push(dep, c.srcOps); !core.IsCriterion(err, core.RPush, "(ii)") {
+				t.Fatalf("dependent PUSH: err = %v, want PUSH criterion (ii)", err)
+			}
+			if _, err := m.Commit(dep); !core.IsCriterion(err, core.RCmt, "(iii)") {
+				t.Fatalf("dependent CMT: err = %v, want CMT criterion (iii)", err)
+			}
+			// Refused rules are accept-or-reject: nothing moved.
+			if len(m.GlobalLog()) != gBefore || len(dep.Local) != depBefore {
+				t.Fatal("refused rewind steps must not mutate the machine")
+			}
+			if err := m.Verify(); err != nil {
+				t.Fatalf("after refused steps: %v", err)
+			}
+
+			// In dependency order the rewind goes through: dependent
+			// first (UNAPP then UNPULL, tail-first inside Abort) ...
+			if err := m.Abort(dep); err != nil {
+				t.Fatalf("dependent abort: %v", err)
+			}
+			if err := m.Verify(); err != nil {
+				t.Fatalf("after dependent abort: %v", err)
+			}
+			if len(m.GlobalLog()) != gBefore {
+				t.Fatal("dependent abort must not disturb the source's pushes")
+			}
+			// ... then the source (UNPUSH;UNAPP per entry).
+			if err := m.Abort(src); err != nil {
+				t.Fatalf("source abort: %v", err)
+			}
+			if len(m.GlobalLog()) != 0 {
+				t.Fatal("source abort must drain its pushes from G")
+			}
+			if src.Active() || dep.Active() {
+				t.Fatal("both threads must be idle after rewind")
+			}
+			if err := m.Verify(); err != nil {
+				t.Fatalf("after full rewind: %v", err)
+			}
+
+			// Recovery: both transactions re-run from their original code
+			// and commit.
+			begin(t, m, src, c.src)
+			for i := 0; i < c.srcOps; i++ {
+				appOne(t, m, src)
+			}
+			pushAll(t, m, src)
+			if _, err := m.Commit(src); err != nil {
+				t.Fatalf("re-run src commit: %v", err)
+			}
+			begin(t, m, dep, c.dep)
+			for g := 0; g < c.srcOps; g++ {
+				if err := m.Pull(dep, g); err != nil {
+					t.Fatal(err)
+				}
+			}
+			appOne(t, m, dep)
+			pushAll(t, m, dep)
+			if _, err := m.Commit(dep); err != nil {
+				t.Fatalf("re-run dep commit: %v", err)
+			}
+			if err := m.Verify(); err != nil {
+				t.Fatalf("after recovery: %v", err)
+			}
+		})
+	}
+}
+
+// TestAbortRewindCascade injects the abort on the SOURCE side first:
+// the source detangles from G (its pushes have no pushed dependents),
+// stranding the dependent's pulled entries; the dependent then cascades
+// — UNAPP its dependent reads, UNPULL the dead effects, re-run against
+// the post-abort world, and commit.
+func TestAbortRewindCascade(t *testing.T) {
+	for _, c := range abortRewindCases {
+		t.Run(c.name, func(t *testing.T) {
+			m := testMachine(t)
+			src, dep := m.Spawn("src"), m.Spawn("dep")
+			entangle(t, m, src, dep, c)
+
+			if err := m.Abort(src); err != nil {
+				t.Fatalf("source abort: %v", err)
+			}
+			if len(m.GlobalLog()) != 0 {
+				t.Fatal("source abort must drain G")
+			}
+			if err := m.Verify(); err != nil {
+				t.Fatalf("after source abort: %v", err)
+			}
+			// The dependent is now a zombie: its pulled ops are gone from
+			// G, so commit is refused even once its own ops are dealt
+			// with; detangle is the only way forward. UNPULL is still
+			// blocked while the dependent APP is on top.
+			if err := m.Unpull(dep, c.srcOps-1); !core.IsCriterion(err, core.RUnpull, "(i)") {
+				t.Fatalf("UNPULL under dependent APP: err = %v, want UNPULL criterion (i)", err)
+			}
+			if err := m.Unapp(dep); err != nil {
+				t.Fatalf("cascade UNAPP: %v", err)
+			}
+			for g := c.srcOps - 1; g >= 0; g-- {
+				if err := m.Unpull(dep, g); err != nil {
+					t.Fatalf("cascade UNPULL %d: %v", g, err)
+				}
+			}
+			if err := m.Verify(); err != nil {
+				t.Fatalf("after cascade detangle: %v", err)
+			}
+			// Re-run against the post-abort world: the effect is gone.
+			if op := appOne(t, m, dep); op.Ret != c.rerunRet {
+				t.Fatalf("re-run dep read = %d, want %d", op.Ret, c.rerunRet)
+			}
+			pushAll(t, m, dep)
+			if _, err := m.Commit(dep); err != nil {
+				t.Fatalf("dep commit after cascade: %v", err)
+			}
+			if err := m.Verify(); err != nil {
+				t.Fatalf("after cascade recovery: %v", err)
+			}
+		})
+	}
+}

@@ -6,10 +6,13 @@ import (
 	"math/rand"
 	"testing"
 
+	"pushpull/internal/chaos"
 	"pushpull/internal/core"
 	"pushpull/internal/lang"
+	"pushpull/internal/sched"
 	"pushpull/internal/serial"
 	"pushpull/internal/spec"
+	"pushpull/internal/strategy"
 )
 
 // TestMachineFuzz applies random rule sequences — legal and illegal —
@@ -153,4 +156,74 @@ func TestMachineFuzz(t *testing.T) {
 			}
 		})
 	}
+}
+
+// FuzzChaosCommitOrder feeds arbitrary fault scripts (stall/kill
+// decisions per scheduler turn) to sched.RunChaos over contending
+// strategy drivers. Whatever the script does — stalls anywhere, kills
+// mid-transaction, exhausted budgets — the surviving commits must stay
+// commit-order serializable, the machine invariants must hold, and no
+// abstract lock or token may leak.
+func FuzzChaosCommitOrder(f *testing.F) {
+	f.Add(int64(1), []byte{})
+	f.Add(int64(2), []byte{0x02, 0x00, 0x01})
+	f.Add(int64(3), []byte{0x03, 0x03, 0x03, 0x03})
+	f.Add(int64(7), []byte{0x01, 0x00, 0x02, 0x00, 0x01, 0x02})
+
+	f.Fuzz(func(t *testing.T, seed int64, script []byte) {
+		if len(script) > 512 {
+			script = script[:512]
+		}
+		// Byte i scripts scheduler turn decisions: bit 0 stalls the
+		// turn, bit 1 kills the scheduled driver. Beyond the script the
+		// sites fall back to their (zero) rates — no further faults.
+		stalls := make([]bool, len(script))
+		kills := make([]bool, len(script))
+		for i, b := range script {
+			stalls[i] = b&1 != 0
+			kills[i] = b&2 != 0
+		}
+		plan := chaos.NewPlan(seed).
+			WithScript(chaos.SiteSchedStall, stalls).
+			WithScript(chaos.SiteSchedKill, kills).
+			WithBudget(chaos.SiteSchedKill, 2)
+
+		m := core.NewMachine(reg(), core.Options{Mode: spec.MoverHybrid, SelfCheck: true})
+		env := strategy.NewEnv()
+		mk := []func(name string, th *core.Thread, txns []lang.Txn) strategy.Driver{
+			func(n string, th *core.Thread, txns []lang.Txn) strategy.Driver {
+				return strategy.NewBoosting(n, th, txns, strategy.Config{}, env)
+			},
+			func(n string, th *core.Thread, txns []lang.Txn) strategy.Driver {
+				return strategy.NewOptimistic(n, th, txns, strategy.Config{}, env)
+			},
+			func(n string, th *core.Thread, txns []lang.Txn) strategy.Driver {
+				return strategy.NewDependent(n, th, txns, strategy.Config{}, env)
+			},
+		}
+		var drivers []strategy.Driver
+		for i := 0; i < 3; i++ {
+			th := m.Spawn(fmt.Sprintf("c%d", i))
+			txns := []lang.Txn{
+				lang.MustParseTxn(fmt.Sprintf(`tx a%d { set.add(%d); ctr.inc(); }`, i, i%2)),
+				lang.MustParseTxn(fmt.Sprintf(`tx b%d { v := set.contains(%d); }`, i, (i+1)%2)),
+			}
+			drivers = append(drivers, mk[i%len(mk)](th.Name, th, txns))
+		}
+
+		_, err := sched.RunChaos(m, drivers, seed, 30_000, plan.Injector())
+		if err != nil && !errors.Is(err, sched.ErrLivelock) && !errors.Is(err, sched.ErrDeadlock) {
+			t.Fatalf("chaos run: %v", err)
+		}
+		// The certified part: no fault script may break these.
+		if verr := m.Verify(); verr != nil {
+			t.Fatalf("machine invariants: %v (run err: %v)", verr, err)
+		}
+		if rep := serial.CheckCommitOrder(m); !rep.Serializable {
+			t.Fatalf("commit order violated: %s (run err: %v)", rep.Reason, err)
+		}
+		if lerr := env.LeakCheck(); lerr != nil {
+			t.Fatalf("leak after chaos: %v (run err: %v)", lerr, err)
+		}
+	})
 }

@@ -208,6 +208,45 @@ func (m *Manager) OwnerOf(k Key) Owner {
 	return ol.keys[k.K]
 }
 
+// HeldCount returns the total number of holds across all owners —
+// zero on a quiescent table; the leak check schedulers and chaos
+// campaigns assert after every run.
+func (m *Manager) HeldCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, ol := range m.objs {
+		for _, c := range ol.holds {
+			n += c
+		}
+	}
+	return n
+}
+
+// HeldOwners lists the owners currently holding any lock, sorted — the
+// diagnostic companion of HeldCount.
+func (m *Manager) HeldOwners() []Owner {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seen := map[Owner]bool{}
+	for _, ol := range m.objs {
+		if ol.objOwner != None {
+			seen[ol.objOwner] = true
+		}
+		for _, o := range ol.keys {
+			if o != None {
+				seen[o] = true
+			}
+		}
+	}
+	out := make([]Owner, 0, len(seen))
+	for o := range seen {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Clone deep-copies the lock table (for exhaustive exploration).
 func (m *Manager) Clone() *Manager {
 	m.mu.Lock()

@@ -1,0 +1,125 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pushpull/internal/chaos"
+	"pushpull/internal/core"
+	"pushpull/internal/strategy"
+)
+
+// ChaosResult reports what a chaos run injected and how it ended.
+type ChaosResult struct {
+	// Steps is the number of scheduler decisions spent.
+	Steps int
+	// Stalls counts injected stalled steps (a driver's turn consumed
+	// without stepping it).
+	Stalls int
+	// Kills counts forced mid-transaction thread deaths.
+	Kills int
+	// Killed names the killed drivers; their remaining workload is
+	// abandoned (and excluded from completion accounting).
+	Killed []string
+}
+
+// RunChaos is RunRandom with scheduler-level fault injection:
+//
+//   - SiteSchedStall: the selected driver's turn is consumed without
+//     stepping it — a delayed step; the budget still shrinks.
+//   - SiteSchedKill: the selected driver dies mid-transaction. Its
+//     in-flight transaction is rewound through the machine's Abort
+//     (UNPULL/UNPUSH/UNAPP, via Driver.Release) and its abstract locks
+//     and tokens are freed; the driver is retired with whatever workload
+//     it had left. A kill whose rewind the machine refuses (dependents
+//     hold pulls on the victim's pushes) is retried on the victim's
+//     later turns until the dependents quiesce.
+//
+// At most len(drivers)-1 drivers are killed, so the run always has a
+// survivor to make progress. Deadlock/livelock detection, per-driver
+// status snapshots, and error-path lock release match RunRandom.
+func RunChaos(m *core.Machine, drivers []strategy.Driver, seed int64, maxSteps int, inj chaos.Injector) (ChaosResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	res := ChaosResult{}
+	last := make([]strategy.Status, len(drivers))
+	killed := make([]bool, len(drivers))
+	killPending := make([]bool, len(drivers))
+	blockedStreak := 0
+
+	liveUnkilled := func() []int {
+		var live []int
+		for i, d := range drivers {
+			if !killed[i] && !d.Done() {
+				live = append(live, i)
+			}
+		}
+		return live
+	}
+	tryKill := func(i int) bool {
+		if err := drivers[i].Release(m); err != nil {
+			if _, ok := err.(*core.CriterionError); ok {
+				killPending[i] = true // dependents still hold our pushes
+				return false
+			}
+			// Non-criterion Release failures do not exist for well-formed
+			// drivers; treat as fatal below by leaving the kill pending.
+			killPending[i] = true
+			return false
+		}
+		killed[i] = true
+		killPending[i] = false
+		res.Kills++
+		res.Killed = append(res.Killed, drivers[i].Name())
+		return true
+	}
+
+	for step := 0; step < maxSteps; step++ {
+		res.Steps = step
+		live := liveUnkilled()
+		if len(live) == 0 {
+			return res, nil
+		}
+		i := live[rng.Intn(len(live))]
+		if killPending[i] {
+			// Finish a deferred kill before anything else happens on this
+			// thread.
+			tryKill(i)
+			blockedStreak = 0
+			continue
+		}
+		if inj != nil && inj.Fire(chaos.SiteSchedStall) {
+			res.Stalls++
+			continue
+		}
+		if inj != nil && res.Kills+countPending(killPending) < len(drivers)-1 &&
+			inj.Fire(chaos.SiteSchedKill) {
+			tryKill(i)
+			blockedStreak = 0
+			continue
+		}
+		st, err := drivers[i].Step(m, rng)
+		last[i] = st
+		if err != nil {
+			return res, failWith(fmt.Errorf("sched: driver %s: %w", drivers[i].Name(), err), m, drivers, last)
+		}
+		if st == strategy.Blocked {
+			blockedStreak++
+			if blockedStreak > 512*len(live) {
+				return res, failWith(ErrDeadlock, m, drivers, last)
+			}
+		} else {
+			blockedStreak = 0
+		}
+	}
+	return res, failWith(ErrLivelock, m, drivers, last)
+}
+
+func countPending(pending []bool) int {
+	n := 0
+	for _, p := range pending {
+		if p {
+			n++
+		}
+	}
+	return n
+}

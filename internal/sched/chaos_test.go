@@ -1,0 +1,138 @@
+package sched_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"pushpull/internal/chaos"
+	"pushpull/internal/core"
+	"pushpull/internal/lang"
+	"pushpull/internal/sched"
+	"pushpull/internal/serial"
+	"pushpull/internal/spec"
+	"pushpull/internal/strategy"
+)
+
+// twoBoosters builds two boosting drivers contending on one key — a
+// workload that holds abstract locks mid-transaction.
+func twoBoosters(m *core.Machine, env *strategy.Env, cfg strategy.Config) []strategy.Driver {
+	t1, t2 := m.Spawn("t1"), m.Spawn("t2")
+	return []strategy.Driver{
+		strategy.NewBoosting("t1", t1, []lang.Txn{
+			lang.MustParseTxn(`tx a { set.add(1); set.remove(1); }`),
+			lang.MustParseTxn(`tx a2 { set.add(2); }`),
+		}, cfg, env),
+		strategy.NewBoosting("t2", t2, []lang.Txn{
+			lang.MustParseTxn(`tx b { set.add(1); }`),
+			lang.MustParseTxn(`tx b2 { ctr.inc(); }`),
+		}, cfg, env),
+	}
+}
+
+// TestNoLeakOnLivelockExit is the regression test for the mid-
+// transaction leak: a scheduler that errors out (here: budget
+// exhaustion) while a driver holds abstract locks must release them —
+// previously the locks and tokens stayed held in the Env forever.
+func TestNoLeakOnLivelockExit(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		m := core.NewMachine(reg(), core.Options{Mode: spec.MoverHybrid, SelfCheck: true})
+		env := strategy.NewEnv()
+		ds := twoBoosters(m, env, strategy.Config{})
+		// A budget too small to finish: the exit happens mid-transaction.
+		err := sched.RunRandom(m, ds, seed, 7)
+		if !errors.Is(err, sched.ErrLivelock) {
+			t.Fatalf("seed %d: err = %v, want livelock", seed, err)
+		}
+		if lerr := env.LeakCheck(); lerr != nil {
+			t.Fatalf("seed %d: %v", seed, lerr)
+		}
+		if verr := m.Verify(); verr != nil {
+			t.Fatalf("seed %d: machine invariants after forced release: %v", seed, verr)
+		}
+	}
+}
+
+// TestRunChaosKillRecovers: a scripted mid-transaction kill rewinds the
+// victim (UNPUSH/UNPULL/UNAPP through the machine), frees its locks and
+// tokens, and the survivors finish a serializable run.
+func TestRunChaosKillRecovers(t *testing.T) {
+	recovered := 0
+	for seed := int64(1); seed <= 30; seed++ {
+		m := core.NewMachine(reg(), core.Options{Mode: spec.MoverHybrid, SelfCheck: true})
+		env := strategy.NewEnv()
+		ds := twoBoosters(m, env, strategy.Config{})
+		plan := chaos.NewPlan(seed).
+			WithRate(chaos.SiteSchedKill, 0.05).WithBudget(chaos.SiteSchedKill, 1).
+			WithRate(chaos.SiteSchedStall, 0.1)
+		inj := plan.Injector()
+		res, err := sched.RunChaos(m, ds, seed, 100_000, inj)
+		if err != nil {
+			t.Fatalf("seed %d: %v\nplan: %s\nfaults: %s", seed, err, plan, inj.Stats())
+		}
+		if lerr := env.LeakCheck(); lerr != nil {
+			t.Fatalf("seed %d after %d kills: %v", seed, res.Kills, lerr)
+		}
+		if verr := m.Verify(); verr != nil {
+			t.Fatalf("seed %d: %v", seed, verr)
+		}
+		if rep := serial.CheckCommitOrder(m); !rep.Serializable {
+			t.Fatalf("seed %d: not serializable: %s", seed, rep.Reason)
+		}
+		if res.Kills > 0 {
+			recovered++
+		}
+	}
+	if recovered == 0 {
+		t.Fatal("no seed injected a kill; raise the rate")
+	}
+	t.Logf("%d/30 seeds injected and recovered a kill", recovered)
+}
+
+// TestRunChaosDeterministic: the same plan seed and scheduler seed
+// reproduce the same kill/stall counts and the same commit totals.
+func TestRunChaosDeterministic(t *testing.T) {
+	run := func() (sched.ChaosResult, int) {
+		m := core.NewMachine(reg(), core.Options{Mode: spec.MoverHybrid})
+		env := strategy.NewEnv()
+		ds := twoBoosters(m, env, strategy.Config{})
+		inj := chaos.NewPlan(7).
+			WithRate(chaos.SiteSchedStall, 0.2).
+			WithRate(chaos.SiteSchedKill, 0.02).WithBudget(chaos.SiteSchedKill, 1).
+			Injector()
+		res, err := sched.RunChaos(m, ds, 7, 100_000, inj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		commits := 0
+		for _, d := range ds {
+			commits += d.Stats().Commits
+		}
+		return res, commits
+	}
+	r1, c1 := run()
+	r2, c2 := run()
+	if r1.Kills != r2.Kills || r1.Stalls != r2.Stalls || c1 != c2 {
+		t.Fatalf("diverged: %+v/%d vs %+v/%d", r1, c1, r2, c2)
+	}
+}
+
+// TestReleaseAllIdempotent: releasing finished or idle drivers is a
+// no-op and never errors.
+func TestReleaseAllIdempotent(t *testing.T) {
+	m := core.NewMachine(reg(), core.Options{Mode: spec.MoverHybrid})
+	env := strategy.NewEnv()
+	ds := twoBoosters(m, env, strategy.Config{})
+	if err := sched.RunRoundRobin(m, ds, 1, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := sched.ReleaseAll(m, ds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := env.LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+	_ = fmt.Sprintf("%v", ds)
+}

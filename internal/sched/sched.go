@@ -25,27 +25,111 @@ var ErrLivelock = errors.New("sched: step budget exhausted (livelock or starvati
 // ErrDeadlock reports that every unfinished driver is blocked.
 var ErrDeadlock = errors.New("sched: all drivers blocked")
 
+// DriverSnapshot is one driver's state at a scheduler failure exit.
+type DriverSnapshot struct {
+	Name   string
+	Status strategy.Status // last status the scheduler observed
+	Done   bool
+	Stats  strategy.Stats
+}
+
+func (s DriverSnapshot) String() string {
+	return fmt.Sprintf("%s[%s done=%v commits=%d aborts=%d blocked=%d]",
+		s.Name, s.Status, s.Done, s.Stats.Commits, s.Stats.Aborts, s.Stats.Blocked)
+}
+
+// StatusError wraps a scheduler failure (ErrDeadlock, ErrLivelock, or a
+// driver's fatal error) with per-driver snapshots, so a failed run
+// reports who was stuck where. errors.Is sees through it.
+type StatusError struct {
+	Err     error
+	Drivers []DriverSnapshot
+}
+
+func (e *StatusError) Error() string {
+	s := e.Err.Error()
+	for _, d := range e.Drivers {
+		s += "\n  " + d.String()
+	}
+	return s
+}
+
+func (e *StatusError) Unwrap() error { return e.Err }
+
+// failWith wraps err with driver snapshots and force-releases every
+// driver's locks, tokens, and in-flight transaction — the error-path
+// finalizer: without it, a driver erroring out (or timing out) mid-
+// transaction leaks its abstract locks and tokens into the Env.
+func failWith(err error, m *core.Machine, drivers []strategy.Driver, last []strategy.Status) error {
+	snaps := make([]DriverSnapshot, len(drivers))
+	for i, d := range drivers {
+		snaps[i] = DriverSnapshot{Name: d.Name(), Status: last[i], Done: d.Done(), Stats: d.Stats()}
+	}
+	if rerr := ReleaseAll(m, drivers); rerr != nil {
+		err = fmt.Errorf("%w (release failed: %v)", err, rerr)
+	}
+	return &StatusError{Err: err, Drivers: snaps}
+}
+
+// ReleaseAll force-releases every driver, multi-round: a machine Abort
+// can be refused while dependents hold pulls on the aborter's pushes
+// (PULL criteria), so rounds continue until the release set quiesces —
+// dependents rewind first, then their sources can.
+func ReleaseAll(m *core.Machine, drivers []strategy.Driver) error {
+	var lastErr error
+	for round := 0; round <= len(drivers)+1; round++ {
+		lastErr = nil
+		for _, d := range drivers {
+			if err := d.Release(m); err != nil {
+				lastErr = err
+			}
+		}
+		if lastErr == nil {
+			return nil
+		}
+	}
+	return lastErr
+}
+
 // RunRandom interleaves drivers by seeded random selection until all
-// finish, erroring out after maxSteps scheduler decisions.
+// finish, erroring out after maxSteps scheduler decisions. Like
+// RunRoundRobin it distinguishes deadlock (every live driver reporting
+// Blocked, streak past the patience horizon) from livelock (budget
+// exhausted); both come wrapped in a StatusError with per-driver
+// snapshots, and both release all driver locks and tokens on the way
+// out.
 func RunRandom(m *core.Machine, drivers []strategy.Driver, seed int64, maxSteps int) error {
 	rng := rand.New(rand.NewSource(seed))
+	last := make([]strategy.Status, len(drivers))
+	blockedStreak := 0
 	for step := 0; step < maxSteps; step++ {
 		live := liveIndexes(drivers)
 		if len(live) == 0 {
 			return nil
 		}
 		i := live[rng.Intn(len(live))]
-		if _, err := drivers[i].Step(m, rng); err != nil {
-			return fmt.Errorf("sched: driver %s: %w", drivers[i].Name(), err)
+		st, err := drivers[i].Step(m, rng)
+		last[i] = st
+		if err != nil {
+			return failWith(fmt.Errorf("sched: driver %s: %w", drivers[i].Name(), err), m, drivers, last)
+		}
+		if st == strategy.Blocked {
+			blockedStreak++
+			if blockedStreak > 512*len(live) {
+				return failWith(ErrDeadlock, m, drivers, last)
+			}
+		} else {
+			blockedStreak = 0
 		}
 	}
-	return ErrLivelock
+	return failWith(ErrLivelock, m, drivers, last)
 }
 
 // RunRoundRobin interleaves drivers in cyclic order. If a full cycle
 // yields only Blocked statuses, it reports deadlock.
 func RunRoundRobin(m *core.Machine, drivers []strategy.Driver, seed int64, maxSteps int) error {
 	rng := rand.New(rand.NewSource(seed))
+	last := make([]strategy.Status, len(drivers))
 	blockedStreak := 0
 	for step := 0; step < maxSteps; step++ {
 		live := liveIndexes(drivers)
@@ -54,21 +138,22 @@ func RunRoundRobin(m *core.Machine, drivers []strategy.Driver, seed int64, maxSt
 		}
 		i := live[step%len(live)]
 		st, err := drivers[i].Step(m, rng)
+		last[i] = st
 		if err != nil {
-			return fmt.Errorf("sched: driver %s: %w", drivers[i].Name(), err)
+			return failWith(fmt.Errorf("sched: driver %s: %w", drivers[i].Name(), err), m, drivers, last)
 		}
 		if st == strategy.Blocked {
 			blockedStreak++
 			// Drivers break waits themselves via their patience bounds
 			// (default 64); only declare deadlock well past that.
 			if blockedStreak > 512*len(live) {
-				return ErrDeadlock
+				return failWith(ErrDeadlock, m, drivers, last)
 			}
 		} else {
 			blockedStreak = 0
 		}
 	}
-	return ErrLivelock
+	return failWith(ErrLivelock, m, drivers, last)
 }
 
 func liveIndexes(drivers []strategy.Driver) []int {

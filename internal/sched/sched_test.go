@@ -1,6 +1,7 @@
 package sched_test
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -50,6 +51,7 @@ func (d *stubDriver) Clone(env *strategy.Env) strategy.Driver {
 	c.statuses = append([]strategy.Status(nil), d.statuses...)
 	return &c
 }
+func (d *stubDriver) Release(m *core.Machine) error { return nil }
 
 func running(n int) []strategy.Status {
 	out := make([]strategy.Status, n)
@@ -83,8 +85,42 @@ func TestRunRandomLivelockDetected(t *testing.T) {
 		blocked[i] = strategy.Blocked
 	}
 	ds := []strategy.Driver{&stubDriver{name: "stuck", statuses: blocked}}
-	if err := sched.RunRandom(m, ds, 1, 500); err != sched.ErrLivelock {
+	// 500 steps is under the 512-blocked-streak deadlock horizon, so the
+	// budget runs out first: livelock, wrapped with driver snapshots.
+	err := sched.RunRandom(m, ds, 1, 500)
+	if !errors.Is(err, sched.ErrLivelock) {
 		t.Fatalf("err = %v, want livelock", err)
+	}
+	var se *sched.StatusError
+	if !errors.As(err, &se) || len(se.Drivers) != 1 || se.Drivers[0].Name != "stuck" {
+		t.Fatalf("missing driver snapshot in %v", err)
+	}
+}
+
+// TestRunRandomDeadlockDetected: with budget to spare, an all-blocked
+// driver set is reported as deadlock, not livelock.
+func TestRunRandomDeadlockDetected(t *testing.T) {
+	m := core.NewMachine(reg(), core.DefaultOptions())
+	blocked := make([]strategy.Status, 100000)
+	for i := range blocked {
+		blocked[i] = strategy.Blocked
+	}
+	ds := []strategy.Driver{
+		&stubDriver{name: "x", statuses: blocked},
+		&stubDriver{name: "y", statuses: append([]strategy.Status(nil), blocked...)},
+	}
+	err := sched.RunRandom(m, ds, 1, 100000)
+	if !errors.Is(err, sched.ErrDeadlock) {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+	var se *sched.StatusError
+	if !errors.As(err, &se) || len(se.Drivers) != 2 {
+		t.Fatalf("missing driver snapshots in %v", err)
+	}
+	for _, snap := range se.Drivers {
+		if snap.Status != strategy.Blocked {
+			t.Fatalf("snapshot %v should be blocked", snap)
+		}
 	}
 }
 
@@ -99,7 +135,7 @@ func TestRoundRobinDeadlockDetected(t *testing.T) {
 		&stubDriver{name: "y", statuses: append([]strategy.Status(nil), blocked...)},
 	}
 	err := sched.RunRoundRobin(m, ds, 1, 100000)
-	if err != sched.ErrDeadlock {
+	if !errors.Is(err, sched.ErrDeadlock) {
 		t.Fatalf("err = %v, want deadlock", err)
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"pushpull/internal/chaos"
 	"pushpull/internal/locks"
 	"pushpull/internal/skiplist"
 	"pushpull/internal/spec"
@@ -54,6 +55,13 @@ type Runtime struct {
 	// LockSpins bounds acquisition attempts before a deadlock-avoidance
 	// abort. Defaults to 256.
 	LockSpins int
+	// Injector, when non-nil, is consulted at SiteBoostTimeout on every
+	// abstract-lock acquisition; injected timeouts surface as ErrConflict
+	// aborts, forcing the inverse-log (UNPUSH) recovery path.
+	Injector chaos.Injector
+	// Retry, when non-nil, bounds retries and shapes backoff in Atomic;
+	// an exhausted budget returns ErrRetriesExhausted (wrapped).
+	Retry *chaos.RetryPolicy
 
 	commits atomic.Uint64
 	aborts  atomic.Uint64
@@ -78,6 +86,9 @@ type Txn struct {
 }
 
 func (t *Txn) lock(k locks.Key) error {
+	if inj := t.rt.Injector; inj != nil && inj.Fire(chaos.SiteBoostTimeout) {
+		return ErrConflict
+	}
 	spins := t.rt.LockSpins
 	if spins <= 0 {
 		spins = 256
@@ -104,7 +115,7 @@ func (t *Txn) certify(obj, method string, args []int64, ret int64) error {
 // Atomic runs fn as a boosted transaction, retrying lock-timeout
 // aborts. Any other error aborts (running the undo log) and returns.
 func (rt *Runtime) Atomic(name string, fn func(*Txn) error) error {
-	for {
+	for attempt := 0; ; attempt++ {
 		t := &Txn{rt: rt, owner: locks.Owner(rt.ids.Add(1))}
 		if rt.Recorder != nil {
 			t.sess = rt.Recorder.Begin(name)
@@ -131,6 +142,13 @@ func (rt *Runtime) Atomic(name string, fn func(*Txn) error) error {
 		rt.aborts.Add(1)
 		if !errors.Is(err, ErrConflict) {
 			return err
+		}
+		if rt.Retry != nil {
+			if !rt.Retry.Allow(attempt + 1) {
+				return fmt.Errorf("boost: %w", chaos.ErrRetriesExhausted)
+			}
+			rt.Retry.Backoff(attempt + 1)
+			continue
 		}
 		runtime.Gosched()
 	}

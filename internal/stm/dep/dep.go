@@ -24,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pushpull/internal/chaos"
 	"pushpull/internal/trace"
 )
 
@@ -78,6 +79,13 @@ type Memory struct {
 	// Recorder, when non-nil, certifies runs on a shadow machine
 	// (sessions pull uncommitted effects — the non-opaque fragment).
 	Recorder *trace.Recorder
+	// Injector, when non-nil, is consulted at SiteDepConflict on every
+	// transactional read; injected conflicts surface as ErrConflict,
+	// forcing rollbacks that cascade into dependents.
+	Injector chaos.Injector
+	// Retry, when non-nil, bounds retries and shapes backoff in Atomic;
+	// an exhausted budget returns ErrRetriesExhausted (wrapped).
+	Retry *chaos.RetryPolicy
 
 	commits  atomic.Uint64
 	aborts   atomic.Uint64
@@ -126,6 +134,9 @@ func (tx *Tx) Read(addr int) (int64, error) {
 	if tx.rec.state.Load() != int32(stActive) {
 		return 0, ErrCascade
 	}
+	if inj := tx.mem.Injector; inj != nil && inj.Fire(chaos.SiteDepConflict) {
+		return 0, ErrConflict
+	}
 	w := &tx.mem.words[addr]
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -142,7 +153,9 @@ func (tx *Tx) Read(addr int) (int64, error) {
 		case stActive:
 			tx.deps[w.writer] = true // dependency established
 		case stAborted:
-			// Rolled back value is being restored by the aborter; retry.
+			// Defensive: rollback restores write marks under the word lock
+			// before publishing the aborted state, so a dead writer mark
+			// should never be observed here — but if it is, retry.
 			return 0, ErrConflict
 		}
 	}
@@ -233,6 +246,13 @@ func (m *Memory) Atomic(name string, fn func(*Tx) error) error {
 		} else if !errors.Is(err, ErrConflict) {
 			return err
 		}
+		if m.Retry != nil {
+			if !m.Retry.Allow(attempt + 1) {
+				return fmt.Errorf("dep: %w", chaos.ErrRetriesExhausted)
+			}
+			m.Retry.Backoff(attempt + 1)
+			continue
+		}
 		// Visible-reader/writer storms on hot words thrash without
 		// backoff: yield proportionally to the retry count.
 		backoff := attempt
@@ -303,11 +323,6 @@ func (m *Memory) commit(tx *Tx) error {
 	return nil
 }
 
-// rollback marks the transaction aborted (cascading to dependents, who
-// observe the state change) and restores its words' previous values and
-// writers, newest first. All touched word locks are held across the
-// restore AND the shadow UNPUSH so no reader can observe memory and
-// shadow disagreeing.
 func (m *Memory) unregisterReads(tx *Tx) {
 	for addr := range tx.readAddrs {
 		w := &m.words[addr]
@@ -317,9 +332,19 @@ func (m *Memory) unregisterReads(tx *Tx) {
 	}
 }
 
+// rollback restores the transaction's words' previous values and
+// writers, newest first, rewinds the shadow session, and only then
+// marks the transaction aborted (cascading to dependents, who observe
+// the state change) and unregisters its visible reads. All written-word
+// locks are held across the restore AND the shadow rewind so no reader
+// can observe memory and shadow disagreeing. The ordering of the
+// aborted mark is load-bearing: while the transaction still looks
+// active, writers conflict on its visible reads and write marks; were
+// it marked dead before the shadow rewind, a writer could pass those
+// checks and eagerly PUSH a shadow write over this transaction's
+// still-uncommitted shadow reads — a PUSH criterion (ii) violation
+// against a run that is in fact serializable.
 func (m *Memory) rollback(tx *Tx) {
-	tx.rec.state.Store(int32(stAborted))
-	m.unregisterReads(tx)
 	addrs := make([]int, 0, len(tx.undo))
 	seen := map[int]bool{}
 	for _, u := range tx.undo {
@@ -343,7 +368,9 @@ func (m *Memory) rollback(tx *Tx) {
 	if tx.sess != nil {
 		tx.sess.Abort()
 	}
+	tx.rec.state.Store(int32(stAborted))
 	for i := len(addrs) - 1; i >= 0; i-- {
 		m.words[addrs[i]].mu.Unlock()
 	}
+	m.unregisterReads(tx)
 }

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pushpull/internal/chaos"
 	"pushpull/internal/trace"
 )
 
@@ -100,6 +101,14 @@ type HTM struct {
 	Name string
 	// Recorder, when non-nil, certifies commits on a shadow machine.
 	Recorder *trace.Recorder
+	// Injector, when non-nil, is consulted at the speculative fault
+	// sites (SiteHTMConflict/SiteHTMCapacity on reads and writes,
+	// SiteHTMCommit at the commit instant). Injected aborts are
+	// indistinguishable from organic ones to callers.
+	Injector chaos.Injector
+	// Retry, when non-nil, shapes the backoff between speculative
+	// attempts in Atomic (the retry count itself stays MaxRetries).
+	Retry *chaos.RetryPolicy
 
 	// fbLock serializes fallback execution against speculative commits
 	// (speculative commits hold it shared). fbEpoch is odd while a
@@ -133,6 +142,27 @@ func (h *HTM) Stats() Stats {
 
 // ReadNoTx reads a word non-transactionally.
 func (h *HTM) ReadNoTx(addr int) int64 { return h.values[addr].Load() }
+
+func (h *HTM) inject(site chaos.Site) bool {
+	return h.Injector != nil && h.Injector.Fire(site)
+}
+
+// injectSpec checks the speculative fault sites for tx; fallback
+// (direct) transactions cannot abort and are never injected.
+func (tx *Tx) injectSpec() *AbortError {
+	if tx.direct || tx.h.Injector == nil {
+		return nil
+	}
+	if tx.h.inject(chaos.SiteHTMCapacity) {
+		tx.abort(Capacity)
+		return tx.dead
+	}
+	if tx.h.inject(chaos.SiteHTMConflict) {
+		tx.abort(Conflict)
+		return tx.dead
+	}
+	return nil
+}
 
 // Tx is one speculative attempt.
 type Tx struct {
@@ -190,6 +220,9 @@ func (tx *Tx) Read(addr int) (int64, error) {
 	if tx.dead != nil {
 		return 0, tx.dead
 	}
+	if ae := tx.injectSpec(); ae != nil {
+		return 0, ae
+	}
 	if v, ok := tx.writes[addr]; ok {
 		tx.program = append(tx.program, progOp{addr: addr, val: v})
 		return v, nil
@@ -225,6 +258,9 @@ func (tx *Tx) Read(addr int) (int64, error) {
 func (tx *Tx) Write(addr int, val int64) error {
 	if tx.dead != nil {
 		return tx.dead
+	}
+	if ae := tx.injectSpec(); ae != nil {
+		return ae
 	}
 	if _, mine := tx.writes[addr]; !mine && !tx.direct {
 		if !tx.inFootprint(addr) && tx.footprint()+1 > tx.h.Capacity {
@@ -277,6 +313,9 @@ func (tx *Tx) releaseOwnership() {
 func (tx *Tx) commit(name string) error {
 	if tx.dead != nil {
 		return tx.dead
+	}
+	if !tx.direct && tx.h.inject(chaos.SiteHTMCommit) {
+		return tx.abort(Conflict)
 	}
 	tx.h.fbLock.RLock()
 	defer tx.h.fbLock.RUnlock()
@@ -362,8 +401,12 @@ func (h *HTM) Atomic(name string, fn func(*Tx) error) error {
 		if code == Capacity || code == Explicit {
 			break // retrying cannot help
 		}
-		for i := 0; i <= attempt; i++ {
-			runtime.Gosched()
+		if h.Retry != nil {
+			h.Retry.Backoff(attempt + 1)
+		} else {
+			for i := 0; i <= attempt; i++ {
+				runtime.Gosched()
+			}
 		}
 	}
 	return h.runFallback(name, fn)
@@ -433,6 +476,34 @@ func (tx *Tx) Commit(name string) error {
 // released.
 func (tx *Tx) Cancel() {
 	tx.releaseOwnership()
+}
+
+// BeginFallback opens a manual non-speculative transaction under the
+// global fallback lock — the degraded-mode interface a hybrid runtime
+// switches to after repeated capacity aborts. It blocks until the lock
+// is free, kills in-flight speculators via the epoch subscription, and
+// must be ended with EndFallback. Reads and writes on the returned Tx
+// never abort.
+func (h *HTM) BeginFallback() *Tx {
+	h.fbLock.Lock()
+	h.fbEpoch.Add(1) // odd: fallback active
+	h.fallbacks.Add(1)
+	return &Tx{h: h, id: h.ids.Add(1), direct: true, reads: map[int]int64{}, writes: map[int]int64{}}
+}
+
+// EndFallback ends a manual fallback transaction, applying its buffered
+// stores when commit is true, then releases the lock and advances the
+// epoch so speculative subscribers notice.
+func (tx *Tx) EndFallback(commit bool) {
+	if commit {
+		tx.captured = tx.certOps()
+		for a, v := range tx.writes {
+			tx.h.values[a].Store(v)
+		}
+		tx.h.commits.Add(1)
+	}
+	tx.h.fbEpoch.Add(1)
+	tx.h.fbLock.Unlock()
 }
 
 // Ops exposes the attempt's program-order operation records with

@@ -1,0 +1,102 @@
+package hybrid_test
+
+import (
+	"sync"
+	"testing"
+
+	"pushpull/internal/chaos"
+)
+
+// TestDegradeOnInjectedCapacityAborts: injected HTM capacity aborts
+// push the runtime over its DegradeAfter threshold; it falls back to
+// running HTM sections under the fallback lock (boosting plus a global
+// lock), every commit still lands, and the shadow recorder certifies
+// the whole run — the ISSUE's graceful-degradation acceptance check.
+func TestDegradeOnInjectedCapacityAborts(t *testing.T) {
+	rt, sl, ht := newRuntime(true)
+	rt.DegradeAfter = 4
+	inj := chaos.NewPlan(11).WithRate(chaos.SiteHTMCapacity, 0.2).Injector()
+	rt.HTM.Injector = inj
+
+	const goroutines = 4
+	const perG = 30
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				foo := int64(g*perG + i)
+				if err := section7Txn(rt, sl, ht, foo, foo+500, i%2 == 0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if inj.Injected(chaos.SiteHTMCapacity) == 0 {
+		t.Fatal("no capacity aborts injected; raise the rate")
+	}
+	if !rt.DegradedMode() {
+		t.Fatalf("runtime never degraded (capacity injections: %d)",
+			inj.Injected(chaos.SiteHTMCapacity))
+	}
+	st := rt.Stats()
+	if st.Degraded == 0 {
+		t.Fatal("no degraded commits counted")
+	}
+	total := int64(goroutines * perG)
+	if got := rt.HTM.ReadNoTx(addrSize); got != total {
+		t.Fatalf("size = %d, want %d (lost updates across degradation)", got, total)
+	}
+	if x, y := rt.HTM.ReadNoTx(addrX), rt.HTM.ReadNoTx(addrY); x+y != total {
+		t.Fatalf("x+y = %d, want %d", x+y, total)
+	}
+	if err := rt.Boost.Recorder.FinalCheck(); err != nil {
+		for _, v := range rt.Boost.Recorder.Violations() {
+			t.Log(v)
+		}
+		t.Fatal(err)
+	}
+	t.Logf("degraded after %d capacity injections; %d/%d commits degraded; faults: %s",
+		rt.DegradeAfter, st.Degraded, st.Commits, inj.Stats())
+}
+
+// TestSpeculativeFaultsRecover: conflict/commit-site injections at
+// moderate rates never break a certified concurrent run — they only
+// force replays.
+func TestSpeculativeFaultsRecover(t *testing.T) {
+	rt, sl, ht := newRuntime(true)
+	rt.HTM.Injector = chaos.NewPlan(23).
+		WithRate(chaos.SiteHTMConflict, 0.1).
+		WithRate(chaos.SiteHTMCommit, 0.1).Injector()
+
+	const goroutines = 4
+	const perG = 25
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				foo := int64(g*perG + i)
+				if err := section7Txn(rt, sl, ht, foo, foo, i%2 == 0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := rt.HTM.ReadNoTx(addrSize); got != goroutines*perG {
+		t.Fatalf("size = %d, want %d", got, goroutines*perG)
+	}
+	if err := rt.Boost.Recorder.FinalCheck(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.DegradedMode() {
+		t.Fatal("conflict faults must not trigger capacity degradation")
+	}
+}

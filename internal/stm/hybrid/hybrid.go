@@ -32,8 +32,11 @@ import (
 type Stats struct {
 	Commits    uint64
 	HTMReplays uint64
-	Boost      boost.Stats
-	HTM        htmsim.Stats
+	// Degraded counts commits that ran their HTM sections under the
+	// fallback lock after the runtime degraded to boosting-plus-lock.
+	Degraded uint64
+	Boost    boost.Stats
+	HTM      htmsim.Stats
 }
 
 // Runtime couples a boosting runtime and an HTM instance. The HTM
@@ -45,10 +48,19 @@ type Runtime struct {
 	// HTMRetries bounds speculative replays of the HTM part before the
 	// whole hybrid transaction aborts and retries (default 16).
 	HTMRetries int
+	// DegradeAfter, when > 0, is the graceful-degradation threshold:
+	// after that many capacity aborts observed across commit sections the
+	// runtime stops speculating and runs every HTM section under the
+	// fallback lock — hybrid degrades to boosting plus a global lock,
+	// still certified through the shared session.
+	DegradeAfter int
 
 	commitMu   sync.Mutex
 	commits    uint64
 	htmReplays uint64
+	degraded   uint64
+	capAborts  uint64
+	inDegraded bool
 	statsMu    sync.Mutex
 }
 
@@ -63,8 +75,27 @@ func New(b *boost.Runtime, h *htmsim.HTM) *Runtime {
 func (rt *Runtime) Stats() Stats {
 	rt.statsMu.Lock()
 	defer rt.statsMu.Unlock()
-	return Stats{Commits: rt.commits, HTMReplays: rt.htmReplays,
+	return Stats{Commits: rt.commits, HTMReplays: rt.htmReplays, Degraded: rt.degraded,
 		Boost: rt.Boost.Stats(), HTM: rt.HTM.Stats()}
+}
+
+// DegradedMode reports whether the runtime has fallen back to
+// boosting-plus-lock for its HTM sections.
+func (rt *Runtime) DegradedMode() bool {
+	rt.statsMu.Lock()
+	defer rt.statsMu.Unlock()
+	return rt.inDegraded
+}
+
+// noteCapacityAbort counts a commit-section capacity abort and flips
+// the runtime into degraded mode once the threshold is crossed.
+func (rt *Runtime) noteCapacityAbort() {
+	rt.statsMu.Lock()
+	defer rt.statsMu.Unlock()
+	rt.capAborts++
+	if rt.DegradeAfter > 0 && rt.capAborts >= uint64(rt.DegradeAfter) {
+		rt.inDegraded = true
+	}
 }
 
 // ErrHTMExhausted aborts the hybrid transaction after the HTM part
@@ -111,6 +142,9 @@ func (rt *Runtime) commitHTM(name string, tx *Tx) error {
 	}
 	rt.commitMu.Lock()
 	defer rt.commitMu.Unlock()
+	if rt.DegradedMode() {
+		return rt.commitDegraded(tx)
+	}
 	for attempt := 0; attempt < rt.HTMRetries; attempt++ {
 		htx := rt.HTM.Begin()
 		err := runSections(htx, tx.sections)
@@ -141,8 +175,15 @@ func (rt *Runtime) commitHTM(name string, tx *Tx) error {
 		} else {
 			htx.Cancel()
 		}
-		if _, isAbort := htmsim.IsAbort(err); !isAbort {
+		code, isAbort := htmsim.IsAbort(err)
+		if !isAbort {
 			return err // user error from a section: abort the hybrid txn
+		}
+		if code == htmsim.Capacity {
+			rt.noteCapacityAbort()
+			if rt.DegradedMode() {
+				return rt.commitDegraded(tx)
+			}
 		}
 		// HTM abort: Figure 7's UNPUSH of the HTM ops; the boosted
 		// effects remain. March forward again (replay the sections).
@@ -150,6 +191,44 @@ func (rt *Runtime) commitHTM(name string, tx *Tx) error {
 	// Abort-and-retry the whole hybrid transaction through the boosting
 	// layer's conflict path.
 	return fmt.Errorf("%w: %w", ErrHTMExhausted, boost.ErrConflict)
+}
+
+// commitDegraded runs the HTM sections non-speculatively under the
+// fallback lock (graceful degradation: boosting plus a global lock).
+// Certification is unchanged — the section ops still enter the shared
+// session as deferred APPs before the CMT — so degraded commits stay
+// certified. Called with commitMu held.
+func (rt *Runtime) commitDegraded(tx *Tx) error {
+	htx := rt.HTM.BeginFallback()
+	if err := runSections(htx, tx.sections); err != nil {
+		htx.EndFallback(false)
+		if _, isAbort := htmsim.IsAbort(err); isAbort {
+			// An explicit section abort under fallback: retry the whole
+			// hybrid transaction through the boosting conflict path.
+			return fmt.Errorf("hybrid: degraded section abort: %w", boost.ErrConflict)
+		}
+		return err
+	}
+	if sess := tx.bt.Session(); sess != nil {
+		// Ops are captured before EndFallback applies the buffered
+		// stores, so write old-values reflect pre-commit memory.
+		for _, op := range htx.Ops() {
+			if !sess.OpDeferred(op.Obj, op.Method, op.Args, op.Ret) {
+				htx.EndFallback(false)
+				return fmt.Errorf("hybrid: degraded HTM certification failed")
+			}
+		}
+		if !sess.Commit() {
+			htx.EndFallback(false)
+			return fmt.Errorf("hybrid: degraded commit certification failed")
+		}
+	}
+	htx.EndFallback(true)
+	rt.statsMu.Lock()
+	rt.commits++
+	rt.degraded++
+	rt.statsMu.Unlock()
+	return nil
 }
 
 func runSections(htx *htmsim.Tx, sections []func(h *htmsim.Tx) error) error {

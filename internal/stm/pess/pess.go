@@ -20,6 +20,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pushpull/internal/chaos"
 	"pushpull/internal/trace"
 )
 
@@ -52,6 +53,14 @@ type Memory struct {
 	// Recorder, when non-nil, certifies every operation eagerly on a
 	// shadow Push/Pull machine.
 	Recorder *trace.Recorder
+	// Injector, when non-nil, is consulted at SitePessTimeout on every
+	// lock acquisition; injected timeouts surface as wait-die "die"
+	// (ErrConflict) aborts, forcing the undo-log recovery path.
+	Injector chaos.Injector
+	// Retry, when non-nil, bounds retries and shapes backoff in
+	// AtomicNamed; an exhausted budget returns ErrRetriesExhausted
+	// (wrapped).
+	Retry *chaos.RetryPolicy
 
 	commits atomic.Uint64
 	aborts  atomic.Uint64
@@ -154,6 +163,9 @@ func (tx *Tx) tryWriteLock(addr int) lockResult {
 }
 
 func (tx *Tx) acquire(addr int, write bool) error {
+	if inj := tx.mem.Injector; inj != nil && inj.Fire(chaos.SitePessTimeout) {
+		return ErrConflict
+	}
 	for {
 		var res lockResult
 		if write {
@@ -264,6 +276,13 @@ func (m *Memory) AtomicNamed(name string, fn func(*Tx) error) error {
 		m.aborts.Add(1)
 		if !errors.Is(err, ErrConflict) {
 			return err
+		}
+		if m.Retry != nil {
+			if !m.Retry.Allow(attempt + 1) {
+				return fmt.Errorf("pess: %w", chaos.ErrRetriesExhausted)
+			}
+			m.Retry.Backoff(attempt + 1)
+			continue
 		}
 		// Wait-die storms (read→write upgrades on hot words) thrash
 		// without backoff: yield proportionally to the retry count.

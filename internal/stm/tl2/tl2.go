@@ -19,6 +19,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"pushpull/internal/chaos"
 	"pushpull/internal/trace"
 )
 
@@ -54,6 +55,14 @@ type Memory struct {
 	// Recorder, when non-nil, certifies every commit on a shadow
 	// Push/Pull machine.
 	Recorder *trace.Recorder
+	// Injector, when non-nil, is consulted at the fault sites
+	// (SiteTL2Read per transactional read, SiteTL2Commit per commit);
+	// injected faults surface as ordinary ErrConflict aborts.
+	Injector chaos.Injector
+	// Retry, when non-nil, bounds retries and shapes backoff in
+	// AtomicNamed; an exhausted budget returns ErrRetriesExhausted
+	// (wrapped).
+	Retry *chaos.RetryPolicy
 
 	commits atomic.Uint64
 	aborts  atomic.Uint64
@@ -96,6 +105,9 @@ type progOp struct {
 
 // Read returns the word at addr as of the transaction's snapshot.
 func (tx *Tx) Read(addr int) (int64, error) {
+	if inj := tx.mem.Injector; inj != nil && inj.Fire(chaos.SiteTL2Read) {
+		return 0, ErrConflict
+	}
 	if v, ok := tx.writes[addr]; ok {
 		tx.program = append(tx.program, progOp{addr: addr, val: v})
 		return v, nil
@@ -148,6 +160,13 @@ func (m *Memory) AtomicNamed(name string, fn func(*Tx) error) error {
 			return err
 		}
 		m.aborts.Add(1)
+		if m.Retry != nil {
+			if !m.Retry.Allow(attempt + 1) {
+				return fmt.Errorf("tl2: %w", chaos.ErrRetriesExhausted)
+			}
+			m.Retry.Backoff(attempt + 1)
+			continue
+		}
 		// Bounded backoff keeps the single-CPU cooperative case live.
 		for i := 0; i < attempt%8; i++ {
 			runtime.Gosched()
@@ -160,6 +179,9 @@ func (m *Memory) AtomicNamed(name string, fn func(*Tx) error) error {
 // and release with the new version. The shadow certification runs while
 // the locks are held (the linearization point).
 func (m *Memory) commit(name string, tx *Tx) error {
+	if m.Injector != nil && m.Injector.Fire(chaos.SiteTL2Commit) {
+		return ErrConflict
+	}
 	if len(tx.writes) == 0 {
 		// Read-only: reads were validated individually against rv; the
 		// serialization point is the final revalidation, which runs

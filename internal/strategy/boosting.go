@@ -62,6 +62,17 @@ func (d *Boosting) Clone(env *Env) Driver {
 	return &c
 }
 
+// Release implements Driver.
+func (d *Boosting) Release(m *core.Machine) error {
+	if err := d.release(m); err != nil {
+		return err
+	}
+	d.held = nil
+	d.pending = nil
+	d.phase = boostIdle
+	return nil
+}
+
 // Step implements Driver.
 func (d *Boosting) Step(m *core.Machine, rng *rand.Rand) (Status, error) {
 	if d.Done() {
@@ -73,11 +84,14 @@ func (d *Boosting) Step(m *core.Machine, rng *rand.Rand) (Status, error) {
 	}
 	switch d.phase {
 	case boostIdle:
-		if err := d.beginNext(m, t); err != nil {
+		started, err := d.beginNext(m, t)
+		if err != nil {
 			return Running, err
 		}
-		d.held = nil
-		d.phase = boostChoose
+		if started {
+			d.held = nil
+			d.phase = boostChoose
+		}
 		return Running, nil
 
 	case boostChoose:

@@ -84,6 +84,16 @@ func (d *Dependent) pullNextAny(m *core.Machine, t *core.Thread) (progress bool)
 	return false
 }
 
+// Release implements Driver.
+func (d *Dependent) Release(m *core.Machine) error {
+	if err := d.release(m); err != nil {
+		return err
+	}
+	d.deps = nil
+	d.phase = depIdle
+	return nil
+}
+
 // Step implements Driver.
 func (d *Dependent) Step(m *core.Machine, rng *rand.Rand) (Status, error) {
 	if d.Done() {
@@ -95,11 +105,14 @@ func (d *Dependent) Step(m *core.Machine, rng *rand.Rand) (Status, error) {
 	}
 	switch d.phase {
 	case depIdle:
-		if err := d.beginNext(m, t); err != nil {
+		started, err := d.beginNext(m, t)
+		if err != nil {
 			return Running, err
 		}
-		d.deps = make(map[uint64]uint64)
-		d.phase = depExec
+		if started {
+			d.deps = make(map[uint64]uint64)
+			d.phase = depExec
+		}
 		return Running, nil
 
 	case depExec:

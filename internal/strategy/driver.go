@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"pushpull/internal/chaos"
 	"pushpull/internal/core"
 	"pushpull/internal/lang"
 	"pushpull/internal/locks"
@@ -85,6 +86,13 @@ type Driver interface {
 	// Clone deep-copies the driver, re-binding shared coordination state
 	// to env (for exhaustive interleaving exploration).
 	Clone(env *Env) Driver
+	// Release rewinds any in-flight transaction (UNPULL/UNPUSH/UNAPP via
+	// the machine's Abort) and frees every abstract lock and token the
+	// driver holds — the recovery path for forced thread death and for
+	// scheduler error exits. A CriterionError means the machine cannot
+	// rewind yet (a dependent's pushes sit on ours); callers step other
+	// drivers and retry. Release is idempotent.
+	Release(m *core.Machine) error
 }
 
 // Token is a single-holder coordination token (the global write token
@@ -131,6 +139,21 @@ func (e *Env) Clone() *Env {
 	}
 }
 
+// LeakCheck reports any abstract lock or token still held — the
+// post-run invariant every scheduler exit and chaos campaign asserts.
+func (e *Env) LeakCheck() error {
+	if n := e.LM.HeldCount(); n != 0 {
+		return fmt.Errorf("strategy: %d abstract lock holds leaked (owners %v)", n, e.LM.HeldOwners())
+	}
+	if h := e.CommitToken.Holder(); h != 0 {
+		return fmt.Errorf("strategy: commit token leaked (holder %d)", h)
+	}
+	if h := e.IrrevToken.Holder(); h != 0 {
+		return fmt.Errorf("strategy: irrevocability token leaked (holder %d)", h)
+	}
+	return nil
+}
+
 // Config tunes driver behaviour.
 type Config struct {
 	// RetryLimit bounds aborts per transaction before giving up (the
@@ -146,6 +169,10 @@ type Config struct {
 	// exit) independent of the rng: always the first step, exit loops as
 	// soon as fin holds. Required under exhaustive exploration.
 	Deterministic bool
+	// Retry, when non-nil, replaces RetryLimit with the shared policy:
+	// bounded retries plus exponential-backoff cooldowns (spent as idle
+	// scheduler steps before the next attempt begins).
+	Retry *chaos.RetryPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -171,10 +198,11 @@ type base struct {
 	cur   int // current transaction index
 	stats Stats
 
-	retries int // aborts of the current transaction
-	apps    int // APPs in the current attempt
-	waiting int // consecutive blocked steps
-	inTx    bool
+	retries  int // aborts of the current transaction
+	apps     int // APPs in the current attempt
+	waiting  int // consecutive blocked steps
+	cooldown int // idle steps left before the next attempt (backoff)
+	inTx     bool
 }
 
 func newBase(name string, t *core.Thread, txns []lang.Txn, cfg Config, env *Env) base {
@@ -200,15 +228,21 @@ func (b *base) thread(m *core.Machine) (*core.Thread, error) {
 	return t, nil
 }
 
-// beginNext enters the current transaction.
-func (b *base) beginNext(m *core.Machine, t *core.Thread) error {
+// beginNext enters the current transaction. started is false while the
+// driver is cooling down after an abort (retry backoff spent as idle
+// scheduler steps): the caller should just return Running.
+func (b *base) beginNext(m *core.Machine, t *core.Thread) (started bool, err error) {
+	if b.cooldown > 0 {
+		b.cooldown--
+		return false, nil
+	}
 	if err := m.Begin(t, b.txns[b.cur], nil); err != nil {
-		return err
+		return false, err
 	}
 	b.inTx = true
 	b.apps = 0
 	b.waiting = 0
-	return nil
+	return true, nil
 }
 
 // chooseStep picks the next APP, or reports the execution phase done.
@@ -271,6 +305,18 @@ func (b *base) abortAndRetry(m *core.Machine, t *core.Thread) error {
 	b.stats.Aborts++
 	b.retries++
 	b.waiting = 0
+	if b.cfg.Retry != nil {
+		if !b.cfg.Retry.Allow(b.retries) {
+			b.stats.GaveUp++
+			b.retries = 0
+			b.cooldown = 0
+			b.cur++
+		} else {
+			b.stats.Retries++
+			b.cooldown = b.cfg.Retry.Yields(b.retries)
+		}
+		return nil
+	}
 	if b.retries > b.cfg.RetryLimit {
 		b.stats.GaveUp++
 		b.retries = 0
@@ -278,6 +324,28 @@ func (b *base) abortAndRetry(m *core.Machine, t *core.Thread) error {
 	} else {
 		b.stats.Retries++
 	}
+	return nil
+}
+
+// release implements the shared part of Driver.Release: rewind the
+// in-flight transaction if there is one, then free all coordination
+// state. Callers reset their phase machines afterwards.
+func (b *base) release(m *core.Machine) error {
+	if b.inTx {
+		t, ok := m.Thread(b.tid)
+		if ok {
+			if err := m.Abort(t); err != nil {
+				return err
+			}
+			b.stats.Aborts++
+		}
+		b.inTx = false
+	}
+	b.env.LM.ReleaseAll(locks.Owner(b.tid))
+	b.env.CommitToken.Release(b.tid)
+	b.env.IrrevToken.Release(b.tid)
+	b.waiting = 0
+	b.cooldown = 0
 	return nil
 }
 

@@ -51,6 +51,15 @@ func (d *Irrevocable) Clone(env *Env) Driver {
 	return &c
 }
 
+// Release implements Driver.
+func (d *Irrevocable) Release(m *core.Machine) error {
+	if err := d.release(m); err != nil {
+		return err
+	}
+	d.phase = irrIdle
+	return nil
+}
+
 // Step implements Driver.
 func (d *Irrevocable) Step(m *core.Machine, rng *rand.Rand) (Status, error) {
 	if d.Done() {
@@ -71,10 +80,13 @@ func (d *Irrevocable) Step(m *core.Machine, rng *rand.Rand) (Status, error) {
 			return st, nil
 		}
 		d.waiting = 0
-		if err := d.beginNext(m, t); err != nil {
+		started, err := d.beginNext(m, t)
+		if err != nil {
 			return Running, err
 		}
-		d.phase = irrChoose
+		if started {
+			d.phase = irrChoose
+		}
 		return Running, nil
 
 	case irrChoose:

@@ -51,6 +51,15 @@ func (d *MatveevShavit) Clone(env *Env) Driver {
 	return &c
 }
 
+// Release implements Driver.
+func (d *MatveevShavit) Release(m *core.Machine) error {
+	if err := d.release(m); err != nil {
+		return err
+	}
+	d.phase = msIdle
+	return nil
+}
+
 // Step implements Driver.
 func (d *MatveevShavit) Step(m *core.Machine, rng *rand.Rand) (Status, error) {
 	if d.Done() {
@@ -62,10 +71,13 @@ func (d *MatveevShavit) Step(m *core.Machine, rng *rand.Rand) (Status, error) {
 	}
 	switch d.phase {
 	case msIdle:
-		if err := d.beginNext(m, t); err != nil {
+		started, err := d.beginNext(m, t)
+		if err != nil {
 			return Running, err
 		}
-		d.phase = msSnapshot
+		if started {
+			d.phase = msSnapshot
+		}
 		return Running, nil
 
 	case msSnapshot:

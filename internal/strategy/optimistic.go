@@ -54,6 +54,16 @@ func (d *Optimistic) Clone(env *Env) Driver {
 	return &c
 }
 
+// Release implements Driver.
+func (d *Optimistic) Release(m *core.Machine) error {
+	if err := d.release(m); err != nil {
+		return err
+	}
+	d.phase = optIdle
+	d.partialTries = 0
+	return nil
+}
+
 // Step implements Driver.
 func (d *Optimistic) Step(m *core.Machine, rng *rand.Rand) (Status, error) {
 	if d.Done() {
@@ -65,10 +75,13 @@ func (d *Optimistic) Step(m *core.Machine, rng *rand.Rand) (Status, error) {
 	}
 	switch d.phase {
 	case optIdle:
-		if err := d.beginNext(m, t); err != nil {
+		started, err := d.beginNext(m, t)
+		if err != nil {
 			return Running, err
 		}
-		d.phase = optSnapshot
+		if started {
+			d.phase = optSnapshot
+		}
 		return Running, nil
 
 	case optSnapshot:
