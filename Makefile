@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos-smoke chaos bench ci
+.PHONY: build test vet fmt-check race chaos-smoke chaos crash-smoke crash bench ci
 
 build:
 	$(GO) build ./...
@@ -9,8 +9,12 @@ build:
 test: build
 	$(GO) test ./...
 
-vet:
+vet: fmt-check
 	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 race:
 	$(GO) test -race ./...
@@ -25,7 +29,18 @@ chaos-smoke:
 chaos:
 	$(GO) run ./cmd/pushpull-chaos
 
+# Crash-recovery smoke: every target runs with the WAL attached and a
+# scheduled process death; the durable prefix must recover and
+# re-certify.
+crash-smoke:
+	$(GO) test ./internal/bench/ -run TestCrashSmoke -v
+
+# The full crash campaign: 50 crash plans per target, non-zero exit on
+# any recovery certification failure (prints the failing plan seed).
+crash:
+	$(GO) run ./cmd/pushpull-crash
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-ci: test vet race chaos-smoke
+ci: test vet race chaos-smoke crash-smoke

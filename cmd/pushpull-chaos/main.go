@@ -7,7 +7,7 @@
 //	pushpull-chaos                       # 50-seed sweep, all targets
 //	pushpull-chaos -seeds 100 -rate 0.15 # harder campaign
 //	pushpull-chaos -targets hybrid,model # subset
-//	pushpull-chaos -seed 7 -targets tl2 -seeds 1 -v  # replay one plan
+//	pushpull-chaos -seed 7 -targets tl2 -v  # replay ONE failing plan
 //
 // Exit status is non-zero if any run had a serializability, invariant,
 // certification, or leak violation; the report prints the failing
@@ -25,7 +25,7 @@ import (
 
 func main() {
 	seeds := flag.Int("seeds", 50, "plan seeds per target")
-	baseSeed := flag.Int64("seed", 1, "first plan seed")
+	baseSeed := flag.Int64("seed", 1, "first plan seed (explicit -seed without -seeds replays just that plan)")
 	threads := flag.Int("threads", 4, "worker threads / drivers per run")
 	ops := flag.Int("ops", 40, "transactions per worker (substrate targets)")
 	keys := flag.Int("keys", 16, "key range (fewer = hotter)")
@@ -33,6 +33,21 @@ func main() {
 	targetsFlag := flag.String("targets", "", "comma-separated targets (default: all)")
 	verbose := flag.Bool("v", false, "print every run's plan and fault tally")
 	flag.Parse()
+
+	// An explicit -seed with no explicit -seeds means "replay this one
+	// failing plan", not "run 50 plans starting there".
+	seedSet, seedsSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "seed":
+			seedSet = true
+		case "seeds":
+			seedsSet = true
+		}
+	})
+	if seedSet && !seedsSet {
+		*seeds = 1
+	}
 
 	p := bench.ChaosParams{
 		Seeds: *seeds, BaseSeed: *baseSeed, Threads: *threads,

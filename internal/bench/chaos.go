@@ -22,6 +22,7 @@ import (
 	"pushpull/internal/stm/tl2"
 	"pushpull/internal/strategy"
 	"pushpull/internal/trace"
+	"pushpull/internal/wal"
 )
 
 // ChaosParams configures a fault-injection campaign: a seed sweep over
@@ -39,6 +40,11 @@ type ChaosParams struct {
 	// Rate is the reference per-site fault probability; per-target plans
 	// scale it per site (see ChaosPlanFor).
 	Rate float64
+	// WAL, when non-nil, makes the run durable: the recorder's shadow
+	// machine (or the model machine) writes every global-log transition
+	// ahead, and the substrate's commit path flushes it before
+	// acknowledging. Crash campaigns (RunCrashOne) set this.
+	WAL *wal.Log
 }
 
 func (p ChaosParams) WithDefaults() ChaosParams {
@@ -184,6 +190,33 @@ func spawnWorkers(p ChaosParams, gaveUp *atomic.Uint64, txn func(g, i int, rng *
 	return <-errCh
 }
 
+// attachWAL wires the write-ahead hook into a recorder when the params
+// carry a log, returning the hook for the post-run I/O-error check.
+func attachWAL(rec *trace.Recorder, p ChaosParams) *wal.MachineHook {
+	if p.WAL == nil {
+		return nil
+	}
+	hook := wal.NewMachineHook(p.WAL)
+	rec.AttachWAL(hook)
+	return hook
+}
+
+// durableOf avoids the typed-nil interface trap when no WAL is set.
+func durableOf(p ChaosParams) core.Durable {
+	if p.WAL == nil {
+		return nil
+	}
+	return p.WAL
+}
+
+// walErr surfaces a real (non-crash) WAL I/O failure after a run.
+func walErr(hook *wal.MachineHook) error {
+	if hook == nil {
+		return nil
+	}
+	return hook.Err()
+}
+
 func registerReg() (*spec.Registry, *trace.Recorder) {
 	reg := spec.NewRegistry()
 	reg.Register("mem", adt.Register{})
@@ -194,6 +227,7 @@ func registerReg() (*spec.Registry, *trace.Recorder) {
 // the shared read-modify-write workload under injection, certified.
 func runChaosWords(target string, seed int64, p ChaosParams, inj *chaos.Faults, out *ChaosOutcome) error {
 	_, rec := registerReg()
+	hook := attachWAL(rec, p)
 	retry := chaos.Default(seed)
 	var gaveUp atomic.Uint64
 
@@ -204,6 +238,7 @@ func runChaosWords(target string, seed int64, p ChaosParams, inj *chaos.Faults, 
 	case "tl2":
 		m := tl2.New(p.Keys)
 		m.Recorder, m.Injector, m.Retry = rec, inj, retry
+		m.Durable = durableOf(p)
 		atomicRMW = func(addr int, readOnly bool, yield int) error {
 			return m.AtomicNamed("t", func(tx *tl2.Tx) error {
 				v, err := tx.Read(addr)
@@ -218,6 +253,7 @@ func runChaosWords(target string, seed int64, p ChaosParams, inj *chaos.Faults, 
 	case "pess":
 		m := pess.New(p.Keys)
 		m.Recorder, m.Injector, m.Retry = rec, inj, retry
+		m.Durable = durableOf(p)
 		atomicRMW = func(addr int, readOnly bool, yield int) error {
 			return m.AtomicNamed("t", func(tx *pess.Tx) error {
 				v, err := tx.Read(addr)
@@ -232,6 +268,7 @@ func runChaosWords(target string, seed int64, p ChaosParams, inj *chaos.Faults, 
 	case "htmsim":
 		h := htmsim.New(p.Keys)
 		h.Recorder, h.Injector, h.Retry = rec, inj, retry
+		h.Durable = durableOf(p)
 		atomicRMW = func(addr int, readOnly bool, yield int) error {
 			return h.Atomic("t", func(tx *htmsim.Tx) error {
 				v, err := tx.Read(addr)
@@ -249,6 +286,7 @@ func runChaosWords(target string, seed int64, p ChaosParams, inj *chaos.Faults, 
 	case "dep":
 		m := dep.New(p.Keys)
 		m.Recorder, m.Injector, m.Retry = rec, inj, retry
+		m.Durable = durableOf(p)
 		atomicRMW = func(addr int, readOnly bool, yield int) error {
 			return m.Atomic("t", func(tx *dep.Tx) error {
 				v, err := tx.Read(addr)
@@ -270,6 +308,9 @@ func runChaosWords(target string, seed int64, p ChaosParams, inj *chaos.Faults, 
 	if err != nil {
 		return err
 	}
+	if err := walErr(hook); err != nil {
+		return err
+	}
 	return rec.FinalCheck()
 }
 
@@ -280,7 +321,9 @@ func runChaosBoost(seed int64, p ChaosParams, inj *chaos.Faults, out *ChaosOutco
 	reg.Register("ht", adt.Map{})
 	rt := boost.NewRuntime()
 	rt.Recorder = trace.NewRecorder(reg)
+	hook := attachWAL(rt.Recorder, p)
 	rt.Injector, rt.Retry = inj, chaos.Default(seed)
+	rt.Durable = durableOf(p)
 	ht := boost.NewMap(rt, "ht", seed)
 	var gaveUp atomic.Uint64
 
@@ -305,6 +348,9 @@ func runChaosBoost(seed int64, p ChaosParams, inj *chaos.Faults, out *ChaosOutco
 	if err != nil {
 		return err
 	}
+	if err := walErr(hook); err != nil {
+		return err
+	}
 	return rt.Recorder.FinalCheck()
 }
 
@@ -318,12 +364,15 @@ func runChaosHybrid(seed int64, p ChaosParams, inj *chaos.Faults, out *ChaosOutc
 	reg.Register("htm", adt.Register{})
 	b := boost.NewRuntime()
 	b.Recorder = trace.NewRecorder(reg)
+	hook := attachWAL(b.Recorder, p)
 	b.Injector, b.Retry = inj, chaos.Default(seed)
+	b.Durable = durableOf(p)
 	h := htmsim.New(16)
 	h.Name = "htm"
 	h.Injector = inj
 	rt := hybrid.New(b, h)
 	rt.DegradeAfter = 8
+	rt.Durable = durableOf(p)
 	sl := boost.NewSet(b, "skiplist", seed)
 	ht := boost.NewMap(b, "hashT", seed+1)
 	var gaveUp atomic.Uint64
@@ -367,6 +416,9 @@ func runChaosHybrid(seed int64, p ChaosParams, inj *chaos.Faults, out *ChaosOutc
 	if err != nil {
 		return err
 	}
+	if err := walErr(hook); err != nil {
+		return err
+	}
 	if err := b.Recorder.FinalCheck(); err != nil {
 		return err
 	}
@@ -386,6 +438,11 @@ func runChaosHybrid(seed int64, p ChaosParams, inj *chaos.Faults, out *ChaosOutc
 func runChaosModel(seed int64, p ChaosParams, inj *chaos.Faults, out *ChaosOutcome) error {
 	reg := Registry()
 	m := core.NewMachine(reg, core.Options{Mode: spec.MoverHybrid, EnforceGray: true})
+	var hook *wal.MachineHook
+	if p.WAL != nil {
+		hook = wal.NewMachineHook(p.WAL)
+		m.SetLogHook(hook)
+	}
 	env := strategy.NewEnv()
 	rng := rand.New(rand.NewSource(seed))
 	cfg := strategy.Config{Retry: chaos.Default(seed)}
@@ -407,7 +464,7 @@ func runChaosModel(seed int64, p ChaosParams, inj *chaos.Faults, out *ChaosOutco
 		drivers = append(drivers, d)
 	}
 
-	res, err := sched.RunChaos(m, drivers, seed, 400_000, inj)
+	res, err := sched.RunChaosDurable(m, drivers, seed, 400_000, inj, durableOf(p))
 	out.Kills, out.Stalls = res.Kills, res.Stalls
 	for _, d := range drivers {
 		st := d.Stats()
@@ -424,6 +481,9 @@ func runChaosModel(seed int64, p ChaosParams, inj *chaos.Faults, out *ChaosOutco
 			return err
 		}
 		out.Halted = true
+	}
+	if err := walErr(hook); err != nil {
+		return err
 	}
 	if err := m.Verify(); err != nil {
 		return fmt.Errorf("machine invariants: %w", err)

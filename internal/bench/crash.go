@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"fmt"
+
+	"pushpull/internal/adt"
+	"pushpull/internal/chaos"
+	"pushpull/internal/recovery"
+	"pushpull/internal/spec"
+	"pushpull/internal/wal"
+)
+
+// This file is the crash-recovery campaign: every chaos target runs
+// with a write-ahead log attached and a deterministic process death
+// scheduled at some WAL append; afterwards the durable image — synced
+// prefix, possibly torn or bit-flipped — is recovered and the
+// recovered committed prefix is re-certified from scratch on a fresh
+// shadow machine. A run passes only if the live run was certified AND
+// the recovered prefix replays cleanly (machine invariants,
+// commit-order serializability, return-value validation) with every
+// pushed-but-uncommitted transaction discarded.
+
+// CrashPolicyFor varies the sync policy across seeds so a sweep covers
+// every durability mode, including the SyncNever fast path (where a
+// crash legitimately loses everything unsynced).
+func CrashPolicyFor(seed int64) wal.SyncPolicy {
+	policies := []wal.SyncPolicy{wal.SyncEveryRecord, wal.SyncOnCommit, wal.SyncGroup, wal.SyncNever}
+	return policies[uint64(seed)%uint64(len(policies))]
+}
+
+// estimatedAppends is the rough WAL record count a target's workload
+// produces, used only to place the scheduled crash somewhere inside
+// the run. Overshooting is harmless: the crash never fires and the
+// run degenerates to full-log recovery — itself a useful case.
+func estimatedAppends(target string, p ChaosParams) uint64 {
+	perTxn := map[string]int{
+		"tl2": 3, "pess": 3, "htmsim": 3, "dep": 3, "boost": 3,
+		"hybrid": 6, "model": 5,
+	}[target]
+	txns := p.Threads * p.OpsEach
+	if target == "model" {
+		txns = p.Threads * 4
+	}
+	n := uint64(txns * perTxn)
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// CrashPlanFor builds the reproduction recipe for one crash run: the
+// target's usual fault plan (at half rate, so abort paths still write
+// UNPUSH records into the log) plus a deterministic crash whose append
+// index and surviving-image mode are pure functions of the seed.
+func CrashPlanFor(target string, seed int64, p ChaosParams) chaos.Plan {
+	p = p.WithDefaults()
+	frac := chaos.Hash01(seed, chaos.SiteWALAppend, 0)
+	n := 1 + uint64(frac*float64(estimatedAppends(target, p)))
+	mode := chaos.CrashMode(uint64(seed) % 3)
+	return ChaosPlanFor(target, seed, p.Rate/2).WithCrash(n, mode)
+}
+
+// CertRegistryFor rebuilds, from scratch, the specification registry
+// the live run certified against — recovery must not share any state
+// with the crashed process.
+func CertRegistryFor(target string) *spec.Registry {
+	reg := spec.NewRegistry()
+	switch target {
+	case "tl2", "pess", "htmsim", "dep":
+		reg.Register("mem", adt.Register{})
+	case "boost":
+		reg.Register("ht", adt.Map{})
+	case "hybrid":
+		reg.Register("skiplist", adt.Set{})
+		reg.Register("hashT", adt.Map{})
+		reg.Register("htm", adt.Register{})
+	case "model":
+		return Registry()
+	}
+	return reg
+}
+
+// CrashOutcome is one crash-recovery run.
+type CrashOutcome struct {
+	Target string
+	Seed   int64
+	Plan   string
+	Policy wal.SyncPolicy
+	// Crashed reports whether the scheduled death actually fired (a
+	// short run may finish before reaching the append index).
+	Crashed bool
+	// Commits is the live run's commit count (upper bound on what
+	// recovery may reconstruct).
+	Commits uint64
+	// Recovered is the number of committed transactions in the
+	// recovered prefix; Discarded the pushed-but-uncommitted
+	// transactions dropped; Truncated whether a torn/corrupt tail was
+	// cut.
+	Recovered int
+	Discarded int
+	Truncated bool
+	// RunErr is a live-run violation (the crash itself must be
+	// transparent to the running substrate). CertErr is a recovery
+	// certification failure. Either fails the run.
+	RunErr  error
+	CertErr error
+	// Segments is the durable WAL image the run left behind — what
+	// recovery replayed (and what idempotence tests replay again).
+	Segments [][]byte
+}
+
+// Err returns the run's overall verdict.
+func (o CrashOutcome) Err() error {
+	if o.RunErr != nil {
+		return fmt.Errorf("live run: %w", o.RunErr)
+	}
+	return o.CertErr
+}
+
+// RunCrashOne executes one crash-recovery run: live chaos run with a
+// durable WAL and a scheduled process death, then recovery and
+// re-certification of the durable image.
+func RunCrashOne(target string, seed int64, p ChaosParams) CrashOutcome {
+	p = p.WithDefaults()
+	plan := CrashPlanFor(target, seed, p)
+	inj := plan.Injector()
+	pol := CrashPolicyFor(seed)
+	log := wal.MustOpen(wal.Options{Policy: pol, GroupEvery: 8, SegmentBytes: 8 << 10, Chaos: inj})
+	p.WAL = log
+
+	out := CrashOutcome{Target: target, Seed: seed, Plan: plan.String(), Policy: pol}
+	live := ChaosOutcome{Target: target, Seed: seed}
+	switch target {
+	case "tl2", "pess", "htmsim", "dep":
+		live.Err = runChaosWords(target, seed, p, inj, &live)
+	case "boost":
+		live.Err = runChaosBoost(seed, p, inj, &live)
+	case "hybrid":
+		live.Err = runChaosHybrid(seed, p, inj, &live)
+	case "model":
+		live.Err = runChaosModel(seed, p, inj, &live)
+	default:
+		live.Err = fmt.Errorf("bench: unknown crash target %q", target)
+	}
+	out.RunErr = live.Err
+	out.Commits = live.Commits
+	out.Crashed = log.Crashed()
+	out.Segments = log.Segments()
+
+	rep, err := recovery.RecoverAndCertify(out.Segments, CertRegistryFor(target))
+	out.Recovered = len(rep.State.Txns)
+	out.Discarded = rep.Discarded
+	out.Truncated = rep.Truncated != nil
+	out.CertErr = err
+	if out.CertErr == nil && uint64(out.Recovered) > out.Commits {
+		out.CertErr = fmt.Errorf("recovered %d txns from a run with %d commits", out.Recovered, out.Commits)
+	}
+	return out
+}
+
+// CrashCampaign sweeps Seeds crash plans over every target and renders
+// the recovery report. The returned error is non-nil if ANY run failed
+// — live-run violation or recovery certification failure — and the
+// report names the failing plans (the reproduction recipes).
+func CrashCampaign(p ChaosParams) (string, []CrashOutcome, error) {
+	p = p.WithDefaults()
+	var outcomes []CrashOutcome
+	type agg struct {
+		runs, crashed, truncated, failed int
+		commits                          uint64
+		recovered, discarded             int
+		firstFail                        string
+	}
+	aggs := make(map[string]*agg)
+	var firstErr error
+
+	for _, target := range p.Targets {
+		a := &agg{}
+		aggs[target] = a
+		for s := 0; s < p.Seeds; s++ {
+			o := RunCrashOne(target, p.BaseSeed+int64(s), p)
+			outcomes = append(outcomes, o)
+			a.runs++
+			a.commits += o.Commits
+			a.recovered += o.Recovered
+			a.discarded += o.Discarded
+			if o.Crashed {
+				a.crashed++
+			}
+			if o.Truncated {
+				a.truncated++
+			}
+			if err := o.Err(); err != nil {
+				a.failed++
+				if a.firstFail == "" {
+					a.firstFail = fmt.Sprintf("%s policy=%v: %v", o.Plan, o.Policy, err)
+				}
+				if firstErr == nil {
+					firstErr = fmt.Errorf("crash: %s seed %d: %w (replay: %s policy=%v)",
+						target, o.Seed, err, o.Plan, o.Policy)
+				}
+			}
+		}
+	}
+
+	var rows []Row
+	for _, target := range p.Targets {
+		a := aggs[target]
+		rows = append(rows, Row{
+			target, fmt.Sprintf("%d", a.runs), fmt.Sprintf("%d", a.crashed),
+			fmt.Sprintf("%d", a.commits), fmt.Sprintf("%d", a.recovered),
+			fmt.Sprintf("%d", a.discarded), fmt.Sprintf("%d", a.truncated),
+			fmt.Sprintf("%d", a.failed),
+		})
+	}
+	report := Table(Row{"target", "seeds", "crashed", "commits", "recovered", "discarded", "truncated", "failures"}, rows)
+	for _, target := range p.Targets {
+		if f := aggs[target].firstFail; f != "" {
+			report += fmt.Sprintf("\nFAIL %s %s\n", target, f)
+		}
+	}
+	return report, outcomes, firstErr
+}

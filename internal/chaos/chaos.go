@@ -61,13 +61,52 @@ const (
 	// in-flight transaction is rewound via UNPUSH/UNPULL/UNAPP and its
 	// Env locks and tokens released; the driver is retired.
 	SiteSchedKill Site = "sched/kill"
+	// SiteWALAppend is the process-death site: the write-ahead log
+	// consults it on every record append, and a firing kills the
+	// "process" at exactly that append — everything not yet synced is
+	// lost (possibly with a torn or bit-flipped tail, see CrashMode).
+	// Deterministic crashes are scheduled with Plan.WithCrash; the site
+	// also honors ordinary rates/scripts/budgets for probabilistic
+	// sweeps.
+	SiteWALAppend Site = "wal/append"
 )
 
 // Sites lists every injection site, for sweep tooling.
 func Sites() []Site {
 	return []Site{SiteHTMConflict, SiteHTMCapacity, SiteHTMCommit,
 		SiteTL2Read, SiteTL2Commit, SitePessTimeout, SiteBoostTimeout,
-		SiteDepConflict, SiteSchedStall, SiteSchedKill}
+		SiteDepConflict, SiteSchedStall, SiteSchedKill, SiteWALAppend}
+}
+
+// CrashMode selects what the simulated crash leaves on "disk" past the
+// synced prefix of the write-ahead log.
+type CrashMode int
+
+// Crash modes.
+const (
+	// CrashClean loses exactly the unsynced suffix: the surviving image
+	// is the synced prefix, record-aligned.
+	CrashClean CrashMode = iota
+	// CrashTorn additionally persists an arbitrary prefix of the
+	// unsynced bytes (including the in-flight record) — the torn-write
+	// case recovery must truncate, not fatally reject.
+	CrashTorn
+	// CrashBitflip flips one bit inside the synced image — latent media
+	// corruption; recovery must truncate at the first bad checksum.
+	CrashBitflip
+)
+
+func (m CrashMode) String() string {
+	switch m {
+	case CrashClean:
+		return "clean"
+	case CrashTorn:
+		return "torn"
+	case CrashBitflip:
+		return "bitflip"
+	default:
+		return "badmode"
+	}
 }
 
 // Injector is consulted at every instrumented fault site. A nil
@@ -86,6 +125,13 @@ type Plan struct {
 	Rates  map[Site]float64
 	Script map[Site][]bool
 	Budget map[Site]int // max injections per site; 0 = unlimited
+	// CrashAppend schedules a deterministic process death at the n-th
+	// (1-based) visit to SiteWALAppend; 0 means no scheduled crash. It
+	// overrides rates and scripts for that visit, so a failing crash
+	// plan replays exactly like a fault plan.
+	CrashAppend uint64
+	// CrashMode selects the surviving log image (clean/torn/bitflip).
+	CrashMode CrashMode
 }
 
 // NewPlan returns an empty plan (no faults) with the given seed.
@@ -120,6 +166,14 @@ func (p Plan) WithBudget(site Site, n int) Plan {
 	return p
 }
 
+// WithCrash schedules a deterministic process death at the n-th WAL
+// append (1-based) with the given surviving-image mode.
+func (p Plan) WithCrash(n uint64, mode CrashMode) Plan {
+	p.CrashAppend = n
+	p.CrashMode = mode
+	return p
+}
+
 // String renders the plan compactly — the reproduction recipe a chaos
 // report prints.
 func (p Plan) String() string {
@@ -138,6 +192,9 @@ func (p Plan) String() string {
 	}
 	for s, sc := range p.Script {
 		fmt.Fprintf(&b, " %s=script[%d]", s, len(sc))
+	}
+	if p.CrashAppend > 0 {
+		fmt.Fprintf(&b, " crash@%d(%s)", p.CrashAppend, p.CrashMode)
 	}
 	b.WriteString("}")
 	return b.String()
@@ -214,6 +271,16 @@ func (f *Faults) Fire(site Site) bool {
 	visit := c.Visits
 	c.Visits++
 	fire := false
+	if site == SiteWALAppend && f.plan.CrashAppend > 0 {
+		// Scheduled process death: exactly the n-th append, unbudgeted.
+		if visit+1 == f.plan.CrashAppend {
+			c.Injected++
+			f.counts[site] = c
+			return true
+		}
+		f.counts[site] = c
+		return false
+	}
 	if script, ok := f.plan.Script[site]; ok && visit < uint64(len(script)) {
 		fire = script[visit]
 	} else if rate := f.plan.Rates[site]; rate > 0 {
@@ -251,6 +318,14 @@ func (f *Faults) Stats() Stats {
 
 // Plan returns the plan the injector was built from.
 func (f *Faults) Plan() Plan { return f.plan }
+
+// Hash01 maps (seed, site, visit) to a uniform float64 in [0, 1) — the
+// shared determinism backbone, exported so crash tooling (torn-write
+// lengths, bit-flip offsets, per-seed crash points) derives its choices
+// from the same scheme a printed plan replays.
+func Hash01(seed int64, site Site, visit uint64) float64 {
+	return hash01(seed, site, visit)
+}
 
 // hash01 maps (seed, site, visit) to a uniform float64 in [0, 1) via a
 // splitmix64 finalizer — the determinism backbone: no shared RNG whose

@@ -1,0 +1,45 @@
+package core
+
+import "pushpull/internal/spec"
+
+// LogHook observes the machine's global-log transitions — exactly the
+// rules that touch G (PUSH, UNPUSH, CMT) plus the abort/rollback mark —
+// at the moment each rule succeeds. It is the durability seam: a
+// write-ahead log attached here records the source of truth the
+// Push/Pull model already maintains, and nothing else (APP/UNAPP/PULL/
+// UNPULL are thread-local and reconstructible).
+//
+// Hook calls happen inside the rule, after the mutation commits to
+// (T, G), in rule-application order; whatever serializes the machine
+// (the trace.Recorder mutex, the cooperative scheduler) serializes the
+// hook too. Implementations must not call back into the machine.
+type LogHook interface {
+	// LogPush observes op entering G uncommitted (PUSH).
+	LogPush(tx uint64, name string, op spec.Op)
+	// LogUnpush observes op leaving G (UNPUSH).
+	LogUnpush(tx uint64, op spec.Op)
+	// LogCommit observes tx's entries flipping to gCmt with the given
+	// commit stamp (CMT).
+	LogCommit(tx uint64, name string, stamp uint64)
+	// LogAbort observes a completed whole-transaction rewind (the
+	// substrate-level abort mark; the per-entry UNPUSHes have already
+	// been reported individually).
+	LogAbort(tx uint64, name string)
+}
+
+// SetLogHook attaches (or, with nil, detaches) the global-log observer.
+// Attach before driving the machine; Clone does not carry the hook.
+func (m *Machine) SetLogHook(h LogHook) { m.hook = h }
+
+// LogHook returns the attached observer, if any.
+func (m *Machine) LogHook() LogHook { return m.hook }
+
+// Durable is a commit-path durability barrier. Substrates call it
+// after certification succeeds (the CMT record is in the log) and
+// before reporting the commit to the caller, so an acknowledged commit
+// is on stable storage under any sync policy stricter than "never".
+// A crashed log acks without syncing — post-crash activity is
+// non-durable by definition and recovery certifies the prefix.
+type Durable interface {
+	CommitBarrier() error
+}

@@ -151,6 +151,10 @@ type Machine struct {
 	commitStamp uint64
 	commits     []CommitRecord
 	events      []Event
+
+	// hook, when non-nil, observes global-log transitions (see LogHook).
+	// Deliberately not cloned: an exploration copy must not re-log.
+	hook LogHook
 }
 
 // NewMachine returns an empty machine over the given specification

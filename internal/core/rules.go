@@ -143,6 +143,9 @@ func (m *Machine) Push(t *Thread, i int) error {
 	t.Local[i].Flag = Pshd
 	m.global = append(m.global, GEntry{Op: op})
 	m.record(Event{Rule: RPush, Thread: t.ID, TxName: t.Name, Op: op})
+	if m.hook != nil {
+		m.hook.LogPush(t.ID, t.Name, op)
+	}
 	m.selfCheck()
 	return nil
 }
@@ -186,6 +189,9 @@ func (m *Machine) Unpush(t *Thread, i int) error {
 	m.global = append(m.global[:k:k], m.global[k+1:]...)
 	t.Local[i].Flag = Npshd
 	m.record(Event{Rule: RUnpush, Thread: t.ID, TxName: t.Name, Op: e.Op})
+	if m.hook != nil {
+		m.hook.LogUnpush(t.ID, e.Op)
+	}
 	m.selfCheck()
 	return nil
 }
@@ -323,6 +329,9 @@ func (m *Machine) Commit(t *Thread) (CommitRecord, error) {
 	t.Code = lang.Skip{}
 	t.Local = nil
 	m.record(Event{Rule: RCmt, Thread: t.ID, TxName: t.Name, Stamp: m.commitStamp})
+	if m.hook != nil {
+		m.hook.LogCommit(t.ID, t.Name, rec.Stamp)
+	}
 	m.selfCheck()
 	return rec, nil
 }
@@ -361,5 +370,8 @@ func (m *Machine) Abort(t *Thread) error {
 	t.Code = t.origCode
 	t.Stack = t.origStack.Clone()
 	m.record(Event{Rule: REnd, Thread: t.ID, TxName: t.Name})
+	if m.hook != nil {
+		m.hook.LogAbort(t.ID, t.Name)
+	}
 	return nil
 }

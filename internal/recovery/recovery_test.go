@@ -1,0 +1,181 @@
+package recovery
+
+import (
+	"strings"
+	"testing"
+
+	"pushpull/internal/adt"
+	"pushpull/internal/spec"
+	"pushpull/internal/wal"
+)
+
+func seg(recs ...wal.Record) []byte {
+	b := wal.SegmentHeader(0)
+	for _, r := range recs {
+		b = wal.Encode(b, r)
+	}
+	return b
+}
+
+func push(tx uint64, name string, id uint64, seq int, method string, args []int64, ret int64) wal.Record {
+	return wal.Record{Type: wal.TPush, Tx: tx, Name: name,
+		Op: spec.Op{ID: id, Tx: tx, Seq: seq, Obj: "mem", Method: method, Args: args, Ret: ret}}
+}
+
+func memReg() *spec.Registry {
+	reg := spec.NewRegistry()
+	reg.Register("mem", adt.Register{})
+	return reg
+}
+
+func TestRecoverCommittedPrefix(t *testing.T) {
+	image := seg(
+		push(1, "a", 10, 0, adt.MRead, []int64{0}, 0),
+		push(1, "a", 11, 1, adt.MWrite, []int64{0, 5}, 0),
+		wal.Record{Type: wal.TCommit, Tx: 1, Name: "a", Stamp: 1},
+		push(2, "b", 12, 0, adt.MRead, []int64{0}, 5),
+		wal.Record{Type: wal.TCommit, Tx: 2, Name: "b", Stamp: 2},
+	)
+	rep := Recover([][]byte{image})
+	if !rep.Ok() || rep.Truncated != nil {
+		t.Fatalf("clean image: %v", rep)
+	}
+	if len(rep.State.Txns) != 2 || rep.State.Txns[0].Name != "a" || rep.State.Txns[1].Name != "b" {
+		t.Fatalf("recovered %v", rep.State.Txns)
+	}
+	if err := Certify(rep.State, memReg()); err != nil {
+		t.Fatalf("certify: %v", err)
+	}
+}
+
+func TestRecoverDiscardsUncommittedAndHonorsAbort(t *testing.T) {
+	image := seg(
+		// Committed.
+		push(1, "a", 10, 0, adt.MWrite, []int64{0, 5}, 0),
+		wal.Record{Type: wal.TCommit, Tx: 1, Name: "a", Stamp: 1},
+		// Aborted: UNPUSHes then the mark.
+		push(2, "b", 11, 0, adt.MWrite, []int64{1, 9}, 0),
+		wal.Record{Type: wal.TUnpush, Tx: 2, OpID: 11},
+		wal.Record{Type: wal.TAbort, Tx: 2, Name: "b"},
+		// Pushed but never committed — the crash suffix.
+		push(3, "c", 12, 0, adt.MWrite, []int64{0, 7}, 0),
+	)
+	rep := Recover([][]byte{image})
+	if !rep.Ok() {
+		t.Fatalf("anomalies: %v", rep.Anomalies)
+	}
+	if len(rep.State.Txns) != 1 || rep.State.Txns[0].Name != "a" {
+		t.Fatalf("recovered %v", rep.State.Txns)
+	}
+	if rep.Discarded != 1 || rep.DiscardedOps != 1 {
+		t.Fatalf("discarded=%d ops=%d, want 1/1", rep.Discarded, rep.DiscardedOps)
+	}
+	if rep.AbortMarks != 1 {
+		t.Fatalf("abort marks: %d", rep.AbortMarks)
+	}
+	if err := Certify(rep.State, memReg()); err != nil {
+		t.Fatalf("certify: %v", err)
+	}
+}
+
+func TestRecoverThreadIDReuse(t *testing.T) {
+	// The cooperative model reuses thread IDs across transactions: a
+	// second transaction on tx=1 must not inherit the first's pending
+	// set.
+	image := seg(
+		push(1, "a", 10, 0, adt.MWrite, []int64{0, 1}, 0),
+		wal.Record{Type: wal.TCommit, Tx: 1, Name: "a", Stamp: 1},
+		push(1, "a2", 11, 0, adt.MWrite, []int64{0, 2}, 1),
+		wal.Record{Type: wal.TCommit, Tx: 1, Name: "a2", Stamp: 2},
+	)
+	rep := Recover([][]byte{image})
+	if len(rep.State.Txns) != 2 || len(rep.State.Txns[0].Ops) != 1 || len(rep.State.Txns[1].Ops) != 1 {
+		t.Fatalf("recovered %+v", rep.State.Txns)
+	}
+	if err := Certify(rep.State, memReg()); err != nil {
+		t.Fatalf("certify: %v", err)
+	}
+}
+
+func TestRecoverTruncatesCorruptTail(t *testing.T) {
+	image := seg(
+		push(1, "a", 10, 0, adt.MWrite, []int64{0, 5}, 0),
+		wal.Record{Type: wal.TCommit, Tx: 1, Name: "a", Stamp: 1},
+		push(2, "b", 11, 0, adt.MWrite, []int64{0, 6}, 5),
+		wal.Record{Type: wal.TCommit, Tx: 2, Name: "b", Stamp: 2},
+	)
+	for cut := 1; cut < 24; cut++ {
+		short := image[:len(image)-cut]
+		rep := Recover([][]byte{short})
+		// A cut landing exactly on a record boundary is a valid shorter
+		// log (no truncation to report); any other cut must be reported.
+		_, consumed, reason := wal.DecodeAll(short[wal.SegHeaderLen:])
+		if reason != nil && rep.Truncated == nil {
+			t.Fatalf("cut %d: no truncation reported", cut)
+		}
+		if reason == nil && consumed == len(short)-wal.SegHeaderLen && rep.Truncated != nil {
+			t.Fatalf("cut %d: spurious truncation: %v", cut, rep.Truncated)
+		}
+		if err := Certify(rep.State, memReg()); err != nil {
+			t.Fatalf("cut %d: recovered prefix fails certification: %v", cut, err)
+		}
+	}
+	// Corrupt a middle byte: recovery truncates there and ignores any
+	// later segments entirely.
+	mut := append([]byte(nil), image...)
+	mut[wal.SegHeaderLen+20] ^= 0xff
+	rep := Recover([][]byte{mut, seg()})
+	if rep.Truncated == nil {
+		t.Fatal("corrupt middle byte not reported")
+	}
+	if rep.SegmentsRead != 1 {
+		t.Fatalf("replay continued past the corruption: read %d segments", rep.SegmentsRead)
+	}
+	if err := Certify(rep.State, memReg()); err != nil {
+		t.Fatalf("certify after corruption: %v", err)
+	}
+}
+
+func TestRecoverFlagsAnomalies(t *testing.T) {
+	danglingUnpush := seg(wal.Record{Type: wal.TUnpush, Tx: 1, OpID: 99})
+	if rep := Recover([][]byte{danglingUnpush}); rep.Ok() {
+		t.Fatal("dangling UNPUSH not flagged")
+	}
+	stampRegress := seg(
+		wal.Record{Type: wal.TCommit, Tx: 1, Name: "a", Stamp: 5},
+		wal.Record{Type: wal.TCommit, Tx: 2, Name: "b", Stamp: 3},
+	)
+	rep := Recover([][]byte{stampRegress})
+	if rep.Ok() {
+		t.Fatal("stamp regression not flagged")
+	}
+	if !strings.Contains(rep.String(), "ANOMALIES") {
+		t.Fatalf("report hides anomalies: %s", rep)
+	}
+	badHeader := []byte("NOTAWAL!")
+	if rep := Recover([][]byte{badHeader}); rep.Truncated == nil || rep.SegmentsRead != 0 {
+		t.Fatalf("bad header accepted: %v", rep)
+	}
+}
+
+func TestReplayIsIdempotentOnHandBuiltLogs(t *testing.T) {
+	image := seg(
+		push(1, "a", 10, 0, adt.MWrite, []int64{0, 5}, 0),
+		wal.Record{Type: wal.TCommit, Tx: 1, Name: "a", Stamp: 1},
+		push(2, "b", 11, 0, adt.MRead, []int64{0}, 5),
+		wal.Record{Type: wal.TCommit, Tx: 2, Name: "b", Stamp: 2},
+		push(3, "c", 12, 0, adt.MWrite, []int64{0, 9}, 0), // crash suffix
+	)
+	once := Recover([][]byte{image})
+	twice := Recover([][]byte{image})
+	if !once.State.Equal(twice.State) {
+		t.Fatal("replaying the same image twice diverged")
+	}
+	fix := Recover(ReLog(once.State))
+	if !fix.Ok() || fix.Truncated != nil {
+		t.Fatalf("re-logged state does not replay cleanly: %v", fix)
+	}
+	if !fix.State.Equal(once.State) {
+		t.Fatalf("recover∘relog not a fixpoint:\n%+v\nvs\n%+v", fix.State.Txns, once.State.Txns)
+	}
+}

@@ -39,6 +39,15 @@ type ChaosResult struct {
 // survivor to make progress. Deadlock/livelock detection, per-driver
 // status snapshots, and error-path lock release match RunRandom.
 func RunChaos(m *core.Machine, drivers []strategy.Driver, seed int64, maxSteps int, inj chaos.Injector) (ChaosResult, error) {
+	return RunChaosDurable(m, drivers, seed, maxSteps, inj, nil)
+}
+
+// RunChaosDurable is RunChaos with a commit-path durability barrier:
+// after any scheduler step that lands a new CMT on the machine, the
+// barrier runs before the next thread is scheduled, so every commit
+// the model acknowledges to later transactions is on stable storage
+// first. Pass nil to disable.
+func RunChaosDurable(m *core.Machine, drivers []strategy.Driver, seed int64, maxSteps int, inj chaos.Injector, durable core.Durable) (ChaosResult, error) {
 	rng := rand.New(rand.NewSource(seed))
 	res := ChaosResult{}
 	last := make([]strategy.Status, len(drivers))
@@ -97,10 +106,14 @@ func RunChaos(m *core.Machine, drivers []strategy.Driver, seed int64, maxSteps i
 			blockedStreak = 0
 			continue
 		}
+		commitsBefore := len(m.Commits())
 		st, err := drivers[i].Step(m, rng)
 		last[i] = st
 		if err != nil {
 			return res, failWith(fmt.Errorf("sched: driver %s: %w", drivers[i].Name(), err), m, drivers, last)
+		}
+		if durable != nil && len(m.Commits()) > commitsBefore {
+			_ = durable.CommitBarrier()
 		}
 		if st == strategy.Blocked {
 			blockedStreak++

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 
 	"pushpull/internal/chaos"
+	"pushpull/internal/core"
 	"pushpull/internal/locks"
 	"pushpull/internal/skiplist"
 	"pushpull/internal/spec"
@@ -62,6 +63,9 @@ type Runtime struct {
 	// Retry, when non-nil, bounds retries and shapes backoff in Atomic;
 	// an exhausted budget returns ErrRetriesExhausted (wrapped).
 	Retry *chaos.RetryPolicy
+	// Durable, when non-nil, is the commit-path durability barrier:
+	// the write-ahead log is flushed before a commit is acknowledged.
+	Durable core.Durable
 
 	commits atomic.Uint64
 	aborts  atomic.Uint64
@@ -127,6 +131,9 @@ func (rt *Runtime) Atomic(name string, fn func(*Txn) error) error {
 				return fmt.Errorf("boost: commit certification failed: %w", rt.Recorder.Err())
 			}
 			rt.lm.ReleaseAll(t.owner)
+			if rt.Durable != nil {
+				_ = rt.Durable.CommitBarrier()
+			}
 			rt.commits.Add(1)
 			return nil
 		}

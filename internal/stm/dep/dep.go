@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"pushpull/internal/chaos"
+	"pushpull/internal/core"
 	"pushpull/internal/trace"
 )
 
@@ -86,6 +87,9 @@ type Memory struct {
 	// Retry, when non-nil, bounds retries and shapes backoff in Atomic;
 	// an exhausted budget returns ErrRetriesExhausted (wrapped).
 	Retry *chaos.RetryPolicy
+	// Durable, when non-nil, is the commit-path durability barrier:
+	// the write-ahead log is flushed before a commit is acknowledged.
+	Durable core.Durable
 
 	commits  atomic.Uint64
 	aborts   atomic.Uint64
@@ -236,6 +240,9 @@ func (m *Memory) Atomic(name string, fn func(*Tx) error) error {
 			err = m.commit(tx)
 		}
 		if err == nil {
+			if m.Durable != nil {
+				_ = m.Durable.CommitBarrier()
+			}
 			m.commits.Add(1)
 			return nil
 		}

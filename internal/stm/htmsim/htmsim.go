@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 
 	"pushpull/internal/chaos"
+	"pushpull/internal/core"
 	"pushpull/internal/trace"
 )
 
@@ -109,6 +110,9 @@ type HTM struct {
 	// Retry, when non-nil, shapes the backoff between speculative
 	// attempts in Atomic (the retry count itself stays MaxRetries).
 	Retry *chaos.RetryPolicy
+	// Durable, when non-nil, is the commit-path durability barrier:
+	// the write-ahead log is flushed before a commit is acknowledged.
+	Durable core.Durable
 
 	// fbLock serializes fallback execution against speculative commits
 	// (speculative commits hold it shared). fbEpoch is odd while a
@@ -141,6 +145,14 @@ func (h *HTM) Stats() Stats {
 }
 
 // ReadNoTx reads a word non-transactionally.
+// durableBarrier flushes the write-ahead log (when attached) so an
+// acknowledged commit is on stable storage.
+func (h *HTM) durableBarrier() {
+	if h.Durable != nil {
+		_ = h.Durable.CommitBarrier()
+	}
+}
+
 func (h *HTM) ReadNoTx(addr int) int64 { return h.values[addr].Load() }
 
 func (h *HTM) inject(site chaos.Site) bool {
@@ -372,6 +384,7 @@ func (h *HTM) TxnOnce(name string, fn func(*Tx) error) error {
 	}
 	tx.releaseOwnership()
 	if err == nil {
+		h.durableBarrier()
 		h.commits.Add(1)
 		return nil
 	}
@@ -438,6 +451,7 @@ func (h *HTM) runFallback(name string, fn func(*Tx) error) error {
 	for a, v := range tx.writes {
 		h.values[a].Store(v)
 	}
+	h.durableBarrier()
 	h.commits.Add(1)
 	return nil
 }
@@ -457,6 +471,7 @@ func (tx *Tx) Commit(name string) error {
 	err := tx.commit(name)
 	tx.releaseOwnership()
 	if err == nil {
+		tx.h.durableBarrier()
 		tx.h.commits.Add(1)
 		return nil
 	}
@@ -500,6 +515,7 @@ func (tx *Tx) EndFallback(commit bool) {
 		for a, v := range tx.writes {
 			tx.h.values[a].Store(v)
 		}
+		tx.h.durableBarrier()
 		tx.h.commits.Add(1)
 	}
 	tx.h.fbEpoch.Add(1)

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sync"
 
+	"pushpull/internal/core"
 	"pushpull/internal/stm/boost"
 	"pushpull/internal/stm/htmsim"
 )
@@ -48,6 +49,10 @@ type Runtime struct {
 	// HTMRetries bounds speculative replays of the HTM part before the
 	// whole hybrid transaction aborts and retries (default 16).
 	HTMRetries int
+	// Durable, when non-nil, is the commit-path durability barrier:
+	// the write-ahead log is flushed inside the serialized commit
+	// section, right after the shared session's CMT is certified.
+	Durable core.Durable
 	// DegradeAfter, when > 0, is the graceful-degradation threshold:
 	// after that many capacity aborts observed across commit sections the
 	// runtime stops speculating and runs every HTM section under the
@@ -166,6 +171,9 @@ func (rt *Runtime) commitHTM(name string, tx *Tx) error {
 						return fmt.Errorf("hybrid: commit certification failed")
 					}
 				}
+				if rt.Durable != nil {
+					_ = rt.Durable.CommitBarrier()
+				}
 				rt.statsMu.Lock()
 				rt.commits++
 				rt.htmReplays += uint64(attempt)
@@ -224,6 +232,9 @@ func (rt *Runtime) commitDegraded(tx *Tx) error {
 		}
 	}
 	htx.EndFallback(true)
+	if rt.Durable != nil {
+		_ = rt.Durable.CommitBarrier()
+	}
 	rt.statsMu.Lock()
 	rt.commits++
 	rt.degraded++

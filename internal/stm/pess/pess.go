@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"pushpull/internal/chaos"
+	"pushpull/internal/core"
 	"pushpull/internal/trace"
 )
 
@@ -61,6 +62,9 @@ type Memory struct {
 	// AtomicNamed; an exhausted budget returns ErrRetriesExhausted
 	// (wrapped).
 	Retry *chaos.RetryPolicy
+	// Durable, when non-nil, is the commit-path durability barrier:
+	// the write-ahead log is flushed before a commit is acknowledged.
+	Durable core.Durable
 
 	commits atomic.Uint64
 	aborts  atomic.Uint64
@@ -264,6 +268,9 @@ func (m *Memory) AtomicNamed(name string, fn func(*Tx) error) error {
 				return fmt.Errorf("pess: commit certification failed: %w", m.Recorder.Err())
 			}
 			tx.releaseAll()
+			if m.Durable != nil {
+				_ = m.Durable.CommitBarrier()
+			}
 			m.commits.Add(1)
 			return nil
 		}

@@ -609,3 +609,14 @@ func (r *Recorder) FinalCheck() error {
 
 // Machine exposes the shadow machine (for tests and reporting).
 func (r *Recorder) Machine() *core.Machine { return r.m }
+
+// AttachWAL installs a write-ahead hook on the shadow machine: every
+// certified global-log transition (PUSH, UNPUSH, CMT, rollback) is
+// logged at the moment the rule fires. The recorder's own mutex
+// serializes those transitions in real commit order, so the WAL's
+// record order is a faithful serialization witness.
+func (r *Recorder) AttachWAL(h core.LogHook) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m.SetLogHook(h)
+}

@@ -1,0 +1,83 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+
+	"pushpull/internal/spec"
+)
+
+// MachineHook adapts a Log to core.LogHook: attach it to a machine (or
+// a trace.Recorder's shadow machine) and every global-log transition is
+// written ahead. ErrCrashed is swallowed — after the simulated process
+// death the run's remaining activity is not durable by definition, and
+// recovery certifies the surviving prefix; any real I/O error is kept
+// and reported by Err.
+//
+// Abort marks are only written for transactions that actually published
+// something since they began: a rewind that never touched G has nothing
+// to undo in the recovered log.
+type MachineHook struct {
+	log *Log
+
+	mu     sync.Mutex
+	pushed map[uint64]bool // tx published something since its last CMT/abort
+	ioErr  error
+}
+
+// NewMachineHook wraps the log.
+func NewMachineHook(l *Log) *MachineHook {
+	return &MachineHook{log: l, pushed: make(map[uint64]bool)}
+}
+
+// Log returns the underlying write-ahead log.
+func (h *MachineHook) Log() *Log { return h.log }
+
+// Err returns the first real (non-crash) I/O error, if any.
+func (h *MachineHook) Err() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ioErr
+}
+
+func (h *MachineHook) append(r Record) {
+	if err := h.log.Append(r); err != nil && !errors.Is(err, ErrCrashed) {
+		h.mu.Lock()
+		if h.ioErr == nil {
+			h.ioErr = err
+		}
+		h.mu.Unlock()
+	}
+}
+
+// LogPush implements core.LogHook.
+func (h *MachineHook) LogPush(tx uint64, name string, op spec.Op) {
+	h.mu.Lock()
+	h.pushed[tx] = true
+	h.mu.Unlock()
+	h.append(Record{Type: TPush, Tx: tx, Name: name, Op: op})
+}
+
+// LogUnpush implements core.LogHook.
+func (h *MachineHook) LogUnpush(tx uint64, op spec.Op) {
+	h.append(Record{Type: TUnpush, Tx: tx, OpID: op.ID})
+}
+
+// LogCommit implements core.LogHook.
+func (h *MachineHook) LogCommit(tx uint64, name string, stamp uint64) {
+	h.mu.Lock()
+	delete(h.pushed, tx)
+	h.mu.Unlock()
+	h.append(Record{Type: TCommit, Tx: tx, Name: name, Stamp: stamp})
+}
+
+// LogAbort implements core.LogHook.
+func (h *MachineHook) LogAbort(tx uint64, name string) {
+	h.mu.Lock()
+	had := h.pushed[tx]
+	delete(h.pushed, tx)
+	h.mu.Unlock()
+	if had {
+		h.append(Record{Type: TAbort, Tx: tx, Name: name})
+	}
+}

@@ -1,0 +1,298 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"pushpull/internal/spec"
+)
+
+// The record format. Every record is framed
+//
+//	u32 payloadLen | u32 crc32c(payload) | payload
+//
+// (little-endian), and every segment opens with an 8-byte header
+//
+//	"PPWAL" | u8 version | u16 segment index
+//
+// The payload's first byte is the record type; the rest is the type's
+// fields in varint/length-prefixed encoding. The framing is what makes
+// recovery total: any byte stream decodes to a longest valid record
+// prefix plus a truncation point — a torn tail, a flipped bit, or
+// garbage all land in "truncate here", never in a panic.
+
+// Type discriminates WAL records. The three global-log transitions of
+// the Push/Pull model (PUSH, UNPUSH, CMT) plus the whole-transaction
+// abort mark substrates emit on rollback.
+type Type uint8
+
+// Record types.
+const (
+	// TPush logs an operation entering the global log uncommitted.
+	TPush Type = 1
+	// TUnpush logs an operation leaving the global log (rewind).
+	TUnpush Type = 2
+	// TCommit logs a transaction's entries flipping to committed, with
+	// its commit stamp — the serialization witness recovery replays in.
+	TCommit Type = 3
+	// TAbort logs a completed whole-transaction rollback (its UNPUSHes
+	// precede it individually).
+	TAbort Type = 4
+)
+
+func (t Type) String() string {
+	switch t {
+	case TPush:
+		return "PUSH"
+	case TUnpush:
+		return "UNPUSH"
+	case TCommit:
+		return "CMT"
+	case TAbort:
+		return "ABORT"
+	default:
+		return fmt.Sprintf("type%d", uint8(t))
+	}
+}
+
+// Record is one WAL entry.
+type Record struct {
+	Type Type
+	// Tx identifies the transaction (the machine thread id) in every
+	// record type.
+	Tx uint64
+	// Name is the transaction name (TPush and TCommit carry it so a
+	// recovered prefix reports human-readable identities).
+	Name string
+	// Op is the pushed operation (TPush only).
+	Op spec.Op
+	// OpID identifies the retracted operation (TUnpush only).
+	OpID uint64
+	// Stamp is the commit serial number (TCommit only).
+	Stamp uint64
+}
+
+func (r Record) String() string {
+	switch r.Type {
+	case TPush:
+		return fmt.Sprintf("PUSH tx=%d %q %v", r.Tx, r.Name, r.Op)
+	case TUnpush:
+		return fmt.Sprintf("UNPUSH tx=%d op#%d", r.Tx, r.OpID)
+	case TCommit:
+		return fmt.Sprintf("CMT tx=%d %q stamp=%d", r.Tx, r.Name, r.Stamp)
+	case TAbort:
+		return fmt.Sprintf("ABORT tx=%d %q", r.Tx, r.Name)
+	default:
+		return fmt.Sprintf("%s tx=%d", r.Type, r.Tx)
+	}
+}
+
+// Segment header constants.
+const (
+	segMagic     = "PPWAL"
+	segVersion   = 1
+	SegHeaderLen = len(segMagic) + 1 + 2 // magic + version + u16 index
+)
+
+// frameLen is the per-record framing overhead.
+const frameLen = 8
+
+// MaxRecordLen bounds a single record's payload; longer frames are
+// treated as corruption (an unchecked u32 length would otherwise let a
+// flipped bit demand gigabytes).
+const MaxRecordLen = 1 << 20
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// SegmentHeader renders the header for segment index.
+func SegmentHeader(index int) []byte {
+	h := make([]byte, 0, SegHeaderLen)
+	h = append(h, segMagic...)
+	h = append(h, segVersion)
+	h = binary.LittleEndian.AppendUint16(h, uint16(index))
+	return h
+}
+
+// CheckSegmentHeader validates a segment's opening bytes and returns
+// the declared index.
+func CheckSegmentHeader(data []byte) (index int, err error) {
+	if len(data) < SegHeaderLen {
+		return 0, errors.New("wal: short segment header")
+	}
+	if string(data[:len(segMagic)]) != segMagic {
+		return 0, errors.New("wal: bad segment magic")
+	}
+	if data[len(segMagic)] != segVersion {
+		return 0, fmt.Errorf("wal: unsupported segment version %d", data[len(segMagic)])
+	}
+	return int(binary.LittleEndian.Uint16(data[len(segMagic)+1:])), nil
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// Encode appends the record's framed bytes to b.
+func Encode(b []byte, r Record) []byte {
+	p := make([]byte, 0, 64)
+	p = append(p, byte(r.Type))
+	p = binary.AppendUvarint(p, r.Tx)
+	switch r.Type {
+	case TPush:
+		p = appendString(p, r.Name)
+		p = binary.AppendUvarint(p, r.Op.ID)
+		p = binary.AppendUvarint(p, uint64(r.Op.Seq))
+		p = appendString(p, r.Op.Obj)
+		p = appendString(p, r.Op.Method)
+		p = binary.AppendUvarint(p, uint64(len(r.Op.Args)))
+		for _, a := range r.Op.Args {
+			p = binary.AppendVarint(p, a)
+		}
+		p = binary.AppendVarint(p, r.Op.Ret)
+	case TUnpush:
+		p = binary.AppendUvarint(p, r.OpID)
+	case TCommit:
+		p = appendString(p, r.Name)
+		p = binary.AppendUvarint(p, r.Stamp)
+	case TAbort:
+		p = appendString(p, r.Name)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(p)))
+	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(p, crcTable))
+	return append(b, p...)
+}
+
+// decoder walks a payload, failing sticky on any overrun.
+type decoder struct {
+	b   []byte
+	bad bool
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.bad {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.bad = true
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.bad {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.bad = true
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.bad || n > uint64(len(d.b)) {
+		d.bad = true
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+// maxArgs bounds the declared argument count: the payload is already
+// length-capped, so any honest count fits; a corrupt one must not
+// trigger a huge allocation before the overrun check.
+const maxArgs = 1 << 16
+
+// decodePayload decodes one checksum-verified payload.
+func decodePayload(p []byte) (Record, error) {
+	if len(p) == 0 {
+		return Record{}, errors.New("wal: empty payload")
+	}
+	r := Record{Type: Type(p[0])}
+	d := &decoder{b: p[1:]}
+	r.Tx = d.uvarint()
+	switch r.Type {
+	case TPush:
+		r.Name = d.str()
+		r.Op.ID = d.uvarint()
+		r.Op.Seq = int(d.uvarint())
+		r.Op.Obj = d.str()
+		r.Op.Method = d.str()
+		n := d.uvarint()
+		if n > maxArgs {
+			return Record{}, fmt.Errorf("wal: absurd arg count %d", n)
+		}
+		if !d.bad && n > 0 {
+			r.Op.Args = make([]int64, n)
+			for i := range r.Op.Args {
+				r.Op.Args[i] = d.varint()
+			}
+		}
+		r.Op.Ret = d.varint()
+		r.Op.Tx = r.Tx
+	case TUnpush:
+		r.OpID = d.uvarint()
+	case TCommit:
+		r.Name = d.str()
+		r.Stamp = d.uvarint()
+	case TAbort:
+		r.Name = d.str()
+	default:
+		return Record{}, fmt.Errorf("wal: unknown record type %d", p[0])
+	}
+	if d.bad {
+		return Record{}, errors.New("wal: truncated payload")
+	}
+	if len(d.b) != 0 {
+		return Record{}, fmt.Errorf("wal: %d trailing payload bytes", len(d.b))
+	}
+	return r, nil
+}
+
+// DecodeAll decodes the longest valid record prefix of a segment body
+// (the bytes after the segment header). It returns the records, the
+// number of body bytes consumed, and a non-nil reason when a torn or
+// corrupt tail was truncated (nil means the body decoded exactly).
+// DecodeAll never fails: arbitrary input is a valid prefix plus a
+// truncation point.
+func DecodeAll(body []byte) (recs []Record, consumed int, reason error) {
+	off := 0
+	for {
+		rest := body[off:]
+		if len(rest) == 0 {
+			return recs, off, nil
+		}
+		if len(rest) < frameLen {
+			return recs, off, fmt.Errorf("wal: torn frame header (%d bytes) at offset %d", len(rest), off)
+		}
+		plen := binary.LittleEndian.Uint32(rest)
+		sum := binary.LittleEndian.Uint32(rest[4:])
+		if plen > MaxRecordLen {
+			return recs, off, fmt.Errorf("wal: frame length %d exceeds limit at offset %d", plen, off)
+		}
+		if uint64(frameLen)+uint64(plen) > uint64(len(rest)) {
+			return recs, off, fmt.Errorf("wal: torn record (want %d payload bytes, have %d) at offset %d",
+				plen, len(rest)-frameLen, off)
+		}
+		payload := rest[frameLen : frameLen+int(plen)]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return recs, off, fmt.Errorf("wal: checksum mismatch at offset %d", off)
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return recs, off, fmt.Errorf("wal: bad payload at offset %d: %w", off, err)
+		}
+		recs = append(recs, rec)
+		off += frameLen + int(plen)
+	}
+}

@@ -1,0 +1,447 @@
+// Package wal is the crash-durability layer: a segmented, checksummed,
+// append-only write-ahead log of the Push/Pull machine's global-log
+// transitions. PUSH, UNPUSH and CMT are the only rules that touch the
+// shared log G — the model's source of truth — so logging exactly those
+// (plus the substrate abort mark) is enough for internal/recovery to
+// rebuild a certified committed prefix after process death.
+//
+// Sync policies trade durability for throughput: per-record fsync, sync
+// at commit records, group/batched sync, or an unsynced fast path for
+// benchmarks. All of them recover to a serializable prefix; they differ
+// only in how much acknowledged work a crash may shed.
+//
+// Crashes are simulated, deterministically: a chaos.Faults injector is
+// consulted at chaos.SiteWALAppend on every append, and a firing kills
+// the "process" at exactly that append. What survives is the synced
+// prefix — optionally with a torn partial final record or a flipped bit
+// (chaos.CrashMode), both derived from the plan seed via chaos.Hash01 —
+// so every crash point in a sweep is replayable from a printed plan.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"pushpull/internal/chaos"
+)
+
+// ErrCrashed reports an append or sync against a log whose simulated
+// process has died. Callers in simulated-crash harnesses treat it as
+// "the rest of this run is not durable", not as a failure.
+var ErrCrashed = errors.New("wal: crashed (simulated process death)")
+
+// SyncPolicy selects when appended records become durable.
+type SyncPolicy int
+
+// Sync policies.
+const (
+	// SyncEveryRecord syncs after every append — maximal durability,
+	// one barrier per record.
+	SyncEveryRecord SyncPolicy = iota
+	// SyncOnCommit syncs when a TCommit record lands: the classic
+	// commit-durable policy (group members ahead of the commit ride the
+	// same barrier).
+	SyncOnCommit
+	// SyncGroup syncs every GroupEvery records — batched/group commit;
+	// CommitBarrier flushes the open batch.
+	SyncGroup
+	// SyncNever is the unsynced fast path for benchmarks: only segment
+	// rotation persists. A crash sheds the whole open segment.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncEveryRecord:
+		return "record"
+	case SyncOnCommit:
+		return "commit"
+	case SyncGroup:
+		return "group"
+	case SyncNever:
+		return "none"
+	default:
+		return "badpolicy"
+	}
+}
+
+// ParseSyncPolicy maps the String form back to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "record":
+		return SyncEveryRecord, nil
+	case "commit":
+		return SyncOnCommit, nil
+	case "group":
+		return SyncGroup, nil
+	case "none":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q", s)
+}
+
+// Options configure a Log.
+type Options struct {
+	// Dir, when non-empty, backs the log with real segment files
+	// (wal-NNNNN.seg); empty keeps the log in memory — the form the
+	// crash sweeps use, since the simulated crash controls exactly
+	// which bytes "reached disk" either way.
+	Dir string
+	// SegmentBytes rotates to a fresh segment past this size
+	// (default 64 KiB). Rotation always syncs the finished segment.
+	SegmentBytes int
+	// Policy is the sync policy (default SyncEveryRecord).
+	Policy SyncPolicy
+	// GroupEvery is the SyncGroup batch size (default 32 records).
+	GroupEvery int
+	// Chaos, when non-nil, drives simulated crashes: consulted at
+	// chaos.SiteWALAppend per append; plan CrashMode shapes the
+	// surviving image.
+	Chaos *chaos.Faults
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 10
+	}
+	if o.GroupEvery <= 0 {
+		o.GroupEvery = 32
+	}
+	return o
+}
+
+// segment is one log file (or in-memory image). buf always holds every
+// byte written, including the header; durable marks the synced prefix.
+type segment struct {
+	index   int
+	buf     []byte
+	durable int
+	file    *os.File
+}
+
+// Stats snapshots log activity.
+type Stats struct {
+	Appends  uint64
+	Syncs    uint64
+	Segments int
+	Bytes    int
+	Crashed  bool
+}
+
+// Log is the write-ahead log.
+type Log struct {
+	mu      sync.Mutex
+	opts    Options
+	segs    []*segment
+	appends uint64
+	syncs   uint64
+	pending int // records since last sync
+	crashed bool
+	ioErr   error
+}
+
+// Open creates a log. With Options.Dir set, fresh segment files are
+// created there (the directory must exist and be empty of wal-*.seg
+// files from this log's perspective — recovery reads them, the log does
+// not append to old ones).
+func Open(opts Options) (*Log, error) {
+	l := &Log{opts: opts.withDefaults()}
+	if err := l.rotate(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// MustOpen is Open for memory-backed options that cannot fail.
+func MustOpen(opts Options) *Log {
+	l, err := Open(opts)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// rotate syncs and closes the current segment and opens the next one.
+// Called with mu held (or before the log is shared).
+func (l *Log) rotate() error {
+	if cur := l.cur(); cur != nil {
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+		if cur.file != nil {
+			if err := cur.file.Close(); err != nil {
+				return err
+			}
+			cur.file = nil
+		}
+	}
+	seg := &segment{index: len(l.segs)}
+	hdr := SegmentHeader(seg.index)
+	seg.buf = append(seg.buf, hdr...)
+	if l.opts.Dir != "" {
+		f, err := os.OpenFile(l.segPath(seg.index), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(hdr); err != nil {
+			f.Close()
+			return err
+		}
+		seg.file = f
+	}
+	l.segs = append(l.segs, seg)
+	if err := l.syncLocked(); err != nil { // header is durable immediately
+		return err
+	}
+	return nil
+}
+
+func (l *Log) segPath(index int) string {
+	return filepath.Join(l.opts.Dir, fmt.Sprintf("wal-%05d.seg", index))
+}
+
+func (l *Log) cur() *segment {
+	if len(l.segs) == 0 {
+		return nil
+	}
+	return l.segs[len(l.segs)-1]
+}
+
+// Append frames, checksums and writes one record, then applies the sync
+// policy. It returns ErrCrashed once the simulated process has died —
+// nothing after that point is durable.
+func (l *Log) Append(r Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.crashed {
+		return ErrCrashed
+	}
+	if l.ioErr != nil {
+		return l.ioErr
+	}
+	encoded := Encode(nil, r)
+	l.appends++
+	if f := l.opts.Chaos; f != nil && f.Fire(chaos.SiteWALAppend) {
+		l.crashLocked(encoded)
+		return ErrCrashed
+	}
+	cur := l.cur()
+	cur.buf = append(cur.buf, encoded...)
+	if cur.file != nil {
+		if _, err := cur.file.Write(encoded); err != nil {
+			l.ioErr = err
+			return err
+		}
+	}
+	l.pending++
+	sync := false
+	switch l.opts.Policy {
+	case SyncEveryRecord:
+		sync = true
+	case SyncOnCommit:
+		sync = r.Type == TCommit
+	case SyncGroup:
+		sync = l.pending >= l.opts.GroupEvery
+	}
+	if sync {
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if len(cur.buf) >= l.opts.SegmentBytes {
+		if err := l.rotate(); err != nil {
+			l.ioErr = err
+			return err
+		}
+	}
+	return nil
+}
+
+// syncLocked makes every written byte durable. Called with mu held.
+func (l *Log) syncLocked() error {
+	cur := l.cur()
+	if cur == nil {
+		return nil
+	}
+	if cur.durable == len(cur.buf) {
+		return nil
+	}
+	if cur.file != nil {
+		if err := cur.file.Sync(); err != nil {
+			l.ioErr = err
+			return err
+		}
+	}
+	cur.durable = len(cur.buf)
+	l.pending = 0
+	l.syncs++
+	return nil
+}
+
+// Sync forces durability of everything appended so far.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.crashed {
+		return ErrCrashed
+	}
+	return l.syncLocked()
+}
+
+// CommitBarrier is the substrate commit-path durability hook: it blocks
+// until the records appended so far — the caller's CMT included — are
+// durable per the policy. Under SyncNever it acknowledges immediately
+// (the explicit fast path); under the batched policies it flushes the
+// open batch, so concurrent committers share one barrier. A crashed
+// log also acks immediately (see core.Durable).
+func (l *Log) CommitBarrier() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.crashed {
+		// The simulated process is dead; the experiment's remaining
+		// activity is non-durable by definition. Acking (rather than
+		// erroring) keeps substrates crash-agnostic — recovery certifies
+		// the durable prefix, not the post-crash tail.
+		return nil
+	}
+	if l.opts.Policy == SyncNever {
+		return nil
+	}
+	return l.syncLocked()
+}
+
+// crashLocked applies the simulated process death at the append whose
+// encoded bytes are in flight. The surviving image per CrashMode:
+//
+//	clean:   the synced prefix (record-aligned by construction);
+//	torn:    the synced prefix plus an arbitrary prefix of the unsynced
+//	         bytes including the in-flight record — a torn write;
+//	bitflip: the synced prefix with one bit flipped — latent corruption.
+//
+// Torn length and flip offset derive from the plan seed via Hash01, so
+// the whole post-crash image replays from the printed plan.
+func (l *Log) crashLocked(inflight []byte) {
+	l.crashed = true
+	cur := l.cur()
+	var plan chaos.Plan
+	if l.opts.Chaos != nil {
+		plan = l.opts.Chaos.Plan()
+	}
+	switch plan.CrashMode {
+	case chaos.CrashTorn:
+		lost := append(append([]byte(nil), cur.buf[cur.durable:]...), inflight...)
+		keep := int(chaos.Hash01(plan.Seed, "wal/torn", l.appends) * float64(len(lost)+1))
+		if keep > len(lost) {
+			keep = len(lost)
+		}
+		cur.buf = append(cur.buf[:cur.durable], lost[:keep]...)
+	case chaos.CrashBitflip:
+		cur.buf = cur.buf[:cur.durable]
+		// Flip within the current segment's durable image, past the
+		// header when possible (a corrupted header drops the whole
+		// segment, which recovery also survives, but the interesting
+		// case is a mid-log flip).
+		lo := SegHeaderLen
+		if len(cur.buf) <= lo {
+			lo = 0
+		}
+		if len(cur.buf) > lo {
+			span := (len(cur.buf) - lo) * 8
+			bit := int(chaos.Hash01(plan.Seed, "wal/bitflip", l.appends) * float64(span))
+			if bit >= span {
+				bit = span - 1
+			}
+			cur.buf[lo+bit/8] ^= 1 << (bit % 8)
+		}
+	default: // CrashClean
+		cur.buf = cur.buf[:cur.durable]
+	}
+	cur.durable = len(cur.buf)
+	if cur.file != nil {
+		// Mirror the surviving image onto the real file: truncate the
+		// lost suffix, rewrite the (possibly torn/flipped) tail.
+		cur.file.Close()
+		cur.file = nil
+		_ = os.WriteFile(l.segPath(cur.index), cur.buf, 0o644)
+	}
+}
+
+// Crashed reports whether the simulated process has died.
+func (l *Log) Crashed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.crashed
+}
+
+// Stats snapshots activity counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	bytes := 0
+	for _, s := range l.segs {
+		bytes += len(s.buf)
+	}
+	return Stats{Appends: l.appends, Syncs: l.syncs, Segments: len(l.segs),
+		Bytes: bytes, Crashed: l.crashed}
+}
+
+// Segments returns the on-"disk" image: every segment's surviving bytes
+// (header included), in index order. After a crash this is exactly what
+// recovery gets to work with; before one it is the full written image.
+func (l *Log) Segments() [][]byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([][]byte, len(l.segs))
+	for i, s := range l.segs {
+		if l.crashed {
+			out[i] = append([]byte(nil), s.buf[:s.durable]...)
+		} else {
+			out[i] = append([]byte(nil), s.buf...)
+		}
+	}
+	return out
+}
+
+// Close syncs and closes the log (no-op after a crash: the dead process
+// cannot flush).
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.crashed {
+		return nil
+	}
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	for _, s := range l.segs {
+		if s.file != nil {
+			if err := s.file.Close(); err != nil {
+				return err
+			}
+			s.file = nil
+		}
+	}
+	return nil
+}
+
+// ReadDir loads segment images from a directory of wal-*.seg files in
+// index order — the file-backed path into recovery.
+func ReadDir(dir string) ([][]byte, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		return nil, err
+	}
+	// Glob sorts lexically; zero-padded indices make that index order.
+	out := make([][]byte, 0, len(matches))
+	for _, m := range matches {
+		b, err := os.ReadFile(m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
