@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check race chaos-smoke chaos crash-smoke crash bench ci
+.PHONY: build test vet fmt-check race chaos-smoke chaos crash-smoke crash obs-smoke obs bench ci
 
 build:
 	$(GO) build ./...
@@ -40,7 +40,19 @@ crash-smoke:
 crash:
 	$(GO) run ./cmd/pushpull-crash
 
+# Observability smoke: an instrumented bench run plus a certified
+# chaos run with the metrics/span suite attached; fails on any leaked
+# span, unbalanced timeline, or empty Prometheus exposition.
+obs-smoke:
+	$(GO) test ./internal/bench/ -run 'TestObsSmoke|TestObsSnapshotConsistency' -v
+
+# The full instrumented sweep: 50 plan seeds per target, writes a
+# Prometheus metrics dump and a chrome://tracing timeline, non-zero
+# exit on any violation or leaked span.
+obs:
+	$(GO) run ./cmd/pushpull-obs -metrics metrics.prom -trace timeline.json
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-ci: test vet race chaos-smoke crash-smoke
+ci: test vet race chaos-smoke crash-smoke obs-smoke

@@ -8,6 +8,7 @@
 //	pushpull-chaos -seeds 100 -rate 0.15 # harder campaign
 //	pushpull-chaos -targets hybrid,model # subset
 //	pushpull-chaos -seed 7 -targets tl2 -v  # replay ONE failing plan
+//	pushpull-chaos -json                 # machine-readable outcomes on stdout
 //
 // Exit status is non-zero if any run had a serializability, invariant,
 // certification, or leak violation; the report prints the failing
@@ -32,6 +33,7 @@ func main() {
 	rate := flag.Float64("rate", 0.08, "reference per-site fault probability")
 	targetsFlag := flag.String("targets", "", "comma-separated targets (default: all)")
 	verbose := flag.Bool("v", false, "print every run's plan and fault tally")
+	jsonOut := flag.Bool("json", false, "emit the campaign summary as JSON instead of the text table")
 	flag.Parse()
 
 	// An explicit -seed with no explicit -seeds means "replay this one
@@ -60,9 +62,23 @@ func main() {
 	}
 	p = p.WithDefaults() // header shows the effective campaign, not raw flags
 
-	fmt.Printf("== chaos campaign: %d seeds x %v, rate %g ==\n",
-		p.Seeds, p.Targets, p.Rate)
+	if !*jsonOut {
+		fmt.Printf("== chaos campaign: %d seeds x %v, rate %g ==\n",
+			p.Seeds, p.Targets, p.Rate)
+	}
 	report, outcomes, err := bench.ChaosCampaign(p)
+	if *jsonOut {
+		b, jerr := bench.ChaosOutcomesJSON(outcomes)
+		if jerr != nil {
+			fmt.Fprintln(os.Stderr, jerr)
+			os.Exit(1)
+		}
+		fmt.Println(string(b))
+		if err != nil {
+			os.Exit(1)
+		}
+		return
+	}
 	if *verbose {
 		for _, o := range outcomes {
 			status := "ok"

@@ -10,6 +10,7 @@
 //	pushpull-crash                        # 50-seed sweep, all targets
 //	pushpull-crash -targets hybrid,model  # subset
 //	pushpull-crash -seed 7 -targets tl2   # replay ONE failing plan
+//	pushpull-crash -json                  # machine-readable outcomes on stdout
 //
 // Exit status is non-zero if any run failed — a live-run certification
 // violation or a recovery failure; the report prints the failing
@@ -34,6 +35,7 @@ func main() {
 	rate := flag.Float64("rate", 0.08, "reference per-site fault probability (crash plans run at half)")
 	targetsFlag := flag.String("targets", "", "comma-separated targets (default: all)")
 	verbose := flag.Bool("v", false, "print every run's plan, policy, and recovery tally")
+	jsonOut := flag.Bool("json", false, "emit the campaign summary as JSON instead of the text table")
 	flag.Parse()
 
 	// An explicit -seed with no explicit -seeds means "replay this one
@@ -62,8 +64,22 @@ func main() {
 	}
 	p = p.WithDefaults() // header shows the effective campaign, not raw flags
 
-	fmt.Printf("== crash campaign: %d seeds x %v ==\n", p.Seeds, p.Targets)
+	if !*jsonOut {
+		fmt.Printf("== crash campaign: %d seeds x %v ==\n", p.Seeds, p.Targets)
+	}
 	report, outcomes, err := bench.CrashCampaign(p)
+	if *jsonOut {
+		b, jerr := bench.CrashOutcomesJSON(outcomes)
+		if jerr != nil {
+			fmt.Fprintln(os.Stderr, jerr)
+			os.Exit(1)
+		}
+		fmt.Println(string(b))
+		if err != nil {
+			os.Exit(1)
+		}
+		return
+	}
 	if *verbose {
 		for _, o := range outcomes {
 			status := "ok"

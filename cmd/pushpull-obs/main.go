@@ -1,0 +1,147 @@
+// Command pushpull-obs runs any bench or chaos target with the
+// observability suite attached: every rule transition of the
+// certifying shadow machines streams into the metrics aggregator and
+// the span tracker, and the run ends with a Prometheus-text metrics
+// dump, an optional Chrome-trace timeline, and a span leak check
+// (every BEGIN must have its matching CMT/ABORT pop).
+//
+//	pushpull-obs                               # chaos sweep, all targets
+//	pushpull-obs -targets tl2,model -seeds 10  # subset
+//	pushpull-obs -mode crash                   # crash campaign (adds WAL sync latency)
+//	pushpull-obs -mode bench -targets tl2      # instrumented throughput run
+//	pushpull-obs -trace timeline.json          # write chrome://tracing timeline
+//	pushpull-obs -metrics metrics.prom         # write metrics there instead of stdout
+//	pushpull-obs -http 127.0.0.1:8080          # serve /debug/pushpull + pprof during the run
+//
+// Exit status is non-zero if any run had a violation or any span
+// leaked.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"pushpull/internal/bench"
+	"pushpull/internal/obs"
+)
+
+func main() {
+	mode := flag.String("mode", "chaos", "what to run: chaos | crash | bench")
+	seeds := flag.Int("seeds", 50, "plan seeds per target (chaos/crash modes)")
+	baseSeed := flag.Int64("seed", 1, "first plan seed")
+	threads := flag.Int("threads", 4, "worker threads / drivers per run")
+	ops := flag.Int("ops", 40, "transactions per worker")
+	keys := flag.Int("keys", 16, "key range (fewer = hotter)")
+	rate := flag.Float64("rate", 0.08, "reference per-site fault probability (chaos/crash modes)")
+	readPct := flag.Int("readpct", 30, "read-only transaction percentage (bench mode)")
+	targetsFlag := flag.String("targets", "", "comma-separated targets (default: all for the mode)")
+	metricsOut := flag.String("metrics", "", "write the Prometheus-text metrics dump to this file (default stdout)")
+	traceOut := flag.String("trace", "", "write the Chrome trace_event timeline (chrome://tracing) to this file")
+	httpAddr := flag.String("http", "", "serve /debug/pushpull, /debug/pushpull/json and /debug/pprof on this address during the run")
+	flag.Parse()
+
+	var targets []string
+	if *targetsFlag != "" {
+		for _, t := range strings.Split(*targetsFlag, ",") {
+			targets = append(targets, strings.TrimSpace(t))
+		}
+	}
+
+	suite := obs.New()
+	suite.Metrics.PublishExpvar("pushpull")
+	if *httpAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, suite.Metrics.Handler()); err != nil {
+				fmt.Fprintf(os.Stderr, "pushpull-obs: http: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "serving http://%s/debug/pushpull\n", *httpAddr)
+	}
+
+	var runErr error
+	switch *mode {
+	case "chaos", "crash":
+		p := bench.ChaosParams{
+			Targets: targets, Seeds: *seeds, BaseSeed: *baseSeed,
+			Threads: *threads, OpsEach: *ops, Keys: *keys, Rate: *rate,
+			Obs: suite,
+		}
+		p = p.WithDefaults()
+		var report string
+		if *mode == "chaos" {
+			report, _, runErr = bench.ChaosCampaign(p)
+		} else {
+			report, _, runErr = bench.CrashCampaign(p)
+		}
+		fmt.Fprintln(os.Stderr, report)
+	case "bench":
+		if targets == nil {
+			targets = bench.SubstrateNames()
+		}
+		for _, target := range targets {
+			res, err := bench.RunSubstrate(bench.SubstrateParams{
+				Substrate: target, Threads: *threads, OpsEach: *ops,
+				Keys: *keys, ReadPct: *readPct, Seed: *baseSeed, Obs: suite,
+			})
+			if err != nil {
+				runErr = fmt.Errorf("bench %s: %w", target, err)
+				break
+			}
+			fmt.Fprintf(os.Stderr, "bench %-7s commits=%d aborts=%d txn/s=%.0f %s\n",
+				target, res.Commits, res.Aborts, res.Throughput(), res.Extra)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "pushpull-obs: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	// The metrics dump: Prometheus text to the named file or stdout.
+	mw := os.Stdout
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		mw = f
+	}
+	if err := suite.Metrics.WritePrometheus(mw); err != nil {
+		fatal(err)
+	}
+	if *metricsOut != "" {
+		fmt.Fprintf(os.Stderr, "metrics: %s\n", *metricsOut)
+	}
+
+	// The timeline: load the file in chrome://tracing or Perfetto.
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := suite.Spans.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "timeline: %s (%d spans, %d rows dropped)\n",
+			*traceOut, suite.Spans.Completed(), suite.Spans.Dropped())
+	}
+
+	if err := suite.LeakCheck(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "spans: %d completed, 0 leaked\n", suite.Spans.Completed())
+	if runErr != nil {
+		fatal(runErr)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

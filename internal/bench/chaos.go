@@ -11,6 +11,7 @@ import (
 	"pushpull/internal/chaos"
 	"pushpull/internal/core"
 	"pushpull/internal/lang"
+	"pushpull/internal/obs"
 	"pushpull/internal/sched"
 	"pushpull/internal/serial"
 	"pushpull/internal/spec"
@@ -45,6 +46,11 @@ type ChaosParams struct {
 	// ahead, and the substrate's commit path flushes it before
 	// acknowledging. Crash campaigns (RunCrashOne) set this.
 	WAL *wal.Log
+	// Obs, when non-nil, streams the run into the observability suite:
+	// every rule transition of the certifying shadow machine (or the
+	// model machine), chaos injections, retry draws, scheduler
+	// stalls/kills, and — on crash runs — WAL sync latency.
+	Obs *obs.Suite
 }
 
 func (p ChaosParams) WithDefaults() ChaosParams {
@@ -223,12 +229,42 @@ func registerReg() (*spec.Registry, *trace.Recorder) {
 	return reg, trace.NewRecorder(reg)
 }
 
+// wireObs attaches the observability suite to one run's seams: the
+// certifying recorder (site-labelled rule stream), the fault injector
+// (injections by site), and the retry policy (depth/exhaustion). Nil
+// suite means zero wiring — the uninstrumented paths are untouched.
+func wireObs(p ChaosParams, rec *trace.Recorder, site string, inj *chaos.Faults, retry *chaos.RetryPolicy) {
+	if p.Obs == nil {
+		return
+	}
+	if rec != nil {
+		rec.SetSite(site)
+		rec.AttachSink(p.Obs)
+	}
+	if inj != nil {
+		inj.SetObserver(func(s chaos.Site) { p.Obs.Metrics.FaultFired(string(s)) })
+	}
+	if retry != nil {
+		retry.OnRetry = p.Obs.Metrics.RetryObserved
+	}
+}
+
+// schedObserver avoids the typed-nil interface trap when no suite is
+// attached.
+func schedObserver(p ChaosParams) sched.Observer {
+	if p.Obs == nil {
+		return nil
+	}
+	return p.Obs.Metrics
+}
+
 // runChaosWords drives the word substrates (tl2/pess/htmsim/dep) with
 // the shared read-modify-write workload under injection, certified.
 func runChaosWords(target string, seed int64, p ChaosParams, inj *chaos.Faults, out *ChaosOutcome) error {
 	_, rec := registerReg()
 	hook := attachWAL(rec, p)
 	retry := chaos.Default(seed)
+	wireObs(p, rec, target, inj, retry)
 	var gaveUp atomic.Uint64
 
 	var atomicRMW func(addr int, readOnly bool, yield int) error
@@ -323,6 +359,7 @@ func runChaosBoost(seed int64, p ChaosParams, inj *chaos.Faults, out *ChaosOutco
 	rt.Recorder = trace.NewRecorder(reg)
 	hook := attachWAL(rt.Recorder, p)
 	rt.Injector, rt.Retry = inj, chaos.Default(seed)
+	wireObs(p, rt.Recorder, "boost", inj, rt.Retry)
 	rt.Durable = durableOf(p)
 	ht := boost.NewMap(rt, "ht", seed)
 	var gaveUp atomic.Uint64
@@ -366,6 +403,7 @@ func runChaosHybrid(seed int64, p ChaosParams, inj *chaos.Faults, out *ChaosOutc
 	b.Recorder = trace.NewRecorder(reg)
 	hook := attachWAL(b.Recorder, p)
 	b.Injector, b.Retry = inj, chaos.Default(seed)
+	wireObs(p, b.Recorder, "hybrid", inj, b.Retry)
 	b.Durable = durableOf(p)
 	h := htmsim.New(16)
 	h.Name = "htm"
@@ -446,6 +484,12 @@ func runChaosModel(seed int64, p ChaosParams, inj *chaos.Faults, out *ChaosOutco
 	env := strategy.NewEnv()
 	rng := rand.New(rand.NewSource(seed))
 	cfg := strategy.Config{Retry: chaos.Default(seed)}
+	if p.Obs != nil {
+		m.SetSite("model")
+		m.AddEventSink(p.Obs)
+		cfg.Retry.OnRetry = p.Obs.Metrics.RetryObserved
+		inj.SetObserver(func(s chaos.Site) { p.Obs.Metrics.FaultFired(string(s)) })
+	}
 	kinds := []string{"boosting", "optimistic", "dependent", "matveev"}
 
 	var drivers []strategy.Driver
@@ -464,7 +508,7 @@ func runChaosModel(seed int64, p ChaosParams, inj *chaos.Faults, out *ChaosOutco
 		drivers = append(drivers, d)
 	}
 
-	res, err := sched.RunChaosDurable(m, drivers, seed, 400_000, inj, durableOf(p))
+	res, err := sched.RunChaosObserved(m, drivers, seed, 400_000, inj, durableOf(p), schedObserver(p))
 	out.Kills, out.Stalls = res.Kills, res.Stalls
 	for _, d := range drivers {
 		st := d.Stats()

@@ -125,7 +125,11 @@ func RunCrashOne(target string, seed int64, p ChaosParams) CrashOutcome {
 	plan := CrashPlanFor(target, seed, p)
 	inj := plan.Injector()
 	pol := CrashPolicyFor(seed)
-	log := wal.MustOpen(wal.Options{Policy: pol, GroupEvery: 8, SegmentBytes: 8 << 10, Chaos: inj})
+	opts := wal.Options{Policy: pol, GroupEvery: 8, SegmentBytes: 8 << 10, Chaos: inj}
+	if p.Obs != nil {
+		opts.SyncObserver = p.Obs.Metrics.WALSyncObserved
+	}
+	log := wal.MustOpen(opts)
 	p.WAL = log
 
 	out := CrashOutcome{Target: target, Seed: seed, Plan: plan.String(), Policy: pol}

@@ -1,0 +1,86 @@
+package bench
+
+import "encoding/json"
+
+// This file is the machine-readable campaign summary: the -json flag
+// of cmd/pushpull-chaos and cmd/pushpull-crash renders outcomes as one
+// JSON document instead of the text table, with error values flattened
+// to strings (an error is a verdict here, not a resumable value).
+
+// ChaosOutcomeJSON mirrors ChaosOutcome with the error stringified.
+type ChaosOutcomeJSON struct {
+	Target   string `json:"target"`
+	Seed     int64  `json:"seed"`
+	Plan     string `json:"plan"`
+	Faults   uint64 `json:"faults_injected"`
+	Commits  uint64 `json:"commits"`
+	Aborts   uint64 `json:"aborts"`
+	GaveUp   uint64 `json:"gave_up"`
+	Degraded uint64 `json:"degraded,omitempty"`
+	Kills    int    `json:"kills,omitempty"`
+	Stalls   int    `json:"stalls,omitempty"`
+	Halted   bool   `json:"halted,omitempty"`
+	Err      string `json:"err,omitempty"`
+}
+
+// ChaosOutcomesJSON renders a chaos campaign's outcomes as an indented
+// JSON array.
+func ChaosOutcomesJSON(outcomes []ChaosOutcome) ([]byte, error) {
+	out := make([]ChaosOutcomeJSON, len(outcomes))
+	for i, o := range outcomes {
+		out[i] = ChaosOutcomeJSON{
+			Target: o.Target, Seed: o.Seed, Plan: o.Plan,
+			Faults:  o.Faults.TotalInjected(),
+			Commits: o.Commits, Aborts: o.Aborts, GaveUp: o.GaveUp,
+			Degraded: o.Degraded, Kills: o.Kills, Stalls: o.Stalls,
+			Halted: o.Halted,
+		}
+		if o.Err != nil {
+			out[i].Err = o.Err.Error()
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// CrashOutcomeJSON mirrors CrashOutcome with errors stringified and
+// the raw segment images summarized to a byte count.
+type CrashOutcomeJSON struct {
+	Target       string `json:"target"`
+	Seed         int64  `json:"seed"`
+	Plan         string `json:"plan"`
+	Policy       string `json:"policy"`
+	Crashed      bool   `json:"crashed"`
+	Commits      uint64 `json:"commits"`
+	Recovered    int    `json:"recovered"`
+	Discarded    int    `json:"discarded"`
+	Truncated    bool   `json:"truncated"`
+	DurableBytes int    `json:"durable_bytes"`
+	RunErr       string `json:"run_err,omitempty"`
+	CertErr      string `json:"cert_err,omitempty"`
+}
+
+// CrashOutcomesJSON renders a crash campaign's outcomes as an indented
+// JSON array.
+func CrashOutcomesJSON(outcomes []CrashOutcome) ([]byte, error) {
+	out := make([]CrashOutcomeJSON, len(outcomes))
+	for i, o := range outcomes {
+		bytes := 0
+		for _, seg := range o.Segments {
+			bytes += len(seg)
+		}
+		out[i] = CrashOutcomeJSON{
+			Target: o.Target, Seed: o.Seed, Plan: o.Plan,
+			Policy: o.Policy.String(), Crashed: o.Crashed,
+			Commits: o.Commits, Recovered: o.Recovered,
+			Discarded: o.Discarded, Truncated: o.Truncated,
+			DurableBytes: bytes,
+		}
+		if o.RunErr != nil {
+			out[i].RunErr = o.RunErr.Error()
+		}
+		if o.CertErr != nil {
+			out[i].CertErr = o.CertErr.Error()
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -7,11 +7,15 @@ import (
 	"sync"
 	"time"
 
+	"pushpull/internal/adt"
+	"pushpull/internal/obs"
+	"pushpull/internal/spec"
 	"pushpull/internal/stm/boost"
 	"pushpull/internal/stm/dep"
 	"pushpull/internal/stm/htmsim"
 	"pushpull/internal/stm/pess"
 	"pushpull/internal/stm/tl2"
+	"pushpull/internal/trace"
 )
 
 // SubstrateParams configures one real-substrate throughput run.
@@ -27,6 +31,12 @@ type SubstrateParams struct {
 	// exercise contention under GOMAXPROCS=1, where short transactions
 	// otherwise run to completion unpreempted.
 	Yield int
+	// Obs, when non-nil, instruments the run: a certifying shadow-
+	// machine recorder is attached and its rule stream (site-labelled
+	// with the substrate name) feeds the suite. This puts the recorder
+	// on the measured path — use it for observability runs, not raw
+	// throughput baselines (nil leaves the bench path untouched).
+	Obs *obs.Suite
 }
 
 // SubstrateResult reports a substrate run. Commits/Aborts are the
@@ -82,9 +92,12 @@ func RunSubstrate(p SubstrateParams) (SubstrateResult, error) {
 		return time.Since(start)
 	}
 
+	rec := benchRecorder(p)
+
 	switch p.Substrate {
 	case "tl2":
 		m := tl2.New(p.Keys)
+		m.Recorder = rec
 		d := run(func(g, i int, rng *rand.Rand) error {
 			addr := rng.Intn(p.Keys)
 			read := rng.Intn(100) < p.ReadPct
@@ -98,10 +111,11 @@ func RunSubstrate(p SubstrateParams) (SubstrateResult, error) {
 			})
 		})
 		st := m.Stats()
-		return SubstrateResult{Params: p, Commits: st.Commits, Aborts: st.Aborts, Duration: d}, nil
+		return finishSub(SubstrateResult{Params: p, Commits: st.Commits, Aborts: st.Aborts, Duration: d}, rec)
 
 	case "pess":
 		m := pess.New(p.Keys)
+		m.Recorder = rec
 		d := run(func(g, i int, rng *rand.Rand) error {
 			addr := rng.Intn(p.Keys)
 			read := rng.Intn(100) < p.ReadPct
@@ -115,10 +129,11 @@ func RunSubstrate(p SubstrateParams) (SubstrateResult, error) {
 			})
 		})
 		st := m.Stats()
-		return SubstrateResult{Params: p, Commits: st.Commits, Aborts: st.Aborts, Duration: d}, nil
+		return finishSub(SubstrateResult{Params: p, Commits: st.Commits, Aborts: st.Aborts, Duration: d}, rec)
 
 	case "boost":
 		rt := boost.NewRuntime()
+		rt.Recorder = rec
 		ht := boost.NewMap(rt, "ht", p.Seed)
 		d := run(func(g, i int, rng *rand.Rand) error {
 			key := int64(rng.Intn(p.Keys))
@@ -137,10 +152,11 @@ func RunSubstrate(p SubstrateParams) (SubstrateResult, error) {
 			})
 		})
 		st := rt.Stats()
-		return SubstrateResult{Params: p, Commits: st.Commits, Aborts: st.Aborts, Duration: d}, nil
+		return finishSub(SubstrateResult{Params: p, Commits: st.Commits, Aborts: st.Aborts, Duration: d}, rec)
 
 	case "htmsim":
 		h := htmsim.New(p.Keys)
+		h.Recorder = rec
 		d := run(func(g, i int, rng *rand.Rand) error {
 			addr := rng.Intn(p.Keys)
 			read := rng.Intn(100) < p.ReadPct
@@ -154,12 +170,13 @@ func RunSubstrate(p SubstrateParams) (SubstrateResult, error) {
 			})
 		})
 		st := h.Stats()
-		return SubstrateResult{Params: p, Commits: st.Commits,
+		return finishSub(SubstrateResult{Params: p, Commits: st.Commits,
 			Aborts: st.ConflictAborts + st.CapacityAborts,
-			Extra:  fmt.Sprintf("fallbacks=%d", st.Fallbacks), Duration: d}, nil
+			Extra:  fmt.Sprintf("fallbacks=%d", st.Fallbacks), Duration: d}, rec)
 
 	case "dep":
 		m := dep.New(p.Keys)
+		m.Recorder = rec
 		d := run(func(g, i int, rng *rand.Rand) error {
 			addr := rng.Intn(p.Keys)
 			read := rng.Intn(100) < p.ReadPct
@@ -173,12 +190,41 @@ func RunSubstrate(p SubstrateParams) (SubstrateResult, error) {
 			})
 		})
 		st := m.Stats()
-		return SubstrateResult{Params: p, Commits: st.Commits, Aborts: st.Aborts,
-			Extra: fmt.Sprintf("cascades=%d", st.Cascades), Duration: d}, nil
+		return finishSub(SubstrateResult{Params: p, Commits: st.Commits, Aborts: st.Aborts,
+			Extra: fmt.Sprintf("cascades=%d", st.Cascades), Duration: d}, rec)
 
 	default:
 		return SubstrateResult{}, fmt.Errorf("bench: unknown substrate %q", p.Substrate)
 	}
+}
+
+// benchRecorder builds the certifying recorder an instrumented bench
+// run attaches; nil without a suite, so the raw bench path stays
+// recorder-free.
+func benchRecorder(p SubstrateParams) *trace.Recorder {
+	if p.Obs == nil {
+		return nil
+	}
+	reg := spec.NewRegistry()
+	if p.Substrate == "boost" {
+		reg.Register("ht", adt.Map{})
+	} else {
+		reg.Register("mem", adt.Register{})
+	}
+	rec := trace.NewRecorder(reg)
+	rec.SetSite(p.Substrate)
+	rec.AttachSink(p.Obs)
+	return rec
+}
+
+// finishSub appends the certification verdict of an instrumented run.
+func finishSub(res SubstrateResult, rec *trace.Recorder) (SubstrateResult, error) {
+	if rec != nil {
+		if err := rec.FinalCheck(); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
 }
 
 func tx2val(v int64, present bool, err error) (int64, bool, error) { return v, present, err }

@@ -249,9 +249,20 @@ func (s Stats) String() string {
 
 // Faults is the concurrency-safe deterministic Injector a Plan builds.
 type Faults struct {
-	mu     sync.Mutex
-	plan   Plan
-	counts map[Site]SiteCount
+	mu       sync.Mutex
+	plan     Plan
+	counts   map[Site]SiteCount
+	observer func(Site)
+}
+
+// SetObserver installs a callback invoked once per injected fault with
+// the firing site — the telemetry seam (injection decisions are
+// unchanged; determinism is untouched). The callback runs under the
+// injector's mutex and must not call back into it. Set before the run.
+func (f *Faults) SetObserver(fn func(Site)) {
+	f.mu.Lock()
+	f.observer = fn
+	f.mu.Unlock()
 }
 
 // NewInjector builds the plan's injector.
@@ -276,6 +287,9 @@ func (f *Faults) Fire(site Site) bool {
 		if visit+1 == f.plan.CrashAppend {
 			c.Injected++
 			f.counts[site] = c
+			if f.observer != nil {
+				f.observer(site)
+			}
 			return true
 		}
 		f.counts[site] = c
@@ -293,6 +307,9 @@ func (f *Faults) Fire(site Site) bool {
 	}
 	if fire {
 		c.Injected++
+		if f.observer != nil {
+			f.observer(site)
+		}
 	}
 	f.counts[site] = c
 	return fire

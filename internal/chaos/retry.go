@@ -37,6 +37,11 @@ type RetryPolicy struct {
 	Jitter float64
 	// Seed feeds the jitter hash.
 	Seed int64
+	// OnRetry, when set, observes every budget draw: attempt number n
+	// (1-based) and whether the budget allowed it (false = the
+	// transaction gives up with ErrRetriesExhausted). The telemetry
+	// seam for retry-depth histograms; set before sharing the policy.
+	OnRetry func(n int, allowed bool)
 
 	draws atomic.Uint64
 }
@@ -56,10 +61,14 @@ func Unlimited(seed int64) *RetryPolicy {
 // Allow reports whether retry number n (1-based: the n-th re-attempt)
 // is within budget. A nil policy allows everything.
 func (p *RetryPolicy) Allow(n int) bool {
-	if p == nil || p.MaxRetries < 0 {
+	if p == nil {
 		return true
 	}
-	return n <= p.MaxRetries
+	ok := p.MaxRetries < 0 || n <= p.MaxRetries
+	if p.OnRetry != nil {
+		p.OnRetry(n, ok)
+	}
+	return ok
 }
 
 // Yields returns the backoff, in scheduler yields, before retry n

@@ -6,6 +6,9 @@ import "fmt"
 type Rule int
 
 // Rules. RBegin/REnd bracket transactions (MS_SELECT context / MS_END).
+// RAbort is the whole-transaction rewind mark delivered to LogHook and
+// EventSink subscribers (the recorded event trace keeps its historical
+// END mark for aborts; see Machine.Abort).
 const (
 	RApp Rule = iota
 	RUnapp
@@ -16,11 +19,13 @@ const (
 	RCmt
 	RBegin
 	REnd
+	RAbort
 )
 
 var ruleNames = map[Rule]string{
 	RApp: "APP", RUnapp: "UNAPP", RPush: "PUSH", RUnpush: "UNPUSH",
 	RPull: "PULL", RUnpull: "UNPULL", RCmt: "CMT", RBegin: "BEGIN", REnd: "END",
+	RAbort: "ABORT",
 }
 
 func (r Rule) String() string { return ruleNames[r] }

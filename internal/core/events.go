@@ -40,6 +40,7 @@ func (m *Machine) record(e Event) {
 	if m.opts.RecordEvents {
 		m.events = append(m.events, e)
 	}
+	m.dispatch(e)
 }
 
 // Events returns the recorded rule-application trace.

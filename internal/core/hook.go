@@ -29,6 +29,11 @@ type LogHook interface {
 
 // SetLogHook attaches (or, with nil, detaches) the global-log observer.
 // Attach before driving the machine; Clone does not carry the hook.
+//
+// The hook is one subscriber of the machine's single per-rule dispatch
+// point (see EventSink): it always fires first, before any registered
+// sink, so the write-ahead log and derived telemetry observe rule
+// transitions in one agreed total order.
 func (m *Machine) SetLogHook(h LogHook) { m.hook = h }
 
 // LogHook returns the attached observer, if any.

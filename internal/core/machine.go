@@ -155,6 +155,12 @@ type Machine struct {
 	// hook, when non-nil, observes global-log transitions (see LogHook).
 	// Deliberately not cloned: an exploration copy must not re-log.
 	hook LogHook
+	// sinks observe every rule transition (see EventSink); like the
+	// hook, they are not cloned. sinkSeq is the dispatch sequence
+	// number; site labels this machine's sink events.
+	sinks   []EventSink
+	sinkSeq uint64
+	site    string
 }
 
 // NewMachine returns an empty machine over the given specification
@@ -379,6 +385,7 @@ func (m *Machine) Clone() *Machine {
 		baseSet:     m.baseSet,
 		nextThread:  m.nextThread,
 		commitStamp: m.commitStamp,
+		site:        m.site,
 	}
 	c.commits = append(c.commits, m.commits...)
 	if m.opts.RecordEvents {

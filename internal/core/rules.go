@@ -143,9 +143,6 @@ func (m *Machine) Push(t *Thread, i int) error {
 	t.Local[i].Flag = Pshd
 	m.global = append(m.global, GEntry{Op: op})
 	m.record(Event{Rule: RPush, Thread: t.ID, TxName: t.Name, Op: op})
-	if m.hook != nil {
-		m.hook.LogPush(t.ID, t.Name, op)
-	}
 	m.selfCheck()
 	return nil
 }
@@ -189,9 +186,6 @@ func (m *Machine) Unpush(t *Thread, i int) error {
 	m.global = append(m.global[:k:k], m.global[k+1:]...)
 	t.Local[i].Flag = Npshd
 	m.record(Event{Rule: RUnpush, Thread: t.ID, TxName: t.Name, Op: e.Op})
-	if m.hook != nil {
-		m.hook.LogUnpush(t.ID, e.Op)
-	}
 	m.selfCheck()
 	return nil
 }
@@ -329,9 +323,6 @@ func (m *Machine) Commit(t *Thread) (CommitRecord, error) {
 	t.Code = lang.Skip{}
 	t.Local = nil
 	m.record(Event{Rule: RCmt, Thread: t.ID, TxName: t.Name, Stamp: m.commitStamp})
-	if m.hook != nil {
-		m.hook.LogCommit(t.ID, t.Name, rec.Stamp)
-	}
 	m.selfCheck()
 	return rec, nil
 }
@@ -369,9 +360,13 @@ func (m *Machine) Abort(t *Thread) error {
 	t.active = false
 	t.Code = t.origCode
 	t.Stack = t.origStack.Clone()
-	m.record(Event{Rule: REnd, Thread: t.ID, TxName: t.Name})
-	if m.hook != nil {
-		m.hook.LogAbort(t.ID, t.Name)
+	// The recorded event trace keeps its historical END mark for aborts
+	// (trace consumers treat END as scan terminators); subscribers get
+	// the distinguished ABORT transition — Retire's END is not an abort,
+	// and span trackers pair every BEGIN with exactly one CMT or ABORT.
+	if m.opts.RecordEvents {
+		m.events = append(m.events, Event{Rule: REnd, Thread: t.ID, TxName: t.Name})
 	}
+	m.dispatch(Event{Rule: RAbort, Thread: t.ID, TxName: t.Name})
 	return nil
 }

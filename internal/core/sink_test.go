@@ -1,0 +1,173 @@
+package core_test
+
+import (
+	"testing"
+
+	"pushpull/internal/core"
+	"pushpull/internal/spec"
+)
+
+// tapSink records every delivered event, optionally interleaved with a
+// shared ordering journal so tests can assert cross-subscriber firing
+// order.
+type tapSink struct {
+	name    string
+	events  []core.SinkEvent
+	journal *[]string
+}
+
+func (s *tapSink) Emit(e core.SinkEvent) {
+	s.events = append(s.events, e)
+	if s.journal != nil {
+		*s.journal = append(*s.journal, s.name+":"+e.Rule.String())
+	}
+}
+
+// journalHook implements core.LogHook against the same shared journal.
+type journalHook struct {
+	journal *[]string
+}
+
+func (h *journalHook) LogPush(tx uint64, name string, op spec.Op) {
+	*h.journal = append(*h.journal, "wal:PUSH")
+}
+func (h *journalHook) LogUnpush(tx uint64, op spec.Op) {
+	*h.journal = append(*h.journal, "wal:UNPUSH")
+}
+func (h *journalHook) LogCommit(tx uint64, name string, stamp uint64) {
+	*h.journal = append(*h.journal, "wal:CMT")
+}
+func (h *journalHook) LogAbort(tx uint64, name string) {
+	*h.journal = append(*h.journal, "wal:ABORT")
+}
+
+func TestSinkSeesEveryRuleTransition(t *testing.T) {
+	m := testMachine(t)
+	sink := &tapSink{}
+	m.SetSite("core-test")
+	m.AddEventSink(sink)
+
+	th := m.Spawn("t1")
+	begin(t, m, th, `tx a { ht.put(1, 7); v := ht.get(1); }`)
+	appOne(t, m, th)
+	appOne(t, m, th)
+	pushAll(t, m, th)
+	if _, err := m.Commit(th); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []core.Rule{core.RBegin, core.RApp, core.RApp, core.RPush, core.RPush, core.RCmt}
+	if len(sink.events) != len(want) {
+		t.Fatalf("sink saw %d events, want %d: %v", len(sink.events), len(want), sink.events)
+	}
+	for i, e := range sink.events {
+		if e.Rule != want[i] {
+			t.Fatalf("event %d rule = %v, want %v", i, e.Rule, want[i])
+		}
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d seq = %d, want %d (monotonic from 1)", i, e.Seq, i+1)
+		}
+		if e.Site != "core-test" {
+			t.Fatalf("event %d site = %q", i, e.Site)
+		}
+		if e.TxName != "a" {
+			t.Fatalf("event %d txname = %q", i, e.TxName)
+		}
+	}
+	if sink.events[5].Stamp == 0 {
+		t.Fatal("CMT event carries no commit stamp")
+	}
+	if sink.events[3].Op.Obj != "ht" {
+		t.Fatalf("PUSH event op = %v", sink.events[3].Op)
+	}
+}
+
+func TestSinkAbortMark(t *testing.T) {
+	m := testMachine(t)
+	sink := &tapSink{}
+	m.AddEventSink(sink)
+
+	th := m.Spawn("t1")
+	begin(t, m, th, `tx a { ctr.inc(); }`)
+	appOne(t, m, th)
+	pushAll(t, m, th)
+	if err := m.Abort(th); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []core.Rule{core.RBegin, core.RApp, core.RPush, core.RUnpush, core.RUnapp, core.RAbort}
+	var got []core.Rule
+	for _, e := range sink.events {
+		got = append(got, e.Rule)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("sink rules = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sink rules = %v, want %v", got, want)
+		}
+	}
+	// The recorded event trace keeps the historical END mark for aborts.
+	events := m.Events()
+	if last := events[len(events)-1].Rule; last != core.REnd {
+		t.Fatalf("recorded trace ends with %v, want END", last)
+	}
+}
+
+// TestSinkFiringOrder is the double-instrumentation regression test:
+// the LogHook (WAL subscriber) must observe every G-mutating rule
+// before any registered sink does, from one dispatch point, so the WAL
+// and the metrics layer can never disagree on rule entry ordering.
+func TestSinkFiringOrder(t *testing.T) {
+	m := testMachine(t)
+	var journal []string
+	m.SetLogHook(&journalHook{journal: &journal})
+	m.AddEventSink(&tapSink{name: "m1", journal: &journal})
+	m.AddEventSink(&tapSink{name: "m2", journal: &journal})
+
+	th := m.Spawn("t1")
+	begin(t, m, th, `tx a { ctr.inc(); }`)
+	appOne(t, m, th)
+	pushAll(t, m, th)
+	if _, err := m.Commit(th); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []string{
+		"m1:BEGIN", "m2:BEGIN",
+		"m1:APP", "m2:APP",
+		"wal:PUSH", "m1:PUSH", "m2:PUSH",
+		"wal:CMT", "m1:CMT", "m2:CMT",
+	}
+	if len(journal) != len(want) {
+		t.Fatalf("journal = %v, want %v", journal, want)
+	}
+	for i := range want {
+		if journal[i] != want[i] {
+			t.Fatalf("journal[%d] = %q, want %q (full: %v)", i, journal[i], want[i], journal)
+		}
+	}
+}
+
+func TestSinkNotCloned(t *testing.T) {
+	m := testMachine(t)
+	sink := &tapSink{}
+	m.AddEventSink(sink)
+	m.SetSite("orig")
+
+	c := m.Clone()
+	if n := len(c.Sinks()); n != 0 {
+		t.Fatalf("clone carried %d sinks; exploration copies must not re-emit", n)
+	}
+	if c.Site() != "orig" {
+		t.Fatalf("clone site = %q, want %q", c.Site(), "orig")
+	}
+
+	th := c.Spawn("t1")
+	begin(t, c, th, `tx a { ctr.inc(); }`)
+	appOne(t, c, th)
+	if len(sink.events) != 0 {
+		t.Fatalf("clone re-emitted %d events into the original sink", len(sink.events))
+	}
+}

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (v0.0.4): counters for totals, classic cumulative
+// histograms for the latency/depth distributions. Only the standard
+// library is involved — the format is plain text.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	return writeProm(w, m.Snapshot())
+}
+
+func writeProm(w io.Writer, s Snapshot) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	p("# HELP pushpull_uptime_seconds Seconds since the metrics suite was created.\n")
+	p("# TYPE pushpull_uptime_seconds gauge\n")
+	p("pushpull_uptime_seconds %g\n", s.UptimeSeconds)
+
+	p("# HELP pushpull_rule_transitions_total Push/Pull rule applications by rule.\n")
+	p("# TYPE pushpull_rule_transitions_total counter\n")
+	for _, rule := range sortedKeys(s.Rules) {
+		p("pushpull_rule_transitions_total{rule=%q} %d\n", rule, s.Rules[rule])
+	}
+
+	p("# HELP pushpull_commits_total Committed transaction attempts by substrate site.\n")
+	p("# TYPE pushpull_commits_total counter\n")
+	for _, site := range sortedSiteKeys(s.Sites) {
+		p("pushpull_commits_total{site=%q} %d\n", site, s.Sites[site].Commits)
+	}
+	p("# HELP pushpull_aborts_total Aborted transaction attempts by substrate site.\n")
+	p("# TYPE pushpull_aborts_total counter\n")
+	for _, site := range sortedSiteKeys(s.Sites) {
+		p("pushpull_aborts_total{site=%q} %d\n", site, s.Sites[site].Aborts)
+	}
+	p("# HELP pushpull_begins_total Transaction attempts begun by substrate site.\n")
+	p("# TYPE pushpull_begins_total counter\n")
+	for _, site := range sortedSiteKeys(s.Sites) {
+		p("pushpull_begins_total{site=%q} %d\n", site, s.Sites[site].Begins)
+	}
+
+	p("# HELP pushpull_faults_injected_total Chaos injections by fault site (the abort-cause taxonomy).\n")
+	p("# TYPE pushpull_faults_injected_total counter\n")
+	for _, site := range sortedKeys(s.Faults) {
+		p("pushpull_faults_injected_total{site=%q} %d\n", site, s.Faults[site])
+	}
+
+	p("# HELP pushpull_retries_exhausted_total Retry-budget exhaustions (controlled give-ups).\n")
+	p("# TYPE pushpull_retries_exhausted_total counter\n")
+	p("pushpull_retries_exhausted_total %d\n", s.GaveUp)
+	p("# HELP pushpull_sched_stalls_total Injected scheduler stalls.\n")
+	p("# TYPE pushpull_sched_stalls_total counter\n")
+	p("pushpull_sched_stalls_total %d\n", s.SchedStalls)
+	p("# HELP pushpull_sched_kills_total Injected mid-transaction driver kills.\n")
+	p("# TYPE pushpull_sched_kills_total counter\n")
+	p("pushpull_sched_kills_total %d\n", s.SchedKills)
+	p("# HELP pushpull_live_txns Transaction attempts currently between BEGIN and CMT/ABORT.\n")
+	p("# TYPE pushpull_live_txns gauge\n")
+	p("pushpull_live_txns %d\n", s.LiveTxns)
+
+	promHist(p, "pushpull_retry_depth", "Retry attempt number per retry-policy draw.", s.RetryDepth, 1)
+	promHist(p, "pushpull_push_to_commit_seconds", "Latency from an attempt's first PUSH to its CMT.", s.PushToCmtNs, 1e9)
+	promHist(p, "pushpull_pull_fanin", "PULLed foreign operations per finished attempt.", s.PullFanIn, 1)
+	promHist(p, "pushpull_wal_sync_seconds", "Write-ahead log sync latency.", s.WALSyncNs, 1e9)
+	return err
+}
+
+// promHist renders one classic cumulative histogram; scale divides the
+// raw int64 observations into the exported unit (1e9 for ns→s).
+func promHist(p func(string, ...any), name, help string, h HistogramSnapshot, scale float64) {
+	p("# HELP %s %s\n", name, help)
+	p("# TYPE %s histogram\n", name)
+	var cum uint64
+	for i, b := range h.Bounds {
+		cum += h.Counts[i]
+		p("%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", float64(b)/scale), cum)
+	}
+	cum += h.Counts[len(h.Bounds)]
+	p("%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	p("%s_sum %g\n", name, float64(h.Sum)/scale)
+	p("%s_count %d\n", name, h.Count)
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedSiteKeys(m map[string]SiteSnapshot) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PublishExpvar registers the live snapshot under the given expvar name
+// (default "pushpull" when empty), so the stock /debug/vars endpoint
+// carries it. Re-publishing an already-taken name is a no-op — expvar
+// panics on duplicates, and campaign code may build several suites.
+func (m *Metrics) PublishExpvar(name string) {
+	if name == "" {
+		name = "pushpull"
+	}
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+}

@@ -1,0 +1,35 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the debug surface:
+//
+//	/debug/pushpull        Prometheus text exposition
+//	/debug/pushpull/json   the Snapshot as JSON
+//	/debug/pprof/...       the standard runtime profiles
+//
+// It is mounted only when a command is started with its -http flag —
+// the observability endpoint is opt-in, never ambient.
+func (m *Metrics) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pushpull", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = m.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pushpull/json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(m.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,376 @@
+// Package metrics aggregates rule-level telemetry from the Push/Pull
+// machine's EventSink seam into lock-striped counters and bounded
+// histograms, with an atomic snapshot API and Prometheus-text/expvar
+// exporters.
+//
+// One Metrics instance serves a whole campaign: every substrate's
+// shadow machine (and the cooperative model machine) emits SinkEvents
+// tagged with its site name, so per-substrate counts fall out of the
+// same stream. The non-machine seams — scheduler stalls/kills, chaos
+// injections, retry policy draws, WAL sync latency — feed in through
+// small structural callbacks (SchedStall/SchedKill, FaultFired,
+// RetryObserved, WALSyncObserved), keeping this package free of
+// dependencies on sched/chaos/wal.
+//
+// Hot-path discipline: rule counters are striped across cache-line
+// padded atomics indexed by transaction id, so concurrent emitters
+// (different recorders, or the goroutine substrates behind one
+// recorder mutex) do not contend on one line. Histograms are fixed
+// arrays of atomics. The only locks are per-stripe maps for live
+// per-transaction state (PUSH→CMT latency, PULL fan-in) and the lazy
+// per-site registry.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pushpull/internal/core"
+)
+
+// nRules covers RApp..RAbort.
+const nRules = int(core.RAbort) + 1
+
+// stripes is the counter fan-out; power of two so the index is a mask.
+const stripes = 16
+
+// padded keeps each stripe on its own cache line.
+type padded struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// counter is a lock-striped monotonic counter.
+type counter struct {
+	v [stripes]padded
+}
+
+func (c *counter) add(stripe uint64) { c.v[stripe&(stripes-1)].n.Add(1) }
+
+// Add increments the counter on the stripe derived from key.
+func (c *counter) Add(key uint64) { c.add(key) }
+
+// Load sums the stripes. Concurrent adds may or may not be included —
+// the snapshot guarantee is per-counter monotonicity, not cross-counter
+// simultaneity.
+func (c *counter) Load() uint64 {
+	var s uint64
+	for i := range c.v {
+		s += c.v[i].n.Load()
+	}
+	return s
+}
+
+// Histogram is a bounded histogram: fixed ascending upper bounds plus
+// an overflow bucket, all atomics.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Uint64 // len(bounds)+1; last is overflow
+	count  atomic.Uint64
+	sum    atomic.Int64
+}
+
+// NewHistogram builds a histogram over ascending upper bounds.
+func NewHistogram(bounds []int64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// ExpBounds returns n doubling bounds starting at lo: lo, 2lo, 4lo, ...
+func ExpBounds(lo int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = lo
+		lo *= 2
+	}
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// HistogramSnapshot is a plain-value copy of a histogram.
+type HistogramSnapshot struct {
+	Bounds []int64  `json:"bounds"`
+	Counts []uint64 `json:"counts"` // len(Bounds)+1; last is overflow
+	Count  uint64   `json:"count"`
+	Sum    int64    `json:"sum"`
+}
+
+// Snapshot copies the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// siteCounters is the per-substrate tally.
+type siteCounters struct {
+	begins  atomic.Uint64
+	commits atomic.Uint64
+	aborts  atomic.Uint64
+}
+
+// txKey identifies one live transaction attempt.
+type txKey struct {
+	site string
+	tx   uint64
+}
+
+// txState is the live per-attempt telemetry (reset by CMT/ABORT).
+type txState struct {
+	firstPush time.Time
+	pulls     int64
+}
+
+// txShard is one stripe of the live-transaction map.
+type txShard struct {
+	mu sync.Mutex
+	m  map[txKey]*txState
+}
+
+// Metrics is the campaign-wide aggregate. The zero value is not usable;
+// call New.
+type Metrics struct {
+	start time.Time
+
+	rules   [nRules]counter
+	commits counter
+	aborts  counter
+
+	retryDepth *Histogram // retry attempt number per draw
+	gaveUp     counter    // retry-budget exhaustions
+	pushToCmt  *Histogram // first-PUSH→CMT latency, ns
+	pullFanIn  *Histogram // PULLs per committed/aborted attempt
+	walSync    *Histogram // WAL sync latency, ns
+	stalls     counter    // injected scheduler stalls
+	kills      counter    // injected scheduler kills
+
+	txs [stripes]txShard
+
+	sitesMu sync.RWMutex
+	sites   map[string]*siteCounters
+
+	faultsMu sync.Mutex
+	faults   map[string]uint64 // chaos site → injections observed
+}
+
+// New returns an empty Metrics with the default bucket layouts:
+// latencies 1µs..~8s doubling, retry depth 1..64, fan-in 1..256.
+func New() *Metrics {
+	return &Metrics{
+		start:      time.Now(),
+		retryDepth: NewHistogram(ExpBounds(1, 7)),
+		pushToCmt:  NewHistogram(ExpBounds(1000, 24)),
+		pullFanIn:  NewHistogram(ExpBounds(1, 9)),
+		walSync:    NewHistogram(ExpBounds(1000, 24)),
+		sites:      make(map[string]*siteCounters),
+		faults:     make(map[string]uint64),
+	}
+}
+
+func (m *Metrics) site(name string) *siteCounters {
+	m.sitesMu.RLock()
+	s := m.sites[name]
+	m.sitesMu.RUnlock()
+	if s != nil {
+		return s
+	}
+	m.sitesMu.Lock()
+	defer m.sitesMu.Unlock()
+	if s = m.sites[name]; s == nil {
+		s = &siteCounters{}
+		m.sites[name] = s
+	}
+	return s
+}
+
+func (m *Metrics) shard(k txKey) *txShard {
+	return &m.txs[k.tx&(stripes-1)]
+}
+
+// Emit implements core.EventSink: one rule transition.
+func (m *Metrics) Emit(e core.SinkEvent) {
+	r := int(e.Rule)
+	if r < 0 || r >= nRules {
+		return
+	}
+	m.rules[r].add(e.Tx)
+	k := txKey{site: e.Site, tx: e.Tx}
+	switch e.Rule {
+	case core.RBegin:
+		m.site(e.Site).begins.Add(1)
+	case core.RPull:
+		sh := m.shard(k)
+		sh.mu.Lock()
+		if sh.m == nil {
+			sh.m = make(map[txKey]*txState)
+		}
+		st := sh.m[k]
+		if st == nil {
+			st = &txState{}
+			sh.m[k] = st
+		}
+		st.pulls++
+		sh.mu.Unlock()
+	case core.RPush:
+		sh := m.shard(k)
+		sh.mu.Lock()
+		if sh.m == nil {
+			sh.m = make(map[txKey]*txState)
+		}
+		st := sh.m[k]
+		if st == nil {
+			st = &txState{}
+			sh.m[k] = st
+		}
+		if st.firstPush.IsZero() {
+			st.firstPush = time.Now()
+		}
+		sh.mu.Unlock()
+	case core.RCmt:
+		m.commits.add(e.Tx)
+		m.site(e.Site).commits.Add(1)
+		m.finish(k, true)
+	case core.RAbort:
+		m.aborts.add(e.Tx)
+		m.site(e.Site).aborts.Add(1)
+		m.finish(k, false)
+	}
+}
+
+// finish closes the live state for one attempt, observing its latency
+// and fan-in.
+func (m *Metrics) finish(k txKey, committed bool) {
+	sh := m.shard(k)
+	sh.mu.Lock()
+	st := sh.m[k]
+	delete(sh.m, k)
+	sh.mu.Unlock()
+	if st == nil {
+		return
+	}
+	if committed && !st.firstPush.IsZero() {
+		m.pushToCmt.Observe(time.Since(st.firstPush).Nanoseconds())
+	}
+	m.pullFanIn.Observe(st.pulls)
+}
+
+// SchedStall observes one injected scheduler stall (sched.Observer).
+func (m *Metrics) SchedStall() { m.stalls.add(0) }
+
+// SchedKill observes one injected mid-transaction driver kill
+// (sched.Observer).
+func (m *Metrics) SchedKill(driver string) { m.kills.add(0) }
+
+// FaultFired observes one chaos injection at the named fault site — the
+// abort-cause taxonomy (chaos.Faults observer, via a string adapter).
+func (m *Metrics) FaultFired(site string) {
+	m.faultsMu.Lock()
+	m.faults[site]++
+	m.faultsMu.Unlock()
+}
+
+// RetryObserved observes one retry-budget draw: attempt number n,
+// allowed=false meaning the budget is exhausted (chaos.RetryPolicy
+// OnRetry signature).
+func (m *Metrics) RetryObserved(n int, allowed bool) {
+	m.retryDepth.Observe(int64(n))
+	if !allowed {
+		m.gaveUp.add(uint64(n))
+	}
+}
+
+// WALSyncObserved observes one WAL sync duration (wal.Options
+// SyncObserver signature).
+func (m *Metrics) WALSyncObserved(d time.Duration) {
+	m.walSync.Observe(d.Nanoseconds())
+}
+
+// Snapshot is a plain-value copy of every aggregate. Each counter is
+// internally consistent (monotonic); the snapshot as a whole is taken
+// without stopping writers, so cross-counter sums may be mid-update by
+// a few events — the race-detector-clean trade the striped design buys.
+type Snapshot struct {
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Rules         map[string]uint64 `json:"rules"`
+	Commits       uint64            `json:"commits"`
+	Aborts        uint64            `json:"aborts"`
+	GaveUp        uint64            `json:"gave_up"`
+	SchedStalls   uint64            `json:"sched_stalls"`
+	SchedKills    uint64            `json:"sched_kills"`
+	LiveTxns      int               `json:"live_txns"`
+
+	Sites  map[string]SiteSnapshot `json:"sites"`
+	Faults map[string]uint64       `json:"faults"`
+
+	RetryDepth  HistogramSnapshot `json:"retry_depth"`
+	PushToCmtNs HistogramSnapshot `json:"push_to_cmt_ns"`
+	PullFanIn   HistogramSnapshot `json:"pull_fan_in"`
+	WALSyncNs   HistogramSnapshot `json:"wal_sync_ns"`
+}
+
+// SiteSnapshot is one substrate's tally.
+type SiteSnapshot struct {
+	Begins  uint64 `json:"begins"`
+	Commits uint64 `json:"commits"`
+	Aborts  uint64 `json:"aborts"`
+}
+
+// Snapshot copies the current aggregates.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Rules:         make(map[string]uint64, nRules),
+		Commits:       m.commits.Load(),
+		Aborts:        m.aborts.Load(),
+		GaveUp:        m.gaveUp.Load(),
+		SchedStalls:   m.stalls.Load(),
+		SchedKills:    m.kills.Load(),
+		Sites:         make(map[string]SiteSnapshot),
+		Faults:        make(map[string]uint64),
+		RetryDepth:    m.retryDepth.Snapshot(),
+		PushToCmtNs:   m.pushToCmt.Snapshot(),
+		PullFanIn:     m.pullFanIn.Snapshot(),
+		WALSyncNs:     m.walSync.Snapshot(),
+	}
+	for r := 0; r < nRules; r++ {
+		if n := m.rules[r].Load(); n > 0 {
+			s.Rules[core.Rule(r).String()] = n
+		}
+	}
+	m.sitesMu.RLock()
+	for name, c := range m.sites {
+		s.Sites[name] = SiteSnapshot{
+			Begins:  c.begins.Load(),
+			Commits: c.commits.Load(),
+			Aborts:  c.aborts.Load(),
+		}
+	}
+	m.sitesMu.RUnlock()
+	m.faultsMu.Lock()
+	for site, n := range m.faults {
+		s.Faults[site] = n
+	}
+	m.faultsMu.Unlock()
+	for i := range m.txs {
+		sh := &m.txs[i]
+		sh.mu.Lock()
+		s.LiveTxns += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return s
+}

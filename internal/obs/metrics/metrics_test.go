@@ -1,0 +1,223 @@
+package metrics_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pushpull/internal/core"
+	"pushpull/internal/obs/metrics"
+)
+
+// emitTxn streams one whole attempt (BEGIN..CMT/ABORT) into m.
+func emitTxn(m *metrics.Metrics, site string, tx uint64, pulls int, commit bool) {
+	m.Emit(core.SinkEvent{Rule: core.RBegin, Site: site, Tx: tx})
+	for i := 0; i < pulls; i++ {
+		m.Emit(core.SinkEvent{Rule: core.RPull, Site: site, Tx: tx})
+	}
+	m.Emit(core.SinkEvent{Rule: core.RApp, Site: site, Tx: tx})
+	m.Emit(core.SinkEvent{Rule: core.RPush, Site: site, Tx: tx})
+	end := core.RCmt
+	if !commit {
+		end = core.RAbort
+	}
+	m.Emit(core.SinkEvent{Rule: end, Site: site, Tx: tx})
+}
+
+func TestCountersAndSnapshot(t *testing.T) {
+	m := metrics.New()
+	emitTxn(m, "tl2", 1, 2, true)
+	emitTxn(m, "tl2", 2, 0, false)
+	emitTxn(m, "boost", 3, 1, true)
+
+	s := m.Snapshot()
+	if s.Commits != 2 || s.Aborts != 1 {
+		t.Fatalf("commits=%d aborts=%d, want 2/1", s.Commits, s.Aborts)
+	}
+	if s.Rules["BEGIN"] != 3 || s.Rules["PULL"] != 3 || s.Rules["PUSH"] != 3 {
+		t.Fatalf("rule counts: %v", s.Rules)
+	}
+	if s.Sites["tl2"].Commits != 1 || s.Sites["tl2"].Aborts != 1 || s.Sites["tl2"].Begins != 2 {
+		t.Fatalf("tl2 site: %+v", s.Sites["tl2"])
+	}
+	if s.Sites["boost"].Commits != 1 {
+		t.Fatalf("boost site: %+v", s.Sites["boost"])
+	}
+	if s.LiveTxns != 0 {
+		t.Fatalf("live txns = %d after all attempts finished", s.LiveTxns)
+	}
+	// Fan-in histogram saw one observation per finished attempt.
+	if s.PullFanIn.Count != 3 || s.PullFanIn.Sum != 3 {
+		t.Fatalf("fan-in: count=%d sum=%d", s.PullFanIn.Count, s.PullFanIn.Sum)
+	}
+	// PUSH→CMT latency observed only for the two commits.
+	if s.PushToCmtNs.Count != 2 {
+		t.Fatalf("push→cmt count = %d, want 2", s.PushToCmtNs.Count)
+	}
+}
+
+func TestLiveTxnsGauge(t *testing.T) {
+	m := metrics.New()
+	m.Emit(core.SinkEvent{Rule: core.RBegin, Site: "s", Tx: 7})
+	m.Emit(core.SinkEvent{Rule: core.RPush, Site: "s", Tx: 7})
+	if got := m.Snapshot().LiveTxns; got != 1 {
+		t.Fatalf("live = %d mid-attempt, want 1", got)
+	}
+	m.Emit(core.SinkEvent{Rule: core.RCmt, Site: "s", Tx: 7})
+	if got := m.Snapshot().LiveTxns; got != 0 {
+		t.Fatalf("live = %d after commit, want 0", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := metrics.NewHistogram([]int64{1, 2, 4, 8})
+	for _, v := range []int64{0, 1, 2, 3, 5, 9, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// ≤1: {0,1}; ≤2: {2}; ≤4: {3}; ≤8: {5}; overflow: {9,100}.
+	want := []uint64{2, 1, 1, 1, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 7 || s.Sum != 120 {
+		t.Fatalf("count=%d sum=%d", s.Count, s.Sum)
+	}
+}
+
+func TestObserverCallbacks(t *testing.T) {
+	m := metrics.New()
+	m.SchedStall()
+	m.SchedStall()
+	m.SchedKill("boosting0")
+	m.FaultFired("tl2/commit")
+	m.FaultFired("tl2/commit")
+	m.RetryObserved(1, true)
+	m.RetryObserved(65, false)
+	m.WALSyncObserved(3 * time.Millisecond)
+
+	s := m.Snapshot()
+	if s.SchedStalls != 2 || s.SchedKills != 1 {
+		t.Fatalf("stalls=%d kills=%d", s.SchedStalls, s.SchedKills)
+	}
+	if s.Faults["tl2/commit"] != 2 {
+		t.Fatalf("faults: %v", s.Faults)
+	}
+	if s.GaveUp != 1 || s.RetryDepth.Count != 2 {
+		t.Fatalf("gaveup=%d retries=%d", s.GaveUp, s.RetryDepth.Count)
+	}
+	if s.WALSyncNs.Count != 1 || s.WALSyncNs.Sum != (3*time.Millisecond).Nanoseconds() {
+		t.Fatalf("wal sync: %+v", s.WALSyncNs)
+	}
+}
+
+// TestSnapshotUnderConcurrency is the unit-level snapshot consistency
+// check: writers hammer every seam while a reader snapshots; per-counter
+// totals must be monotonic across snapshots and exact at the end. Run
+// with -race this also proves the striped design is data-race-free.
+func TestSnapshotUnderConcurrency(t *testing.T) {
+	m := metrics.New()
+	const writers = 8
+	const txnsEach = 200
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var snapErr error
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		var lastCommits, lastRules uint64
+		for {
+			s := m.Snapshot()
+			if s.Commits < lastCommits {
+				snapErr = &monotonicErr{"commits", s.Commits, lastCommits}
+				return
+			}
+			if s.Rules["BEGIN"] < lastRules {
+				snapErr = &monotonicErr{"BEGIN", s.Rules["BEGIN"], lastRules}
+				return
+			}
+			lastCommits, lastRules = s.Commits, s.Rules["BEGIN"]
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < txnsEach; i++ {
+				tx := uint64(w*txnsEach + i)
+				emitTxn(m, "race", tx, i%3, i%4 != 0)
+				m.RetryObserved(i%5+1, true)
+				m.FaultFired("race/site")
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+	if snapErr != nil {
+		t.Fatal(snapErr)
+	}
+	s := m.Snapshot()
+	total := uint64(writers * txnsEach)
+	if s.Commits+s.Aborts != total {
+		t.Fatalf("commits+aborts = %d, want %d", s.Commits+s.Aborts, total)
+	}
+	if s.Rules["BEGIN"] != total {
+		t.Fatalf("BEGIN = %d, want %d", s.Rules["BEGIN"], total)
+	}
+	if s.Faults["race/site"] != total {
+		t.Fatalf("faults = %d, want %d", s.Faults["race/site"], total)
+	}
+	if s.LiveTxns != 0 {
+		t.Fatalf("live = %d at quiescence", s.LiveTxns)
+	}
+}
+
+type monotonicErr struct {
+	what      string
+	got, last uint64
+}
+
+func (e *monotonicErr) Error() string {
+	return e.what + " went backwards across snapshots"
+}
+
+func TestWritePrometheus(t *testing.T) {
+	m := metrics.New()
+	emitTxn(m, "tl2", 1, 1, true)
+	m.WALSyncObserved(time.Millisecond)
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`pushpull_commits_total{site="tl2"} 1`,
+		`pushpull_rule_transitions_total{rule="PUSH"} 1`,
+		"# TYPE pushpull_push_to_commit_seconds histogram",
+		`pushpull_wal_sync_seconds_count 1`,
+		`pushpull_wal_sync_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Every non-comment line is "name value" or "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+	}
+}

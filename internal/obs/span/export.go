@@ -1,0 +1,47 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeTrace is the JSON Object Format wrapper chrome://tracing and
+// Perfetto load directly.
+type chromeTrace struct {
+	TraceEvents     []event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the finished spans as a Chrome trace_event
+// file. The stream is balanced (every B has its E — pairs are appended
+// atomically) and prefixed with process_name metadata naming each
+// substrate site. It returns an explicit error if any pairing
+// violation was recorded: a corrupt interleaving must not export as a
+// plausible-looking timeline.
+func (t *Tracker) WriteChromeTrace(w io.Writer) error {
+	t.mu.Lock()
+	if len(t.violations) > 0 {
+		n, first := len(t.violations), t.violations[0]
+		t.mu.Unlock()
+		return fmt.Errorf("span: refusing export with %d pairing violations; first: %s", n, first)
+	}
+	rows := make([]event, 0, len(t.pids)+len(t.events))
+	sites := make([]string, 0, len(t.pids))
+	for site := range t.pids {
+		sites = append(sites, site)
+	}
+	sort.Strings(sites)
+	for _, site := range sites {
+		rows = append(rows, event{
+			Name: "process_name", Ph: "M", Pid: t.pids[site],
+			Args: map[string]string{"name": site},
+		})
+	}
+	rows = append(rows, t.events...)
+	t.mu.Unlock()
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: rows, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,74 @@
+package span_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"pushpull/internal/core"
+	"pushpull/internal/obs/span"
+)
+
+// FuzzSpanExport drives the tracker with arbitrary rule interleavings —
+// including ill-bracketed ones no real machine produces — and asserts
+// the export invariant: WriteChromeTrace yields valid JSON with
+// balanced B/E events, or refuses with an explicit error. There is no
+// third state where a corrupt interleaving exports a plausible-looking
+// but unbalanced timeline.
+func FuzzSpanExport(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x07, 0x02, 0x06})       // BEGIN APP CMT, one tx
+	f.Add([]byte{0x07, 0x17, 0x06, 0x16}) // interleaved txs
+	f.Add([]byte{0x06, 0x09, 0x07, 0x07}) // pop-first, abort, double begin
+	f.Add([]byte{0x07, 0x08, 0x09, 0x37, 0x39})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := span.NewTracker()
+		tr.MaxEvents = 64 // exercise the bound too
+		tr.Instants = len(data) > 0 && data[0]&1 == 1
+		sites := []string{"tl2", "model"}
+		for i, b := range data {
+			tr.Emit(core.SinkEvent{
+				Seq:    uint64(i + 1),
+				Rule:   core.Rule(b % 10),
+				Tx:     uint64(b >> 4 & 0x3),
+				Site:   sites[int(b>>6)%len(sites)],
+				TxName: "f",
+			})
+		}
+
+		var out bytes.Buffer
+		err := tr.WriteChromeTrace(&out)
+		if err != nil {
+			return // explicit refusal is a legal outcome
+		}
+		if !json.Valid(out.Bytes()) {
+			t.Fatalf("export is not valid JSON: %s", out.String())
+		}
+		var doc struct {
+			TraceEvents []struct {
+				Ph string `json:"ph"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+			t.Fatal(err)
+		}
+		begins, ends := 0, 0
+		for _, ev := range doc.TraceEvents {
+			switch ev.Ph {
+			case "B":
+				begins++
+			case "E":
+				ends++
+			}
+		}
+		if begins != ends {
+			t.Fatalf("unbalanced export: B=%d E=%d", begins, ends)
+		}
+		// The leak check must agree with the bracket structure: spans
+		// left open are leaks, never silently exported.
+		if tr.OpenCount() == 0 && tr.LeakCheck() != nil {
+			t.Fatalf("leak check failed with no open spans and no export error: %v", tr.LeakCheck())
+		}
+	})
+}

@@ -1,0 +1,212 @@
+// Package span tracks per-transaction-attempt spans from the machine's
+// EventSink seam and exports them as Chrome trace_event JSON
+// (chrome://tracing / Perfetto "JSON Array Format").
+//
+// A span is one attempt: pushed by BEGIN, popped by CMT or ABORT.
+// Pairing is asserted — a BEGIN over an already-open attempt, or a
+// CMT/ABORT with no open attempt, is a recorded violation, and
+// LeakCheck (the span analogue of strategy.Env.LeakCheck) fails a run
+// that finishes with attempts still open. Rules between the brackets
+// become instant events inside the span.
+//
+// The exported stream is balanced by construction: the B/E pair for an
+// attempt is appended atomically at pop time, and the bounded buffer
+// drops whole pairs, never one half.
+package span
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pushpull/internal/core"
+)
+
+// DefaultMaxEvents bounds the trace buffer (B+E+instant events). A
+// 50-seed campaign at default sizes stays well under it; past the
+// bound whole spans and instants are counted as dropped, never half
+// a pair.
+const DefaultMaxEvents = 200_000
+
+// key identifies one attempt: the machine's thread id qualified by the
+// substrate site (campaigns run many machines into one tracker).
+type key struct {
+	site string
+	tx   uint64
+}
+
+type openSpan struct {
+	name  string
+	begun time.Time
+}
+
+// event is one Chrome trace_event row.
+type event struct {
+	Name string            `json:"name,omitempty"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"` // µs since tracker start
+	Pid  int               `json:"pid"`
+	Tid  uint64            `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+	S    string            `json:"s,omitempty"` // instant scope
+}
+
+// Tracker consumes SinkEvents and accumulates the span timeline.
+type Tracker struct {
+	// MaxEvents bounds the buffered trace rows; <=0 means
+	// DefaultMaxEvents. Set before the first Emit.
+	MaxEvents int
+	// Instants records non-bracket rules (APP, PUSH, PULL, ...) as
+	// instant events inside their span. Off by default: bracket-only
+	// timelines stay small and are what the leak check needs.
+	Instants bool
+
+	mu         sync.Mutex
+	start      time.Time
+	events     []event
+	dropped    uint64
+	open       map[key]openSpan
+	completed  uint64
+	violations []string
+	pids       map[string]int // site → synthetic pid
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{
+		start: time.Now(),
+		open:  make(map[key]openSpan),
+		pids:  make(map[string]int),
+	}
+}
+
+func (t *Tracker) max() int {
+	if t.MaxEvents > 0 {
+		return t.MaxEvents
+	}
+	return DefaultMaxEvents
+}
+
+// pid assigns (lazily) a stable synthetic process id per site, so each
+// substrate renders as its own process row. Called with mu held.
+func (t *Tracker) pid(site string) int {
+	if p, ok := t.pids[site]; ok {
+		return p
+	}
+	p := len(t.pids) + 1
+	t.pids[site] = p
+	return p
+}
+
+func (t *Tracker) ts(at time.Time) float64 {
+	return float64(at.Sub(t.start).Nanoseconds()) / 1e3
+}
+
+// Emit implements core.EventSink.
+func (t *Tracker) Emit(e core.SinkEvent) {
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := key{site: e.Site, tx: e.Tx}
+	switch e.Rule {
+	case core.RBegin:
+		if sp, ok := t.open[k]; ok {
+			t.violations = append(t.violations, fmt.Sprintf(
+				"span: BEGIN %q over still-open %q (site=%q tx=%d)", e.TxName, sp.name, e.Site, e.Tx))
+			return
+		}
+		t.open[k] = openSpan{name: e.TxName, begun: now}
+	case core.RCmt, core.RAbort:
+		sp, ok := t.open[k]
+		if !ok {
+			t.violations = append(t.violations, fmt.Sprintf(
+				"span: %v %q without open span (site=%q tx=%d)", e.Rule, e.TxName, e.Site, e.Tx))
+			return
+		}
+		delete(t.open, k)
+		t.completed++
+		if len(t.events)+2 > t.max() {
+			t.dropped += 2
+			return
+		}
+		outcome := "commit"
+		if e.Rule == core.RAbort {
+			outcome = "abort"
+		}
+		pid := t.pid(e.Site)
+		t.events = append(t.events,
+			event{Name: sp.name, Cat: e.Site, Ph: "B", Ts: t.ts(sp.begun), Pid: pid, Tid: e.Tx},
+			event{Ph: "E", Ts: t.ts(now), Pid: pid, Tid: e.Tx,
+				Args: map[string]string{"outcome": outcome}})
+	default:
+		if !t.Instants {
+			return
+		}
+		if _, ok := t.open[k]; !ok {
+			return // REnd after abort, retire marks, ... — not span content
+		}
+		if len(t.events)+1 > t.max() {
+			t.dropped++
+			return
+		}
+		t.events = append(t.events, event{
+			Name: e.Rule.String(), Cat: e.Site, Ph: "i", Ts: t.ts(now),
+			Pid: t.pid(e.Site), Tid: e.Tx, S: "t",
+		})
+	}
+}
+
+// OpenCount returns the number of attempts currently between BEGIN and
+// CMT/ABORT.
+func (t *Tracker) OpenCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.open)
+}
+
+// Completed returns the number of popped (finished) spans.
+func (t *Tracker) Completed() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.completed
+}
+
+// Dropped returns how many trace rows the bound discarded.
+func (t *Tracker) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// LeakCheck fails if any span is still open (a BEGIN with no matching
+// CMT/ABORT pop) or any push/pop pairing violation was recorded — the
+// per-attempt analogue of the Env lock/token leak check.
+func (t *Tracker) LeakCheck() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var probs []string
+	if len(t.open) > 0 {
+		keys := make([]key, 0, len(t.open))
+		for k := range t.open {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].site != keys[j].site {
+				return keys[i].site < keys[j].site
+			}
+			return keys[i].tx < keys[j].tx
+		})
+		for _, k := range keys {
+			probs = append(probs, fmt.Sprintf("span leaked: %q (site=%q tx=%d)",
+				t.open[k].name, k.site, k.tx))
+		}
+	}
+	probs = append(probs, t.violations...)
+	if len(probs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("span: %d problems:\n  %s", len(probs), strings.Join(probs, "\n  "))
+}

@@ -1,0 +1,173 @@
+package span_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pushpull/internal/core"
+	"pushpull/internal/obs/span"
+)
+
+// chromeDoc mirrors the exported shape for test-side decoding.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		Pid  int               `json:"pid"`
+		Tid  uint64            `json:"tid"`
+		Args map[string]string `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func export(t *testing.T, tr *span.Tracker) chromeDoc {
+	t.Helper()
+	var b bytes.Buffer
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, b.String())
+	}
+	return doc
+}
+
+func balance(doc chromeDoc) (b, e int) {
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "B":
+			b++
+		case "E":
+			e++
+		}
+	}
+	return
+}
+
+func TestSpanPairing(t *testing.T) {
+	tr := span.NewTracker()
+	tr.Emit(core.SinkEvent{Rule: core.RBegin, Site: "tl2", Tx: 1, TxName: "a"})
+	tr.Emit(core.SinkEvent{Rule: core.RPush, Site: "tl2", Tx: 1})
+	tr.Emit(core.SinkEvent{Rule: core.RCmt, Site: "tl2", Tx: 1, TxName: "a"})
+	tr.Emit(core.SinkEvent{Rule: core.RBegin, Site: "tl2", Tx: 2, TxName: "b"})
+	tr.Emit(core.SinkEvent{Rule: core.RAbort, Site: "tl2", Tx: 2, TxName: "b"})
+
+	if err := tr.LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Completed() != 2 || tr.OpenCount() != 0 {
+		t.Fatalf("completed=%d open=%d", tr.Completed(), tr.OpenCount())
+	}
+	doc := export(t, tr)
+	b, e := balance(doc)
+	if b != 2 || e != 2 {
+		t.Fatalf("B=%d E=%d, want 2/2", b, e)
+	}
+	outcomes := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "E" {
+			outcomes[ev.Args["outcome"]]++
+		}
+	}
+	if outcomes["commit"] != 1 || outcomes["abort"] != 1 {
+		t.Fatalf("outcomes: %v", outcomes)
+	}
+}
+
+func TestSpanLeak(t *testing.T) {
+	tr := span.NewTracker()
+	tr.Emit(core.SinkEvent{Rule: core.RBegin, Site: "pess", Tx: 9, TxName: "stuck"})
+	err := tr.LeakCheck()
+	if err == nil {
+		t.Fatal("leak check passed with an open span")
+	}
+	if !strings.Contains(err.Error(), "stuck") || !strings.Contains(err.Error(), "tx=9") {
+		t.Fatalf("leak error does not name the span: %v", err)
+	}
+}
+
+func TestSpanPopWithoutPush(t *testing.T) {
+	tr := span.NewTracker()
+	tr.Emit(core.SinkEvent{Rule: core.RCmt, Site: "dep", Tx: 3, TxName: "ghost"})
+	if err := tr.LeakCheck(); err == nil {
+		t.Fatal("pairing violation not reported by LeakCheck")
+	}
+	var b bytes.Buffer
+	if err := tr.WriteChromeTrace(&b); err == nil {
+		t.Fatal("export succeeded despite pairing violation")
+	}
+}
+
+func TestSpanDoubleBegin(t *testing.T) {
+	tr := span.NewTracker()
+	tr.Emit(core.SinkEvent{Rule: core.RBegin, Site: "s", Tx: 1, TxName: "a"})
+	tr.Emit(core.SinkEvent{Rule: core.RBegin, Site: "s", Tx: 1, TxName: "b"})
+	if err := tr.LeakCheck(); err == nil {
+		t.Fatal("double BEGIN not reported")
+	}
+}
+
+func TestSpanBoundedBalanced(t *testing.T) {
+	tr := span.NewTracker()
+	tr.MaxEvents = 6 // room for 3 spans
+	for tx := uint64(1); tx <= 5; tx++ {
+		tr.Emit(core.SinkEvent{Rule: core.RBegin, Site: "s", Tx: tx, TxName: "t"})
+		tr.Emit(core.SinkEvent{Rule: core.RCmt, Site: "s", Tx: tx, TxName: "t"})
+	}
+	if err := tr.LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Dropped() != 4 {
+		t.Fatalf("dropped = %d rows, want 4 (two whole spans)", tr.Dropped())
+	}
+	doc := export(t, tr)
+	b, e := balance(doc)
+	if b != e || b != 3 {
+		t.Fatalf("B=%d E=%d, want balanced 3/3", b, e)
+	}
+}
+
+func TestSpanInstants(t *testing.T) {
+	tr := span.NewTracker()
+	tr.Instants = true
+	tr.Emit(core.SinkEvent{Rule: core.RBegin, Site: "s", Tx: 1, TxName: "t"})
+	tr.Emit(core.SinkEvent{Rule: core.RApp, Site: "s", Tx: 1})
+	tr.Emit(core.SinkEvent{Rule: core.RPush, Site: "s", Tx: 1})
+	tr.Emit(core.SinkEvent{Rule: core.RCmt, Site: "s", Tx: 1, TxName: "t"})
+	// An instant outside any span (REnd after retire) is not content.
+	tr.Emit(core.SinkEvent{Rule: core.REnd, Site: "s", Tx: 1})
+
+	doc := export(t, tr)
+	inst := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "i" {
+			inst++
+		}
+	}
+	if inst != 2 {
+		t.Fatalf("instants = %d, want 2 (APP, PUSH)", inst)
+	}
+}
+
+func TestProcessMetadataPerSite(t *testing.T) {
+	tr := span.NewTracker()
+	for i, site := range []string{"tl2", "boost"} {
+		tx := uint64(i + 1)
+		tr.Emit(core.SinkEvent{Rule: core.RBegin, Site: site, Tx: tx, TxName: "t"})
+		tr.Emit(core.SinkEvent{Rule: core.RCmt, Site: site, Tx: tx, TxName: "t"})
+	}
+	doc := export(t, tr)
+	names := map[string]bool{}
+	pids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			names[ev.Args["name"]] = true
+			pids[ev.Pid] = true
+		}
+	}
+	if !names["tl2"] || !names["boost"] || len(pids) != 2 {
+		t.Fatalf("metadata: names=%v pids=%v", names, pids)
+	}
+}

@@ -23,6 +23,17 @@ type ChaosResult struct {
 	Killed []string
 }
 
+// Observer receives scheduler-level chaos telemetry as it happens —
+// the seam the observability suite plugs into (obs/metrics satisfies
+// it structurally). Calls arrive from the scheduler loop, strictly
+// serialized.
+type Observer interface {
+	// SchedStall observes one injected stalled step.
+	SchedStall()
+	// SchedKill observes one forced mid-transaction driver death.
+	SchedKill(driver string)
+}
+
 // RunChaos is RunRandom with scheduler-level fault injection:
 //
 //   - SiteSchedStall: the selected driver's turn is consumed without
@@ -48,6 +59,13 @@ func RunChaos(m *core.Machine, drivers []strategy.Driver, seed int64, maxSteps i
 // the model acknowledges to later transactions is on stable storage
 // first. Pass nil to disable.
 func RunChaosDurable(m *core.Machine, drivers []strategy.Driver, seed int64, maxSteps int, inj chaos.Injector, durable core.Durable) (ChaosResult, error) {
+	return RunChaosObserved(m, drivers, seed, maxSteps, inj, durable, nil)
+}
+
+// RunChaosObserved is RunChaosDurable with an Observer receiving each
+// injected stall and kill as the scheduler performs it. Pass nil to
+// disable.
+func RunChaosObserved(m *core.Machine, drivers []strategy.Driver, seed int64, maxSteps int, inj chaos.Injector, durable core.Durable, obs Observer) (ChaosResult, error) {
 	rng := rand.New(rand.NewSource(seed))
 	res := ChaosResult{}
 	last := make([]strategy.Status, len(drivers))
@@ -79,6 +97,9 @@ func RunChaosDurable(m *core.Machine, drivers []strategy.Driver, seed int64, max
 		killPending[i] = false
 		res.Kills++
 		res.Killed = append(res.Killed, drivers[i].Name())
+		if obs != nil {
+			obs.SchedKill(drivers[i].Name())
+		}
 		return true
 	}
 
@@ -98,6 +119,9 @@ func RunChaosDurable(m *core.Machine, drivers []strategy.Driver, seed int64, max
 		}
 		if inj != nil && inj.Fire(chaos.SiteSchedStall) {
 			res.Stalls++
+			if obs != nil {
+				obs.SchedStall()
+			}
 			continue
 		}
 		if inj != nil && res.Kills+countPending(killPending) < len(drivers)-1 &&

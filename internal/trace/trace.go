@@ -620,3 +620,24 @@ func (r *Recorder) AttachWAL(h core.LogHook) {
 	defer r.mu.Unlock()
 	r.m.SetLogHook(h)
 }
+
+// AttachSink registers a telemetry subscriber on the shadow machine:
+// every rule transition the certification replays — BEGIN, APP, PUSH,
+// PULL, CMT, the rewind rules, the abort mark — is delivered in rule
+// order. The machine's dispatch point fires the WAL hook first, then
+// sinks, and the recorder mutex serializes both in real commit order,
+// so metrics and the WAL observe one agreed sequence.
+func (r *Recorder) AttachSink(s core.EventSink) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m.AddEventSink(s)
+}
+
+// SetSite labels the shadow machine's emitted events with the
+// substrate name (SinkEvent.Site), so one sink can aggregate a whole
+// campaign per substrate.
+func (r *Recorder) SetSite(site string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m.SetSite(site)
+}

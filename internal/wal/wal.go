@@ -24,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"pushpull/internal/chaos"
 )
@@ -101,6 +102,11 @@ type Options struct {
 	// chaos.SiteWALAppend per append; plan CrashMode shapes the
 	// surviving image.
 	Chaos *chaos.Faults
+	// SyncObserver, when non-nil, receives the duration of every
+	// non-trivial sync (one call per durability barrier that had bytes
+	// to flush) — the telemetry seam for WAL sync-latency histograms.
+	// Called under the log mutex; must not call back into the log.
+	SyncObserver func(time.Duration)
 }
 
 func (o Options) withDefaults() Options {
@@ -269,6 +275,10 @@ func (l *Log) syncLocked() error {
 	if cur.durable == len(cur.buf) {
 		return nil
 	}
+	var begin time.Time
+	if l.opts.SyncObserver != nil {
+		begin = time.Now()
+	}
 	if cur.file != nil {
 		if err := cur.file.Sync(); err != nil {
 			l.ioErr = err
@@ -278,6 +288,9 @@ func (l *Log) syncLocked() error {
 	cur.durable = len(cur.buf)
 	l.pending = 0
 	l.syncs++
+	if l.opts.SyncObserver != nil {
+		l.opts.SyncObserver(time.Since(begin))
+	}
 	return nil
 }
 

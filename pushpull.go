@@ -82,6 +82,10 @@ type (
 	Event = core.Event
 	// Rule names the Push/Pull reductions.
 	Rule = core.Rule
+	// SinkEvent is one rule transition delivered to an EventSink.
+	SinkEvent = core.SinkEvent
+	// EventSink observes every rule transition (the telemetry seam).
+	EventSink = core.EventSink
 )
 
 // Language types.
@@ -134,6 +138,7 @@ const (
 	RCmt    = core.RCmt
 	RBegin  = core.RBegin
 	REnd    = core.REnd
+	RAbort  = core.RAbort
 )
 
 // Local-log flags.
