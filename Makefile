@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check race chaos-smoke chaos crash-smoke crash obs-smoke obs bench ci
+.PHONY: build test vet fmt-check race chaos-smoke chaos crash-smoke crash obs-smoke obs serve-smoke serve-campaign bench ci
 
 build:
 	$(GO) build ./...
@@ -52,7 +52,19 @@ obs-smoke:
 obs:
 	$(GO) run ./cmd/pushpull-obs -metrics metrics.prom -trace timeline.json
 
+# Server smoke: boot the durable KV server on tl2 and hybrid, run a
+# short wire-protocol load campaign (one-shot + interactive) against
+# it, and demand zero leaked sessions/spans, certified commit-order
+# serializability, and substrate conservation on shutdown.
+serve-smoke:
+	$(GO) test ./internal/server/ -run TestServeSmoke -v
+
+# The full acceptance campaign: 30s, 8 clients, tl2 + hybrid, with a
+# certified crash-restart leg mid-campaign.
+serve-campaign:
+	PUSHPULL_SERVE_CAMPAIGN=1 $(GO) test ./internal/server/ -run TestServeCampaign -v -timeout 300s
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-ci: test vet race chaos-smoke crash-smoke obs-smoke
+ci: test vet race chaos-smoke crash-smoke obs-smoke serve-smoke

@@ -7,7 +7,10 @@
 //	pushpull-bench -table all        # everything
 //
 // Knobs: -threads, -txns/-ops, -keys (comma list of key ranges),
-// -readpct, -seed, -yield.
+// -readpct, -seed, -yield. With -json the model and substrate sweeps
+// are emitted as one JSON document (the BENCH_*.json schema shared
+// with cmd/pushpull-load); the htm table is text-only (it reports no
+// per-run result rows).
 package main
 
 import (
@@ -29,11 +32,17 @@ func main() {
 	readPct := flag.Int("readpct", 20, "percentage of read-only transactions")
 	seed := flag.Int64("seed", 1, "workload/scheduler seed")
 	yield := flag.Int("yield", 2, "yields inside substrate transactions (conflict window)")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of text tables (model and substrate sweeps)")
 	flag.Parse()
 
 	keys, err := parseKeys(*keysFlag)
 	if err != nil {
 		fail(err)
+	}
+
+	if *jsonOut {
+		emitJSON(*table, *threads, *txns, *ops, keys, *readPct, *seed, *yield)
+		return
 	}
 
 	if *table == "model" || *table == "all" {
@@ -60,6 +69,46 @@ func main() {
 		}
 		fmt.Println(out)
 	}
+}
+
+// emitJSON runs the requested sweeps and prints one JSON object with a
+// key per table, reusing the shared encoders in internal/bench.
+func emitJSON(table string, threads, txns, ops int, keys []int, readPct int, seed int64, yield int) {
+	first := true
+	fmt.Println("{")
+	section := func(name string, body []byte) {
+		if !first {
+			fmt.Println(",")
+		}
+		first = false
+		fmt.Printf("%q: %s", name, body)
+	}
+	if table == "model" || table == "all" {
+		_, results, err := bench.SweepModel(threads, txns, keys, readPct, seed)
+		if err != nil {
+			fail(err)
+		}
+		body, err := bench.ModelResultsJSON(results)
+		if err != nil {
+			fail(err)
+		}
+		section("model", body)
+	}
+	if table == "substrate" || table == "all" {
+		_, results, err := bench.SweepSubstrates(threads, ops, keys, readPct, seed, yield)
+		if err != nil {
+			fail(err)
+		}
+		body, err := bench.SubstrateResultsJSON(results)
+		if err != nil {
+			fail(err)
+		}
+		section("substrate", body)
+	}
+	if table == "htm" {
+		fail(fmt.Errorf("the htm table has no JSON form (no per-run result rows); use text mode"))
+	}
+	fmt.Println("\n}")
 }
 
 func parseKeys(s string) ([]int, error) {

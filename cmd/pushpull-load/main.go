@@ -1,0 +1,80 @@
+// Command pushpull-load is the closed-loop load generator for
+// pushpull-server: N client connections issue transactions back to
+// back (one-shot by default, interactive sessions with -interactive)
+// against a key range with configurable skew and read/write mix, then
+// report throughput and client-perceived latency quantiles.
+//
+//	pushpull-load -addr 127.0.0.1:7070 -clients 8 -duration 30s
+//	pushpull-load -addr 127.0.0.1:7070 -clients 8 -skew 1.2 -json > BENCH_load.json
+//
+// -json emits the shared BENCH_*.json summary schema (PerfJSON, as in
+// pushpull-bench -json), so downstream tooling reads both alike.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pushpull/internal/bench"
+	"pushpull/internal/kvapi"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "server address")
+	clients := flag.Int("clients", 8, "concurrent client connections")
+	duration := flag.Duration("duration", 5*time.Second, "campaign length")
+	maxTxns := flag.Int("max-txns", 0, "cap transactions per client (0 = duration-bound)")
+	keys := flag.Int("keys", 64, "key range")
+	readPct := flag.Int("readpct", 50, "percentage of get operations")
+	opsPerTxn := flag.Int("ops", 3, "operations per transaction")
+	skew := flag.Float64("skew", 0, "Zipf exponent for key choice (<=1 uniform)")
+	interactive := flag.Bool("interactive", false, "begin/op/commit sessions instead of one-shot transactions")
+	seed := flag.Int64("seed", 1, "workload seed")
+	jsonOut := flag.Bool("json", false, "emit the BENCH JSON summary instead of text")
+	flag.Parse()
+
+	res, err := kvapi.RunLoad(kvapi.LoadParams{
+		Addr: *addr, Clients: *clients, Duration: *duration,
+		MaxTxns: *maxTxns, Keys: *keys, ReadPct: *readPct,
+		OpsPerTxn: *opsPerTxn, Skew: *skew,
+		Interactive: *interactive, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pushpull-load:", err)
+		os.Exit(1)
+	}
+
+	if !*jsonOut {
+		fmt.Println(res.String())
+		return
+	}
+	sum := bench.LoadSummaryJSON{
+		Addr: res.Params.Addr, Clients: res.Params.Clients,
+		Keys: res.Params.Keys, ReadPct: res.Params.ReadPct,
+		OpsPerTxn: res.Params.OpsPerTxn, Skew: res.Params.Skew,
+		Interactive: res.Params.Interactive, Seed: res.Params.Seed,
+		DurationMs: float64(res.Elapsed.Milliseconds()),
+		Commits:    res.Commits, Aborts: res.Aborts, Busy: res.Busy,
+		Errors: res.Errors, Retries: res.Retries,
+		Perf: bench.PerfJSON{
+			TxnPerSec: res.Throughput(),
+			P50Ms:     float64(res.P50) / float64(time.Millisecond),
+			P95Ms:     float64(res.P95) / float64(time.Millisecond),
+			P99Ms:     float64(res.P99) / float64(time.Millisecond),
+		},
+	}
+	if res.Commits > 0 {
+		sum.AbortRatio = float64(res.Aborts) / float64(res.Commits)
+	}
+	out, err := bench.EncodeLoadSummary(sum)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pushpull-load:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+	if res.Errors > 0 {
+		os.Exit(1)
+	}
+}

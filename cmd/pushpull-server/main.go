@@ -1,0 +1,124 @@
+// Command pushpull-server serves the transactional KV store over the
+// kvapi binary protocol, with a JSON/HTTP fallback and the
+// observability suite on the side:
+//
+//	pushpull-server -addr :7070 -http :7071 -substrate tl2 -wal-dir ./wal
+//
+// Every client transaction runs as a certified Push/Pull transaction on
+// the chosen substrate. With -wal-dir the server is crash-durable: on
+// boot it replays the previous epoch's segments, refuses to serve
+// unless the committed prefix re-certifies, archives them, and
+// re-checkpoints the recovered state into a fresh log before the
+// listener opens. -chaos-rate and -crash-at inject server-side faults
+// (the same plans the chaos harnesses replay).
+//
+// SIGINT/SIGTERM shut down gracefully: open transactions abort, the
+// leak check runs, and the final certificate is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"pushpull/internal/chaos"
+	"pushpull/internal/server"
+	"pushpull/internal/wal"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "binary-protocol listen address")
+	httpAddr := flag.String("http", "", "JSON/HTTP listen address (empty disables)")
+	substrate := flag.String("substrate", "tl2",
+		"TM substrate: "+strings.Join(server.Substrates(), " | "))
+	keys := flag.Int("keys", 64, "word-substrate key range (restart must reuse it)")
+	seed := flag.Int64("seed", 1, "retry/chaos seed")
+	walDir := flag.String("wal-dir", "", "WAL directory (empty: in-memory durability only)")
+	sync := flag.String("sync", "record", "WAL sync policy: record | commit | group | none")
+	groupEvery := flag.Int("group-every", 32, "records per sync under -sync group")
+	maxInflight := flag.Int("max-inflight", 64, "max concurrently running transactions")
+	maxQueue := flag.Int("max-queue", 128, "max admission-queue depth (beyond it: StatusBusy)")
+	chaosRate := flag.Float64("chaos-rate", 0, "per-site fault probability injected server-side")
+	crashAt := flag.Uint64("crash-at", 0, "simulated process death at the n-th WAL append (0 = never)")
+	noCert := flag.Bool("no-cert", false, "disable shadow-machine certification (raw throughput)")
+	flag.Parse()
+
+	policy, err := wal.ParseSyncPolicy(*sync)
+	if err != nil {
+		fail(err)
+	}
+	opts := server.Options{
+		Substrate: *substrate, Keys: *keys, Seed: *seed,
+		DisableCert: *noCert,
+		MaxInflight: *maxInflight, MaxQueue: *maxQueue,
+		WALDir: *walDir, SyncPolicy: policy, GroupEvery: *groupEvery,
+	}
+	if *chaosRate > 0 || *crashAt > 0 {
+		plan := chaos.NewPlan(*seed)
+		if *chaosRate > 0 {
+			for _, site := range chaos.Sites() {
+				plan = plan.WithRate(site, *chaosRate)
+			}
+		}
+		if *crashAt > 0 {
+			plan = plan.WithCrash(*crashAt, chaos.CrashClean)
+		}
+		opts.Plan = &plan
+	}
+
+	s, err := server.New(opts)
+	if err != nil {
+		fail(err)
+	}
+	if rep := s.Recovered(); len(rep.State.Txns) > 0 {
+		fmt.Printf("recovered %d certified transaction(s) from the previous epoch (truncated=%v discarded=%d)\n",
+			len(rep.State.Txns), rep.Truncated, rep.Discarded)
+	}
+
+	bound, err := s.Start(*addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("pushpull-server: substrate=%s keys=%d listening on %s\n", *substrate, *keys, bound)
+	if *httpAddr != "" {
+		hb, err := s.StartHTTP(*httpAddr)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("pushpull-server: http on %s (/txn /healthz /stats /debug/pushpull)\n", hb)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\npushpull-server: shutting down")
+	s.Stop()
+
+	st := s.Stats()
+	fmt.Printf("served: commits=%d aborts=%d rejected=%d group=%d/%d syncs\n",
+		st.Commits, st.Aborts, st.Rejected, st.GroupBarriers, st.GroupSyncs)
+	failed := false
+	if err := s.LeakCheck(); err != nil {
+		fmt.Fprintln(os.Stderr, "LEAK:", err)
+		failed = true
+	}
+	if st.WALCrashed {
+		fmt.Println("WAL: simulated crash fired; restart with the same -wal-dir to recover")
+	} else if err := s.FinalCheck(); err != nil {
+		fmt.Fprintln(os.Stderr, "CERTIFICATION FAILED:", err)
+		failed = true
+	} else {
+		fmt.Println("certified: commit order serializable, no leaks")
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pushpull-server:", err)
+	os.Exit(1)
+}

@@ -3,9 +3,12 @@ package bench
 import "encoding/json"
 
 // This file is the machine-readable campaign summary: the -json flag
-// of cmd/pushpull-chaos and cmd/pushpull-crash renders outcomes as one
-// JSON document instead of the text table, with error values flattened
-// to strings (an error is a verdict here, not a resumable value).
+// of cmd/pushpull-chaos, cmd/pushpull-crash, cmd/pushpull-bench, and
+// cmd/pushpull-load renders outcomes as one JSON document instead of
+// the text table, with error values flattened to strings (an error is
+// a verdict here, not a resumable value). PerfJSON is the shared
+// performance-summary schema: the bench sweeps and the network load
+// generator emit the same shape, so BENCH_*.json tooling reads both.
 
 // ChaosOutcomeJSON mirrors ChaosOutcome with the error stringified.
 type ChaosOutcomeJSON struct {
@@ -40,6 +43,118 @@ func ChaosOutcomesJSON(outcomes []ChaosOutcome) ([]byte, error) {
 		}
 	}
 	return json.MarshalIndent(out, "", "  ")
+}
+
+// PerfJSON is the shared throughput/latency summary. Latency quantiles
+// are zero for the in-process sweeps (no per-transaction client clock)
+// and populated by the network load generator.
+type PerfJSON struct {
+	TxnPerSec float64 `json:"txn_per_sec"`
+	P50Ms     float64 `json:"p50_ms,omitempty"`
+	P95Ms     float64 `json:"p95_ms,omitempty"`
+	P99Ms     float64 `json:"p99_ms,omitempty"`
+}
+
+// ModelResultJSON mirrors ModelResult for the -json bench table.
+type ModelResultJSON struct {
+	Strategy     string   `json:"strategy"`
+	Threads      int      `json:"threads"`
+	TxnsEach     int      `json:"txns_each"`
+	Keys         int      `json:"keys"`
+	ReadPct      int      `json:"read_pct"`
+	Seed         int64    `json:"seed"`
+	Commits      int      `json:"commits"`
+	Aborts       int      `json:"aborts"`
+	GaveUp       int      `json:"gave_up"`
+	Cascades     int      `json:"cascades"`
+	AbortRatio   float64  `json:"abort_ratio"`
+	Serializable bool     `json:"serializable"`
+	Opaque       bool     `json:"opaque"`
+	DurationMs   float64  `json:"duration_ms"`
+	Perf         PerfJSON `json:"perf"`
+}
+
+// ModelResultsJSON renders a model sweep as an indented JSON array.
+func ModelResultsJSON(results []ModelResult) ([]byte, error) {
+	out := make([]ModelResultJSON, len(results))
+	for i, r := range results {
+		perf := PerfJSON{}
+		if r.Duration > 0 {
+			perf.TxnPerSec = float64(r.Commits) / r.Duration.Seconds()
+		}
+		out[i] = ModelResultJSON{
+			Strategy: r.Params.Strategy, Threads: r.Params.Threads,
+			TxnsEach: r.Params.TxnsEach, Keys: r.Params.Keys,
+			ReadPct: r.Params.ReadPct, Seed: r.Params.Seed,
+			Commits: r.Commits, Aborts: r.Aborts, GaveUp: r.GaveUp,
+			Cascades: r.Cascades, AbortRatio: r.AbortRatio(),
+			Serializable: r.Serializable, Opaque: r.Opaque,
+			DurationMs: float64(r.Duration.Milliseconds()),
+			Perf:       perf,
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// SubstrateResultJSON mirrors SubstrateResult for the -json bench table.
+type SubstrateResultJSON struct {
+	Substrate  string   `json:"substrate"`
+	Threads    int      `json:"threads"`
+	OpsEach    int      `json:"ops_each"`
+	Keys       int      `json:"keys"`
+	ReadPct    int      `json:"read_pct"`
+	Seed       int64    `json:"seed"`
+	Commits    uint64   `json:"commits"`
+	Aborts     uint64   `json:"aborts"`
+	AbortRatio float64  `json:"abort_ratio"`
+	Extra      string   `json:"extra,omitempty"`
+	DurationMs float64  `json:"duration_ms"`
+	Perf       PerfJSON `json:"perf"`
+}
+
+// SubstrateResultsJSON renders a substrate sweep as an indented JSON
+// array.
+func SubstrateResultsJSON(results []SubstrateResult) ([]byte, error) {
+	out := make([]SubstrateResultJSON, len(results))
+	for i, r := range results {
+		out[i] = SubstrateResultJSON{
+			Substrate: r.Params.Substrate, Threads: r.Params.Threads,
+			OpsEach: r.Params.OpsEach, Keys: r.Params.Keys,
+			ReadPct: r.Params.ReadPct, Seed: r.Params.Seed,
+			Commits: r.Commits, Aborts: r.Aborts,
+			AbortRatio: r.AbortRatio(), Extra: r.Extra,
+			DurationMs: float64(r.Duration.Milliseconds()),
+			Perf:       PerfJSON{TxnPerSec: r.Throughput()},
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// LoadSummaryJSON is the load generator's BENCH-compatible summary —
+// the network-side counterpart of SubstrateResultJSON, sharing PerfJSON.
+type LoadSummaryJSON struct {
+	Addr        string   `json:"addr"`
+	Substrate   string   `json:"substrate,omitempty"` // from the server's /stats when known
+	Clients     int      `json:"clients"`
+	Keys        int      `json:"keys"`
+	ReadPct     int      `json:"read_pct"`
+	OpsPerTxn   int      `json:"ops_per_txn"`
+	Skew        float64  `json:"skew,omitempty"`
+	Interactive bool     `json:"interactive"`
+	Seed        int64    `json:"seed"`
+	DurationMs  float64  `json:"duration_ms"`
+	Commits     uint64   `json:"commits"`
+	Aborts      uint64   `json:"aborts"`
+	Busy        uint64   `json:"busy"`
+	Errors      uint64   `json:"errors"`
+	Retries     uint64   `json:"retries"`
+	AbortRatio  float64  `json:"abort_ratio"`
+	Perf        PerfJSON `json:"perf"`
+}
+
+// EncodeLoadSummary renders one load summary as indented JSON.
+func EncodeLoadSummary(s LoadSummaryJSON) ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
 }
 
 // CrashOutcomeJSON mirrors CrashOutcome with errors stringified and

@@ -294,6 +294,10 @@ func (m *Machine) GlobalEntries() []GEntry {
 	return append([]GEntry(nil), m.global...)
 }
 
+// GlobalLen is the raw global log length without copying — for hot
+// callers that only need the window size (compaction triggers).
+func (m *Machine) GlobalLen() int { return len(m.global) }
+
 // Commits returns the commit records in commit order.
 func (m *Machine) Commits() []CommitRecord {
 	return append([]CommitRecord(nil), m.commits...)

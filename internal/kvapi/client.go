@@ -1,0 +1,97 @@
+package kvapi
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client is a blocking, one-request-in-flight connection to a
+// pushpull-server — the closed-loop shape the load generator wants: a
+// client issues a request, waits for its answer, then decides what to
+// do next. It is safe for concurrent use, but calls serialize on one
+// connection; open one Client per concurrent session.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a pushpull-server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+	}
+}
+
+// Close tears the connection down. A transaction left open on it is
+// aborted server-side (locks released, shadow session rewound).
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and waits for its response.
+func (c *Client) roundTrip(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteRequest(c.bw, req); err != nil {
+		return Response{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return Response{}, err
+	}
+	return ReadResponse(c.br)
+}
+
+// Do executes ops as one one-shot atomic transaction.
+func (c *Client) Do(ops []Op) (Response, error) {
+	return c.roundTrip(Request{Type: MsgTxn, Ops: ops})
+}
+
+// Begin opens an interactive transaction on this connection.
+func (c *Client) Begin() (Response, error) {
+	return c.roundTrip(Request{Type: MsgBegin})
+}
+
+// Get reads key inside the open interactive transaction.
+func (c *Client) Get(key uint64) (Response, error) {
+	return c.roundTrip(Request{Type: MsgGet, Key: key})
+}
+
+// Put writes key inside the open interactive transaction.
+func (c *Client) Put(key uint64, val int64) (Response, error) {
+	return c.roundTrip(Request{Type: MsgPut, Key: key, Val: val})
+}
+
+// Commit commits the open interactive transaction.
+func (c *Client) Commit() (Response, error) {
+	return c.roundTrip(Request{Type: MsgCommit})
+}
+
+// Abort rolls the open interactive transaction back.
+func (c *Client) Abort() (Response, error) {
+	return c.roundTrip(Request{Type: MsgAbort})
+}
+
+// Ping checks liveness end to end.
+func (c *Client) Ping() error {
+	resp, err := c.roundTrip(Request{Type: MsgPing})
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusOK {
+		return fmt.Errorf("kvapi: ping answered %s: %s", resp.Status, resp.Msg)
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package kvapi
+
+import "fmt"
+
+// This file is the JSON mirror of the binary protocol, used by the
+// server's HTTP fallback (POST /txn) so a transaction can be submitted
+// with curl while debugging. Only one-shot transactions are exposed
+// over HTTP: interactive sessions are connection-scoped state, which
+// maps naturally onto a TCP stream and badly onto request/response
+// HTTP.
+
+// TxnRequestJSON is the body of POST /txn.
+type TxnRequestJSON struct {
+	Ops []OpJSON `json:"ops"`
+}
+
+// OpJSON is one operation: {"op":"get","key":7} or
+// {"op":"put","key":7,"val":42}.
+type OpJSON struct {
+	Op  string `json:"op"`
+	Key uint64 `json:"key"`
+	Val int64  `json:"val,omitempty"`
+}
+
+// TxnResponseJSON is the body answering POST /txn.
+type TxnResponseJSON struct {
+	Status       string       `json:"status"`
+	Results      []ResultJSON `json:"results,omitempty"`
+	Retries      uint32       `json:"retries"`
+	RetryAfterMs uint32       `json:"retry_after_ms,omitempty"`
+	Msg          string       `json:"msg,omitempty"`
+}
+
+// ResultJSON is one operation's answer.
+type ResultJSON struct {
+	Val   int64 `json:"val"`
+	Found bool  `json:"found"`
+}
+
+// WireOps converts the JSON form to wire ops, validating op names.
+func (r TxnRequestJSON) WireOps() ([]Op, error) {
+	ops := make([]Op, 0, len(r.Ops))
+	for i, o := range r.Ops {
+		switch o.Op {
+		case "get":
+			ops = append(ops, Op{Kind: OpGet, Key: o.Key})
+		case "put":
+			ops = append(ops, Op{Kind: OpPut, Key: o.Key, Val: o.Val})
+		default:
+			return nil, fmt.Errorf("kvapi: op %d: unknown op %q (want get|put)", i, o.Op)
+		}
+	}
+	return ops, nil
+}
+
+// ToJSON converts a wire response to its JSON mirror.
+func (r Response) ToJSON() TxnResponseJSON {
+	out := TxnResponseJSON{
+		Status:       r.Status.String(),
+		Retries:      r.Retries,
+		RetryAfterMs: r.RetryAfterMs,
+		Msg:          r.Msg,
+	}
+	for _, res := range r.Results {
+		out.Results = append(out.Results, ResultJSON{Val: res.Val, Found: res.Found})
+	}
+	return out
+}

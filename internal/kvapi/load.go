@@ -1,0 +1,281 @@
+package kvapi
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadParams configures one closed-loop load campaign: Clients
+// connections, each issuing transactions back to back until Duration
+// elapses (or MaxTxns transactions, whichever comes first).
+type LoadParams struct {
+	Addr    string
+	Clients int
+	// Duration bounds the campaign wall-clock (default 5s). Clients
+	// stop issuing new transactions once it elapses; in-flight ones
+	// drain.
+	Duration time.Duration
+	// MaxTxns, when >0, additionally caps transactions per client —
+	// the deterministic-size form tests use.
+	MaxTxns int
+	// Keys is the key range (default 64). Fewer keys = hotter.
+	Keys int
+	// ReadPct is the percentage of get operations (default 50).
+	ReadPct int
+	// OpsPerTxn is the operation count per transaction (default 3).
+	OpsPerTxn int
+	// Skew is the Zipf exponent for key choice; <=1 means uniform.
+	// (rand.NewZipf requires s>1, so the boundary maps to uniform.)
+	Skew float64
+	// Interactive runs begin/op/commit sessions instead of one-shot
+	// MsgTxn transactions.
+	Interactive bool
+	// Seed makes key/op choices reproducible (default 1).
+	Seed int64
+}
+
+func (p LoadParams) withDefaults() LoadParams {
+	if p.Clients <= 0 {
+		p.Clients = 8
+	}
+	if p.Duration <= 0 {
+		p.Duration = 5 * time.Second
+	}
+	if p.Keys <= 0 {
+		p.Keys = 64
+	}
+	if p.ReadPct < 0 || p.ReadPct > 100 {
+		p.ReadPct = 50
+	}
+	if p.OpsPerTxn <= 0 {
+		p.OpsPerTxn = 3
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// LoadResult aggregates a campaign: outcome counts, client-perceived
+// latency quantiles (a transaction's latency spans all its round
+// trips, busy-waits included), and committed-transaction throughput.
+type LoadResult struct {
+	Params   LoadParams
+	Elapsed  time.Duration
+	Commits  uint64
+	Aborts   uint64 // StatusAborted outcomes (retry budget, replay divergence)
+	Busy     uint64 // admission-control rejections (each later retried)
+	Errors   uint64 // StatusError outcomes
+	Retries  uint64 // server-side substrate retries, summed
+	P50, P95 time.Duration
+	P99      time.Duration
+}
+
+// Throughput is committed transactions per second.
+func (r LoadResult) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Commits) / r.Elapsed.Seconds()
+}
+
+func (r LoadResult) String() string {
+	return fmt.Sprintf(
+		"clients=%d elapsed=%v commits=%d aborts=%d busy=%d errors=%d retries=%d  %.0f txn/s  p50=%v p95=%v p99=%v",
+		r.Params.Clients, r.Elapsed.Round(time.Millisecond),
+		r.Commits, r.Aborts, r.Busy, r.Errors, r.Retries,
+		r.Throughput(), r.P50, r.P95, r.P99)
+}
+
+// clientTally is one worker's private aggregate, merged after the run.
+type clientTally struct {
+	commits, aborts, busy, errs, retries uint64
+	lats                                 []time.Duration
+	err                                  error // transport failure, fatal for the campaign
+}
+
+// RunLoad drives the campaign and blocks until every client drains.
+// A transport-level failure on any connection fails the whole run —
+// against a healthy server the only non-OK outcomes are application
+// statuses, which are counted, not fatal.
+func RunLoad(p LoadParams) (LoadResult, error) {
+	p = p.withDefaults()
+	tallies := make([]clientTally, p.Clients)
+	start := time.Now()
+	deadline := start.Add(p.Duration)
+
+	var wg sync.WaitGroup
+	for i := 0; i < p.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tallies[i] = runClient(p, i, deadline)
+		}(i)
+	}
+	wg.Wait()
+
+	res := LoadResult{Params: p, Elapsed: time.Since(start)}
+	var all []time.Duration
+	for i := range tallies {
+		t := &tallies[i]
+		if t.err != nil {
+			return res, fmt.Errorf("kvapi: load client %d: %w", i, t.err)
+		}
+		res.Commits += t.commits
+		res.Aborts += t.aborts
+		res.Busy += t.busy
+		res.Errors += t.errs
+		res.Retries += t.retries
+		all = append(all, t.lats...)
+	}
+	res.P50, res.P95, res.P99 = quantiles(all)
+	return res, nil
+}
+
+func runClient(p LoadParams, id int, deadline time.Time) clientTally {
+	var t clientTally
+	c, err := Dial(p.Addr)
+	if err != nil {
+		t.err = err
+		return t
+	}
+	defer c.Close()
+
+	rng := rand.New(rand.NewSource(p.Seed + int64(id)*7919))
+	var zipf *rand.Zipf
+	if p.Skew > 1 && p.Keys > 1 {
+		zipf = rand.NewZipf(rng, p.Skew, 1, uint64(p.Keys-1))
+	}
+	pick := func() uint64 {
+		if zipf != nil {
+			return zipf.Uint64()
+		}
+		return uint64(rng.Intn(p.Keys))
+	}
+
+	for n := 0; time.Now().Before(deadline); n++ {
+		if p.MaxTxns > 0 && n >= p.MaxTxns {
+			break
+		}
+		ops := make([]Op, p.OpsPerTxn)
+		for j := range ops {
+			if rng.Intn(100) < p.ReadPct {
+				ops[j] = Op{Kind: OpGet, Key: pick()}
+			} else {
+				ops[j] = Op{Kind: OpPut, Key: pick(), Val: rng.Int63n(1 << 20)}
+			}
+		}
+		t0 := time.Now()
+		if p.Interactive {
+			err = runInteractive(c, ops, &t)
+		} else {
+			err = runOneShot(c, ops, &t)
+		}
+		if err != nil {
+			t.err = err
+			return t
+		}
+		t.lats = append(t.lats, time.Since(t0))
+	}
+	return t
+}
+
+// runOneShot issues one MsgTxn, retrying admission rejections after
+// the server's hint — the closed loop yields instead of hammering.
+func runOneShot(c *Client, ops []Op, t *clientTally) error {
+	for {
+		resp, err := c.Do(ops)
+		if err != nil {
+			return err
+		}
+		t.retries += uint64(resp.Retries)
+		switch resp.Status {
+		case StatusOK:
+			t.commits++
+			return nil
+		case StatusAborted:
+			t.aborts++
+			return nil
+		case StatusBusy:
+			t.busy++
+			time.Sleep(time.Duration(resp.RetryAfterMs) * time.Millisecond)
+		default:
+			t.errs++
+			return nil
+		}
+	}
+}
+
+// runInteractive plays the same ops through a begin/op/commit session.
+// A mid-session abort (conflict replay diverged, retries exhausted)
+// counts as one aborted transaction and the loop moves on.
+func runInteractive(c *Client, ops []Op, t *clientTally) error {
+	for {
+		resp, err := c.Begin()
+		if err != nil {
+			return err
+		}
+		if resp.Status == StatusBusy {
+			t.busy++
+			time.Sleep(time.Duration(resp.RetryAfterMs) * time.Millisecond)
+			continue
+		}
+		if resp.Status != StatusOK {
+			t.errs++
+			return nil
+		}
+		break
+	}
+	for _, op := range ops {
+		var resp Response
+		var err error
+		if op.Kind == OpGet {
+			resp, err = c.Get(op.Key)
+		} else {
+			resp, err = c.Put(op.Key, op.Val)
+		}
+		if err != nil {
+			return err
+		}
+		t.retries += uint64(resp.Retries)
+		if resp.Status == StatusAborted {
+			t.aborts++
+			return nil // session already closed server-side
+		}
+		if resp.Status != StatusOK {
+			t.errs++
+			_, err = c.Abort()
+			return err
+		}
+	}
+	resp, err := c.Commit()
+	if err != nil {
+		return err
+	}
+	t.retries += uint64(resp.Retries)
+	switch resp.Status {
+	case StatusOK:
+		t.commits++
+	case StatusAborted:
+		t.aborts++
+	default:
+		t.errs++
+	}
+	return nil
+}
+
+// quantiles returns p50/p95/p99 of the (unsorted) samples.
+func quantiles(lats []time.Duration) (p50, p95, p99 time.Duration) {
+	if len(lats) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(lats)-1))
+		return lats[i]
+	}
+	return at(0.50), at(0.95), at(0.99)
+}

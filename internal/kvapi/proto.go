@@ -1,0 +1,384 @@
+// Package kvapi is the wire protocol of the Push/Pull KV service: the
+// message types clients and servers exchange, a compact binary framing
+// (4-byte big-endian length prefix, varint-encoded body), the JSON
+// mirror used by the HTTP fallback, a blocking client, and the
+// closed-loop load-generator engine cmd/pushpull-load drives.
+//
+// The protocol is deliberately small. A transaction is either
+//
+//   - one-shot: a single MsgTxn request carrying the whole operation
+//     list, executed atomically server-side (the substrate retries
+//     conflicts under its chaos.RetryPolicy before answering); or
+//   - interactive: MsgBegin opens a server-side session, MsgGet/MsgPut
+//     execute operations inside the live transaction one round trip at
+//     a time, and MsgCommit/MsgAbort close it. On a substrate-level
+//     conflict the server replays the session's journal against fresh
+//     state; reads that no longer reproduce their answered values
+//     abort the session (the client already saw stale data).
+//
+// Every response carries the outcome (OK / aborted / busy / error),
+// the server-side retry count, and — on admission-control rejection —
+// a Retry-After hint in milliseconds.
+package kvapi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MsgType discriminates request messages.
+type MsgType byte
+
+// Request message types.
+const (
+	// MsgTxn executes a whole operation list as one atomic transaction.
+	MsgTxn MsgType = iota
+	// MsgBegin opens an interactive transaction on this connection.
+	MsgBegin
+	// MsgGet reads one key inside the open transaction.
+	MsgGet
+	// MsgPut writes one key inside the open transaction.
+	MsgPut
+	// MsgCommit commits the open transaction.
+	MsgCommit
+	// MsgAbort rolls the open transaction back.
+	MsgAbort
+	// MsgPing is a liveness probe; it never touches a substrate.
+	MsgPing
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgTxn:
+		return "txn"
+	case MsgBegin:
+		return "begin"
+	case MsgGet:
+		return "get"
+	case MsgPut:
+		return "put"
+	case MsgCommit:
+		return "commit"
+	case MsgAbort:
+		return "abort"
+	case MsgPing:
+		return "ping"
+	default:
+		return fmt.Sprintf("msg(%d)", byte(t))
+	}
+}
+
+// OpKind discriminates operations inside a MsgTxn.
+type OpKind byte
+
+// Operation kinds.
+const (
+	OpGet OpKind = iota
+	OpPut
+)
+
+// Op is one KV operation.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+	Val  int64 // puts only
+}
+
+// Request is one client message.
+type Request struct {
+	Type MsgType
+	Key  uint64 // MsgGet/MsgPut
+	Val  int64  // MsgPut
+	Ops  []Op   // MsgTxn
+}
+
+// Status is the application-level outcome of a request.
+type Status byte
+
+// Response statuses.
+const (
+	// StatusOK: the request succeeded (for MsgCommit: the transaction
+	// is committed — and, when the server is durable, flushed).
+	StatusOK Status = iota
+	// StatusAborted: the transaction gave up — retry budget exhausted,
+	// interactive replay diverged, or an explicit substrate abort. The
+	// client may start a fresh transaction.
+	StatusAborted
+	// StatusBusy: admission control rejected the request; RetryAfterMs
+	// hints when to come back.
+	StatusBusy
+	// StatusError: protocol misuse or an internal failure; Msg explains.
+	StatusError
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusAborted:
+		return "aborted"
+	case StatusBusy:
+		return "busy"
+	case StatusError:
+		return "error"
+	default:
+		return fmt.Sprintf("status(%d)", byte(s))
+	}
+}
+
+// Result is one operation's answer: the value read (gets) or the value
+// overwritten (puts), with Found reporting presence.
+type Result struct {
+	Val   int64
+	Found bool
+}
+
+// Response is one server message.
+type Response struct {
+	Status Status
+	// Results answers a MsgTxn op-for-op, or a single MsgGet/MsgPut.
+	Results []Result
+	// Retries is how many substrate-level retries the transaction
+	// consumed before this outcome (0 = first attempt).
+	Retries uint32
+	// RetryAfterMs, on StatusBusy, hints when to retry (queue-depth
+	// scaled).
+	RetryAfterMs uint32
+	// Msg carries the abort/error cause, when there is one.
+	Msg string
+}
+
+// MaxFrame bounds one message's body; anything larger is a protocol
+// error, not a bigger allocation.
+const MaxFrame = 1 << 20
+
+// ErrFrameTooLarge reports a length prefix beyond MaxFrame.
+var ErrFrameTooLarge = errors.New("kvapi: frame exceeds MaxFrame")
+
+// errShort reports a truncated or malformed body. Decoding is total:
+// corrupt input yields this error, never a panic.
+var errShort = errors.New("kvapi: truncated or malformed message body")
+
+// AppendRequest encodes r's body (no frame header) onto b.
+func AppendRequest(b []byte, r Request) []byte {
+	b = append(b, byte(r.Type))
+	switch r.Type {
+	case MsgTxn:
+		b = binary.AppendUvarint(b, uint64(len(r.Ops)))
+		for _, op := range r.Ops {
+			b = append(b, byte(op.Kind))
+			b = binary.AppendUvarint(b, op.Key)
+			if op.Kind == OpPut {
+				b = binary.AppendVarint(b, op.Val)
+			}
+		}
+	case MsgGet:
+		b = binary.AppendUvarint(b, r.Key)
+	case MsgPut:
+		b = binary.AppendUvarint(b, r.Key)
+		b = binary.AppendVarint(b, r.Val)
+	}
+	return b
+}
+
+// DecodeRequest decodes one request body. Total: bad input errors out.
+func DecodeRequest(b []byte) (Request, error) {
+	if len(b) == 0 {
+		return Request{}, errShort
+	}
+	r := Request{Type: MsgType(b[0])}
+	b = b[1:]
+	var err error
+	switch r.Type {
+	case MsgTxn:
+		var n uint64
+		if n, b, err = takeUvarint(b); err != nil {
+			return r, err
+		}
+		if n > MaxFrame/2 { // each op is ≥2 bytes; reject absurd counts
+			return r, errShort
+		}
+		r.Ops = make([]Op, 0, n)
+		for i := uint64(0); i < n; i++ {
+			if len(b) == 0 {
+				return r, errShort
+			}
+			op := Op{Kind: OpKind(b[0])}
+			b = b[1:]
+			if op.Kind != OpGet && op.Kind != OpPut {
+				return r, fmt.Errorf("kvapi: unknown op kind %d", op.Kind)
+			}
+			if op.Key, b, err = takeUvarint(b); err != nil {
+				return r, err
+			}
+			if op.Kind == OpPut {
+				if op.Val, b, err = takeVarint(b); err != nil {
+					return r, err
+				}
+			}
+			r.Ops = append(r.Ops, op)
+		}
+	case MsgGet:
+		if r.Key, b, err = takeUvarint(b); err != nil {
+			return r, err
+		}
+	case MsgPut:
+		if r.Key, b, err = takeUvarint(b); err != nil {
+			return r, err
+		}
+		if r.Val, b, err = takeVarint(b); err != nil {
+			return r, err
+		}
+	case MsgBegin, MsgCommit, MsgAbort, MsgPing:
+		// no payload
+	default:
+		return r, fmt.Errorf("kvapi: unknown message type %d", byte(r.Type))
+	}
+	if len(b) != 0 {
+		return r, errShort
+	}
+	return r, nil
+}
+
+// AppendResponse encodes r's body (no frame header) onto b.
+func AppendResponse(b []byte, r Response) []byte {
+	b = append(b, byte(r.Status))
+	b = binary.AppendUvarint(b, uint64(len(r.Results)))
+	for _, res := range r.Results {
+		found := byte(0)
+		if res.Found {
+			found = 1
+		}
+		b = append(b, found)
+		b = binary.AppendVarint(b, res.Val)
+	}
+	b = binary.AppendUvarint(b, uint64(r.Retries))
+	b = binary.AppendUvarint(b, uint64(r.RetryAfterMs))
+	b = binary.AppendUvarint(b, uint64(len(r.Msg)))
+	b = append(b, r.Msg...)
+	return b
+}
+
+// DecodeResponse decodes one response body. Total: bad input errors out.
+func DecodeResponse(b []byte) (Response, error) {
+	if len(b) == 0 {
+		return Response{}, errShort
+	}
+	r := Response{Status: Status(b[0])}
+	b = b[1:]
+	n, b, err := takeUvarint(b)
+	if err != nil {
+		return r, err
+	}
+	if n > MaxFrame/2 {
+		return r, errShort
+	}
+	r.Results = make([]Result, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if len(b) == 0 {
+			return r, errShort
+		}
+		res := Result{Found: b[0] != 0}
+		b = b[1:]
+		if res.Val, b, err = takeVarint(b); err != nil {
+			return r, err
+		}
+		r.Results = append(r.Results, res)
+	}
+	var u uint64
+	if u, b, err = takeUvarint(b); err != nil {
+		return r, err
+	}
+	r.Retries = uint32(u)
+	if u, b, err = takeUvarint(b); err != nil {
+		return r, err
+	}
+	r.RetryAfterMs = uint32(u)
+	if u, b, err = takeUvarint(b); err != nil {
+		return r, err
+	}
+	if uint64(len(b)) != u {
+		return r, errShort
+	}
+	r.Msg = string(b)
+	return r, nil
+}
+
+// WriteFrame writes one length-prefixed body.
+func WriteFrame(w io.Writer, body []byte) error {
+	if len(body) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed body.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// WriteRequest frames and writes one request.
+func WriteRequest(w io.Writer, r Request) error {
+	return WriteFrame(w, AppendRequest(nil, r))
+}
+
+// ReadRequest reads and decodes one request.
+func ReadRequest(r io.Reader) (Request, error) {
+	body, err := ReadFrame(r)
+	if err != nil {
+		return Request{}, err
+	}
+	return DecodeRequest(body)
+}
+
+// WriteResponse frames and writes one response.
+func WriteResponse(w io.Writer, r Response) error {
+	return WriteFrame(w, AppendResponse(nil, r))
+}
+
+// ReadResponse reads and decodes one response.
+func ReadResponse(r io.Reader) (Response, error) {
+	body, err := ReadFrame(r)
+	if err != nil {
+		return Response{}, err
+	}
+	return DecodeResponse(body)
+}
+
+// takeUvarint consumes one uvarint from b.
+func takeUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, b, errShort
+	}
+	return v, b[n:], nil
+}
+
+// takeVarint consumes one zigzag varint from b.
+func takeVarint(b []byte) (int64, []byte, error) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, b, errShort
+	}
+	return v, b[n:], nil
+}

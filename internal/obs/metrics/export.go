@@ -68,6 +68,27 @@ func writeProm(w io.Writer, s Snapshot) error {
 	p("# TYPE pushpull_live_txns gauge\n")
 	p("pushpull_live_txns %d\n", s.LiveTxns)
 
+	if len(s.Requests) > 0 {
+		p("# HELP pushpull_requests_total KV server requests by endpoint and outcome.\n")
+		p("# TYPE pushpull_requests_total counter\n")
+		for _, ep := range sortedReqKeys(s.Requests) {
+			r := s.Requests[ep]
+			for _, oc := range [...]struct {
+				name string
+				n    uint64
+			}{{"ok", r.OK}, {"aborted", r.Aborted}, {"busy", r.Busy}, {"error", r.Errors}} {
+				if oc.n > 0 {
+					p("pushpull_requests_total{endpoint=%q,outcome=%q} %d\n", ep, oc.name, oc.n)
+				}
+			}
+		}
+		for _, ep := range sortedReqKeys(s.Requests) {
+			promHistLabeled(p, "pushpull_request_seconds",
+				"KV server request latency by endpoint.",
+				fmt.Sprintf("endpoint=%q", ep), s.Requests[ep].LatencyNs, 1e9)
+		}
+	}
+
 	promHist(p, "pushpull_retry_depth", "Retry attempt number per retry-policy draw.", s.RetryDepth, 1)
 	promHist(p, "pushpull_push_to_commit_seconds", "Latency from an attempt's first PUSH to its CMT.", s.PushToCmtNs, 1e9)
 	promHist(p, "pushpull_pull_fanin", "PULLed foreign operations per finished attempt.", s.PullFanIn, 1)
@@ -89,6 +110,32 @@ func promHist(p func(string, ...any), name, help string, h HistogramSnapshot, sc
 	p("%s_bucket{le=\"+Inf\"} %d\n", name, cum)
 	p("%s_sum %g\n", name, float64(h.Sum)/scale)
 	p("%s_count %d\n", name, h.Count)
+}
+
+// promHistLabeled is promHist with a fixed extra label on every series
+// (HELP/TYPE are emitted per call; Prometheus tolerates repeats of the
+// same metadata, and endpoints are few).
+func promHistLabeled(p func(string, ...any), name, help, label string, h HistogramSnapshot, scale float64) {
+	p("# HELP %s %s\n", name, help)
+	p("# TYPE %s histogram\n", name)
+	var cum uint64
+	for i, b := range h.Bounds {
+		cum += h.Counts[i]
+		p("%s_bucket{%s,le=%q} %d\n", name, label, fmt.Sprintf("%g", float64(b)/scale), cum)
+	}
+	cum += h.Counts[len(h.Bounds)]
+	p("%s_bucket{%s,le=\"+Inf\"} %d\n", name, label, cum)
+	p("%s_sum{%s} %g\n", name, label, float64(h.Sum)/scale)
+	p("%s_count{%s} %d\n", name, label, h.Count)
+}
+
+func sortedReqKeys(m map[string]RequestSnapshot) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func sortedKeys(m map[string]uint64) []string {

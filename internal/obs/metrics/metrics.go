@@ -166,6 +166,9 @@ type Metrics struct {
 
 	faultsMu sync.Mutex
 	faults   map[string]uint64 // chaos site → injections observed
+
+	reqsMu sync.RWMutex
+	reqs   map[string]*endpointStats // server endpoint → request tally
 }
 
 // New returns an empty Metrics with the default bucket layouts:
@@ -179,6 +182,7 @@ func New() *Metrics {
 		walSync:    NewHistogram(ExpBounds(1000, 24)),
 		sites:      make(map[string]*siteCounters),
 		faults:     make(map[string]uint64),
+		reqs:       make(map[string]*endpointStats),
 	}
 }
 
@@ -314,8 +318,9 @@ type Snapshot struct {
 	SchedKills    uint64            `json:"sched_kills"`
 	LiveTxns      int               `json:"live_txns"`
 
-	Sites  map[string]SiteSnapshot `json:"sites"`
-	Faults map[string]uint64       `json:"faults"`
+	Sites    map[string]SiteSnapshot    `json:"sites"`
+	Faults   map[string]uint64          `json:"faults"`
+	Requests map[string]RequestSnapshot `json:"requests"`
 
 	RetryDepth  HistogramSnapshot `json:"retry_depth"`
 	PushToCmtNs HistogramSnapshot `json:"push_to_cmt_ns"`
@@ -342,6 +347,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		SchedKills:    m.kills.Load(),
 		Sites:         make(map[string]SiteSnapshot),
 		Faults:        make(map[string]uint64),
+		Requests:      make(map[string]RequestSnapshot),
 		RetryDepth:    m.retryDepth.Snapshot(),
 		PushToCmtNs:   m.pushToCmt.Snapshot(),
 		PullFanIn:     m.pullFanIn.Snapshot(),
@@ -366,6 +372,15 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.Faults[site] = n
 	}
 	m.faultsMu.Unlock()
+	m.reqsMu.RLock()
+	for name, e := range m.reqs {
+		s.Requests[name] = RequestSnapshot{
+			OK: e.ok.Load(), Aborted: e.aborted.Load(),
+			Busy: e.busy.Load(), Errors: e.errs.Load(),
+			LatencyNs: e.lat.Snapshot(),
+		}
+	}
+	m.reqsMu.RUnlock()
 	for i := range m.txs {
 		sh := &m.txs[i]
 		sh.mu.Lock()

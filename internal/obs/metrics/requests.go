@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Per-endpoint request telemetry for the KV server: each wire endpoint
+// (txn, begin, get, put, commit, abort, ping, http.txn) gets outcome
+// counters and a latency histogram, registered lazily like the
+// per-site counters so the package stays ignorant of the server's
+// endpoint list.
+
+// endpointStats is one endpoint's tally.
+type endpointStats struct {
+	ok      atomic.Uint64
+	aborted atomic.Uint64
+	busy    atomic.Uint64
+	errs    atomic.Uint64
+	lat     *Histogram // ns
+}
+
+func (m *Metrics) endpoint(name string) *endpointStats {
+	m.reqsMu.RLock()
+	e := m.reqs[name]
+	m.reqsMu.RUnlock()
+	if e != nil {
+		return e
+	}
+	m.reqsMu.Lock()
+	defer m.reqsMu.Unlock()
+	if e = m.reqs[name]; e == nil {
+		e = &endpointStats{lat: NewHistogram(ExpBounds(1000, 24))}
+		m.reqs[name] = e
+	}
+	return e
+}
+
+// RequestObserved records one served request: endpoint is the wire
+// message name, outcome one of "ok"/"aborted"/"busy"/"error"
+// (kvapi.Status.String()), d the wall time from frame decode to
+// response encode.
+func (m *Metrics) RequestObserved(endpoint, outcome string, d time.Duration) {
+	e := m.endpoint(endpoint)
+	switch outcome {
+	case "ok":
+		e.ok.Add(1)
+	case "aborted":
+		e.aborted.Add(1)
+	case "busy":
+		e.busy.Add(1)
+	default:
+		e.errs.Add(1)
+	}
+	e.lat.Observe(d.Nanoseconds())
+}
+
+// RequestSnapshot is one endpoint's plain-value tally.
+type RequestSnapshot struct {
+	OK        uint64            `json:"ok"`
+	Aborted   uint64            `json:"aborted"`
+	Busy      uint64            `json:"busy"`
+	Errors    uint64            `json:"errors"`
+	LatencyNs HistogramSnapshot `json:"latency_ns"`
+}

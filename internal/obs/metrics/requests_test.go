@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRequestObserved(t *testing.T) {
+	m := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				m.RequestObserved("txn", "ok", 5*time.Microsecond)
+			}
+			m.RequestObserved("begin", "busy", time.Microsecond)
+			m.RequestObserved("commit", "aborted", time.Microsecond)
+			m.RequestObserved("get", "error", time.Microsecond)
+		}()
+	}
+	wg.Wait()
+
+	s := m.Snapshot()
+	if got := s.Requests["txn"]; got.OK != 200 || got.LatencyNs.Count != 200 {
+		t.Fatalf("txn = %+v, want 200 ok / 200 observations", got)
+	}
+	if s.Requests["begin"].Busy != 4 || s.Requests["commit"].Aborted != 4 || s.Requests["get"].Errors != 4 {
+		t.Fatalf("outcome routing wrong: %+v", s.Requests)
+	}
+
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`pushpull_requests_total{endpoint="txn",outcome="ok"} 200`,
+		`pushpull_requests_total{endpoint="begin",outcome="busy"} 4`,
+		`pushpull_request_seconds_bucket{endpoint="txn",le="+Inf"} 200`,
+		`pushpull_request_seconds_count{endpoint="txn"} 200`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Zero-count outcomes are suppressed, not exported as 0.
+	if strings.Contains(out, `endpoint="begin",outcome="ok"`) {
+		t.Fatal("zero-count outcome exported")
+	}
+}

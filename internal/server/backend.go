@@ -1,0 +1,573 @@
+// Package server is the network service layer: a concurrent
+// transactional KV service that runs every client transaction as a
+// Push/Pull transaction on a configurable substrate (tl2, pess, boost,
+// htmsim, dep, hybrid), certified against the shadow machine,
+// write-ahead logged for crash recovery, and observable through the
+// rule-level metrics suite.
+//
+// The layering, bottom up:
+//
+//   - Backend (this file) adapts each substrate behind one View
+//     interface: Get/Put over a uint64 key space. Word substrates map
+//     keys onto their register array (key mod Keys); boosting-based
+//     substrates use a boosted Map keyed by the full key. The hybrid
+//     backend additionally runs one HTM section per transaction
+//     incrementing a commit counter word — the Section 7 shape, giving
+//     the smoke tests a cross-substrate conservation invariant.
+//   - session.go runs interactive (begin/op/commit) transactions: one
+//     goroutine per open transaction, re-entering the substrate's
+//     Atomic with a journal replay on conflict.
+//   - gate.go is admission control; group.go batches WAL commit
+//     barriers across concurrent committers.
+//   - server.go/http.go speak the kvapi wire protocol and the JSON
+//     fallback; recover.go replays and certifies the WAL before the
+//     listener opens.
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"pushpull/internal/adt"
+	"pushpull/internal/chaos"
+	"pushpull/internal/core"
+	"pushpull/internal/recovery"
+	"pushpull/internal/spec"
+	"pushpull/internal/stm/boost"
+	"pushpull/internal/stm/dep"
+	"pushpull/internal/stm/htmsim"
+	"pushpull/internal/stm/hybrid"
+	"pushpull/internal/stm/pess"
+	"pushpull/internal/stm/tl2"
+	"pushpull/internal/trace"
+)
+
+// View is what a transaction body sees: transactional reads and writes
+// over the service's key space. Errors must be returned unmodified to
+// the enclosing Atomic — they carry the substrate's conflict/retry
+// semantics.
+type View interface {
+	Get(key uint64) (val int64, found bool, err error)
+	Put(key uint64, val int64) error
+}
+
+// Backend runs atomic transactions on one substrate.
+type Backend interface {
+	// Substrate names the implementation (tl2, pess, ...).
+	Substrate() string
+	// Atomic runs fn transactionally. The substrate retries its own
+	// conflicts (bounded by the retry policy); any foreign error aborts
+	// the transaction — undo applied, locks released, shadow session
+	// rewound — and is returned as-is.
+	Atomic(name string, fn func(View) error) error
+	// Seed re-applies a recovered committed state as fresh certified
+	// transactions (the restart checkpoint), returning how many
+	// transactions it ran.
+	Seed(st recovery.State) (int, error)
+	// Stats returns substrate commit/abort counters.
+	Stats() (commits, aborts uint64)
+	// Recorder is the certifying shadow machine (nil when certification
+	// is disabled).
+	Recorder() *trace.Recorder
+	// LeakCheck asserts quiescent cleanliness (no abstract locks held).
+	LeakCheck() error
+	// CheckInvariant asserts substrate-specific conservation laws
+	// (hybrid: HTM commit counter equals committed transactions).
+	CheckInvariant() error
+	// ReadKey reads one key non-transactionally — quiescent test
+	// verification only.
+	ReadKey(key uint64) (int64, bool)
+}
+
+// Config configures a backend.
+type Config struct {
+	Substrate string
+	// Keys sizes the word substrates' register array (and bounds their
+	// address mapping). Boost/hybrid maps ignore it.
+	Keys int
+	Seed int64
+	// DisableCert drops the certifying shadow machine — raw-throughput
+	// mode. The zero value is the certified one on purpose.
+	DisableCert bool
+	// Injector, when non-nil, threads server-side chaos into the
+	// substrate's fault sites and the WAL.
+	Injector *chaos.Faults
+	// Retry bounds substrate-level conflict retries.
+	Retry *chaos.RetryPolicy
+	// Durable, when non-nil, is the commit barrier (normally the
+	// group-commit wrapper over the WAL).
+	Durable core.Durable
+}
+
+// RegistryFor returns the certification registry a substrate's
+// transactions are checked against — and the one its recovered WAL
+// must re-certify under.
+func RegistryFor(substrate string) (*spec.Registry, error) {
+	reg := spec.NewRegistry()
+	switch substrate {
+	case "tl2", "pess", "htmsim", "dep":
+		reg.Register("mem", adt.Register{})
+	case "boost":
+		reg.Register("ht", adt.Map{})
+	case "hybrid":
+		reg.Register("ht", adt.Map{})
+		reg.Register("htm", adt.Register{})
+	default:
+		return nil, fmt.Errorf("server: unknown substrate %q", substrate)
+	}
+	return reg, nil
+}
+
+// Substrates lists the accepted backend names.
+func Substrates() []string {
+	return []string{"tl2", "pess", "boost", "htmsim", "dep", "hybrid"}
+}
+
+// NewBackend builds the substrate backend for cfg.
+func NewBackend(cfg Config) (Backend, error) {
+	if cfg.Keys <= 0 {
+		cfg.Keys = 64
+	}
+	var rec *trace.Recorder
+	if !cfg.DisableCert {
+		reg, err := RegistryFor(cfg.Substrate)
+		if err != nil {
+			return nil, err
+		}
+		rec = trace.NewRecorder(reg)
+		// Shadow-replay cost is quadratic within a compaction window
+		// (each commit re-pulls and re-denotes the window under one
+		// lock), so a serving process keeps the window much smaller
+		// than the recorder default to bound per-commit latency.
+		rec.CompactEvery = 16
+	}
+	switch cfg.Substrate {
+	case "tl2":
+		m := tl2.New(cfg.Keys)
+		m.Recorder, m.Retry, m.Durable = rec, cfg.Retry, cfg.Durable
+		if cfg.Injector != nil {
+			m.Injector = cfg.Injector
+		}
+		return &wordBackend{
+			name: "tl2", keys: cfg.Keys, rec: rec,
+			atomic: func(name string, fn func(wordTx) error) error {
+				return m.AtomicNamed(name, func(tx *tl2.Tx) error { return fn(tx) })
+			},
+			read:  m.ReadNoTx,
+			stats: func() (uint64, uint64) { s := m.Stats(); return s.Commits, s.Aborts },
+		}, nil
+	case "pess":
+		m := pess.New(cfg.Keys)
+		m.Recorder, m.Retry, m.Durable = rec, cfg.Retry, cfg.Durable
+		if cfg.Injector != nil {
+			m.Injector = cfg.Injector
+		}
+		return &wordBackend{
+			name: "pess", keys: cfg.Keys, rec: rec,
+			atomic: func(name string, fn func(wordTx) error) error {
+				return m.AtomicNamed(name, func(tx *pess.Tx) error { return fn(tx) })
+			},
+			read:  m.ReadNoTx,
+			stats: func() (uint64, uint64) { s := m.Stats(); return s.Commits, s.Aborts },
+		}, nil
+	case "htmsim":
+		h := htmsim.New(cfg.Keys)
+		h.Name = "mem"
+		h.Recorder, h.Retry, h.Durable = rec, cfg.Retry, cfg.Durable
+		if cfg.Injector != nil {
+			h.Injector = cfg.Injector
+		}
+		return &wordBackend{
+			name: "htmsim", keys: cfg.Keys, rec: rec,
+			atomic: func(name string, fn func(wordTx) error) error {
+				return h.Atomic(name, func(tx *htmsim.Tx) error { return fn(tx) })
+			},
+			read: h.ReadNoTx,
+			stats: func() (uint64, uint64) {
+				s := h.Stats()
+				return s.Commits, s.ConflictAborts + s.CapacityAborts
+			},
+		}, nil
+	case "dep":
+		m := dep.New(cfg.Keys)
+		m.Recorder, m.Retry, m.Durable = rec, cfg.Retry, cfg.Durable
+		if cfg.Injector != nil {
+			m.Injector = cfg.Injector
+		}
+		return &wordBackend{
+			name: "dep", keys: cfg.Keys, rec: rec,
+			atomic: func(name string, fn func(wordTx) error) error {
+				return m.Atomic(name, func(tx *dep.Tx) error { return fn(tx) })
+			},
+			read:  m.ReadNoTx,
+			stats: func() (uint64, uint64) { s := m.Stats(); return s.Commits, s.Aborts },
+		}, nil
+	case "boost":
+		rt := boost.NewRuntime()
+		rt.Recorder, rt.Retry, rt.Durable = rec, cfg.Retry, cfg.Durable
+		if cfg.Injector != nil {
+			rt.Injector = cfg.Injector
+		}
+		return &boostBackend{
+			rt: rt, ht: boost.NewMap(rt, "ht", cfg.Seed), rec: rec,
+		}, nil
+	case "hybrid":
+		b := boost.NewRuntime()
+		b.Recorder, b.Retry, b.Durable = rec, cfg.Retry, cfg.Durable
+		if cfg.Injector != nil {
+			b.Injector = cfg.Injector
+		}
+		h := htmsim.New(4)
+		h.Name = "htm"
+		if cfg.Injector != nil {
+			h.Injector = cfg.Injector
+		}
+		rt := hybrid.New(b, h)
+		rt.Durable = cfg.Durable
+		return &hybridBackend{
+			b: b, h: h, rt: rt, rec: rec,
+			ht: boost.NewMap(b, "ht", cfg.Seed),
+		}, nil
+	default:
+		return nil, fmt.Errorf("server: unknown substrate %q", cfg.Substrate)
+	}
+}
+
+// ---- word substrates (tl2, pess, htmsim, dep) ----
+
+// wordTx is the read/write surface all four word substrates share.
+type wordTx interface {
+	Read(addr int) (int64, error)
+	Write(addr int, val int64) error
+}
+
+type wordBackend struct {
+	name   string
+	keys   int
+	rec    *trace.Recorder
+	atomic func(name string, fn func(wordTx) error) error
+	read   func(addr int) int64
+	stats  func() (commits, aborts uint64)
+}
+
+// wordView maps the service key space onto the register array. Every
+// key "exists" (registers default to zero), so Found is always true.
+type wordView struct {
+	tx   wordTx
+	keys int
+}
+
+func (v wordView) addr(key uint64) int { return int(key % uint64(v.keys)) }
+
+func (v wordView) Get(key uint64) (int64, bool, error) {
+	x, err := v.tx.Read(v.addr(key))
+	return x, err == nil, err
+}
+
+func (v wordView) Put(key uint64, val int64) error {
+	return v.tx.Write(v.addr(key), val)
+}
+
+func (b *wordBackend) Substrate() string         { return b.name }
+func (b *wordBackend) Recorder() *trace.Recorder { return b.rec }
+func (b *wordBackend) LeakCheck() error          { return nil }
+func (b *wordBackend) CheckInvariant() error     { return nil }
+
+func (b *wordBackend) Stats() (uint64, uint64) { return b.stats() }
+
+func (b *wordBackend) Atomic(name string, fn func(View) error) error {
+	return b.atomic(name, func(tx wordTx) error {
+		return fn(wordView{tx: tx, keys: b.keys})
+	})
+}
+
+func (b *wordBackend) ReadKey(key uint64) (int64, bool) {
+	return b.read(int(key % uint64(b.keys))), true
+}
+
+// Seed replays the recovered register image in chunks: htmsim's
+// speculative capacity bounds one transaction's footprint, and smaller
+// transactions keep the certified checkpoint cheap everywhere.
+func (b *wordBackend) Seed(st recovery.State) (int, error) {
+	words := foldRegister(st, "mem")
+	return b.seedWords(words)
+}
+
+func (b *wordBackend) seedWords(words map[int]int64) (int, error) {
+	addrs := make([]int, 0, len(words))
+	for a := range words {
+		if a < 0 || a >= b.keys {
+			return 0, fmt.Errorf("server: recovered address %d outside key range %d (restart with the original -keys)", a, b.keys)
+		}
+		addrs = append(addrs, a)
+	}
+	sort.Ints(addrs)
+	const chunk = 16
+	txns := 0
+	for lo := 0; lo < len(addrs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(addrs) {
+			hi = len(addrs)
+		}
+		part := addrs[lo:hi]
+		err := b.atomic(fmt.Sprintf("recover-%d", txns), func(tx wordTx) error {
+			for _, a := range part {
+				if err := tx.Write(a, words[a]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return txns, fmt.Errorf("server: seeding recovered state: %w", err)
+		}
+		txns++
+	}
+	return txns, nil
+}
+
+// ---- boosting ----
+
+type boostBackend struct {
+	rt  *boost.Runtime
+	ht  *boost.Map
+	rec *trace.Recorder
+}
+
+type boostView struct {
+	ht *boost.Map
+	tx *boost.Txn
+}
+
+func (v boostView) Get(key uint64) (int64, bool, error) {
+	return v.ht.Get(v.tx, int64(key))
+}
+
+func (v boostView) Put(key uint64, val int64) error {
+	_, _, err := v.ht.Put(v.tx, int64(key), val)
+	return err
+}
+
+func (b *boostBackend) Substrate() string         { return "boost" }
+func (b *boostBackend) Recorder() *trace.Recorder { return b.rec }
+func (b *boostBackend) LeakCheck() error          { return b.rt.LeakCheck() }
+func (b *boostBackend) CheckInvariant() error     { return nil }
+
+func (b *boostBackend) Stats() (uint64, uint64) {
+	s := b.rt.Stats()
+	return s.Commits, s.Aborts
+}
+
+func (b *boostBackend) Atomic(name string, fn func(View) error) error {
+	return b.rt.Atomic(name, func(tx *boost.Txn) error {
+		return fn(boostView{ht: b.ht, tx: tx})
+	})
+}
+
+func (b *boostBackend) ReadKey(key uint64) (int64, bool) {
+	return b.ht.Base().Get(int64(key))
+}
+
+func (b *boostBackend) Seed(st recovery.State) (int, error) {
+	return seedMap(st, "ht", func(name string, fn func(*boost.Txn) error) error {
+		return b.rt.Atomic(name, fn)
+	}, b.ht)
+}
+
+// seedMap re-applies a recovered map image through boosted puts.
+func seedMap(st recovery.State, obj string,
+	atomic func(string, func(*boost.Txn) error) error, ht *boost.Map) (int, error) {
+	kv := foldMap(st, obj)
+	keys := make([]int64, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	const chunk = 16
+	txns := 0
+	for lo := 0; lo < len(keys); lo += chunk {
+		hi := lo + chunk
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		part := keys[lo:hi]
+		err := atomic(fmt.Sprintf("recover-%d", txns), func(tx *boost.Txn) error {
+			for _, k := range part {
+				if _, _, err := ht.Put(tx, k, kv[k]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return txns, fmt.Errorf("server: seeding recovered state: %w", err)
+		}
+		txns++
+	}
+	return txns, nil
+}
+
+// ---- hybrid (Section 7: boosting + HTM sections) ----
+
+type hybridBackend struct {
+	b   *boost.Runtime
+	h   *htmsim.HTM
+	rt  *hybrid.Runtime
+	ht  *boost.Map
+	rec *trace.Recorder
+
+	// ctrBase is the HTM counter value restored at seed time; ctrTxns
+	// counts client transactions committed since. Their sum is the
+	// conservation invariant on word 0.
+	ctrBase int64
+	ctrTxns atomic.Uint64
+}
+
+type hybridView struct {
+	ht *boost.Map
+	tx *hybrid.Tx
+}
+
+func (v hybridView) Get(key uint64) (int64, bool, error) {
+	return v.ht.Get(v.tx.Boosted(), int64(key))
+}
+
+func (v hybridView) Put(key uint64, val int64) error {
+	_, _, err := v.ht.Put(v.tx.Boosted(), int64(key), val)
+	return err
+}
+
+func (b *hybridBackend) Substrate() string         { return "hybrid" }
+func (b *hybridBackend) Recorder() *trace.Recorder { return b.rec }
+func (b *hybridBackend) LeakCheck() error          { return b.b.LeakCheck() }
+
+func (b *hybridBackend) Stats() (uint64, uint64) {
+	s := b.rt.Stats()
+	return s.Commits, s.Boost.Aborts
+}
+
+// Atomic runs the KV ops boosted and appends one HTM section bumping
+// the commit-counter word — every committed transaction increments it
+// exactly once, across speculation, fallback, and degradation.
+func (b *hybridBackend) Atomic(name string, fn func(View) error) error {
+	err := b.rt.Atomic(name, func(tx *hybrid.Tx) error {
+		tx.HTMSection(func(htx *htmsim.Tx) error {
+			v, err := htx.Read(0)
+			if err != nil {
+				return err
+			}
+			return htx.Write(0, v+1)
+		})
+		return fn(hybridView{ht: b.ht, tx: tx})
+	})
+	if err == nil {
+		b.ctrTxns.Add(1)
+	}
+	return err
+}
+
+func (b *hybridBackend) ReadKey(key uint64) (int64, bool) {
+	return b.ht.Base().Get(int64(key))
+}
+
+// CheckInvariant is the conservation law: the HTM counter must equal
+// the seeded base plus one increment per committed client transaction.
+// Quiescent only (counter and tally are read separately).
+func (b *hybridBackend) CheckInvariant() error {
+	want := b.ctrBase + int64(b.ctrTxns.Load())
+	if got := b.h.ReadNoTx(0); got != want {
+		return fmt.Errorf("server: hybrid counter=%d, want %d (base %d + %d commits): lost updates",
+			got, want, b.ctrBase, b.ctrTxns.Load())
+	}
+	return nil
+}
+
+// Seed restores the recovered map through boosted puts, then the HTM
+// counter word through one hybrid transaction — the counter survives
+// restart, so the commit tally is conserved across crashes.
+func (b *hybridBackend) Seed(st recovery.State) (int, error) {
+	txns, err := seedMap(st, "ht", func(name string, fn func(*boost.Txn) error) error {
+		return b.b.Atomic(name, fn)
+	}, b.ht)
+	if err != nil {
+		return txns, err
+	}
+	ctr := foldRegister(st, "htm")
+	if v, ok := ctr[0]; ok && v != 0 {
+		err := b.rt.Atomic("recover-ctr", func(tx *hybrid.Tx) error {
+			tx.HTMSection(func(htx *htmsim.Tx) error {
+				if _, err := htx.Read(0); err != nil {
+					return err
+				}
+				return htx.Write(0, v)
+			})
+			return nil
+		})
+		if err != nil {
+			return txns, fmt.Errorf("server: seeding recovered counter: %w", err)
+		}
+		txns++
+		b.ctrBase = v
+	}
+	return txns, nil
+}
+
+// ---- recovered-state folds ----
+
+// foldRegister folds a recovered state's writes to one register object
+// into its final address→value image. Reads are no-ops; State.Txns is
+// already in commit-stamp order, so the last write wins correctly.
+func foldRegister(st recovery.State, obj string) map[int]int64 {
+	out := make(map[int]int64)
+	for _, t := range st.Txns {
+		for _, op := range t.Ops {
+			if op.Obj != obj || op.Method != adt.MWrite || len(op.Args) < 2 {
+				continue
+			}
+			out[int(op.Args[0])] = op.Args[1]
+		}
+	}
+	return out
+}
+
+// foldMap folds a recovered state's put/remove stream on one map
+// object into its final key→value image.
+func foldMap(st recovery.State, obj string) map[int64]int64 {
+	out := make(map[int64]int64)
+	for _, t := range st.Txns {
+		for _, op := range t.Ops {
+			if op.Obj != obj || len(op.Args) < 1 {
+				continue
+			}
+			switch op.Method {
+			case adt.MMapPut:
+				if len(op.Args) >= 2 {
+					out[op.Args[0]] = op.Args[1]
+				}
+			case adt.MMapRemove:
+				delete(out, op.Args[0])
+			}
+		}
+	}
+	return out
+}
+
+// FoldKV projects a recovered state onto the service's KV surface for
+// the given substrate — what a client must be able to read back after
+// restart. Word substrates fold the register image (addresses are the
+// key space modulo Keys); boosting-based substrates fold the map.
+func FoldKV(st recovery.State, substrate string) map[uint64]int64 {
+	out := make(map[uint64]int64)
+	switch substrate {
+	case "boost", "hybrid":
+		for k, v := range foldMap(st, "ht") {
+			out[uint64(k)] = v
+		}
+	default:
+		for a, v := range foldRegister(st, "mem") {
+			out[uint64(a)] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// gate is the admission-control valve: at most maxInflight
+// transactions run concurrently, at most maxQueue more may wait for a
+// slot, and arrivals beyond that are rejected immediately with a
+// queue-depth-scaled Retry-After hint. Bounding the queue (not just
+// the in-flight count) is what keeps overload latency bounded: a
+// rejected client backs off at the edge instead of camping on the
+// substrate's conflict window.
+type gate struct {
+	slots    chan struct{}
+	maxQueue int
+	queued   atomic.Int64
+	rejected atomic.Uint64
+	// hintUnit scales the Retry-After hint per queue's-worth of
+	// backlog.
+	hintUnit time.Duration
+}
+
+func newGate(maxInflight, maxQueue int) *gate {
+	if maxInflight <= 0 {
+		maxInflight = 64
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &gate{
+		slots:    make(chan struct{}, maxInflight),
+		maxQueue: maxQueue,
+		hintUnit: 5 * time.Millisecond,
+	}
+}
+
+// acquire claims a transaction slot, waiting in the bounded queue if
+// none is free. ok=false means admission rejected the request; the
+// hint says when to retry (longer the deeper the backlog already is).
+func (g *gate) acquire() (ok bool, retryAfter time.Duration) {
+	select {
+	case g.slots <- struct{}{}:
+		return true, 0
+	default:
+	}
+	n := g.queued.Add(1)
+	if int(n) > g.maxQueue {
+		g.queued.Add(-1)
+		g.rejected.Add(1)
+		depth := 1 + int(n)/cap(g.slots)
+		return false, time.Duration(depth) * g.hintUnit
+	}
+	g.slots <- struct{}{}
+	g.queued.Add(-1)
+	return true, 0
+}
+
+// release returns a slot.
+func (g *gate) release() { <-g.slots }
+
+// inFlight is the number of running transactions (snapshot).
+func (g *gate) inFlight() int { return len(g.slots) }
+
+// rejectedCount is the total of admission rejections.
+func (g *gate) rejectedCount() uint64 { return g.rejected.Load() }

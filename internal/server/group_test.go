@@ -1,0 +1,124 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// slowDurable counts syncs and makes each one slow enough that
+// concurrent committers pile up behind the in-flight sync.
+type slowDurable struct {
+	syncs atomic.Uint64
+	delay time.Duration
+	err   error
+}
+
+func (d *slowDurable) CommitBarrier() error {
+	d.syncs.Add(1)
+	time.Sleep(d.delay)
+	return d.err
+}
+
+func TestGroupCommitAmortizes(t *testing.T) {
+	d := &slowDurable{delay: 2 * time.Millisecond}
+	g := NewGroupCommit(d)
+	const workers = 16
+	const rounds = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if err := g.CommitBarrier(); err != nil {
+					t.Errorf("barrier: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	barriers, syncs := g.Stats()
+	if barriers != workers*rounds {
+		t.Fatalf("barriers = %d, want %d", barriers, workers*rounds)
+	}
+	if syncs != d.syncs.Load() {
+		t.Fatalf("stats syncs = %d, durable saw %d", syncs, d.syncs.Load())
+	}
+	// With 16 committers stuck behind 2ms syncs, batching must collapse
+	// many barriers into each sync. Demand at least a 2x amortization —
+	// in practice it is far higher.
+	if syncs*2 > barriers {
+		t.Fatalf("no amortization: %d syncs for %d barriers", syncs, barriers)
+	}
+	t.Logf("group commit: %d barriers over %d syncs (%.1fx)", barriers, syncs, float64(barriers)/float64(syncs))
+}
+
+func TestGroupCommitPropagatesError(t *testing.T) {
+	boom := errors.New("disk on fire")
+	d := &slowDurable{delay: time.Millisecond, err: boom}
+	g := NewGroupCommit(d)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = g.CommitBarrier()
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("waiter %d: err = %v, want %v", i, err, boom)
+		}
+	}
+}
+
+func TestGroupCommitNilDurable(t *testing.T) {
+	g := NewGroupCommit(nil)
+	if err := g.CommitBarrier(); err != nil {
+		t.Fatalf("nil-durable barrier: %v", err)
+	}
+	if b, s := g.Stats(); b != 0 || s != 0 {
+		t.Fatalf("nil-durable stats = (%d, %d), want (0, 0)", b, s)
+	}
+}
+
+// TestGroupCommitCoverage pins the covering rule: a barrier that
+// arrives while a sync is in flight must NOT be satisfied by that sync.
+func TestGroupCommitCoverage(t *testing.T) {
+	inFirst := make(chan struct{})
+	release := make(chan struct{})
+	var phase atomic.Int32
+	d := &funcDurable{fn: func() error {
+		if phase.Add(1) == 1 {
+			close(inFirst)
+			<-release
+		}
+		return nil
+	}}
+	g := NewGroupCommit(d)
+	go func() { _ = g.CommitBarrier() }()
+	<-inFirst // sync 1 is in flight
+	done := make(chan struct{})
+	go func() { _ = g.CommitBarrier(); close(done) }()
+	select {
+	case <-done:
+		t.Fatal("late barrier returned while the only sync was still in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	<-done
+	if n := phase.Load(); n < 2 {
+		t.Fatalf("late barrier was covered by the in-flight sync (%d syncs ran)", n)
+	}
+}
+
+type funcDurable struct{ fn func() error }
+
+func (d *funcDurable) CommitBarrier() error { return d.fn() }

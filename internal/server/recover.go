@@ -1,0 +1,66 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pushpull/internal/wal"
+)
+
+// Startup recovery (the durable restart path):
+//
+//  1. read the previous epoch's wal-*.seg images (or take them from
+//     Options.RecoverFrom for in-memory restarts),
+//  2. recovery.RecoverAndCertify replays them against the substrate's
+//     registry and refuses to proceed unless the committed prefix
+//     re-certifies (shadow machine + commit-order serializability),
+//  3. the old segment files are archived under epoch-NNN/ so a fresh
+//     log can claim the wal-*.seg namespace,
+//  4. the recovered state is re-applied through normal certified,
+//     WAL-logged transactions — the new log therefore begins with a
+//     checkpoint of everything that survived, and a second crash needs
+//     only the new epoch.
+
+// readWALDir loads the durable image; a missing directory is an empty
+// image (first boot), not an error.
+func readWALDir(dir string) ([][]byte, error) {
+	segs, err := wal.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("server: reading WAL dir %s: %w", dir, err)
+	}
+	return segs, nil
+}
+
+// archiveSegments moves any wal-*.seg files in dir into the next free
+// epoch-NNN subdirectory, preserving the pre-crash image for forensics
+// while freeing the namespace for the new log.
+func archiveSegments(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("server: creating WAL dir: %w", err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		return err
+	}
+	if len(matches) == 0 {
+		return nil
+	}
+	var epoch string
+	for n := 1; ; n++ {
+		epoch = filepath.Join(dir, fmt.Sprintf("epoch-%03d", n))
+		if _, err := os.Stat(epoch); os.IsNotExist(err) {
+			break
+		}
+	}
+	if err := os.MkdirAll(epoch, 0o755); err != nil {
+		return fmt.Errorf("server: creating archive dir: %w", err)
+	}
+	for _, m := range matches {
+		dst := filepath.Join(epoch, filepath.Base(m))
+		if err := os.Rename(m, dst); err != nil {
+			return fmt.Errorf("server: archiving %s: %w", m, err)
+		}
+	}
+	return nil
+}

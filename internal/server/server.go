@@ -1,0 +1,599 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pushpull/internal/chaos"
+	"pushpull/internal/kvapi"
+	"pushpull/internal/obs"
+	"pushpull/internal/recovery"
+	"pushpull/internal/serial"
+	"pushpull/internal/wal"
+)
+
+// Options configure a Server.
+type Options struct {
+	// Substrate selects the TM implementation (default "tl2"); see
+	// Substrates().
+	Substrate string
+	// Keys sizes the word substrates' address space (default 64).
+	Keys int
+	// Seed drives the retry policy, chaos plan derivations, and the
+	// boosted map's skiplist levels (default 1).
+	Seed int64
+	// DisableCert drops shadow-machine certification (raw throughput).
+	DisableCert bool
+
+	// MaxInflight bounds concurrently running transactions (default
+	// 64); MaxQueue bounds waiters beyond that (default 2*MaxInflight;
+	// negative means zero). Arrivals past both get StatusBusy.
+	MaxInflight int
+	MaxQueue    int
+
+	// Retry is the server-side retry policy applied to every
+	// transaction (default chaos.Default(Seed)).
+	Retry *chaos.RetryPolicy
+	// Plan, when non-nil, injects faults server-side: substrate
+	// conflict sites plus WAL crash scheduling — so a load campaign
+	// against a live server exercises the same certified chaos paths
+	// as the in-process harnesses.
+	Plan *chaos.Plan
+
+	// WALDir backs the write-ahead log with segment files; Durable
+	// keeps an in-memory WAL when WALDir is empty (tests, simulated
+	// crashes). With neither, commits are not durable and no recovery
+	// runs.
+	WALDir       string
+	Durable      bool
+	SyncPolicy   wal.SyncPolicy
+	GroupEvery   int
+	SegmentBytes int
+	// RecoverFrom, when non-nil, supplies the durable segment images
+	// to recover from explicitly (the in-memory restart path); it
+	// takes precedence over reading WALDir.
+	RecoverFrom [][]byte
+
+	// Suite receives all telemetry (default: a fresh obs.New()).
+	Suite *obs.Suite
+}
+
+func (o Options) withDefaults() Options {
+	if o.Substrate == "" {
+		o.Substrate = "tl2"
+	}
+	if o.Keys <= 0 {
+		o.Keys = 64
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 64
+	}
+	if o.MaxQueue == 0 {
+		o.MaxQueue = 2 * o.MaxInflight
+	}
+	if o.MaxQueue < 0 {
+		o.MaxQueue = 0
+	}
+	return o
+}
+
+// Server is the transactional KV service.
+type Server struct {
+	opts  Options
+	suite *obs.Suite
+	be    Backend
+	log   *wal.Log
+	hook  *wal.MachineHook
+	group *GroupCommit
+	gate  *gate
+
+	recovered recovery.Report
+	seeded    int
+
+	seq      atomic.Uint64 // transaction name counter
+	sessions atomic.Int64  // open interactive sessions
+
+	mu      sync.Mutex
+	ln      net.Listener
+	httpLns map[net.Listener]struct{}
+	conns   map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// New builds a server: recover-and-certify first (refusing to serve a
+// durable image that does not re-certify), then the substrate backend
+// wired to the WAL, group commit, chaos, and the observability suite,
+// then the recovered state re-applied as fresh certified transactions
+// (the restart checkpoint). The listener is not opened here — call
+// Start or Serve.
+func New(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	suite := opts.Suite
+	if suite == nil {
+		suite = obs.New()
+	}
+	s := &Server{opts: opts, suite: suite, conns: make(map[net.Conn]struct{})}
+	s.gate = newGate(opts.MaxInflight, opts.MaxQueue)
+
+	var inj *chaos.Faults
+	if opts.Plan != nil {
+		inj = opts.Plan.Injector()
+		inj.SetObserver(func(site chaos.Site) { suite.Metrics.FaultFired(string(site)) })
+	}
+	retry := opts.Retry
+	if retry == nil {
+		retry = chaos.Default(opts.Seed)
+	}
+	if retry.OnRetry == nil {
+		retry.OnRetry = suite.Metrics.RetryObserved
+	}
+
+	// Crash recovery happens before anything serves: replay the
+	// durable image, certify it, and only then build the substrate.
+	segs := opts.RecoverFrom
+	if segs == nil && opts.WALDir != "" {
+		var err error
+		if segs, err = readWALDir(opts.WALDir); err != nil {
+			return nil, err
+		}
+	}
+	if len(segs) > 0 {
+		reg, err := RegistryFor(opts.Substrate)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := recovery.RecoverAndCertify(segs, reg)
+		if err != nil {
+			return nil, fmt.Errorf("server: refusing to serve: %w", err)
+		}
+		s.recovered = rep
+	}
+
+	if opts.WALDir != "" || opts.Durable {
+		if opts.WALDir != "" {
+			// The fresh log wants its segment numbering back; the
+			// recovered image is preserved under an epoch subdirectory.
+			if err := archiveSegments(opts.WALDir); err != nil {
+				return nil, err
+			}
+		}
+		// Under SyncOnCommit the log itself would fsync inside Append —
+		// which the machine hook calls while the substrate holds its
+		// commit locks and the shadow session is open. Stretching the
+		// locked section ~100x starves recorder compaction (it needs an
+		// idle instant), the certification window grows without bound,
+		// and throughput death-spirals. Instead the server opens the
+		// log non-syncing and forces it at the commit *barrier* (log
+		// force at commit): the group-commit leader runs Sync outside
+		// every lock, after the CMT record is appended and before the
+		// client is acknowledged, so durability is unchanged and
+		// concurrent committers share one fsync.
+		logPolicy := opts.SyncPolicy
+		forceAtBarrier := opts.SyncPolicy == wal.SyncOnCommit
+		if forceAtBarrier {
+			logPolicy = wal.SyncNever
+		}
+		log, err := wal.Open(wal.Options{
+			Dir: opts.WALDir, SegmentBytes: opts.SegmentBytes,
+			Policy: logPolicy, GroupEvery: opts.GroupEvery,
+			Chaos: inj, SyncObserver: suite.Metrics.WALSyncObserved,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: opening WAL: %w", err)
+		}
+		s.log = log
+		if forceAtBarrier {
+			s.group = NewGroupCommit(forceSync{log})
+		} else {
+			s.group = NewGroupCommit(s.log)
+		}
+	}
+	if s.group == nil {
+		s.group = NewGroupCommit(nil)
+	}
+
+	be, err := NewBackend(Config{
+		Substrate: opts.Substrate, Keys: opts.Keys, Seed: opts.Seed,
+		DisableCert: opts.DisableCert, Injector: inj, Retry: retry,
+		Durable: s.group,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.be = be
+	if rec := be.Recorder(); rec != nil {
+		if s.log != nil {
+			s.hook = wal.NewMachineHook(s.log)
+			rec.AttachWAL(s.hook)
+		}
+		rec.SetSite(opts.Substrate)
+		rec.AttachSink(suite)
+	}
+
+	// Re-apply the recovered image through normal certified (and, now,
+	// WAL-logged) transactions: the new log starts with a checkpoint.
+	if len(s.recovered.State.Txns) > 0 {
+		n, err := be.Seed(s.recovered.State)
+		if err != nil {
+			return nil, err
+		}
+		s.seeded = n
+	}
+	return s, nil
+}
+
+// Start opens a TCP listener on addr (use "127.0.0.1:0" in tests) and
+// serves in the background; the returned address is the bound one.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("server: already stopped")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+// handleConn speaks the framed binary protocol on one connection. One
+// interactive transaction may be open per connection; dropping the
+// connection aborts it (undo, lock release, shadow rewind) before the
+// handler exits — the no-leak guarantee the shutdown tests assert.
+func (s *Server) handleConn(conn net.Conn) {
+	var sess *session
+	defer func() {
+		if sess != nil {
+			_ = sess.abandon()
+			s.endSession(&sess)
+		}
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+		s.wg.Done()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		req, err := kvapi.ReadRequest(br)
+		if err != nil {
+			return
+		}
+		resp := s.dispatch(&sess, req)
+		if err := kvapi.WriteResponse(bw, resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch routes one request and feeds the per-endpoint request
+// counters and latency histograms.
+func (s *Server) dispatch(sess **session, req kvapi.Request) kvapi.Response {
+	t0 := time.Now()
+	var resp kvapi.Response
+	switch req.Type {
+	case kvapi.MsgPing:
+		resp = kvapi.Response{Status: kvapi.StatusOK}
+	case kvapi.MsgTxn:
+		resp = s.doTxn(req.Ops)
+	case kvapi.MsgBegin:
+		resp = s.doBegin(sess)
+	case kvapi.MsgGet, kvapi.MsgPut:
+		resp = s.doOp(sess, req)
+	case kvapi.MsgCommit:
+		resp = s.doEnd(sess, true)
+	case kvapi.MsgAbort:
+		resp = s.doEnd(sess, false)
+	default:
+		resp = kvapi.Response{Status: kvapi.StatusError,
+			Msg: fmt.Sprintf("unknown message type %d", byte(req.Type))}
+	}
+	s.suite.Metrics.RequestObserved(req.Type.String(), resp.Status.String(), time.Since(t0))
+	return resp
+}
+
+// DoTxn executes ops as one one-shot transaction under admission
+// control — exported for the HTTP fallback and in-process callers.
+func (s *Server) DoTxn(ops []kvapi.Op) kvapi.Response {
+	t0 := time.Now()
+	resp := s.doTxn(ops)
+	s.suite.Metrics.RequestObserved("http.txn", resp.Status.String(), time.Since(t0))
+	return resp
+}
+
+func (s *Server) doTxn(ops []kvapi.Op) kvapi.Response {
+	ok, hint := s.gate.acquire()
+	if !ok {
+		return busyResponse(hint)
+	}
+	defer s.gate.release()
+	results := make([]kvapi.Result, len(ops))
+	attempts := uint32(0)
+	err := s.be.Atomic(txnName(s.seq.Add(1)), func(v View) error {
+		attempts++
+		for i, op := range ops {
+			switch op.Kind {
+			case kvapi.OpGet:
+				val, found, err := v.Get(op.Key)
+				if err != nil {
+					return err
+				}
+				results[i] = kvapi.Result{Val: val, Found: found}
+			case kvapi.OpPut:
+				if err := v.Put(op.Key, op.Val); err != nil {
+					return err
+				}
+				results[i] = kvapi.Result{}
+			default:
+				return fmt.Errorf("unknown op kind %d", op.Kind)
+			}
+		}
+		return nil
+	})
+	retries := uint32(0)
+	if attempts > 0 {
+		retries = attempts - 1
+	}
+	if err != nil {
+		return abortResponse(err, retries)
+	}
+	return kvapi.Response{Status: kvapi.StatusOK, Results: results, Retries: retries}
+}
+
+func (s *Server) doBegin(sessp **session) kvapi.Response {
+	if *sessp != nil {
+		return kvapi.Response{Status: kvapi.StatusError, Msg: "transaction already open on this connection"}
+	}
+	ok, hint := s.gate.acquire()
+	if !ok {
+		return busyResponse(hint)
+	}
+	sess := newSession(sessionName(s.seq.Add(1)))
+	s.sessions.Add(1)
+	go sess.run(s.be)
+	*sessp = sess
+	return kvapi.Response{Status: kvapi.StatusOK}
+}
+
+func (s *Server) doOp(sessp **session, req kvapi.Request) kvapi.Response {
+	sess := *sessp
+	if sess == nil {
+		return kvapi.Response{Status: kvapi.StatusError, Msg: "no open transaction (send begin first)"}
+	}
+	c := sessCmd{key: req.Key, val: req.Val}
+	if req.Type == kvapi.MsgGet {
+		c.kind = cmdGet
+	} else {
+		c.kind = cmdPut
+	}
+	sess.cmds <- c
+	select {
+	case r := <-sess.replies:
+		return kvapi.Response{
+			Status:  kvapi.StatusOK,
+			Results: []kvapi.Result{{Val: r.val, Found: r.found}},
+		}
+	case err := <-sess.done:
+		// The transaction died processing this operation (retry budget,
+		// replay divergence): the session is over.
+		retries := sess.retries
+		s.endSession(sessp)
+		return abortResponse(err, retries)
+	}
+}
+
+func (s *Server) doEnd(sessp **session, commit bool) kvapi.Response {
+	sess := *sessp
+	if sess == nil {
+		return kvapi.Response{Status: kvapi.StatusError, Msg: "no open transaction"}
+	}
+	kind := cmdAbort
+	if commit {
+		kind = cmdCommit
+	}
+	sess.cmds <- sessCmd{kind: kind}
+	err := <-sess.done
+	retries := sess.retries
+	s.endSession(sessp)
+	if commit {
+		if err != nil {
+			return abortResponse(err, retries)
+		}
+		return kvapi.Response{Status: kvapi.StatusOK, Retries: retries}
+	}
+	// A requested abort "succeeds" whatever the substrate returned —
+	// the transaction is gone either way.
+	return kvapi.Response{Status: kvapi.StatusOK, Retries: retries}
+}
+
+// endSession releases everything doBegin acquired.
+func (s *Server) endSession(sessp **session) {
+	*sessp = nil
+	s.gate.release()
+	s.sessions.Add(-1)
+}
+
+func busyResponse(hint time.Duration) kvapi.Response {
+	ms := uint32(hint / time.Millisecond)
+	if ms == 0 {
+		ms = 1
+	}
+	return kvapi.Response{Status: kvapi.StatusBusy, RetryAfterMs: ms,
+		Msg: "admission control: transaction queue full"}
+}
+
+// abortResponse maps a transaction's terminal error onto the wire.
+func abortResponse(err error, retries uint32) kvapi.Response {
+	switch {
+	case errors.Is(err, chaos.ErrRetriesExhausted):
+		return kvapi.Response{Status: kvapi.StatusAborted, Retries: retries,
+			Msg: "retry budget exhausted"}
+	case errors.Is(err, errReplayDiverged):
+		return kvapi.Response{Status: kvapi.StatusAborted, Retries: retries,
+			Msg: errReplayDiverged.Error()}
+	case errors.Is(err, errClientAbort):
+		return kvapi.Response{Status: kvapi.StatusOK, Retries: retries}
+	default:
+		return kvapi.Response{Status: kvapi.StatusError, Retries: retries, Msg: err.Error()}
+	}
+}
+
+// Stop closes the listener and every connection, then waits for all
+// handlers — and through them all open sessions — to finish. Safe to
+// call more than once.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for ln := range s.httpLns {
+		ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	if s.log != nil {
+		_ = s.log.Close() // a simulated-crash log refuses; that's fine
+	}
+}
+
+// Stats is the /stats snapshot.
+type Stats struct {
+	Substrate     string `json:"substrate"`
+	Commits       uint64 `json:"commits"`
+	Aborts        uint64 `json:"aborts"`
+	Sessions      int64  `json:"open_sessions"`
+	InFlight      int    `json:"inflight"`
+	Rejected      uint64 `json:"admission_rejected"`
+	GroupBarriers uint64 `json:"group_barriers"`
+	GroupSyncs    uint64 `json:"group_syncs"`
+	RecoveredTxns int    `json:"recovered_txns"`
+	SeededTxns    int    `json:"seeded_txns"`
+	WALCrashed    bool   `json:"wal_crashed"`
+}
+
+// Stats snapshots the server.
+func (s *Server) Stats() Stats {
+	commits, aborts := s.be.Stats()
+	barriers, syncs := s.group.Stats()
+	st := Stats{
+		Substrate: s.opts.Substrate, Commits: commits, Aborts: aborts,
+		Sessions: s.sessions.Load(), InFlight: s.gate.inFlight(),
+		Rejected:      s.gate.rejectedCount(),
+		GroupBarriers: barriers, GroupSyncs: syncs,
+		RecoveredTxns: len(s.recovered.State.Txns), SeededTxns: s.seeded,
+	}
+	if s.log != nil {
+		st.WALCrashed = s.log.Crashed()
+	}
+	return st
+}
+
+// Suite exposes the observability suite (metrics handler, leak check).
+func (s *Server) Suite() *obs.Suite { return s.suite }
+
+// Backend exposes the substrate backend (tests).
+func (s *Server) Backend() Backend { return s.be }
+
+// Recovered reports what startup recovery replayed.
+func (s *Server) Recovered() recovery.Report { return s.recovered }
+
+// GroupStats reports the commit-batching amortization counters.
+func (s *Server) GroupStats() (barriers, syncs uint64) { return s.group.Stats() }
+
+// WALSegments returns the durable image (for simulated-crash restart).
+func (s *Server) WALSegments() [][]byte {
+	if s.log == nil {
+		return nil
+	}
+	return s.log.Segments()
+}
+
+// WALCrashed reports whether the simulated process death fired.
+func (s *Server) WALCrashed() bool { return s.log != nil && s.log.Crashed() }
+
+// LeakCheck asserts quiescent cleanliness: no open sessions, no
+// in-flight admissions, no unpopped spans, no leaked substrate locks.
+// Call after Stop.
+func (s *Server) LeakCheck() error {
+	if n := s.sessions.Load(); n != 0 {
+		return fmt.Errorf("server: %d interactive session(s) leaked", n)
+	}
+	if n := s.gate.inFlight(); n != 0 {
+		return fmt.Errorf("server: %d admission slot(s) leaked", n)
+	}
+	if err := s.suite.LeakCheck(); err != nil {
+		return err
+	}
+	return s.be.LeakCheck()
+}
+
+// FinalCheck is the full post-run certificate: the shadow machine's
+// final check, its invariants, commit-order serializability over the
+// certified window, substrate conservation laws, and WAL I/O health.
+func (s *Server) FinalCheck() error {
+	if err := s.be.CheckInvariant(); err != nil {
+		return err
+	}
+	if s.hook != nil {
+		if err := s.hook.Err(); err != nil {
+			return fmt.Errorf("server: WAL hook: %w", err)
+		}
+	}
+	rec := s.be.Recorder()
+	if rec == nil {
+		return nil
+	}
+	if err := rec.FinalCheck(); err != nil {
+		return err
+	}
+	if err := rec.Machine().Verify(); err != nil {
+		return fmt.Errorf("server: machine invariants: %w", err)
+	}
+	if rep := serial.CheckCommitOrder(rec.Machine()); !rep.Serializable {
+		return fmt.Errorf("server: commit order not serializable: %s", rep.Reason)
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Interactive sessions: a MsgBegin opens a transaction that stays live
+// across round trips, so the client can read, think, and write before
+// committing. The substrates' Atomic functions own retry/undo/locking,
+// and they expect the whole transaction body as one closure — so the
+// session runs Atomic on a dedicated goroutine whose closure *blocks
+// on a channel waiting for the client's next operation*. The
+// connection handler feeds it commands and relays answers.
+//
+// Session state machine (per connection):
+//
+//	idle --Begin--> open --Get/Put--> open
+//	open --Commit--> idle   (substrate commit, durable barrier, OK)
+//	open --Abort---> idle   (undo + UNAPP, OK)
+//	open --conflict/retry exhaustion/replay divergence--> idle (StatusAborted)
+//	open --connection drop--> (session goroutine aborts the txn) gone
+//
+// On a substrate-level conflict the closure is re-entered: it first
+// REPLAYS the journal of operations already answered, validating that
+// every re-executed Get reproduces the value the client saw. A
+// divergence means the client holds stale reads — the session aborts
+// (errReplayDiverged) rather than committing a transaction whose
+// observed values never coexisted. This is the interactive analogue of
+// the recorder's rule: a transaction certifies only if its operation
+// log denotes against the sequential spec.
+var (
+	// errClientAbort: the client asked to roll back. Foreign to every
+	// substrate's conflict error, so Atomic aborts exactly once and
+	// returns it (undo run, locks released, shadow session rewound).
+	errClientAbort = errors.New("server: client abort")
+	// errClientGone: the connection died mid-transaction; same abort
+	// path, nobody to answer.
+	errClientGone = errors.New("server: client disconnected mid-transaction")
+	// errReplayDiverged: a conflict retry could not reproduce the reads
+	// already answered to the client.
+	errReplayDiverged = errors.New("server: interactive replay diverged (answered reads went stale)")
+)
+
+// sessCmdKind discriminates session commands.
+type sessCmdKind int
+
+const (
+	cmdGet sessCmdKind = iota
+	cmdPut
+	cmdCommit
+	cmdAbort
+)
+
+// sessCmd is one client operation forwarded into the session closure.
+type sessCmd struct {
+	kind sessCmdKind
+	key  uint64
+	val  int64
+}
+
+// sessReply answers one Get/Put.
+type sessReply struct {
+	val   int64
+	found bool
+}
+
+// journalEntry is one answered operation, kept for conflict replay.
+type journalEntry struct {
+	kind     sessCmdKind
+	key      uint64
+	val      int64 // put argument
+	retVal   int64 // answered get value
+	retFound bool
+}
+
+// session is one open interactive transaction.
+type session struct {
+	name    string
+	cmds    chan sessCmd
+	replies chan sessReply
+	done    chan error // Atomic's outcome; buffered so run never blocks
+	retries uint32     // substrate attempts - 1; valid once done is sent
+}
+
+func newSession(name string) *session {
+	return &session{
+		name:    name,
+		cmds:    make(chan sessCmd),
+		replies: make(chan sessReply),
+		done:    make(chan error, 1),
+	}
+}
+
+// run executes the session transaction on be. It returns only when the
+// transaction is finished (committed, aborted, or given up); the
+// outcome lands on s.done.
+//
+// Protocol with the handler: the handler sends at most one command and
+// then waits on replies/done; run answers each Get/Put exactly once
+// (after it succeeds, across any number of substrate retries) and
+// never answers Commit/Abort — the handler reads those outcomes from
+// done. The handler closes cmds to abandon the session (disconnect);
+// run sees the closed channel and aborts via errClientGone.
+func (s *session) run(be Backend) {
+	var journal []journalEntry
+	var pending *sessCmd
+	attempts := uint32(0)
+	err := be.Atomic(s.name, func(v View) error {
+		attempts++
+		// Validated replay: re-execute everything already answered.
+		for i := range journal {
+			j := &journal[i]
+			switch j.kind {
+			case cmdGet:
+				val, found, err := v.Get(j.key)
+				if err != nil {
+					return err
+				}
+				if val != j.retVal || found != j.retFound {
+					return errReplayDiverged
+				}
+			case cmdPut:
+				if err := v.Put(j.key, j.val); err != nil {
+					return err
+				}
+			}
+		}
+		for {
+			if pending == nil {
+				c, ok := <-s.cmds
+				if !ok {
+					return errClientGone
+				}
+				pending = &c
+			}
+			// pending survives substrate retries: a command consumed
+			// from the channel is either answered or carried into the
+			// next attempt, never dropped.
+			switch pending.kind {
+			case cmdCommit:
+				return nil
+			case cmdAbort:
+				return errClientAbort
+			case cmdGet:
+				val, found, err := v.Get(pending.key)
+				if err != nil {
+					return err
+				}
+				journal = append(journal, journalEntry{
+					kind: cmdGet, key: pending.key, retVal: val, retFound: found,
+				})
+				pending = nil
+				s.replies <- sessReply{val: val, found: found}
+			case cmdPut:
+				if err := v.Put(pending.key, pending.val); err != nil {
+					return err
+				}
+				journal = append(journal, journalEntry{
+					kind: cmdPut, key: pending.key, val: pending.val,
+				})
+				pending = nil
+				s.replies <- sessReply{}
+			}
+		}
+	})
+	if attempts > 0 {
+		s.retries = attempts - 1
+	}
+	s.done <- err
+}
+
+// abandon tears a session down from the handler side (disconnect or
+// server shutdown): closing cmds aborts the transaction; the drain
+// loop swallows any reply in flight and waits for the outcome, so the
+// goroutine, its gate slot, and its substrate state are all released
+// before the handler exits.
+func (s *session) abandon() error {
+	close(s.cmds)
+	for {
+		select {
+		case <-s.replies:
+		case err := <-s.done:
+			return err
+		}
+	}
+}
+
+// sessionName labels the n-th session transaction for certification.
+func sessionName(n uint64) string { return fmt.Sprintf("sess-%d", n) }
+
+// txnName labels the n-th one-shot transaction.
+func txnName(n uint64) string { return fmt.Sprintf("txn-%d", n) }

@@ -81,6 +81,21 @@ func (rt *Runtime) Stats() Stats {
 	return Stats{Commits: rt.commits.Load(), Aborts: rt.aborts.Load()}
 }
 
+// LeakCheck asserts, at quiescence, that no abstract lock survived its
+// transaction — the goroutine-substrate analogue of
+// strategy.Env.LeakCheck, over the same locks.Manager accounting.
+// Every Atomic exit path (commit, abort, foreign error) runs
+// ReleaseAll, so a non-zero count here means a transaction escaped
+// those paths: exactly what a dropped client connection mid-session
+// would cause if the server failed to abort it.
+func (rt *Runtime) LeakCheck() error {
+	if n := rt.lm.HeldCount(); n != 0 {
+		return fmt.Errorf("boost: %d abstract lock hold(s) leaked (owners %v)",
+			n, rt.lm.HeldOwners())
+	}
+	return nil
+}
+
 // Txn is one boosted transaction attempt.
 type Txn struct {
 	rt    *Runtime

@@ -50,8 +50,11 @@ type Runtime struct {
 	// whole hybrid transaction aborts and retries (default 16).
 	HTMRetries int
 	// Durable, when non-nil, is the commit-path durability barrier:
-	// the write-ahead log is flushed inside the serialized commit
-	// section, right after the shared session's CMT is certified.
+	// the write-ahead log is flushed after the commit section releases
+	// commitMu and the boosting layer drops its abstract locks, so
+	// concurrent committers can share one group-commit sync. When the
+	// boosting runtime carries the same Durable it already runs the
+	// barrier on its own commit path and this one is skipped.
 	Durable core.Durable
 	// DegradeAfter, when > 0, is the graceful-degradation threshold:
 	// after that many capacity aborts observed across commit sections the
@@ -128,13 +131,23 @@ func (tx *Tx) HTMSection(section func(h *htmsim.Tx) error) {
 
 // Atomic runs fn as one hybrid transaction.
 func (rt *Runtime) Atomic(name string, fn func(*Tx) error) error {
-	return rt.Boost.Atomic(name, func(bt *boost.Txn) error {
+	err := rt.Boost.Atomic(name, func(bt *boost.Txn) error {
 		tx := &Tx{rt: rt, bt: bt}
 		if err := fn(tx); err != nil {
 			return err
 		}
 		return rt.commitHTM(name, tx)
 	})
+	// Durability barrier outside commitMu and the boosting layer's
+	// locks (mirroring tl2): the commit's WAL records were appended
+	// inside the serialized section, so a sync that starts now covers
+	// them, and holding no locks lets concurrent committers share it.
+	// Skip when the boosting runtime owns the same barrier — it has
+	// already run it on its own unlocked commit path.
+	if err == nil && rt.Durable != nil && rt.Durable != rt.Boost.Durable {
+		_ = rt.Durable.CommitBarrier()
+	}
+	return err
 }
 
 // commitHTM is the uninterleaved commit section: execute the HTM
@@ -170,9 +183,6 @@ func (rt *Runtime) commitHTM(name string, tx *Tx) error {
 					if !sess.Commit() {
 						return fmt.Errorf("hybrid: commit certification failed")
 					}
-				}
-				if rt.Durable != nil {
-					_ = rt.Durable.CommitBarrier()
 				}
 				rt.statsMu.Lock()
 				rt.commits++
@@ -232,9 +242,6 @@ func (rt *Runtime) commitDegraded(tx *Tx) error {
 		}
 	}
 	htx.EndFallback(true)
-	if rt.Durable != nil {
-		_ = rt.Durable.CommitBarrier()
-	}
 	rt.statsMu.Lock()
 	rt.commits++
 	rt.degraded++

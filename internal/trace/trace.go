@@ -83,6 +83,11 @@ type Recorder struct {
 
 	activeSessions int
 	txnCounter     uint64
+
+	// gated pauses new Begins while the live window drains so a
+	// compaction can run (see maybeCompact); gateCond is on mu.
+	gated    bool
+	gateCond *sync.Cond
 }
 
 // NewRecorder builds a shadow machine over the registry. Mover mode is
@@ -90,7 +95,9 @@ type Recorder struct {
 // enforced.
 func NewRecorder(reg *spec.Registry) *Recorder {
 	opts := core.Options{Mode: spec.MoverHybrid, EnforceGray: true, RecordEvents: true}
-	return &Recorder{m: core.NewMachine(reg, opts), reg: reg, CompactEvery: 64}
+	r := &Recorder{m: core.NewMachine(reg, opts), reg: reg, CompactEvery: 64}
+	r.gateCond = sync.NewCond(&r.mu)
+	return r
 }
 
 // JournalEntry is one committed transaction as certified.
@@ -309,6 +316,12 @@ type Session struct {
 func (r *Recorder) Begin(name string) *Session {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	// An over-full window is draining for compaction: park until the
+	// in-flight sessions finish and the fold runs, so certification
+	// cost stays proportional to the window, not the whole history.
+	for r.gated {
+		r.gateCond.Wait()
+	}
 	r.txnCounter++
 	if name == "" {
 		name = fmt.Sprintf("txn%d", r.txnCounter)
@@ -572,10 +585,33 @@ func (r *Recorder) retire(t *core.Thread) {
 // verifying commit-order serializability of the window — the incremental
 // form of the Theorem 5.17 check.
 func (r *Recorder) maybeCompact() {
-	if r.CompactEvery <= 0 || r.activeSessions > 0 {
+	if r.CompactEvery <= 0 {
 		return
 	}
-	if len(r.m.GlobalEntries()) < r.CompactEvery {
+	w := r.m.GlobalLen()
+	if r.activeSessions > 0 {
+		// Can't fold while sessions are open (their local views replay
+		// from the baseline). Under steady concurrency every check
+		// instant can have a session open — idle-instant compaction
+		// starves, the window grows without bound, and certification
+		// cost turns quadratic. Past the high-water mark, gate new
+		// Begins so the in-flight sessions drain and the last exit
+		// compacts.
+		if w >= 2*r.CompactEvery {
+			r.gated = true
+		}
+		return
+	}
+	defer func() {
+		// Whatever happened — folded, skipped, or violation recorded —
+		// release any parked Begins; the gate re-arms at the next
+		// high-water crossing.
+		if r.gated {
+			r.gated = false
+			r.gateCond.Broadcast()
+		}
+	}()
+	if w < r.CompactEvery {
 		return
 	}
 	rep := serial.CheckCommitOrder(r.m)
