@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check race chaos-smoke chaos crash-smoke crash obs-smoke obs serve-smoke serve-campaign bench ci
+.PHONY: build test vet fmt-check race chaos-smoke chaos crash-smoke crash obs-smoke obs serve-smoke serve-campaign shard-smoke bench ci
 
 build:
 	$(GO) build ./...
@@ -64,7 +64,14 @@ serve-smoke:
 serve-campaign:
 	PUSHPULL_SERVE_CAMPAIGN=1 $(GO) test ./internal/server/ -run TestServeCampaign -v -timeout 300s
 
+# Sharded smoke: boot a 4-shard durable server, run a mixed load with
+# 10% cross-shard transactions over the wire, crash-restart from the
+# multi-log image, and demand the full sharded certificate (per-shard
+# replay, merged cross-shard commit order, zero in-doubt).
+shard-smoke:
+	$(GO) test ./internal/server/ -run TestShardSmoke -v
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-ci: test vet race chaos-smoke crash-smoke obs-smoke serve-smoke
+ci: test vet race chaos-smoke crash-smoke obs-smoke serve-smoke shard-smoke

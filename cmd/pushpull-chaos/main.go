@@ -1,12 +1,17 @@
 // Command pushpull-chaos runs fault-injection campaigns: a seed sweep
-// over every TM substrate (plus the hybrid runtime and the cooperative
-// model) with faults enabled, every run certified against the shadow
-// machine, the commit-order serializability check, and the lock/token
-// leak check.
+// over every TM substrate (plus the hybrid runtime, the cooperative
+// model, and the sharded engine) with faults enabled, every run
+// certified against the shadow machine, the commit-order
+// serializability check, and the lock/token leak check. The "shard"
+// target adds coordinator death between prepare and commit plus a
+// per-shard WAL crash, then restarts from the durable image and
+// demands zero transactions left in doubt and a serializable merged
+// cross-shard commit order.
 //
 //	pushpull-chaos                       # 50-seed sweep, all targets
 //	pushpull-chaos -seeds 100 -rate 0.15 # harder campaign
 //	pushpull-chaos -targets hybrid,model # subset
+//	pushpull-chaos -targets shard        # sharded 2PC + crash-restart sweep
 //	pushpull-chaos -seed 7 -targets tl2 -v  # replay ONE failing plan
 //	pushpull-chaos -json                 # machine-readable outcomes on stdout
 //

@@ -61,6 +61,10 @@ func main() {
 		for _, t := range strings.Split(*targetsFlag, ",") {
 			p.Targets = append(p.Targets, strings.TrimSpace(t))
 		}
+	} else {
+		// The sharded engine is a chaos target only (multi-log image);
+		// the crash campaign sweeps the single-stream targets.
+		p.Targets = bench.CrashTargets()
 	}
 	p = p.WithDefaults() // header shows the effective campaign, not raw flags
 

@@ -32,6 +32,8 @@ func main() {
 	skew := flag.Float64("skew", 0, "Zipf exponent for key choice (<=1 uniform)")
 	interactive := flag.Bool("interactive", false, "begin/op/commit sessions instead of one-shot transactions")
 	seed := flag.Int64("seed", 1, "workload seed")
+	shards := flag.Int("shards", 0, "server shard count (shapes key choice; 0 = unshaped)")
+	cross := flag.Int("cross", 10, "percentage of cross-shard transactions (with -shards > 1)")
 	jsonOut := flag.Bool("json", false, "emit the BENCH JSON summary instead of text")
 	flag.Parse()
 
@@ -40,6 +42,7 @@ func main() {
 		MaxTxns: *maxTxns, Keys: *keys, ReadPct: *readPct,
 		OpsPerTxn: *opsPerTxn, Skew: *skew,
 		Interactive: *interactive, Seed: *seed,
+		Shards: *shards, CrossPct: *cross,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pushpull-load:", err)
@@ -55,6 +58,7 @@ func main() {
 		Keys: res.Params.Keys, ReadPct: res.Params.ReadPct,
 		OpsPerTxn: res.Params.OpsPerTxn, Skew: res.Params.Skew,
 		Interactive: res.Params.Interactive, Seed: res.Params.Seed,
+		Shards: res.Params.Shards, CrossPct: res.Params.CrossPct,
 		DurationMs: float64(res.Elapsed.Milliseconds()),
 		Commits:    res.Commits, Aborts: res.Aborts, Busy: res.Busy,
 		Errors: res.Errors, Retries: res.Retries,

@@ -64,6 +64,10 @@ func main() {
 	var runErr error
 	switch *mode {
 	case "chaos", "crash":
+		if targets == nil && *mode == "crash" {
+			// Sharded runs are chaos-only (multi-log durable image).
+			targets = bench.CrashTargets()
+		}
 		p := bench.ChaosParams{
 			Targets: targets, Seeds: *seeds, BaseSeed: *baseSeed,
 			Threads: *threads, OpsEach: *ops, Keys: *keys, Rate: *rate,

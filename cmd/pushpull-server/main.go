@@ -35,6 +35,7 @@ func main() {
 	substrate := flag.String("substrate", "tl2",
 		"TM substrate: "+strings.Join(server.Substrates(), " | "))
 	keys := flag.Int("keys", 64, "word-substrate key range (restart must reuse it)")
+	shards := flag.Int("shards", 1, "hash partitions; > 1 serves through the sharded engine (restart must reuse it)")
 	seed := flag.Int64("seed", 1, "retry/chaos seed")
 	walDir := flag.String("wal-dir", "", "WAL directory (empty: in-memory durability only)")
 	sync := flag.String("sync", "record", "WAL sync policy: record | commit | group | none")
@@ -51,7 +52,7 @@ func main() {
 		fail(err)
 	}
 	opts := server.Options{
-		Substrate: *substrate, Keys: *keys, Seed: *seed,
+		Substrate: *substrate, Keys: *keys, Seed: *seed, Shards: *shards,
 		DisableCert: *noCert,
 		MaxInflight: *maxInflight, MaxQueue: *maxQueue,
 		WALDir: *walDir, SyncPolicy: policy, GroupEvery: *groupEvery,
@@ -77,12 +78,16 @@ func main() {
 		fmt.Printf("recovered %d certified transaction(s) from the previous epoch (truncated=%v discarded=%d)\n",
 			len(rep.State.Txns), rep.Truncated, rep.Discarded)
 	}
+	if rep := s.ShardRecovered(); rep.RecoveredTxns() > 0 || rep.InDoubtResolved > 0 {
+		fmt.Printf("recovered %d certified transaction(s) across %d shard log(s); %d in-doubt cross-shard commit(s) rolled forward, %d left in doubt\n",
+			rep.RecoveredTxns(), len(rep.Shards), rep.InDoubtResolved, rep.InDoubt)
+	}
 
 	bound, err := s.Start(*addr)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("pushpull-server: substrate=%s keys=%d listening on %s\n", *substrate, *keys, bound)
+	fmt.Printf("pushpull-server: substrate=%s keys=%d shards=%d listening on %s\n", *substrate, *keys, *shards, bound)
 	if *httpAddr != "" {
 		hb, err := s.StartHTTP(*httpAddr)
 		if err != nil {
@@ -100,6 +105,10 @@ func main() {
 	st := s.Stats()
 	fmt.Printf("served: commits=%d aborts=%d rejected=%d group=%d/%d syncs\n",
 		st.Commits, st.Aborts, st.Rejected, st.GroupBarriers, st.GroupSyncs)
+	if st.Shards > 1 {
+		fmt.Printf("sharded: shards=%d cross_commits=%d cross_aborts=%d redos=%d\n",
+			st.Shards, st.CrossCommits, st.CrossAborts, st.Redos)
+	}
 	failed := false
 	if err := s.LeakCheck(); err != nil {
 		fmt.Fprintln(os.Stderr, "LEAK:", err)

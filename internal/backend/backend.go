@@ -1,28 +1,19 @@
-// Package server is the network service layer: a concurrent
-// transactional KV service that runs every client transaction as a
-// Push/Pull transaction on a configurable substrate (tl2, pess, boost,
-// htmsim, dep, hybrid), certified against the shadow machine,
-// write-ahead logged for crash recovery, and observable through the
-// rule-level metrics suite.
+// Package backend adapts each Push/Pull substrate (tl2, pess, boost,
+// htmsim, dep, hybrid) behind one transactional KV surface: Get/Put
+// over a uint64 key space, certified against the shadow machine and
+// write-ahead logged through an optional commit barrier.
 //
-// The layering, bottom up:
+// Word substrates map keys onto their register array (key mod Keys);
+// boosting-based substrates use a boosted Map keyed by the full key.
+// The hybrid backend additionally runs one HTM section per transaction
+// incrementing a commit counter word — the Section 7 shape, giving
+// smoke tests a cross-substrate conservation invariant.
 //
-//   - Backend (this file) adapts each substrate behind one View
-//     interface: Get/Put over a uint64 key space. Word substrates map
-//     keys onto their register array (key mod Keys); boosting-based
-//     substrates use a boosted Map keyed by the full key. The hybrid
-//     backend additionally runs one HTM section per transaction
-//     incrementing a commit counter word — the Section 7 shape, giving
-//     the smoke tests a cross-substrate conservation invariant.
-//   - session.go runs interactive (begin/op/commit) transactions: one
-//     goroutine per open transaction, re-entering the substrate's
-//     Atomic with a journal replay on conflict.
-//   - gate.go is admission control; group.go batches WAL commit
-//     barriers across concurrent committers.
-//   - server.go/http.go speak the kvapi wire protocol and the JSON
-//     fallback; recover.go replays and certifies the WAL before the
-//     listener opens.
-package server
+// Both the single-machine server (internal/server) and the sharded
+// engine (internal/shard, one backend per shard) build on this
+// package; group.go's GroupCommit batches WAL commit barriers across
+// concurrent committers for either.
+package backend
 
 import (
 	"fmt"
@@ -63,8 +54,11 @@ type Backend interface {
 	Atomic(name string, fn func(View) error) error
 	// Seed re-applies a recovered committed state as fresh certified
 	// transactions (the restart checkpoint), returning how many
-	// transactions it ran.
-	Seed(st recovery.State) (int, error)
+	// transactions it ran. prefix names the seeding transactions
+	// ("<prefix>-0", "<prefix>-1", ...); sharded engines pass a
+	// shard-qualified prefix so seed names stay globally unique for the
+	// merged commit-order check.
+	Seed(st recovery.State, prefix string) (int, error)
 	// Stats returns substrate commit/abort counters.
 	Stats() (commits, aborts uint64)
 	// Recorder is the certifying shadow machine (nil when certification
@@ -114,7 +108,7 @@ func RegistryFor(substrate string) (*spec.Registry, error) {
 		reg.Register("ht", adt.Map{})
 		reg.Register("htm", adt.Register{})
 	default:
-		return nil, fmt.Errorf("server: unknown substrate %q", substrate)
+		return nil, fmt.Errorf("backend: unknown substrate %q", substrate)
 	}
 	return reg, nil
 }
@@ -230,7 +224,7 @@ func NewBackend(cfg Config) (Backend, error) {
 			ht: boost.NewMap(b, "ht", cfg.Seed),
 		}, nil
 	default:
-		return nil, fmt.Errorf("server: unknown substrate %q", cfg.Substrate)
+		return nil, fmt.Errorf("backend: unknown substrate %q", cfg.Substrate)
 	}
 }
 
@@ -289,16 +283,16 @@ func (b *wordBackend) ReadKey(key uint64) (int64, bool) {
 // Seed replays the recovered register image in chunks: htmsim's
 // speculative capacity bounds one transaction's footprint, and smaller
 // transactions keep the certified checkpoint cheap everywhere.
-func (b *wordBackend) Seed(st recovery.State) (int, error) {
+func (b *wordBackend) Seed(st recovery.State, prefix string) (int, error) {
 	words := foldRegister(st, "mem")
-	return b.seedWords(words)
+	return b.seedWords(words, prefix)
 }
 
-func (b *wordBackend) seedWords(words map[int]int64) (int, error) {
+func (b *wordBackend) seedWords(words map[int]int64, prefix string) (int, error) {
 	addrs := make([]int, 0, len(words))
 	for a := range words {
 		if a < 0 || a >= b.keys {
-			return 0, fmt.Errorf("server: recovered address %d outside key range %d (restart with the original -keys)", a, b.keys)
+			return 0, fmt.Errorf("backend: recovered address %d outside key range %d (restart with the original -keys)", a, b.keys)
 		}
 		addrs = append(addrs, a)
 	}
@@ -311,7 +305,7 @@ func (b *wordBackend) seedWords(words map[int]int64) (int, error) {
 			hi = len(addrs)
 		}
 		part := addrs[lo:hi]
-		err := b.atomic(fmt.Sprintf("recover-%d", txns), func(tx wordTx) error {
+		err := b.atomic(fmt.Sprintf("%s-%d", prefix, txns), func(tx wordTx) error {
 			for _, a := range part {
 				if err := tx.Write(a, words[a]); err != nil {
 					return err
@@ -320,7 +314,7 @@ func (b *wordBackend) seedWords(words map[int]int64) (int, error) {
 			return nil
 		})
 		if err != nil {
-			return txns, fmt.Errorf("server: seeding recovered state: %w", err)
+			return txns, fmt.Errorf("backend: seeding recovered state: %w", err)
 		}
 		txns++
 	}
@@ -369,14 +363,14 @@ func (b *boostBackend) ReadKey(key uint64) (int64, bool) {
 	return b.ht.Base().Get(int64(key))
 }
 
-func (b *boostBackend) Seed(st recovery.State) (int, error) {
-	return seedMap(st, "ht", func(name string, fn func(*boost.Txn) error) error {
+func (b *boostBackend) Seed(st recovery.State, prefix string) (int, error) {
+	return seedMap(st, "ht", prefix, func(name string, fn func(*boost.Txn) error) error {
 		return b.rt.Atomic(name, fn)
 	}, b.ht)
 }
 
 // seedMap re-applies a recovered map image through boosted puts.
-func seedMap(st recovery.State, obj string,
+func seedMap(st recovery.State, obj, prefix string,
 	atomic func(string, func(*boost.Txn) error) error, ht *boost.Map) (int, error) {
 	kv := foldMap(st, obj)
 	keys := make([]int64, 0, len(kv))
@@ -392,7 +386,7 @@ func seedMap(st recovery.State, obj string,
 			hi = len(keys)
 		}
 		part := keys[lo:hi]
-		err := atomic(fmt.Sprintf("recover-%d", txns), func(tx *boost.Txn) error {
+		err := atomic(fmt.Sprintf("%s-%d", prefix, txns), func(tx *boost.Txn) error {
 			for _, k := range part {
 				if _, _, err := ht.Put(tx, k, kv[k]); err != nil {
 					return err
@@ -401,7 +395,7 @@ func seedMap(st recovery.State, obj string,
 			return nil
 		})
 		if err != nil {
-			return txns, fmt.Errorf("server: seeding recovered state: %w", err)
+			return txns, fmt.Errorf("backend: seeding recovered state: %w", err)
 		}
 		txns++
 	}
@@ -477,7 +471,7 @@ func (b *hybridBackend) ReadKey(key uint64) (int64, bool) {
 func (b *hybridBackend) CheckInvariant() error {
 	want := b.ctrBase + int64(b.ctrTxns.Load())
 	if got := b.h.ReadNoTx(0); got != want {
-		return fmt.Errorf("server: hybrid counter=%d, want %d (base %d + %d commits): lost updates",
+		return fmt.Errorf("backend: hybrid counter=%d, want %d (base %d + %d commits): lost updates",
 			got, want, b.ctrBase, b.ctrTxns.Load())
 	}
 	return nil
@@ -486,8 +480,8 @@ func (b *hybridBackend) CheckInvariant() error {
 // Seed restores the recovered map through boosted puts, then the HTM
 // counter word through one hybrid transaction — the counter survives
 // restart, so the commit tally is conserved across crashes.
-func (b *hybridBackend) Seed(st recovery.State) (int, error) {
-	txns, err := seedMap(st, "ht", func(name string, fn func(*boost.Txn) error) error {
+func (b *hybridBackend) Seed(st recovery.State, prefix string) (int, error) {
+	txns, err := seedMap(st, "ht", prefix, func(name string, fn func(*boost.Txn) error) error {
 		return b.b.Atomic(name, fn)
 	}, b.ht)
 	if err != nil {
@@ -495,7 +489,7 @@ func (b *hybridBackend) Seed(st recovery.State) (int, error) {
 	}
 	ctr := foldRegister(st, "htm")
 	if v, ok := ctr[0]; ok && v != 0 {
-		err := b.rt.Atomic("recover-ctr", func(tx *hybrid.Tx) error {
+		err := b.rt.Atomic(prefix+"-ctr", func(tx *hybrid.Tx) error {
 			tx.HTMSection(func(htx *htmsim.Tx) error {
 				if _, err := htx.Read(0); err != nil {
 					return err
@@ -505,7 +499,7 @@ func (b *hybridBackend) Seed(st recovery.State) (int, error) {
 			return nil
 		})
 		if err != nil {
-			return txns, fmt.Errorf("server: seeding recovered counter: %w", err)
+			return txns, fmt.Errorf("backend: seeding recovered counter: %w", err)
 		}
 		txns++
 		b.ctrBase = v

@@ -78,10 +78,21 @@ func (p ChaosParams) WithDefaults() ChaosParams {
 	return p
 }
 
-// ChaosTargets lists the campaign targets: the five goroutine
-// substrates, the hybrid runtime, and the cooperative model under the
-// chaos scheduler.
+// ChaosTargets lists the chaos-campaign targets: the five goroutine
+// substrates, the hybrid runtime, the cooperative model under the
+// chaos scheduler, and the sharded engine with coordinator death and
+// per-shard WAL crashes.
 func ChaosTargets() []string {
+	return []string{"tl2", "pess", "boost", "htmsim", "dep", "hybrid", "model", "shard"}
+}
+
+// CrashTargets lists the crash-campaign targets: every single-machine
+// target whose durable image is one WAL segment stream. The sharded
+// engine crash-restarts inside its own chaos target instead
+// (runChaosShard) — its image is multi-log (per-shard streams plus the
+// coordinator log), which RunCrashOne's single-stream recovery
+// interface cannot express.
+func CrashTargets() []string {
 	return []string{"tl2", "pess", "boost", "htmsim", "dep", "hybrid", "model"}
 }
 
@@ -159,6 +170,12 @@ func RunChaosOne(target string, seed int64, p ChaosParams) ChaosOutcome {
 		out.Err = runChaosHybrid(seed, p, inj, &out)
 	case "model":
 		out.Err = runChaosModel(seed, p, inj, &out)
+	case "shard":
+		// The sharded engine derives per-shard injectors and its own
+		// coordinator injector from the plan; it fills out.Plan and
+		// out.Faults itself.
+		out.Err = runChaosShard(seed, p, &out)
+		return out
 	default:
 		out.Err = fmt.Errorf("bench: unknown chaos target %q", target)
 	}

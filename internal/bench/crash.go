@@ -167,6 +167,9 @@ func RunCrashOne(target string, seed int64, p ChaosParams) CrashOutcome {
 // — live-run violation or recovery certification failure — and the
 // report names the failing plans (the reproduction recipes).
 func CrashCampaign(p ChaosParams) (string, []CrashOutcome, error) {
+	if p.Targets == nil {
+		p.Targets = CrashTargets()
+	}
 	p = p.WithDefaults()
 	var outcomes []CrashOutcome
 	type agg struct {

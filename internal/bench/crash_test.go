@@ -36,7 +36,7 @@ func TestCrashSmoke(t *testing.T) {
 // plan string — the printed plan really is the reproduction recipe.
 func TestCrashPlanDeterminism(t *testing.T) {
 	p := ChaosParams{}
-	for _, target := range ChaosTargets() {
+	for _, target := range CrashTargets() {
 		a := CrashPlanFor(target, 7, p).String()
 		b := CrashPlanFor(target, 7, p).String()
 		if a != b {

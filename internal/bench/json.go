@@ -142,6 +142,8 @@ type LoadSummaryJSON struct {
 	Skew        float64  `json:"skew,omitempty"`
 	Interactive bool     `json:"interactive"`
 	Seed        int64    `json:"seed"`
+	Shards      int      `json:"shards,omitempty"`
+	CrossPct    int      `json:"cross_pct,omitempty"`
 	DurationMs  float64  `json:"duration_ms"`
 	Commits     uint64   `json:"commits"`
 	Aborts      uint64   `json:"aborts"`

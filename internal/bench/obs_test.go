@@ -126,13 +126,35 @@ func TestObsSnapshotConsistency(t *testing.T) {
 				t.Fatalf("leaked spans: %v", err)
 			}
 			s := suite.Metrics.Snapshot()
-			site := s.Sites[target]
-			if site.Begins == 0 {
-				t.Fatalf("no begins recorded for site %q: %v", target, s.Sites)
-			}
-			if site.Begins != site.Commits+site.Aborts {
-				t.Fatalf("site %q: begins=%d != commits=%d + aborts=%d",
-					target, site.Begins, site.Commits, site.Aborts)
+			if target == "shard" {
+				// The sharded engine records one site per shard
+				// ("tl2/s0".."tl2/s3"); each must have fired and balance.
+				found := 0
+				for name, site := range s.Sites {
+					if !strings.HasPrefix(name, "tl2/s") {
+						continue
+					}
+					found++
+					if site.Begins == 0 {
+						t.Fatalf("no begins recorded for shard site %q", name)
+					}
+					if site.Begins != site.Commits+site.Aborts {
+						t.Fatalf("site %q: begins=%d != commits=%d + aborts=%d",
+							name, site.Begins, site.Commits, site.Aborts)
+					}
+				}
+				if found == 0 {
+					t.Fatalf("no per-shard sites recorded: %v", s.Sites)
+				}
+			} else {
+				site := s.Sites[target]
+				if site.Begins == 0 {
+					t.Fatalf("no begins recorded for site %q: %v", target, s.Sites)
+				}
+				if site.Begins != site.Commits+site.Aborts {
+					t.Fatalf("site %q: begins=%d != commits=%d + aborts=%d",
+						target, site.Begins, site.Commits, site.Aborts)
+				}
 			}
 			if s.LiveTxns != 0 {
 				t.Fatalf("live txns = %d at quiescence", s.LiveTxns)

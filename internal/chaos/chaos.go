@@ -69,13 +69,24 @@ const (
 	// also honors ordinary rates/scripts/budgets for probabilistic
 	// sweeps.
 	SiteWALAppend Site = "wal/append"
+	// SiteCoordPrepared is the cross-shard coordinator's death site
+	// between prepare and the durable commit decision: every participant
+	// branch is PUSHed (prepared) but no decision record exists, so
+	// recovery must presume abort and discard all branches consistently.
+	SiteCoordPrepared Site = "coord/prepared"
+	// SiteCoordCommit is the coordinator's death site immediately after
+	// the commit decision is durable but before any branch commit is
+	// released: recovery must roll the transaction forward on every
+	// participant from the journaled write-sets.
+	SiteCoordCommit Site = "coord/commit"
 )
 
 // Sites lists every injection site, for sweep tooling.
 func Sites() []Site {
 	return []Site{SiteHTMConflict, SiteHTMCapacity, SiteHTMCommit,
 		SiteTL2Read, SiteTL2Commit, SitePessTimeout, SiteBoostTimeout,
-		SiteDepConflict, SiteSchedStall, SiteSchedKill, SiteWALAppend}
+		SiteDepConflict, SiteSchedStall, SiteSchedKill, SiteWALAppend,
+		SiteCoordPrepared, SiteCoordCommit}
 }
 
 // CrashMode selects what the simulated crash leaves on "disk" past the
@@ -172,6 +183,27 @@ func (p Plan) WithCrash(n uint64, mode CrashMode) Plan {
 	p.CrashAppend = n
 	p.CrashMode = mode
 	return p
+}
+
+// ForShard derives shard i's plan (of n shards) from a base plan: the
+// same rates, scripts, and budgets under a shard-distinct seed, so the
+// shards' fault streams are independent but the whole sharded run stays
+// reproducible from one printed seed. A scheduled WAL crash is kept on
+// exactly one seed-chosen shard — a process dies once, not once per
+// shard — and the engine propagates that death to the other logs.
+func (p Plan) ForShard(i, n int) Plan {
+	q := p
+	q.Seed = int64(uint64(p.Seed)*0x9e3779b97f4a7c15 + uint64(i)*0x85ebca6b + 1)
+	if p.CrashAppend > 0 && n > 1 {
+		target := int(Hash01(p.Seed, "shard/crashpick", 0) * float64(n))
+		if target >= n {
+			target = n - 1
+		}
+		if i != target {
+			q.CrashAppend = 0
+		}
+	}
+	return q
 }
 
 // String renders the plan compactly — the reproduction recipe a chaos

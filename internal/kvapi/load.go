@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"pushpull/internal/shard"
 )
 
 // LoadParams configures one closed-loop load campaign: Clients
@@ -35,6 +37,12 @@ type LoadParams struct {
 	Interactive bool
 	// Seed makes key/op choices reproducible (default 1).
 	Seed int64
+	// Shards, when > 1, shapes key choice for a sharded server:
+	// CrossPct percent of transactions pick keys spanning at least two
+	// shards (the coordinator path), the rest confine every key to one
+	// home shard (the fast path). Zero leaves key choice unshaped.
+	Shards   int
+	CrossPct int
 }
 
 func (p LoadParams) withDefaults() LoadParams {
@@ -160,12 +168,13 @@ func runClient(p LoadParams, id int, deadline time.Time) clientTally {
 		if p.MaxTxns > 0 && n >= p.MaxTxns {
 			break
 		}
+		keys := pickKeys(p, rng, pick)
 		ops := make([]Op, p.OpsPerTxn)
 		for j := range ops {
 			if rng.Intn(100) < p.ReadPct {
-				ops[j] = Op{Kind: OpGet, Key: pick()}
+				ops[j] = Op{Kind: OpGet, Key: keys[j]}
 			} else {
-				ops[j] = Op{Kind: OpPut, Key: pick(), Val: rng.Int63n(1 << 20)}
+				ops[j] = Op{Kind: OpPut, Key: keys[j], Val: rng.Int63n(1 << 20)}
 			}
 		}
 		t0 := time.Now()
@@ -181,6 +190,42 @@ func runClient(p LoadParams, id int, deadline time.Time) clientTally {
 		t.lats = append(t.lats, time.Since(t0))
 	}
 	return t
+}
+
+// pickKeys draws one transaction's key footprint. Unsharded (or
+// single-shard) runs just sample OpsPerTxn keys. Against a sharded
+// server, CrossPct percent of transactions must span at least two
+// shards and the rest must stay on one — both enforced by rejection
+// sampling against the same key→shard mapping the server routes by.
+func pickKeys(p LoadParams, rng *rand.Rand, pick func() uint64) []uint64 {
+	keys := make([]uint64, p.OpsPerTxn)
+	for j := range keys {
+		keys[j] = pick()
+	}
+	if p.Shards <= 1 || p.OpsPerTxn < 2 {
+		return keys
+	}
+	r := shard.NewRouter(p.Shards)
+	if rng.Intn(100) < p.CrossPct {
+		// Cross-shard: re-draw the last key until it lands off the first
+		// key's home shard.
+		home := r.Shard(keys[0])
+		for i := 0; r.Shard(keys[len(keys)-1]) == home && i < 64; i++ {
+			keys[len(keys)-1] = pick()
+		}
+	} else {
+		// Single-shard: confine every key to the first key's home shard.
+		home := r.Shard(keys[0])
+		for j := 1; j < len(keys); j++ {
+			for i := 0; r.Shard(keys[j]) != home && i < 64; i++ {
+				keys[j] = pick()
+			}
+			if r.Shard(keys[j]) != home {
+				keys[j] = keys[0]
+			}
+		}
+	}
+	return keys
 }
 
 // runOneShot issues one MsgTxn, retrying admission rejections after

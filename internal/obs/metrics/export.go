@@ -68,6 +68,14 @@ func writeProm(w io.Writer, s Snapshot) error {
 	p("# TYPE pushpull_live_txns gauge\n")
 	p("pushpull_live_txns %d\n", s.LiveTxns)
 
+	if len(s.ShardInflight) > 0 {
+		p("# HELP pushpull_shard_inflight Transactions (and cross-shard branches) currently running per shard.\n")
+		p("# TYPE pushpull_shard_inflight gauge\n")
+		for _, sh := range sortedInt64Keys(s.ShardInflight) {
+			p("pushpull_shard_inflight{shard=%q} %d\n", sh, s.ShardInflight[sh])
+		}
+	}
+
 	if len(s.Requests) > 0 {
 		p("# HELP pushpull_requests_total KV server requests by endpoint and outcome.\n")
 		p("# TYPE pushpull_requests_total counter\n")
@@ -130,6 +138,15 @@ func promHistLabeled(p func(string, ...any), name, help, label string, h Histogr
 }
 
 func sortedReqKeys(m map[string]RequestSnapshot) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedInt64Keys(m map[string]int64) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {
 		out = append(out, k)

@@ -169,6 +169,9 @@ type Metrics struct {
 
 	reqsMu sync.RWMutex
 	reqs   map[string]*endpointStats // server endpoint → request tally
+
+	shardsMu sync.RWMutex
+	shards   map[string]*atomic.Int64 // shard label → in-flight gauge
 }
 
 // New returns an empty Metrics with the default bucket layouts:
@@ -183,6 +186,7 @@ func New() *Metrics {
 		sites:      make(map[string]*siteCounters),
 		faults:     make(map[string]uint64),
 		reqs:       make(map[string]*endpointStats),
+		shards:     make(map[string]*atomic.Int64),
 	}
 }
 
@@ -304,6 +308,36 @@ func (m *Metrics) WALSyncObserved(d time.Duration) {
 	m.walSync.Observe(d.Nanoseconds())
 }
 
+// shardGauge returns (lazily registering) one shard's in-flight gauge.
+func (m *Metrics) shardGauge(shard string) *atomic.Int64 {
+	m.shardsMu.RLock()
+	g := m.shards[shard]
+	m.shardsMu.RUnlock()
+	if g != nil {
+		return g
+	}
+	m.shardsMu.Lock()
+	defer m.shardsMu.Unlock()
+	if g = m.shards[shard]; g == nil {
+		g = &atomic.Int64{}
+		m.shards[shard] = g
+	}
+	return g
+}
+
+// ShardInflightAdd moves one shard's in-flight transaction gauge by
+// delta — +1 when a transaction (or cross-shard branch) starts running
+// on the shard, -1 when it finishes. Exported as the
+// pushpull_shard_inflight gauge.
+func (m *Metrics) ShardInflightAdd(shard string, delta int64) {
+	m.shardGauge(shard).Add(delta)
+}
+
+// ShardInflight reads one shard's current gauge value.
+func (m *Metrics) ShardInflight(shard string) int64 {
+	return m.shardGauge(shard).Load()
+}
+
 // Snapshot is a plain-value copy of every aggregate. Each counter is
 // internally consistent (monotonic); the snapshot as a whole is taken
 // without stopping writers, so cross-counter sums may be mid-update by
@@ -318,9 +352,10 @@ type Snapshot struct {
 	SchedKills    uint64            `json:"sched_kills"`
 	LiveTxns      int               `json:"live_txns"`
 
-	Sites    map[string]SiteSnapshot    `json:"sites"`
-	Faults   map[string]uint64          `json:"faults"`
-	Requests map[string]RequestSnapshot `json:"requests"`
+	Sites         map[string]SiteSnapshot    `json:"sites"`
+	Faults        map[string]uint64          `json:"faults"`
+	Requests      map[string]RequestSnapshot `json:"requests"`
+	ShardInflight map[string]int64           `json:"shard_inflight,omitempty"`
 
 	RetryDepth  HistogramSnapshot `json:"retry_depth"`
 	PushToCmtNs HistogramSnapshot `json:"push_to_cmt_ns"`
@@ -381,6 +416,14 @@ func (m *Metrics) Snapshot() Snapshot {
 		}
 	}
 	m.reqsMu.RUnlock()
+	m.shardsMu.RLock()
+	if len(m.shards) > 0 {
+		s.ShardInflight = make(map[string]int64, len(m.shards))
+		for shard, g := range m.shards {
+			s.ShardInflight[shard] = g.Load()
+		}
+	}
+	m.shardsMu.RUnlock()
 	for i := range m.txs {
 		sh := &m.txs[i]
 		sh.mu.Lock()

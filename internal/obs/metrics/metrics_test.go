@@ -182,6 +182,93 @@ func TestSnapshotUnderConcurrency(t *testing.T) {
 	}
 }
 
+// TestShardInflightSnapshotConsistency hammers the per-shard in-flight
+// gauge from concurrent enter/exit writers while a reader snapshots and
+// exports continuously. Each observed gauge value must stay within the
+// physically possible band [0, writers-per-shard], and at quiescence
+// every shard must read exactly zero — in snapshot, point read, and
+// Prometheus exposition. Under -race this also proves the lazily
+// registered gauge map is data-race-free.
+func TestShardInflightSnapshotConsistency(t *testing.T) {
+	m := metrics.New()
+	shards := []string{"0", "1", "2", "3"}
+	const writersPerShard = 4
+	const roundsEach = 300
+	stop := make(chan struct{})
+	var snapErr error
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			s := m.Snapshot()
+			for sh, v := range s.ShardInflight {
+				if v < 0 || v > writersPerShard {
+					snapErr = &gaugeBandErr{sh, v}
+					return
+				}
+			}
+			var b strings.Builder
+			if err := m.WritePrometheus(&b); err != nil {
+				snapErr = err
+				return
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for _, sh := range shards {
+		for w := 0; w < writersPerShard; w++ {
+			wg.Add(1)
+			go func(sh string) {
+				defer wg.Done()
+				for i := 0; i < roundsEach; i++ {
+					m.ShardInflightAdd(sh, 1)
+					m.ShardInflightAdd(sh, -1)
+				}
+			}(sh)
+		}
+	}
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+	if snapErr != nil {
+		t.Fatal(snapErr)
+	}
+	s := m.Snapshot()
+	for _, sh := range shards {
+		if v := s.ShardInflight[sh]; v != 0 {
+			t.Fatalf("shard %s inflight = %d at quiescence", sh, v)
+		}
+		if v := m.ShardInflight(sh); v != 0 {
+			t.Fatalf("shard %s point read = %d at quiescence", sh, v)
+		}
+	}
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range shards {
+		want := `pushpull_shard_inflight{shard="` + sh + `"} 0`
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+type gaugeBandErr struct {
+	shard string
+	got   int64
+}
+
+func (e *gaugeBandErr) Error() string {
+	return "shard " + e.shard + " gauge outside possible band"
+}
+
 type monotonicErr struct {
 	what      string
 	got, last uint64

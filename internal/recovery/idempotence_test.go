@@ -19,7 +19,7 @@ import (
 // with the recovered prefix certifying cleanly both times.
 func TestReplayIdempotenceAcrossSubstrates(t *testing.T) {
 	p := bench.ChaosParams{Threads: 4, OpsEach: 12}
-	for _, target := range bench.ChaosTargets() {
+	for _, target := range bench.CrashTargets() {
 		for seed := int64(1); seed <= 3; seed++ {
 			t.Run(fmt.Sprintf("%s/seed%d", target, seed), func(t *testing.T) {
 				o := bench.RunCrashOne(target, seed, p)

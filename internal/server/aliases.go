@@ -1,0 +1,32 @@
+package server
+
+// The substrate backends and the group-commit barrier moved to
+// internal/backend so the sharded engine (internal/shard) can share
+// them without importing the service layer. These aliases keep the
+// server's historical API surface intact.
+
+import "pushpull/internal/backend"
+
+type (
+	// View is re-exported from internal/backend.
+	View = backend.View
+	// Backend is re-exported from internal/backend.
+	Backend = backend.Backend
+	// Config is re-exported from internal/backend.
+	Config = backend.Config
+	// GroupCommit is re-exported from internal/backend.
+	GroupCommit = backend.GroupCommit
+)
+
+var (
+	// NewBackend is re-exported from internal/backend.
+	NewBackend = backend.NewBackend
+	// RegistryFor is re-exported from internal/backend.
+	RegistryFor = backend.RegistryFor
+	// Substrates is re-exported from internal/backend.
+	Substrates = backend.Substrates
+	// FoldKV is re-exported from internal/backend.
+	FoldKV = backend.FoldKV
+	// NewGroupCommit is re-exported from internal/backend.
+	NewGroupCommit = backend.NewGroupCommit
+)

@@ -9,11 +9,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pushpull/internal/backend"
 	"pushpull/internal/chaos"
 	"pushpull/internal/kvapi"
 	"pushpull/internal/obs"
 	"pushpull/internal/recovery"
 	"pushpull/internal/serial"
+	"pushpull/internal/shard"
 	"pushpull/internal/wal"
 )
 
@@ -29,6 +31,12 @@ type Options struct {
 	Seed int64
 	// DisableCert drops shadow-machine certification (raw throughput).
 	DisableCert bool
+	// Shards > 1 serves through the hash-partitioned engine: one
+	// independent machine (own WAL stream, recorder site, metrics
+	// label) per shard, single-shard transactions routed to their home
+	// shard unchanged, cross-shard ones through the journaled two-phase
+	// coordinator (internal/shard).
+	Shards int
 
 	// MaxInflight bounds concurrently running transactions (default
 	// 64); MaxQueue bounds waiters beyond that (default 2*MaxInflight;
@@ -58,6 +66,9 @@ type Options struct {
 	// to recover from explicitly (the in-memory restart path); it
 	// takes precedence over reading WALDir.
 	RecoverFrom [][]byte
+	// RecoverFromImage is the sharded equivalent (Shards > 1): the
+	// multi-log durable image from ShardImage().
+	RecoverFromImage *shard.Image
 
 	// Suite receives all telemetry (default: a fresh obs.New()).
 	Suite *obs.Suite
@@ -90,6 +101,7 @@ type Server struct {
 	opts  Options
 	suite *obs.Suite
 	be    Backend
+	eng   *shard.Engine // non-nil when Shards > 1
 	log   *wal.Log
 	hook  *wal.MachineHook
 	group *GroupCommit
@@ -123,6 +135,26 @@ func New(opts Options) (*Server, error) {
 	}
 	s := &Server{opts: opts, suite: suite, conns: make(map[net.Conn]struct{})}
 	s.gate = newGate(opts.MaxInflight, opts.MaxQueue)
+
+	// The sharded engine owns recovery, WALs, backends, and chaos for
+	// every partition; the server keeps admission control and the wire.
+	if opts.Shards > 1 {
+		eng, err := shard.New(shard.Options{
+			Shards: opts.Shards, Substrate: opts.Substrate, Keys: opts.Keys,
+			Seed: opts.Seed, DisableCert: opts.DisableCert,
+			Retry: opts.Retry, Plan: opts.Plan,
+			WALDir: opts.WALDir, Durable: opts.Durable,
+			SyncPolicy: opts.SyncPolicy, GroupEvery: opts.GroupEvery,
+			SegmentBytes: opts.SegmentBytes,
+			RecoverFrom:  opts.RecoverFromImage, Suite: suite,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.eng = eng
+		s.group = NewGroupCommit(nil) // unused; keeps Stats total
+		return s, nil
+	}
 
 	var inj *chaos.Faults
 	if opts.Plan != nil {
@@ -192,7 +224,7 @@ func New(opts Options) (*Server, error) {
 		}
 		s.log = log
 		if forceAtBarrier {
-			s.group = NewGroupCommit(forceSync{log})
+			s.group = NewGroupCommit(backend.ForceSync(log))
 		} else {
 			s.group = NewGroupCommit(s.log)
 		}
@@ -222,7 +254,7 @@ func New(opts Options) (*Server, error) {
 	// Re-apply the recovered image through normal certified (and, now,
 	// WAL-logged) transactions: the new log starts with a checkpoint.
 	if len(s.recovered.State.Txns) > 0 {
-		n, err := be.Seed(s.recovered.State)
+		n, err := be.Seed(s.recovered.State, "recover")
 		if err != nil {
 			return nil, err
 		}
@@ -276,11 +308,15 @@ func (s *Server) acceptLoop(ln net.Listener) {
 // connection aborts it (undo, lock release, shadow rewind) before the
 // handler exits — the no-leak guarantee the shutdown tests assert.
 func (s *Server) handleConn(conn net.Conn) {
-	var sess *session
+	var cs connState
 	defer func() {
-		if sess != nil {
-			_ = sess.abandon()
-			s.endSession(&sess)
+		if cs.sess != nil {
+			_ = cs.sess.abandon()
+			s.endSession(&cs)
+		}
+		if cs.stx != nil {
+			cs.stx.Abandon()
+			s.endSession(&cs)
 		}
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -295,7 +331,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		resp := s.dispatch(&sess, req)
+		resp := s.dispatch(&cs, req)
 		if err := kvapi.WriteResponse(bw, resp); err != nil {
 			return
 		}
@@ -305,9 +341,18 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
+// connState is one connection's open interactive transaction: a
+// single-machine session or a sharded transaction, never both.
+type connState struct {
+	sess *session
+	stx  *shard.Txn
+}
+
+func (cs *connState) open() bool { return cs.sess != nil || cs.stx != nil }
+
 // dispatch routes one request and feeds the per-endpoint request
 // counters and latency histograms.
-func (s *Server) dispatch(sess **session, req kvapi.Request) kvapi.Response {
+func (s *Server) dispatch(cs *connState, req kvapi.Request) kvapi.Response {
 	t0 := time.Now()
 	var resp kvapi.Response
 	switch req.Type {
@@ -316,13 +361,13 @@ func (s *Server) dispatch(sess **session, req kvapi.Request) kvapi.Response {
 	case kvapi.MsgTxn:
 		resp = s.doTxn(req.Ops)
 	case kvapi.MsgBegin:
-		resp = s.doBegin(sess)
+		resp = s.doBegin(cs)
 	case kvapi.MsgGet, kvapi.MsgPut:
-		resp = s.doOp(sess, req)
+		resp = s.doOp(cs, req)
 	case kvapi.MsgCommit:
-		resp = s.doEnd(sess, true)
+		resp = s.doEnd(cs, true)
 	case kvapi.MsgAbort:
-		resp = s.doEnd(sess, false)
+		resp = s.doEnd(cs, false)
 	default:
 		resp = kvapi.Response{Status: kvapi.StatusError,
 			Msg: fmt.Sprintf("unknown message type %d", byte(req.Type))}
@@ -346,6 +391,9 @@ func (s *Server) doTxn(ops []kvapi.Op) kvapi.Response {
 		return busyResponse(hint)
 	}
 	defer s.gate.release()
+	if s.eng != nil {
+		return s.doTxnSharded(ops)
+	}
 	results := make([]kvapi.Result, len(ops))
 	attempts := uint32(0)
 	err := s.be.Atomic(txnName(s.seq.Add(1)), func(v View) error {
@@ -379,26 +427,68 @@ func (s *Server) doTxn(ops []kvapi.Op) kvapi.Response {
 	return kvapi.Response{Status: kvapi.StatusOK, Results: results, Retries: retries}
 }
 
-func (s *Server) doBegin(sessp **session) kvapi.Response {
-	if *sessp != nil {
+// doTxnSharded routes a one-shot transaction through the sharded
+// engine (gate already held).
+func (s *Server) doTxnSharded(ops []kvapi.Op) kvapi.Response {
+	sops := make([]shard.Op, len(ops))
+	for i, op := range ops {
+		sops[i] = shard.Op{Key: op.Key, Val: op.Val}
+		if op.Kind == kvapi.OpGet {
+			sops[i].Kind = shard.OpGet
+		} else {
+			sops[i].Kind = shard.OpPut
+		}
+	}
+	res, retries, err := s.eng.Do(sops)
+	if err != nil {
+		return abortResponse(err, retries)
+	}
+	results := make([]kvapi.Result, len(res))
+	for i, r := range res {
+		results[i] = kvapi.Result{Val: r.Val, Found: r.Found}
+	}
+	return kvapi.Response{Status: kvapi.StatusOK, Results: results, Retries: retries}
+}
+
+func (s *Server) doBegin(cs *connState) kvapi.Response {
+	if cs.open() {
 		return kvapi.Response{Status: kvapi.StatusError, Msg: "transaction already open on this connection"}
 	}
 	ok, hint := s.gate.acquire()
 	if !ok {
 		return busyResponse(hint)
 	}
-	sess := newSession(sessionName(s.seq.Add(1)))
 	s.sessions.Add(1)
+	if s.eng != nil {
+		cs.stx = s.eng.Begin()
+		return kvapi.Response{Status: kvapi.StatusOK}
+	}
+	sess := newSession(sessionName(s.seq.Add(1)))
 	go sess.run(s.be)
-	*sessp = sess
+	cs.sess = sess
 	return kvapi.Response{Status: kvapi.StatusOK}
 }
 
-func (s *Server) doOp(sessp **session, req kvapi.Request) kvapi.Response {
-	sess := *sessp
-	if sess == nil {
+func (s *Server) doOp(cs *connState, req kvapi.Request) kvapi.Response {
+	if !cs.open() {
 		return kvapi.Response{Status: kvapi.StatusError, Msg: "no open transaction (send begin first)"}
 	}
+	if tx := cs.stx; tx != nil {
+		var r kvapi.Result
+		var err error
+		if req.Type == kvapi.MsgGet {
+			r.Val, r.Found, err = tx.Get(req.Key)
+		} else {
+			err = tx.Put(req.Key, req.Val)
+		}
+		if err != nil {
+			retries := tx.Retries()
+			s.endSession(cs)
+			return abortResponse(err, retries)
+		}
+		return kvapi.Response{Status: kvapi.StatusOK, Results: []kvapi.Result{r}}
+	}
+	sess := cs.sess
 	c := sessCmd{key: req.Key, val: req.Val}
 	if req.Type == kvapi.MsgGet {
 		c.kind = cmdGet
@@ -416,16 +506,30 @@ func (s *Server) doOp(sessp **session, req kvapi.Request) kvapi.Response {
 		// The transaction died processing this operation (retry budget,
 		// replay divergence): the session is over.
 		retries := sess.retries
-		s.endSession(sessp)
+		s.endSession(cs)
 		return abortResponse(err, retries)
 	}
 }
 
-func (s *Server) doEnd(sessp **session, commit bool) kvapi.Response {
-	sess := *sessp
-	if sess == nil {
+func (s *Server) doEnd(cs *connState, commit bool) kvapi.Response {
+	if !cs.open() {
 		return kvapi.Response{Status: kvapi.StatusError, Msg: "no open transaction"}
 	}
+	if tx := cs.stx; tx != nil {
+		var err error
+		if commit {
+			err = tx.Commit()
+		} else {
+			err = tx.Abort()
+		}
+		retries := tx.Retries()
+		s.endSession(cs)
+		if commit && err != nil {
+			return abortResponse(err, retries)
+		}
+		return kvapi.Response{Status: kvapi.StatusOK, Retries: retries}
+	}
+	sess := cs.sess
 	kind := cmdAbort
 	if commit {
 		kind = cmdCommit
@@ -433,7 +537,7 @@ func (s *Server) doEnd(sessp **session, commit bool) kvapi.Response {
 	sess.cmds <- sessCmd{kind: kind}
 	err := <-sess.done
 	retries := sess.retries
-	s.endSession(sessp)
+	s.endSession(cs)
 	if commit {
 		if err != nil {
 			return abortResponse(err, retries)
@@ -446,8 +550,8 @@ func (s *Server) doEnd(sessp **session, commit bool) kvapi.Response {
 }
 
 // endSession releases everything doBegin acquired.
-func (s *Server) endSession(sessp **session) {
-	*sessp = nil
+func (s *Server) endSession(cs *connState) {
+	cs.sess, cs.stx = nil, nil
 	s.gate.release()
 	s.sessions.Add(-1)
 }
@@ -467,11 +571,14 @@ func abortResponse(err error, retries uint32) kvapi.Response {
 	case errors.Is(err, chaos.ErrRetriesExhausted):
 		return kvapi.Response{Status: kvapi.StatusAborted, Retries: retries,
 			Msg: "retry budget exhausted"}
-	case errors.Is(err, errReplayDiverged):
+	case errors.Is(err, errReplayDiverged), errors.Is(err, shard.ErrReplayDiverged):
 		return kvapi.Response{Status: kvapi.StatusAborted, Retries: retries,
-			Msg: errReplayDiverged.Error()}
-	case errors.Is(err, errClientAbort):
+			Msg: err.Error()}
+	case errors.Is(err, errClientAbort), errors.Is(err, shard.ErrClientAbort):
 		return kvapi.Response{Status: kvapi.StatusOK, Retries: retries}
+	case errors.Is(err, shard.ErrCoordCrashed):
+		return kvapi.Response{Status: kvapi.StatusAborted, Retries: retries,
+			Msg: err.Error()}
 	default:
 		return kvapi.Response{Status: kvapi.StatusError, Retries: retries, Msg: err.Error()}
 	}
@@ -497,13 +604,20 @@ func (s *Server) Stop() {
 	if s.log != nil {
 		_ = s.log.Close() // a simulated-crash log refuses; that's fine
 	}
+	if s.eng != nil {
+		_ = s.eng.Close()
+	}
 }
 
 // Stats is the /stats snapshot.
 type Stats struct {
 	Substrate     string `json:"substrate"`
+	Shards        int    `json:"shards,omitempty"`
 	Commits       uint64 `json:"commits"`
 	Aborts        uint64 `json:"aborts"`
+	CrossCommits  uint64 `json:"cross_commits,omitempty"`
+	CrossAborts   uint64 `json:"cross_aborts,omitempty"`
+	Redos         uint64 `json:"redos,omitempty"`
 	Sessions      int64  `json:"open_sessions"`
 	InFlight      int    `json:"inflight"`
 	Rejected      uint64 `json:"admission_rejected"`
@@ -511,11 +625,26 @@ type Stats struct {
 	GroupSyncs    uint64 `json:"group_syncs"`
 	RecoveredTxns int    `json:"recovered_txns"`
 	SeededTxns    int    `json:"seeded_txns"`
+	InDoubtFixed  int    `json:"in_doubt_resolved,omitempty"`
 	WALCrashed    bool   `json:"wal_crashed"`
 }
 
 // Stats snapshots the server.
 func (s *Server) Stats() Stats {
+	if s.eng != nil {
+		es := s.eng.Stats()
+		return Stats{
+			Substrate: s.opts.Substrate, Shards: es.Shards,
+			Commits: es.Commits, Aborts: es.Aborts,
+			CrossCommits: es.CrossCommits, CrossAborts: es.CrossAborts,
+			Redos:    es.Redos,
+			Sessions: s.sessions.Load(), InFlight: s.gate.inFlight(),
+			Rejected:      s.gate.rejectedCount(),
+			GroupBarriers: es.GroupBarriers, GroupSyncs: es.GroupSyncs,
+			RecoveredTxns: es.RecoveredTxns, SeededTxns: es.SeededTxns,
+			InDoubtFixed: es.InDoubtFixed, WALCrashed: es.WALCrashed,
+		}
+	}
 	commits, aborts := s.be.Stats()
 	barriers, syncs := s.group.Stats()
 	st := Stats{
@@ -541,7 +670,12 @@ func (s *Server) Backend() Backend { return s.be }
 func (s *Server) Recovered() recovery.Report { return s.recovered }
 
 // GroupStats reports the commit-batching amortization counters.
-func (s *Server) GroupStats() (barriers, syncs uint64) { return s.group.Stats() }
+func (s *Server) GroupStats() (barriers, syncs uint64) {
+	if s.eng != nil {
+		return s.eng.GroupStats()
+	}
+	return s.group.Stats()
+}
 
 // WALSegments returns the durable image (for simulated-crash restart).
 func (s *Server) WALSegments() [][]byte {
@@ -551,8 +685,33 @@ func (s *Server) WALSegments() [][]byte {
 	return s.log.Segments()
 }
 
+// Engine exposes the sharded engine (nil when Shards <= 1).
+func (s *Server) Engine() *shard.Engine { return s.eng }
+
+// ShardImage returns the sharded durable image (for simulated-crash
+// restart through Options.RecoverFromImage); nil when not sharded.
+func (s *Server) ShardImage() *shard.Image {
+	if s.eng == nil {
+		return nil
+	}
+	return s.eng.Image()
+}
+
+// ShardRecovered reports the sharded recovery certificate.
+func (s *Server) ShardRecovered() shard.MultiReport {
+	if s.eng == nil {
+		return shard.MultiReport{}
+	}
+	return s.eng.Recovered()
+}
+
 // WALCrashed reports whether the simulated process death fired.
-func (s *Server) WALCrashed() bool { return s.log != nil && s.log.Crashed() }
+func (s *Server) WALCrashed() bool {
+	if s.eng != nil {
+		return s.eng.Crashed()
+	}
+	return s.log != nil && s.log.Crashed()
+}
 
 // LeakCheck asserts quiescent cleanliness: no open sessions, no
 // in-flight admissions, no unpopped spans, no leaked substrate locks.
@@ -567,6 +726,9 @@ func (s *Server) LeakCheck() error {
 	if err := s.suite.LeakCheck(); err != nil {
 		return err
 	}
+	if s.eng != nil {
+		return s.eng.LeakCheck()
+	}
 	return s.be.LeakCheck()
 }
 
@@ -574,6 +736,9 @@ func (s *Server) LeakCheck() error {
 // final check, its invariants, commit-order serializability over the
 // certified window, substrate conservation laws, and WAL I/O health.
 func (s *Server) FinalCheck() error {
+	if s.eng != nil {
+		return s.eng.FinalCheck()
+	}
 	if err := s.be.CheckInvariant(); err != nil {
 		return err
 	}

@@ -1,0 +1,406 @@
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+)
+
+// The coordinator log is the cross-shard commit journal: presumed
+// abort with roll-forward by evidence. A cross-shard transaction is
+// globally committed iff its CCommit record — global serial number,
+// name, and every participant branch's write-set — is durable here.
+// The record is forced before any branch is allowed to CMT, so at
+// recovery:
+//
+//   - CCommit durable, branch CMT missing on some shard → the branch is
+//     redone from the journaled write-set (roll forward);
+//   - CCommit absent → no branch can have committed (branches only CMT
+//     after the forced decision), so per-shard recovery has already
+//     discarded the prepared PUSHes — a consistent presumed abort.
+//
+// Either way zero transactions remain in doubt after restart. CEnd is
+// a lazy completion marker (never forced), purely informational: it is
+// appended when every branch acked its CMT in memory, but a later
+// forced append can make it durable even though a shard WAL died under
+// one of those CMTs — so recovery never treats CEnd as proof of branch
+// durability and always runs the branch-presence probe.
+
+// ErrCoordCrashed reports an append against a coordinator log whose
+// simulated process has died.
+var ErrCoordCrashed = errors.New("shard: coordinator log crashed (simulated process death)")
+
+// KV is one journaled write.
+type KV struct {
+	Key uint64
+	Val int64
+}
+
+// BranchRec is one participant's journaled branch: its shard and the
+// write-set to roll forward from.
+type BranchRec struct {
+	Shard int
+	Puts  []KV
+}
+
+// CommitRec is one cross-shard commit decision.
+type CommitRec struct {
+	GSN      uint64
+	Name     string
+	Branches []BranchRec
+	// Ended is set by decode when a CEnd marker followed. Informational
+	// only: CEnd does not certify branch durability (see package doc).
+	Ended bool
+}
+
+// Coordinator log framing: an 8-byte header ("PPCRD", version, two
+// reserved bytes), then records framed u32 len | u32 crc32c | payload,
+// same discipline as the WAL — any byte stream decodes to a longest
+// valid prefix plus a truncation point.
+const (
+	coordMagic   = "PPCRD"
+	coordVersion = 1
+	coordHdrLen  = 8
+
+	cRecCommit = 1
+	cRecEnd    = 2
+
+	maxCoordRec = 1 << 20
+)
+
+var coordCRC = crc32.MakeTable(crc32.Castagnoli)
+
+func coordHeader() []byte {
+	h := make([]byte, 0, coordHdrLen)
+	h = append(h, coordMagic...)
+	h = append(h, coordVersion, 0, 0)
+	return h
+}
+
+// CoordLog is the coordinator journal: an in-memory image with a
+// durable watermark (and an optional backing file), with the same
+// simulated-crash semantics as wal.Log — Kill freezes the durable
+// prefix.
+type CoordLog struct {
+	mu      sync.Mutex
+	path    string
+	file    *os.File
+	buf     []byte
+	durable int
+	crashed bool
+	appends uint64
+}
+
+// OpenCoordLog creates a coordinator log; an empty path keeps it in
+// memory (tests, simulated crashes).
+func OpenCoordLog(path string) (*CoordLog, error) {
+	l := &CoordLog{path: path}
+	hdr := coordHeader()
+	l.buf = append(l.buf, hdr...)
+	if path != "" {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := f.Write(hdr); err != nil {
+			f.Close()
+			return nil, err
+		}
+		l.file = f
+	}
+	l.durable = len(l.buf)
+	return l, nil
+}
+
+func encodeCommitRec(r CommitRec) []byte {
+	p := make([]byte, 0, 64)
+	p = append(p, cRecCommit)
+	p = binary.AppendUvarint(p, r.GSN)
+	p = binary.AppendUvarint(p, uint64(len(r.Name)))
+	p = append(p, r.Name...)
+	p = binary.AppendUvarint(p, uint64(len(r.Branches)))
+	for _, b := range r.Branches {
+		p = binary.AppendUvarint(p, uint64(b.Shard))
+		p = binary.AppendUvarint(p, uint64(len(b.Puts)))
+		for _, kv := range b.Puts {
+			p = binary.AppendUvarint(p, kv.Key)
+			p = binary.AppendVarint(p, kv.Val)
+		}
+	}
+	return p
+}
+
+func (l *CoordLog) append(payload []byte, force bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.crashed {
+		return ErrCoordCrashed
+	}
+	l.appends++
+	var frame []byte
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload, coordCRC))
+	frame = append(frame, payload...)
+	l.buf = append(l.buf, frame...)
+	if l.file != nil {
+		if _, err := l.file.Write(frame); err != nil {
+			return err
+		}
+	}
+	if force {
+		return l.syncLocked()
+	}
+	return nil
+}
+
+func (l *CoordLog) syncLocked() error {
+	if l.durable == len(l.buf) {
+		return nil
+	}
+	if l.file != nil {
+		if err := l.file.Sync(); err != nil {
+			return err
+		}
+	}
+	l.durable = len(l.buf)
+	return nil
+}
+
+// AppendCommit journals one commit decision and forces it durable —
+// the cross-shard commit point. No branch may CMT before this returns.
+func (l *CoordLog) AppendCommit(r CommitRec) error {
+	return l.append(encodeCommitRec(r), true)
+}
+
+// AppendEnd journals a lazy completion marker (not forced; see the
+// package comment for why losing it is harmless).
+func (l *CoordLog) AppendEnd(gsn uint64) error {
+	p := make([]byte, 0, 10)
+	p = append(p, cRecEnd)
+	p = binary.AppendUvarint(p, gsn)
+	return l.append(p, false)
+}
+
+// Sync forces everything appended so far.
+func (l *CoordLog) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.crashed {
+		return ErrCoordCrashed
+	}
+	return l.syncLocked()
+}
+
+// Kill applies a simulated process death: the surviving image is the
+// durable prefix. Idempotent.
+func (l *CoordLog) Kill() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.crashed {
+		return
+	}
+	l.crashed = true
+	l.buf = l.buf[:l.durable]
+	if l.file != nil {
+		l.file.Close()
+		l.file = nil
+		_ = os.WriteFile(l.path, l.buf, 0o644)
+	}
+}
+
+// Crashed reports whether the simulated process has died.
+func (l *CoordLog) Crashed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.crashed
+}
+
+// Image returns the on-"disk" image: the durable prefix after a crash,
+// the full written image before one.
+func (l *CoordLog) Image() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.crashed {
+		return append([]byte(nil), l.buf[:l.durable]...)
+	}
+	return append([]byte(nil), l.buf...)
+}
+
+// Close syncs and closes the log (no-op after a crash).
+func (l *CoordLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.crashed {
+		return nil
+	}
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if l.file != nil {
+		if err := l.file.Close(); err != nil {
+			return err
+		}
+		l.file = nil
+	}
+	return nil
+}
+
+// DecodeCoordLog decodes a coordinator log image into its commit
+// records in append (GSN) order, folding CEnd markers into Ended
+// flags. Like the WAL decoder it never fails on a torn tail: it
+// returns the longest valid prefix plus a non-nil truncation reason
+// (nil when the image decoded exactly). An empty image is valid.
+func DecodeCoordLog(data []byte) (recs []CommitRec, truncated error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	if len(data) < coordHdrLen || string(data[:len(coordMagic)]) != coordMagic {
+		return nil, errors.New("shard: bad coordinator log header")
+	}
+	if data[len(coordMagic)] != coordVersion {
+		return nil, fmt.Errorf("shard: unsupported coordinator log version %d", data[len(coordMagic)])
+	}
+	body := data[coordHdrLen:]
+	ended := make(map[uint64]bool)
+	byGSN := make(map[uint64]int)
+	off := 0
+	for {
+		rest := body[off:]
+		if len(rest) == 0 {
+			break
+		}
+		if len(rest) < 8 {
+			truncated = fmt.Errorf("shard: torn coordinator frame header at offset %d", off)
+			break
+		}
+		plen := binary.LittleEndian.Uint32(rest)
+		sum := binary.LittleEndian.Uint32(rest[4:])
+		if plen > maxCoordRec {
+			truncated = fmt.Errorf("shard: coordinator frame length %d exceeds limit at offset %d", plen, off)
+			break
+		}
+		if uint64(8)+uint64(plen) > uint64(len(rest)) {
+			truncated = fmt.Errorf("shard: torn coordinator record at offset %d", off)
+			break
+		}
+		payload := rest[8 : 8+int(plen)]
+		if crc32.Checksum(payload, coordCRC) != sum {
+			truncated = fmt.Errorf("shard: coordinator checksum mismatch at offset %d", off)
+			break
+		}
+		rec, err := decodeCoordPayload(payload)
+		if err != nil {
+			truncated = fmt.Errorf("shard: bad coordinator payload at offset %d: %w", off, err)
+			break
+		}
+		if rec.end {
+			ended[rec.gsn] = true
+		} else {
+			byGSN[rec.commit.GSN] = len(recs)
+			recs = append(recs, rec.commit)
+		}
+		off += 8 + int(plen)
+	}
+	for gsn := range ended {
+		if i, ok := byGSN[gsn]; ok {
+			recs[i].Ended = true
+		}
+	}
+	return recs, truncated
+}
+
+type coordPayload struct {
+	end    bool
+	gsn    uint64
+	commit CommitRec
+}
+
+// maxCoordBranches bounds declared counts so a corrupt length cannot
+// demand a huge allocation before the overrun check.
+const maxCoordBranches = 1 << 12
+
+func decodeCoordPayload(p []byte) (coordPayload, error) {
+	if len(p) == 0 {
+		return coordPayload{}, errors.New("empty payload")
+	}
+	d := &cdec{b: p[1:]}
+	switch p[0] {
+	case cRecEnd:
+		gsn := d.uvarint()
+		if d.bad || len(d.b) != 0 {
+			return coordPayload{}, errors.New("truncated end record")
+		}
+		return coordPayload{end: true, gsn: gsn}, nil
+	case cRecCommit:
+		var r CommitRec
+		r.GSN = d.uvarint()
+		r.Name = d.str()
+		nb := d.uvarint()
+		if nb > maxCoordBranches {
+			return coordPayload{}, fmt.Errorf("absurd branch count %d", nb)
+		}
+		for i := uint64(0); i < nb && !d.bad; i++ {
+			var b BranchRec
+			b.Shard = int(d.uvarint())
+			np := d.uvarint()
+			if np > maxCoordRec {
+				return coordPayload{}, fmt.Errorf("absurd put count %d", np)
+			}
+			for j := uint64(0); j < np && !d.bad; j++ {
+				b.Puts = append(b.Puts, KV{Key: d.uvarint(), Val: d.varint()})
+			}
+			r.Branches = append(r.Branches, b)
+		}
+		if d.bad || len(d.b) != 0 {
+			return coordPayload{}, errors.New("truncated commit record")
+		}
+		return coordPayload{commit: r}, nil
+	default:
+		return coordPayload{}, fmt.Errorf("unknown record type %d", p[0])
+	}
+}
+
+type cdec struct {
+	b   []byte
+	bad bool
+}
+
+func (d *cdec) uvarint() uint64 {
+	if d.bad {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.bad = true
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *cdec) varint() int64 {
+	if d.bad {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.bad = true
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *cdec) str() string {
+	n := d.uvarint()
+	if d.bad || n > uint64(len(d.b)) {
+		d.bad = true
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}

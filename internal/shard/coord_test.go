@@ -1,0 +1,133 @@
+package shard
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleRecs() []CommitRec {
+	return []CommitRec{
+		{GSN: 1, Name: "x1", Branches: []BranchRec{
+			{Shard: 0, Puts: []KV{{Key: 3, Val: 30}}},
+			{Shard: 2, Puts: []KV{{Key: 7, Val: -70}, {Key: 9, Val: 90}}},
+		}},
+		{GSN: 2, Name: "x2", Branches: []BranchRec{
+			{Shard: 1, Puts: nil}, // read-only branch
+			{Shard: 3, Puts: []KV{{Key: 11, Val: 1}}},
+		}},
+	}
+}
+
+func TestCoordLogRoundTrip(t *testing.T) {
+	l, err := OpenCoordLog("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRecs()
+	for _, r := range want {
+		if err := l.AppendCommit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.AppendEnd(1); err != nil {
+		t.Fatal(err)
+	}
+	got, trunc := DecodeCoordLog(l.Image())
+	if trunc != nil {
+		t.Fatalf("unexpected truncation: %v", trunc)
+	}
+	want[0].Ended = true
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestCoordLogFileBacked(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "coord.log")
+	l, err := OpenCoordLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sampleRecs()[0]
+	if err := l.AppendCommit(rec); err != nil {
+		t.Fatal(err)
+	}
+	img := l.Image()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, trunc := DecodeCoordLog(img)
+	if trunc != nil || len(got) != 1 || got[0].Name != "x1" {
+		t.Fatalf("file-backed decode: %+v, %v", got, trunc)
+	}
+	// Reopening the same path must refuse (exclusive create).
+	if _, err := OpenCoordLog(path); err == nil {
+		t.Fatal("expected O_EXCL failure on existing coordinator log")
+	}
+}
+
+func TestCoordLogTornTail(t *testing.T) {
+	l, _ := OpenCoordLog("")
+	for _, r := range sampleRecs() {
+		if err := l.AppendCommit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := l.Image()
+	// Every proper prefix must decode to a prefix of the records with a
+	// truncation reason (or cleanly at frame boundaries).
+	for cut := coordHdrLen; cut < len(full); cut++ {
+		got, _ := DecodeCoordLog(full[:cut])
+		if len(got) > 2 {
+			t.Fatalf("cut %d produced %d records", cut, len(got))
+		}
+		for i, r := range got {
+			if r.Name != sampleRecs()[i].Name {
+				t.Fatalf("cut %d record %d = %q", cut, i, r.Name)
+			}
+		}
+	}
+	// A flipped payload byte is caught by the checksum.
+	bad := append([]byte(nil), full...)
+	bad[len(bad)-1] ^= 0xff
+	got, trunc := DecodeCoordLog(bad)
+	if trunc == nil || len(got) != 1 {
+		t.Fatalf("bitflip: %d records, trunc=%v", len(got), trunc)
+	}
+}
+
+func TestCoordLogKill(t *testing.T) {
+	l, _ := OpenCoordLog("")
+	if err := l.AppendCommit(sampleRecs()[0]); err != nil {
+		t.Fatal(err)
+	}
+	// The lazy end marker is not forced; a kill right after must still
+	// preserve the forced commit record.
+	if err := l.AppendEnd(1); err != nil {
+		t.Fatal(err)
+	}
+	l.Kill()
+	if !l.Crashed() {
+		t.Fatal("Crashed() false after Kill")
+	}
+	if err := l.AppendCommit(sampleRecs()[1]); err != ErrCoordCrashed {
+		t.Fatalf("append after kill: %v", err)
+	}
+	got, trunc := DecodeCoordLog(l.Image())
+	if trunc != nil {
+		t.Fatalf("durable prefix must decode cleanly: %v", trunc)
+	}
+	if len(got) != 1 || got[0].Name != "x1" || got[0].Ended {
+		t.Fatalf("surviving image: %+v", got)
+	}
+}
+
+func TestDecodeCoordLogEmptyAndBad(t *testing.T) {
+	if recs, trunc := DecodeCoordLog(nil); recs != nil || trunc != nil {
+		t.Fatalf("empty image: %v, %v", recs, trunc)
+	}
+	if _, trunc := DecodeCoordLog([]byte("NOTALOG!")); trunc == nil {
+		t.Fatal("expected header error")
+	}
+}

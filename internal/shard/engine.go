@@ -1,0 +1,813 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"pushpull/internal/backend"
+	"pushpull/internal/chaos"
+	"pushpull/internal/obs"
+	"pushpull/internal/serial"
+	"pushpull/internal/wal"
+)
+
+// view aliases the backend's transactional surface.
+type view = backend.View
+
+// Options configure an Engine.
+type Options struct {
+	// Shards is the partition count (default 1 — the degenerate engine
+	// is a plain single-machine backend).
+	Shards int
+	// Substrate selects the TM implementation on every shard.
+	Substrate string
+	// Keys sizes each shard's word-substrate register array.
+	Keys int
+	Seed int64
+	// DisableCert drops the per-shard certifying shadow machines.
+	DisableCert bool
+	// Retry bounds substrate-level conflict retries (shared by all
+	// shards, like the single-machine server).
+	Retry *chaos.RetryPolicy
+	// Plan, when non-nil, derives per-shard fault plans (Plan.ForShard)
+	// and drives the coordinator death sites coord/prepared and
+	// coord/commit on the engine's own injector.
+	Plan *chaos.Plan
+	// WALDir backs the per-shard WALs (WALDir/shard-NN/) and the
+	// coordinator log (WALDir/coord.log); Durable keeps them in memory.
+	WALDir       string
+	Durable      bool
+	SyncPolicy   wal.SyncPolicy
+	GroupEvery   int
+	SegmentBytes int
+	// RecoverFrom supplies the durable image explicitly (the in-memory
+	// restart path); it takes precedence over reading WALDir.
+	RecoverFrom *Image
+	// Suite receives all telemetry (default: a fresh obs.New()).
+	Suite *obs.Suite
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.Substrate == "" {
+		o.Substrate = "tl2"
+	}
+	if o.Keys <= 0 {
+		o.Keys = 64
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// shardState is one shard: its backend (machine + recorder), WAL, and
+// group-commit barrier.
+type shardState struct {
+	id    int
+	label string
+	be    backend.Backend
+	log   *wal.Log
+	hook  *wal.MachineHook
+	group *backend.GroupCommit
+	inj   *chaos.Faults
+}
+
+// Engine is the sharded Push/Pull engine.
+type Engine struct {
+	opts   Options
+	suite  *obs.Suite
+	router Router
+	shards []*shardState
+	coord  *CoordLog
+	inj    *chaos.Faults // coordinator-site injector (base plan)
+
+	recovered MultiReport
+	seeded    int
+
+	seq atomic.Uint64
+
+	// The cross-shard commit phase is serialized: commitMu covers the
+	// GSN assignment, the forced decision record, every branch CMT, and
+	// the order bookkeeping. That makes each shard's cross-shard commit
+	// subsequence literally equal to the GSN order — the coordinator-
+	// imposed commit order the merged check certifies — while
+	// single-shard transactions interleave freely (they cannot create a
+	// cross-shard cycle: any such cycle needs two cross-shard
+	// transactions ordered oppositely on two shards).
+	commitMu   sync.Mutex
+	gsn        uint64
+	coordOrder []string   // cross-shard commits in GSN order
+	shardCross [][]string // per shard: cross-shard commits in local CMT order
+
+	crossCommits atomic.Uint64
+	crossAborts  atomic.Uint64
+	redoCount    atomic.Uint64
+	killed       atomic.Bool
+
+	errMu   sync.Mutex
+	rollErr error // first roll-forward failure (fatal for certification)
+}
+
+// New builds the engine: multi-log recover-and-certify first (refusing
+// a durable image that does not resolve and re-certify), then one
+// backend per shard wired to its own WAL segment stream, trace
+// recorder site, metrics label, and chaos plan, plus the coordinator
+// log; finally the recovered state is re-applied shard by shard and
+// every resolved in-doubt branch is rolled forward.
+func New(opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	suite := opts.Suite
+	if suite == nil {
+		suite = obs.New()
+	}
+	e := &Engine{
+		opts: opts, suite: suite,
+		router:     NewRouter(opts.Shards),
+		shardCross: make([][]string, opts.Shards),
+	}
+	if opts.Plan != nil {
+		e.inj = opts.Plan.Injector()
+		e.inj.SetObserver(func(site chaos.Site) { suite.Metrics.FaultFired(string(site)) })
+	}
+	retry := opts.Retry
+	if retry == nil {
+		retry = chaos.Default(opts.Seed)
+	}
+	if retry.OnRetry == nil {
+		retry.OnRetry = suite.Metrics.RetryObserved
+	}
+
+	// Recovery before anything serves.
+	img := opts.RecoverFrom
+	if img == nil && opts.WALDir != "" {
+		var found int
+		var err error
+		img, found, err = ReadImageDir(opts.WALDir)
+		if err != nil {
+			return nil, err
+		}
+		if found == 0 && len(img.Coord) == 0 {
+			img = nil
+		} else if found != opts.Shards {
+			return nil, fmt.Errorf("shard: durable image has %d shard log(s), engine configured for %d (restart with the original -shards)",
+				found, opts.Shards)
+		}
+	}
+	if !img.Empty() {
+		if len(img.Shards) != opts.Shards {
+			return nil, fmt.Errorf("shard: durable image has %d shard log(s), engine configured for %d (restart with the original -shards)",
+				len(img.Shards), opts.Shards)
+		}
+		rep, err := RecoverAndCertifyImage(img, opts.Substrate)
+		if err != nil {
+			return nil, fmt.Errorf("shard: refusing to serve: %w", err)
+		}
+		e.recovered = rep
+	}
+
+	durable := opts.WALDir != "" || opts.Durable
+	if opts.WALDir != "" {
+		if err := archiveImageDir(opts.WALDir, opts.Shards); err != nil {
+			return nil, err
+		}
+	}
+
+	for i := 0; i < opts.Shards; i++ {
+		st := &shardState{id: i, label: strconv.Itoa(i)}
+		var inj *chaos.Faults
+		if opts.Plan != nil {
+			p := opts.Plan.ForShard(i, opts.Shards)
+			inj = p.Injector()
+			inj.SetObserver(func(site chaos.Site) { suite.Metrics.FaultFired(string(site)) })
+			st.inj = inj
+		}
+		if durable {
+			dir := ""
+			if opts.WALDir != "" {
+				dir = filepath.Join(opts.WALDir, shardDirName(i))
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					return nil, fmt.Errorf("shard: creating %s: %w", dir, err)
+				}
+			}
+			// Same log-force-at-commit shape as the single-machine
+			// server: under SyncOnCommit the log opens non-syncing and
+			// the per-shard group-commit leader forces it at the barrier,
+			// outside every substrate lock.
+			logPolicy := opts.SyncPolicy
+			forceAtBarrier := opts.SyncPolicy == wal.SyncOnCommit
+			if forceAtBarrier {
+				logPolicy = wal.SyncNever
+			}
+			log, err := wal.Open(wal.Options{
+				Dir: dir, SegmentBytes: opts.SegmentBytes,
+				Policy: logPolicy, GroupEvery: opts.GroupEvery,
+				Chaos: inj, SyncObserver: suite.Metrics.WALSyncObserved,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: opening WAL: %w", i, err)
+			}
+			st.log = log
+			if forceAtBarrier {
+				st.group = backend.NewGroupCommit(backend.ForceSync(log))
+			} else {
+				st.group = backend.NewGroupCommit(log)
+			}
+		} else {
+			st.group = backend.NewGroupCommit(nil)
+		}
+		be, err := backend.NewBackend(backend.Config{
+			Substrate: opts.Substrate, Keys: opts.Keys,
+			Seed:        opts.Seed + int64(i)*7919,
+			DisableCert: opts.DisableCert, Injector: inj, Retry: retry,
+			Durable: st.group,
+		})
+		if err != nil {
+			return nil, err
+		}
+		st.be = be
+		if rec := be.Recorder(); rec != nil {
+			if st.log != nil {
+				st.hook = wal.NewMachineHook(st.log)
+				rec.AttachWAL(st.hook)
+			}
+			rec.SetSite(opts.Substrate + "/s" + st.label)
+			rec.AttachSink(suite)
+		}
+		e.shards = append(e.shards, st)
+	}
+
+	if durable {
+		coordPath := ""
+		if opts.WALDir != "" {
+			coordPath = filepath.Join(opts.WALDir, coordLogName)
+		}
+		coord, err := OpenCoordLog(coordPath)
+		if err != nil {
+			return nil, fmt.Errorf("shard: opening coordinator log: %w", err)
+		}
+		e.coord = coord
+	}
+
+	// Re-apply the recovered image as fresh certified (and re-logged)
+	// transactions, then roll forward every resolved branch.
+	for i, rep := range e.recovered.Shards {
+		if len(rep.State.Txns) == 0 {
+			continue
+		}
+		n, err := e.shards[i].be.Seed(rep.State, fmt.Sprintf("recover-s%d", i))
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		e.seeded += n
+	}
+	for _, r := range e.recovered.Redos {
+		if err := e.applyRedo(e.shards[r.Shard], "redo-"+r.Name, r.Puts); err != nil {
+			return nil, fmt.Errorf("shard %d: rolling forward %q: %w", r.Shard, r.Name, err)
+		}
+		e.seeded++
+	}
+	return e, nil
+}
+
+// Shards returns the partition count.
+func (e *Engine) Shards() int { return e.opts.Shards }
+
+// Router returns the key router.
+func (e *Engine) Router() Router { return e.router }
+
+// Recovered reports what startup recovery replayed and resolved.
+func (e *Engine) Recovered() MultiReport { return e.recovered }
+
+// SeededTxns reports how many checkpoint transactions start-up seeding
+// ran (recovered state plus roll-forwards).
+func (e *Engine) SeededTxns() int { return e.seeded }
+
+// enter/exit move the per-shard in-flight gauge.
+func (e *Engine) enter(st *shardState) { e.suite.Metrics.ShardInflightAdd(st.label, 1) }
+func (e *Engine) exit(st *shardState)  { e.suite.Metrics.ShardInflightAdd(st.label, -1) }
+
+// noteCrash propagates one shard's simulated WAL death to the whole
+// engine: a process dies once, so every other log freezes at its own
+// durable prefix.
+func (e *Engine) noteCrash(st *shardState) {
+	if st.log != nil && st.log.Crashed() {
+		e.killAll()
+	}
+}
+
+// killAll freezes every log at its durable prefix (simulated process
+// death). In-memory execution continues — the post-crash tail is
+// simply not durable, and recovery certifies the durable prefix.
+func (e *Engine) killAll() {
+	if e.killed.Swap(true) {
+		return
+	}
+	for _, st := range e.shards {
+		if st.log != nil {
+			st.log.Kill()
+		}
+	}
+	if e.coord != nil {
+		e.coord.Kill()
+	}
+}
+
+// Crashed reports whether the simulated process death fired.
+func (e *Engine) Crashed() bool {
+	if e.killed.Load() {
+		return true
+	}
+	for _, st := range e.shards {
+		if st.log != nil && st.log.Crashed() {
+			return true
+		}
+	}
+	return e.coord != nil && e.coord.Crashed()
+}
+
+// Image snapshots the durable on-"disk" state (for simulated-crash
+// restart): every shard's surviving segments plus the coordinator log.
+func (e *Engine) Image() *Image {
+	img := &Image{Shards: make([][][]byte, len(e.shards))}
+	for i, st := range e.shards {
+		if st.log != nil {
+			img.Shards[i] = st.log.Segments()
+		}
+	}
+	if e.coord != nil {
+		img.Coord = e.coord.Image()
+	}
+	return img
+}
+
+// Close closes every log (no-op for crashed ones).
+func (e *Engine) Close() error {
+	var first error
+	for _, st := range e.shards {
+		if st.log != nil {
+			if err := st.log.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	if e.coord != nil {
+		if err := e.coord.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Do executes ops as one one-shot transaction: directly on the home
+// shard when the footprint is single-shard, through the two-phase
+// coordinator otherwise. Returns the results, the retry count, and the
+// terminal error (nil means committed).
+func (e *Engine) Do(ops []Op) ([]Result, uint32, error) {
+	parts, participants := partition(ops, e.router)
+	if participants <= 1 {
+		sid := 0
+		for s, p := range parts {
+			if p != nil {
+				sid = s
+			}
+		}
+		return e.doSingle(sid, ops)
+	}
+	return e.doCross(parts, len(ops))
+}
+
+// doSingle runs the unchanged single-machine path on the home shard.
+func (e *Engine) doSingle(sid int, ops []Op) ([]Result, uint32, error) {
+	st := e.shards[sid]
+	name := fmt.Sprintf("t%d", e.seq.Add(1))
+	e.enter(st)
+	defer e.exit(st)
+	results := make([]Result, len(ops))
+	attempts := uint32(0)
+	err := st.be.Atomic(name, func(v view) error {
+		attempts++
+		for i, op := range ops {
+			switch op.Kind {
+			case OpGet:
+				val, found, err := v.Get(op.Key)
+				if err != nil {
+					return err
+				}
+				results[i] = Result{Val: val, Found: found}
+			case OpPut:
+				if err := v.Put(op.Key, op.Val); err != nil {
+					return err
+				}
+				results[i] = Result{}
+			default:
+				return fmt.Errorf("shard: unknown op kind %d", op.Kind)
+			}
+		}
+		return nil
+	})
+	e.noteCrash(st)
+	retries := uint32(0)
+	if attempts > 0 {
+		retries = attempts - 1
+	}
+	if err != nil {
+		return nil, retries, err
+	}
+	return results, retries, nil
+}
+
+// doCross runs the two-phase path: a branch per participant shard,
+// prepare (PUSH everywhere), then the coordinated decision.
+func (e *Engine) doCross(parts [][]opAt, nops int) ([]Result, uint32, error) {
+	name := fmt.Sprintf("x%d", e.seq.Add(1))
+	dec := newDecision()
+	var branches []*branch
+	for sid, p := range parts {
+		if p == nil {
+			continue
+		}
+		st := e.shards[sid]
+		b := newBranch(st, name, dec, false)
+		e.enter(st)
+		go b.run()
+		branches = append(branches, b)
+	}
+	results := make([]Result, nops)
+
+	// Phase 1 — prepare: feed each branch its ops and park it on the
+	// decision, concurrently across shards.
+	type feedRes struct {
+		b   *branch
+		err error
+	}
+	feedCh := make(chan feedRes, len(branches))
+	for i, b := range branches {
+		go func(b *branch, ops []opAt) {
+			for _, oa := range ops {
+				c := cmd{key: oa.op.Key, val: oa.op.Val, idx: oa.idx}
+				if oa.op.Kind == OpGet {
+					c.kind = cmdGet
+				} else {
+					c.kind = cmdPut
+				}
+				r, err := b.send(c)
+				if err != nil {
+					feedCh <- feedRes{b: b, err: err}
+					return
+				}
+				results[r.idx] = Result{Val: r.val, Found: r.found}
+			}
+			feedCh <- feedRes{b: b, err: b.prepare()}
+		}(b, partsFor(parts, b.st.id))
+		_ = i
+	}
+	var prepErr error
+	for range branches {
+		if fr := <-feedCh; fr.err != nil && prepErr == nil {
+			prepErr = fr.err
+		}
+	}
+	if prepErr != nil {
+		e.finishCross(branches, dec, false)
+		e.crossAborts.Add(1)
+		return nil, e.maxRetries(branches), prepErr
+	}
+
+	// Phase 2 — the coordinated CMT.
+	if err := e.commitCross(name, branches, dec); err != nil {
+		e.crossAborts.Add(1)
+		return nil, e.maxRetries(branches), err
+	}
+	e.crossCommits.Add(1)
+	return results, e.maxRetries(branches), nil
+}
+
+func partsFor(parts [][]opAt, sid int) []opAt { return parts[sid] }
+
+// finishCross publishes an abort decision (if not yet decided) and
+// reaps every branch: abandon both unblocks a branch still parked in
+// its op loop (closing cmds) and drains a decision-parked or already
+// dead one.
+func (e *Engine) finishCross(branches []*branch, dec *decision, decided bool) {
+	if !decided {
+		dec.decide(false)
+	}
+	for _, b := range branches {
+		_ = b.abandon()
+		e.exit(b.st)
+		e.noteCrash(b.st)
+	}
+}
+
+// commitCross is the coordinated commit: under commitMu it assigns the
+// GSN, forces the decision record into the coordinator log, fires the
+// coordinator death sites, releases every branch's CMT, rolls forward
+// any branch that dies after the decision, and appends the completion
+// marker. Every prepared branch either commits or is redone; on a
+// pre-decision coordinator crash the transaction aborts consistently.
+func (e *Engine) commitCross(name string, branches []*branch, dec *decision) error {
+	e.commitMu.Lock()
+	// Death between prepare and the durable decision: no CCommit record
+	// survives, so recovery presumes abort — and so does the in-memory
+	// path, keeping both worlds consistent.
+	if e.inj != nil && e.inj.Fire(chaos.SiteCoordPrepared) {
+		e.killAll()
+	}
+	crec := CommitRec{GSN: e.gsn + 1, Name: name}
+	for _, b := range branches {
+		crec.Branches = append(crec.Branches, BranchRec{Shard: b.st.id, Puts: b.puts()})
+	}
+	var decideErr error
+	if e.coord != nil {
+		decideErr = e.coord.AppendCommit(crec)
+	}
+	if decideErr != nil {
+		// The decision never became durable (crashed or failing
+		// coordinator log) — global abort.
+		e.commitMu.Unlock()
+		e.finishCross(branches, dec, false)
+		if errors.Is(decideErr, ErrCoordCrashed) {
+			return fmt.Errorf("%w: coordinator died before the commit decision", decideErr)
+		}
+		return fmt.Errorf("shard: journaling commit decision: %w", decideErr)
+	}
+	// Death after the durable decision: recovery will roll the
+	// transaction forward from the record, so the in-memory path
+	// commits it too (the branch CMTs just miss the durable prefix).
+	if e.inj != nil && e.inj.Fire(chaos.SiteCoordCommit) {
+		e.killAll()
+	}
+	e.gsn = crec.GSN
+	dec.decide(true)
+	for _, b := range branches {
+		err := b.wait()
+		if err != nil {
+			// The decision is final; a branch that could not retire its
+			// prepared transaction (retry budget on post-decision
+			// conflicts) is rolled forward from its journaled write-set —
+			// the same redo recovery applies.
+			if rerr := e.applyRedo(b.st, "redo-"+name, b.puts()); rerr != nil {
+				e.setRollErr(fmt.Errorf("shard %d: rolling forward %q: %w", b.st.id, name, rerr))
+			}
+			e.redoCount.Add(1)
+		}
+		e.exit(b.st)
+	}
+	// Suppress the completion marker when a shard WAL died during the
+	// commit phase: its branch CMT never became durable, so CEnd would
+	// claim completeness the image cannot honor. Recovery tolerates a
+	// durable CEnd with missing branches regardless (the lazy append can
+	// ride a later forced sync past the shard's death), but keeping the
+	// marker honest shrinks that window to the truly asynchronous case.
+	ended := true
+	for _, b := range branches {
+		if b.st.log != nil && b.st.log.Crashed() {
+			ended = false
+			break
+		}
+	}
+	if e.coord != nil && ended {
+		_ = e.coord.AppendEnd(crec.GSN)
+	}
+	e.coordOrder = append(e.coordOrder, name)
+	for _, b := range branches {
+		e.shardCross[b.st.id] = append(e.shardCross[b.st.id], name)
+	}
+	e.commitMu.Unlock()
+	for _, b := range branches {
+		e.noteCrash(b.st)
+	}
+	return nil
+}
+
+// applyRedo re-applies a write-set as one fresh certified transaction.
+// The decision it rolls forward is already final (durable CCommit), so
+// a retry-budget exhaustion under contention or chaos is not a
+// permitted outcome — the attempt loops with a fresh budget until the
+// write-set lands or the substrate fails for a non-retryable reason.
+func (e *Engine) applyRedo(st *shardState, name string, puts []KV) error {
+	if len(puts) == 0 {
+		return nil
+	}
+	for {
+		err := e.applyRedoOnce(st, name, puts)
+		if !errors.Is(err, chaos.ErrRetriesExhausted) {
+			return err
+		}
+	}
+}
+
+func (e *Engine) applyRedoOnce(st *shardState, name string, puts []KV) error {
+	return st.be.Atomic(name, func(v view) error {
+		for _, kv := range puts {
+			if err := v.Put(kv.Key, kv.Val); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func (e *Engine) setRollErr(err error) {
+	e.errMu.Lock()
+	if e.rollErr == nil {
+		e.rollErr = err
+	}
+	e.errMu.Unlock()
+}
+
+func (e *Engine) maxRetries(branches []*branch) uint32 {
+	var max uint32
+	for _, b := range branches {
+		if r := b.retries; r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// Stats is the engine snapshot.
+type Stats struct {
+	Shards        int    `json:"shards"`
+	Commits       uint64 `json:"commits"`
+	Aborts        uint64 `json:"aborts"`
+	CrossCommits  uint64 `json:"cross_commits"`
+	CrossAborts   uint64 `json:"cross_aborts"`
+	Redos         uint64 `json:"redos"`
+	GroupBarriers uint64 `json:"group_barriers"`
+	GroupSyncs    uint64 `json:"group_syncs"`
+	RecoveredTxns int    `json:"recovered_txns"`
+	SeededTxns    int    `json:"seeded_txns"`
+	InDoubtFixed  int    `json:"in_doubt_resolved"`
+	WALCrashed    bool   `json:"wal_crashed"`
+}
+
+// Stats sums substrate and coordinator counters across shards.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Shards:        e.opts.Shards,
+		CrossCommits:  e.crossCommits.Load(),
+		CrossAborts:   e.crossAborts.Load(),
+		Redos:         e.redoCount.Load(),
+		RecoveredTxns: e.recovered.RecoveredTxns(),
+		SeededTxns:    e.seeded,
+		InDoubtFixed:  e.recovered.InDoubtResolved,
+		WALCrashed:    e.Crashed(),
+	}
+	for _, st := range e.shards {
+		c, a := st.be.Stats()
+		s.Commits += c
+		s.Aborts += a
+		gb, gs := st.group.Stats()
+		s.GroupBarriers += gb
+		s.GroupSyncs += gs
+	}
+	return s
+}
+
+// GroupStats sums the per-shard group-commit amortization counters.
+func (e *Engine) GroupStats() (barriers, syncs uint64) {
+	for _, st := range e.shards {
+		b, s := st.group.Stats()
+		barriers += b
+		syncs += s
+	}
+	return
+}
+
+// ReadKey reads one key non-transactionally from its home shard —
+// quiescent test verification only.
+func (e *Engine) ReadKey(key uint64) (int64, bool) {
+	return e.shards[e.router.Shard(key)].be.ReadKey(key)
+}
+
+// Backend exposes one shard's backend (tests).
+func (e *Engine) Backend(i int) backend.Backend { return e.shards[i].be }
+
+// LeakCheck asserts quiescent cleanliness on every shard.
+func (e *Engine) LeakCheck() error {
+	for _, st := range e.shards {
+		if err := st.be.LeakCheck(); err != nil {
+			return fmt.Errorf("shard %d: %w", st.id, err)
+		}
+	}
+	return nil
+}
+
+// FinalCheck is the full post-run certificate: per shard the shadow
+// machine's final check, its invariants, and commit-order
+// serializability — plus the cross-shard obligations: every shard's
+// cross-commit subsequence must equal the coordinator's GSN order, the
+// union of all orders must merge acyclically, and no roll-forward may
+// have failed.
+func (e *Engine) FinalCheck() error {
+	if err := e.rollError(); err != nil {
+		return err
+	}
+	for _, st := range e.shards {
+		if err := st.be.CheckInvariant(); err != nil {
+			return fmt.Errorf("shard %d: %w", st.id, err)
+		}
+		if st.hook != nil {
+			if err := st.hook.Err(); err != nil {
+				return fmt.Errorf("shard %d: WAL hook: %w", st.id, err)
+			}
+		}
+		rec := st.be.Recorder()
+		if rec == nil {
+			continue
+		}
+		if err := rec.FinalCheck(); err != nil {
+			return fmt.Errorf("shard %d: %w", st.id, err)
+		}
+		if err := rec.Machine().Verify(); err != nil {
+			return fmt.Errorf("shard %d: machine invariants: %w", st.id, err)
+		}
+		if rep := serial.CheckCommitOrder(rec.Machine()); !rep.Serializable {
+			return fmt.Errorf("shard %d: commit order not serializable: %s", st.id, rep.Reason)
+		}
+	}
+	return e.checkCrossOrder()
+}
+
+func (e *Engine) rollError() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.rollErr
+}
+
+// checkCrossOrder verifies the runtime cross-shard commit order: each
+// shard's cross-commit sequence must equal the coordinator's GSN order
+// restricted to that shard's participations, and the union of all
+// chains must merge into one total order.
+func (e *Engine) checkCrossOrder() error {
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+	// Restriction check: exact by construction (commits happen under
+	// commitMu), so any mismatch is a real ordering bug.
+	pos := make(map[string]int, len(e.coordOrder))
+	for i, n := range e.coordOrder {
+		pos[n] = i
+	}
+	for sid, chain := range e.shardCross {
+		last := -1
+		for _, n := range chain {
+			p, ok := pos[n]
+			if !ok {
+				return fmt.Errorf("shard %d: cross-shard commit %q missing from coordinator order", sid, n)
+			}
+			if p <= last {
+				return fmt.Errorf("shard %d: cross-shard commit %q out of coordinator (GSN) order", sid, n)
+			}
+			last = p
+		}
+	}
+	chains := append(append([][]string(nil), e.shardCross...), e.coordOrder)
+	if _, err := MergeOrders(chains); err != nil {
+		return err
+	}
+	return nil
+}
+
+// FaultStats sums injector activity across the coordinator and every
+// shard (chaos campaigns).
+func (e *Engine) FaultStats() chaos.Stats {
+	out := chaos.Stats{Counts: make(map[chaos.Site]chaos.SiteCount)}
+	add := func(f *chaos.Faults) {
+		if f == nil {
+			return
+		}
+		for site, c := range f.Stats().Counts {
+			t := out.Counts[site]
+			t.Visits += c.Visits
+			t.Injected += c.Injected
+			out.Counts[site] = t
+		}
+	}
+	add(e.inj)
+	for _, st := range e.shards {
+		add(st.inj)
+	}
+	return out
+}
+
+// CrossOrders returns copies of the coordinator's GSN order and each
+// shard's local cross-commit order (tests, fuzzing).
+func (e *Engine) CrossOrders() (coord []string, perShard [][]string) {
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+	coord = append([]string(nil), e.coordOrder...)
+	perShard = make([][]string, len(e.shardCross))
+	for i, c := range e.shardCross {
+		perShard[i] = append([]string(nil), c...)
+	}
+	return
+}

@@ -1,0 +1,138 @@
+package shard
+
+import (
+	"testing"
+)
+
+// FuzzShardRouter asserts the router's partition laws: key→shard is
+// deterministic, every key lands inside [0, n), and resharding a key
+// set neither loses nor duplicates keys — the union of the new
+// partitions is exactly the old set.
+func FuzzShardRouter(f *testing.F) {
+	f.Add(uint64(0), uint64(1), 2, 4)
+	f.Add(uint64(17), uint64(1000003), 4, 1)
+	f.Add(uint64(1)<<63, uint64(42), 8, 3)
+	f.Add(uint64(255), uint64(256), 1, 16)
+
+	f.Fuzz(func(t *testing.T, base, stride uint64, n, m int) {
+		if n <= 0 || n > 64 || m <= 0 || m > 64 {
+			t.Skip()
+		}
+		if stride == 0 {
+			stride = 1
+		}
+		rOld, rNew := NewRouter(n), NewRouter(m)
+		const keys = 128
+		oldParts := make([]map[uint64]bool, n)
+		for i := range oldParts {
+			oldParts[i] = make(map[uint64]bool)
+		}
+		newParts := make([]map[uint64]bool, m)
+		for i := range newParts {
+			newParts[i] = make(map[uint64]bool)
+		}
+		seen := make(map[uint64]bool, keys)
+		for i := uint64(0); i < keys; i++ {
+			k := base + i*stride
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			s := rOld.Shard(k)
+			if s < 0 || s >= n {
+				t.Fatalf("ShardOf(%d, %d) = %d out of range", k, n, s)
+			}
+			if again := rOld.Shard(k); again != s {
+				t.Fatalf("ShardOf(%d, %d) unstable: %d then %d", k, n, s, again)
+			}
+			oldParts[s][k] = true
+			newParts[rNew.Shard(k)][k] = true
+		}
+		// Resharding: the union of the new partitions equals the key
+		// set — nothing lost, nothing duplicated.
+		total := 0
+		for _, p := range newParts {
+			total += len(p)
+			for k := range p {
+				if !seen[k] {
+					t.Fatalf("resharding invented key %d", k)
+				}
+			}
+		}
+		if total != len(seen) {
+			t.Fatalf("resharding kept %d of %d keys", total, len(seen))
+		}
+		// Same-count resharding is the identity.
+		if n == m {
+			for k := range seen {
+				if rOld.Shard(k) != rNew.Shard(k) {
+					t.Fatalf("same shard count moved key %d", k)
+				}
+			}
+		}
+	})
+}
+
+// FuzzCrossShardCommitOrder drives a random mix of single- and
+// cross-shard transactions through a small engine and asserts the
+// full certificate: per-shard shadow machines and commit orders, the
+// runtime cross-order invariant, and the recovery-time merged order
+// over the durable image.
+func FuzzCrossShardCommitOrder(f *testing.F) {
+	f.Add(int64(1), []byte{0x01, 0x82, 0x13, 0xff, 0x40})
+	f.Add(int64(7), []byte{0xaa, 0x55, 0x00, 0x11, 0x22, 0x33, 0x44})
+	f.Add(int64(99), []byte{})
+
+	f.Fuzz(func(t *testing.T, seed int64, script []byte) {
+		if len(script) > 64 {
+			script = script[:64]
+		}
+		if seed == 0 {
+			seed = 1
+		}
+		e, err := New(Options{Shards: 3, Substrate: "tl2", Keys: 96, Seed: seed, Durable: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range script {
+			k1 := uint64(b) % 96
+			k2 := uint64(b>>3+uint8(i)) % 96
+			val := int64(i + 1)
+			switch b % 3 {
+			case 0: // single-shard write
+				_, _, err = e.Do([]Op{{Kind: OpPut, Key: k1, Val: val}})
+			case 1: // possibly-cross write pair
+				_, _, err = e.Do([]Op{
+					{Kind: OpPut, Key: k1, Val: val},
+					{Kind: OpPut, Key: k2, Val: -val},
+				})
+			case 2: // read-modify-write pair
+				_, _, err = e.Do([]Op{
+					{Kind: OpGet, Key: k1},
+					{Kind: OpPut, Key: k2, Val: val},
+				})
+			}
+			if err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+		if err := e.LeakCheck(); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.FinalCheck(); err != nil {
+			t.Fatal(err)
+		}
+		// Recovery over the durable image must re-certify and merge.
+		img := e.Image()
+		rep, err := RecoverAndCertifyImage(img, "tl2")
+		if err != nil {
+			t.Fatalf("recovery certification: %v", err)
+		}
+		if rep.InDoubt != 0 || rep.InDoubtResolved != 0 {
+			t.Fatalf("clean run left doubt: %+v", rep)
+		}
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,114 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The merged-commit-order obligation: each shard's shadow machine
+// certifies its own commit order (serial.CheckCommitOrder per shard),
+// but cross-shard transactions appear in several local orders at once.
+// The global history is serializable iff one total order embeds every
+// local commit order — equivalently, iff the union of the local order
+// edges is acyclic. MergeOrders checks exactly that; at runtime the
+// engine additionally enforces the stronger invariant that every
+// shard's cross-shard commit subsequence equals the coordinator's GSN
+// order (checkCrossOrder in engine.go), which makes the merge trivially
+// acyclic — MergeOrders is the recovery-time check, where only the logs
+// survive.
+
+// MergeOrders topologically merges commit-order chains (one per shard,
+// plus optionally the coordinator's GSN chain) into a single total
+// order. Each chain lists transaction names in local commit order; a
+// name may appear in several chains (a cross-shard transaction) but at
+// most once per chain. The merge fails iff the chains are inconsistent
+// — two shards committed a pair of cross-shard transactions in opposite
+// orders — which is exactly a non-serializable global history.
+func MergeOrders(chains [][]string) ([]string, error) {
+	// Build the union precedence graph.
+	succ := make(map[string]map[string]bool)
+	indeg := make(map[string]int)
+	node := func(n string) {
+		if _, ok := succ[n]; !ok {
+			succ[n] = make(map[string]bool)
+			indeg[n] = 0
+		}
+	}
+	for ci, chain := range chains {
+		seen := make(map[string]bool, len(chain))
+		for i, n := range chain {
+			if seen[n] {
+				return nil, fmt.Errorf("shard: transaction %q committed twice in chain %d", n, ci)
+			}
+			seen[n] = true
+			node(n)
+			if i > 0 {
+				prev := chain[i-1]
+				if !succ[prev][n] {
+					succ[prev][n] = true
+					indeg[n]++
+				}
+			}
+		}
+	}
+	// Kahn with a deterministic (lexicographic) tie-break, so the merged
+	// order is reproducible.
+	ready := make([]string, 0, len(succ))
+	for n, d := range indeg {
+		if d == 0 {
+			ready = append(ready, n)
+		}
+	}
+	sort.Strings(ready)
+	out := make([]string, 0, len(succ))
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		out = append(out, n)
+		unlocked := make([]string, 0, len(succ[n]))
+		for m := range succ[n] {
+			indeg[m]--
+			if indeg[m] == 0 {
+				unlocked = append(unlocked, m)
+			}
+		}
+		sort.Strings(unlocked)
+		ready = mergeSorted(ready, unlocked)
+	}
+	if len(out) != len(succ) {
+		// A cycle: report its members so the failure is actionable.
+		var cyc []string
+		for n, d := range indeg {
+			if d > 0 {
+				cyc = append(cyc, n)
+			}
+		}
+		sort.Strings(cyc)
+		if len(cyc) > 8 {
+			cyc = append(cyc[:8], "...")
+		}
+		return nil, fmt.Errorf("shard: commit orders not mergeable (cross-shard cycle through %s)",
+			strings.Join(cyc, ", "))
+	}
+	return out, nil
+}
+
+// mergeSorted merges two sorted string slices.
+func mergeSorted(a, b []string) []string {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	return append(append(out, a[i:]...), b[j:]...)
+}

@@ -1,0 +1,83 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMergeOrdersConsistent(t *testing.T) {
+	// Two shards agree on cross-shard x1 < x2; local-only transactions
+	// interleave freely.
+	chains := [][]string{
+		{"a1", "x1", "a2", "x2"},
+		{"x1", "b1", "x2", "b2"},
+		{"x1", "x2"}, // coordinator chain
+	}
+	out, err := MergeOrders(chains)
+	if err != nil {
+		t.Fatalf("MergeOrders: %v", err)
+	}
+	pos := make(map[string]int, len(out))
+	for i, n := range out {
+		pos[n] = i
+	}
+	if len(out) != 6 {
+		t.Fatalf("merged %d names, want 6: %v", len(out), out)
+	}
+	for _, chain := range chains {
+		for i := 1; i < len(chain); i++ {
+			if pos[chain[i-1]] >= pos[chain[i]] {
+				t.Fatalf("merged order %v violates chain %v", out, chain)
+			}
+		}
+	}
+}
+
+func TestMergeOrdersDeterministic(t *testing.T) {
+	chains := [][]string{{"c", "x"}, {"a", "x"}, {"b", "x"}}
+	first, err := MergeOrders(chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := MergeOrders(chains)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Join(again, ",") != strings.Join(first, ",") {
+			t.Fatalf("non-deterministic merge: %v vs %v", again, first)
+		}
+	}
+}
+
+func TestMergeOrdersCycle(t *testing.T) {
+	// Shard 0 commits x1 before x2; shard 1 the other way — the classic
+	// non-serializable cross-shard history.
+	_, err := MergeOrders([][]string{
+		{"x1", "x2"},
+		{"x2", "x1"},
+	})
+	if err == nil {
+		t.Fatal("expected cycle error")
+	}
+	if !strings.Contains(err.Error(), "x1") || !strings.Contains(err.Error(), "x2") {
+		t.Fatalf("cycle error should name its members: %v", err)
+	}
+}
+
+func TestMergeOrdersDuplicate(t *testing.T) {
+	if _, err := MergeOrders([][]string{{"a", "b", "a"}}); err == nil {
+		t.Fatal("expected duplicate-in-chain error")
+	}
+}
+
+func TestMergeOrdersEmpty(t *testing.T) {
+	out, err := MergeOrders(nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty merge: %v, %v", out, err)
+	}
+	out, err = MergeOrders([][]string{nil, {}, nil})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty chains: %v, %v", out, err)
+	}
+}

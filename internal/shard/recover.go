@@ -1,0 +1,272 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pushpull/internal/backend"
+	"pushpull/internal/recovery"
+	"pushpull/internal/wal"
+)
+
+// Multi-log recovery: per-shard recovery first, then a consistency cut
+// from the coordinator log.
+//
+//  1. Every shard's WAL recovers and re-certifies independently
+//     (recovery.RecoverAndCertify): the committed prefix in stamp
+//     order, replayed on a fresh shadow machine. The logs are only
+//     partially constrained against each other — each shard froze at
+//     its own durable prefix at crash time.
+//  2. The coordinator log is decoded; each durable CCommit is a
+//     globally-committed cross-shard transaction. Any participant
+//     branch whose CMT did not reach its shard's durable prefix is
+//     rolled forward from the journaled write-set (a Redo). A
+//     cross-shard transaction with no durable CCommit cannot have
+//     committed any branch (branches CMT only after the forced
+//     decision), so per-shard recovery already discarded its PUSHes —
+//     presumed abort, consistently on every shard.
+//  3. The per-shard commit-order chains plus the coordinator's GSN
+//     chain must merge into one total order (MergeOrders) — the
+//     cross-shard serializability certificate over what survived.
+//
+// After this, zero transactions are in doubt: every cross-shard
+// transaction is either fully committed (possibly via redo) or fully
+// absent.
+
+// Image is a sharded engine's durable snapshot: per-shard WAL segment
+// images plus the coordinator log image. The in-memory crash/restart
+// path hands it back via Options.RecoverFrom.
+type Image struct {
+	Shards [][][]byte // [shard][segment]bytes
+	Coord  []byte
+}
+
+// Empty reports whether there is nothing to recover.
+func (img *Image) Empty() bool {
+	if img == nil {
+		return true
+	}
+	for _, segs := range img.Shards {
+		for _, s := range segs {
+			if len(s) > 0 {
+				return false
+			}
+		}
+	}
+	return len(img.Coord) == 0
+}
+
+// Redo is one branch to roll forward: a globally-committed cross-shard
+// transaction whose CMT never reached this shard's durable prefix.
+type Redo struct {
+	Shard int
+	GSN   uint64
+	Name  string
+	Puts  []KV
+}
+
+// MultiReport is the sharded recovery certificate.
+type MultiReport struct {
+	// Shards holds each shard's recovery report (replay + certification).
+	Shards []recovery.Report
+	// CoordCommits counts durable cross-shard commit decisions;
+	// CoordTruncated records a torn coordinator tail (tolerated).
+	CoordCommits   int
+	CoordTruncated error
+	// Redos lists the branches resolved by roll-forward; InDoubtResolved
+	// counts the cross-shard transactions that needed it. InDoubt is the
+	// count left unresolved — zero by construction, reported so sweeps
+	// can assert it.
+	Redos           []Redo
+	InDoubtResolved int
+	InDoubt         int
+	// MergedOrder is the Kahn-merged global commit order over every
+	// chain that survived.
+	MergedOrder []string
+}
+
+// RecoveredTxns sums the per-shard recovered transaction counts.
+func (r MultiReport) RecoveredTxns() int {
+	n := 0
+	for _, rep := range r.Shards {
+		n += len(rep.State.Txns)
+	}
+	return n
+}
+
+// RecoverAndCertifyImage replays a sharded durable image for the given
+// substrate: per-shard recover-and-certify, coordinator resolution,
+// and the merged commit-order check. A non-nil error means the image
+// must not be served.
+func RecoverAndCertifyImage(img *Image, substrate string) (MultiReport, error) {
+	var out MultiReport
+	if img == nil {
+		return out, nil
+	}
+	committedBy := make([]map[string]bool, len(img.Shards))
+	chains := make([][]string, 0, len(img.Shards)+1)
+	for i, segs := range img.Shards {
+		reg, err := backend.RegistryFor(substrate)
+		if err != nil {
+			return out, err
+		}
+		rep, err := recovery.RecoverAndCertify(segs, reg)
+		if err != nil {
+			return out, fmt.Errorf("shard %d: %w", i, err)
+		}
+		out.Shards = append(out.Shards, rep)
+		committedBy[i] = make(map[string]bool, len(rep.State.Txns))
+		chain := make([]string, 0, len(rep.State.Txns))
+		for _, t := range rep.State.Txns {
+			committedBy[i][t.Name] = true
+			chain = append(chain, t.Name)
+		}
+		chains = append(chains, chain)
+	}
+	recs, trunc := DecodeCoordLog(img.Coord)
+	out.CoordTruncated = trunc
+	out.CoordCommits = len(recs)
+	coordChain := make([]string, 0, len(recs))
+	for _, rec := range recs {
+		coordChain = append(coordChain, rec.Name)
+		missing := 0
+		for _, b := range rec.Branches {
+			if b.Shard < 0 || b.Shard >= len(committedBy) {
+				return out, fmt.Errorf("shard: coordinator record %q names shard %d of %d (restart with the original -shards)",
+					rec.Name, b.Shard, len(committedBy))
+			}
+			if !committedBy[b.Shard][rec.Name] {
+				missing++
+				out.Redos = append(out.Redos, Redo{
+					Shard: b.Shard, GSN: rec.GSN, Name: rec.Name, Puts: b.Puts,
+				})
+			}
+		}
+		if missing > 0 {
+			// A CEnd marker does NOT certify branch durability: a shard's
+			// WAL can die during the branch CMT while the coordinator log
+			// lives on long enough for a later forced append to make the
+			// lazy CEnd durable. Evidence rules either way: the durable
+			// CCommit alone decides, and a missing branch is rolled
+			// forward from its journaled write-set.
+			out.InDoubtResolved++
+		}
+	}
+	chains = append(chains, coordChain)
+	merged, err := MergeOrders(chains)
+	if err != nil {
+		return out, fmt.Errorf("shard: merged commit order not serializable: %w", err)
+	}
+	out.MergedOrder = merged
+	return out, nil
+}
+
+// shardDirName names shard i's WAL subdirectory.
+func shardDirName(i int) string { return fmt.Sprintf("shard-%02d", i) }
+
+const coordLogName = "coord.log"
+
+// ReadImageDir loads a sharded engine's durable image from dir
+// (shard-NN/wal-*.seg subdirectories plus coord.log). A missing
+// directory is an empty image (first boot). Returns the image and the
+// number of shard directories found (0 when none).
+func ReadImageDir(dir string) (*Image, int, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "shard-*"))
+	if err != nil {
+		return nil, 0, err
+	}
+	img := &Image{}
+	found := 0
+	for _, m := range matches {
+		if fi, err := os.Stat(m); err != nil || !fi.IsDir() {
+			continue
+		}
+		var idx int
+		if _, err := fmt.Sscanf(filepath.Base(m), "shard-%d", &idx); err != nil {
+			continue
+		}
+		segs, err := wal.ReadDir(m)
+		if err != nil {
+			return nil, 0, fmt.Errorf("shard: reading %s: %w", m, err)
+		}
+		for len(img.Shards) <= idx {
+			img.Shards = append(img.Shards, nil)
+		}
+		img.Shards[idx] = segs
+		found++
+	}
+	coordPath := filepath.Join(dir, coordLogName)
+	if b, err := os.ReadFile(coordPath); err == nil {
+		img.Coord = b
+	} else if !os.IsNotExist(err) {
+		return nil, 0, fmt.Errorf("shard: reading %s: %w", coordPath, err)
+	}
+	return img, found, nil
+}
+
+// archiveImageDir moves the previous epoch's shard WAL segments and
+// coordinator log into the next free epoch-NNN subdirectory, freeing
+// the namespace for fresh logs while preserving the pre-crash image.
+func archiveImageDir(dir string, shards int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("shard: creating WAL dir: %w", err)
+	}
+	var toMove []string
+	for i := 0; i < shards; i++ {
+		m, err := filepath.Glob(filepath.Join(dir, shardDirName(i), "wal-*.seg"))
+		if err != nil {
+			return err
+		}
+		toMove = append(toMove, m...)
+	}
+	// Stale shard dirs beyond the configured count are archived too, so
+	// a later boot cannot half-read a mixed image.
+	extra, _ := filepath.Glob(filepath.Join(dir, "shard-*", "wal-*.seg"))
+	seen := make(map[string]bool, len(toMove))
+	for _, m := range toMove {
+		seen[m] = true
+	}
+	for _, m := range extra {
+		if !seen[m] {
+			toMove = append(toMove, m)
+		}
+	}
+	coordPath := filepath.Join(dir, coordLogName)
+	haveCoord := false
+	if _, err := os.Stat(coordPath); err == nil {
+		haveCoord = true
+	}
+	if len(toMove) == 0 && !haveCoord {
+		return nil
+	}
+	var epoch string
+	for n := 1; ; n++ {
+		epoch = filepath.Join(dir, fmt.Sprintf("epoch-%03d", n))
+		if _, err := os.Stat(epoch); os.IsNotExist(err) {
+			break
+		}
+	}
+	for _, m := range toMove {
+		rel, err := filepath.Rel(dir, m)
+		if err != nil {
+			return err
+		}
+		dst := filepath.Join(epoch, rel)
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return err
+		}
+		if err := os.Rename(m, dst); err != nil {
+			return fmt.Errorf("shard: archiving %s: %w", m, err)
+		}
+	}
+	if haveCoord {
+		if err := os.MkdirAll(epoch, 0o755); err != nil {
+			return err
+		}
+		if err := os.Rename(coordPath, filepath.Join(epoch, coordLogName)); err != nil {
+			return fmt.Errorf("shard: archiving %s: %w", coordPath, err)
+		}
+	}
+	return nil
+}

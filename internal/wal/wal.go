@@ -382,6 +382,31 @@ func (l *Log) crashLocked(inflight []byte) {
 	}
 }
 
+// Kill applies a simulated process death now, from outside the append
+// path: the surviving image is the synced prefix (the clean-crash
+// shape). The sharded engine uses it to propagate one shard's WAL death
+// to every other log — a process dies once, and each log freezes at its
+// own durable prefix (the cross-log skew recovery must resolve).
+// Idempotent; a no-op on an already-crashed log.
+func (l *Log) Kill() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.crashed {
+		return
+	}
+	l.crashed = true
+	cur := l.cur()
+	if cur == nil {
+		return
+	}
+	cur.buf = cur.buf[:cur.durable]
+	if cur.file != nil {
+		cur.file.Close()
+		cur.file = nil
+		_ = os.WriteFile(l.segPath(cur.index), cur.buf, 0o644)
+	}
+}
+
 // Crashed reports whether the simulated process has died.
 func (l *Log) Crashed() bool {
 	l.mu.Lock()
