@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check race chaos-smoke chaos crash-smoke crash obs-smoke obs serve-smoke serve-campaign shard-smoke bench ci
+.PHONY: build test vet fmt-check race chaos-smoke chaos crash-smoke crash obs-smoke obs serve-smoke serve-campaign shard-smoke repl-smoke repl bench bench-repl ci
 
 build:
 	$(GO) build ./...
@@ -71,7 +71,26 @@ serve-campaign:
 shard-smoke:
 	$(GO) test ./internal/server/ -run TestShardSmoke -v
 
+# Replication smoke: the in-process three-node campaign (real TCP,
+# redirect-following writes, one forced failover with a certified
+# promotion), then the same shape as a live primary + 2-follower
+# cluster through the pushpull-repl binary.
+repl-smoke:
+	$(GO) test ./internal/server/ -run TestReplSmoke -v
+	$(GO) run ./cmd/pushpull-repl -replicas 2 -threads 3 -ops 40 -keys 12 -seed 5
+
+# The full failover sweep: 50 chaos plans (coordinator death, WAL
+# crash, lossy replication links), every promotion re-certified,
+# non-zero exit if any acknowledged transaction is lost.
+repl:
+	$(GO) run ./cmd/pushpull-repl
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-ci: test vet race chaos-smoke crash-smoke obs-smoke serve-smoke shard-smoke
+# Regenerate the committed replication benchmark numbers.
+bench-repl:
+	$(GO) run ./cmd/pushpull-repl -bench -duration 2s > BENCH_repl.json
+	@cat BENCH_repl.json
+
+ci: test vet race chaos-smoke crash-smoke obs-smoke serve-smoke shard-smoke repl-smoke

@@ -1,0 +1,288 @@
+// Command pushpull-repl exercises replicated serving end to end. It
+// has three modes:
+//
+//	pushpull-repl                    # 50-seed certified failover sweep
+//	pushpull-repl -seed 7 -v         # replay ONE failing failover plan
+//	pushpull-repl -json              # machine-readable sweep outcomes
+//	pushpull-repl -bench -duration 2s > BENCH_repl.json
+//	pushpull-repl -replicas 2        # live TCP cluster + forced failover
+//
+// The default sweep drives a shipping primary under chaos (coordinator
+// death between prepare and commit, a seed-derived WAL crash, replica
+// links that drop/duplicate/reorder batches), promotes the most
+// advanced replica, and demands the failover contract: the promotion
+// re-certifies the merged order with zero transactions in doubt, the
+// promoted chains prefix-extend the other replica's, and no
+// acknowledged transaction is lost.
+//
+// -bench runs the certified replication benchmark (follower-read
+// throughput and pull-path lag under write load) and prints JSON.
+//
+// -replicas N boots a real primary and N follower servers on loopback,
+// pushes redirect-following client traffic through a follower, kills
+// the primary, promotes follower 0 with a certificate, re-points the
+// survivors, and certifies everyone at shutdown.
+//
+// Exit status is non-zero on any contract violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pushpull/internal/bench"
+	"pushpull/internal/kvapi"
+	"pushpull/internal/server"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 50, "plan seeds for the failover sweep")
+	baseSeed := flag.Int64("seed", 1, "first plan seed (explicit -seed without -seeds replays just that plan)")
+	threads := flag.Int("threads", 4, "worker threads per sweep run")
+	ops := flag.Int("ops", 40, "transactions per worker")
+	keys := flag.Int("keys", 16, "key range per shard (fewer = hotter)")
+	rate := flag.Float64("rate", 0.08, "reference per-site fault probability")
+	verbose := flag.Bool("v", false, "print every sweep run's plan and outcome")
+	jsonOut := flag.Bool("json", false, "emit sweep outcomes as JSON instead of the text table")
+
+	benchMode := flag.Bool("bench", false, "run the certified replication bench and print JSON")
+	shards := flag.Int("shards", 4, "primary shard count (bench / cluster modes)")
+	replicas := flag.Int("replicas", 0, "cluster mode: boot a primary plus this many follower servers (bench: follower count)")
+	writers := flag.Int("writers", 4, "bench: primary write goroutines")
+	readers := flag.Int("readers", 4, "bench: follower read goroutines")
+	duration := flag.Duration("duration", 2*time.Second, "bench: load window")
+	flag.Parse()
+
+	// An explicit -seed with no explicit -seeds means "replay this one
+	// failing plan", not "run 50 plans starting there".
+	seedSet, seedsSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "seed":
+			seedSet = true
+		case "seeds":
+			seedsSet = true
+		}
+	})
+	if seedSet && !seedsSet {
+		*seeds = 1
+	}
+
+	switch {
+	case *benchMode:
+		runBench(*shards, *keys, *replicas, *writers, *readers, *duration, *baseSeed)
+	case *replicas > 0:
+		runCluster(*shards, *keys, *replicas, *threads**ops, *baseSeed)
+	default:
+		runSweep(bench.ChaosParams{
+			Seeds: *seeds, BaseSeed: *baseSeed, Threads: *threads,
+			OpsEach: *ops, Keys: *keys, Rate: *rate,
+		}, *verbose, *jsonOut)
+	}
+}
+
+// runSweep runs the seeded failover campaign (the default mode).
+func runSweep(p bench.ChaosParams, verbose, jsonOut bool) {
+	p = p.WithDefaults()
+	if !jsonOut {
+		fmt.Printf("== failover sweep: %d seed(s), rate %g ==\n", p.Seeds, p.Rate)
+	}
+	report, outcomes, err := bench.FailoverCampaign(p)
+	if jsonOut {
+		b, jerr := bench.FailoverOutcomesJSON(outcomes)
+		if jerr != nil {
+			fail(jerr)
+		}
+		fmt.Println(string(b))
+		if err != nil {
+			os.Exit(1)
+		}
+		return
+	}
+	if verbose {
+		for _, o := range outcomes {
+			status := "ok"
+			if o.Err != nil {
+				status = fmt.Sprintf("FAIL: %v", o.Err)
+			}
+			fmt.Printf("%s  crash=%v commits=%d acked=%d promoted=%d  %s\n",
+				o.Plan, o.CrashFired, o.Commits, o.Acked, o.PromotedTxns, status)
+		}
+		fmt.Println()
+	}
+	fmt.Println(report)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("all promotions certified: zero acknowledged transactions lost, zero in doubt")
+}
+
+// runBench runs the certified replication benchmark and prints JSON.
+func runBench(shards, keys, replicas, writers, readers int, d time.Duration, seed int64) {
+	res, err := bench.RunReplBench(bench.ReplBenchParams{
+		Shards: shards, Keys: keys, Replicas: replicas,
+		Writers: writers, Readers: readers, Duration: d, Seed: seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+	b, err := bench.EncodeReplBench(res)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(string(b))
+}
+
+// runCluster boots a live loopback cluster — one replicated primary,
+// N followers — then forces a failover and certifies every node.
+func runCluster(shards, keysPerShard, replicas, txns int, seed int64) {
+	keys := keysPerShard * shards
+	prim, err := server.New(server.Options{
+		Substrate: "tl2", Shards: shards, Keys: keys, Seed: seed,
+		Replicate: true, SegmentBytes: 4 << 10,
+	})
+	if err != nil {
+		fail(err)
+	}
+	addrP, err := prim.Start("127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("primary: %s (epoch %d)\n", addrP, prim.Stats().Epoch)
+
+	followers := make([]*server.Server, replicas)
+	addrs := make([]string, replicas)
+	for i := range followers {
+		f, err := server.New(server.Options{
+			Substrate: "tl2", Shards: shards, Keys: keys, Seed: seed + int64(i) + 1,
+			Follow: addrP.String(), PollInterval: 2 * time.Millisecond,
+		})
+		if err != nil {
+			fail(err)
+		}
+		a, err := f.Start("127.0.0.1:0")
+		if err != nil {
+			fail(err)
+		}
+		followers[i], addrs[i] = f, a.String()
+		fmt.Printf("follower %d: %s -> %s\n", i, addrs[i], addrP)
+	}
+
+	// Client traffic aimed at a follower: every write must redirect to
+	// the primary and land; the ledger of acknowledged writes is the
+	// zero-loss obligation for the failover below.
+	rc := kvapi.NewReconnectClient(addrs[0], kvapi.ReconnectOptions{
+		Seed: seed + 99, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond,
+	})
+	defer rc.Close()
+	acked := make(map[uint64]int64)
+	for i := 0; i < txns; i++ {
+		k, v := uint64(i%keys), int64(1000+i)
+		resp, err := rc.Do([]kvapi.Op{{Kind: kvapi.OpPut, Key: k, Val: v}})
+		if err != nil {
+			fail(fmt.Errorf("write %d: %w", i, err))
+		}
+		if resp.Status != kvapi.StatusOK {
+			fail(fmt.Errorf("write %d: %s %s", i, resp.Status, resp.Msg))
+		}
+		acked[k] = v
+	}
+	fmt.Printf("load: %d writes acknowledged (%d redirects), %d distinct keys\n",
+		txns, rc.Stats().Redirects, len(acked))
+
+	for i, f := range followers {
+		if err := catchUp(f); err != nil {
+			fail(fmt.Errorf("follower %d: %w", i, err))
+		}
+	}
+	fmt.Printf("followers converged: lag %v\n", followers[0].ReplLag())
+
+	// Forced failover: the primary dies, follower 0 promotes with a
+	// certificate, survivors re-point at the new timeline.
+	prim.Stop()
+	fmt.Println("primary killed; promoting follower 0")
+	mr, err := followers[0].Promote()
+	if err != nil {
+		fail(fmt.Errorf("promotion: %w", err))
+	}
+	if mr.InDoubt != 0 {
+		fail(fmt.Errorf("%d transaction(s) in doubt after promotion", mr.InDoubt))
+	}
+	st := followers[0].Stats()
+	fmt.Printf("promoted: %d certified txn(s), merged order %d, epoch %d\n",
+		mr.RecoveredTxns(), len(mr.MergedOrder), st.Epoch)
+	for i := 1; i < replicas; i++ {
+		if err := followers[i].Refollow(addrs[0]); err != nil {
+			fail(fmt.Errorf("refollow %d: %w", i, err))
+		}
+		if err := catchUp(followers[i]); err != nil {
+			fail(fmt.Errorf("refollowed %d: %w", i, err))
+		}
+	}
+
+	// Zero loss: every acknowledged write survives the failover, and
+	// the new primary keeps serving.
+	rc.Retarget(addrs[0])
+	for k, v := range acked {
+		resp, err := rc.Do([]kvapi.Op{{Kind: kvapi.OpGet, Key: k}})
+		if err != nil || resp.Status != kvapi.StatusOK {
+			fail(fmt.Errorf("post-failover read %d: %v %s", k, err, resp.Status))
+		}
+		if resp.Results[0].Val != v {
+			fail(fmt.Errorf("acknowledged write lost: key %d = %d, acked %d",
+				k, resp.Results[0].Val, v))
+		}
+	}
+	if resp, err := rc.Do([]kvapi.Op{{Kind: kvapi.OpPut, Key: 0, Val: -1}}); err != nil || resp.Status != kvapi.StatusOK {
+		fail(fmt.Errorf("post-failover write: %v %+v", err, resp))
+	}
+	fmt.Println("zero loss: every acknowledged write present on the new primary")
+
+	// Certified shutdown, everyone.
+	failed := false
+	for i, f := range followers {
+		f.Stop()
+		if err := f.FinalCheck(); err != nil {
+			fmt.Fprintf(os.Stderr, "node %d CERTIFICATION FAILED: %v\n", i, err)
+			failed = true
+		}
+		if err := f.LeakCheck(); err != nil {
+			fmt.Fprintf(os.Stderr, "node %d LEAK: %v\n", i, err)
+			failed = true
+		}
+	}
+	if err := prim.LeakCheck(); err != nil {
+		fmt.Fprintln(os.Stderr, "old primary LEAK:", err)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("certified: promotion serializable, survivors converged, no leaks")
+}
+
+// catchUp syncs a follower until every stream's lag reads zero (the
+// upstream is quiescent when this is called).
+func catchUp(f *server.Server) error {
+	for i := 0; i < 500; i++ {
+		if _, err := f.SyncNow(); err != nil {
+			return fmt.Errorf("sync: %w", err)
+		}
+		lagging := false
+		for _, lag := range f.ReplLag() {
+			lagging = lagging || lag != 0
+		}
+		if !lagging {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("never caught up: lag %v", f.ReplLag())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pushpull-repl:", err)
+	os.Exit(1)
+}

@@ -45,6 +45,10 @@ func main() {
 	chaosRate := flag.Float64("chaos-rate", 0, "per-site fault probability injected server-side")
 	crashAt := flag.Uint64("crash-at", 0, "simulated process death at the n-th WAL append (0 = never)")
 	noCert := flag.Bool("no-cert", false, "disable shadow-machine certification (raw throughput)")
+	replicate := flag.Bool("replicate", false, "serve the replication poll endpoint (followers can stream this server's WALs)")
+	follow := flag.String("follow", "", "run as a read-only follower of the primary at this address")
+	advertise := flag.String("advertise", "", "address writes are redirected to (follower mode; default: the -follow address)")
+	epoch := flag.Uint64("epoch", 0, "serving epoch branded into the coordinator log (promotions pass predecessor+1)")
 	flag.Parse()
 
 	policy, err := wal.ParseSyncPolicy(*sync)
@@ -56,6 +60,8 @@ func main() {
 		DisableCert: *noCert,
 		MaxInflight: *maxInflight, MaxQueue: *maxQueue,
 		WALDir: *walDir, SyncPolicy: policy, GroupEvery: *groupEvery,
+		Replicate: *replicate, Follow: *follow, Advertise: *advertise,
+		Epoch: *epoch,
 	}
 	if *chaosRate > 0 || *crashAt > 0 {
 		plan := chaos.NewPlan(*seed)

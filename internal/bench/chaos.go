@@ -80,10 +80,11 @@ func (p ChaosParams) WithDefaults() ChaosParams {
 
 // ChaosTargets lists the chaos-campaign targets: the five goroutine
 // substrates, the hybrid runtime, the cooperative model under the
-// chaos scheduler, and the sharded engine with coordinator death and
-// per-shard WAL crashes.
+// chaos scheduler, the sharded engine with coordinator death and
+// per-shard WAL crashes, and the replicated failover target (primary
+// death under faulty replication links, certified promotion).
 func ChaosTargets() []string {
-	return []string{"tl2", "pess", "boost", "htmsim", "dep", "hybrid", "model", "shard"}
+	return []string{"tl2", "pess", "boost", "htmsim", "dep", "hybrid", "model", "shard", "failover"}
 }
 
 // CrashTargets lists the crash-campaign targets: every single-machine
@@ -175,6 +176,11 @@ func RunChaosOne(target string, seed int64, p ChaosParams) ChaosOutcome {
 		// coordinator injector from the plan; it fills out.Plan and
 		// out.Faults itself.
 		out.Err = runChaosShard(seed, p, &out)
+		return out
+	case "failover":
+		// Replicated primary death and certified promotion; derives its
+		// own plan (crash + link faults) and fills out.Plan itself.
+		out.Err = runChaosFailover(seed, p, &out)
 		return out
 	default:
 		out.Err = fmt.Errorf("bench: unknown chaos target %q", target)

@@ -1,0 +1,271 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pushpull/internal/chaos"
+	"pushpull/internal/repl"
+	"pushpull/internal/shard"
+)
+
+// The failover target: a replicated primary (4-shard engine shipping
+// to two replicas over faulty links that drop, duplicate, and reorder
+// batches) dies mid-workload — a deterministic WAL crash plus armed
+// coordinator death sites, so some seeds kill it between prepare and
+// commit. The sweep then promotes the more advanced replica and
+// asserts the failover contract: the promotion re-certifies the merged
+// global order with zero transactions in doubt, the promoted chains
+// prefix-extend the other replica's, and no acknowledged transaction
+// is lost.
+
+// failoverShards is the sweep's fixed partition count.
+const failoverShards = 4
+
+// Replication-link fault sites (plan-derivation labels only; the link
+// injects by Hash01 draws, not through a chaos.Faults injector).
+const (
+	SiteReplDrop    chaos.Site = "repl/drop"
+	SiteReplDup     chaos.Site = "repl/dup"
+	SiteReplReorder chaos.Site = "repl/reorder"
+)
+
+// FailoverPlanFor builds one failover run's reproduction recipe:
+// coordinator death armed in the prepare→commit window, a
+// deterministic WAL crash whose append index is a pure function of the
+// seed, and per-replica link fault rates drawn from the same seed.
+func FailoverPlanFor(seed int64, p ChaosParams) chaos.Plan {
+	p = p.WithDefaults()
+	plan := chaos.NewPlan(seed).
+		WithRate(chaos.SiteCoordPrepared, p.Rate/4).
+		WithRate(chaos.SiteCoordCommit, p.Rate/4)
+	est := estimatedAppends("tl2", p) / failoverShards
+	if est == 0 {
+		est = 1
+	}
+	frac := chaos.Hash01(seed, chaos.SiteWALAppend, 0)
+	return plan.WithCrash(1+uint64(frac*float64(est)), chaos.CrashMode(uint64(seed)%3))
+}
+
+// linkRates derives one replica link's drop/dup/reorder probabilities
+// from the seed (visit distinguishes the replicas).
+func linkRates(seed int64, visit uint64) (drop, dup, reorder float64) {
+	return 0.25 * chaos.Hash01(seed, SiteReplDrop, visit),
+		0.25 * chaos.Hash01(seed, SiteReplDup, visit),
+		0.25 * chaos.Hash01(seed, SiteReplReorder, visit)
+}
+
+// FailoverOutcome is one certified failover run.
+type FailoverOutcome struct {
+	Seed int64
+	Plan string
+	// CrashFired reports whether the plan's WAL crash killed the
+	// primary mid-run (otherwise the run kills it at the end — the
+	// failover machinery is exercised either way).
+	CrashFired bool
+	Commits    uint64
+	Aborts     uint64
+	GaveUp     uint64
+	// Acked is the number of distinct keys with a client-acknowledged
+	// write — the zero-loss ledger.
+	Acked int
+	// PromotedTxns is the promoted certificate's recovered transaction
+	// count; InDoubt must be zero.
+	PromotedTxns int
+	InDoubt      int
+	Faults       chaos.Stats
+	Err          error
+}
+
+// RunFailoverOne runs one certified failover: load a shipping primary
+// under chaos until it dies, promote the most advanced replica, and
+// assert the full failover contract.
+func RunFailoverOne(seed int64, p ChaosParams) FailoverOutcome {
+	p = p.WithDefaults()
+	out := FailoverOutcome{Seed: seed}
+	out.Err = runFailoverCore(seed, p, &out)
+	return out
+}
+
+func runFailoverCore(seed int64, p ChaosParams, out *FailoverOutcome) error {
+	keys := p.Keys * failoverShards
+	cfg := repl.Config{Substrate: "tl2", Shards: failoverShards, Keys: keys}
+	repA := repl.NewReplica(cfg)
+	repB := repl.NewReplica(cfg)
+	g := repl.NewGroup(1)
+	dropA, dupA, reA := linkRates(seed, 1)
+	dropB, dupB, reB := linkRates(seed, 2)
+	g.Add(repA, seed, dropA, dupA, reA)
+	g.Add(repB, seed+1000, dropB, dupB, reB)
+
+	plan := FailoverPlanFor(seed, p)
+	out.Plan = plan.String()
+	eng, err := shard.New(shard.Options{
+		Shards: failoverShards, Substrate: "tl2", Keys: keys, Seed: seed,
+		Durable: true, Ship: g.Ship, Plan: &plan,
+		Retry: chaos.Default(seed), Suite: p.Obs,
+	})
+	if err != nil {
+		return err
+	}
+	clean := plan.CrashMode == chaos.CrashClean
+
+	rng := rand.New(rand.NewSource(seed))
+	acked := make(map[uint64]int64)
+	txns := p.Threads * p.OpsEach
+	for i := 1; i <= txns; i++ {
+		v := int64(i)
+		var ops []shard.Op
+		if rng.Intn(3) == 0 {
+			k1, k2 := uint64(rng.Intn(keys)), uint64(rng.Intn(keys))
+			ops = []shard.Op{
+				{Kind: shard.OpPut, Key: k1, Val: v},
+				{Kind: shard.OpPut, Key: k2, Val: v},
+			}
+		} else {
+			ops = []shard.Op{{Kind: shard.OpPut, Key: uint64(rng.Intn(keys)), Val: v}}
+		}
+		_, _, err := eng.Do(ops)
+		// An ack only counts while the process lives: after the
+		// simulated death the in-memory engine is a ghost whose "acks"
+		// no real client would ever have received.
+		if err == nil && !eng.Crashed() {
+			for _, op := range ops {
+				acked[op.Key] = op.Val
+			}
+		} else if err != nil {
+			out.GaveUp++
+		}
+	}
+	out.CrashFired = eng.Crashed()
+	eng.Kill()
+	st := eng.Stats()
+	out.Commits, out.Aborts = st.Commits, st.Aborts
+	out.Acked = len(acked)
+	out.Faults = eng.FaultStats()
+
+	// Both replicas must be undamaged and independently certifiable.
+	for i, r := range []*repl.Replica{repA, repB} {
+		if err := r.Poisoned(); err != nil {
+			return fmt.Errorf("replica %d: %w", i, err)
+		}
+		if _, err := r.Certify(); err != nil {
+			return fmt.Errorf("replica %d certification: %w", i, err)
+		}
+	}
+
+	// Promote the more advanced replica; its chains must prefix-extend
+	// the other's, per stream.
+	promoted, other := repA, repB
+	if appliedTotal(repB) > appliedTotal(repA) {
+		promoted, other = repB, repA
+	}
+	promRep, err := promoted.Certify()
+	if err != nil {
+		return fmt.Errorf("promotion certificate: %w", err)
+	}
+	out.PromotedTxns = promRep.RecoveredTxns()
+	out.InDoubt = promRep.InDoubt
+	if promRep.InDoubt != 0 {
+		return fmt.Errorf("%d transaction(s) in doubt after promotion", promRep.InDoubt)
+	}
+	if err := repl.CheckPrefixExtension(promoted.Chains(), other.Chains()); err != nil {
+		return err
+	}
+
+	// A clean crash preserves exactly the durable prefix, so the
+	// promoted recovery must match the primary image's recovery
+	// transaction for transaction. (Torn and bitflip crashes may strip
+	// the primary's never-durable tail — which was never shipped and
+	// never acked — so only the zero-acked-loss check applies there.)
+	if clean {
+		primaryRep, err := shard.RecoverAndCertifyImage(eng.Image(), "tl2")
+		if err != nil {
+			return fmt.Errorf("primary image: %w", err)
+		}
+		if got, want := promRep.RecoveredTxns(), primaryRep.RecoveredTxns(); got != want {
+			return fmt.Errorf("promoted recovered %d txns, primary image has %d", got, want)
+		}
+	}
+
+	// Serve from the promoted image at the next epoch; every
+	// acknowledged write must be present.
+	eng2, err := shard.New(shard.Options{
+		Shards: failoverShards, Substrate: "tl2", Keys: keys, Seed: seed + 1,
+		Durable: true, RecoverFrom: promoted.Image(), Epoch: promRep.Epoch + 1,
+	})
+	if err != nil {
+		return fmt.Errorf("promotion boot: %w", err)
+	}
+	if n := eng2.Recovered().InDoubt; n != 0 {
+		return fmt.Errorf("in-doubt after promoted restart: %d", n)
+	}
+	for k, v := range acked {
+		if got, _ := eng2.ReadKey(k); got < v {
+			return fmt.Errorf("acknowledged write lost: key %d = %d, acked %d", k, got, v)
+		}
+	}
+	if _, _, err := eng2.Do([]shard.Op{{Kind: shard.OpPut, Key: 0, Val: 1}}); err != nil {
+		return fmt.Errorf("promoted engine refuses writes: %w", err)
+	}
+	if err := eng2.FinalCheck(); err != nil {
+		return fmt.Errorf("promoted final check: %w", err)
+	}
+	return eng2.Close()
+}
+
+func appliedTotal(r *repl.Replica) uint64 {
+	var n uint64
+	for s := 0; s < r.Config().Streams(); s++ {
+		n += r.AppliedRecords(s)
+	}
+	return n
+}
+
+// runChaosFailover adapts a failover run to the chaos-campaign shape.
+func runChaosFailover(seed int64, p ChaosParams, out *ChaosOutcome) error {
+	fo := RunFailoverOne(seed, p)
+	out.Plan = fo.Plan
+	out.Commits, out.Aborts = fo.Commits, fo.Aborts
+	out.GaveUp = fo.GaveUp
+	out.Faults = fo.Faults
+	return fo.Err
+}
+
+// FailoverCampaign sweeps seeds over the failover target and returns
+// the human-readable summary plus per-run outcomes; err is the first
+// contract violation (nil means every promotion certified and no
+// acknowledged transaction was lost).
+func FailoverCampaign(p ChaosParams) (string, []FailoverOutcome, error) {
+	p = p.WithDefaults()
+	var outcomes []FailoverOutcome
+	var firstErr error
+	var rows []Row
+	crashed, failed := 0, 0
+	var commits, acked uint64
+	for s := 0; s < p.Seeds; s++ {
+		o := RunFailoverOne(p.BaseSeed+int64(s), p)
+		outcomes = append(outcomes, o)
+		commits += o.Commits
+		acked += uint64(o.Acked)
+		if o.CrashFired {
+			crashed++
+		}
+		if o.Err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("failover: seed %d: %w (replay: %s)", o.Seed, o.Err, o.Plan)
+			}
+		}
+	}
+	rows = append(rows, Row{
+		"failover", fmt.Sprintf("%d", p.Seeds), fmt.Sprintf("%d", crashed),
+		fmt.Sprintf("%d", commits), fmt.Sprintf("%d", acked),
+		fmt.Sprintf("%d", failed),
+	})
+	report := Table(Row{"target", "seeds", "mid-run crashes", "commits", "acked keys", "violations"}, rows)
+	if firstErr != nil {
+		report += "\nFIRST FAILURE: " + firstErr.Error() + "\n"
+	}
+	return report, outcomes, firstErr
+}

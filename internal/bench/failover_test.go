@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFailoverSmoke is the tier-1 failover sweep: a handful of seeds
+// through the full kill → certify → promote → restart contract.
+func TestFailoverSmoke(t *testing.T) {
+	report, outs, err := FailoverCampaign(ChaosParams{
+		Targets: []string{"failover"}, Seeds: 6,
+	})
+	t.Log("\n" + report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := 0
+	for _, o := range outs {
+		if o.CrashFired {
+			crashed++
+		}
+		if o.InDoubt != 0 {
+			t.Fatalf("seed %d: %d in doubt", o.Seed, o.InDoubt)
+		}
+		if o.PromotedTxns == 0 {
+			t.Fatalf("seed %d: promotion recovered nothing", o.Seed)
+		}
+	}
+	if crashed == 0 {
+		t.Fatal("no seed killed the primary mid-run; the sweep exercised nothing")
+	}
+}
+
+// TestFailoverJSON keeps the machine-readable sweep schema honest.
+func TestFailoverJSON(t *testing.T) {
+	o := RunFailoverOne(3, ChaosParams{Seeds: 1})
+	if o.Err != nil {
+		t.Fatal(o.Err)
+	}
+	b, err := FailoverOutcomesJSON([]FailoverOutcome{o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"plan"`, `"crash_fired"`, `"acked_keys"`, `"promoted_txns"`} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("JSON missing %s:\n%s", want, b)
+		}
+	}
+}
+
+// TestReplBenchSmoke runs a short certified replication bench: the
+// followers must serve reads, observe the write stream, drain to zero
+// lag, and match the primary exactly.
+func TestReplBenchSmoke(t *testing.T) {
+	res, err := RunReplBench(ReplBenchParams{
+		Replicas: 2, Writers: 2, Readers: 2, Duration: 300 * time.Millisecond, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits == 0 || res.Reads == 0 {
+		t.Fatalf("bench idle: %+v", res)
+	}
+	if res.Syncs == 0 {
+		t.Fatalf("pull path never synced: %+v", res)
+	}
+	b, err := EncodeReplBench(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"follower_reads"`) || !strings.Contains(string(b), `"max_lag_records"`) {
+		t.Fatalf("bench JSON missing fields:\n%s", b)
+	}
+}

@@ -201,3 +201,73 @@ func CrashOutcomesJSON(outcomes []CrashOutcome) ([]byte, error) {
 	}
 	return json.MarshalIndent(out, "", "  ")
 }
+
+// FailoverOutcomeJSON mirrors FailoverOutcome with the error
+// stringified.
+type FailoverOutcomeJSON struct {
+	Seed         int64  `json:"seed"`
+	Plan         string `json:"plan"`
+	CrashFired   bool   `json:"crash_fired"`
+	Commits      uint64 `json:"commits"`
+	Aborts       uint64 `json:"aborts"`
+	GaveUp       uint64 `json:"gave_up"`
+	AckedKeys    int    `json:"acked_keys"`
+	PromotedTxns int    `json:"promoted_txns"`
+	InDoubt      int    `json:"in_doubt"`
+	Err          string `json:"err,omitempty"`
+}
+
+// FailoverOutcomesJSON renders a failover sweep as an indented JSON
+// array.
+func FailoverOutcomesJSON(outcomes []FailoverOutcome) ([]byte, error) {
+	out := make([]FailoverOutcomeJSON, len(outcomes))
+	for i, o := range outcomes {
+		out[i] = FailoverOutcomeJSON{
+			Seed: o.Seed, Plan: o.Plan, CrashFired: o.CrashFired,
+			Commits: o.Commits, Aborts: o.Aborts, GaveUp: o.GaveUp,
+			AckedKeys: o.Acked, PromotedTxns: o.PromotedTxns,
+			InDoubt: o.InDoubt,
+		}
+		if o.Err != nil {
+			out[i].Err = o.Err.Error()
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// ReplBenchJSON is the BENCH_repl.json schema: follower-read
+// throughput and replication lag under write load, certified (every
+// follower drained to zero lag, matched the primary's KV image, and
+// passed the full recovery certificate).
+type ReplBenchJSON struct {
+	Benchmark  string   `json:"benchmark"`
+	Shards     int      `json:"shards"`
+	Keys       int      `json:"keys"`
+	Replicas   int      `json:"replicas"`
+	Writers    int      `json:"writers"`
+	Readers    int      `json:"readers"`
+	Seed       int64    `json:"seed"`
+	DurationMs float64  `json:"duration_ms"`
+	Commits    uint64   `json:"commits"`
+	WritePerf  PerfJSON `json:"write_perf"`
+	Reads      uint64   `json:"follower_reads"`
+	ReadPerf   PerfJSON `json:"follower_read_perf"`
+	Syncs      uint64   `json:"pull_syncs"`
+	MaxLag     uint64   `json:"max_lag_records"`
+	LagAtStop  uint64   `json:"lag_at_load_stop_records"`
+}
+
+// EncodeReplBench renders one replication bench result as indented
+// JSON.
+func EncodeReplBench(r ReplBenchResult) ([]byte, error) {
+	return json.MarshalIndent(ReplBenchJSON{
+		Benchmark: "replicated serving: follower reads and pull-path lag under write load",
+		Shards:    r.Params.Shards, Keys: r.Params.Keys,
+		Replicas: r.Params.Replicas, Writers: r.Params.Writers,
+		Readers: r.Params.Readers, Seed: r.Params.Seed,
+		DurationMs: float64(r.Duration.Milliseconds()),
+		Commits:    r.Commits, WritePerf: PerfJSON{TxnPerSec: r.WriteTps()},
+		Reads: r.Reads, ReadPerf: PerfJSON{TxnPerSec: r.ReadTps()},
+		Syncs: r.Syncs, MaxLag: r.MaxLag, LagAtStop: r.LagAtStop,
+	}, "", "  ")
+}

@@ -126,9 +126,10 @@ func TestObsSnapshotConsistency(t *testing.T) {
 				t.Fatalf("leaked spans: %v", err)
 			}
 			s := suite.Metrics.Snapshot()
-			if target == "shard" {
-				// The sharded engine records one site per shard
-				// ("tl2/s0".."tl2/s3"); each must have fired and balance.
+			if target == "shard" || target == "failover" {
+				// These targets run through the sharded engine, which
+				// records one site per shard ("tl2/s0".."tl2/s3"); each
+				// must have fired and balance.
 				found := 0
 				for name, site := range s.Sites {
 					if !strings.HasPrefix(name, "tl2/s") {

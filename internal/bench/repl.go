@@ -1,0 +1,260 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pushpull/internal/repl"
+	"pushpull/internal/shard"
+)
+
+// The replication bench: a durable sharded primary under write load,
+// N followers catching up over the asynchronous pull path, reader
+// goroutines hammering the followers' committed read images. Measures
+// follower-read throughput and replication lag (records behind the
+// primary's durable promise), then certifies everything: each follower
+// converges to the primary's exact KV state and passes the full
+// recovery certificate.
+
+// ReplBenchParams configures RunReplBench. Zero values get defaults.
+type ReplBenchParams struct {
+	Shards   int           // partitions on the primary (default 4)
+	Keys     int           // keys per shard (default 64)
+	Replicas int           // pull-path followers (default 2)
+	Writers  int           // primary write goroutines (default 4)
+	Readers  int           // follower read goroutines, round-robin (default 4)
+	Duration time.Duration // load window (default 2s)
+	Seed     int64
+}
+
+func (p ReplBenchParams) withDefaults() ReplBenchParams {
+	if p.Shards <= 0 {
+		p.Shards = 4
+	}
+	if p.Keys <= 0 {
+		p.Keys = 64
+	}
+	if p.Replicas <= 0 {
+		p.Replicas = 2
+	}
+	if p.Writers <= 0 {
+		p.Writers = 4
+	}
+	if p.Readers <= 0 {
+		p.Readers = 4
+	}
+	if p.Duration <= 0 {
+		p.Duration = 2 * time.Second
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// ReplBenchResult is one certified replication bench run.
+type ReplBenchResult struct {
+	Params   ReplBenchParams
+	Duration time.Duration
+	// Primary-side committed writes during the load window.
+	Commits uint64
+	// Follower-side reads served from committed prefixes.
+	Reads uint64
+	// MaxLag is the worst per-stream record lag any follower observed
+	// during the window; LagAtStop is the worst follower's summed lag
+	// at the instant the write load stopped. After quiescence the lag
+	// must drain to zero — asserted, not reported.
+	MaxLag    uint64
+	LagAtStop uint64
+	// Syncs counts pull rounds across all followers.
+	Syncs uint64
+}
+
+// WriteTps returns primary commits per second.
+func (r ReplBenchResult) WriteTps() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Commits) / r.Duration.Seconds()
+}
+
+// ReadTps returns follower reads per second.
+func (r ReplBenchResult) ReadTps() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Reads) / r.Duration.Seconds()
+}
+
+// RunReplBench runs the replication bench and certifies the result.
+func RunReplBench(p ReplBenchParams) (ReplBenchResult, error) {
+	p = p.withDefaults()
+	res := ReplBenchResult{Params: p}
+	keys := p.Keys * p.Shards
+
+	eng, err := shard.New(shard.Options{
+		Shards: p.Shards, Substrate: "tl2", Keys: keys, Seed: p.Seed,
+		Durable: true, Epoch: 1,
+	})
+	if err != nil {
+		return res, err
+	}
+	src := repl.EngineSource(eng)
+	cfg := repl.Config{Substrate: "tl2", Shards: p.Shards, Keys: keys}
+
+	type follower struct {
+		rep    *repl.Replica
+		puller *repl.Puller
+	}
+	followers := make([]follower, p.Replicas)
+	for i := range followers {
+		rep := repl.NewReplica(cfg)
+		followers[i] = follower{rep: rep, puller: repl.NewPuller(rep, 0)}
+	}
+
+	var (
+		commits, reads, syncs atomic.Uint64
+		maxLag                atomic.Uint64
+		stopWrite, stopRead   = make(chan struct{}), make(chan struct{})
+		wg, rg, pg            sync.WaitGroup
+		writeErr              atomic.Value
+	)
+	// Writers: mixed single-shard and cross-shard puts.
+	for w := 0; w < p.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(p.Seed + int64(w)*101))
+			for i := 0; ; i++ {
+				select {
+				case <-stopWrite:
+					return
+				default:
+				}
+				var ops []shard.Op
+				v := int64(i + 1)
+				if i%4 == 0 {
+					ops = []shard.Op{
+						{Kind: shard.OpPut, Key: uint64(rng.Intn(keys)), Val: v},
+						{Kind: shard.OpPut, Key: uint64(rng.Intn(keys)), Val: v},
+					}
+				} else {
+					ops = []shard.Op{{Kind: shard.OpPut, Key: uint64(rng.Intn(keys)), Val: v}}
+				}
+				if _, _, err := eng.Do(ops); err != nil {
+					writeErr.Store(err)
+					return
+				}
+				commits.Add(1)
+			}
+		}(w)
+	}
+	// Pull loops: one per follower, continuously draining the primary.
+	for i := range followers {
+		pg.Add(1)
+		go func(f follower) {
+			defer pg.Done()
+			for {
+				select {
+				case <-stopWrite:
+					return
+				default:
+				}
+				if _, err := f.puller.Sync(src); err != nil {
+					writeErr.Store(err)
+					return
+				}
+				syncs.Add(1)
+				for _, lag := range f.puller.Lag() {
+					for {
+						cur := maxLag.Load()
+						if lag <= cur || maxLag.CompareAndSwap(cur, lag) {
+							break
+						}
+					}
+				}
+			}
+		}(followers[i])
+	}
+	// Readers: round-robin over followers' committed read images.
+	for r := 0; r < p.Readers; r++ {
+		rg.Add(1)
+		go func(r int) {
+			defer rg.Done()
+			rng := rand.New(rand.NewSource(p.Seed + 7919 + int64(r)*211))
+			rep := followers[r%len(followers)].rep
+			for {
+				select {
+				case <-stopRead:
+					return
+				default:
+				}
+				rep.Get(uint64(rng.Intn(keys)))
+				reads.Add(1)
+			}
+		}(r)
+	}
+
+	t0 := time.Now()
+	time.Sleep(p.Duration)
+	close(stopWrite)
+	wg.Wait()
+	pg.Wait()
+	res.Duration = time.Since(t0)
+	close(stopRead)
+	rg.Wait()
+	if err, _ := writeErr.Load().(error); err != nil {
+		return res, err
+	}
+	res.Commits = commits.Load()
+	res.Reads = reads.Load()
+	res.MaxLag = maxLag.Load()
+	for _, f := range followers {
+		var lag uint64
+		for _, l := range f.puller.Lag() {
+			lag += l
+		}
+		if lag > res.LagAtStop {
+			res.LagAtStop = lag
+		}
+	}
+
+	// Quiesce: every follower drains to zero lag, then certifies and
+	// must hold the primary's exact KV image.
+	for i := range followers {
+		f := followers[i]
+		for attempt := 0; ; attempt++ {
+			if _, err := f.puller.Sync(src); err != nil {
+				return res, fmt.Errorf("follower %d drain: %w", i, err)
+			}
+			syncs.Add(1)
+			var lag uint64
+			for _, l := range f.puller.Lag() {
+				lag += l
+			}
+			if lag == 0 {
+				break
+			}
+			if attempt > 1000 {
+				return res, fmt.Errorf("follower %d never drained: lag %d", i, lag)
+			}
+		}
+		if _, err := f.rep.Certify(); err != nil {
+			return res, fmt.Errorf("follower %d certification: %w", i, err)
+		}
+		for k := uint64(0); k < uint64(keys); k++ {
+			want, _ := eng.ReadKey(k)
+			if got, _ := f.rep.Get(k); got != want {
+				return res, fmt.Errorf("follower %d key %d: got %d, primary has %d", i, k, got, want)
+			}
+		}
+	}
+	res.Syncs = syncs.Load()
+	if err := eng.FinalCheck(); err != nil {
+		return res, err
+	}
+	return res, eng.Close()
+}

@@ -84,6 +84,12 @@ func (c *Client) Abort() (Response, error) {
 	return c.roundTrip(Request{Type: MsgAbort})
 }
 
+// ReplPoll fetches durable replication-stream bytes from a primary:
+// stream's bytes starting at (seg, off), at most max of them.
+func (c *Client) ReplPoll(stream, seg, off, max int) (Response, error) {
+	return c.roundTrip(Request{Type: MsgReplPoll, Stream: stream, Seg: seg, Off: off, Max: max})
+}
+
 // Ping checks liveness end to end.
 func (c *Client) Ping() error {
 	resp, err := c.roundTrip(Request{Type: MsgPing})

@@ -28,7 +28,10 @@ type TxnResponseJSON struct {
 	Results      []ResultJSON `json:"results,omitempty"`
 	Retries      uint32       `json:"retries"`
 	RetryAfterMs uint32       `json:"retry_after_ms,omitempty"`
-	Msg          string       `json:"msg,omitempty"`
+	// Redirect is the address to retry against when Status is
+	// "redirect" (a follower refusing a write names its primary).
+	Redirect string `json:"redirect,omitempty"`
+	Msg      string `json:"msg,omitempty"`
 }
 
 // ResultJSON is one operation's answer.
@@ -59,6 +62,7 @@ func (r Response) ToJSON() TxnResponseJSON {
 		Status:       r.Status.String(),
 		Retries:      r.Retries,
 		RetryAfterMs: r.RetryAfterMs,
+		Redirect:     r.Redirect,
 		Msg:          r.Msg,
 	}
 	for _, res := range r.Results {

@@ -47,6 +47,11 @@ const (
 	MsgAbort
 	// MsgPing is a liveness probe; it never touches a substrate.
 	MsgPing
+	// MsgReplPoll asks a primary for durable WAL bytes of one
+	// replication stream from a (segment, offset) cursor — the follower
+	// catch-up RPC. Key/Val are unused; Stream/Seg/Off/Max name the
+	// cursor and the byte budget.
+	MsgReplPoll
 )
 
 func (t MsgType) String() string {
@@ -65,6 +70,8 @@ func (t MsgType) String() string {
 		return "abort"
 	case MsgPing:
 		return "ping"
+	case MsgReplPoll:
+		return "replpoll"
 	default:
 		return fmt.Sprintf("msg(%d)", byte(t))
 	}
@@ -92,6 +99,11 @@ type Request struct {
 	Key  uint64 // MsgGet/MsgPut
 	Val  int64  // MsgPut
 	Ops  []Op   // MsgTxn
+	// MsgReplPoll: stream index, cursor, and byte budget.
+	Stream int
+	Seg    int
+	Off    int
+	Max    int
 }
 
 // Status is the application-level outcome of a request.
@@ -111,6 +123,10 @@ const (
 	StatusBusy
 	// StatusError: protocol misuse or an internal failure; Msg explains.
 	StatusError
+	// StatusRedirect: this node cannot serve the request in its current
+	// role (a follower refusing writes); Redirect names the primary to
+	// retry against.
+	StatusRedirect
 )
 
 func (s Status) String() string {
@@ -123,6 +139,8 @@ func (s Status) String() string {
 		return "busy"
 	case StatusError:
 		return "error"
+	case StatusRedirect:
+		return "redirect"
 	default:
 		return fmt.Sprintf("status(%d)", byte(s))
 	}
@@ -148,6 +166,22 @@ type Response struct {
 	RetryAfterMs uint32
 	// Msg carries the abort/error cause, when there is one.
 	Msg string
+	// Data answers a MsgReplPoll: raw durable stream bytes starting at
+	// the requested cursor.
+	Data []byte
+	// Epoch is the serving epoch stamped on replication payloads (and
+	// reported by /stats-style probes).
+	Epoch uint64
+	// More reports that durable bytes remain past this Data in the
+	// stream; Next reports the requested segment is finished and the
+	// cursor should advance to (Seg+1, 0).
+	More bool
+	Next bool
+	// Appends is the primary's lifetime appended-record count for the
+	// polled stream — the follower's lag reference.
+	Appends uint64
+	// Redirect, on StatusRedirect, names the primary's address.
+	Redirect string
 }
 
 // MaxFrame bounds one message's body; anything larger is a protocol
@@ -179,6 +213,11 @@ func AppendRequest(b []byte, r Request) []byte {
 	case MsgPut:
 		b = binary.AppendUvarint(b, r.Key)
 		b = binary.AppendVarint(b, r.Val)
+	case MsgReplPoll:
+		b = binary.AppendUvarint(b, uint64(r.Stream))
+		b = binary.AppendUvarint(b, uint64(r.Seg))
+		b = binary.AppendUvarint(b, uint64(r.Off))
+		b = binary.AppendUvarint(b, uint64(r.Max))
 	}
 	return b
 }
@@ -231,6 +270,19 @@ func DecodeRequest(b []byte) (Request, error) {
 		if r.Val, b, err = takeVarint(b); err != nil {
 			return r, err
 		}
+	case MsgReplPoll:
+		var u uint64
+		for _, dst := range []*int{&r.Stream, &r.Seg, &r.Off, &r.Max} {
+			if u, b, err = takeUvarint(b); err != nil {
+				return r, err
+			}
+			// Offsets address whole log streams (the coordinator log is
+			// one growing segment), so the bound is sanity, not MaxFrame.
+			if u > 1<<40 {
+				return r, errShort
+			}
+			*dst = int(u)
+		}
 	case MsgBegin, MsgCommit, MsgAbort, MsgPing:
 		// no payload
 	default:
@@ -258,6 +310,20 @@ func AppendResponse(b []byte, r Response) []byte {
 	b = binary.AppendUvarint(b, uint64(r.RetryAfterMs))
 	b = binary.AppendUvarint(b, uint64(len(r.Msg)))
 	b = append(b, r.Msg...)
+	b = binary.AppendUvarint(b, uint64(len(r.Data)))
+	b = append(b, r.Data...)
+	b = binary.AppendUvarint(b, r.Epoch)
+	var flags byte
+	if r.More {
+		flags |= 1
+	}
+	if r.Next {
+		flags |= 2
+	}
+	b = append(b, flags)
+	b = binary.AppendUvarint(b, r.Appends)
+	b = binary.AppendUvarint(b, uint64(len(r.Redirect)))
+	b = append(b, r.Redirect...)
 	return b
 }
 
@@ -299,10 +365,39 @@ func DecodeResponse(b []byte) (Response, error) {
 	if u, b, err = takeUvarint(b); err != nil {
 		return r, err
 	}
+	if uint64(len(b)) < u {
+		return r, errShort
+	}
+	r.Msg = string(b[:u])
+	b = b[u:]
+	if u, b, err = takeUvarint(b); err != nil {
+		return r, err
+	}
+	if u > MaxFrame || uint64(len(b)) < u {
+		return r, errShort
+	}
+	if u > 0 {
+		r.Data = append([]byte(nil), b[:u]...)
+	}
+	b = b[u:]
+	if r.Epoch, b, err = takeUvarint(b); err != nil {
+		return r, err
+	}
+	if len(b) == 0 {
+		return r, errShort
+	}
+	r.More, r.Next = b[0]&1 != 0, b[0]&2 != 0
+	b = b[1:]
+	if r.Appends, b, err = takeUvarint(b); err != nil {
+		return r, err
+	}
+	if u, b, err = takeUvarint(b); err != nil {
+		return r, err
+	}
 	if uint64(len(b)) != u {
 		return r, errShort
 	}
-	r.Msg = string(b)
+	r.Redirect = string(b)
 	return r, nil
 }
 

@@ -21,6 +21,8 @@ func TestRequestRoundTrip(t *testing.T) {
 			{Kind: OpPut, Key: 9, Val: 1 << 40},
 			{Kind: OpPut, Key: 0, Val: -1},
 		}},
+		{Type: MsgReplPoll, Stream: 4, Seg: 2, Off: 8190, Max: 1 << 16},
+		{Type: MsgReplPoll},
 	}
 	for _, want := range cases {
 		var buf bytes.Buffer
@@ -53,6 +55,8 @@ func TestResponseRoundTrip(t *testing.T) {
 		{Status: StatusOK, Results: []Result{
 			{Val: 42, Found: true}, {Val: 0, Found: false}, {Val: -7, Found: true},
 		}, Retries: 3},
+		{Status: StatusOK, Data: []byte{0xDE, 0xAD, 0xBE, 0xEF}, Epoch: 7, More: true, Next: true, Appends: 991},
+		{Status: StatusRedirect, Redirect: "127.0.0.1:7070", Msg: "follower: writes go to the primary"},
 	}
 	for _, want := range cases {
 		var buf bytes.Buffer

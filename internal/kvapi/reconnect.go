@@ -1,0 +1,252 @@
+package kvapi
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrRetriesExhausted reports that a ReconnectClient ran out of
+// attempts without a definitive answer.
+var ErrRetriesExhausted = errors.New("kvapi: retries exhausted")
+
+// ReconnectOptions tunes a ReconnectClient. The zero value is usable.
+type ReconnectOptions struct {
+	// BaseDelay is the first backoff step (default 10ms); MaxDelay caps
+	// the exponential growth (default 2s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// MaxTries bounds attempts per operation — dial failures, transport
+	// errors, busy rejections, and redirects all consume one (default 16).
+	MaxTries int
+	// MaxRedirects bounds redirect hops per operation (default 4); the
+	// hop after the limit returns the StatusRedirect response as-is.
+	MaxRedirects int
+	// Seed makes the jitter deterministic for tests.
+	Seed int64
+	// Sleep is a test seam; nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (o ReconnectOptions) withDefaults() ReconnectOptions {
+	if o.BaseDelay <= 0 {
+		o.BaseDelay = 10 * time.Millisecond
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = 2 * time.Second
+	}
+	if o.MaxTries <= 0 {
+		o.MaxTries = 16
+	}
+	if o.MaxRedirects <= 0 {
+		o.MaxRedirects = 4
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+	return o
+}
+
+// ReconnectStats counts a ReconnectClient's recovery activity.
+type ReconnectStats struct {
+	Redials   uint64 `json:"redials"`
+	BusyWaits uint64 `json:"busy_waits"`
+	Redirects uint64 `json:"redirects"`
+}
+
+// ReconnectClient is a self-healing one-shot client: it redials broken
+// connections with jittered exponential backoff, honors Retry-After
+// admission hints on StatusBusy, and follows StatusRedirect frames to
+// the primary (a follower answering a write names where writes go).
+//
+// Delivery is at-least-once across reconnects: a one-shot transaction
+// whose response was lost in a transport error is retried and may have
+// already applied. Use naturally idempotent operations (monotonic
+// counters, last-writer-wins puts) or an interactive session on a raw
+// Client when exactly-once matters.
+type ReconnectClient struct {
+	mu    sync.Mutex
+	addr  string
+	c     *Client
+	opts  ReconnectOptions
+	rng   *rand.Rand
+	stats ReconnectStats
+}
+
+// NewReconnectClient targets addr; no connection is made until the
+// first operation.
+func NewReconnectClient(addr string, opts ReconnectOptions) *ReconnectClient {
+	o := opts.withDefaults()
+	return &ReconnectClient{addr: addr, opts: o, rng: rand.New(rand.NewSource(o.Seed))}
+}
+
+// Addr returns the current target (it moves on redirect).
+func (rc *ReconnectClient) Addr() string {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.addr
+}
+
+// Stats snapshots the recovery counters.
+func (rc *ReconnectClient) Stats() ReconnectStats {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.stats
+}
+
+// Close drops the live connection, if any.
+func (rc *ReconnectClient) Close() error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.c != nil {
+		err := rc.c.Close()
+		rc.c = nil
+		return err
+	}
+	return nil
+}
+
+// ensure returns a live connection, dialing if needed.
+func (rc *ReconnectClient) ensure() (*Client, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.c != nil {
+		return rc.c, nil
+	}
+	c, err := Dial(rc.addr)
+	if err != nil {
+		return nil, err
+	}
+	rc.stats.Redials++
+	rc.c = c
+	return c, nil
+}
+
+// drop discards c if it is still the live connection (a racing caller
+// may already have replaced it).
+func (rc *ReconnectClient) drop(c *Client) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.c == c {
+		rc.c.Close()
+		rc.c = nil
+	}
+}
+
+// backoff sleeps the jittered exponential delay for attempt n.
+func (rc *ReconnectClient) backoff(n int) {
+	d := rc.opts.BaseDelay << uint(n)
+	if d <= 0 || d > rc.opts.MaxDelay {
+		d = rc.opts.MaxDelay
+	}
+	rc.mu.Lock()
+	jitter := 0.5 + rc.rng.Float64() // [0.5, 1.5): desynchronizes stampedes
+	rc.mu.Unlock()
+	rc.opts.Sleep(time.Duration(float64(d) * jitter))
+}
+
+// busyWait honors an admission-control Retry-After hint.
+func (rc *ReconnectClient) busyWait(ms uint32, attempt int) {
+	rc.mu.Lock()
+	rc.stats.BusyWaits++
+	rc.mu.Unlock()
+	if ms == 0 {
+		rc.backoff(attempt)
+		return
+	}
+	rc.mu.Lock()
+	jitter := 0.5 + rc.rng.Float64()
+	rc.mu.Unlock()
+	rc.opts.Sleep(time.Duration(float64(time.Duration(ms)*time.Millisecond) * jitter))
+}
+
+// Retarget points the client at a new address (a failover the caller
+// learned about out-of-band, e.g. a follower promotion); the live
+// connection, if any, is dropped so the next operation dials fresh.
+func (rc *ReconnectClient) Retarget(addr string) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.addr == addr {
+		return
+	}
+	rc.addr = addr
+	if rc.c != nil {
+		rc.c.Close()
+		rc.c = nil
+	}
+}
+
+// redirectTo re-targets the client at the named primary.
+func (rc *ReconnectClient) redirectTo(addr string) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.stats.Redirects++
+	if rc.c != nil {
+		rc.c.Close()
+		rc.c = nil
+	}
+	rc.addr = addr
+}
+
+// do runs one request through the recovery loop.
+func (rc *ReconnectClient) do(req Request) (Response, error) {
+	var lastErr error
+	redirects := 0
+	for attempt := 0; attempt < rc.opts.MaxTries; attempt++ {
+		c, err := rc.ensure()
+		if err != nil {
+			lastErr = err
+			rc.backoff(attempt)
+			continue
+		}
+		resp, err := c.roundTrip(req)
+		if err != nil {
+			rc.drop(c)
+			lastErr = err
+			rc.backoff(attempt)
+			continue
+		}
+		switch resp.Status {
+		case StatusBusy:
+			rc.busyWait(resp.RetryAfterMs, attempt)
+			continue
+		case StatusRedirect:
+			if resp.Redirect == "" || redirects >= rc.opts.MaxRedirects {
+				return resp, nil
+			}
+			redirects++
+			rc.redirectTo(resp.Redirect)
+			continue
+		}
+		return resp, nil
+	}
+	if lastErr == nil {
+		lastErr = ErrRetriesExhausted
+	}
+	return Response{}, fmt.Errorf("%w after %d attempts: %v", ErrRetriesExhausted, rc.opts.MaxTries, lastErr)
+}
+
+// Do executes ops as one one-shot atomic transaction (at-least-once
+// across reconnects; see the type comment).
+func (rc *ReconnectClient) Do(ops []Op) (Response, error) {
+	return rc.do(Request{Type: MsgTxn, Ops: ops})
+}
+
+// Ping probes liveness through the recovery loop.
+func (rc *ReconnectClient) Ping() error {
+	resp, err := rc.do(Request{Type: MsgPing})
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusOK {
+		return fmt.Errorf("kvapi: ping answered %s: %s", resp.Status, resp.Msg)
+	}
+	return nil
+}
+
+// ReplPoll fetches replication-stream bytes through the recovery loop.
+func (rc *ReconnectClient) ReplPoll(stream, seg, off, max int) (Response, error) {
+	return rc.do(Request{Type: MsgReplPoll, Stream: stream, Seg: seg, Off: off, Max: max})
+}

@@ -76,6 +76,19 @@ func writeProm(w io.Writer, s Snapshot) error {
 		}
 	}
 
+	if s.ReplRole != "" {
+		p("# HELP pushpull_repl_role Replication role of this node (primary, follower, promoting).\n")
+		p("# TYPE pushpull_repl_role gauge\n")
+		p("pushpull_repl_role{role=%q} 1\n", s.ReplRole)
+	}
+	if len(s.ReplLag) > 0 {
+		p("# HELP pushpull_repl_lag_records Durable records this replica trails the primary by, per stream.\n")
+		p("# TYPE pushpull_repl_lag_records gauge\n")
+		for _, st := range sortedKeys(s.ReplLag) {
+			p("pushpull_repl_lag_records{stream=%q} %d\n", st, s.ReplLag[st])
+		}
+	}
+
 	if len(s.Requests) > 0 {
 		p("# HELP pushpull_requests_total KV server requests by endpoint and outcome.\n")
 		p("# TYPE pushpull_requests_total counter\n")

@@ -172,6 +172,10 @@ type Metrics struct {
 
 	shardsMu sync.RWMutex
 	shards   map[string]*atomic.Int64 // shard label → in-flight gauge
+
+	replMu   sync.RWMutex
+	replRole string            // primary | follower | promoting ("" = not replicated)
+	replLag  map[string]uint64 // stream label → record lag behind the primary
 }
 
 // New returns an empty Metrics with the default bucket layouts:
@@ -187,6 +191,7 @@ func New() *Metrics {
 		faults:     make(map[string]uint64),
 		reqs:       make(map[string]*endpointStats),
 		shards:     make(map[string]*atomic.Int64),
+		replLag:    make(map[string]uint64),
 	}
 }
 
@@ -338,6 +343,31 @@ func (m *Metrics) ShardInflight(shard string) int64 {
 	return m.shardGauge(shard).Load()
 }
 
+// ReplRoleSet sets the node's replication role gauge (primary,
+// follower, promoting). Exported as pushpull_repl_role.
+func (m *Metrics) ReplRoleSet(role string) {
+	m.replMu.Lock()
+	m.replRole = role
+	m.replMu.Unlock()
+}
+
+// ReplRole reads the current replication role ("" when the node does
+// not replicate).
+func (m *Metrics) ReplRole() string {
+	m.replMu.RLock()
+	defer m.replMu.RUnlock()
+	return m.replRole
+}
+
+// ReplLagSet sets one replication stream's record-lag gauge (primary
+// durable records minus replica applied records). Exported as
+// pushpull_repl_lag_records.
+func (m *Metrics) ReplLagSet(stream string, lag uint64) {
+	m.replMu.Lock()
+	m.replLag[stream] = lag
+	m.replMu.Unlock()
+}
+
 // Snapshot is a plain-value copy of every aggregate. Each counter is
 // internally consistent (monotonic); the snapshot as a whole is taken
 // without stopping writers, so cross-counter sums may be mid-update by
@@ -356,6 +386,8 @@ type Snapshot struct {
 	Faults        map[string]uint64          `json:"faults"`
 	Requests      map[string]RequestSnapshot `json:"requests"`
 	ShardInflight map[string]int64           `json:"shard_inflight,omitempty"`
+	ReplRole      string                     `json:"repl_role,omitempty"`
+	ReplLag       map[string]uint64          `json:"repl_lag_records,omitempty"`
 
 	RetryDepth  HistogramSnapshot `json:"retry_depth"`
 	PushToCmtNs HistogramSnapshot `json:"push_to_cmt_ns"`
@@ -424,6 +456,15 @@ func (m *Metrics) Snapshot() Snapshot {
 		}
 	}
 	m.shardsMu.RUnlock()
+	m.replMu.RLock()
+	s.ReplRole = m.replRole
+	if len(m.replLag) > 0 {
+		s.ReplLag = make(map[string]uint64, len(m.replLag))
+		for stream, lag := range m.replLag {
+			s.ReplLag[stream] = lag
+		}
+	}
+	m.replMu.RUnlock()
 	for i := range m.txs {
 		sh := &m.txs[i]
 		sh.mu.Lock()

@@ -308,3 +308,71 @@ func TestWritePrometheus(t *testing.T) {
 		}
 	}
 }
+
+// TestReplMetricsSnapshotConsistency hammers the replication gauges
+// from writers while snapshotting and rendering concurrently; under
+// -race this proves the replMu discipline, and every snapshot must be
+// internally coherent (a role is always one of the values written, lag
+// entries are always values some writer produced).
+func TestReplMetricsSnapshotConsistency(t *testing.T) {
+	m := metrics.New()
+	roles := []string{"primary", "follower", "promoting"}
+	// Prime both gauges so the final-state assertion is deterministic
+	// even if the scheduler starves the writer goroutines entirely.
+	m.ReplRoleSet(roles[0])
+	m.ReplLagSet("shard-0", 0)
+	m.ReplLagSet("coord", 0)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.ReplRoleSet(roles[(w+i)%len(roles)])
+				m.ReplLagSet("shard-0", uint64(i%7))
+				m.ReplLagSet("coord", uint64(i%3))
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		s := m.Snapshot()
+		if s.ReplRole != "" {
+			ok := false
+			for _, r := range roles {
+				ok = ok || s.ReplRole == r
+			}
+			if !ok {
+				t.Fatalf("snapshot saw impossible role %q", s.ReplRole)
+			}
+		}
+		if lag, present := s.ReplLag["shard-0"]; present && lag > 6 {
+			t.Fatalf("snapshot saw impossible lag %d", lag)
+		}
+		var b strings.Builder
+		if err := m.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	s := m.Snapshot()
+	if s.ReplRole == "" || len(s.ReplLag) != 2 {
+		t.Fatalf("final snapshot lost repl state: role %q, lag %v", s.ReplRole, s.ReplLag)
+	}
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"pushpull_repl_role{role=", `pushpull_repl_lag_records{stream="coord"}`, `pushpull_repl_lag_records{stream="shard-0"}`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}

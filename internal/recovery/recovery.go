@@ -27,7 +27,6 @@ package recovery
 
 import (
 	"fmt"
-	"sort"
 
 	"pushpull/internal/spec"
 	"pushpull/internal/wal"
@@ -147,81 +146,21 @@ func Recover(segs [][]byte) Report {
 			break
 		}
 	}
-	rep.Records = len(recs)
-
-	pending := make(map[uint64]*pendingTxn)
-	var lastStamp uint64
+	// The fold itself lives in Replayer (the incremental form the
+	// replication follower also drives); a one-shot recovery is just
+	// "feed the whole prefix, snapshot once". Pending transactions at
+	// snapshot time are the crash suffix: the model's CMT never happened
+	// for them, so their entries never became visible to any committed
+	// reader (CMT criterion (iii) forces dependents to commit after
+	// their dependencies) — dropping them is sound.
+	rp := NewReplayer()
 	for _, r := range recs {
-		switch r.Type {
-		case wal.TPush:
-			p := pending[r.Tx]
-			if p == nil {
-				p = &pendingTxn{name: r.Name}
-				pending[r.Tx] = p
-			}
-			p.ops = append(p.ops, r.Op)
-		case wal.TUnpush:
-			p := pending[r.Tx]
-			found := false
-			if p != nil {
-				for i := len(p.ops) - 1; i >= 0; i-- {
-					if p.ops[i].ID == r.OpID {
-						p.ops = append(p.ops[:i], p.ops[i+1:]...)
-						found = true
-						break
-					}
-				}
-			}
-			if !found {
-				rep.Anomalies = append(rep.Anomalies,
-					fmt.Sprintf("UNPUSH tx=%d op#%d with no matching PUSH", r.Tx, r.OpID))
-			}
-		case wal.TCommit:
-			p := pending[r.Tx]
-			delete(pending, r.Tx)
-			if r.Stamp <= lastStamp {
-				rep.Anomalies = append(rep.Anomalies,
-					fmt.Sprintf("commit stamp regressed: %d after %d (tx=%d)", r.Stamp, lastStamp, r.Tx))
-			}
-			lastStamp = r.Stamp
-			t := Txn{Tx: r.Tx, Name: r.Name, Stamp: r.Stamp}
-			if p != nil {
-				t.Ops = p.ops
-				sort.SliceStable(t.Ops, func(i, j int) bool { return t.Ops[i].Seq < t.Ops[j].Seq })
-			}
-			rep.State.Txns = append(rep.State.Txns, t)
-		case wal.TAbort:
-			rep.AbortMarks++
-			if p := pending[r.Tx]; p != nil {
-				// Normally empty by now (the UNPUSHes preceded the
-				// mark); if the crash interleaved, drop the remainder.
-				rep.DiscardedOps += len(p.ops)
-				delete(pending, r.Tx)
-			}
-		default:
-			rep.Anomalies = append(rep.Anomalies, fmt.Sprintf("unknown record type %d", r.Type))
-		}
+		rp.Apply(r)
 	}
-
-	// The crash suffix: transactions that pushed but never committed.
-	// The model's CMT never happened for them, so their entries never
-	// became visible to any committed reader (CMT criterion (iii)
-	// forces dependents to commit after their dependencies) — dropping
-	// them is sound.
-	for _, p := range pending {
-		if len(p.ops) > 0 {
-			rep.Discarded++
-			rep.DiscardedOps += len(p.ops)
-		}
-	}
-
-	// Appends are serialized by the shadow machine, so stamps arrive in
-	// order; sort defensively anyway so certification replays a
-	// well-defined sequence even over anomalous input.
-	sort.SliceStable(rep.State.Txns, func(i, j int) bool {
-		return rep.State.Txns[i].Stamp < rep.State.Txns[j].Stamp
-	})
-	return rep
+	snap := rp.Snapshot()
+	snap.SegmentsRead = rep.SegmentsRead
+	snap.Truncated = rep.Truncated
+	return snap
 }
 
 // RecoverLog recovers from a live (possibly crashed) Log's durable

@@ -1,0 +1,39 @@
+package repl
+
+import "fmt"
+
+// CheckPrefixExtension verifies the promotion ordering obligation:
+// every per-stream commit chain held by a follower must be a prefix of
+// the promoted node's corresponding chain — per-shard commit chains in
+// stamp order, plus the coordinator's GSN chain.
+//
+// The obligation is deliberately per stream, not over the Kahn-merged
+// total orders: a merged order is not prefix-stable under extension.
+// Counterexample — follower chains A=[b], B=[] merge to [b], while the
+// fuller chains A=[b], B=[a] merge (lexicographic tie-break) to
+// [a, b]; [b] is not a prefix of [a, b] even though the follower holds
+// strictly less certified history. Per-stream prefixes are the real
+// invariant shipping preserves (streams are appended to in order and
+// delivered in order), and the merged order then embeds every chain by
+// construction — so per-stream prefix extension plus the promoted
+// node's own MergeOrders certificate is exactly "the new primary's
+// global order extends everything any follower ever served".
+func CheckPrefixExtension(promoted, follower [][]string) error {
+	if len(promoted) != len(follower) {
+		return fmt.Errorf("repl: stream count mismatch: promoted %d, follower %d", len(promoted), len(follower))
+	}
+	for s, fc := range follower {
+		pc := promoted[s]
+		if len(fc) > len(pc) {
+			return fmt.Errorf("repl: stream %d: follower chain (%d commits) longer than promoted (%d)",
+				s, len(fc), len(pc))
+		}
+		for i, name := range fc {
+			if pc[i] != name {
+				return fmt.Errorf("repl: stream %d: chains diverge at %d: follower %q, promoted %q",
+					s, i, name, pc[i])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+package repl
+
+import (
+	"errors"
+	"sync"
+
+	"pushpull/internal/chaos"
+)
+
+// LinkStats counts one link's wire activity, faults included.
+type LinkStats struct {
+	Batches    uint64 `json:"batches"`
+	Acked      uint64 `json:"acked"`
+	Dropped    uint64 `json:"dropped"`
+	Duplicated uint64 `json:"duplicated"`
+	Reordered  uint64 `json:"reordered"`
+	GapRejects uint64 `json:"gap_rejects"`
+	Fenced     uint64 `json:"fenced_rejects"`
+	Detached   bool   `json:"detached,omitempty"`
+}
+
+// Link ships batches from a primary to one replica with deterministic
+// drop/duplicate/reorder faults (chaos.Hash01 over a per-link visit
+// counter, so a seeded run replays exactly) and retransmits until the
+// replica acks. Delivery is synchronous: ship returns only when the
+// replica holds the batch — or has fenced the sender off.
+type Link struct {
+	mu      sync.Mutex
+	rep     *Replica
+	seed    int64
+	drop    float64
+	dup     float64
+	reorder float64
+	visit   uint64
+	stats   LinkStats
+	err     error
+	group   *Group
+}
+
+// Replica returns the link's target.
+func (ln *Link) Replica() *Replica { return ln.rep }
+
+// Stats snapshots the link counters.
+func (ln *Link) Stats() LinkStats {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	return ln.stats
+}
+
+// Err returns the link's terminal error, if any (a gap or poison the
+// retransmit protocol could not clear).
+func (ln *Link) Err() error {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	return ln.err
+}
+
+// deliver hands one batch to the replica and classifies the outcome.
+// Returns true when shipping of this batch is finished (acked, or
+// terminally refused).
+func (ln *Link) deliver(b Batch) bool {
+	err := ln.rep.Apply(b)
+	switch {
+	case err == nil:
+		ln.stats.Acked++
+		return true
+	case errors.Is(err, ErrFenced):
+		// A successor reigns. Stop shipping; tell the engine so it
+		// stops acking. The refused batch's commit is deliberately not
+		// acknowledged (Engine.Do withholds the ack once fenced).
+		ln.stats.Fenced++
+		ln.stats.Detached = true
+		if ln.group != nil {
+			ln.group.fencedBy(ln.rep.Epoch())
+		}
+		return true
+	case errors.Is(err, ErrGap):
+		ln.stats.GapRejects++
+		return false
+	default:
+		// Poisoned replica or malformed batch: no retry fixes it.
+		ln.stats.Detached = true
+		if ln.err == nil {
+			ln.err = err
+		}
+		return true
+	}
+}
+
+// ship delivers one batch through the fault model, retransmitting
+// until acked. Faults are decided per transmission attempt; because a
+// "drop" just burns an attempt and the protocol retransmits, shipping
+// always terminates (a deterministic hash cannot drop forever below
+// rate 1, and a hard cap forces the final attempt clean).
+func (ln *Link) ship(b Batch) {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	if ln.stats.Detached {
+		return
+	}
+	ln.stats.Batches++
+	for attempt := 0; ; attempt++ {
+		h := chaos.Hash01(ln.seed, "repl/link", ln.visit)
+		ln.visit++
+		forced := attempt >= 64 // safety cap: final retransmit is clean
+		switch {
+		case !forced && h < ln.drop:
+			// Lost on the wire: the shipper times out and retransmits.
+			ln.stats.Dropped++
+			continue
+		case !forced && h < ln.drop+ln.dup:
+			// Delivered twice: the second copy must be trimmed as a
+			// pure duplicate by the replica's overlap check.
+			ln.stats.Duplicated++
+			if !ln.deliver(b) {
+				continue
+			}
+			ln.deliver(b)
+			return
+		case !forced && h < ln.drop+ln.dup+ln.reorder && len(b.Data) > 1:
+			// Split and deliver out of order: the second half arrives
+			// first, which the replica must gap-reject; the retransmit
+			// then lands both halves in order.
+			ln.stats.Reordered++
+			mid := len(b.Data) / 2
+			first := Batch{Stream: b.Stream, Seg: b.Seg, Off: b.Off, Data: b.Data[:mid], Epoch: b.Epoch}
+			second := Batch{Stream: b.Stream, Seg: b.Seg, Off: b.Off + mid, Data: b.Data[mid:], Epoch: b.Epoch}
+			ln.deliver(second) // expected ErrGap (unless a duplicate overlap absorbs it)
+			if ln.stats.Detached {
+				return
+			}
+			if ln.deliver(first) && ln.deliver(second) {
+				return
+			}
+			continue
+		default:
+			if ln.deliver(b) {
+				return
+			}
+		}
+		if ln.stats.Detached {
+			return
+		}
+		if attempt > 80 {
+			// A clean in-order transmission was still refused: the
+			// replica is terminally behind (a gap retransmits cannot
+			// close from here). Give up on this link.
+			ln.stats.Detached = true
+			if ln.err == nil {
+				ln.err = errors.New("repl: link gave up after repeated refusals")
+			}
+			return
+		}
+	}
+}
+
+// Group fans one primary's ship seam out to every attached link —
+// synchronously, inside the primary's durability barrier, so a commit
+// is acked only after every live replica holds its bytes. Attach it
+// via shard.Options.Ship before building the engine; replicas added
+// before the engine boots see the stream from byte zero (the boot
+// checkpoint re-log included).
+type Group struct {
+	mu       sync.Mutex
+	epoch    uint64
+	links    []*Link
+	onFenced func(epoch uint64)
+}
+
+// NewGroup builds a shipper group stamping batches with epoch.
+func NewGroup(epoch uint64) *Group {
+	if epoch == 0 {
+		epoch = 1
+	}
+	return &Group{epoch: epoch}
+}
+
+// Epoch returns the stamping epoch.
+func (g *Group) Epoch() uint64 { return g.epoch }
+
+// OnFenced installs the zombie-detection callback, invoked (once per
+// refusing link, possibly from inside a WAL durability barrier) when a
+// replica reports a higher epoch. Wire it to Engine.Fence.
+func (g *Group) OnFenced(fn func(epoch uint64)) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.onFenced = fn
+}
+
+func (g *Group) fencedBy(epoch uint64) {
+	g.mu.Lock()
+	fn := g.onFenced
+	g.mu.Unlock()
+	if fn != nil {
+		fn(epoch)
+	}
+}
+
+// Add attaches a replica behind a faulty link (rates in [0,1); zero
+// rates make a perfect link).
+func (g *Group) Add(r *Replica, seed int64, drop, dup, reorder float64) *Link {
+	ln := &Link{rep: r, seed: seed, drop: drop, dup: dup, reorder: reorder, group: g}
+	g.mu.Lock()
+	g.links = append(g.links, ln)
+	g.mu.Unlock()
+	return ln
+}
+
+// Links snapshots the attached links.
+func (g *Group) Links() []*Link {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]*Link(nil), g.links...)
+}
+
+// Ship implements shard.Options.Ship: fan the byte range out to every
+// link, synchronously. Called inside the owning log's durability
+// barrier — it must not call back into the engine's logs (it doesn't:
+// replicas are passive state).
+func (g *Group) Ship(stream, seg, off int, data []byte) {
+	b := Batch{Stream: stream, Seg: seg, Off: off, Data: data, Epoch: g.epoch}
+	for _, ln := range g.Links() {
+		ln.ship(b)
+	}
+}

@@ -1,0 +1,311 @@
+package repl_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pushpull/internal/chaos"
+	"pushpull/internal/repl"
+	"pushpull/internal/shard"
+)
+
+// crossPair finds a pair of keys below limit living on different
+// shards (so a two-key transaction is genuinely cross-shard).
+func crossPair(router shard.Router, limit uint64) (uint64, uint64) {
+	for a := uint64(0); a < limit; a++ {
+		for b := a + 1; b < limit; b++ {
+			if router.Shard(a) != router.Shard(b) {
+				return a, b
+			}
+		}
+	}
+	panic("no cross-shard pair")
+}
+
+func TestShipAndServe(t *testing.T) {
+	const shards, keys = 3, 32
+	cfg := repl.Config{Substrate: "tl2", Shards: shards, Keys: keys}
+	clean := repl.NewReplica(cfg)
+	faulty := repl.NewReplica(cfg)
+	g := repl.NewGroup(1)
+	g.Add(clean, 1, 0, 0, 0)
+	fl := g.Add(faulty, 99, 0.25, 0.2, 0.15)
+
+	eng, err := shard.New(shard.Options{
+		Shards: shards, Substrate: "tl2", Keys: keys, Seed: 7,
+		Durable: true, Ship: g.Ship,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Epoch() != 1 {
+		t.Fatalf("shipping engine epoch = %d, want 1", eng.Epoch())
+	}
+	rng := rand.New(rand.NewSource(11))
+	ka, kb := crossPair(eng.Router(), keys)
+	for i := 0; i < 300; i++ {
+		if rng.Intn(3) == 0 {
+			_, _, err = eng.Do([]shard.Op{
+				{Kind: shard.OpPut, Key: ka, Val: int64(i)},
+				{Kind: shard.OpPut, Key: kb, Val: int64(i)},
+			})
+		} else {
+			_, _, err = eng.Do([]shard.Op{
+				{Kind: shard.OpPut, Key: uint64(rng.Intn(keys)), Val: int64(i)},
+			})
+		}
+		if err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, rep := range []*repl.Replica{clean, faulty} {
+		if err := rep.Poisoned(); err != nil {
+			t.Fatal(err)
+		}
+		for k := uint64(0); k < keys; k++ {
+			want, _ := eng.ReadKey(k)
+			got, found := rep.Get(k)
+			if !found || got != want {
+				t.Fatalf("replica read key %d = (%d,%v), primary has %d", k, got, found, want)
+			}
+		}
+		if _, err := rep.Certify(); err != nil {
+			t.Fatalf("replica failed certification: %v", err)
+		}
+	}
+	// Both replicas hold the full stream, so their chains must agree
+	// exactly (each a prefix of the other).
+	if err := repl.CheckPrefixExtension(clean.Chains(), faulty.Chains()); err != nil {
+		t.Fatal(err)
+	}
+	if err := repl.CheckPrefixExtension(faulty.Chains(), clean.Chains()); err != nil {
+		t.Fatal(err)
+	}
+	ls := fl.Stats()
+	if ls.Dropped+ls.Duplicated+ls.Reordered == 0 {
+		t.Fatalf("faulty link injected nothing: %+v", ls)
+	}
+	if fs := faulty.Stats(); fs.Duplicates+fs.Gaps == 0 {
+		t.Fatalf("faulty stream exercised no dedup/gap handling: %+v", fs)
+	}
+	if cs := clean.Stats(); cs.Gaps != 0 || cs.Duplicates != 0 {
+		t.Fatalf("clean link saw faults: %+v", cs)
+	}
+}
+
+// TestFailover kills the primary mid-workload (deterministic WAL crash
+// plus coordinator death sites armed) and drives the full promotion:
+// certify both replicas, promote the most advanced one, check the
+// per-stream prefix-extension obligation, restart an engine from the
+// promoted image at the next epoch, and verify no acknowledged write
+// was lost and no transaction is in doubt.
+func TestFailover(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			const shards, keys = 4, 32
+			cfg := repl.Config{Substrate: "tl2", Shards: shards, Keys: keys}
+			repA := repl.NewReplica(cfg)
+			repB := repl.NewReplica(cfg)
+			g := repl.NewGroup(1)
+			g.Add(repA, seed, 0.2, 0.15, 0.1)
+			g.Add(repB, seed+1000, 0.1, 0.1, 0.2)
+
+			plan := chaos.NewPlan(seed).
+				WithRate(chaos.SiteCoordPrepared, 0.02).
+				WithRate(chaos.SiteCoordCommit, 0.02).
+				WithCrash(uint64(40+seed*13), chaos.CrashClean)
+			eng, err := shard.New(shard.Options{
+				Shards: shards, Substrate: "tl2", Keys: keys, Seed: seed,
+				Durable: true, Ship: g.Ship, Plan: &plan,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			rng := rand.New(rand.NewSource(seed))
+			ka, kb := crossPair(eng.Router(), keys)
+			acked := make(map[uint64]int64)
+			for i := 1; i <= 400; i++ {
+				v := int64(i)
+				var ops []shard.Op
+				if rng.Intn(3) == 0 {
+					ops = []shard.Op{
+						{Kind: shard.OpPut, Key: ka, Val: v},
+						{Kind: shard.OpPut, Key: kb, Val: v},
+					}
+				} else {
+					ops = []shard.Op{{Kind: shard.OpPut, Key: uint64(rng.Intn(keys)), Val: v}}
+				}
+				_, _, err := eng.Do(ops)
+				// An ack only counts while the process lives: after the
+				// simulated death the in-memory engine is a ghost whose
+				// "acks" no real client would ever have received.
+				if err == nil && !eng.Crashed() {
+					for _, op := range ops {
+						acked[op.Key] = op.Val
+					}
+				}
+			}
+			if !eng.Crashed() {
+				t.Fatal("chaos plan never killed the primary; test exercised nothing")
+			}
+			eng.Kill()
+
+			// The primary's own durable image must certify; it is the
+			// reference for what the cluster durably committed.
+			primaryRep, err := shard.RecoverAndCertifyImage(eng.Image(), "tl2")
+			if err != nil {
+				t.Fatalf("primary image: %v", err)
+			}
+
+			// Both replicas certify; promote the more advanced one.
+			for _, r := range []*repl.Replica{repA, repB} {
+				if err := r.Poisoned(); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := r.Certify(); err != nil {
+					t.Fatalf("replica certification: %v", err)
+				}
+			}
+			promoted, other := repA, repB
+			if total(repB) > total(repA) {
+				promoted, other = repB, repA
+			}
+			promRep, err := promoted.Certify()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if promRep.InDoubt != 0 {
+				t.Fatalf("%d transactions in doubt after promotion", promRep.InDoubt)
+			}
+			if err := repl.CheckPrefixExtension(promoted.Chains(), other.Chains()); err != nil {
+				t.Fatal(err)
+			}
+
+			// Clean crash ⇒ the primary's durable image is exactly the
+			// shipped prefix, so the promoted recovery must match the
+			// primary's own recovery transaction for transaction.
+			if got, want := promRep.RecoveredTxns(), primaryRep.RecoveredTxns(); got != want {
+				t.Fatalf("promoted recovered %d txns, primary image has %d", got, want)
+			}
+
+			// Serve from the promoted image at the next epoch.
+			eng2, err := shard.New(shard.Options{
+				Shards: shards, Substrate: "tl2", Keys: keys, Seed: seed,
+				Durable: true, RecoverFrom: promoted.Image(), Epoch: promRep.Epoch + 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eng2.Recovered().InDoubt != 0 {
+				t.Fatalf("in-doubt after restart: %d", eng2.Recovered().InDoubt)
+			}
+			for k, v := range acked {
+				got, _ := eng2.ReadKey(k)
+				if got < v {
+					t.Fatalf("acknowledged write lost: key %d = %d, acked %d", k, got, v)
+				}
+			}
+			// The cross-shard pair must be atomic: both sides always
+			// written together.
+			va, _ := eng2.ReadKey(ka)
+			vb, _ := eng2.ReadKey(kb)
+			if va != vb {
+				t.Fatalf("cross-shard pair torn after failover: %d vs %d", va, vb)
+			}
+			if _, _, err := eng2.Do([]shard.Op{{Kind: shard.OpPut, Key: 0, Val: 1}}); err != nil {
+				t.Fatalf("promoted engine refuses writes: %v", err)
+			}
+			if err := eng2.FinalCheck(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func total(r *repl.Replica) uint64 {
+	var n uint64
+	for s := 0; s < r.Config().Streams(); s++ {
+		n += r.AppliedRecords(s)
+	}
+	return n
+}
+
+// TestFencing promotes a replica while the old primary is still alive
+// (the false-suspicion / partition case) and verifies the zombie is
+// fenced: the new generation's replica refuses its stale batches, the
+// zombie engine stops acknowledging, and its coordinator log refuses
+// further decisions.
+func TestFencing(t *testing.T) {
+	const shards, keys = 2, 16
+	cfg := repl.Config{Substrate: "tl2", Shards: shards, Keys: keys}
+	repA := repl.NewReplica(cfg)
+	g := repl.NewGroup(1)
+	g.Add(repA, 5, 0, 0, 0)
+	eng, err := shard.New(shard.Options{
+		Shards: shards, Substrate: "tl2", Keys: keys, Seed: 3,
+		Durable: true, Ship: g.Ship,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.OnFenced(eng.Fence)
+	for i := 0; i < 50; i++ {
+		if _, _, err := eng.Do([]shard.Op{{Kind: shard.OpPut, Key: uint64(i % keys), Val: int64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Promote repA without killing the primary (it is partitioned away,
+	// not dead). The new generation re-seeds fresh replicas from the new
+	// primary's boot checkpoint stream.
+	mr, err := repA.Certify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2 := repl.NewReplica(cfg)
+	g2 := repl.NewGroup(mr.Epoch + 1)
+	g2.Add(rep2, 6, 0, 0, 0)
+	eng2, err := shard.New(shard.Options{
+		Shards: shards, Substrate: "tl2", Keys: keys, Seed: 3,
+		Durable: true, RecoverFrom: repA.Image(), Epoch: mr.Epoch + 1, Ship: g2.Ship,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Epoch() != mr.Epoch+1 {
+		t.Fatalf("new-generation replica epoch = %d, want %d", rep2.Epoch(), mr.Epoch+1)
+	}
+
+	// The partition heals: the zombie's group now reaches the
+	// new-generation replica — which fences it off.
+	g.Add(rep2, 7, 0, 0, 0)
+	_, _, err = eng.Do([]shard.Op{{Kind: shard.OpPut, Key: 1, Val: 999}})
+	if !errors.Is(err, shard.ErrFenced) {
+		t.Fatalf("zombie commit not fenced: %v", err)
+	}
+	if !eng.Fenced() {
+		t.Fatal("zombie engine not marked fenced")
+	}
+	if _, _, err := eng.Do([]shard.Op{{Kind: shard.OpGet, Key: 1}}); !errors.Is(err, shard.ErrFenced) {
+		t.Fatalf("fenced engine still serving: %v", err)
+	}
+	if rs := rep2.Stats(); rs.Fenced == 0 {
+		t.Fatalf("replica recorded no fenced rejects: %+v", rs)
+	}
+	// The new primary keeps serving.
+	if _, _, err := eng2.Do([]shard.Op{{Kind: shard.OpPut, Key: 2, Val: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng2.FinalCheck(); err != nil {
+		t.Fatal(err)
+	}
+	_ = mr
+}

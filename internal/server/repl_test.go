@@ -1,0 +1,189 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"pushpull/internal/kvapi"
+)
+
+// waitCaughtUp syncs the follower until every stream's lag gauge reads
+// zero (bounded; the primary is quiescent when this is called).
+func waitCaughtUp(t *testing.T, f *Server) {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		if _, err := f.SyncNow(); err != nil {
+			t.Fatalf("sync: %v", err)
+		}
+		lagging := false
+		for _, lag := range f.ReplLag() {
+			lagging = lagging || lag != 0
+		}
+		if !lagging {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("follower never caught up: lag %v", f.ReplLag())
+}
+
+// TestReplSmoke is the three-node campaign: a replicated primary and
+// two followers over real TCP, redirect-following client traffic, one
+// forced failover with a certified promotion, the surviving follower
+// re-pointed at the new primary, and a certified shutdown of everyone.
+func TestReplSmoke(t *testing.T) {
+	const shards, keys = 3, 48
+	prim, err := New(Options{
+		Substrate: "tl2", Shards: shards, Keys: keys, Seed: 5,
+		Replicate: true, SegmentBytes: 2 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrP, err := prim.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newFollower := func(seed int64) (*Server, string) {
+		f, err := New(Options{
+			Substrate: "tl2", Shards: shards, Keys: keys, Seed: seed,
+			Follow: addrP.String(), PollInterval: 2 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr, err := f.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f, addr.String()
+	}
+	f1, addr1 := newFollower(6)
+	f2, addr2 := newFollower(7)
+
+	if got := prim.Role(); got != rolePrimary {
+		t.Fatalf("primary role %q", got)
+	}
+	if got := f1.Role(); got != roleFollower {
+		t.Fatalf("follower role %q", got)
+	}
+
+	// Writes aimed at a follower redirect to the primary and land.
+	rc := kvapi.NewReconnectClient(addr1, kvapi.ReconnectOptions{
+		Seed: 9, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond,
+	})
+	defer rc.Close()
+	acked := make(map[uint64]int64)
+	for i := 0; i < 120; i++ {
+		k, v := uint64(i%keys), int64(1000+i)
+		resp, err := rc.Do([]kvapi.Op{{Kind: kvapi.OpPut, Key: k, Val: v}})
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if resp.Status != kvapi.StatusOK {
+			t.Fatalf("write %d: %s %s", i, resp.Status, resp.Msg)
+		}
+		acked[k] = v
+	}
+	if rc.Stats().Redirects == 0 {
+		t.Fatal("client was never redirected off the follower")
+	}
+	if rc.Addr() != addrP.String() {
+		t.Fatalf("client targets %s, primary is %s", rc.Addr(), addrP)
+	}
+
+	// Followers converge; their committed prefix serves the reads.
+	waitCaughtUp(t, f1)
+	waitCaughtUp(t, f2)
+	rdr, err := kvapi.Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range acked {
+		resp, err := rdr.Do([]kvapi.Op{{Kind: kvapi.OpGet, Key: k}})
+		if err != nil || resp.Status != kvapi.StatusOK {
+			t.Fatalf("follower read %d: %v %s", k, err, resp.Status)
+		}
+		if !resp.Results[0].Found || resp.Results[0].Val != v {
+			t.Fatalf("follower read %d: got (%d,%v), want %d",
+				k, resp.Results[0].Val, resp.Results[0].Found, v)
+		}
+	}
+	rdr.Close()
+	st := f2.Stats()
+	if st.Role != roleFollower || st.Epoch == 0 || st.ReplReads == 0 {
+		t.Fatalf("follower stats off: %+v", st)
+	}
+
+	// Failover: the primary dies; f1 promotes with a certificate.
+	prim.Stop()
+	mr, err := f1.Promote()
+	if err != nil {
+		t.Fatalf("promotion: %v", err)
+	}
+	if len(mr.MergedOrder) == 0 {
+		t.Fatal("promotion certificate has an empty merged order")
+	}
+	if got := f1.Role(); got != rolePrimary {
+		t.Fatalf("promoted role %q", got)
+	}
+	if e := f1.Stats().Epoch; e < 2 {
+		t.Fatalf("promoted epoch %d, want >= 2", e)
+	}
+
+	// The survivor re-follows the new primary — a new timeline, so its
+	// replica restarts from byte zero — and converges again.
+	if err := f2.Refollow(addr1); err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, f2)
+
+	// No acknowledged write was lost, and the new primary serves both
+	// sides of the cut: reads of the old state and fresh writes.
+	rc.Retarget(addr1)
+	for k, v := range acked {
+		resp, err := rc.Do([]kvapi.Op{{Kind: kvapi.OpGet, Key: k}})
+		if err != nil || resp.Status != kvapi.StatusOK {
+			t.Fatalf("post-failover read %d: %v %s", k, err, resp.Status)
+		}
+		if resp.Results[0].Val != v {
+			t.Fatalf("post-failover read %d: got %d, want %d", k, resp.Results[0].Val, v)
+		}
+	}
+	resp, err := rc.Do([]kvapi.Op{{Kind: kvapi.OpPut, Key: 3, Val: 4242}})
+	if err != nil || resp.Status != kvapi.StatusOK {
+		t.Fatalf("post-failover write: %v %s", err, resp.Status)
+	}
+
+	// A client aimed at the re-pointed follower still lands its writes
+	// (redirected to the new primary) and serves its reads locally.
+	rc2 := kvapi.NewReconnectClient(addr2, kvapi.ReconnectOptions{
+		Seed: 11, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond,
+	})
+	defer rc2.Close()
+	if resp, err := rc2.Do([]kvapi.Op{{Kind: kvapi.OpPut, Key: 5, Val: 5555}}); err != nil || resp.Status != kvapi.StatusOK {
+		t.Fatalf("follower-aimed write: %v %+v", err, resp)
+	}
+	waitCaughtUp(t, f2)
+	rdr2, err := kvapi.Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := rdr2.Do([]kvapi.Op{{Kind: kvapi.OpGet, Key: 5}}); err != nil ||
+		resp.Status != kvapi.StatusOK || resp.Results[0].Val != 5555 {
+		t.Fatalf("follower read of fresh write: %v %+v", err, resp)
+	}
+	rdr2.Close()
+
+	// Certified shutdown, everyone.
+	f1.Stop()
+	f2.Stop()
+	for name, srv := range map[string]*Server{"promoted": f1, "survivor": f2} {
+		if err := srv.FinalCheck(); err != nil {
+			t.Fatalf("%s final check: %v", name, err)
+		}
+		if err := srv.LeakCheck(); err != nil {
+			t.Fatalf("%s leak check: %v", name, err)
+		}
+	}
+}

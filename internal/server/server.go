@@ -14,6 +14,7 @@ import (
 	"pushpull/internal/kvapi"
 	"pushpull/internal/obs"
 	"pushpull/internal/recovery"
+	"pushpull/internal/repl"
 	"pushpull/internal/serial"
 	"pushpull/internal/shard"
 	"pushpull/internal/wal"
@@ -72,6 +73,27 @@ type Options struct {
 
 	// Suite receives all telemetry (default: a fresh obs.New()).
 	Suite *obs.Suite
+
+	// Replicate serves the replication poll endpoint (MsgReplPoll):
+	// the server runs through the sharded engine even at Shards == 1,
+	// with durable WALs forced on, so followers can stream its logs.
+	Replicate bool
+	// Epoch is the serving generation branded into the coordinator log
+	// (zero means epoch 1 when replicating); a server taking over from
+	// a dead primary passes the predecessor's epoch + 1.
+	Epoch uint64
+	// Advertise is the address write traffic should be redirected to.
+	// On a follower it names the primary; on a primary it is unused.
+	Advertise string
+	// Follow makes this server a read-only follower of the primary at
+	// the given address: it builds no substrate of its own, polls the
+	// primary's durable streams into a warm-standby replica, serves
+	// read-only transactions from the committed prefix, and redirects
+	// writes to Advertise (or Follow when Advertise is empty). Shards,
+	// Substrate, and Keys must match the primary's.
+	Follow string
+	// PollInterval paces the follower's catch-up loop (default 5ms).
+	PollInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -93,6 +115,21 @@ func (o Options) withDefaults() Options {
 	if o.MaxQueue < 0 {
 		o.MaxQueue = 0
 	}
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 5 * time.Millisecond
+	}
+	if o.Follow != "" && o.Advertise == "" {
+		o.Advertise = o.Follow
+	}
+	if o.Replicate && o.WALDir == "" {
+		o.Durable = true // followers poll durable bytes; there must be some
+	}
+	if o.Replicate && o.Epoch == 0 {
+		o.Epoch = 1 // brand the stream so fencing has a generation to compare
+	}
 	return o
 }
 
@@ -109,6 +146,16 @@ type Server struct {
 
 	recovered recovery.Report
 	seeded    int
+
+	// Replication (nil/empty on an unreplicated server). role is
+	// guarded by replMu: "primary", "follower", or "promoting".
+	replMu   sync.RWMutex
+	role     string
+	replica  *repl.Replica
+	puller   *repl.Puller
+	upstream *kvapi.ReconnectClient
+	pollStop chan struct{}
+	pollWG   sync.WaitGroup
 
 	seq      atomic.Uint64 // transaction name counter
 	sessions atomic.Int64  // open interactive sessions
@@ -136,9 +183,17 @@ func New(opts Options) (*Server, error) {
 	s := &Server{opts: opts, suite: suite, conns: make(map[net.Conn]struct{})}
 	s.gate = newGate(opts.MaxInflight, opts.MaxQueue)
 
+	// A follower builds no substrate: it folds the primary's shipped
+	// bytes into a warm standby and serves reads from that.
+	if opts.Follow != "" {
+		return s.newFollower()
+	}
+
 	// The sharded engine owns recovery, WALs, backends, and chaos for
 	// every partition; the server keeps admission control and the wire.
-	if opts.Shards > 1 {
+	// Replicated serving always runs through the engine (even with one
+	// shard): it owns the durable streams followers poll.
+	if opts.Shards > 1 || opts.Replicate {
 		eng, err := shard.New(shard.Options{
 			Shards: opts.Shards, Substrate: opts.Substrate, Keys: opts.Keys,
 			Seed: opts.Seed, DisableCert: opts.DisableCert,
@@ -147,12 +202,17 @@ func New(opts Options) (*Server, error) {
 			SyncPolicy: opts.SyncPolicy, GroupEvery: opts.GroupEvery,
 			SegmentBytes: opts.SegmentBytes,
 			RecoverFrom:  opts.RecoverFromImage, Suite: suite,
+			Epoch: opts.Epoch,
 		})
 		if err != nil {
 			return nil, err
 		}
 		s.eng = eng
 		s.group = NewGroupCommit(nil) // unused; keeps Stats total
+		if opts.Replicate {
+			s.role = rolePrimary
+			suite.Metrics.ReplRoleSet(rolePrimary)
+		}
 		return s, nil
 	}
 
@@ -355,19 +415,37 @@ func (cs *connState) open() bool { return cs.sess != nil || cs.stx != nil }
 func (s *Server) dispatch(cs *connState, req kvapi.Request) kvapi.Response {
 	t0 := time.Now()
 	var resp kvapi.Response
+	// A follower (or a mid-promotion server, whose engine is not yet
+	// serving) answers read-only one-shots from the replica and points
+	// everything transactional at the primary.
+	follower := false
+	switch s.Role() {
+	case roleFollower, rolePromoting:
+		follower = true
+	}
 	switch req.Type {
 	case kvapi.MsgPing:
 		resp = kvapi.Response{Status: kvapi.StatusOK}
 	case kvapi.MsgTxn:
-		resp = s.doTxn(req.Ops)
+		if follower {
+			resp = s.doTxnFollower(req.Ops)
+		} else {
+			resp = s.doTxn(req.Ops)
+		}
 	case kvapi.MsgBegin:
-		resp = s.doBegin(cs)
+		if follower {
+			resp = s.redirectResponse()
+		} else {
+			resp = s.doBegin(cs)
+		}
 	case kvapi.MsgGet, kvapi.MsgPut:
 		resp = s.doOp(cs, req)
 	case kvapi.MsgCommit:
 		resp = s.doEnd(cs, true)
 	case kvapi.MsgAbort:
 		resp = s.doEnd(cs, false)
+	case kvapi.MsgReplPoll:
+		resp = s.doReplPoll(req)
 	default:
 		resp = kvapi.Response{Status: kvapi.StatusError,
 			Msg: fmt.Sprintf("unknown message type %d", byte(req.Type))}
@@ -386,13 +464,21 @@ func (s *Server) DoTxn(ops []kvapi.Op) kvapi.Response {
 }
 
 func (s *Server) doTxn(ops []kvapi.Op) kvapi.Response {
+	s.replMu.RLock()
+	eng := s.eng
+	s.replMu.RUnlock()
+	if eng == nil && s.be == nil {
+		// A follower reached outside dispatch (the HTTP fallback):
+		// read-only one-shots are served, everything else redirects.
+		return s.doTxnFollower(ops)
+	}
 	ok, hint := s.gate.acquire()
 	if !ok {
 		return busyResponse(hint)
 	}
 	defer s.gate.release()
-	if s.eng != nil {
-		return s.doTxnSharded(ops)
+	if eng != nil {
+		return s.doTxnSharded(eng, ops)
 	}
 	results := make([]kvapi.Result, len(ops))
 	attempts := uint32(0)
@@ -429,7 +515,7 @@ func (s *Server) doTxn(ops []kvapi.Op) kvapi.Response {
 
 // doTxnSharded routes a one-shot transaction through the sharded
 // engine (gate already held).
-func (s *Server) doTxnSharded(ops []kvapi.Op) kvapi.Response {
+func (s *Server) doTxnSharded(eng *shard.Engine, ops []kvapi.Op) kvapi.Response {
 	sops := make([]shard.Op, len(ops))
 	for i, op := range ops {
 		sops[i] = shard.Op{Key: op.Key, Val: op.Val}
@@ -439,7 +525,7 @@ func (s *Server) doTxnSharded(ops []kvapi.Op) kvapi.Response {
 			sops[i].Kind = shard.OpPut
 		}
 	}
-	res, retries, err := s.eng.Do(sops)
+	res, retries, err := eng.Do(sops)
 	if err != nil {
 		return abortResponse(err, retries)
 	}
@@ -459,8 +545,11 @@ func (s *Server) doBegin(cs *connState) kvapi.Response {
 		return busyResponse(hint)
 	}
 	s.sessions.Add(1)
-	if s.eng != nil {
-		cs.stx = s.eng.Begin()
+	s.replMu.RLock()
+	eng := s.eng
+	s.replMu.RUnlock()
+	if eng != nil {
+		cs.stx = eng.Begin()
 		return kvapi.Response{Status: kvapi.StatusOK}
 	}
 	sess := newSession(sessionName(s.seq.Add(1)))
@@ -601,11 +690,18 @@ func (s *Server) Stop() {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	s.stopPolling()
 	if s.log != nil {
 		_ = s.log.Close() // a simulated-crash log refuses; that's fine
 	}
-	if s.eng != nil {
-		_ = s.eng.Close()
+	s.replMu.RLock()
+	eng, up := s.eng, s.upstream
+	s.replMu.RUnlock()
+	if eng != nil {
+		_ = eng.Close()
+	}
+	if up != nil {
+		_ = up.Close()
 	}
 }
 
@@ -627,12 +723,23 @@ type Stats struct {
 	SeededTxns    int    `json:"seeded_txns"`
 	InDoubtFixed  int    `json:"in_doubt_resolved,omitempty"`
 	WALCrashed    bool   `json:"wal_crashed"`
+
+	// Replicated serving (empty when unreplicated).
+	Role       string            `json:"role,omitempty"`
+	Epoch      uint64            `json:"epoch,omitempty"`
+	ReplLag    map[string]uint64 `json:"repl_lag_records,omitempty"`
+	Watermarks []repl.Cursor     `json:"repl_watermarks,omitempty"`
+	ReplReads  uint64            `json:"repl_read_txns,omitempty"`
+	Poisoned   bool              `json:"repl_poisoned,omitempty"`
 }
 
 // Stats snapshots the server.
 func (s *Server) Stats() Stats {
-	if s.eng != nil {
-		es := s.eng.Stats()
+	s.replMu.RLock()
+	role, eng, replica := s.role, s.eng, s.replica
+	s.replMu.RUnlock()
+	if eng != nil {
+		es := eng.Stats()
 		return Stats{
 			Substrate: s.opts.Substrate, Shards: es.Shards,
 			Commits: es.Commits, Aborts: es.Aborts,
@@ -643,7 +750,29 @@ func (s *Server) Stats() Stats {
 			GroupBarriers: es.GroupBarriers, GroupSyncs: es.GroupSyncs,
 			RecoveredTxns: es.RecoveredTxns, SeededTxns: es.SeededTxns,
 			InDoubtFixed: es.InDoubtFixed, WALCrashed: es.WALCrashed,
+			Role: role, Epoch: eng.Epoch(),
 		}
+	}
+	if replica != nil {
+		rs := replica.Stats()
+		st := Stats{
+			Substrate: s.opts.Substrate, Shards: s.opts.Shards,
+			Sessions: s.sessions.Load(), InFlight: s.gate.inFlight(),
+			Rejected: s.gate.rejectedCount(),
+			Role:     role, Epoch: rs.Epoch,
+			ReplLag: s.ReplLag(), ReplReads: rs.ReadTxns,
+			Poisoned: rs.Poisoned,
+		}
+		for i, ss := range rs.Streams {
+			st.Watermarks = append(st.Watermarks, ss.Watermark)
+			// Commits counts committed branches folded onto the read
+			// image (cross-shard txns count once per shard; the last
+			// stream is the coordinator and is excluded).
+			if i < s.opts.Shards {
+				st.Commits += uint64(ss.Committed)
+			}
+		}
+		return st
 	}
 	commits, aborts := s.be.Stats()
 	barriers, syncs := s.group.Stats()
@@ -671,8 +800,8 @@ func (s *Server) Recovered() recovery.Report { return s.recovered }
 
 // GroupStats reports the commit-batching amortization counters.
 func (s *Server) GroupStats() (barriers, syncs uint64) {
-	if s.eng != nil {
-		return s.eng.GroupStats()
+	if eng := s.Engine(); eng != nil {
+		return eng.GroupStats()
 	}
 	return s.group.Stats()
 }
@@ -685,30 +814,37 @@ func (s *Server) WALSegments() [][]byte {
 	return s.log.Segments()
 }
 
-// Engine exposes the sharded engine (nil when Shards <= 1).
-func (s *Server) Engine() *shard.Engine { return s.eng }
+// Engine exposes the sharded engine (nil when unsharded and
+// unreplicated, or on a not-yet-promoted follower).
+func (s *Server) Engine() *shard.Engine {
+	s.replMu.RLock()
+	defer s.replMu.RUnlock()
+	return s.eng
+}
 
 // ShardImage returns the sharded durable image (for simulated-crash
 // restart through Options.RecoverFromImage); nil when not sharded.
 func (s *Server) ShardImage() *shard.Image {
-	if s.eng == nil {
+	eng := s.Engine()
+	if eng == nil {
 		return nil
 	}
-	return s.eng.Image()
+	return eng.Image()
 }
 
 // ShardRecovered reports the sharded recovery certificate.
 func (s *Server) ShardRecovered() shard.MultiReport {
-	if s.eng == nil {
+	eng := s.Engine()
+	if eng == nil {
 		return shard.MultiReport{}
 	}
-	return s.eng.Recovered()
+	return eng.Recovered()
 }
 
 // WALCrashed reports whether the simulated process death fired.
 func (s *Server) WALCrashed() bool {
-	if s.eng != nil {
-		return s.eng.Crashed()
+	if eng := s.Engine(); eng != nil {
+		return eng.Crashed()
 	}
 	return s.log != nil && s.log.Crashed()
 }
@@ -726,8 +862,14 @@ func (s *Server) LeakCheck() error {
 	if err := s.suite.LeakCheck(); err != nil {
 		return err
 	}
-	if s.eng != nil {
-		return s.eng.LeakCheck()
+	s.replMu.RLock()
+	eng := s.eng
+	s.replMu.RUnlock()
+	if eng != nil {
+		return eng.LeakCheck()
+	}
+	if s.be == nil {
+		return nil // follower: no substrate of its own
 	}
 	return s.be.LeakCheck()
 }
@@ -736,8 +878,20 @@ func (s *Server) LeakCheck() error {
 // final check, its invariants, commit-order serializability over the
 // certified window, substrate conservation laws, and WAL I/O health.
 func (s *Server) FinalCheck() error {
-	if s.eng != nil {
-		return s.eng.FinalCheck()
+	s.replMu.RLock()
+	eng, replica := s.eng, s.replica
+	s.replMu.RUnlock()
+	if eng != nil {
+		return eng.FinalCheck()
+	}
+	if replica != nil {
+		// A follower's certificate is the full recovery certificate
+		// over its shipped bytes — exactly what a promotion would run.
+		if err := replica.Poisoned(); err != nil {
+			return err
+		}
+		_, err := replica.Certify()
+		return err
 	}
 	if err := s.be.CheckInvariant(); err != nil {
 		return err

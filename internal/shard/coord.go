@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // The coordinator log is the cross-shard commit journal: presumed
@@ -32,6 +33,13 @@ import (
 // ErrCoordCrashed reports an append against a coordinator log whose
 // simulated process has died.
 var ErrCoordCrashed = errors.New("shard: coordinator log crashed (simulated process death)")
+
+// ErrCoordFenced reports an append against a coordinator log that has
+// learned of a higher serving epoch: a replica (or the new primary)
+// refused this node's stream, so this node is a zombie and must not
+// decide any further commits. The client never gets an ack for the
+// refused decision, so no durable-but-lost window opens.
+var ErrCoordFenced = errors.New("shard: coordinator log fenced by a higher epoch")
 
 // KV is one journaled write.
 type KV struct {
@@ -67,6 +75,11 @@ const (
 
 	cRecCommit = 1
 	cRecEnd    = 2
+	// cRecEpoch brands the log with its serving generation. Appended
+	// (forced) at engine boot and at every promotion, so the epoch is
+	// durable, ships to every replica with the stream, and survives
+	// restart — the fencing token's source of truth.
+	cRecEpoch = 3
 
 	maxCoordRec = 1 << 20
 )
@@ -92,6 +105,15 @@ type CoordLog struct {
 	durable int
 	crashed bool
 	appends uint64
+	// durableRecs is appends at the last successful sync — the records
+	// provably inside the durable prefix (the replication lag operand).
+	durableRecs uint64
+	onDurable   func(off int, data []byte)
+	// fenced/epoch are atomics (not under mu) so Fence can be called
+	// from inside an OnDurable callback — the replica that refuses a
+	// stale batch does so synchronously inside this log's own barrier.
+	fenced atomic.Bool
+	epoch  atomic.Uint64
 }
 
 // OpenCoordLog creates a coordinator log; an empty path keeps it in
@@ -139,6 +161,9 @@ func (l *CoordLog) append(payload []byte, force bool) error {
 	if l.crashed {
 		return ErrCoordCrashed
 	}
+	if l.fenced.Load() {
+		return ErrCoordFenced
+	}
 	l.appends++
 	var frame []byte
 	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
@@ -165,8 +190,28 @@ func (l *CoordLog) syncLocked() error {
 			return err
 		}
 	}
+	prev := l.durable
 	l.durable = len(l.buf)
+	l.durableRecs = l.appends
+	if l.onDurable != nil {
+		l.onDurable(prev, append([]byte(nil), l.buf[prev:l.durable]...))
+	}
 	return nil
+}
+
+// SetOnDurable installs the replication ship seam: fn receives every
+// newly durable byte range (offset + copy) inside the durability
+// barrier, before the barrier acks — including, immediately, the bytes
+// already durable at install time, so a replica attached at boot sees
+// the log from byte zero. Called under the log mutex; fn must not call
+// back into the log.
+func (l *CoordLog) SetOnDurable(fn func(off int, data []byte)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.onDurable = fn
+	if fn != nil && l.durable > 0 {
+		fn(0, append([]byte(nil), l.buf[:l.durable]...))
+	}
 }
 
 // AppendCommit journals one commit decision and forces it durable —
@@ -182,6 +227,71 @@ func (l *CoordLog) AppendEnd(gsn uint64) error {
 	p = append(p, cRecEnd)
 	p = binary.AppendUvarint(p, gsn)
 	return l.append(p, false)
+}
+
+// AppendEpoch journals the serving epoch and forces it durable. Epochs
+// must not regress: a promotion writes predecessor+1.
+func (l *CoordLog) AppendEpoch(epoch uint64) error {
+	p := make([]byte, 0, 10)
+	p = append(p, cRecEpoch)
+	p = binary.AppendUvarint(p, epoch)
+	if err := l.append(p, true); err != nil {
+		return err
+	}
+	for {
+		cur := l.epoch.Load()
+		if epoch <= cur || l.epoch.CompareAndSwap(cur, epoch) {
+			return nil
+		}
+	}
+}
+
+// Epoch returns the highest epoch appended to this log instance.
+func (l *CoordLog) Epoch() uint64 { return l.epoch.Load() }
+
+// Fence marks the log fenced off by a higher epoch: every further
+// append fails with ErrCoordFenced, so a zombie coordinator can no
+// longer decide commits. A no-op unless epoch exceeds this log's own.
+// Safe to call from inside an OnDurable callback.
+func (l *CoordLog) Fence(epoch uint64) {
+	if epoch > l.epoch.Load() {
+		l.fenced.Store(true)
+	}
+}
+
+// Fenced reports whether the log has been fenced off.
+func (l *CoordLog) Fenced() bool { return l.fenced.Load() }
+
+// Appends counts append attempts.
+func (l *CoordLog) Appends() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appends
+}
+
+// DurableRecords counts records inside the durable prefix — the
+// primary-side operand of the replication lag gauge (lazily buffered
+// records, like unforced CEnd markers, are excluded until synced).
+func (l *CoordLog) DurableRecords() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durableRecs
+}
+
+// DurableAt reads up to max durable bytes starting at off — the pull
+// side of coordinator-log tailing, mirroring wal.Log.DurableAt (the
+// coordinator log never rotates, so there is no next-segment flag).
+func (l *CoordLog) DurableAt(off, max int) (data []byte, more bool, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if off < 0 || off > l.durable {
+		return nil, false, fmt.Errorf("shard: coordinator offset %d beyond durable watermark %d", off, l.durable)
+	}
+	end := l.durable
+	if max > 0 && off+max < end {
+		end = off + max
+	}
+	return append([]byte(nil), l.buf[off:end]...), end < l.durable, nil
 }
 
 // Sync forces everything appended so far.
@@ -254,14 +364,46 @@ func (l *CoordLog) Close() error {
 // returns the longest valid prefix plus a non-nil truncation reason
 // (nil when the image decoded exactly). An empty image is valid.
 func DecodeCoordLog(data []byte) (recs []CommitRec, truncated error) {
+	recs, _, truncated = DecodeCoordLogEpoch(data)
+	return recs, truncated
+}
+
+// CountCoordRecords counts the whole records (commit, end, and epoch
+// frames) in a coordinator log image's valid prefix — the replica-side
+// operand of the replication lag gauge, matching what CoordLog.Appends
+// counts on the primary.
+func CountCoordRecords(data []byte) int {
+	if len(data) < coordHdrLen {
+		return 0
+	}
+	body := data[coordHdrLen:]
+	n, off := 0, 0
+	for {
+		rest := body[off:]
+		if len(rest) < 8 {
+			return n
+		}
+		plen := binary.LittleEndian.Uint32(rest)
+		if plen > maxCoordRec || uint64(8)+uint64(plen) > uint64(len(rest)) {
+			return n
+		}
+		n++
+		off += 8 + int(plen)
+	}
+}
+
+// DecodeCoordLogEpoch is DecodeCoordLog plus the highest durable
+// serving epoch branded into the image (0 when the log predates epochs
+// or none reached the durable prefix).
+func DecodeCoordLogEpoch(data []byte) (recs []CommitRec, epoch uint64, truncated error) {
 	if len(data) == 0 {
-		return nil, nil
+		return nil, 0, nil
 	}
 	if len(data) < coordHdrLen || string(data[:len(coordMagic)]) != coordMagic {
-		return nil, errors.New("shard: bad coordinator log header")
+		return nil, 0, errors.New("shard: bad coordinator log header")
 	}
 	if data[len(coordMagic)] != coordVersion {
-		return nil, fmt.Errorf("shard: unsupported coordinator log version %d", data[len(coordMagic)])
+		return nil, 0, fmt.Errorf("shard: unsupported coordinator log version %d", data[len(coordMagic)])
 	}
 	body := data[coordHdrLen:]
 	ended := make(map[uint64]bool)
@@ -296,9 +438,14 @@ func DecodeCoordLog(data []byte) (recs []CommitRec, truncated error) {
 			truncated = fmt.Errorf("shard: bad coordinator payload at offset %d: %w", off, err)
 			break
 		}
-		if rec.end {
+		switch {
+		case rec.isEpoch:
+			if rec.epoch > epoch {
+				epoch = rec.epoch
+			}
+		case rec.end:
 			ended[rec.gsn] = true
-		} else {
+		default:
 			byGSN[rec.commit.GSN] = len(recs)
 			recs = append(recs, rec.commit)
 		}
@@ -309,13 +456,15 @@ func DecodeCoordLog(data []byte) (recs []CommitRec, truncated error) {
 			recs[i].Ended = true
 		}
 	}
-	return recs, truncated
+	return recs, epoch, truncated
 }
 
 type coordPayload struct {
-	end    bool
-	gsn    uint64
-	commit CommitRec
+	end     bool
+	isEpoch bool
+	epoch   uint64
+	gsn     uint64
+	commit  CommitRec
 }
 
 // maxCoordBranches bounds declared counts so a corrupt length cannot
@@ -334,6 +483,12 @@ func decodeCoordPayload(p []byte) (coordPayload, error) {
 			return coordPayload{}, errors.New("truncated end record")
 		}
 		return coordPayload{end: true, gsn: gsn}, nil
+	case cRecEpoch:
+		e := d.uvarint()
+		if d.bad || len(d.b) != 0 {
+			return coordPayload{}, errors.New("truncated epoch record")
+		}
+		return coordPayload{isEpoch: true, epoch: e}, nil
 	case cRecCommit:
 		var r CommitRec
 		r.GSN = d.uvarint()

@@ -50,6 +50,20 @@ type Options struct {
 	RecoverFrom *Image
 	// Suite receives all telemetry (default: a fresh obs.New()).
 	Suite *obs.Suite
+	// Ship, when non-nil, receives every newly durable byte range of
+	// every log — stream is the shard index, or Shards for the
+	// coordinator log — synchronously inside the durability barrier,
+	// before the committer is acked. This is the replication seam: a
+	// repl.Group attached here has delivered the bytes to every live
+	// replica by the time any client sees the commit acknowledged.
+	// Called under the owning log's mutex; must not call back into it.
+	Ship func(stream, seg, off int, data []byte)
+	// Epoch is the serving generation, forced into the coordinator log
+	// at boot (cRecEpoch) so it ships with the stream and survives
+	// restart. Zero means "epoch 1 if shipping, unbranded otherwise"; a
+	// promotion passes the predecessor's epoch + 1. Must exceed the
+	// recovered image's epoch when both are present.
+	Epoch uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -111,6 +125,8 @@ type Engine struct {
 	crossAborts  atomic.Uint64
 	redoCount    atomic.Uint64
 	killed       atomic.Bool
+	fenced       atomic.Bool
+	epoch        uint64
 
 	errMu   sync.Mutex
 	rollErr error // first roll-forward failure (fatal for certification)
@@ -206,10 +222,16 @@ func New(opts Options) (*Engine, error) {
 			if forceAtBarrier {
 				logPolicy = wal.SyncNever
 			}
+			var ship func(seg, off int, data []byte)
+			if opts.Ship != nil {
+				stream := i
+				ship = func(seg, off int, data []byte) { opts.Ship(stream, seg, off, data) }
+			}
 			log, err := wal.Open(wal.Options{
 				Dir: dir, SegmentBytes: opts.SegmentBytes,
 				Policy: logPolicy, GroupEvery: opts.GroupEvery,
 				Chaos: inj, SyncObserver: suite.Metrics.WALSyncObserved,
+				OnDurable: ship,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("shard %d: opening WAL: %w", i, err)
@@ -254,6 +276,26 @@ func New(opts Options) (*Engine, error) {
 			return nil, fmt.Errorf("shard: opening coordinator log: %w", err)
 		}
 		e.coord = coord
+		if opts.Ship != nil {
+			stream := opts.Shards
+			coord.SetOnDurable(func(off int, data []byte) { opts.Ship(stream, 0, off, data) })
+		}
+		// Brand the serving epoch into the log so it ships with the
+		// stream and survives restart. A recovered image's epoch must
+		// never be reused or regressed — promotions pass predecessor+1.
+		e.epoch = opts.Epoch
+		if e.epoch == 0 && opts.Ship != nil {
+			e.epoch = 1
+		}
+		if prev := e.recovered.Epoch; e.epoch > 0 && prev >= e.epoch {
+			return nil, fmt.Errorf("shard: serving epoch %d does not exceed the recovered image's epoch %d",
+				e.epoch, prev)
+		}
+		if e.epoch > 0 {
+			if err := coord.AppendEpoch(e.epoch); err != nil {
+				return nil, fmt.Errorf("shard: branding epoch: %w", err)
+			}
+		}
 	}
 
 	// Re-apply the recovered image as fresh certified (and re-logged)
@@ -289,6 +331,81 @@ func (e *Engine) Recovered() MultiReport { return e.recovered }
 // SeededTxns reports how many checkpoint transactions start-up seeding
 // ran (recovered state plus roll-forwards).
 func (e *Engine) SeededTxns() int { return e.seeded }
+
+// Epoch returns the serving generation branded into the coordinator
+// log (0 for an unbranded, non-replicating engine).
+func (e *Engine) Epoch() uint64 { return e.epoch }
+
+// Streams returns the replication stream count: one per shard plus the
+// coordinator log (the last stream index, CoordStream).
+func (e *Engine) Streams() int { return e.opts.Shards + 1 }
+
+// CoordStream returns the coordinator log's stream index.
+func (e *Engine) CoordStream() int { return e.opts.Shards }
+
+// Fence marks this engine fenced off by a higher serving epoch: the
+// coordinator log refuses further decisions and Do refuses new (and
+// in-flight not-yet-acked) transactions with ErrFenced. Safe to call
+// from inside a ship callback — this is how a zombie primary learns of
+// its successor, from its replicas' refusals.
+func (e *Engine) Fence(epoch uint64) {
+	if e.epoch > 0 && epoch <= e.epoch {
+		return
+	}
+	e.fenced.Store(true)
+	if e.coord != nil {
+		e.coord.Fence(epoch)
+	}
+}
+
+// Fenced reports whether the engine has been fenced off.
+func (e *Engine) Fenced() bool { return e.fenced.Load() }
+
+// Kill applies the simulated process death now: every log freezes at
+// its own durable prefix (the failover drills' murder weapon).
+func (e *Engine) Kill() { e.killAll() }
+
+// StreamAppends counts durable records on one replication stream — the
+// primary-side counter the replication lag gauge compares a replica's
+// applied count against. Lazily buffered records (unforced coordinator
+// CEnd markers, unsynced batches) are excluded until they sync: the
+// gauge measures distance from what the primary has promised, not from
+// what it merely intends.
+func (e *Engine) StreamAppends(stream int) uint64 {
+	if stream == e.opts.Shards {
+		if e.coord == nil {
+			return 0
+		}
+		return e.coord.DurableRecords()
+	}
+	if stream < 0 || stream >= len(e.shards) || e.shards[stream].log == nil {
+		return 0
+	}
+	return e.shards[stream].log.DurableRecords()
+}
+
+// ReadDurable reads up to max durable bytes of one replication stream
+// at (seg, off) — the wire-poll path (kvapi MsgReplPoll) into the
+// per-log tailing APIs. The coordinator stream has a single segment.
+func (e *Engine) ReadDurable(stream, seg, off, max int) (data []byte, next, more bool, err error) {
+	if stream == e.opts.Shards {
+		if e.coord == nil {
+			return nil, false, false, errors.New("shard: no coordinator log (engine is not durable)")
+		}
+		if seg != 0 {
+			return nil, false, false, fmt.Errorf("shard: coordinator stream has one segment, not %d", seg)
+		}
+		data, more, err = e.coord.DurableAt(off, max)
+		return data, false, more, err
+	}
+	if stream < 0 || stream >= len(e.shards) {
+		return nil, false, false, fmt.Errorf("shard: no stream %d (have %d)", stream, e.Streams())
+	}
+	if e.shards[stream].log == nil {
+		return nil, false, false, errors.New("shard: stream has no WAL (engine is not durable)")
+	}
+	return e.shards[stream].log.DurableAt(seg, off, max)
+}
 
 // enter/exit move the per-shard in-flight gauge.
 func (e *Engine) enter(st *shardState) { e.suite.Metrics.ShardInflightAdd(st.label, 1) }
@@ -366,12 +483,25 @@ func (e *Engine) Close() error {
 	return first
 }
 
+// ErrFenced reports a transaction refused — or a commit deliberately
+// not acknowledged — because the engine learned of a higher serving
+// epoch. A fenced engine's state is a dead branch: the new primary's
+// certified image is the truth, and acking here would invent a
+// committed transaction failover cannot preserve.
+var ErrFenced = errors.New("shard: fenced by a higher serving epoch; not acknowledged")
+
 // Do executes ops as one one-shot transaction: directly on the home
 // shard when the footprint is single-shard, through the two-phase
 // coordinator otherwise. Returns the results, the retry count, and the
 // terminal error (nil means committed).
 func (e *Engine) Do(ops []Op) ([]Result, uint32, error) {
+	if e.fenced.Load() {
+		return nil, 0, ErrFenced
+	}
 	parts, participants := partition(ops, e.router)
+	var res []Result
+	var retries uint32
+	var err error
 	if participants <= 1 {
 		sid := 0
 		for s, p := range parts {
@@ -379,9 +509,17 @@ func (e *Engine) Do(ops []Op) ([]Result, uint32, error) {
 				sid = s
 			}
 		}
-		return e.doSingle(sid, ops)
+		res, retries, err = e.doSingle(sid, ops)
+	} else {
+		res, retries, err = e.doCross(parts, len(ops))
 	}
-	return e.doCross(parts, len(ops))
+	// Fenced mid-flight (a replica refused our ship inside this very
+	// commit's durability barrier): withhold the ack. The write may be
+	// in the local image, but that image is now a dead branch.
+	if err == nil && e.fenced.Load() {
+		return nil, retries, fmt.Errorf("%w (commit state unknown)", ErrFenced)
+	}
+	return res, retries, err
 }
 
 // doSingle runs the unchanged single-machine path on the home shard.

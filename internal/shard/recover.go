@@ -84,6 +84,10 @@ type MultiReport struct {
 	// MergedOrder is the Kahn-merged global commit order over every
 	// chain that survived.
 	MergedOrder []string
+	// Epoch is the highest serving epoch branded into the coordinator
+	// log's durable prefix (0 when unbranded) — a promotion serves at
+	// Epoch+1.
+	Epoch uint64
 }
 
 // RecoveredTxns sums the per-shard recovered transaction counts.
@@ -124,7 +128,8 @@ func RecoverAndCertifyImage(img *Image, substrate string) (MultiReport, error) {
 		}
 		chains = append(chains, chain)
 	}
-	recs, trunc := DecodeCoordLog(img.Coord)
+	recs, epoch, trunc := DecodeCoordLogEpoch(img.Coord)
+	out.Epoch = epoch
 	out.CoordTruncated = trunc
 	out.CoordCommits = len(recs)
 	coordChain := make([]string, 0, len(recs))

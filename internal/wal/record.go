@@ -259,12 +259,34 @@ func decodePayload(p []byte) (Record, error) {
 	return r, nil
 }
 
+// Truncation-reason classes. Crash recovery treats every truncation the
+// same way (keep the prefix, drop the tail), but a live tailer cannot:
+// an incomplete frame at the end of the open segment will grow into a
+// valid record on the next sync, while a checksum mismatch or garbage
+// payload never will. DecodeAll wraps each reason so callers can
+// errors.Is-dispatch between "wait and re-poll" and "stop, the stream
+// is damaged".
+var (
+	// ErrTornTail marks an incomplete frame at the truncation point: the
+	// bytes seen so far are a valid proper prefix of a record that more
+	// data could complete. At the end of an open segment this means
+	// wait/retry; mid-stream it means a torn write (crash artifact).
+	ErrTornTail = errors.New("wal: torn tail")
+	// ErrCorrupt marks a frame that no amount of further data can
+	// repair: an absurd declared length, a checksum mismatch, or a
+	// payload that fails structural decode. A tailer must treat this as
+	// a hard error.
+	ErrCorrupt = errors.New("wal: corrupt record")
+)
+
 // DecodeAll decodes the longest valid record prefix of a segment body
 // (the bytes after the segment header). It returns the records, the
 // number of body bytes consumed, and a non-nil reason when a torn or
 // corrupt tail was truncated (nil means the body decoded exactly).
 // DecodeAll never fails: arbitrary input is a valid prefix plus a
-// truncation point.
+// truncation point. The reason wraps ErrTornTail when the tail is an
+// incomplete frame more bytes could complete, and ErrCorrupt when it is
+// damage no suffix can repair.
 func DecodeAll(body []byte) (recs []Record, consumed int, reason error) {
 	off := 0
 	for {
@@ -273,24 +295,24 @@ func DecodeAll(body []byte) (recs []Record, consumed int, reason error) {
 			return recs, off, nil
 		}
 		if len(rest) < frameLen {
-			return recs, off, fmt.Errorf("wal: torn frame header (%d bytes) at offset %d", len(rest), off)
+			return recs, off, fmt.Errorf("%w: torn frame header (%d bytes) at offset %d", ErrTornTail, len(rest), off)
 		}
 		plen := binary.LittleEndian.Uint32(rest)
 		sum := binary.LittleEndian.Uint32(rest[4:])
 		if plen > MaxRecordLen {
-			return recs, off, fmt.Errorf("wal: frame length %d exceeds limit at offset %d", plen, off)
+			return recs, off, fmt.Errorf("%w: frame length %d exceeds limit at offset %d", ErrCorrupt, plen, off)
 		}
 		if uint64(frameLen)+uint64(plen) > uint64(len(rest)) {
-			return recs, off, fmt.Errorf("wal: torn record (want %d payload bytes, have %d) at offset %d",
-				plen, len(rest)-frameLen, off)
+			return recs, off, fmt.Errorf("%w: torn record (want %d payload bytes, have %d) at offset %d",
+				ErrTornTail, plen, len(rest)-frameLen, off)
 		}
 		payload := rest[frameLen : frameLen+int(plen)]
 		if crc32.Checksum(payload, crcTable) != sum {
-			return recs, off, fmt.Errorf("wal: checksum mismatch at offset %d", off)
+			return recs, off, fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorrupt, off)
 		}
 		rec, err := decodePayload(payload)
 		if err != nil {
-			return recs, off, fmt.Errorf("wal: bad payload at offset %d: %w", off, err)
+			return recs, off, fmt.Errorf("%w: bad payload at offset %d: %v", ErrCorrupt, off, err)
 		}
 		recs = append(recs, rec)
 		off += frameLen + int(plen)

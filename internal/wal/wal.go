@@ -107,6 +107,17 @@ type Options struct {
 	// to flush) — the telemetry seam for WAL sync-latency histograms.
 	// Called under the log mutex; must not call back into the log.
 	SyncObserver func(time.Duration)
+	// OnDurable, when non-nil, receives every newly durable byte range
+	// — segment index, starting offset (header bytes included), and a
+	// copy of the bytes — inside the durability barrier, before the
+	// barrier returns to the committer. This is the replication ship
+	// seam: anything a client sees acknowledged as durable has already
+	// passed through OnDurable, so synchronous shipping at this seam
+	// makes "no acknowledged commit is lost on failover" structural.
+	// Simulated crashes never ship (the dead process's torn/flipped
+	// tail stays local). Called under the log mutex; must not call back
+	// into the log.
+	OnDurable func(seg, off int, data []byte)
 }
 
 func (o Options) withDefaults() Options {
@@ -143,10 +154,16 @@ type Log struct {
 	opts    Options
 	segs    []*segment
 	appends uint64
-	syncs   uint64
-	pending int // records since last sync
-	crashed bool
-	ioErr   error
+	// durableRecs is the appended-record count at the last successful
+	// sync — every one of those records is inside the durable prefix.
+	// The replication lag gauge compares a replica's applied records
+	// against this (not appends: lazily buffered records are not yet
+	// promised to anyone).
+	durableRecs uint64
+	syncs       uint64
+	pending     int // records since last sync
+	crashed     bool
+	ioErr       error
 }
 
 // Open creates a log. With Options.Dir set, fresh segment files are
@@ -285,13 +302,26 @@ func (l *Log) syncLocked() error {
 			return err
 		}
 	}
+	prev := cur.durable
 	cur.durable = len(cur.buf)
+	l.durableRecs = l.appends
 	l.pending = 0
 	l.syncs++
+	if l.opts.OnDurable != nil {
+		l.opts.OnDurable(cur.index, prev, append([]byte(nil), cur.buf[prev:]...))
+	}
 	if l.opts.SyncObserver != nil {
 		l.opts.SyncObserver(time.Since(begin))
 	}
 	return nil
+}
+
+// DurableRecords reports how many appended records are inside the
+// durable prefix (frozen at the crash point on a killed log).
+func (l *Log) DurableRecords() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durableRecs
 }
 
 // Sync forces durability of everything appended so far.
@@ -441,6 +471,42 @@ func (l *Log) Segments() [][]byte {
 		}
 	}
 	return out
+}
+
+// DurableAt reads up to max durable bytes of segment seg starting at
+// byte offset off (offsets count from the segment start, header
+// included) — the pull side of the segment-tailing API. It returns:
+//
+//	data: the bytes (possibly empty when the tailer has caught up);
+//	next: the segment is finished (a later segment exists) and the
+//	      caller has now read all of it — advance to (seg+1, 0);
+//	more: more durable bytes are immediately available (this segment
+//	      past off+len(data), or a later segment) — poll again without
+//	      waiting.
+//
+// A crashed log still serves its frozen durable image: that is exactly
+// the prefix a straggling tailer is entitled to. Offsets beyond the
+// durable watermark are a caller bug (a tailer ahead of its source) and
+// return an error.
+func (l *Log) DurableAt(seg, off, max int) (data []byte, next, more bool, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seg < 0 || seg >= len(l.segs) {
+		return nil, false, false, fmt.Errorf("wal: no segment %d (have %d)", seg, len(l.segs))
+	}
+	s := l.segs[seg]
+	if off < 0 || off > s.durable {
+		return nil, false, false, fmt.Errorf("wal: offset %d beyond durable watermark %d of segment %d", off, s.durable, seg)
+	}
+	end := s.durable
+	if max > 0 && off+max < end {
+		end = off + max
+	}
+	data = append([]byte(nil), s.buf[off:end]...)
+	finished := seg < len(l.segs)-1 // rotation syncs, so a finished segment is fully durable
+	next = finished && end == s.durable
+	more = end < s.durable || finished
+	return data, next, more, nil
 }
 
 // Close syncs and closes the log (no-op after a crash: the dead process
