@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check race chaos-smoke chaos crash-smoke crash obs-smoke obs serve-smoke serve-campaign shard-smoke repl-smoke repl bench bench-repl ci
+.PHONY: build test vet fmt-check race chaos-smoke chaos crash-smoke crash obs-smoke obs serve-smoke serve-campaign shard-smoke repl-smoke repl failover-smoke failover bench bench-repl ci
 
 build:
 	$(GO) build ./...
@@ -85,6 +85,21 @@ repl-smoke:
 repl:
 	$(GO) run ./cmd/pushpull-repl
 
+# Self-healing smoke: an in-process three-node cluster under sessioned
+# load; the supervisor detects the killed primary over the wire, waits
+# out its lease, certifies and auto-promotes the most-advanced
+# follower, and the exactly-once ledger (dedup on blind retry, zero
+# acked loss, one acking primary per lease epoch) must hold. Also pins
+# the deposed-primary fence and follower redirect-loop termination.
+failover-smoke:
+	$(GO) test ./internal/server/ -run 'TestFailoverSmoke|TestDeposedPrimaryFenced|TestFollowerRedirectLoopTerminates' -v
+
+# The full partitioned failover sweep: 50 seeds of crashes plus
+# full/asymmetric link partitions, lease-fenced zombie deposal,
+# sessioned retries cross-checked through the history checker.
+failover:
+	$(GO) run ./cmd/pushpull-repl -seeds 50
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -93,4 +108,4 @@ bench-repl:
 	$(GO) run ./cmd/pushpull-repl -bench -duration 2s > BENCH_repl.json
 	@cat BENCH_repl.json
 
-ci: test vet race chaos-smoke crash-smoke obs-smoke serve-smoke shard-smoke repl-smoke
+ci: test vet race chaos-smoke crash-smoke obs-smoke serve-smoke shard-smoke repl-smoke failover-smoke

@@ -5,23 +5,30 @@
 //	pushpull-repl -seed 7 -v         # replay ONE failing failover plan
 //	pushpull-repl -json              # machine-readable sweep outcomes
 //	pushpull-repl -bench -duration 2s > BENCH_repl.json
-//	pushpull-repl -replicas 2        # live TCP cluster + forced failover
+//	pushpull-repl -replicas 2        # live TCP cluster + automatic failover
 //
 // The default sweep drives a shipping primary under chaos (coordinator
 // death between prepare and commit, a seed-derived WAL crash, replica
-// links that drop/duplicate/reorder batches), promotes the most
-// advanced replica, and demands the failover contract: the promotion
-// re-certifies the merged order with zero transactions in doubt, the
-// promoted chains prefix-extend the other replica's, and no
-// acknowledged transaction is lost.
+// links that drop/duplicate/reorder batches and suffer seeded full or
+// asymmetric partitions), with lease-gated acks and sessioned clients
+// that hold their sequence number across ambiguous outcomes. It
+// promotes the most advanced replica and demands the failover
+// contract: the promotion re-certifies the merged order with zero
+// transactions in doubt, the promoted chains prefix-extend the other
+// replica's, no acknowledged transaction is lost, no retry
+// double-applies (dedup hits leave the commit counter untouched), at
+// most one primary acks per lease epoch, and the promoted engine's
+// trace passes the history checker.
 //
 // -bench runs the certified replication benchmark (follower-read
 // throughput and pull-path lag under write load) and prints JSON.
 //
-// -replicas N boots a real primary and N follower servers on loopback,
-// pushes redirect-following client traffic through a follower, kills
-// the primary, promotes follower 0 with a certificate, re-points the
-// survivors, and certifies everyone at shutdown.
+// -replicas N boots a real primary and N follower servers on loopback
+// under a supervisor, pushes sessioned redirect-following client
+// traffic through a follower, kills the primary, and waits for the
+// supervisor to certify and auto-promote a successor at the next
+// lease epoch; a blind session retry must dedup on the new primary,
+// and everyone is certified at shutdown.
 //
 // Exit status is non-zero on any contract violation.
 package main
@@ -136,12 +143,17 @@ func runBench(shards, keys, replicas, writers, readers int, d time.Duration, see
 }
 
 // runCluster boots a live loopback cluster — one replicated primary,
-// N followers — then forces a failover and certifies every node.
+// N followers, a lease-granting supervisor — then kills the primary
+// and lets supervision promote a successor on its own. Nothing in this
+// function calls Promote or Refollow: the point is that failover is
+// automatic, fenced by lease epochs, and the sessioned client's
+// retries land exactly once.
 func runCluster(shards, keysPerShard, replicas, txns int, seed int64) {
 	keys := keysPerShard * shards
+	const ttl = 500 * time.Millisecond
 	prim, err := server.New(server.Options{
 		Substrate: "tl2", Shards: shards, Keys: keys, Seed: seed,
-		Replicate: true, SegmentBytes: 4 << 10,
+		Replicate: true, SegmentBytes: 4 << 10, LeaseTTL: ttl,
 	})
 	if err != nil {
 		fail(err)
@@ -158,6 +170,7 @@ func runCluster(shards, keysPerShard, replicas, txns int, seed int64) {
 		f, err := server.New(server.Options{
 			Substrate: "tl2", Shards: shards, Keys: keys, Seed: seed + int64(i) + 1,
 			Follow: addrP.String(), PollInterval: 2 * time.Millisecond,
+			LeaseTTL: ttl,
 		})
 		if err != nil {
 			fail(err)
@@ -170,11 +183,33 @@ func runCluster(shards, keysPerShard, replicas, txns int, seed int64) {
 		fmt.Printf("follower %d: %s -> %s\n", i, addrs[i], addrP)
 	}
 
-	// Client traffic aimed at a follower: every write must redirect to
-	// the primary and land; the ledger of acknowledged writes is the
-	// zero-loss obligation for the failover below.
+	nodes := []*server.Node{{Name: "primary", Server: prim, Addr: addrP.String()}}
+	for i, f := range followers {
+		nodes = append(nodes, &server.Node{
+			Name: fmt.Sprintf("follower-%d", i), Server: f, Addr: addrs[i],
+		})
+	}
+	sv, err := server.NewSupervisor(nodes, 0, server.SupervisorOptions{
+		HeartbeatEvery: 5 * time.Millisecond,
+		FailAfter:      3,
+		Margin:         100 * time.Millisecond,
+		DialTimeout:    100 * time.Millisecond,
+		OnEvent:        func(e string) { fmt.Println("supervisor:", e) },
+	})
+	if err != nil {
+		fail(err)
+	}
+	sv.Start()
+	defer sv.Stop()
+
+	// Sessioned client traffic aimed at a follower: every write must
+	// redirect to the primary and land; the ledger of acknowledged
+	// writes is the zero-loss obligation for the failover below, and
+	// the session sequence numbers are the exactly-once obligation.
+	fallbacks := append([]string{addrP.String()}, addrs...)
 	rc := kvapi.NewReconnectClient(addrs[0], kvapi.ReconnectOptions{
 		Seed: seed + 99, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond,
+		Session: uint64(seed) + 1, Fallbacks: fallbacks,
 	})
 	defer rc.Close()
 	acked := make(map[uint64]int64)
@@ -199,32 +234,40 @@ func runCluster(shards, keysPerShard, replicas, txns int, seed int64) {
 	}
 	fmt.Printf("followers converged: lag %v\n", followers[0].ReplLag())
 
-	// Forced failover: the primary dies, follower 0 promotes with a
-	// certificate, survivors re-point at the new timeline.
+	// Kill the primary and let supervision do the rest: detect the
+	// missed heartbeats, wait out the lease, certify and promote the
+	// most-advanced follower, grant lease epoch 2, re-point survivors.
 	prim.Stop()
-	fmt.Println("primary killed; promoting follower 0")
-	mr, err := followers[0].Promote()
-	if err != nil {
-		fail(fmt.Errorf("promotion: %w", err))
-	}
-	if mr.InDoubt != 0 {
-		fail(fmt.Errorf("%d transaction(s) in doubt after promotion", mr.InDoubt))
-	}
-	st := followers[0].Stats()
-	fmt.Printf("promoted: %d certified txn(s), merged order %d, epoch %d\n",
-		mr.RecoveredTxns(), len(mr.MergedOrder), st.Epoch)
-	for i := 1; i < replicas; i++ {
-		if err := followers[i].Refollow(addrs[0]); err != nil {
-			fail(fmt.Errorf("refollow %d: %w", i, err))
+	fmt.Println("primary killed; waiting for automatic promotion")
+	deadline := time.Now().Add(15 * time.Second)
+	for sv.Failovers() == 0 {
+		if time.Now().After(deadline) {
+			fail(fmt.Errorf("supervisor never promoted a successor"))
 		}
-		if err := catchUp(followers[i]); err != nil {
-			fail(fmt.Errorf("refollowed %d: %w", i, err))
-		}
+		time.Sleep(5 * time.Millisecond)
 	}
+	newPrim := sv.Primary()
+	fmt.Printf("auto-promoted %s (lease epoch %d)\n", newPrim.Name, sv.Epoch())
+	if sv.Epoch() != 2 {
+		fail(fmt.Errorf("lease epoch = %d after one failover, want 2", sv.Epoch()))
+	}
+
+	// The sessioned retry: re-issue the LAST acknowledged write under
+	// its settled sequence number. The new primary must answer from the
+	// replicated dedup table without executing it again.
+	lastK, lastV := uint64((txns-1)%keys), int64(1000+txns-1)
+	resp, err := rc.Redo([]kvapi.Op{{Kind: kvapi.OpPut, Key: lastK, Val: lastV}})
+	if err != nil || resp.Status != kvapi.StatusOK {
+		fail(fmt.Errorf("session retry: %v %+v", err, resp))
+	}
+	if !resp.DedupHit {
+		fail(fmt.Errorf("session retry re-executed instead of deduping: %+v", resp))
+	}
+	fmt.Println("exactly-once: settled retry answered from the replicated dedup table")
 
 	// Zero loss: every acknowledged write survives the failover, and
 	// the new primary keeps serving.
-	rc.Retarget(addrs[0])
+	rc.Retarget(newPrim.Addr)
 	for k, v := range acked {
 		resp, err := rc.Do([]kvapi.Op{{Kind: kvapi.OpGet, Key: k}})
 		if err != nil || resp.Status != kvapi.StatusOK {
@@ -241,6 +284,7 @@ func runCluster(shards, keysPerShard, replicas, txns int, seed int64) {
 	fmt.Println("zero loss: every acknowledged write present on the new primary")
 
 	// Certified shutdown, everyone.
+	sv.Stop()
 	failed := false
 	for i, f := range followers {
 		f.Stop()
@@ -260,7 +304,7 @@ func runCluster(shards, keysPerShard, replicas, txns int, seed int64) {
 	if failed {
 		os.Exit(1)
 	}
-	fmt.Println("certified: promotion serializable, survivors converged, no leaks")
+	fmt.Println("certified: automatic promotion serializable, survivors converged, no leaks")
 }
 
 // catchUp syncs a follower until every stream's lag reads zero (the

@@ -1,26 +1,41 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
+	"time"
 
 	"pushpull/internal/chaos"
+	"pushpull/internal/history"
 	"pushpull/internal/repl"
+	"pushpull/internal/server"
 	"pushpull/internal/shard"
 )
 
-// The failover target: a replicated primary (4-shard engine shipping
-// to two replicas over faulty links that drop, duplicate, and reorder
-// batches) dies mid-workload — a deterministic WAL crash plus armed
-// coordinator death sites, so some seeds kill it between prepare and
-// commit. The sweep then promotes the more advanced replica and
-// asserts the failover contract: the promotion re-certifies the merged
-// global order with zero transactions in doubt, the promoted chains
-// prefix-extend the other replica's, and no acknowledged transaction
-// is lost.
+// The failover target: a replicated, lease-fenced primary (4-shard
+// engine shipping to two replicas over faulty links that drop,
+// duplicate, reorder, and PARTITION batches) dies mid-workload — a
+// deterministic WAL crash plus armed coordinator death sites, so some
+// seeds kill it between prepare and commit; seeds whose crash never
+// fires lose their lease instead (the supervisor partitioned away) and
+// must refuse every subsequent ack themselves. The sweep then promotes
+// the more advanced replica and asserts the full self-healing
+// contract: the promotion re-certifies the merged global order with
+// zero transactions in doubt, the promoted chains prefix-extend the
+// other replica's, no acknowledged write is lost, every ambiguous
+// session request retried against the successor settles exactly once
+// (a dedup hit never re-executes), at most one primary acks per lease
+// epoch, and the promoted engine's histories replay clean through the
+// offline certifier.
 
 // failoverShards is the sweep's fixed partition count.
 const failoverShards = 4
+
+// failoverClients is the number of exactly-once session clients
+// driving the sweep's load (each owns a disjoint key slice).
+const failoverClients = 4
 
 // Replication-link fault sites (plan-derivation labels only; the link
 // injects by Hash01 draws, not through a chaos.Faults injector).
@@ -60,8 +75,8 @@ type FailoverOutcome struct {
 	Seed int64
 	Plan string
 	// CrashFired reports whether the plan's WAL crash killed the
-	// primary mid-run (otherwise the run kills it at the end — the
-	// failover machinery is exercised either way).
+	// primary mid-run (otherwise the run deposes it by lease expiry —
+	// the failover machinery is exercised either way).
 	CrashFired bool
 	Commits    uint64
 	Aborts     uint64
@@ -69,17 +84,47 @@ type FailoverOutcome struct {
 	// Acked is the number of distinct keys with a client-acknowledged
 	// write — the zero-loss ledger.
 	Acked int
+	// Partitions counts seeded partition windows installed on the
+	// replication links; AckWithheld counts commits whose ack the
+	// primary refused because a link lagged or its lease expired —
+	// every one becomes an ambiguous outcome the session client
+	// retries.
+	Partitions  int
+	AckWithheld uint64
+	// ZombieRefused counts post-expiry writes the deposed primary
+	// refused by itself; Retried and DedupHits describe the ambiguous
+	// requests settled against the successor (a dedup hit answers from
+	// the replicated table without re-executing).
+	ZombieRefused uint64
+	Retried       int
+	DedupHits     int
+	// LeaseEpoch is the successor's lease epoch (always 2: one
+	// predecessor, one promotion).
+	LeaseEpoch uint64
 	// PromotedTxns is the promoted certificate's recovered transaction
 	// count; InDoubt must be zero.
 	PromotedTxns int
 	InDoubt      int
-	Faults       chaos.Stats
-	Err          error
+	// HistoryTxns counts transactions replayed through the offline
+	// history certifier on the promoted engine.
+	HistoryTxns int
+	Faults      chaos.Stats
+	Err         error
+}
+
+// sessionClient is one exactly-once client in the sweep: it owns keys
+// k with k % failoverClients == id, advances seq only on settled
+// outcomes, and holds an ambiguous request for retry on the successor.
+type sessionClient struct {
+	id      uint64
+	seq     uint64
+	pending bool
+	ops     []shard.Op // the held (unsettled) request
 }
 
 // RunFailoverOne runs one certified failover: load a shipping primary
-// under chaos until it dies, promote the most advanced replica, and
-// assert the full failover contract.
+// under chaos until it dies (or is deposed), promote the most advanced
+// replica, and assert the full self-healing contract.
 func RunFailoverOne(seed int64, p ChaosParams) FailoverOutcome {
 	p = p.WithDefaults()
 	out := FailoverOutcome{Seed: seed}
@@ -95,54 +140,154 @@ func runFailoverCore(seed int64, p ChaosParams, out *FailoverOutcome) error {
 	g := repl.NewGroup(1)
 	dropA, dupA, reA := linkRates(seed, 1)
 	dropB, dupB, reB := linkRates(seed, 2)
-	g.Add(repA, seed, dropA, dupA, reA)
-	g.Add(repB, seed+1000, dropB, dupB, reB)
+	links := []*repl.Link{
+		g.Add(repA, seed, dropA, dupA, reA),
+		g.Add(repB, seed+1000, dropB, dupB, reB),
+	}
+
+	// Seeded partition windows — full and asymmetric — on each link,
+	// on the batch-index axis so replay is deterministic.
+	txns := p.Threads * p.OpsEach
+	span := uint64(txns)
+	for li, ln := range links {
+		rate := p.Rate * 4
+		if rate > 0.6 {
+			rate = 0.6
+		}
+		for _, w := range chaos.PartitionsFor(seed, li, rate, span, span/4+1, 2) {
+			ln.Partition(repl.PartitionWindow{From: w.From, To: w.To, Asym: w.Asym})
+			out.Partitions++
+		}
+	}
+
+	// The serving lease on a manual clock: the workload loop advances
+	// time and renews while the supervisor is "reachable"; when the
+	// crash fires (or the zombie phase starts) renewals stop and the
+	// primary must silence itself.
+	var nowNs atomic.Int64
+	base := time.Unix(1_000_000, 0)
+	clock := func() time.Time { return base.Add(time.Duration(nowNs.Load())) }
+	lease := server.NewLease(50*time.Millisecond, clock)
 
 	plan := FailoverPlanFor(seed, p)
 	out.Plan = plan.String()
+	ackCheck := func() error {
+		if err := lease.Check(); err != nil {
+			return err
+		}
+		if n := g.Lagging(); n > 0 {
+			out.AckWithheld++
+			return fmt.Errorf("replication lagging %d batch(es)", n)
+		}
+		return nil
+	}
 	eng, err := shard.New(shard.Options{
 		Shards: failoverShards, Substrate: "tl2", Keys: keys, Seed: seed,
 		Durable: true, Ship: g.Ship, Plan: &plan,
 		Retry: chaos.Default(seed), Suite: p.Obs,
+		AckCheck: ackCheck,
 	})
 	if err != nil {
 		return err
 	}
+	if err := eng.BrandLease(1); err != nil {
+		return err
+	}
+	if err := lease.Grant(1); err != nil {
+		return err
+	}
 	clean := plan.CrashMode == chaos.CrashClean
 
+	// ambiguous reports whether a DoSession outcome left the commit
+	// state unknown to the client (withheld ack, fenced coordinator,
+	// dead process) — the retried-on-successor cases — as opposed to a
+	// settled abort.
+	ambiguous := func(err error) bool {
+		return errors.Is(err, shard.ErrAckUnknown) || errors.Is(err, shard.ErrCoordCrashed)
+	}
+
 	rng := rand.New(rand.NewSource(seed))
+	clients := make([]*sessionClient, failoverClients)
+	for c := range clients {
+		clients[c] = &sessionClient{id: uint64(100 + c)}
+	}
+	// acked[key] is the value of the last client-acknowledged write —
+	// values grow with issue order, so the final image must read >= the
+	// acked value at every key (a stale double-apply would clobber a
+	// newer write below its acked value and be caught).
 	acked := make(map[uint64]int64)
-	txns := p.Threads * p.OpsEach
+	ownKey := func(c int) uint64 {
+		return uint64(rng.Intn(keys)/failoverClients*failoverClients + c)
+	}
 	for i := 1; i <= txns; i++ {
-		v := int64(i)
-		var ops []shard.Op
-		if rng.Intn(3) == 0 {
-			k1, k2 := uint64(rng.Intn(keys)), uint64(rng.Intn(keys))
-			ops = []shard.Op{
-				{Kind: shard.OpPut, Key: k1, Val: v},
-				{Kind: shard.OpPut, Key: k2, Val: v},
-			}
-		} else {
-			ops = []shard.Op{{Kind: shard.OpPut, Key: uint64(rng.Intn(keys)), Val: v}}
+		nowNs.Add(int64(time.Millisecond))
+		lease.Renew()
+		cl := clients[i%failoverClients]
+		if cl.pending {
+			continue // a real session client blocks until its retry settles
 		}
-		_, _, err := eng.Do(ops)
-		// An ack only counts while the process lives: after the
-		// simulated death the in-memory engine is a ghost whose "acks"
-		// no real client would ever have received.
-		if err == nil && !eng.Crashed() {
+		v := int64(i)
+		ops := []shard.Op{{Kind: shard.OpPut, Key: ownKey(i % failoverClients), Val: v}}
+		if rng.Intn(3) == 0 {
+			ops = append(ops, shard.Op{Kind: shard.OpPut, Key: ownKey(i % failoverClients), Val: v})
+		}
+		cl.seq++
+		_, _, _, err := eng.DoSession(cl.id, cl.seq, ops)
+		alive := !eng.Crashed()
+		switch {
+		case err == nil && alive:
 			for _, op := range ops {
 				acked[op.Key] = op.Val
 			}
-		} else if err != nil {
-			out.GaveUp++
+		case err == nil || ambiguous(err) || !alive:
+			// Committed-but-unacked, withheld, fenced, or the process
+			// died under the request: the client holds (seq, ops) and
+			// will re-issue them verbatim against the successor.
+			cl.pending = true
+			cl.ops = ops
+		default:
+			out.GaveUp++ // a settled abort; the seq is consumed
 		}
 	}
 	out.CrashFired = eng.Crashed()
+
+	// Seeds whose crash never fired depose the primary by lease expiry
+	// instead: renewals stop, time passes, and the zombie must refuse
+	// every ack itself — the "at most one acking primary per lease
+	// epoch" half of the fencing invariant.
+	if !out.CrashFired {
+		nowNs.Add(int64(time.Second))
+		if lease.Renew() {
+			return errors.New("expired lease renewed — resurrected permit")
+		}
+		for z := 0; z < failoverClients; z++ {
+			cl := clients[z]
+			if cl.pending {
+				continue
+			}
+			cl.seq++
+			ops := []shard.Op{{Kind: shard.OpPut, Key: ownKey(z), Val: int64(txns + 1 + z)}}
+			_, _, _, err := eng.DoSession(cl.id, cl.seq, ops)
+			if err == nil {
+				return fmt.Errorf("deposed primary acked client %d on an expired lease", cl.id)
+			}
+			if !ambiguous(err) {
+				return fmt.Errorf("zombie refusal had wrong shape: %w", err)
+			}
+			out.ZombieRefused++
+			cl.pending = true
+			cl.ops = ops
+		}
+	}
 	eng.Kill()
 	st := eng.Stats()
 	out.Commits, out.Aborts = st.Commits, st.Aborts
 	out.Acked = len(acked)
 	out.Faults = eng.FaultStats()
+
+	// Partitions heal: pending backlogs flush (asymmetric windows land
+	// as duplicates the replica's overlap check absorbs).
+	g.Heal()
 
 	// Both replicas must be undamaged and independently certifiable.
 	for i, r := range []*repl.Replica{repA, repB} {
@@ -178,7 +323,7 @@ func runFailoverCore(seed int64, p ChaosParams, out *FailoverOutcome) error {
 	// transaction for transaction. (Torn and bitflip crashes may strip
 	// the primary's never-durable tail — which was never shipped and
 	// never acked — so only the zero-acked-loss check applies there.)
-	if clean {
+	if out.CrashFired && clean {
 		primaryRep, err := shard.RecoverAndCertifyImage(eng.Image(), "tl2")
 		if err != nil {
 			return fmt.Errorf("primary image: %w", err)
@@ -188,11 +333,13 @@ func runFailoverCore(seed int64, p ChaosParams, out *FailoverOutcome) error {
 		}
 	}
 
-	// Serve from the promoted image at the next epoch; every
-	// acknowledged write must be present.
+	// The successor serves at the next engine epoch under lease epoch
+	// 2, granted only after the predecessor's lease is provably dead.
+	lease2 := server.NewLease(50*time.Millisecond, clock)
 	eng2, err := shard.New(shard.Options{
 		Shards: failoverShards, Substrate: "tl2", Keys: keys, Seed: seed + 1,
 		Durable: true, RecoverFrom: promoted.Image(), Epoch: promRep.Epoch + 1,
+		AckCheck: lease2.Check,
 	})
 	if err != nil {
 		return fmt.Errorf("promotion boot: %w", err)
@@ -200,16 +347,73 @@ func runFailoverCore(seed int64, p ChaosParams, out *FailoverOutcome) error {
 	if n := eng2.Recovered().InDoubt; n != 0 {
 		return fmt.Errorf("in-doubt after promoted restart: %d", n)
 	}
+	if err := eng2.BrandLease(2); err != nil {
+		return err
+	}
+	if err := lease2.Grant(2); err != nil {
+		return err
+	}
+	out.LeaseEpoch = 2
+
+	// Every client with an ambiguous outcome blindly re-issues the held
+	// (session, seq, ops) against the successor; each must settle
+	// exactly once — a dedup hit proves the original committed and MUST
+	// NOT re-execute (zero commits delta), a miss executes it now.
+	for _, cl := range clients {
+		if !cl.pending {
+			continue
+		}
+		out.Retried++
+		commits0 := eng2.Stats().Commits
+		_, _, dedup, err := eng2.DoSession(cl.id, cl.seq, cl.ops)
+		if err != nil {
+			return fmt.Errorf("client %d retry on successor: %w", cl.id, err)
+		}
+		if dedup {
+			out.DedupHits++
+			if got := eng2.Stats().Commits; got != commits0 {
+				return fmt.Errorf("client %d dedup hit re-executed: commits %d -> %d", cl.id, commits0, got)
+			}
+		}
+		cl.pending = false
+		for _, op := range cl.ops {
+			// Settled now: the write is acked (at its original position
+			// if dedup'd, at the tail otherwise — either way the key's
+			// final value is >= its value under monotone values).
+			if cur, ok := acked[op.Key]; !ok || op.Val > cur {
+				acked[op.Key] = op.Val
+			}
+		}
+	}
+
+	// Zero acked loss: every acknowledged write is present.
 	for k, v := range acked {
 		if got, _ := eng2.ReadKey(k); got < v {
 			return fmt.Errorf("acknowledged write lost: key %d = %d, acked %d", k, got, v)
 		}
 	}
-	if _, _, err := eng2.Do([]shard.Op{{Kind: shard.OpPut, Key: 0, Val: 1}}); err != nil {
+	if _, _, err := eng2.Do([]shard.Op{{Kind: shard.OpPut, Key: 0, Val: int64(txns) + 100}}); err != nil {
 		return fmt.Errorf("promoted engine refuses writes: %w", err)
 	}
 	if err := eng2.FinalCheck(); err != nil {
 		return fmt.Errorf("promoted final check: %w", err)
+	}
+
+	// Offline cross-check: capture each promoted shard's certified
+	// history and replay it through a fresh shadow machine.
+	for i, rec := range eng2.Recorders() {
+		if rec == nil {
+			continue
+		}
+		f := history.Capture(rec, []history.ObjectDecl{{Name: "mem", Type: "register"}})
+		rep, err := history.Replay(f)
+		if err != nil {
+			return fmt.Errorf("shard %d history replay: %w", i, err)
+		}
+		if err := rep.Err(); err != nil {
+			return fmt.Errorf("shard %d history certificate: %w", i, err)
+		}
+		out.HistoryTxns += rep.Certified
 	}
 	return eng2.Close()
 }
@@ -234,20 +438,25 @@ func runChaosFailover(seed int64, p ChaosParams, out *ChaosOutcome) error {
 
 // FailoverCampaign sweeps seeds over the failover target and returns
 // the human-readable summary plus per-run outcomes; err is the first
-// contract violation (nil means every promotion certified and no
-// acknowledged transaction was lost).
+// contract violation (nil means every promotion certified, no
+// acknowledged write was lost, every ambiguous retry settled exactly
+// once, and no deposed primary acked past its lease).
 func FailoverCampaign(p ChaosParams) (string, []FailoverOutcome, error) {
 	p = p.WithDefaults()
 	var outcomes []FailoverOutcome
 	var firstErr error
 	var rows []Row
-	crashed, failed := 0, 0
-	var commits, acked uint64
+	crashed, failed, partitions, retried, dedup := 0, 0, 0, 0, 0
+	var commits, acked, zombies uint64
 	for s := 0; s < p.Seeds; s++ {
 		o := RunFailoverOne(p.BaseSeed+int64(s), p)
 		outcomes = append(outcomes, o)
 		commits += o.Commits
 		acked += uint64(o.Acked)
+		partitions += o.Partitions
+		retried += o.Retried
+		dedup += o.DedupHits
+		zombies += o.ZombieRefused
 		if o.CrashFired {
 			crashed++
 		}
@@ -260,10 +469,12 @@ func FailoverCampaign(p ChaosParams) (string, []FailoverOutcome, error) {
 	}
 	rows = append(rows, Row{
 		"failover", fmt.Sprintf("%d", p.Seeds), fmt.Sprintf("%d", crashed),
-		fmt.Sprintf("%d", commits), fmt.Sprintf("%d", acked),
-		fmt.Sprintf("%d", failed),
+		fmt.Sprintf("%d", partitions), fmt.Sprintf("%d", commits),
+		fmt.Sprintf("%d", acked), fmt.Sprintf("%d/%d", dedup, retried),
+		fmt.Sprintf("%d", zombies), fmt.Sprintf("%d", failed),
 	})
-	report := Table(Row{"target", "seeds", "mid-run crashes", "commits", "acked keys", "violations"}, rows)
+	report := Table(Row{"target", "seeds", "crashes", "partitions", "commits",
+		"acked keys", "dedup/retried", "zombie refusals", "violations"}, rows)
 	if firstErr != nil {
 		report += "\nFIRST FAILURE: " + firstErr.Error() + "\n"
 	}

@@ -205,16 +205,23 @@ func CrashOutcomesJSON(outcomes []CrashOutcome) ([]byte, error) {
 // FailoverOutcomeJSON mirrors FailoverOutcome with the error
 // stringified.
 type FailoverOutcomeJSON struct {
-	Seed         int64  `json:"seed"`
-	Plan         string `json:"plan"`
-	CrashFired   bool   `json:"crash_fired"`
-	Commits      uint64 `json:"commits"`
-	Aborts       uint64 `json:"aborts"`
-	GaveUp       uint64 `json:"gave_up"`
-	AckedKeys    int    `json:"acked_keys"`
-	PromotedTxns int    `json:"promoted_txns"`
-	InDoubt      int    `json:"in_doubt"`
-	Err          string `json:"err,omitempty"`
+	Seed          int64  `json:"seed"`
+	Plan          string `json:"plan"`
+	CrashFired    bool   `json:"crash_fired"`
+	Commits       uint64 `json:"commits"`
+	Aborts        uint64 `json:"aborts"`
+	GaveUp        uint64 `json:"gave_up"`
+	AckedKeys     int    `json:"acked_keys"`
+	Partitions    int    `json:"partitions"`
+	AckWithheld   uint64 `json:"ack_withheld"`
+	ZombieRefused uint64 `json:"zombie_refused"`
+	Retried       int    `json:"retried"`
+	DedupHits     int    `json:"dedup_hits"`
+	LeaseEpoch    uint64 `json:"lease_epoch"`
+	PromotedTxns  int    `json:"promoted_txns"`
+	InDoubt       int    `json:"in_doubt"`
+	HistoryTxns   int    `json:"history_txns"`
+	Err           string `json:"err,omitempty"`
 }
 
 // FailoverOutcomesJSON renders a failover sweep as an indented JSON
@@ -225,8 +232,11 @@ func FailoverOutcomesJSON(outcomes []FailoverOutcome) ([]byte, error) {
 		out[i] = FailoverOutcomeJSON{
 			Seed: o.Seed, Plan: o.Plan, CrashFired: o.CrashFired,
 			Commits: o.Commits, Aborts: o.Aborts, GaveUp: o.GaveUp,
-			AckedKeys: o.Acked, PromotedTxns: o.PromotedTxns,
-			InDoubt: o.InDoubt,
+			AckedKeys: o.Acked, Partitions: o.Partitions,
+			AckWithheld: o.AckWithheld, ZombieRefused: o.ZombieRefused,
+			Retried: o.Retried, DedupHits: o.DedupHits,
+			LeaseEpoch: o.LeaseEpoch, PromotedTxns: o.PromotedTxns,
+			InDoubt: o.InDoubt, HistoryTxns: o.HistoryTxns,
 		}
 		if o.Err != nil {
 			out[i].Err = o.Err.Error()

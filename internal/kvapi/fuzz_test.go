@@ -1,0 +1,88 @@
+package kvapi
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeRequest asserts request decoding is total (no panics, no
+// over-reads) and that every accepted body re-encodes to a body that
+// decodes to the same request — the round-trip closure property that
+// keeps the client and server views of a frame identical.
+func FuzzDecodeRequest(f *testing.F) {
+	seeds := []Request{
+		{Type: MsgPing},
+		{Type: MsgTxn, Ops: []Op{
+			{Kind: OpGet, Key: 3},
+			{Kind: OpPut, Key: 9, Val: -1},
+		}, Session: 7, Seq: 12},
+		{Type: MsgGet, Key: 1<<63 - 1},
+		{Type: MsgPut, Key: 7, Val: -42},
+		{Type: MsgReplPoll, Stream: 4, Seg: 2, Off: 8190, Max: 1 << 16},
+	}
+	for _, r := range seeds {
+		f.Add(AppendRequest(nil, r))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{byte(MsgTxn), 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add(AppendRequest(nil, seeds[1])[:5])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(data)
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		again, err := DecodeRequest(AppendRequest(nil, req))
+		if err != nil {
+			t.Fatalf("re-encode of accepted request fails to decode: %v", err)
+		}
+		normalizeReqOps(&req)
+		normalizeReqOps(&again)
+		if !reflect.DeepEqual(req, again) {
+			t.Fatalf("round trip diverged:\n first %+v\nsecond %+v", req, again)
+		}
+	})
+}
+
+// FuzzDecodeResponse mirrors FuzzDecodeRequest for the response side.
+func FuzzDecodeResponse(f *testing.F) {
+	seeds := []Response{
+		{Status: StatusOK, Results: []Result{{Val: 5, Found: true}}, Retries: 2},
+		{Status: StatusOK, Results: []Result{{Val: -9}}, DedupHit: true, Epoch: 3},
+		{Status: StatusBusy, RetryAfterMs: 15, Msg: "queue full"},
+		{Status: StatusRedirect, Redirect: "127.0.0.1:7001"},
+		{Status: StatusOK, Data: []byte{1, 2, 3}, More: true, Next: true, Appends: 42},
+	}
+	for _, r := range seeds {
+		f.Add(AppendResponse(nil, r))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{byte(StatusOK), 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add(AppendResponse(nil, seeds[0])[:4])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := DecodeResponse(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeResponse(AppendResponse(nil, resp))
+		if err != nil {
+			t.Fatalf("re-encode of accepted response fails to decode: %v", err)
+		}
+		if len(resp.Results) == 0 {
+			resp.Results = nil
+		}
+		if len(again.Results) == 0 {
+			again.Results = nil
+		}
+		if !reflect.DeepEqual(resp, again) {
+			t.Fatalf("round trip diverged:\n first %+v\nsecond %+v", resp, again)
+		}
+	})
+}
+
+func normalizeReqOps(r *Request) {
+	if len(r.Ops) == 0 {
+		r.Ops = nil
+	}
+}

@@ -12,6 +12,10 @@ import "fmt"
 // TxnRequestJSON is the body of POST /txn.
 type TxnRequestJSON struct {
 	Ops []OpJSON `json:"ops"`
+	// Session/Seq mirror the binary protocol's exactly-once identity
+	// (0 = no session).
+	Session uint64 `json:"session,omitempty"`
+	Seq     uint64 `json:"seq,omitempty"`
 }
 
 // OpJSON is one operation: {"op":"get","key":7} or
@@ -31,6 +35,8 @@ type TxnResponseJSON struct {
 	// Redirect is the address to retry against when Status is
 	// "redirect" (a follower refusing a write names its primary).
 	Redirect string `json:"redirect,omitempty"`
+	// DedupHit marks an answer replayed from the exactly-once table.
+	DedupHit bool   `json:"dedup_hit,omitempty"`
 	Msg      string `json:"msg,omitempty"`
 }
 
@@ -63,6 +69,7 @@ func (r Response) ToJSON() TxnResponseJSON {
 		Retries:      r.Retries,
 		RetryAfterMs: r.RetryAfterMs,
 		Redirect:     r.Redirect,
+		DedupHit:     r.DedupHit,
 		Msg:          r.Msg,
 	}
 	for _, res := range r.Results {

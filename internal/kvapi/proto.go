@@ -99,6 +99,15 @@ type Request struct {
 	Key  uint64 // MsgGet/MsgPut
 	Val  int64  // MsgPut
 	Ops  []Op   // MsgTxn
+	// Session and Seq tag a MsgTxn with the client's exactly-once
+	// identity: Session is the client-assigned retry domain (0 = no
+	// session, plain at-most-once semantics) and Seq the request's
+	// sequence number within it, advanced only after the previous
+	// request's outcome settled. A server holding (Session, Seq) in its
+	// dedup table answers with the original results and DedupHit set
+	// instead of re-executing.
+	Session uint64
+	Seq     uint64
 	// MsgReplPoll: stream index, cursor, and byte budget.
 	Stream int
 	Seg    int
@@ -177,6 +186,10 @@ type Response struct {
 	// cursor should advance to (Seg+1, 0).
 	More bool
 	Next bool
+	// DedupHit reports the response was answered from the server's
+	// exactly-once session table — the original commit's results, not a
+	// fresh execution.
+	DedupHit bool
 	// Appends is the primary's lifetime appended-record count for the
 	// polled stream — the follower's lag reference.
 	Appends uint64
@@ -208,6 +221,8 @@ func AppendRequest(b []byte, r Request) []byte {
 				b = binary.AppendVarint(b, op.Val)
 			}
 		}
+		b = binary.AppendUvarint(b, r.Session)
+		b = binary.AppendUvarint(b, r.Seq)
 	case MsgGet:
 		b = binary.AppendUvarint(b, r.Key)
 	case MsgPut:
@@ -258,6 +273,12 @@ func DecodeRequest(b []byte) (Request, error) {
 				}
 			}
 			r.Ops = append(r.Ops, op)
+		}
+		if r.Session, b, err = takeUvarint(b); err != nil {
+			return r, err
+		}
+		if r.Seq, b, err = takeUvarint(b); err != nil {
+			return r, err
 		}
 	case MsgGet:
 		if r.Key, b, err = takeUvarint(b); err != nil {
@@ -319,6 +340,9 @@ func AppendResponse(b []byte, r Response) []byte {
 	}
 	if r.Next {
 		flags |= 2
+	}
+	if r.DedupHit {
+		flags |= 4
 	}
 	b = append(b, flags)
 	b = binary.AppendUvarint(b, r.Appends)
@@ -386,7 +410,7 @@ func DecodeResponse(b []byte) (Response, error) {
 	if len(b) == 0 {
 		return r, errShort
 	}
-	r.More, r.Next = b[0]&1 != 0, b[0]&2 != 0
+	r.More, r.Next, r.DedupHit = b[0]&1 != 0, b[0]&2 != 0, b[0]&4 != 0
 	b = b[1:]
 	if r.Appends, b, err = takeUvarint(b); err != nil {
 		return r, err

@@ -28,6 +28,20 @@ type ReconnectOptions struct {
 	Seed int64
 	// Sleep is a test seam; nil means time.Sleep.
 	Sleep func(time.Duration)
+	// Fallbacks are other cluster addresses to rotate to when the
+	// current target cannot be dialed (the primary died and a follower
+	// will answer — or redirect — instead). The original address stays
+	// in the rotation ring.
+	Fallbacks []string
+	// Session, when nonzero, stamps every one-shot transaction with
+	// this exactly-once session id and a sequence number the client
+	// advances only after the previous request settled (any response
+	// from the server settles it; an ambiguous transport failure does
+	// not). After Do returns an error, the NEXT Do call reuses the same
+	// sequence number — the caller must re-issue the same operations,
+	// and a server that committed the original answers from its dedup
+	// table instead of re-executing.
+	Session uint64
 }
 
 func (o ReconnectOptions) withDefaults() ReconnectOptions {
@@ -54,6 +68,8 @@ type ReconnectStats struct {
 	Redials   uint64 `json:"redials"`
 	BusyWaits uint64 `json:"busy_waits"`
 	Redirects uint64 `json:"redirects"`
+	Failovers uint64 `json:"failovers"`
+	DedupHits uint64 `json:"dedup_hits"`
 }
 
 // ReconnectClient is a self-healing one-shot client: it redials broken
@@ -61,18 +77,23 @@ type ReconnectStats struct {
 // admission hints on StatusBusy, and follows StatusRedirect frames to
 // the primary (a follower answering a write names where writes go).
 //
-// Delivery is at-least-once across reconnects: a one-shot transaction
-// whose response was lost in a transport error is retried and may have
-// already applied. Use naturally idempotent operations (monotonic
-// counters, last-writer-wins puts) or an interactive session on a raw
-// Client when exactly-once matters.
+// Without a session id, delivery is at-least-once across reconnects: a
+// one-shot transaction whose response was lost in a transport error is
+// retried and may have already applied. With ReconnectOptions.Session
+// set, delivery is exactly-once: every retry — including a blind retry
+// of an ambiguous outcome against a freshly promoted primary — carries
+// the same (session, seq), and a server that committed the original
+// answers from its durable dedup table.
 type ReconnectClient struct {
-	mu    sync.Mutex
-	addr  string
-	c     *Client
-	opts  ReconnectOptions
-	rng   *rand.Rand
-	stats ReconnectStats
+	mu      sync.Mutex
+	addr    string
+	c       *Client
+	opts    ReconnectOptions
+	rng     *rand.Rand
+	ring    int // next fallback to rotate to
+	seq     uint64
+	pending bool // seq assigned but not yet settled by a response
+	stats   ReconnectStats
 }
 
 // NewReconnectClient targets addr; no connection is made until the
@@ -135,16 +156,26 @@ func (rc *ReconnectClient) drop(c *Client) {
 	}
 }
 
-// backoff sleeps the jittered exponential delay for attempt n.
-func (rc *ReconnectClient) backoff(n int) {
-	d := rc.opts.BaseDelay << uint(n)
-	if d <= 0 || d > rc.opts.MaxDelay {
-		d = rc.opts.MaxDelay
+// Backoff computes attempt n's delay: capped exponential with full
+// jitter — uniform in [0, min(MaxDelay, BaseDelay<<n)]. Full jitter
+// (rather than a multiplicative band around the midpoint) spreads a
+// thundering herd across the whole window, and the cap bounds every
+// sleep even at high attempt counts where the shift overflows.
+// Exported as a pure function of the draw so tests pin the bound.
+func Backoff(base, max time.Duration, n int, draw float64) time.Duration {
+	d := base << uint(n)
+	if d <= 0 || d > max {
+		d = max // shift overflow lands here too
 	}
+	return time.Duration(draw * float64(d))
+}
+
+// backoff sleeps the capped full-jitter delay for attempt n.
+func (rc *ReconnectClient) backoff(n int) {
 	rc.mu.Lock()
-	jitter := 0.5 + rc.rng.Float64() // [0.5, 1.5): desynchronizes stampedes
+	draw := rc.rng.Float64()
 	rc.mu.Unlock()
-	rc.opts.Sleep(time.Duration(float64(d) * jitter))
+	rc.opts.Sleep(Backoff(rc.opts.BaseDelay, rc.opts.MaxDelay, n, draw))
 }
 
 // busyWait honors an admission-control Retry-After hint.
@@ -160,6 +191,33 @@ func (rc *ReconnectClient) busyWait(ms uint32, attempt int) {
 	jitter := 0.5 + rc.rng.Float64()
 	rc.mu.Unlock()
 	rc.opts.Sleep(time.Duration(float64(time.Duration(ms)*time.Millisecond) * jitter))
+}
+
+// rotate moves the target to the next address in the fallback ring
+// (Fallbacks, then back around) after a dial or transport failure —
+// the client-side half of failover: when the primary dies, some other
+// node answers (or redirects to whoever was promoted).
+func (rc *ReconnectClient) rotate() {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if len(rc.opts.Fallbacks) == 0 {
+		return
+	}
+	next := rc.opts.Fallbacks[rc.ring%len(rc.opts.Fallbacks)]
+	rc.ring++
+	if next == rc.addr {
+		if len(rc.opts.Fallbacks) == 1 {
+			return
+		}
+		next = rc.opts.Fallbacks[rc.ring%len(rc.opts.Fallbacks)]
+		rc.ring++
+	}
+	rc.stats.Failovers++
+	rc.addr = next
+	if rc.c != nil {
+		rc.c.Close()
+		rc.c = nil
+	}
 }
 
 // Retarget points the client at a new address (a failover the caller
@@ -198,6 +256,7 @@ func (rc *ReconnectClient) do(req Request) (Response, error) {
 		c, err := rc.ensure()
 		if err != nil {
 			lastErr = err
+			rc.rotate()
 			rc.backoff(attempt)
 			continue
 		}
@@ -205,6 +264,7 @@ func (rc *ReconnectClient) do(req Request) (Response, error) {
 		if err != nil {
 			rc.drop(c)
 			lastErr = err
+			rc.rotate()
 			rc.backoff(attempt)
 			continue
 		}
@@ -228,10 +288,63 @@ func (rc *ReconnectClient) do(req Request) (Response, error) {
 	return Response{}, fmt.Errorf("%w after %d attempts: %v", ErrRetriesExhausted, rc.opts.MaxTries, lastErr)
 }
 
-// Do executes ops as one one-shot atomic transaction (at-least-once
-// across reconnects; see the type comment).
+// Do executes ops as one one-shot atomic transaction. With a session
+// configured, the request carries the exactly-once identity: the
+// sequence number advances only once the server settles the previous
+// request with a definitive commit or abort — after an ambiguous
+// outcome (transport failure, "commit state unknown") the next Do
+// reuses the same sequence number, so the caller must re-issue the
+// same operations until one Do settles.
 func (rc *ReconnectClient) Do(ops []Op) (Response, error) {
-	return rc.do(Request{Type: MsgTxn, Ops: ops})
+	req := Request{Type: MsgTxn, Ops: ops}
+	if rc.opts.Session != 0 {
+		rc.mu.Lock()
+		if !rc.pending {
+			rc.seq++
+			rc.pending = true
+		}
+		req.Session, req.Seq = rc.opts.Session, rc.seq
+		rc.mu.Unlock()
+	}
+	resp, err := rc.do(req)
+	if rc.opts.Session != 0 && err == nil {
+		rc.mu.Lock()
+		if resp.Status == StatusOK || resp.Status == StatusAborted {
+			rc.pending = false
+		}
+		if resp.DedupHit {
+			rc.stats.DedupHits++
+		}
+		rc.mu.Unlock()
+	}
+	return resp, err
+}
+
+// Redo re-issues ops under the session's CURRENT sequence number
+// without advancing it — the blind retry a client makes after losing a
+// response (or restarting with a persisted sequence number). If the
+// original request settled, the server answers from its dedup table
+// with DedupHit set instead of executing ops again.
+func (rc *ReconnectClient) Redo(ops []Op) (Response, error) {
+	if rc.opts.Session == 0 {
+		return Response{}, errors.New("kvapi: Redo requires a session")
+	}
+	rc.mu.Lock()
+	if rc.seq == 0 {
+		rc.mu.Unlock()
+		return Response{}, errors.New("kvapi: Redo before any sessioned request")
+	}
+	rc.pending = true
+	rc.mu.Unlock()
+	return rc.Do(ops)
+}
+
+// Seq reports the session's current sequence number and whether it is
+// still pending settlement (tests and ledgers).
+func (rc *ReconnectClient) Seq() (seq uint64, pending bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.seq, rc.pending
 }
 
 // Ping probes liveness through the recovery loop.

@@ -1,0 +1,208 @@
+package kvapi
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBackoffBound pins the capped full-jitter policy: the delay for
+// attempt n is uniform in [0, min(MaxDelay, Base<<n)] — never negative,
+// never past the cap, cap-bound even when the shift overflows, and the
+// full window is actually used (draw 1 reaches the bound, draw 0 is
+// zero).
+func TestBackoffBound(t *testing.T) {
+	const base, max = 10 * time.Millisecond, 2 * time.Second
+	cases := []struct {
+		n     int
+		draw  float64
+		want  time.Duration
+		bound time.Duration
+	}{
+		{n: 0, draw: 0, want: 0, bound: base},
+		{n: 0, draw: 1, want: base, bound: base},
+		{n: 1, draw: 1, want: 2 * base, bound: 2 * base},
+		{n: 3, draw: 0.5, want: 4 * base, bound: 8 * base},
+		{n: 7, draw: 1, want: 1280 * time.Millisecond, bound: 1280 * time.Millisecond},
+		{n: 8, draw: 1, want: max, bound: max},     // 2.56s > cap
+		{n: 40, draw: 1, want: max, bound: max},    // far past the cap
+		{n: 62, draw: 1, want: max, bound: max},    // shift overflow
+		{n: 200, draw: 0.999, want: 0, bound: max}, // want checked below
+		{n: 5, draw: 0.25, want: 80 * time.Millisecond, bound: 320 * time.Millisecond},
+	}
+	for _, c := range cases {
+		got := Backoff(base, max, c.n, c.draw)
+		if got < 0 || got > c.bound {
+			t.Fatalf("attempt %d draw %g: delay %v outside [0, %v]", c.n, c.draw, got, c.bound)
+		}
+		if c.want != 0 || c.draw == 0 {
+			if got != c.want {
+				t.Fatalf("attempt %d draw %g: delay %v, want %v", c.n, c.draw, got, c.want)
+			}
+		}
+	}
+	// Whatever the attempt and draw, the cap holds.
+	for n := 0; n < 100; n++ {
+		for _, draw := range []float64{0, 0.3, 0.7, 0.999999} {
+			if d := Backoff(base, max, n, draw); d < 0 || d > max {
+				t.Fatalf("attempt %d draw %g escaped the cap: %v", n, draw, d)
+			}
+		}
+	}
+}
+
+// fakeNode is a minimal in-package wire server for client tests: it
+// answers every request via fn and records what it saw.
+type fakeNode struct {
+	ln net.Listener
+	mu sync.Mutex
+	wg sync.WaitGroup
+
+	reqs []Request
+	fn   func(Request) Response
+}
+
+func startFakeNode(t *testing.T, fn func(Request) Response) *fakeNode {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := &fakeNode{ln: ln, fn: fn}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				defer conn.Close()
+				br, bw := bufio.NewReader(conn), bufio.NewWriter(conn)
+				for {
+					req, err := ReadRequest(br)
+					if err != nil {
+						return
+					}
+					n.mu.Lock()
+					n.reqs = append(n.reqs, req)
+					resp := n.fn(req)
+					n.mu.Unlock()
+					if err := WriteResponse(bw, resp); err != nil {
+						return
+					}
+					if err := bw.Flush(); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		n.wg.Wait()
+	})
+	return n
+}
+
+func (n *fakeNode) addr() string { return n.ln.Addr().String() }
+
+func (n *fakeNode) requests() []Request {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]Request(nil), n.reqs...)
+}
+
+// TestSessionSeqReuseAcrossAmbiguity checks the client half of
+// exactly-once: the sequence number advances on settled outcomes and
+// is REUSED after an ambiguous one, so the server-side dedup table can
+// recognize the retry.
+func TestSessionSeqReuseAcrossAmbiguity(t *testing.T) {
+	fail := true
+	seen := map[uint64]bool{}
+	node := startFakeNode(t, func(req Request) Response {
+		if fail {
+			seen[req.Seq] = true // the commit landed; only the ack is lost
+			return Response{Status: StatusError, Msg: "commit state unknown"}
+		}
+		dedup := seen[req.Seq]
+		seen[req.Seq] = true
+		return Response{Status: StatusOK, DedupHit: dedup}
+	})
+	rc := NewReconnectClient(node.addr(), ReconnectOptions{
+		Session: 9, Seed: 1, MaxTries: 2,
+		BaseDelay: time.Microsecond, MaxDelay: time.Microsecond,
+		Sleep: func(time.Duration) {},
+	})
+	defer rc.Close()
+
+	ops := []Op{{Kind: OpPut, Key: 1, Val: 5}}
+	resp, err := rc.Do(ops)
+	if err != nil || resp.Status != StatusError {
+		t.Fatalf("ambiguous outcome: %+v err=%v", resp, err)
+	}
+	if seq, pending := rc.Seq(); seq != 1 || !pending {
+		t.Fatalf("after ambiguity: seq=%d pending=%v, want 1/true", seq, pending)
+	}
+	node.mu.Lock()
+	fail = false
+	node.mu.Unlock()
+	resp, err = rc.Do(ops)
+	if err != nil || resp.Status != StatusOK || !resp.DedupHit {
+		t.Fatalf("retry: %+v err=%v", resp, err)
+	}
+	if seq, pending := rc.Seq(); seq != 1 || pending {
+		t.Fatalf("after settle: seq=%d pending=%v, want 1/false", seq, pending)
+	}
+	if _, err := rc.Do(ops); err != nil {
+		t.Fatal(err)
+	}
+	if seq, _ := rc.Seq(); seq != 2 {
+		t.Fatalf("fresh request got seq %d, want 2", seq)
+	}
+	reqs := node.requests()
+	if len(reqs) != 3 {
+		t.Fatalf("server saw %d requests, want 3", len(reqs))
+	}
+	if reqs[0].Session != 9 || reqs[0].Seq != 1 || reqs[1].Seq != 1 || reqs[2].Seq != 2 {
+		t.Fatalf("wire seqs: %+v", reqs)
+	}
+	if st := rc.Stats(); st.DedupHits != 1 {
+		t.Fatalf("dedup hits = %d, want 1", st.DedupHits)
+	}
+}
+
+// TestFallbackRotation checks that a dead target makes the client
+// rotate through Fallbacks instead of hammering the corpse.
+func TestFallbackRotation(t *testing.T) {
+	live := startFakeNode(t, func(Request) Response { return Response{Status: StatusOK} })
+	// A dead address: listen then close, so dialing fails fast.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	rc := NewReconnectClient(deadAddr, ReconnectOptions{
+		Seed: 1, MaxTries: 8,
+		BaseDelay: time.Microsecond, MaxDelay: time.Microsecond,
+		Sleep:     func(time.Duration) {},
+		Fallbacks: []string{deadAddr, live.addr()},
+	})
+	defer rc.Close()
+	if err := rc.Ping(); err != nil {
+		t.Fatalf("ping never reached the live fallback: %v", err)
+	}
+	if rc.Addr() != live.addr() {
+		t.Fatalf("client settled on %s, want %s", rc.Addr(), live.addr())
+	}
+	if st := rc.Stats(); st.Failovers == 0 {
+		t.Fatal("no failover counted")
+	}
+}

@@ -88,6 +88,21 @@ func writeProm(w io.Writer, s Snapshot) error {
 			p("pushpull_repl_lag_records{stream=%q} %d\n", st, s.ReplLag[st])
 		}
 	}
+	if s.DedupHits > 0 {
+		p("# HELP pushpull_dedup_hits Exactly-once retries answered from the session dedup table.\n")
+		p("# TYPE pushpull_dedup_hits counter\n")
+		p("pushpull_dedup_hits %d\n", s.DedupHits)
+	}
+	if s.FailoverTotal > 0 {
+		p("# HELP pushpull_failover_total Automatic promotions the supervisor drove to completion.\n")
+		p("# TYPE pushpull_failover_total counter\n")
+		p("pushpull_failover_total %d\n", s.FailoverTotal)
+	}
+	if s.LeaseEpoch > 0 {
+		p("# HELP pushpull_lease_epoch Lease epoch this node currently holds (0 = no lease).\n")
+		p("# TYPE pushpull_lease_epoch gauge\n")
+		p("pushpull_lease_epoch %d\n", s.LeaseEpoch)
+	}
 
 	if len(s.Requests) > 0 {
 		p("# HELP pushpull_requests_total KV server requests by endpoint and outcome.\n")

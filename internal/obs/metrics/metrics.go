@@ -176,6 +176,10 @@ type Metrics struct {
 	replMu   sync.RWMutex
 	replRole string            // primary | follower | promoting ("" = not replicated)
 	replLag  map[string]uint64 // stream label → record lag behind the primary
+
+	dedupHits  counter       // exactly-once retries answered from the session table
+	failovers  counter       // automatic promotions driven to completion
+	leaseEpoch atomic.Uint64 // current lease epoch held (0 = no lease)
 }
 
 // New returns an empty Metrics with the default bucket layouts:
@@ -368,6 +372,24 @@ func (m *Metrics) ReplLagSet(stream string, lag uint64) {
 	m.replMu.Unlock()
 }
 
+// DedupHit observes one exactly-once retry answered from the session
+// dedup table instead of re-executing. Exported as pushpull_dedup_hits.
+func (m *Metrics) DedupHit(session uint64) { m.dedupHits.add(session) }
+
+// DedupHits reads the dedup-hit total.
+func (m *Metrics) DedupHits() uint64 { return m.dedupHits.Load() }
+
+// FailoverObserved counts one automatic promotion driven to completion
+// by the supervisor. Exported as pushpull_failover_total.
+func (m *Metrics) FailoverObserved() { m.failovers.add(0) }
+
+// LeaseEpochSet publishes the lease epoch this node currently holds
+// (0 after losing it). Exported as the pushpull_lease_epoch gauge.
+func (m *Metrics) LeaseEpochSet(epoch uint64) { m.leaseEpoch.Store(epoch) }
+
+// LeaseEpoch reads the published lease epoch.
+func (m *Metrics) LeaseEpoch() uint64 { return m.leaseEpoch.Load() }
+
 // Snapshot is a plain-value copy of every aggregate. Each counter is
 // internally consistent (monotonic); the snapshot as a whole is taken
 // without stopping writers, so cross-counter sums may be mid-update by
@@ -388,6 +410,9 @@ type Snapshot struct {
 	ShardInflight map[string]int64           `json:"shard_inflight,omitempty"`
 	ReplRole      string                     `json:"repl_role,omitempty"`
 	ReplLag       map[string]uint64          `json:"repl_lag_records,omitempty"`
+	DedupHits     uint64                     `json:"dedup_hits,omitempty"`
+	FailoverTotal uint64                     `json:"failover_total,omitempty"`
+	LeaseEpoch    uint64                     `json:"lease_epoch,omitempty"`
 
 	RetryDepth  HistogramSnapshot `json:"retry_depth"`
 	PushToCmtNs HistogramSnapshot `json:"push_to_cmt_ns"`
@@ -456,6 +481,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		}
 	}
 	m.shardsMu.RUnlock()
+	s.DedupHits = m.dedupHits.Load()
+	s.FailoverTotal = m.failovers.Load()
+	s.LeaseEpoch = m.leaseEpoch.Load()
 	m.replMu.RLock()
 	s.ReplRole = m.replRole
 	if len(m.replLag) > 0 {

@@ -376,3 +376,70 @@ func TestReplMetricsSnapshotConsistency(t *testing.T) {
 		}
 	}
 }
+
+// TestFailoverMetricsSnapshotConsistency hammers the exactly-once and
+// failover telemetry (dedup-hit counter, lease-epoch gauge, failover
+// counter) from writers while snapshotting and rendering concurrently;
+// under -race this proves the counters' atomics discipline, and every
+// snapshot must be internally coherent (counters monotone, the lease
+// epoch always a value some writer published).
+func TestFailoverMetricsSnapshotConsistency(t *testing.T) {
+	m := metrics.New()
+	m.DedupHit(1)
+	m.FailoverObserved()
+	m.LeaseEpochSet(1)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.DedupHit(uint64(w*31 + i))
+				m.LeaseEpochSet(uint64(1 + i%5))
+				if i%16 == 0 {
+					m.FailoverObserved()
+				}
+			}
+		}(w)
+	}
+	var lastHits, lastFailovers uint64
+	for i := 0; i < 200; i++ {
+		s := m.Snapshot()
+		if s.DedupHits < lastHits {
+			t.Fatalf("dedup hits regressed: %d after %d", s.DedupHits, lastHits)
+		}
+		if s.FailoverTotal < lastFailovers {
+			t.Fatalf("failover total regressed: %d after %d", s.FailoverTotal, lastFailovers)
+		}
+		lastHits, lastFailovers = s.DedupHits, s.FailoverTotal
+		if s.LeaseEpoch > 5 {
+			t.Fatalf("snapshot saw impossible lease epoch %d", s.LeaseEpoch)
+		}
+		var b strings.Builder
+		if err := m.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	s := m.Snapshot()
+	if s.DedupHits == 0 || s.FailoverTotal == 0 || s.LeaseEpoch == 0 {
+		t.Fatalf("final snapshot lost failover state: %+v", s)
+	}
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"pushpull_dedup_hits ", "pushpull_failover_total ", "pushpull_lease_epoch "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}

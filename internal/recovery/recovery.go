@@ -66,6 +66,15 @@ func (s State) Equal(o State) bool {
 	return true
 }
 
+// SessionEntry is one recovered exactly-once dedup entry: the highest
+// request sequence number a session committed, with the results its
+// commit produced. A retry of SeqNo is answered from Results; a lower
+// sequence number is stale; a higher one executes fresh.
+type SessionEntry struct {
+	SeqNo   uint64
+	Results []wal.SessResult
+}
+
 // Report is the outcome of a replay.
 type Report struct {
 	State State
@@ -90,6 +99,12 @@ type Report struct {
 	// stamp). They indicate corruption that slipped past the checksums
 	// and make the recovered state untrustworthy.
 	Anomalies []string
+	// Sessions is the recovered exactly-once dedup table, keyed by
+	// session id. An entry exists only when the TSession record's named
+	// transaction committed in this prefix (or the record was an
+	// unconditional checkpoint entry): a session record whose commit was
+	// lost to the crash describes a request that never took effect.
+	Sessions map[uint64]SessionEntry
 }
 
 // Ok reports whether the replay saw no anomalies. Truncation and

@@ -179,3 +179,55 @@ func TestReplayIsIdempotentOnHandBuiltLogs(t *testing.T) {
 		t.Fatalf("recover∘relog not a fixpoint:\n%+v\nvs\n%+v", fix.State.Txns, once.State.Txns)
 	}
 }
+
+func TestRecoverSessionTable(t *testing.T) {
+	image := seg(
+		// Committed request: session record precedes its commit.
+		push(1, "s7.1", 10, 0, adt.MWrite, []int64{0, 5}, 0),
+		wal.Record{Type: wal.TSession, Tx: 1, Session: 7, SeqNo: 1, Name: "s7.1",
+			Results: []wal.SessResult{{}}},
+		wal.Record{Type: wal.TCommit, Tx: 1, Name: "s7.1", Stamp: 1},
+		// Superseded by a later committed request on the same session.
+		push(2, "s7.2", 11, 0, adt.MWrite, []int64{0, 6}, 0),
+		wal.Record{Type: wal.TSession, Tx: 2, Session: 7, SeqNo: 2, Name: "s7.2",
+			Results: []wal.SessResult{{Val: 5, Found: true}}},
+		wal.Record{Type: wal.TCommit, Tx: 2, Name: "s7.2", Stamp: 2},
+		// Unconditional checkpoint entry for another session.
+		wal.Record{Type: wal.TSession, Session: 9, SeqNo: 4, Name: "",
+			Results: []wal.SessResult{{Val: 1, Found: true}}},
+		// Session record whose commit the crash swallowed: no entry.
+		push(3, "s8.1", 12, 0, adt.MWrite, []int64{1, 9}, 0),
+		wal.Record{Type: wal.TSession, Tx: 3, Session: 8, SeqNo: 1, Name: "s8.1",
+			Results: []wal.SessResult{{}}},
+	)
+	rep := Recover([][]byte{image})
+	if !rep.Ok() {
+		t.Fatalf("anomalies: %v", rep.Anomalies)
+	}
+	if len(rep.Sessions) != 2 {
+		t.Fatalf("recovered %d session entries, want 2: %v", len(rep.Sessions), rep.Sessions)
+	}
+	if e := rep.Sessions[7]; e.SeqNo != 2 || len(e.Results) != 1 || e.Results[0].Val != 5 || !e.Results[0].Found {
+		t.Fatalf("session 7: %+v", e)
+	}
+	if e := rep.Sessions[9]; e.SeqNo != 4 || len(e.Results) != 1 || e.Results[0].Val != 1 {
+		t.Fatalf("session 9: %+v", e)
+	}
+	if _, ok := rep.Sessions[8]; ok {
+		t.Fatal("session 8's commit was lost; entry must not be recovered")
+	}
+}
+
+func TestSessionFoldKeepsLatestSeq(t *testing.T) {
+	rp := NewReplayer()
+	// A retried request can re-log the same session record on a later
+	// attempt; equal and lower sequence numbers must not regress the
+	// table.
+	rp.Apply(wal.Record{Type: wal.TSession, Session: 3, SeqNo: 5, Name: "",
+		Results: []wal.SessResult{{Val: 50}}})
+	rp.Apply(wal.Record{Type: wal.TSession, Session: 3, SeqNo: 4, Name: "",
+		Results: []wal.SessResult{{Val: 40}}})
+	if e := rp.Sessions()[3]; e.SeqNo != 5 || e.Results[0].Val != 50 {
+		t.Fatalf("table regressed: %+v", e)
+	}
+}

@@ -24,11 +24,41 @@ type Replayer struct {
 	abortMarks   int
 	discardedOps int // ops dropped by abort marks with crash-interleaved leftovers
 	records      int
+	// sessMarks holds TSession records whose named transaction has not
+	// committed yet, keyed by that name; the matching CMT folds the mark
+	// into sessions. Marks left over at snapshot time belong to requests
+	// whose commit the crash swallowed — they are dropped, which is the
+	// point: the retry may re-execute because the original never took
+	// effect.
+	sessMarks map[string]sessMark
+	sessions  map[uint64]SessionEntry
+}
+
+// sessMark is a session record awaiting its transaction's commit.
+type sessMark struct {
+	session uint64
+	seqNo   uint64
+	results []wal.SessResult
 }
 
 // NewReplayer starts an empty fold.
 func NewReplayer() *Replayer {
-	return &Replayer{pending: make(map[uint64]*pendingTxn)}
+	return &Replayer{
+		pending:   make(map[uint64]*pendingTxn),
+		sessMarks: make(map[string]sessMark),
+		sessions:  make(map[uint64]SessionEntry),
+	}
+}
+
+// foldSession admits a session entry into the committed table. Later
+// sequence numbers win; a client only advances its sequence number
+// after the previous request's outcome is settled, so this keeps the
+// latest settled request per session.
+func (rp *Replayer) foldSession(m sessMark) {
+	if cur, ok := rp.sessions[m.session]; ok && cur.SeqNo >= m.seqNo {
+		return
+	}
+	rp.sessions[m.session] = SessionEntry{SeqNo: m.seqNo, Results: m.results}
 }
 
 // Apply folds one record.
@@ -72,6 +102,10 @@ func (rp *Replayer) Apply(r wal.Record) {
 			sort.SliceStable(t.Ops, func(i, j int) bool { return t.Ops[i].Seq < t.Ops[j].Seq })
 		}
 		rp.txns = append(rp.txns, t)
+		if m, ok := rp.sessMarks[r.Name]; ok {
+			delete(rp.sessMarks, r.Name)
+			rp.foldSession(m)
+		}
 	case wal.TAbort:
 		rp.abortMarks++
 		if p := rp.pending[r.Tx]; p != nil {
@@ -79,6 +113,15 @@ func (rp *Replayer) Apply(r wal.Record) {
 			// the crash interleaved, drop the remainder.
 			rp.discardedOps += len(p.ops)
 			delete(rp.pending, r.Tx)
+		}
+	case wal.TSession:
+		m := sessMark{session: r.Session, seqNo: r.SeqNo, results: r.Results}
+		if r.Name == "" {
+			// Checkpoint entry re-logged at boot: its conditionality was
+			// already discharged on the previous timeline.
+			rp.foldSession(m)
+		} else {
+			rp.sessMarks[r.Name] = m
 		}
 	default:
 		rp.anomalies = append(rp.anomalies, fmt.Sprintf("unknown record type %d", r.Type))
@@ -105,6 +148,10 @@ func (rp *Replayer) CommittedSince(n int) []Txn {
 // state).
 func (rp *Replayer) Anomalies() []string { return rp.anomalies }
 
+// Sessions returns the committed exactly-once table folded so far
+// (aliases internal state; callers must not mutate it).
+func (rp *Replayer) Sessions() map[uint64]SessionEntry { return rp.sessions }
+
 // Snapshot renders the fold's current state as a Report, exactly as
 // Recover would report the records folded so far. Pending transactions
 // are counted as discarded (they are the would-be crash suffix at this
@@ -119,6 +166,12 @@ func (rp *Replayer) Snapshot() Report {
 		AbortMarks:   rp.abortMarks,
 	}
 	rep.Anomalies = append(rep.Anomalies, rp.anomalies...)
+	if len(rp.sessions) > 0 {
+		rep.Sessions = make(map[uint64]SessionEntry, len(rp.sessions))
+		for k, v := range rp.sessions {
+			rep.Sessions[k] = v
+		}
+	}
 	for _, p := range rp.pending {
 		if len(p.ops) > 0 {
 			rep.Discarded++

@@ -9,14 +9,36 @@ import (
 
 // LinkStats counts one link's wire activity, faults included.
 type LinkStats struct {
-	Batches    uint64 `json:"batches"`
-	Acked      uint64 `json:"acked"`
-	Dropped    uint64 `json:"dropped"`
-	Duplicated uint64 `json:"duplicated"`
-	Reordered  uint64 `json:"reordered"`
-	GapRejects uint64 `json:"gap_rejects"`
-	Fenced     uint64 `json:"fenced_rejects"`
-	Detached   bool   `json:"detached,omitempty"`
+	Batches     uint64 `json:"batches"`
+	Acked       uint64 `json:"acked"`
+	Dropped     uint64 `json:"dropped"`
+	Duplicated  uint64 `json:"duplicated"`
+	Reordered   uint64 `json:"reordered"`
+	GapRejects  uint64 `json:"gap_rejects"`
+	Fenced      uint64 `json:"fenced_rejects"`
+	Partitioned uint64 `json:"partitioned"`
+	Healed      uint64 `json:"healed"`
+	Pending     int    `json:"pending"`
+	Detached    bool   `json:"detached,omitempty"`
+}
+
+// PartitionWindow cuts a link for a range of its batch indices: every
+// batch whose index falls in [From, To) is held in the link's pending
+// backlog instead of delivered, and flushed in order once the window
+// passes (or Heal is called). Windows are batch-index based rather than
+// wall-clock so a seeded run replays exactly.
+//
+// An asymmetric window models the nastier half-open failure: the batch
+// IS delivered (the replica holds and folds the bytes) but the ack is
+// lost on the way back, so the primary must treat it as outstanding.
+// The heal-time retransmit lands as a pure duplicate, which the
+// replica's overlap check trims — and any client retry of a commit
+// acked-withheld during the window is the exactly-once session table's
+// problem, not the replica's.
+type PartitionWindow struct {
+	From uint64 `json:"from"` // first cut batch index
+	To   uint64 `json:"to"`   // first batch index past the window
+	Asym bool   `json:"asym,omitempty"`
 }
 
 // Link ships batches from a primary to one replica with deterministic
@@ -32,6 +54,8 @@ type Link struct {
 	dup     float64
 	reorder float64
 	visit   uint64
+	wins    []PartitionWindow
+	pending []Batch
 	stats   LinkStats
 	err     error
 	group   *Group
@@ -87,18 +111,105 @@ func (ln *Link) deliver(b Batch) bool {
 	}
 }
 
-// ship delivers one batch through the fault model, retransmitting
-// until acked. Faults are decided per transmission attempt; because a
-// "drop" just burns an attempt and the protocol retransmits, shipping
-// always terminates (a deterministic hash cannot drop forever below
-// rate 1, and a hard cap forces the final attempt clean).
+// Partition schedules a cut on the link. Windows may overlap; the link
+// is cut at batch index i when any window covers i.
+func (ln *Link) Partition(w PartitionWindow) {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	ln.wins = append(ln.wins, w)
+}
+
+// Partitioned reports whether batch index idx falls in a cut window
+// (and the covering window, for the asymmetric flag).
+func (ln *Link) window(idx uint64) *PartitionWindow {
+	for i := range ln.wins {
+		if idx >= ln.wins[i].From && idx < ln.wins[i].To {
+			return &ln.wins[i]
+		}
+	}
+	return nil
+}
+
+// Pending reports how many batches the link is holding behind a
+// partition — the backlog a primary's ack gate must treat as
+// not-yet-replicated.
+func (ln *Link) Pending() int {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	return len(ln.pending)
+}
+
+// Heal clears every partition window and flushes the pending backlog
+// now, without waiting for the next shipped batch to notice the window
+// has passed.
+func (ln *Link) Heal() {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	ln.wins = nil
+	ln.flushLocked()
+}
+
+// flushLocked retransmits the pending backlog in ship order through the
+// fault model. Batches delivered during an asymmetric window land as
+// pure duplicates and are trimmed; full-partition batches land as fresh
+// bytes. Stops early if the link detaches mid-flush.
+func (ln *Link) flushLocked() {
+	for len(ln.pending) > 0 && !ln.stats.Detached {
+		b := ln.pending[0]
+		ln.pending = ln.pending[1:]
+		ln.stats.Healed++
+		ln.transmitLocked(b)
+	}
+	ln.stats.Pending = len(ln.pending)
+}
+
+// ship delivers one batch through the fault model: a batch landing in a
+// partition window is held (asymmetric windows deliver it but lose the
+// ack); once past the window, the pending backlog flushes first so
+// bytes land in order.
 func (ln *Link) ship(b Batch) {
 	ln.mu.Lock()
 	defer ln.mu.Unlock()
 	if ln.stats.Detached {
 		return
 	}
+	idx := ln.stats.Batches
 	ln.stats.Batches++
+	if w := ln.window(idx); w != nil {
+		ln.stats.Partitioned++
+		if w.Asym {
+			// The batch crosses; only the ack is lost. Fencing is still
+			// observable (the refusal travels with the delivery attempt);
+			// gaps and poison are not — the heal-time retransmit owns
+			// resolving those.
+			if err := ln.rep.Apply(b); errors.Is(err, ErrFenced) {
+				ln.stats.Fenced++
+				ln.stats.Detached = true
+				if ln.group != nil {
+					ln.group.fencedBy(ln.rep.Epoch())
+				}
+				return
+			}
+		}
+		ln.pending = append(ln.pending, b)
+		ln.stats.Pending = len(ln.pending)
+		return
+	}
+	if len(ln.pending) > 0 {
+		ln.flushLocked()
+		if ln.stats.Detached {
+			return
+		}
+	}
+	ln.transmitLocked(b)
+}
+
+// transmitLocked runs the retransmit loop for one batch, retrying
+// until acked. Faults are decided per transmission attempt; because a
+// "drop" just burns an attempt and the protocol retransmits, shipping
+// always terminates (a deterministic hash cannot drop forever below
+// rate 1, and a hard cap forces the final attempt clean).
+func (ln *Link) transmitLocked(b Batch) {
 	for attempt := 0; ; attempt++ {
 		h := chaos.Hash01(ln.seed, "repl/link", ln.visit)
 		ln.visit++
@@ -211,6 +322,27 @@ func (g *Group) Links() []*Link {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return append([]*Link(nil), g.links...)
+}
+
+// Lagging sums the pending partition backlog across live links — the
+// number of shipped-but-unreplicated batches. Wire it into the
+// engine's AckCheck: while any replica is behind a partition, a commit
+// is durable locally but not on the replicas the ack contract
+// promises, so the ack must be withheld (the exactly-once session
+// table makes the client's blind retry safe).
+func (g *Group) Lagging() int {
+	n := 0
+	for _, ln := range g.Links() {
+		n += ln.Pending()
+	}
+	return n
+}
+
+// Heal clears partition windows and flushes backlogs on every link.
+func (g *Group) Heal() {
+	for _, ln := range g.Links() {
+		ln.Heal()
+	}
 }
 
 // Ship implements shard.Options.Ship: fan the byte range out to every

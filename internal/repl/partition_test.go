@@ -1,0 +1,257 @@
+package repl_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pushpull/internal/chaos"
+	"pushpull/internal/repl"
+	"pushpull/internal/shard"
+)
+
+// TestPartitionedLinkWithholdsAcks drives the full partition contract:
+// while a link is cut the backlog shows up in Group.Lagging, the
+// engine's ack gate (wired to Lagging) withholds acks even though the
+// commit is locally durable, and once the partition heals the backlog
+// flushes in order, the replica converges byte-for-byte, and acks
+// resume. Asymmetric windows deliver the bytes but lose the ack, so
+// the heal-time retransmit must land as pure duplicates.
+func TestPartitionedLinkWithholdsAcks(t *testing.T) {
+	for _, asym := range []bool{false, true} {
+		t.Run(fmt.Sprintf("asym=%v", asym), func(t *testing.T) {
+			const shards, keys = 2, 16
+			cfg := repl.Config{Substrate: "tl2", Shards: shards, Keys: keys}
+			rep := repl.NewReplica(cfg)
+			g := repl.NewGroup(1)
+			ln := g.Add(rep, 1, 0, 0, 0)
+			// Cut batches 2..1e6: the first transaction or two ship clean,
+			// everything after queues until Heal.
+			ln.Partition(repl.PartitionWindow{From: 2, To: 1 << 20, Asym: asym})
+
+			eng, err := shard.New(shard.Options{
+				Shards: shards, Substrate: "tl2", Keys: keys, Seed: 7,
+				Durable: true, Ship: g.Ship,
+				AckCheck: func() error {
+					if n := g.Lagging(); n > 0 {
+						return fmt.Errorf("replica lagging by %d batches", n)
+					}
+					return nil
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var acked, withheld int
+			for i := 0; i < 20; i++ {
+				_, _, err := eng.Do([]shard.Op{{Kind: shard.OpPut, Key: uint64(i % keys), Val: int64(i)}})
+				if err != nil {
+					withheld++
+				} else {
+					acked++
+				}
+			}
+			if withheld == 0 {
+				t.Fatal("no ack was withheld while the link was partitioned")
+			}
+			if ln.Pending() == 0 {
+				t.Fatal("partitioned link holds no backlog")
+			}
+			if g.Lagging() != ln.Pending() {
+				t.Fatalf("Lagging %d != link pending %d", g.Lagging(), ln.Pending())
+			}
+
+			g.Heal()
+			if g.Lagging() != 0 {
+				t.Fatalf("backlog after heal: %d", g.Lagging())
+			}
+			// Acks resume and the new write replicates synchronously.
+			if _, _, err := eng.Do([]shard.Op{{Kind: shard.OpPut, Key: 3, Val: 99}}); err != nil {
+				t.Fatalf("post-heal write not acked: %v", err)
+			}
+			if err := eng.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := rep.Poisoned(); err != nil {
+				t.Fatal(err)
+			}
+			for k := uint64(0); k < keys; k++ {
+				want, _ := eng.ReadKey(k)
+				if got, _ := rep.Get(k); got != want {
+					t.Fatalf("key %d: replica %d, primary %d", k, got, want)
+				}
+			}
+			ls := ln.Stats()
+			if ls.Partitioned == 0 || ls.Healed == 0 {
+				t.Fatalf("partition counters: %+v", ls)
+			}
+			if asym {
+				// Every asym-delivered batch retransmits as a duplicate.
+				if rs := rep.Stats(); rs.Duplicates == 0 {
+					t.Fatalf("asymmetric heal produced no duplicates: %+v", rs)
+				}
+			}
+			if _, err := rep.Certify(); err != nil {
+				t.Fatalf("certify after heal: %v", err)
+			}
+		})
+	}
+}
+
+// TestPartitionWindowPassesByIndex checks the batch-index flavor of
+// healing: once shipping traffic moves past the window's To index, the
+// pending backlog flushes on the next shipped batch with no explicit
+// Heal call.
+func TestPartitionWindowPassesByIndex(t *testing.T) {
+	const shards, keys = 1, 8
+	cfg := repl.Config{Substrate: "tl2", Shards: shards, Keys: keys}
+	rep := repl.NewReplica(cfg)
+	g := repl.NewGroup(1)
+	ln := g.Add(rep, 1, 0, 0, 0)
+	ln.Partition(repl.PartitionWindow{From: 0, To: 3})
+
+	eng, err := shard.New(shard.Options{
+		Shards: shards, Substrate: "tl2", Keys: keys, Seed: 7,
+		Durable: true, Ship: g.Ship,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, _, err := eng.Do([]shard.Op{{Kind: shard.OpPut, Key: uint64(i % keys), Val: int64(i)}}); err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+	if ln.Pending() != 0 {
+		t.Fatalf("backlog did not flush after the window passed: %d pending", ln.Pending())
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < keys; k++ {
+		want, _ := eng.ReadKey(k)
+		if got, _ := rep.Get(k); got != want {
+			t.Fatalf("key %d: replica %d, primary %d", k, got, want)
+		}
+	}
+	if ls := ln.Stats(); ls.Partitioned != 3 || ls.Healed != 3 {
+		t.Fatalf("expected 3 held + 3 flushed, got %+v", ls)
+	}
+}
+
+// TestPartitionsForDeterminism pins the chaos derivation: the same
+// (seed, link) yields the same schedule, different seeds vary it, and
+// every window is well-formed.
+func TestPartitionsForDeterminism(t *testing.T) {
+	a := chaos.PartitionsFor(42, 1, 0.8, 100, 20, 4)
+	b := chaos.PartitionsFor(42, 1, 0.8, 100, 20, 4)
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic: %d vs %d windows", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("window %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	for _, w := range a {
+		if w.To <= w.From || w.From >= 100 || w.To > 100+20 {
+			t.Fatalf("malformed window %+v", w)
+		}
+	}
+	varied := false
+	for seed := int64(0); seed < 20; seed++ {
+		ws := chaos.PartitionsFor(seed, 0, 0.5, 100, 20, 4)
+		if len(ws) != len(a) {
+			varied = true
+		}
+		for _, w := range ws {
+			if w.Asym {
+				varied = true
+			}
+		}
+	}
+	if !varied {
+		t.Fatal("20 seeds produced identical schedules with no asym windows")
+	}
+}
+
+// TestReplicaSessionFold checks that a replica folds the exactly-once
+// session table from the shipped streams — both the single-shard
+// (TSession in a shard WAL) and cross-shard (coordinator log) halves —
+// and exposes the branded lease epoch, so a promoted follower can
+// answer retries for commits it learned only over the wire.
+func TestReplicaSessionFold(t *testing.T) {
+	const shards, keys = 3, 32
+	cfg := repl.Config{Substrate: "tl2", Shards: shards, Keys: keys}
+	rep := repl.NewReplica(cfg)
+	g := repl.NewGroup(1)
+	g.Add(rep, 1, 0, 0, 0)
+
+	eng, err := shard.New(shard.Options{
+		Shards: shards, Substrate: "tl2", Keys: keys, Seed: 7,
+		Durable: true, Ship: g.Ship,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka, kb := crossPair(eng.Router(), keys)
+	if _, _, _, err := eng.DoSession(11, 1, []shard.Op{{Kind: shard.OpPut, Key: ka, Val: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := eng.DoSession(12, 7, []shard.Op{
+		{Kind: shard.OpPut, Key: ka, Val: 6},
+		{Kind: shard.OpPut, Key: kb, Val: 7},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.BrandLease(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sess := rep.Sessions()
+	if sess[11].SeqNo != 1 || sess[12].SeqNo != 7 {
+		t.Fatalf("replica session table %v", sess)
+	}
+	if rep.LeaseEpoch() != 4 {
+		t.Fatalf("replica lease epoch %d, want 4", rep.LeaseEpoch())
+	}
+	// The certified promotion image carries the same table.
+	mr, err := rep.Certify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Sessions[11].SeqNo != 1 || mr.Sessions[12].SeqNo != 7 {
+		t.Fatalf("certified session table %v", mr.Sessions)
+	}
+	if mr.LeaseEpoch != 4 {
+		t.Fatalf("certified lease epoch %d", mr.LeaseEpoch)
+	}
+	// A successor engine recovered from the replica's image dedups the
+	// retry of a commit it never executed locally.
+	e2, err := shard.New(shard.Options{
+		Shards: shards, Substrate: "tl2", Keys: keys, Seed: 7,
+		Durable: true, RecoverFrom: rep.Image(), Epoch: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	commits := e2.Stats().Commits
+	res, _, dedup, err := e2.DoSession(12, 7, []shard.Op{
+		{Kind: shard.OpPut, Key: ka, Val: 6},
+		{Kind: shard.OpPut, Key: kb, Val: 7},
+	})
+	if err != nil || !dedup {
+		t.Fatalf("retry on promoted engine: dedup=%v err=%v", dedup, err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("replayed results %v", res)
+	}
+	if got := e2.Stats().Commits; got != commits {
+		t.Fatalf("retry re-executed on promoted engine: %d -> %d", commits, got)
+	}
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

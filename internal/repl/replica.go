@@ -58,10 +58,12 @@ type Replica struct {
 	router shard.Router
 	epoch  uint64
 
-	streams []*streamState // cfg.Shards shard streams + the coordinator
-	coord   []shard.CommitRec
-	words   []map[int]int64   // word substrates: per-shard addr → value
-	maps    []map[int64]int64 // map substrates: per-shard key → value
+	streams    []*streamState // cfg.Shards shard streams + the coordinator
+	coord      []shard.CommitRec
+	coordSess  map[uint64]recovery.SessionEntry
+	leaseEpoch uint64
+	words      []map[int]int64   // word substrates: per-shard addr → value
+	maps       []map[int64]int64 // map substrates: per-shard key → value
 
 	dups     uint64
 	gaps     uint64
@@ -233,17 +235,22 @@ func (r *Replica) advanceShard(s int, st *streamState) error {
 
 // advanceCoord re-decodes the coordinator image (it is small — one
 // frame per cross-shard decision). Truncation is tolerated exactly as
-// recovery tolerates it: the torn tail is simply not yet decided.
+// recovery tolerates it: the torn tail is simply not yet decided. The
+// full decode also yields the cross-shard half of the exactly-once
+// session table and the branded lease epoch, so a promoted follower
+// serves retries from the same table the primary did.
 func (r *Replica) advanceCoord(st *streamState) error {
-	recs, epoch, _ := shard.DecodeCoordLogEpoch(st.segs[0])
-	r.coord = recs
-	st.folded = len(recs)
+	cr := shard.DecodeCoordLogFull(st.segs[0])
+	r.coord = cr.Commits
+	r.coordSess = cr.Sessions
+	r.leaseEpoch = cr.LeaseEpoch
+	st.folded = len(cr.Commits)
 	st.rawRecs = shard.CountCoordRecords(st.segs[0])
-	if epoch > r.epoch {
-		r.epoch = epoch
+	if cr.Epoch > r.epoch {
+		r.epoch = cr.Epoch
 	}
 	st.chain = st.chain[:0]
-	for _, rec := range recs {
+	for _, rec := range cr.Commits {
 		st.chain = append(st.chain, rec.Name)
 	}
 	return nil
@@ -390,6 +397,39 @@ func (r *Replica) AppliedRecords(stream int) uint64 {
 		return uint64(st.rp.Records())
 	}
 	return uint64(st.rawRecs)
+}
+
+// Sessions merges the replica's view of the exactly-once session table:
+// the single-shard half from the per-shard replayer folds and the
+// cross-shard (and boot-checkpoint) half from the coordinator stream,
+// latest sequence number winning — the same merge boot recovery runs.
+func (r *Replica) Sessions() map[uint64]recovery.SessionEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[uint64]recovery.SessionEntry)
+	merge := func(m map[uint64]recovery.SessionEntry) {
+		for s, ent := range m {
+			if cur, ok := out[s]; !ok || ent.SeqNo > cur.SeqNo {
+				out[s] = ent
+			}
+		}
+	}
+	for i := 0; i < r.cfg.Shards; i++ {
+		if rp := r.streams[i].rp; rp != nil {
+			merge(rp.Sessions())
+		}
+	}
+	merge(r.coordSess)
+	return out
+}
+
+// LeaseEpoch returns the highest lease epoch the coordinator stream has
+// branded — the floor for any lease granted to this replica after
+// promotion.
+func (r *Replica) LeaseEpoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.leaseEpoch
 }
 
 // Image snapshots the replica's shipped bytes as a shard.Image — the

@@ -1,0 +1,183 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"pushpull/internal/kvapi"
+	"pushpull/internal/wal"
+)
+
+// srvSessEntry is one session's latest settled request on the
+// single-machine path (the sharded engine keeps its own table).
+type srvSessEntry struct {
+	seq     uint64
+	results []kvapi.Result
+}
+
+// ackCheck is the shard.Options.AckCheck the server installs: acks are
+// permitted only while the lease (if one is configured) is valid. A
+// partitioned primary whose renewals stopped goes silent here — the
+// commit may be locally durable, but the client is told the outcome is
+// unknown and retries against whoever holds the next lease epoch.
+func (s *Server) ackCheck() error {
+	if l := s.lease; l != nil {
+		return l.Check()
+	}
+	return nil
+}
+
+// sessLookup consults the dedup table: (resp, true) when the request
+// is already settled (a dedup hit replays the original results; a seq
+// below the latest is a protocol error), (_, false) when it should
+// execute.
+func (s *Server) sessLookup(session, seqNo uint64) (kvapi.Response, bool) {
+	s.sessMu.Lock()
+	ent, ok := s.sess[session]
+	s.sessMu.Unlock()
+	if !ok || seqNo > ent.seq {
+		return kvapi.Response{}, false
+	}
+	if seqNo < ent.seq {
+		return kvapi.Response{Status: kvapi.StatusError,
+			Msg: fmt.Sprintf("stale session seq %d (latest %d)", seqNo, ent.seq)}, true
+	}
+	s.dedupHits.Add(1)
+	s.suite.Metrics.DedupHit(session)
+	return kvapi.Response{Status: kvapi.StatusOK,
+		Results: append([]kvapi.Result(nil), ent.results...), DedupHit: true}, true
+}
+
+// sessRemember installs a settled request into the in-memory table.
+func (s *Server) sessRemember(session, seqNo uint64, results []kvapi.Result) {
+	s.sessMu.Lock()
+	if cur, ok := s.sess[session]; !ok || cur.seq < seqNo {
+		if s.sess == nil {
+			s.sess = make(map[uint64]srvSessEntry)
+		}
+		s.sess[session] = srvSessEntry{seq: seqNo, results: append([]kvapi.Result(nil), results...)}
+	}
+	s.sessMu.Unlock()
+}
+
+// appendSessionRecord writes the dedup entry into the WAL, named after
+// the transaction it rides with: recovery folds it only if that
+// transaction's commit made the durable prefix. Called inside the
+// Atomic callback, i.e. before the commit record, so commit-durable
+// implies entry-durable. A crashed (simulated) log is tolerated — the
+// commit record will not land either, so neither side survives.
+func (s *Server) appendSessionRecord(session, seqNo uint64, name string, results []kvapi.Result) error {
+	if s.log == nil {
+		return nil
+	}
+	rec := wal.Record{
+		Type: wal.TSession, Tx: session,
+		Session: session, SeqNo: seqNo, Name: name,
+		Results: sessResultsOf(results),
+	}
+	if err := s.log.Append(rec); err != nil && !errors.Is(err, wal.ErrCrashed) {
+		return err
+	}
+	return nil
+}
+
+// seedServerSessions installs the dedup table recovered from the old
+// WAL and re-logs it onto the fresh log as unconditional checkpoint
+// records (empty Name), mirroring how recovered transactions are
+// re-seeded: the new timeline carries the table forward so a second
+// crash still dedups requests settled before the first.
+func (s *Server) seedServerSessions() error {
+	if len(s.recovered.Sessions) == 0 {
+		return nil
+	}
+	ids := make([]uint64, 0, len(s.recovered.Sessions))
+	for id := range s.recovered.Sessions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	s.sessMu.Lock()
+	if s.sess == nil {
+		s.sess = make(map[uint64]srvSessEntry, len(ids))
+	}
+	for _, id := range ids {
+		ent := s.recovered.Sessions[id]
+		results := make([]kvapi.Result, len(ent.Results))
+		for i, r := range ent.Results {
+			results[i] = kvapi.Result{Val: r.Val, Found: r.Found}
+		}
+		s.sess[id] = srvSessEntry{seq: ent.SeqNo, results: results}
+	}
+	s.sessMu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	for _, id := range ids {
+		ent := s.recovered.Sessions[id]
+		rec := wal.Record{
+			Type: wal.TSession, Tx: id,
+			Session: id, SeqNo: ent.SeqNo,
+			Results: append([]wal.SessResult(nil), ent.Results...),
+		}
+		if err := s.log.Append(rec); err != nil && !errors.Is(err, wal.ErrCrashed) {
+			return err
+		}
+	}
+	if err := s.log.Sync(); err != nil && !errors.Is(err, wal.ErrCrashed) {
+		return err
+	}
+	return nil
+}
+
+// sessResultsOf converts wire results to WAL session results.
+func sessResultsOf(results []kvapi.Result) []wal.SessResult {
+	out := make([]wal.SessResult, len(results))
+	for i, r := range results {
+		out[i] = wal.SessResult{Val: r.Val, Found: r.Found}
+	}
+	return out
+}
+
+// DedupHits reports how many retried requests were answered from the
+// dedup table instead of re-executing.
+func (s *Server) DedupHits() uint64 {
+	if eng := s.Engine(); eng != nil {
+		return eng.DedupHits()
+	}
+	return s.dedupHits.Load()
+}
+
+// Lease exposes the serving lease (nil when LeaseTTL was not set).
+func (s *Server) Lease() *Lease { return s.lease }
+
+// GrantLease brands epoch into the coordinator log (durable before the
+// permit opens) and then grants the lease: the supervisor's promotion
+// handshake.
+func (s *Server) GrantLease(epoch uint64) error {
+	if s.lease == nil {
+		return errors.New("server: no lease configured (set Options.LeaseTTL)")
+	}
+	eng := s.Engine()
+	if eng == nil {
+		return errors.New("server: lease grant: not serving (no engine)")
+	}
+	if epoch > eng.LeaseEpoch() {
+		if err := eng.BrandLease(epoch); err != nil {
+			return err
+		}
+	}
+	if err := s.lease.Grant(epoch); err != nil {
+		return err
+	}
+	s.suite.Metrics.LeaseEpochSet(epoch)
+	return nil
+}
+
+// RenewLease extends the held lease; false means it already expired
+// (and a successor may hold the next epoch).
+func (s *Server) RenewLease() bool {
+	if s.lease == nil {
+		return false
+	}
+	return s.lease.Renew()
+}

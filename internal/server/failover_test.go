@@ -1,0 +1,423 @@
+package server
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pushpull/internal/kvapi"
+)
+
+// clusterNode builds one supervised member.
+func startPrimary(t *testing.T, shards, keys int, ttl time.Duration) (*Server, string) {
+	t.Helper()
+	p, err := New(Options{
+		Substrate: "tl2", Shards: shards, Keys: keys, Seed: 5,
+		Replicate: true, SegmentBytes: 2 << 10, LeaseTTL: ttl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := p.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, addr.String()
+}
+
+func startFollower(t *testing.T, shards, keys int, seed int64, follow string, ttl time.Duration) (*Server, string) {
+	t.Helper()
+	f, err := New(Options{
+		Substrate: "tl2", Shards: shards, Keys: keys, Seed: seed,
+		Follow: follow, PollInterval: 2 * time.Millisecond, LeaseTTL: ttl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := f.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, addr.String()
+}
+
+// TestFailoverSmoke is the self-healing three-node campaign: a supervised
+// cluster under client load loses its primary, the supervisor detects
+// it, waits out the lease, certifies and promotes the most-advanced
+// follower, and the session client's blind retry of the ambiguous
+// in-flight write lands exactly once on the new primary.
+func TestFailoverSmoke(t *testing.T) {
+	const shards, keys = 3, 48
+	const ttl = 500 * time.Millisecond
+	prim, addrP := startPrimary(t, shards, keys, ttl)
+	f1, addr1 := startFollower(t, shards, keys, 6, addrP, ttl)
+	f2, addr2 := startFollower(t, shards, keys, 7, addrP, ttl)
+
+	var events []string
+	var evMu sync.Mutex
+	sv, err := NewSupervisor([]*Node{
+		{Name: "n0", Server: prim, Addr: addrP},
+		{Name: "n1", Server: f1, Addr: addr1},
+		{Name: "n2", Server: f2, Addr: addr2},
+	}, 0, SupervisorOptions{
+		HeartbeatEvery: 5 * time.Millisecond, FailAfter: 3,
+		Margin: 100 * time.Millisecond, DialTimeout: 100 * time.Millisecond,
+		Suite: prim.Suite(),
+		OnEvent: func(e string) {
+			evMu.Lock()
+			events = append(events, e)
+			evMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv.Start()
+	defer sv.Stop()
+
+	if prim.Stats().LeaseEpoch != 1 {
+		t.Fatalf("initial lease epoch %d, want 1", prim.Stats().LeaseEpoch)
+	}
+
+	// Session A carries the main load; session C settles exactly one
+	// request whose dedup entry must survive the failover.
+	fallbacks := []string{addrP, addr1, addr2}
+	rcA := kvapi.NewReconnectClient(addrP, kvapi.ReconnectOptions{
+		Session: 42, Seed: 9, MaxTries: 10,
+		BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond,
+		Fallbacks: fallbacks,
+	})
+	defer rcA.Close()
+	acked := make(map[uint64]int64)
+	for i := 0; i < 60; i++ {
+		k, v := uint64(i%keys), int64(1000+i)
+		resp, err := rcA.Do([]kvapi.Op{{Kind: kvapi.OpPut, Key: k, Val: v}})
+		if err != nil || resp.Status != kvapi.StatusOK {
+			t.Fatalf("write %d: %v %+v", i, err, resp)
+		}
+		acked[k] = v
+	}
+	rcC := kvapi.NewReconnectClient(addrP, kvapi.ReconnectOptions{
+		Session: 77, Seed: 10, MaxTries: 6,
+		BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond,
+		Fallbacks: fallbacks,
+	})
+	defer rcC.Close()
+	if resp, err := rcC.Do([]kvapi.Op{{Kind: kvapi.OpPut, Key: 1, Val: 7001}}); err != nil || resp.Status != kvapi.StatusOK {
+		t.Fatalf("session C write: %v %+v", err, resp)
+	}
+	acked[1] = 7001
+
+	// Both followers hold everything acked before the primary dies.
+	waitCaughtUp(t, f1)
+	waitCaughtUp(t, f2)
+
+	// Kill the primary; the next write is ambiguous (it may or may not
+	// have committed) and the client holds its sequence number.
+	prim.Stop()
+	if resp, err := rcA.Do([]kvapi.Op{{Kind: kvapi.OpPut, Key: 7, Val: 7777}}); err == nil && resp.Status == kvapi.StatusOK {
+		t.Fatal("write against a dead cluster settled without a primary")
+	}
+	seqBefore, pending := rcA.Seq()
+	if !pending {
+		t.Fatalf("ambiguous outcome did not leave seq %d pending", seqBefore)
+	}
+
+	// The supervisor notices, waits out the lease, and promotes.
+	deadline := time.Now().Add(10 * time.Second)
+	for sv.Failovers() == 0 {
+		if time.Now().After(deadline) {
+			evMu.Lock()
+			t.Fatalf("no automatic failover; events: %v", events)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	np := sv.Primary()
+	if np.Server.Role() != rolePrimary {
+		t.Fatalf("supervisor's primary %s has role %q", np.Name, np.Server.Role())
+	}
+	if got := sv.Epoch(); got != 2 {
+		t.Fatalf("lease epoch after failover = %d, want 2", got)
+	}
+	if st := np.Server.Stats(); st.LeaseEpoch != 2 {
+		t.Fatalf("new primary lease epoch %d, want 2", st.LeaseEpoch)
+	}
+
+	// The blind retry re-issues the same ops under the same sequence
+	// number and settles exactly once on the new primary.
+	resp, err := rcA.Do([]kvapi.Op{{Kind: kvapi.OpPut, Key: 7, Val: 7777}})
+	if err != nil || resp.Status != kvapi.StatusOK {
+		t.Fatalf("retry after failover: %v %+v", err, resp)
+	}
+	if seqAfter, pend := rcA.Seq(); seqAfter != seqBefore || pend {
+		t.Fatalf("retry used seq %d (pending %v), want %d settled", seqAfter, pend, seqBefore)
+	}
+	acked[7] = 7777
+
+	// Session C's settled request is recognized across the failover: a
+	// fresh client carrying the same identity re-issues (77, seq 1)
+	// with DIFFERENT ops, and the new primary answers from the durable
+	// dedup table instead of executing them.
+	rcC2 := kvapi.NewReconnectClient(np.Addr, kvapi.ReconnectOptions{
+		Session: 77, Seed: 11, MaxTries: 6,
+		BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond,
+		Fallbacks: fallbacks,
+	})
+	defer rcC2.Close()
+	resp, err = rcC2.Do([]kvapi.Op{{Kind: kvapi.OpPut, Key: 1, Val: -666}})
+	if err != nil || resp.Status != kvapi.StatusOK {
+		t.Fatalf("dedup retry: %v %+v", err, resp)
+	}
+	if !resp.DedupHit {
+		t.Fatal("retried settled request re-executed instead of hitting the dedup table")
+	}
+	if np.Server.DedupHits() == 0 {
+		t.Fatal("new primary counted no dedup hits")
+	}
+
+	// Exactly-once ledger: every acked write survives with its last
+	// acked value — including key 1, which the dedup hit must NOT have
+	// overwritten with -666.
+	rdr := kvapi.NewReconnectClient(np.Addr, kvapi.ReconnectOptions{
+		Seed: 12, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond,
+	})
+	defer rdr.Close()
+	for k, v := range acked {
+		resp, err := rdr.Do([]kvapi.Op{{Kind: kvapi.OpGet, Key: k}})
+		if err != nil || resp.Status != kvapi.StatusOK {
+			t.Fatalf("ledger read %d: %v %+v", k, err, resp)
+		}
+		if !resp.Results[0].Found || resp.Results[0].Val != v {
+			t.Fatalf("acked write lost: key %d = (%d,%v), want %d",
+				k, resp.Results[0].Val, resp.Results[0].Found, v)
+		}
+	}
+
+	// At most one acking primary, and the certificate was real.
+	primaries := 0
+	for _, n := range []*Server{f1, f2} {
+		if n.Role() == rolePrimary {
+			primaries++
+		}
+	}
+	if primaries != 1 {
+		t.Fatalf("%d primaries after failover, want 1", primaries)
+	}
+	evMu.Lock()
+	sawPromotion := false
+	for _, e := range events {
+		if strings.Contains(e, "promoted") {
+			sawPromotion = true
+		}
+	}
+	evMu.Unlock()
+	if !sawPromotion {
+		t.Fatalf("no promotion event recorded: %v", events)
+	}
+
+	sv.Stop()
+	f1.Stop()
+	f2.Stop()
+	for name, srv := range map[string]*Server{"f1": f1, "f2": f2} {
+		if err := srv.FinalCheck(); err != nil {
+			t.Fatalf("%s final check: %v", name, err)
+		}
+	}
+}
+
+// TestDeposedPrimaryFenced drives the lease window with a manual clock:
+// a primary whose lease expires mid-run (its renewals were partitioned
+// away) must refuse to ack anything — even though it is alive and its
+// engine works — until it is demoted behind the new primary.
+func TestDeposedPrimaryFenced(t *testing.T) {
+	const shards, keys = 2, 32
+	var clkMu sync.Mutex
+	now := time.Unix(1000, 0)
+	clock := func() time.Time {
+		clkMu.Lock()
+		defer clkMu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		clkMu.Lock()
+		now = now.Add(d)
+		clkMu.Unlock()
+	}
+
+	prim, err := New(Options{
+		Substrate: "tl2", Shards: shards, Keys: keys, Seed: 5,
+		Replicate: true, SegmentBytes: 2 << 10,
+		LeaseTTL: 100 * time.Millisecond, Clock: clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrP, err := prim.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prim.Stop()
+	f, err := New(Options{
+		Substrate: "tl2", Shards: shards, Keys: keys, Seed: 6,
+		Follow: addrP.String(), PollInterval: 2 * time.Millisecond,
+		LeaseTTL: 100 * time.Millisecond, Clock: clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrFA, err := f.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrF := addrFA.String()
+	defer f.Stop()
+
+	if err := prim.GrantLease(1); err != nil {
+		t.Fatal(err)
+	}
+	c := kvapi.NewReconnectClient(addrP.String(), kvapi.ReconnectOptions{
+		Seed: 9, MaxTries: 2, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
+	})
+	defer c.Close()
+	if resp, err := c.Do([]kvapi.Op{{Kind: kvapi.OpPut, Key: 3, Val: 33}}); err != nil || resp.Status != kvapi.StatusOK {
+		t.Fatalf("leased write: %v %+v", err, resp)
+	}
+	waitCaughtUp(t, f)
+
+	// The lease expires (renewals stopped reaching this primary). The
+	// node is healthy — but it must stop acking by itself.
+	advance(time.Second)
+	if prim.RenewLease() {
+		t.Fatal("expired lease renewed — resurrection would allow two acking primaries")
+	}
+	resp, err := c.Do([]kvapi.Op{{Kind: kvapi.OpPut, Key: 4, Val: 44}})
+	if err != nil {
+		t.Fatalf("transport against live deposed primary: %v", err)
+	}
+	if resp.Status == kvapi.StatusOK {
+		t.Fatal("deposed primary acked a write on an expired lease")
+	}
+	if !strings.Contains(resp.Msg, "lease") {
+		t.Fatalf("refusal does not name the lease: %+v", resp)
+	}
+
+	// The follower is promoted and granted the next lease epoch; the
+	// returning zombie is demoted behind it and redirects writes there.
+	if _, err := f.Promote(); err != nil {
+		t.Fatalf("promotion: %v", err)
+	}
+	if err := f.GrantLease(2); err != nil {
+		t.Fatal(err)
+	}
+	fenceEpoch := f.Engine().Epoch()
+	if err := prim.Demote(addrF, fenceEpoch); err != nil {
+		t.Fatalf("demote: %v", err)
+	}
+	if got := prim.Role(); got != roleFollower {
+		t.Fatalf("deposed primary role %q, want follower", got)
+	}
+	resp, err = c.Do([]kvapi.Op{{Kind: kvapi.OpPut, Key: 5, Val: 55}})
+	if err != nil || resp.Status != kvapi.StatusOK {
+		t.Fatalf("write after demotion should redirect to new primary: %v %+v", err, resp)
+	}
+	if c.Addr() != addrF {
+		t.Fatalf("client landed on %s, want new primary %s", c.Addr(), addrF)
+	}
+	// The new primary holds every acked write. (The fenced key-4 write
+	// was refused to the client but may have committed locally and
+	// replicated before promotion — surviving unacked work is allowed;
+	// losing acked work is not.)
+	for k, want := range map[uint64]int64{3: 33, 5: 55} {
+		resp, err := c.Do([]kvapi.Op{{Kind: kvapi.OpGet, Key: k}})
+		if err != nil || resp.Status != kvapi.StatusOK || resp.Results[0].Val != want {
+			t.Fatalf("read %d: %v %+v, want %d", k, err, resp, want)
+		}
+	}
+}
+
+// TestFollowerRedirectLoopTerminates pins the no-spin property: a
+// client bounced between two followers that (mis)advertise each other
+// stops after MaxRedirects and surfaces the redirect instead of
+// looping forever; pointed at a follower that advertises the real
+// primary, it converges in one hop.
+func TestFollowerRedirectLoopTerminates(t *testing.T) {
+	const shards, keys = 2, 32
+	prim, addrP := startPrimary(t, shards, keys, 0)
+	defer prim.Stop()
+
+	// Two followers deliberately advertising each other: the pathology
+	// a half-updated cluster config produces mid-failover.
+	fa, err := New(Options{
+		Substrate: "tl2", Shards: shards, Keys: keys, Seed: 6,
+		Follow: addrP, PollInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrA, err := fa.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fa.Stop()
+	fb, err := New(Options{
+		Substrate: "tl2", Shards: shards, Keys: keys, Seed: 7,
+		Follow: addrP, Advertise: addrA.String(), PollInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB, err := fb.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Stop()
+	fa.SetAdvertise(addrB.String()) // close the loop: A -> B -> A
+
+	const maxRedirects = 4
+	rc := kvapi.NewReconnectClient(addrA.String(), kvapi.ReconnectOptions{
+		Seed: 9, MaxTries: 12, MaxRedirects: maxRedirects,
+		BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
+	})
+	defer rc.Close()
+	done := make(chan struct{})
+	var resp kvapi.Response
+	var derr error
+	go func() {
+		resp, derr = rc.Do([]kvapi.Op{{Kind: kvapi.OpPut, Key: 1, Val: 11}})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("client spun forever between the two followers")
+	}
+	if derr != nil {
+		t.Fatalf("bounced write should fail cleanly with a response, got transport error: %v", derr)
+	}
+	if resp.Status != kvapi.StatusRedirect {
+		t.Fatalf("bounced write status %s, want the surfaced redirect", resp.Status)
+	}
+	if got := rc.Stats().Redirects; got != maxRedirects {
+		t.Fatalf("client followed %d redirects, want exactly MaxRedirects=%d", got, maxRedirects)
+	}
+
+	// Heal the config: A advertises the primary again; the same client
+	// converges and the write lands.
+	fa.SetAdvertise(addrP)
+	rc2 := kvapi.NewReconnectClient(addrA.String(), kvapi.ReconnectOptions{
+		Seed: 10, MaxTries: 12, MaxRedirects: maxRedirects,
+		BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
+	})
+	defer rc2.Close()
+	resp2, err := rc2.Do([]kvapi.Op{{Kind: kvapi.OpPut, Key: 2, Val: 22}})
+	if err != nil || resp2.Status != kvapi.StatusOK {
+		t.Fatalf("healed write: %v %+v", err, resp2)
+	}
+	if got := rc2.Stats().Redirects; got == 0 || got > maxRedirects {
+		t.Fatalf("healed client used %d redirects, want 1..%d", got, maxRedirects)
+	}
+	if rc2.Addr() != addrP {
+		t.Fatalf("healed client settled on %s, want primary %s", rc2.Addr(), addrP)
+	}
+}

@@ -45,7 +45,7 @@ func (s *Server) handleHTTPTxn(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
 		return
 	}
-	resp := s.DoTxn(ops)
+	resp := s.DoTxnSession(ops, req.Session, req.Seq)
 	w.Header().Set("Content-Type", "application/json")
 	switch resp.Status {
 	case kvapi.StatusBusy:

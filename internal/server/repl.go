@@ -250,7 +250,7 @@ func (s *Server) Promote() (shard.MultiReport, error) {
 		Durable: true, SyncPolicy: s.opts.SyncPolicy,
 		GroupEvery: s.opts.GroupEvery, SegmentBytes: s.opts.SegmentBytes,
 		RecoverFrom: s.replica.Image(), Suite: s.suite,
-		Epoch: epoch + 1,
+		Epoch: epoch + 1, AckCheck: s.ackCheck,
 	})
 	if err != nil {
 		s.demoteTo(roleFollower)
@@ -279,6 +279,59 @@ func (s *Server) demoteTo(role string) {
 	}
 }
 
+// Demote fences a (possibly zombie) primary back into a follower of
+// addr: the lease is force-expired so nothing acks, the engine is
+// fenced at the successor's epoch and torn down, and a fresh warm
+// standby starts catching up from the new primary's streams. This is
+// the supervisor's move when a deposed primary comes back mid-run —
+// the returning node must not ack a single commit under its old lease.
+func (s *Server) Demote(addr string, epoch uint64) error {
+	s.replMu.Lock()
+	if s.role != rolePrimary {
+		role := s.role
+		s.replMu.Unlock()
+		return fmt.Errorf("server: demote: role %q is not primary", role)
+	}
+	eng := s.eng
+	s.eng = nil
+	s.role = roleFollower
+	s.replMu.Unlock()
+	if s.lease != nil {
+		s.lease.Expire()
+	}
+	if eng != nil {
+		if epoch > eng.Epoch() {
+			eng.Fence(epoch)
+		}
+		_ = eng.Close()
+	}
+	s.suite.Metrics.ReplRoleSet(roleFollower)
+	s.replMu.Lock()
+	cfg := repl.Config{
+		Substrate: s.opts.Substrate, Shards: s.opts.Shards, Keys: s.opts.Keys,
+	}
+	if s.replica != nil {
+		cfg = s.replica.Config()
+	}
+	s.replica = repl.NewReplica(cfg)
+	s.puller = repl.NewPuller(s.replica, 0)
+	s.opts.Follow, s.opts.Advertise = addr, addr
+	up := s.upstream
+	s.replMu.Unlock()
+	if up != nil {
+		up.Retarget(addr)
+	} else {
+		s.replMu.Lock()
+		s.upstream = kvapi.NewReconnectClient(addr, kvapi.ReconnectOptions{
+			Seed: s.opts.Seed, BaseDelay: time.Millisecond,
+			MaxDelay: 50 * time.Millisecond, MaxTries: 4,
+		})
+		s.replMu.Unlock()
+	}
+	s.startPolling()
+	return nil
+}
+
 // Refollow re-points a follower at a new primary — the surviving
 // followers' move after a promotion. The new primary's streams are a
 // new timeline (its boot re-logged the checkpoint into fresh segments),
@@ -301,6 +354,14 @@ func (s *Server) Refollow(addr string) error {
 	s.upstream.Retarget(addr)
 	s.startPolling()
 	return nil
+}
+
+// SetAdvertise re-points where this server redirects write traffic —
+// the supervisor (or an operator) updates it as the primary moves.
+func (s *Server) SetAdvertise(addr string) {
+	s.replMu.Lock()
+	s.opts.Advertise = addr
+	s.replMu.Unlock()
 }
 
 // ReplLag snapshots the last observed per-stream record lag, labeled.

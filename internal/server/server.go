@@ -94,6 +94,17 @@ type Options struct {
 	Follow string
 	// PollInterval paces the follower's catch-up loop (default 5ms).
 	PollInterval time.Duration
+	// LeaseTTL, when positive, arms lease-fenced acking: once a
+	// supervisor has granted this server a lease (GrantLease), commits
+	// are acknowledged only while the lease is unexpired — renewals
+	// stopping (a partition, a dead supervisor) silence the primary by
+	// itself, which is what bounds the cluster to at most one acking
+	// primary per lease epoch. Zero leaves acking ungated (epoch
+	// fencing still applies).
+	LeaseTTL time.Duration
+	// Clock is the lease's time source (tests and sweeps drive it
+	// manually); nil means time.Now.
+	Clock func() time.Time
 }
 
 func (o Options) withDefaults() Options {
@@ -160,6 +171,13 @@ type Server struct {
 	seq      atomic.Uint64 // transaction name counter
 	sessions atomic.Int64  // open interactive sessions
 
+	// Exactly-once sessions (single-machine path; the sharded engine
+	// keeps its own table) and the serving lease.
+	sessMu    sync.Mutex
+	sess      map[uint64]srvSessEntry
+	dedupHits atomic.Uint64
+	lease     *Lease
+
 	mu      sync.Mutex
 	ln      net.Listener
 	httpLns map[net.Listener]struct{}
@@ -182,6 +200,11 @@ func New(opts Options) (*Server, error) {
 	}
 	s := &Server{opts: opts, suite: suite, conns: make(map[net.Conn]struct{})}
 	s.gate = newGate(opts.MaxInflight, opts.MaxQueue)
+	if opts.LeaseTTL > 0 {
+		// Followers get the lease too: a promotion inherits it, and the
+		// supervisor grants the serving epoch into it.
+		s.lease = NewLease(opts.LeaseTTL, opts.Clock)
+	}
 
 	// A follower builds no substrate: it folds the primary's shipped
 	// bytes into a warm standby and serves reads from that.
@@ -202,7 +225,7 @@ func New(opts Options) (*Server, error) {
 			SyncPolicy: opts.SyncPolicy, GroupEvery: opts.GroupEvery,
 			SegmentBytes: opts.SegmentBytes,
 			RecoverFrom:  opts.RecoverFromImage, Suite: suite,
-			Epoch: opts.Epoch,
+			Epoch: opts.Epoch, AckCheck: s.ackCheck,
 		})
 		if err != nil {
 			return nil, err
@@ -320,6 +343,9 @@ func New(opts Options) (*Server, error) {
 		}
 		s.seeded = n
 	}
+	if err := s.seedServerSessions(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -430,7 +456,7 @@ func (s *Server) dispatch(cs *connState, req kvapi.Request) kvapi.Response {
 		if follower {
 			resp = s.doTxnFollower(req.Ops)
 		} else {
-			resp = s.doTxn(req.Ops)
+			resp = s.doTxnSession(req.Ops, req.Session, req.Seq)
 		}
 	case kvapi.MsgBegin:
 		if follower {
@@ -457,13 +483,23 @@ func (s *Server) dispatch(cs *connState, req kvapi.Request) kvapi.Response {
 // DoTxn executes ops as one one-shot transaction under admission
 // control — exported for the HTTP fallback and in-process callers.
 func (s *Server) DoTxn(ops []kvapi.Op) kvapi.Response {
+	return s.DoTxnSession(ops, 0, 0)
+}
+
+// DoTxnSession is DoTxn carrying an exactly-once session identity
+// (session 0 means none).
+func (s *Server) DoTxnSession(ops []kvapi.Op, session, seqNo uint64) kvapi.Response {
 	t0 := time.Now()
-	resp := s.doTxn(ops)
+	resp := s.doTxnSession(ops, session, seqNo)
 	s.suite.Metrics.RequestObserved("http.txn", resp.Status.String(), time.Since(t0))
 	return resp
 }
 
 func (s *Server) doTxn(ops []kvapi.Op) kvapi.Response {
+	return s.doTxnSession(ops, 0, 0)
+}
+
+func (s *Server) doTxnSession(ops []kvapi.Op, session, seqNo uint64) kvapi.Response {
 	s.replMu.RLock()
 	eng := s.eng
 	s.replMu.RUnlock()
@@ -478,11 +514,26 @@ func (s *Server) doTxn(ops []kvapi.Op) kvapi.Response {
 	}
 	defer s.gate.release()
 	if eng != nil {
-		return s.doTxnSharded(eng, ops)
+		return s.doTxnSharded(eng, ops, session, seqNo)
+	}
+	return s.doTxnLocal(ops, session, seqNo)
+}
+
+// doTxnLocal runs a one-shot on the single-machine substrate (gate
+// already held), with the server-level exactly-once table: a dedup hit
+// answers with the original results, and a committing sessioned
+// transaction logs a TSession record in the same WAL entry group as
+// its commit, so recovery rebuilds the table alongside the state.
+func (s *Server) doTxnLocal(ops []kvapi.Op, session, seqNo uint64) kvapi.Response {
+	if session != 0 {
+		if resp, done := s.sessLookup(session, seqNo); done {
+			return resp
+		}
 	}
 	results := make([]kvapi.Result, len(ops))
 	attempts := uint32(0)
-	err := s.be.Atomic(txnName(s.seq.Add(1)), func(v View) error {
+	name := txnName(s.seq.Add(1))
+	err := s.be.Atomic(name, func(v View) error {
 		attempts++
 		for i, op := range ops {
 			switch op.Kind {
@@ -501,6 +552,15 @@ func (s *Server) doTxn(ops []kvapi.Op) kvapi.Response {
 				return fmt.Errorf("unknown op kind %d", op.Kind)
 			}
 		}
+		if session != 0 {
+			// Inside the callback the commit record has not been
+			// appended yet: the TSession record lands before it, so a
+			// durable commit implies a durable dedup entry and a lost
+			// commit takes its entry down with it.
+			if aerr := s.appendSessionRecord(session, seqNo, name, results); aerr != nil {
+				return aerr
+			}
+		}
 		return nil
 	})
 	retries := uint32(0)
@@ -510,12 +570,16 @@ func (s *Server) doTxn(ops []kvapi.Op) kvapi.Response {
 	if err != nil {
 		return abortResponse(err, retries)
 	}
+	if session != 0 {
+		s.sessRemember(session, seqNo, results)
+	}
 	return kvapi.Response{Status: kvapi.StatusOK, Results: results, Retries: retries}
 }
 
 // doTxnSharded routes a one-shot transaction through the sharded
-// engine (gate already held).
-func (s *Server) doTxnSharded(eng *shard.Engine, ops []kvapi.Op) kvapi.Response {
+// engine (gate already held); the engine owns the exactly-once table
+// on this path.
+func (s *Server) doTxnSharded(eng *shard.Engine, ops []kvapi.Op, session, seqNo uint64) kvapi.Response {
 	sops := make([]shard.Op, len(ops))
 	for i, op := range ops {
 		sops[i] = shard.Op{Key: op.Key, Val: op.Val}
@@ -525,7 +589,17 @@ func (s *Server) doTxnSharded(eng *shard.Engine, ops []kvapi.Op) kvapi.Response 
 			sops[i].Kind = shard.OpPut
 		}
 	}
-	res, retries, err := eng.Do(sops)
+	var (
+		res     []shard.Result
+		retries uint32
+		dedup   bool
+		err     error
+	)
+	if session != 0 {
+		res, retries, dedup, err = eng.DoSession(session, seqNo, sops)
+	} else {
+		res, retries, err = eng.Do(sops)
+	}
 	if err != nil {
 		return abortResponse(err, retries)
 	}
@@ -533,7 +607,7 @@ func (s *Server) doTxnSharded(eng *shard.Engine, ops []kvapi.Op) kvapi.Response 
 	for i, r := range res {
 		results[i] = kvapi.Result{Val: r.Val, Found: r.Found}
 	}
-	return kvapi.Response{Status: kvapi.StatusOK, Results: results, Retries: retries}
+	return kvapi.Response{Status: kvapi.StatusOK, Results: results, Retries: retries, DedupHit: dedup}
 }
 
 func (s *Server) doBegin(cs *connState) kvapi.Response {
@@ -724,6 +798,10 @@ type Stats struct {
 	InDoubtFixed  int    `json:"in_doubt_resolved,omitempty"`
 	WALCrashed    bool   `json:"wal_crashed"`
 
+	// Exactly-once sessions and lease fencing.
+	DedupHits  uint64 `json:"dedup_hits,omitempty"`
+	LeaseEpoch uint64 `json:"lease_epoch,omitempty"`
+
 	// Replicated serving (empty when unreplicated).
 	Role       string            `json:"role,omitempty"`
 	Epoch      uint64            `json:"epoch,omitempty"`
@@ -750,6 +828,7 @@ func (s *Server) Stats() Stats {
 			GroupBarriers: es.GroupBarriers, GroupSyncs: es.GroupSyncs,
 			RecoveredTxns: es.RecoveredTxns, SeededTxns: es.SeededTxns,
 			InDoubtFixed: es.InDoubtFixed, WALCrashed: es.WALCrashed,
+			DedupHits: es.DedupHits, LeaseEpoch: es.LeaseEpoch,
 			Role: role, Epoch: eng.Epoch(),
 		}
 	}
@@ -782,6 +861,7 @@ func (s *Server) Stats() Stats {
 		Rejected:      s.gate.rejectedCount(),
 		GroupBarriers: barriers, GroupSyncs: syncs,
 		RecoveredTxns: len(s.recovered.State.Txns), SeededTxns: s.seeded,
+		DedupHits: s.dedupHits.Load(),
 	}
 	if s.log != nil {
 		st.WALCrashed = s.log.Crashed()

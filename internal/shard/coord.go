@@ -8,6 +8,9 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+
+	"pushpull/internal/recovery"
+	"pushpull/internal/wal"
 )
 
 // The coordinator log is the cross-shard commit journal: presumed
@@ -80,6 +83,18 @@ const (
 	// durable, ships to every replica with the stream, and survives
 	// restart — the fencing token's source of truth.
 	cRecEpoch = 3
+	// cRecSession carries one exactly-once dedup entry. A live entry is
+	// appended (unforced) immediately before the CCommit of the
+	// transaction it names, so the forced decision makes both durable in
+	// order: decision durable implies dedup entry durable. An entry with
+	// an empty name is a boot-time checkpoint of a table recovered from
+	// the previous timeline and is unconditionally valid; a named entry
+	// counts only if its CCommit made the durable prefix.
+	cRecSession = 4
+	// cRecLease brands the log with the lease epoch its holder was
+	// granted — the supervisor's "at most one acking primary per lease
+	// epoch" token, durable and shipped next to the serving-epoch fence.
+	cRecLease = 5
 
 	maxCoordRec = 1 << 20
 )
@@ -227,6 +242,51 @@ func (l *CoordLog) AppendEnd(gsn uint64) error {
 	p = append(p, cRecEnd)
 	p = binary.AppendUvarint(p, gsn)
 	return l.append(p, false)
+}
+
+// SessionRec is one exactly-once dedup entry in the coordinator log.
+type SessionRec struct {
+	Session uint64
+	SeqNo   uint64
+	// Name is the cross-shard transaction the entry rides with ("" for
+	// an unconditional boot checkpoint entry).
+	Name    string
+	Results []wal.SessResult
+}
+
+func encodeSessionRec(r SessionRec) []byte {
+	p := make([]byte, 0, 32)
+	p = append(p, cRecSession)
+	p = binary.AppendUvarint(p, r.Session)
+	p = binary.AppendUvarint(p, r.SeqNo)
+	p = binary.AppendUvarint(p, uint64(len(r.Name)))
+	p = append(p, r.Name...)
+	p = binary.AppendUvarint(p, uint64(len(r.Results)))
+	for _, res := range r.Results {
+		p = binary.AppendVarint(p, res.Val)
+		if res.Found {
+			p = append(p, 1)
+		} else {
+			p = append(p, 0)
+		}
+	}
+	return p
+}
+
+// AppendSession journals one dedup entry. Live entries (named) ride
+// unforced just before their commit decision; checkpoint entries may be
+// forced explicitly by the caller's boot sequence.
+func (l *CoordLog) AppendSession(r SessionRec, force bool) error {
+	return l.append(encodeSessionRec(r), force)
+}
+
+// AppendLease journals the lease epoch granted to this log's holder and
+// forces it durable. Lease epochs must not regress.
+func (l *CoordLog) AppendLease(epoch uint64) error {
+	p := make([]byte, 0, 10)
+	p = append(p, cRecLease)
+	p = binary.AppendUvarint(p, epoch)
+	return l.append(p, true)
 }
 
 // AppendEpoch journals the serving epoch and forces it durable. Epochs
@@ -396,18 +456,41 @@ func CountCoordRecords(data []byte) int {
 // serving epoch branded into the image (0 when the log predates epochs
 // or none reached the durable prefix).
 func DecodeCoordLogEpoch(data []byte) (recs []CommitRec, epoch uint64, truncated error) {
+	cr := DecodeCoordLogFull(data)
+	return cr.Commits, cr.Epoch, cr.Truncated
+}
+
+// CoordRecovery is everything a full decode of a coordinator log image
+// yields: the commit decisions, the branded serving and lease epochs,
+// and the exactly-once session table (named entries admitted only when
+// their commit decision is in the same valid prefix).
+type CoordRecovery struct {
+	Commits    []CommitRec
+	Epoch      uint64
+	LeaseEpoch uint64
+	Sessions   map[uint64]recovery.SessionEntry
+	Truncated  error
+}
+
+// DecodeCoordLogFull decodes a coordinator log image completely. Like
+// DecodeCoordLog it never fails on a torn tail: the longest valid
+// prefix is returned with Truncated set.
+func DecodeCoordLogFull(data []byte) (cr CoordRecovery) {
 	if len(data) == 0 {
-		return nil, 0, nil
+		return cr
 	}
 	if len(data) < coordHdrLen || string(data[:len(coordMagic)]) != coordMagic {
-		return nil, 0, errors.New("shard: bad coordinator log header")
+		cr.Truncated = errors.New("shard: bad coordinator log header")
+		return cr
 	}
 	if data[len(coordMagic)] != coordVersion {
-		return nil, 0, fmt.Errorf("shard: unsupported coordinator log version %d", data[len(coordMagic)])
+		cr.Truncated = fmt.Errorf("shard: unsupported coordinator log version %d", data[len(coordMagic)])
+		return cr
 	}
 	body := data[coordHdrLen:]
 	ended := make(map[uint64]bool)
 	byGSN := make(map[uint64]int)
+	var sessRecs []SessionRec
 	off := 0
 	for {
 		rest := body[off:]
@@ -415,56 +498,88 @@ func DecodeCoordLogEpoch(data []byte) (recs []CommitRec, epoch uint64, truncated
 			break
 		}
 		if len(rest) < 8 {
-			truncated = fmt.Errorf("shard: torn coordinator frame header at offset %d", off)
+			cr.Truncated = fmt.Errorf("shard: torn coordinator frame header at offset %d", off)
 			break
 		}
 		plen := binary.LittleEndian.Uint32(rest)
 		sum := binary.LittleEndian.Uint32(rest[4:])
 		if plen > maxCoordRec {
-			truncated = fmt.Errorf("shard: coordinator frame length %d exceeds limit at offset %d", plen, off)
+			cr.Truncated = fmt.Errorf("shard: coordinator frame length %d exceeds limit at offset %d", plen, off)
 			break
 		}
 		if uint64(8)+uint64(plen) > uint64(len(rest)) {
-			truncated = fmt.Errorf("shard: torn coordinator record at offset %d", off)
+			cr.Truncated = fmt.Errorf("shard: torn coordinator record at offset %d", off)
 			break
 		}
 		payload := rest[8 : 8+int(plen)]
 		if crc32.Checksum(payload, coordCRC) != sum {
-			truncated = fmt.Errorf("shard: coordinator checksum mismatch at offset %d", off)
+			cr.Truncated = fmt.Errorf("shard: coordinator checksum mismatch at offset %d", off)
 			break
 		}
 		rec, err := decodeCoordPayload(payload)
 		if err != nil {
-			truncated = fmt.Errorf("shard: bad coordinator payload at offset %d: %w", off, err)
+			cr.Truncated = fmt.Errorf("shard: bad coordinator payload at offset %d: %w", off, err)
 			break
 		}
 		switch {
 		case rec.isEpoch:
-			if rec.epoch > epoch {
-				epoch = rec.epoch
+			if rec.epoch > cr.Epoch {
+				cr.Epoch = rec.epoch
 			}
+		case rec.isLease:
+			if rec.epoch > cr.LeaseEpoch {
+				cr.LeaseEpoch = rec.epoch
+			}
+		case rec.isSession:
+			sessRecs = append(sessRecs, rec.session)
 		case rec.end:
 			ended[rec.gsn] = true
 		default:
-			byGSN[rec.commit.GSN] = len(recs)
-			recs = append(recs, rec.commit)
+			byGSN[rec.commit.GSN] = len(cr.Commits)
+			cr.Commits = append(cr.Commits, rec.commit)
 		}
 		off += 8 + int(plen)
 	}
 	for gsn := range ended {
 		if i, ok := byGSN[gsn]; ok {
-			recs[i].Ended = true
+			cr.Commits[i].Ended = true
 		}
 	}
-	return recs, epoch, truncated
+	// Fold the session table: a named entry counts only when its commit
+	// decision made the same valid prefix (the record precedes its
+	// decision in the stream, so a second pass is needed); checkpoint
+	// entries ("" name) are unconditional. Later sequence numbers win.
+	if len(sessRecs) > 0 {
+		committed := make(map[string]bool, len(cr.Commits))
+		for _, c := range cr.Commits {
+			committed[c.Name] = true
+		}
+		cr.Sessions = make(map[uint64]recovery.SessionEntry)
+		for _, sr := range sessRecs {
+			if sr.Name != "" && !committed[sr.Name] {
+				continue
+			}
+			if cur, ok := cr.Sessions[sr.Session]; ok && cur.SeqNo >= sr.SeqNo {
+				continue
+			}
+			cr.Sessions[sr.Session] = recovery.SessionEntry{SeqNo: sr.SeqNo, Results: sr.Results}
+		}
+		if len(cr.Sessions) == 0 {
+			cr.Sessions = nil
+		}
+	}
+	return cr
 }
 
 type coordPayload struct {
-	end     bool
-	isEpoch bool
-	epoch   uint64
-	gsn     uint64
-	commit  CommitRec
+	end       bool
+	isEpoch   bool
+	isLease   bool
+	isSession bool
+	epoch     uint64
+	gsn       uint64
+	commit    CommitRec
+	session   SessionRec
 }
 
 // maxCoordBranches bounds declared counts so a corrupt length cannot
@@ -489,6 +604,36 @@ func decodeCoordPayload(p []byte) (coordPayload, error) {
 			return coordPayload{}, errors.New("truncated epoch record")
 		}
 		return coordPayload{isEpoch: true, epoch: e}, nil
+	case cRecLease:
+		e := d.uvarint()
+		if d.bad || len(d.b) != 0 {
+			return coordPayload{}, errors.New("truncated lease record")
+		}
+		return coordPayload{isLease: true, epoch: e}, nil
+	case cRecSession:
+		var r SessionRec
+		r.Session = d.uvarint()
+		r.SeqNo = d.uvarint()
+		r.Name = d.str()
+		nr := d.uvarint()
+		if nr > maxCoordRec {
+			return coordPayload{}, fmt.Errorf("absurd result count %d", nr)
+		}
+		for i := uint64(0); i < nr && !d.bad; i++ {
+			res := wal.SessResult{Val: d.varint()}
+			switch d.byte() {
+			case 0:
+			case 1:
+				res.Found = true
+			default:
+				return coordPayload{}, errors.New("bad result flag")
+			}
+			r.Results = append(r.Results, res)
+		}
+		if d.bad || len(d.b) != 0 {
+			return coordPayload{}, errors.New("truncated session record")
+		}
+		return coordPayload{isSession: true, session: r}, nil
 	case cRecCommit:
 		var r CommitRec
 		r.GSN = d.uvarint()
@@ -547,6 +692,16 @@ func (d *cdec) varint() int64 {
 	}
 	d.b = d.b[n:]
 	return v
+}
+
+func (d *cdec) byte() byte {
+	if d.bad || len(d.b) == 0 {
+		d.bad = true
+		return 0
+	}
+	c := d.b[0]
+	d.b = d.b[1:]
+	return c
 }
 
 func (d *cdec) str() string {

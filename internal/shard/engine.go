@@ -13,6 +13,7 @@ import (
 	"pushpull/internal/chaos"
 	"pushpull/internal/obs"
 	"pushpull/internal/serial"
+	"pushpull/internal/trace"
 	"pushpull/internal/wal"
 )
 
@@ -64,6 +65,13 @@ type Options struct {
 	// promotion passes the predecessor's epoch + 1. Must exceed the
 	// recovered image's epoch when both are present.
 	Epoch uint64
+	// AckCheck, when non-nil, runs after a transaction commits and
+	// before its acknowledgment: a non-nil error withholds the ack (the
+	// commit may be durable, but the client must treat the outcome as
+	// unknown and retry). The lease gate and the semi-sync replication
+	// gate hang here — a primary whose lease expired or whose replica
+	// links are backed up keeps committing locally but stops promising.
+	AckCheck func() error
 }
 
 func (o Options) withDefaults() Options {
@@ -127,6 +135,12 @@ type Engine struct {
 	killed       atomic.Bool
 	fenced       atomic.Bool
 	epoch        uint64
+
+	// The exactly-once session table (see session.go).
+	sessMu     sync.Mutex
+	sess       map[uint64]sessEntry
+	dedupHits  atomic.Uint64
+	leaseEpoch atomic.Uint64
 
 	errMu   sync.Mutex
 	rollErr error // first roll-forward failure (fatal for certification)
@@ -316,6 +330,9 @@ func New(opts Options) (*Engine, error) {
 		}
 		e.seeded++
 	}
+	if err := e.seedSessions(); err != nil {
+		return nil, err
+	}
 	return e, nil
 }
 
@@ -490,11 +507,30 @@ func (e *Engine) Close() error {
 // committed transaction failover cannot preserve.
 var ErrFenced = errors.New("shard: fenced by a higher serving epoch; not acknowledged")
 
+// ErrAckUnknown wraps every withheld acknowledgement — fencing, lease
+// expiry, replication lag — so clients can recognize an AMBIGUOUS
+// outcome (the commit may be durable but was never acked) and retry it
+// under the same session sequence number.
+var ErrAckUnknown = errors.New("shard: commit state unknown")
+
 // Do executes ops as one one-shot transaction: directly on the home
 // shard when the footprint is single-shard, through the two-phase
 // coordinator otherwise. Returns the results, the retry count, and the
-// terminal error (nil means committed).
+// terminal error (nil means committed and acknowledged).
 func (e *Engine) Do(ops []Op) ([]Result, uint32, error) {
+	res, retries, err := e.do(ops, nil)
+	if err == nil {
+		if aerr := e.ackGate(); aerr != nil {
+			return nil, retries, aerr
+		}
+	}
+	return res, retries, err
+}
+
+// do commits ops without the ack gate — DoSession needs the raw commit
+// outcome so it can record the session entry even when the ack is
+// withheld.
+func (e *Engine) do(ops []Op, sess *sessInfo) ([]Result, uint32, error) {
 	if e.fenced.Load() {
 		return nil, 0, ErrFenced
 	}
@@ -509,21 +545,34 @@ func (e *Engine) Do(ops []Op) ([]Result, uint32, error) {
 				sid = s
 			}
 		}
-		res, retries, err = e.doSingle(sid, ops)
+		res, retries, err = e.doSingle(sid, ops, sess)
 	} else {
-		res, retries, err = e.doCross(parts, len(ops))
-	}
-	// Fenced mid-flight (a replica refused our ship inside this very
-	// commit's durability barrier): withhold the ack. The write may be
-	// in the local image, but that image is now a dead branch.
-	if err == nil && e.fenced.Load() {
-		return nil, retries, fmt.Errorf("%w (commit state unknown)", ErrFenced)
+		res, retries, err = e.doCross(parts, len(ops), sess)
 	}
 	return res, retries, err
 }
 
+// ackGate decides whether a locally committed transaction may be
+// acknowledged: not when the engine was fenced mid-flight (a replica
+// refused our ship inside this very commit's durability barrier — the
+// write may be in the local image, but that image is now a dead
+// branch), and not when the configured AckCheck (lease validity,
+// replica link backlog) says no. Either way the client is told "commit
+// state unknown" and retries; the session table makes the retry safe.
+func (e *Engine) ackGate() error {
+	if e.fenced.Load() {
+		return fmt.Errorf("%w: %w", ErrAckUnknown, ErrFenced)
+	}
+	if e.opts.AckCheck != nil {
+		if err := e.opts.AckCheck(); err != nil {
+			return fmt.Errorf("%w: %w", ErrAckUnknown, err)
+		}
+	}
+	return nil
+}
+
 // doSingle runs the unchanged single-machine path on the home shard.
-func (e *Engine) doSingle(sid int, ops []Op) ([]Result, uint32, error) {
+func (e *Engine) doSingle(sid int, ops []Op, sess *sessInfo) ([]Result, uint32, error) {
 	st := e.shards[sid]
 	name := fmt.Sprintf("t%d", e.seq.Add(1))
 	e.enter(st)
@@ -549,6 +598,21 @@ func (e *Engine) doSingle(sid int, ops []Op) ([]Result, uint32, error) {
 				return fmt.Errorf("shard: unknown op kind %d", op.Kind)
 			}
 		}
+		// The session record rides the shard's own WAL just before the
+		// commit record this callback's return triggers: durable prefix
+		// being a prefix, commit durable implies session entry durable.
+		// A retried attempt re-appends it (same name — idempotent in the
+		// recovery fold); an aborted attempt leaves an orphan record the
+		// conditional fold discards.
+		if sess != nil && st.log != nil {
+			if err := st.log.Append(wal.Record{
+				Type: wal.TSession, Tx: sess.session,
+				Session: sess.session, SeqNo: sess.seq, Name: name,
+				Results: sessResultsOf(results),
+			}); err != nil && !errors.Is(err, wal.ErrCrashed) {
+				return err
+			}
+		}
 		return nil
 	})
 	e.noteCrash(st)
@@ -564,7 +628,7 @@ func (e *Engine) doSingle(sid int, ops []Op) ([]Result, uint32, error) {
 
 // doCross runs the two-phase path: a branch per participant shard,
 // prepare (PUSH everywhere), then the coordinated decision.
-func (e *Engine) doCross(parts [][]opAt, nops int) ([]Result, uint32, error) {
+func (e *Engine) doCross(parts [][]opAt, nops int, sess *sessInfo) ([]Result, uint32, error) {
 	name := fmt.Sprintf("x%d", e.seq.Add(1))
 	dec := newDecision()
 	var branches []*branch
@@ -620,7 +684,7 @@ func (e *Engine) doCross(parts [][]opAt, nops int) ([]Result, uint32, error) {
 	}
 
 	// Phase 2 — the coordinated CMT.
-	if err := e.commitCross(name, branches, dec); err != nil {
+	if err := e.commitCross(name, branches, dec, sess, results); err != nil {
 		e.crossAborts.Add(1)
 		return nil, e.maxRetries(branches), err
 	}
@@ -651,7 +715,7 @@ func (e *Engine) finishCross(branches []*branch, dec *decision, decided bool) {
 // any branch that dies after the decision, and appends the completion
 // marker. Every prepared branch either commits or is redone; on a
 // pre-decision coordinator crash the transaction aborts consistently.
-func (e *Engine) commitCross(name string, branches []*branch, dec *decision) error {
+func (e *Engine) commitCross(name string, branches []*branch, dec *decision, sess *sessInfo, results []Result) error {
 	e.commitMu.Lock()
 	// Death between prepare and the durable decision: no CCommit record
 	// survives, so recovery presumes abort — and so does the in-memory
@@ -665,7 +729,21 @@ func (e *Engine) commitCross(name string, branches []*branch, dec *decision) err
 	}
 	var decideErr error
 	if e.coord != nil {
-		decideErr = e.coord.AppendCommit(crec)
+		// The session entry rides (unforced) immediately before the
+		// forced decision, so the decision's sync makes both durable in
+		// order: CCommit durable implies session entry durable, and an
+		// entry without its CCommit is discarded by the conditional fold.
+		if sess != nil {
+			if err := e.coord.AppendSession(SessionRec{
+				Session: sess.session, SeqNo: sess.seq, Name: name,
+				Results: sessResultsOf(results),
+			}, false); err != nil && !errors.Is(err, ErrCoordCrashed) && !errors.Is(err, ErrCoordFenced) {
+				decideErr = err
+			}
+		}
+		if decideErr == nil {
+			decideErr = e.coord.AppendCommit(crec)
+		}
 	}
 	if decideErr != nil {
 		// The decision never became durable (crashed or failing
@@ -786,6 +864,8 @@ type Stats struct {
 	SeededTxns    int    `json:"seeded_txns"`
 	InDoubtFixed  int    `json:"in_doubt_resolved"`
 	WALCrashed    bool   `json:"wal_crashed"`
+	DedupHits     uint64 `json:"dedup_hits"`
+	LeaseEpoch    uint64 `json:"lease_epoch"`
 }
 
 // Stats sums substrate and coordinator counters across shards.
@@ -799,6 +879,8 @@ func (e *Engine) Stats() Stats {
 		SeededTxns:    e.seeded,
 		InDoubtFixed:  e.recovered.InDoubtResolved,
 		WALCrashed:    e.Crashed(),
+		DedupHits:     e.dedupHits.Load(),
+		LeaseEpoch:    e.leaseEpoch.Load(),
 	}
 	for _, st := range e.shards {
 		c, a := st.be.Stats()
@@ -913,6 +995,17 @@ func (e *Engine) checkCrossOrder() error {
 		return err
 	}
 	return nil
+}
+
+// Recorders returns each shard's certification recorder in shard
+// order (entries are nil when certification is disabled) — offline
+// history capture and replay.
+func (e *Engine) Recorders() []*trace.Recorder {
+	out := make([]*trace.Recorder, len(e.shards))
+	for i, st := range e.shards {
+		out[i] = st.be.Recorder()
+	}
+	return out
 }
 
 // FaultStats sums injector activity across the coordinator and every

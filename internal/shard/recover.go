@@ -88,6 +88,15 @@ type MultiReport struct {
 	// log's durable prefix (0 when unbranded) — a promotion serves at
 	// Epoch+1.
 	Epoch uint64
+	// LeaseEpoch is the highest lease epoch branded into the coordinator
+	// log's durable prefix (0 when unbranded) — a new lease must exceed
+	// it.
+	LeaseEpoch uint64
+	// Sessions is the merged exactly-once dedup table: per-shard WAL
+	// session entries (single-shard requests) unified with coordinator
+	// log entries (cross-shard requests and boot checkpoints), latest
+	// sequence number per session winning.
+	Sessions map[uint64]recovery.SessionEntry
 }
 
 // RecoveredTxns sums the per-shard recovered transaction counts.
@@ -128,10 +137,27 @@ func RecoverAndCertifyImage(img *Image, substrate string) (MultiReport, error) {
 		}
 		chains = append(chains, chain)
 	}
-	recs, epoch, trunc := DecodeCoordLogEpoch(img.Coord)
-	out.Epoch = epoch
-	out.CoordTruncated = trunc
+	cr := DecodeCoordLogFull(img.Coord)
+	recs := cr.Commits
+	out.Epoch = cr.Epoch
+	out.LeaseEpoch = cr.LeaseEpoch
+	out.CoordTruncated = cr.Truncated
 	out.CoordCommits = len(recs)
+	mergeSessions := func(src map[uint64]recovery.SessionEntry) {
+		for sess, e := range src {
+			if cur, ok := out.Sessions[sess]; ok && cur.SeqNo >= e.SeqNo {
+				continue
+			}
+			if out.Sessions == nil {
+				out.Sessions = make(map[uint64]recovery.SessionEntry)
+			}
+			out.Sessions[sess] = e
+		}
+	}
+	for _, rep := range out.Shards {
+		mergeSessions(rep.Sessions)
+	}
+	mergeSessions(cr.Sessions)
 	coordChain := make([]string, 0, len(recs))
 	for _, rec := range recs {
 		coordChain = append(coordChain, rec.Name)

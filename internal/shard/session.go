@@ -1,0 +1,208 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"pushpull/internal/recovery"
+	"pushpull/internal/wal"
+)
+
+// Exactly-once client sessions. A session is one client's retry
+// domain: the client tags every one-shot transaction with its session
+// id and a sequence number it only advances after the previous
+// request's outcome is settled, and the engine remembers, per session,
+// the latest committed sequence number with its results. A retry of
+// that sequence number is answered from the table instead of
+// re-executing — the dual of acked-loss: an ambiguous outcome (crash,
+// partition, withheld ack) can be retried blindly without ever
+// double-applying.
+//
+// The table itself must survive everything the data survives, so its
+// entries ride the same logs as the committing rules, strictly before
+// the commit point they describe:
+//
+//   - single-shard: a TSession record in the home shard's WAL, appended
+//     inside the transaction body, so the shard's commit record follows
+//     it — commit durable ⇒ entry durable;
+//   - cross-shard: a cRecSession record in the coordinator log,
+//     appended unforced immediately before the forced CCommit decision
+//     — decision durable ⇒ entry durable.
+//
+// Recovery (and every replica, which folds the same bytes) admits an
+// entry only when the transaction it names committed in the same
+// durable prefix; an entry whose commit was lost describes a request
+// that never took effect, and discarding it is what makes the retry
+// re-execute correctly. At boot the recovered table is re-logged into
+// the new timeline's coordinator log as unconditional checkpoint
+// entries (empty name), so the guarantee survives chained failovers.
+
+// sessEntry is one session's latest settled request.
+type sessEntry struct {
+	seq     uint64
+	results []Result
+}
+
+// sessInfo threads a request's session identity through the commit
+// paths.
+type sessInfo struct {
+	session uint64
+	seq     uint64
+}
+
+// ErrStaleSeq reports a session request whose sequence number is below
+// the session's latest committed one — a delayed duplicate of a
+// request whose outcome the client already consumed.
+var ErrStaleSeq = errors.New("shard: stale session sequence number")
+
+func sessResultsOf(results []Result) []wal.SessResult {
+	out := make([]wal.SessResult, len(results))
+	for i, r := range results {
+		out[i] = wal.SessResult{Val: r.Val, Found: r.Found}
+	}
+	return out
+}
+
+func resultsOfSess(in []wal.SessResult) []Result {
+	out := make([]Result, len(in))
+	for i, r := range in {
+		out[i] = Result{Val: r.Val, Found: r.Found}
+	}
+	return out
+}
+
+// seedSessions installs the recovered dedup table and re-logs it into
+// the new timeline as unconditional checkpoint entries: the recovered
+// entries reference transaction names of the previous timeline, which
+// the re-seeded logs no longer carry, so without the checkpoint a
+// second crash (or a follower of the promoted primary) would lose the
+// table. Runs at the end of New, before anything serves.
+func (e *Engine) seedSessions() error {
+	e.sess = make(map[uint64]sessEntry, len(e.recovered.Sessions))
+	e.leaseEpoch.Store(e.recovered.LeaseEpoch)
+	if len(e.recovered.Sessions) == 0 {
+		return nil
+	}
+	sessions := make([]uint64, 0, len(e.recovered.Sessions))
+	for s := range e.recovered.Sessions {
+		sessions = append(sessions, s)
+	}
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i] < sessions[j] })
+	for _, s := range sessions {
+		ent := e.recovered.Sessions[s]
+		e.sess[s] = sessEntry{seq: ent.SeqNo, results: resultsOfSess(ent.Results)}
+		if e.coord != nil {
+			if err := e.coord.AppendSession(SessionRec{
+				Session: s, SeqNo: ent.SeqNo, Results: ent.Results,
+			}, false); err != nil {
+				return fmt.Errorf("shard: checkpointing session table: %w", err)
+			}
+		}
+	}
+	if e.coord != nil {
+		if err := e.coord.Sync(); err != nil {
+			return fmt.Errorf("shard: checkpointing session table: %w", err)
+		}
+	}
+	return nil
+}
+
+// DoSession executes ops exactly-once under (session, seqNo): a retry
+// of the session's latest committed sequence number is answered from
+// the dedup table with the original results (dedup=true) without
+// re-executing; a lower sequence number fails with ErrStaleSeq; a
+// higher one executes and, on commit, becomes the session's entry. A
+// session id of 0 means "no session" and falls back to plain Do.
+//
+// Within one session, requests are sequential (the client advances
+// seqNo only after settling the previous request); concurrent requests
+// on the same session are outside the contract.
+func (e *Engine) DoSession(session, seqNo uint64, ops []Op) (res []Result, retries uint32, dedup bool, err error) {
+	if session == 0 {
+		res, retries, err = e.Do(ops)
+		return res, retries, false, err
+	}
+	e.sessMu.Lock()
+	if ent, ok := e.sess[session]; ok {
+		switch {
+		case seqNo == ent.seq:
+			res = append([]Result(nil), ent.results...)
+			e.sessMu.Unlock()
+			e.dedupHits.Add(1)
+			e.suite.Metrics.DedupHit(session)
+			// A dedup answer is still an ack of the original commit, so
+			// it passes the same gate: a fenced engine's table may
+			// describe commits its successor never received, and an
+			// expired lease must not promise anything.
+			if aerr := e.ackGate(); aerr != nil {
+				return nil, 0, true, aerr
+			}
+			return res, 0, true, nil
+		case seqNo < ent.seq:
+			have := ent.seq
+			e.sessMu.Unlock()
+			return nil, 0, false, fmt.Errorf("%w: session %d seq %d (latest committed %d)",
+				ErrStaleSeq, session, seqNo, have)
+		}
+	}
+	e.sessMu.Unlock()
+	res, retries, err = e.do(ops, &sessInfo{session: session, seq: seqNo})
+	if err != nil {
+		return nil, retries, false, err
+	}
+	// Record the entry before the ack gate: the commit happened (and its
+	// session record rode the log), so a retry against this same engine
+	// must dedup even when this ack is withheld.
+	e.sessMu.Lock()
+	if cur, ok := e.sess[session]; !ok || cur.seq < seqNo {
+		e.sess[session] = sessEntry{seq: seqNo, results: append([]Result(nil), res...)}
+	}
+	e.sessMu.Unlock()
+	if aerr := e.ackGate(); aerr != nil {
+		return nil, retries, false, aerr
+	}
+	return res, retries, false, nil
+}
+
+// Sessions snapshots the exactly-once table (tests and sweeps compare
+// it against client-side ledgers).
+func (e *Engine) Sessions() map[uint64]recovery.SessionEntry {
+	e.sessMu.Lock()
+	defer e.sessMu.Unlock()
+	out := make(map[uint64]recovery.SessionEntry, len(e.sess))
+	for s, ent := range e.sess {
+		out[s] = recovery.SessionEntry{SeqNo: ent.seq, Results: sessResultsOf(ent.results)}
+	}
+	return out
+}
+
+// DedupHits counts retries answered from the session table.
+func (e *Engine) DedupHits() uint64 { return e.dedupHits.Load() }
+
+// BrandLease journals the lease epoch granted to this engine's holder
+// (forced, into the coordinator log) and publishes it. Lease epochs
+// must not regress: the supervisor grants successor leases at
+// predecessor+1, and the recovered image's lease epoch is the floor.
+func (e *Engine) BrandLease(epoch uint64) error {
+	for {
+		cur := e.leaseEpoch.Load()
+		if epoch <= cur {
+			return fmt.Errorf("shard: lease epoch %d does not exceed the current lease epoch %d", epoch, cur)
+		}
+		if e.leaseEpoch.CompareAndSwap(cur, epoch) {
+			break
+		}
+	}
+	if e.coord != nil {
+		if err := e.coord.AppendLease(epoch); err != nil {
+			return fmt.Errorf("shard: branding lease epoch: %w", err)
+		}
+	}
+	e.suite.Metrics.LeaseEpochSet(epoch)
+	return nil
+}
+
+// LeaseEpoch returns the highest lease epoch branded through this
+// engine (or recovered from its image).
+func (e *Engine) LeaseEpoch() uint64 { return e.leaseEpoch.Load() }

@@ -130,7 +130,7 @@ func (t *Txn) Commit() error {
 	}
 	// commitCross owns the branches from here: it decides, reaps, and
 	// moves the gauges on both outcomes.
-	err := t.e.commitCross(t.name, branches, t.dec)
+	err := t.e.commitCross(t.name, branches, t.dec, nil, nil)
 	t.done, t.err = true, err
 	if err != nil {
 		t.e.crossAborts.Add(1)

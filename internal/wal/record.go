@@ -40,6 +40,17 @@ const (
 	// TAbort logs a completed whole-transaction rollback (its UNPUSHes
 	// precede it individually).
 	TAbort Type = 4
+	// TSession logs a client session's request outcome for exactly-once
+	// retries: session id, request sequence number, the results the
+	// client was (about to be) told, and the name of the transaction that
+	// carried the request. The record is appended before the commit point
+	// of that transaction, so the durable-prefix property gives the
+	// invariant recovery needs: commit durable implies session record
+	// durable. A session record whose named transaction never committed
+	// is ignored on recovery (the request never took effect, so a retry
+	// may re-execute). A record with an empty Name is a checkpoint entry
+	// re-logged at boot and is unconditionally valid.
+	TSession Type = 5
 )
 
 func (t Type) String() string {
@@ -52,6 +63,8 @@ func (t Type) String() string {
 		return "CMT"
 	case TAbort:
 		return "ABORT"
+	case TSession:
+		return "SESSION"
 	default:
 		return fmt.Sprintf("type%d", uint8(t))
 	}
@@ -72,6 +85,18 @@ type Record struct {
 	OpID uint64
 	// Stamp is the commit serial number (TCommit only).
 	Stamp uint64
+	// Session and SeqNo identify the client request (TSession only).
+	Session uint64
+	SeqNo   uint64
+	// Results are the per-op answers the request's commit produced
+	// (TSession only) — replayed verbatim to a retry.
+	Results []SessResult
+}
+
+// SessResult is one stored per-op answer inside a TSession record.
+type SessResult struct {
+	Val   int64
+	Found bool
 }
 
 func (r Record) String() string {
@@ -84,6 +109,9 @@ func (r Record) String() string {
 		return fmt.Sprintf("CMT tx=%d %q stamp=%d", r.Tx, r.Name, r.Stamp)
 	case TAbort:
 		return fmt.Sprintf("ABORT tx=%d %q", r.Tx, r.Name)
+	case TSession:
+		return fmt.Sprintf("SESSION sess=%d seq=%d %q (%d results)",
+			r.Session, r.SeqNo, r.Name, len(r.Results))
 	default:
 		return fmt.Sprintf("%s tx=%d", r.Type, r.Tx)
 	}
@@ -159,6 +187,19 @@ func Encode(b []byte, r Record) []byte {
 		p = binary.AppendUvarint(p, r.Stamp)
 	case TAbort:
 		p = appendString(p, r.Name)
+	case TSession:
+		p = binary.AppendUvarint(p, r.Session)
+		p = binary.AppendUvarint(p, r.SeqNo)
+		p = appendString(p, r.Name)
+		p = binary.AppendUvarint(p, uint64(len(r.Results)))
+		for _, res := range r.Results {
+			p = binary.AppendVarint(p, res.Val)
+			if res.Found {
+				p = append(p, 1)
+			} else {
+				p = append(p, 0)
+			}
+		}
 	}
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(p)))
 	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(p, crcTable))
@@ -195,6 +236,16 @@ func (d *decoder) varint() int64 {
 	}
 	d.b = d.b[n:]
 	return v
+}
+
+func (d *decoder) byte() byte {
+	if d.bad || len(d.b) == 0 {
+		d.bad = true
+		return 0
+	}
+	c := d.b[0]
+	d.b = d.b[1:]
+	return c
 }
 
 func (d *decoder) str() string {
@@ -247,6 +298,27 @@ func decodePayload(p []byte) (Record, error) {
 		r.Stamp = d.uvarint()
 	case TAbort:
 		r.Name = d.str()
+	case TSession:
+		r.Session = d.uvarint()
+		r.SeqNo = d.uvarint()
+		r.Name = d.str()
+		n := d.uvarint()
+		if n > maxArgs {
+			return Record{}, fmt.Errorf("wal: absurd result count %d", n)
+		}
+		if !d.bad && n > 0 {
+			r.Results = make([]SessResult, n)
+			for i := range r.Results {
+				r.Results[i].Val = d.varint()
+				switch d.byte() {
+				case 0:
+				case 1:
+					r.Results[i].Found = true
+				default:
+					return Record{}, errors.New("wal: bad result flag")
+				}
+			}
+		}
 	default:
 		return Record{}, fmt.Errorf("wal: unknown record type %d", p[0])
 	}

@@ -22,6 +22,8 @@ func sampleRecords() []Record {
 		pushRec(2, "t2", 12, 0, "ht", "put", []int64{5, -9}, spec.Absent),
 		{Type: TUnpush, Tx: 2, OpID: 12},
 		{Type: TAbort, Tx: 2, Name: "t2"},
+		{Type: TSession, Tx: 3, Session: 42, SeqNo: 7, Name: "s42.7",
+			Results: []SessResult{{Val: -5, Found: true}, {}}},
 	}
 }
 
@@ -53,6 +55,30 @@ func TestEncodeDecodeRoundtrip(t *testing.T) {
 		t.Fatalf("consumed %d of %d bytes", consumed, len(body))
 	}
 	sameRecords(t, got, want)
+}
+
+func TestSessionRecordRoundtrip(t *testing.T) {
+	want := Record{Type: TSession, Tx: 9, Session: 1 << 40, SeqNo: 3, Name: "s.3",
+		Results: []SessResult{{Val: 11, Found: true}, {Val: -2}, {}}}
+	got, consumed, reason := DecodeAll(Encode(nil, want))
+	if reason != nil || len(got) != 1 {
+		t.Fatalf("decode: %d records, reason %v", len(got), reason)
+	}
+	if consumed == 0 {
+		t.Fatal("nothing consumed")
+	}
+	g := got[0]
+	if g.Session != want.Session || g.SeqNo != want.SeqNo || g.Name != want.Name {
+		t.Fatalf("got %v, want %v", g, want)
+	}
+	if len(g.Results) != len(want.Results) {
+		t.Fatalf("got %d results, want %d", len(g.Results), len(want.Results))
+	}
+	for i, r := range want.Results {
+		if g.Results[i] != r {
+			t.Fatalf("result %d: got %+v, want %+v", i, g.Results[i], r)
+		}
+	}
 }
 
 func TestDecodeTruncatesTornTail(t *testing.T) {
