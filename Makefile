@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check race chaos-smoke chaos crash-smoke crash obs-smoke obs serve-smoke serve-campaign shard-smoke repl-smoke repl failover-smoke failover bench bench-repl ci
+.PHONY: build test vet fmt-check race chaos-smoke chaos crash-smoke crash obs-smoke obs serve-smoke serve-campaign shard-smoke repl-smoke repl failover-smoke failover mvcc-smoke bench bench-repl bench-mvcc ci
 
 build:
 	$(GO) build ./...
@@ -100,6 +100,15 @@ failover-smoke:
 failover:
 	$(GO) run ./cmd/pushpull-repl -seeds 50
 
+# MVCC snapshot-read smoke: a replicated sharded primary + follower
+# under a 90%-read-only skewed wire campaign (the read-only class must
+# show zero aborts while writers churn), follower snapshot reads from
+# the replica's pinned cut, the GSN-consistent-cut torn-read hammer,
+# and a certified shutdown.
+mvcc-smoke:
+	$(GO) test ./internal/server/ -run TestMVCCSmoke -v
+	$(GO) test ./internal/shard/ -run 'TestSnapshotCutNeverTorn|TestDoReadOnlyRejectsWrites' -v
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -108,4 +117,12 @@ bench-repl:
 	$(GO) run ./cmd/pushpull-repl -bench -duration 2s > BENCH_repl.json
 	@cat BENCH_repl.json
 
-ci: test vet race chaos-smoke crash-smoke obs-smoke serve-smoke shard-smoke repl-smoke failover-smoke
+# Regenerate the committed read-only snapshot benchmark: 90% declared
+# read-only traffic at skew 1.2 against a live server; ro_aborts must
+# read 0. (Boot a server with `go run ./cmd/pushpull-server` first, or
+# use the defaults against 127.0.0.1:7070.)
+bench-mvcc:
+	$(GO) run ./cmd/pushpull-load -clients 32 -duration 10s -skew 1.2 -readonly-pct 90 -json > BENCH_mvcc.json
+	@cat BENCH_mvcc.json
+
+ci: test vet race chaos-smoke crash-smoke obs-smoke serve-smoke shard-smoke repl-smoke failover-smoke mvcc-smoke

@@ -31,6 +31,7 @@ func main() {
 	opsPerTxn := flag.Int("ops", 3, "operations per transaction")
 	skew := flag.Float64("skew", 0, "Zipf exponent for key choice (<=1 uniform)")
 	interactive := flag.Bool("interactive", false, "begin/op/commit sessions instead of one-shot transactions")
+	readonlyPct := flag.Int("readonly-pct", 0, "percentage of transactions issued as declared read-only snapshot transactions")
 	seed := flag.Int64("seed", 1, "workload seed")
 	shards := flag.Int("shards", 0, "server shard count (shapes key choice; 0 = unshaped)")
 	cross := flag.Int("cross", 10, "percentage of cross-shard transactions (with -shards > 1)")
@@ -41,7 +42,7 @@ func main() {
 		Addr: *addr, Clients: *clients, Duration: *duration,
 		MaxTxns: *maxTxns, Keys: *keys, ReadPct: *readPct,
 		OpsPerTxn: *opsPerTxn, Skew: *skew,
-		Interactive: *interactive, Seed: *seed,
+		Interactive: *interactive, ReadOnlyPct: *readonlyPct, Seed: *seed,
 		Shards: *shards, CrossPct: *cross,
 	})
 	if err != nil {
@@ -59,9 +60,11 @@ func main() {
 		OpsPerTxn: res.Params.OpsPerTxn, Skew: res.Params.Skew,
 		Interactive: res.Params.Interactive, Seed: res.Params.Seed,
 		Shards: res.Params.Shards, CrossPct: res.Params.CrossPct,
-		DurationMs: float64(res.Elapsed.Milliseconds()),
-		Commits:    res.Commits, Aborts: res.Aborts, Busy: res.Busy,
+		ReadOnlyPct: res.Params.ReadOnlyPct,
+		DurationMs:  float64(res.Elapsed.Milliseconds()),
+		Commits:     res.Commits, Aborts: res.Aborts, Busy: res.Busy,
 		Errors: res.Errors, Retries: res.Retries,
+		ROCommits: res.ROCommits, ROAborts: res.ROAborts,
 		Perf: bench.PerfJSON{
 			TxnPerSec: res.Throughput(),
 			P50Ms:     float64(res.P50) / float64(time.Millisecond),

@@ -23,6 +23,7 @@ import (
 	"pushpull/internal/adt"
 	"pushpull/internal/chaos"
 	"pushpull/internal/core"
+	"pushpull/internal/mvcc"
 	"pushpull/internal/recovery"
 	"pushpull/internal/spec"
 	"pushpull/internal/stm/boost"
@@ -72,6 +73,39 @@ type Backend interface {
 	// ReadKey reads one key non-transactionally — quiescent test
 	// verification only.
 	ReadKey(key uint64) (int64, bool)
+	// Snapshots returns the multi-version store fed from this backend's
+	// certified commit stream — the substrate for read-only snapshot
+	// transactions. Nil when certification is disabled (no recorder
+	// means no committed-log fold to serve from).
+	Snapshots() *mvcc.Store
+	// SnapshotCert returns the read-only transaction certifier, an
+	// independent fold of the same commit stream. Nil when
+	// certification is disabled.
+	SnapshotCert() *mvcc.Shadow
+}
+
+// mvccState carries the version store and its certifier; every
+// concrete backend embeds it so the MVCC seam is uniform across
+// substrates.
+type mvccState struct {
+	mv     *mvcc.Store
+	mvCert *mvcc.Shadow
+}
+
+func (m *mvccState) Snapshots() *mvcc.Store     { return m.mv }
+func (m *mvccState) SnapshotCert() *mvcc.Shadow { return m.mvCert }
+
+// attachMVCC builds the version store + certifier pair and subscribes
+// their applier to the certifying recorder's event stream. The store
+// is then a second fold of exactly the log the WAL and metrics see.
+func (m *mvccState) attachMVCC(substrate string, keys int, rec *trace.Recorder) {
+	if rec == nil {
+		return
+	}
+	mode := mvcc.ModeFor(substrate)
+	m.mv = mvcc.NewStore(mode, keys)
+	m.mvCert = mvcc.NewShadow(mode, keys)
+	rec.AttachSink(mvcc.NewApplier(mode, m.mv, m.mvCert))
 }
 
 // Config configures a backend.
@@ -118,11 +152,28 @@ func Substrates() []string {
 	return []string{"tl2", "pess", "boost", "htmsim", "dep", "hybrid"}
 }
 
-// NewBackend builds the substrate backend for cfg.
+// mvccAttacher is satisfied by every concrete backend through the
+// embedded mvccState.
+type mvccAttacher interface {
+	attachMVCC(substrate string, keys int, rec *trace.Recorder)
+}
+
+// NewBackend builds the substrate backend for cfg and, when certified,
+// attaches the multi-version snapshot store to its commit stream.
 func NewBackend(cfg Config) (Backend, error) {
 	if cfg.Keys <= 0 {
 		cfg.Keys = 64
 	}
+	bk, err := newBackend(cfg)
+	if err != nil {
+		return nil, err
+	}
+	bk.(mvccAttacher).attachMVCC(cfg.Substrate, cfg.Keys, bk.Recorder())
+	return bk, nil
+}
+
+// newBackend builds the raw substrate backend.
+func newBackend(cfg Config) (Backend, error) {
 	var rec *trace.Recorder
 	if !cfg.DisableCert {
 		reg, err := RegistryFor(cfg.Substrate)
@@ -237,6 +288,7 @@ type wordTx interface {
 }
 
 type wordBackend struct {
+	mvccState
 	name   string
 	keys   int
 	rec    *trace.Recorder
@@ -324,6 +376,7 @@ func (b *wordBackend) seedWords(words map[int]int64, prefix string) (int, error)
 // ---- boosting ----
 
 type boostBackend struct {
+	mvccState
 	rt  *boost.Runtime
 	ht  *boost.Map
 	rec *trace.Recorder
@@ -405,6 +458,7 @@ func seedMap(st recovery.State, obj, prefix string,
 // ---- hybrid (Section 7: boosting + HTM sections) ----
 
 type hybridBackend struct {
+	mvccState
 	b   *boost.Runtime
 	h   *htmsim.HTM
 	rt  *hybrid.Runtime

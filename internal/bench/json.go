@@ -144,12 +144,15 @@ type LoadSummaryJSON struct {
 	Seed        int64    `json:"seed"`
 	Shards      int      `json:"shards,omitempty"`
 	CrossPct    int      `json:"cross_pct,omitempty"`
+	ReadOnlyPct int      `json:"readonly_pct,omitempty"`
 	DurationMs  float64  `json:"duration_ms"`
 	Commits     uint64   `json:"commits"`
 	Aborts      uint64   `json:"aborts"`
 	Busy        uint64   `json:"busy"`
 	Errors      uint64   `json:"errors"`
 	Retries     uint64   `json:"retries"`
+	ROCommits   uint64   `json:"ro_commits,omitempty"`
+	ROAborts    uint64   `json:"ro_aborts"`
 	AbortRatio  float64  `json:"abort_ratio"`
 	Perf        PerfJSON `json:"perf"`
 }

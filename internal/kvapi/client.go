@@ -59,9 +59,24 @@ func (c *Client) Do(ops []Op) (Response, error) {
 	return c.roundTrip(Request{Type: MsgTxn, Ops: ops})
 }
 
+// DoReadOnly executes ops — all of them Gets — as one read-only
+// snapshot transaction: served from a pinned consistent prefix of the
+// committed log, never admission-gated, never retried, never aborted
+// by conflict. The response's Snapshot is the certified watermark.
+func (c *Client) DoReadOnly(ops []Op) (Response, error) {
+	return c.roundTrip(Request{Type: MsgTxn, Ops: ops, ReadOnly: true})
+}
+
 // Begin opens an interactive transaction on this connection.
 func (c *Client) Begin() (Response, error) {
 	return c.roundTrip(Request{Type: MsgBegin})
+}
+
+// BeginReadOnly opens an interactive read-only transaction: every Get
+// until Commit/Abort answers from one pinned snapshot; Puts are
+// protocol errors. Followers serve it locally instead of redirecting.
+func (c *Client) BeginReadOnly() (Response, error) {
+	return c.roundTrip(Request{Type: MsgBegin, ReadOnly: true})
 }
 
 // Get reads key inside the open interactive transaction.

@@ -35,6 +35,11 @@ type LoadParams struct {
 	// Interactive runs begin/op/commit sessions instead of one-shot
 	// MsgTxn transactions.
 	Interactive bool
+	// ReadOnlyPct is the percentage of transactions issued as declared
+	// read-only snapshot transactions (every op a Get, the ReadOnly
+	// wire flag set). These take the MVCC snapshot path: no admission
+	// gate, no conflict retries, no aborts. Zero issues none.
+	ReadOnlyPct int
 	// Seed makes key/op choices reproducible (default 1).
 	Seed int64
 	// Shards, when > 1, shapes key choice for a sharded server:
@@ -80,6 +85,11 @@ type LoadResult struct {
 	Retries  uint64 // server-side substrate retries, summed
 	P50, P95 time.Duration
 	P99      time.Duration
+
+	// Read-only snapshot transactions, tallied separately: the claim
+	// under test is that ROAborts stays zero under any contention.
+	ROCommits uint64
+	ROAborts  uint64 // any non-OK outcome on the read-only path
 }
 
 // Throughput is committed transactions per second.
@@ -91,16 +101,21 @@ func (r LoadResult) Throughput() float64 {
 }
 
 func (r LoadResult) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"clients=%d elapsed=%v commits=%d aborts=%d busy=%d errors=%d retries=%d  %.0f txn/s  p50=%v p95=%v p99=%v",
 		r.Params.Clients, r.Elapsed.Round(time.Millisecond),
 		r.Commits, r.Aborts, r.Busy, r.Errors, r.Retries,
 		r.Throughput(), r.P50, r.P95, r.P99)
+	if r.Params.ReadOnlyPct > 0 {
+		s += fmt.Sprintf("  ro_commits=%d ro_aborts=%d", r.ROCommits, r.ROAborts)
+	}
+	return s
 }
 
 // clientTally is one worker's private aggregate, merged after the run.
 type clientTally struct {
 	commits, aborts, busy, errs, retries uint64
+	roCommits, roAborts                  uint64
 	lats                                 []time.Duration
 	err                                  error // transport failure, fatal for the campaign
 }
@@ -137,6 +152,8 @@ func RunLoad(p LoadParams) (LoadResult, error) {
 		res.Busy += t.busy
 		res.Errors += t.errs
 		res.Retries += t.retries
+		res.ROCommits += t.roCommits
+		res.ROAborts += t.roAborts
 		all = append(all, t.lats...)
 	}
 	res.P50, res.P95, res.P99 = quantiles(all)
@@ -169,18 +186,24 @@ func runClient(p LoadParams, id int, deadline time.Time) clientTally {
 			break
 		}
 		keys := pickKeys(p, rng, pick)
+		readOnly := p.ReadOnlyPct > 0 && rng.Intn(100) < p.ReadOnlyPct
 		ops := make([]Op, p.OpsPerTxn)
 		for j := range ops {
-			if rng.Intn(100) < p.ReadPct {
+			if readOnly || rng.Intn(100) < p.ReadPct {
 				ops[j] = Op{Kind: OpGet, Key: keys[j]}
 			} else {
 				ops[j] = Op{Kind: OpPut, Key: keys[j], Val: rng.Int63n(1 << 20)}
 			}
 		}
 		t0 := time.Now()
-		if p.Interactive {
+		switch {
+		case readOnly && p.Interactive:
+			err = runInteractiveRO(c, ops, &t)
+		case readOnly:
+			err = runReadOnly(c, ops, &t)
+		case p.Interactive:
 			err = runInteractive(c, ops, &t)
-		} else {
+		default:
 			err = runOneShot(c, ops, &t)
 		}
 		if err != nil {
@@ -252,6 +275,53 @@ func runOneShot(c *Client, ops []Op, t *clientTally) error {
 			return nil
 		}
 	}
+}
+
+// runReadOnly issues one declared read-only snapshot transaction. The
+// path is never admission-gated and never conflict-aborted, so any
+// non-OK outcome counts against the never-abort claim.
+func runReadOnly(c *Client, ops []Op, t *clientTally) error {
+	resp, err := c.DoReadOnly(ops)
+	if err != nil {
+		return err
+	}
+	if resp.Status == StatusOK {
+		t.roCommits++
+	} else {
+		t.roAborts++
+	}
+	return nil
+}
+
+// runInteractiveRO plays the ops through a read-only begin/get/commit
+// session pinned to one snapshot.
+func runInteractiveRO(c *Client, ops []Op, t *clientTally) error {
+	resp, err := c.BeginReadOnly()
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusOK {
+		t.roAborts++
+		return nil
+	}
+	for _, op := range ops {
+		if resp, err = c.Get(op.Key); err != nil {
+			return err
+		}
+		if resp.Status != StatusOK {
+			t.roAborts++
+			return nil // RO sessions close server-side on any failure
+		}
+	}
+	if resp, err = c.Commit(); err != nil {
+		return err
+	}
+	if resp.Status == StatusOK {
+		t.roCommits++
+	} else {
+		t.roAborts++
+	}
+	return nil
 }
 
 // runInteractive plays the same ops through a begin/op/commit session.

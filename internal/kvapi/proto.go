@@ -108,6 +108,12 @@ type Request struct {
 	// instead of re-executing.
 	Session uint64
 	Seq     uint64
+	// ReadOnly marks a MsgTxn or MsgBegin as a read-only snapshot
+	// transaction: the server serves it from a pinned MVCC snapshot —
+	// no admission gate, no locks, no validation, no retries — and
+	// certifies the result set against the committed history. A
+	// ReadOnly transaction carrying a Put is a protocol error.
+	ReadOnly bool
 	// MsgReplPoll: stream index, cursor, and byte budget.
 	Stream int
 	Seg    int
@@ -195,6 +201,10 @@ type Response struct {
 	Appends uint64
 	// Redirect, on StatusRedirect, names the primary's address.
 	Redirect string
+	// Snapshot is the pinned commit watermark a read-only transaction
+	// was served and certified at (0 for read-write transactions; on
+	// multi-shard cuts, the coordinator shard's watermark).
+	Snapshot uint64
 }
 
 // MaxFrame bounds one message's body; anything larger is a protocol
@@ -207,6 +217,30 @@ var ErrFrameTooLarge = errors.New("kvapi: frame exceeds MaxFrame")
 // errShort reports a truncated or malformed body. Decoding is total:
 // corrupt input yields this error, never a panic.
 var errShort = errors.New("kvapi: truncated or malformed message body")
+
+// reqFlags packs the request flag byte (bit 0: ReadOnly).
+func reqFlags(r Request) byte {
+	var f byte
+	if r.ReadOnly {
+		f |= 1
+	}
+	return f
+}
+
+// takeReqFlags consumes the trailing flag byte. Unknown flag bits are
+// a protocol error, not silently dropped semantics — a mixed-version
+// peer fails loudly instead of quietly losing read-only routing.
+func takeReqFlags(r *Request, b []byte) ([]byte, error) {
+	if len(b) == 0 {
+		return b, errShort
+	}
+	f := b[0]
+	if f&^byte(1) != 0 {
+		return b, fmt.Errorf("kvapi: unknown request flags %#x", f)
+	}
+	r.ReadOnly = f&1 != 0
+	return b[1:], nil
+}
 
 // AppendRequest encodes r's body (no frame header) onto b.
 func AppendRequest(b []byte, r Request) []byte {
@@ -223,6 +257,9 @@ func AppendRequest(b []byte, r Request) []byte {
 		}
 		b = binary.AppendUvarint(b, r.Session)
 		b = binary.AppendUvarint(b, r.Seq)
+		b = append(b, reqFlags(r))
+	case MsgBegin:
+		b = append(b, reqFlags(r))
 	case MsgGet:
 		b = binary.AppendUvarint(b, r.Key)
 	case MsgPut:
@@ -280,6 +317,13 @@ func DecodeRequest(b []byte) (Request, error) {
 		if r.Seq, b, err = takeUvarint(b); err != nil {
 			return r, err
 		}
+		if b, err = takeReqFlags(&r, b); err != nil {
+			return r, err
+		}
+	case MsgBegin:
+		if b, err = takeReqFlags(&r, b); err != nil {
+			return r, err
+		}
 	case MsgGet:
 		if r.Key, b, err = takeUvarint(b); err != nil {
 			return r, err
@@ -304,7 +348,7 @@ func DecodeRequest(b []byte) (Request, error) {
 			}
 			*dst = int(u)
 		}
-	case MsgBegin, MsgCommit, MsgAbort, MsgPing:
+	case MsgCommit, MsgAbort, MsgPing:
 		// no payload
 	default:
 		return r, fmt.Errorf("kvapi: unknown message type %d", byte(r.Type))
@@ -348,6 +392,7 @@ func AppendResponse(b []byte, r Response) []byte {
 	b = binary.AppendUvarint(b, r.Appends)
 	b = binary.AppendUvarint(b, uint64(len(r.Redirect)))
 	b = append(b, r.Redirect...)
+	b = binary.AppendUvarint(b, r.Snapshot)
 	return b
 }
 
@@ -418,10 +463,17 @@ func DecodeResponse(b []byte) (Response, error) {
 	if u, b, err = takeUvarint(b); err != nil {
 		return r, err
 	}
-	if uint64(len(b)) != u {
+	if uint64(len(b)) < u {
 		return r, errShort
 	}
-	r.Redirect = string(b)
+	r.Redirect = string(b[:u])
+	b = b[u:]
+	if r.Snapshot, b, err = takeUvarint(b); err != nil {
+		return r, err
+	}
+	if len(b) != 0 {
+		return r, errShort
+	}
 	return r, nil
 }
 

@@ -1,0 +1,118 @@
+package mvcc
+
+import (
+	"sync"
+
+	"pushpull/internal/adt"
+	"pushpull/internal/core"
+	"pushpull/internal/spec"
+)
+
+// Applier folds the shadow machine's event stream into a Store and a
+// Shadow certifier. It is a core.EventSink attached next to the
+// metrics suite on the certifying recorder: PUSH buffers a
+// transaction's write operations, UNPUSH retracts them (substrate
+// rollback), CMT applies the buffered write-set at the machine's
+// commit stamp, ABORT discards it. Because the recorder mutex
+// serializes dispatch, commits arrive here in true commit order and
+// the stamps are strictly monotonic — the version store inherits the
+// WAL's serialization-witness property for free.
+type Applier struct {
+	mode Mode
+	st   *Store
+	sh   *Shadow
+
+	mu      sync.Mutex
+	pending map[uint64][]pendingWrite // machine thread -> buffered writes
+}
+
+type pendingWrite struct {
+	opID uint64
+	w    Write
+}
+
+// NewApplier builds the sink feeding st (and sh, which may be nil).
+func NewApplier(mode Mode, st *Store, sh *Shadow) *Applier {
+	a := &Applier{mode: mode, st: st, sh: sh, pending: make(map[uint64][]pendingWrite)}
+	if sh != nil {
+		st.OnTruncate(sh.TrimTo)
+	}
+	return a
+}
+
+var _ core.EventSink = (*Applier)(nil)
+
+// TranslateOp projects one operation of the shadow-machine op
+// alphabet onto the KV write-set. Reads and non-KV objects (the
+// hybrid's "htm" counter register) fold to nothing. The recovery
+// replay and the live event stream share this projection, so a
+// follower folding shipped WAL bytes builds the same version chains
+// the primary's applier does.
+func TranslateOp(mode Mode, op spec.Op) (Write, bool) {
+	switch mode {
+	case ModeRegister:
+		if op.Obj == "mem" && op.Method == adt.MWrite && len(op.Args) >= 2 {
+			return Write{Key: uint64(op.Args[0]), Val: op.Args[1], Present: true}, true
+		}
+	case ModeMap:
+		if op.Obj != "ht" {
+			return Write{}, false
+		}
+		switch op.Method {
+		case adt.MMapPut:
+			if len(op.Args) >= 2 {
+				return Write{Key: uint64(op.Args[0]), Val: op.Args[1], Present: true}, true
+			}
+		case adt.MMapRemove:
+			if len(op.Args) >= 1 {
+				return Write{Key: uint64(op.Args[0]), Present: false}, true
+			}
+		}
+	}
+	return Write{}, false
+}
+
+// Emit observes one rule transition. Cheap by contract: a map append
+// per pushed write, one Apply per commit.
+func (a *Applier) Emit(e core.SinkEvent) {
+	switch e.Rule {
+	case core.RPush:
+		w, ok := TranslateOp(a.mode, e.Op)
+		if !ok {
+			return
+		}
+		a.mu.Lock()
+		a.pending[e.Tx] = append(a.pending[e.Tx], pendingWrite{opID: e.Op.ID, w: w})
+		a.mu.Unlock()
+	case core.RUnpush:
+		a.mu.Lock()
+		buf := a.pending[e.Tx]
+		for i := len(buf) - 1; i >= 0; i-- {
+			if buf[i].opID == e.Op.ID {
+				a.pending[e.Tx] = append(buf[:i], buf[i+1:]...)
+				break
+			}
+		}
+		a.mu.Unlock()
+	case core.RCmt:
+		a.mu.Lock()
+		buf := a.pending[e.Tx]
+		delete(a.pending, e.Tx)
+		a.mu.Unlock()
+		writes := make([]Write, len(buf))
+		for i, pw := range buf {
+			writes[i] = pw.w
+		}
+		// Shadow first: Apply may cross the GC-debt threshold and call
+		// TrimTo(watermark) through the truncation hook — the shadow
+		// must already hold this commit before the bound reaches it.
+		if a.sh != nil {
+			a.sh.Append(e.Stamp, writes)
+		}
+		a.st.Apply(e.Stamp, writes)
+	case core.RAbort:
+		a.mu.Lock()
+		delete(a.pending, e.Tx)
+		a.mu.Unlock()
+	}
+}

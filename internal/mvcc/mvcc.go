@@ -1,0 +1,351 @@
+// Package mvcc is the multi-version store under the serving
+// substrates: the committed global log G, materialized per key.
+//
+// Every substrate in this repository already certifies its commits
+// against a shadow Push/Pull machine, and that machine dispatches one
+// CMT event per committed transaction — with the machine's monotonic
+// commit stamp — through the core.EventSink seam. This package folds
+// exactly that stream: an Applier buffers each transaction's PUSHed
+// write operations and, at CMT, appends one version per written key
+// (value, commit seq, prev pointer) to a Store. The store is therefore
+// structurally a fold of the same committed log the WAL and the
+// replicas see; nothing is written that was not pushed and committed
+// through the eight rules.
+//
+// A Snapshot pins a commit watermark and serves Get/Fold at that
+// watermark: in Push/Pull terms it is a PULL-only transaction — it
+// pulls a consistent committed prefix of G and never pushes, so it can
+// never conflict, never validates, and never aborts. A watermark-based
+// garbage collector truncates version chains below the oldest pinned
+// snapshot, bounding memory by the span between the oldest live reader
+// and the head of the log.
+package mvcc
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Mode selects the key semantics of the substrate the store shadows.
+type Mode int
+
+const (
+	// ModeRegister mirrors the word substrates (tl2, pess, htmsim,
+	// dep): keys map onto a register array modulo Keys, every slot
+	// exists (default zero), writes are total.
+	ModeRegister Mode = iota
+	// ModeMap mirrors the boosted substrates (boost, hybrid): full
+	// uint64 keys with presence semantics (put/remove).
+	ModeMap
+)
+
+// ModeFor returns the store mode matching a substrate name.
+func ModeFor(substrate string) Mode {
+	switch substrate {
+	case "boost", "hybrid":
+		return ModeMap
+	default:
+		return ModeRegister
+	}
+}
+
+// Write is one committed mutation: key (a register address in
+// ModeRegister, a full key in ModeMap), the value, and whether the key
+// is present afterwards (false = map remove, a tombstone).
+type Write struct {
+	Key     uint64
+	Val     int64
+	Present bool
+}
+
+// Observer receives gauge deltas (version count, open snapshots) so a
+// metrics suite can export pushpull_mvcc_* without polling the store.
+type Observer interface {
+	MVCCVersionsAdd(delta int64)
+	MVCCSnapshotsAdd(delta int64)
+}
+
+// version is one link of a key's chain, newest first.
+type version struct {
+	seq     uint64
+	val     int64
+	present bool
+	prev    *version
+}
+
+// gcEvery bounds how many versions may accumulate between truncation
+// sweeps; a sweep walks every chain, so amortize it.
+const gcEvery = 512
+
+const noPin = ^uint64(0)
+
+// Store holds one version chain per key plus the pin table of open
+// snapshots. All methods are safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	mode   Mode
+	keys   uint64 // register modulus (ModeRegister only)
+	chains map[uint64]*version
+
+	watermark uint64         // highest commit seq applied
+	versions  int64          // live version count
+	truncated uint64         // versions dropped by GC, cumulative
+	pins      map[uint64]int // watermark -> open snapshot count
+	minPin    uint64         // cached min of pins, noPin when empty
+	snaps     int            // open snapshots
+	gcDebt    int64          // versions appended since last sweep
+
+	obs       Observer
+	truncHook func(bound uint64)
+}
+
+// NewStore builds an empty store. keys is the register modulus for
+// ModeRegister (ignored for ModeMap).
+func NewStore(mode Mode, keys int) *Store {
+	if keys <= 0 {
+		keys = 1
+	}
+	return &Store{
+		mode:   mode,
+		keys:   uint64(keys),
+		chains: make(map[uint64]*version),
+		pins:   make(map[uint64]int),
+		minPin: noPin,
+	}
+}
+
+// SetObserver attaches the gauge observer. Call before serving.
+func (s *Store) SetObserver(o Observer) { s.obs = o }
+
+// OnTruncate registers a hook receiving each GC sweep's truncation
+// bound — the certifier trims its window to the same bound, so the
+// two folds stay certifiable over exactly the same span. Call before
+// serving.
+func (s *Store) OnTruncate(fn func(bound uint64)) { s.truncHook = fn }
+
+// slot maps a service key to its chain key under the store's mode.
+func (s *Store) slot(key uint64) uint64 {
+	if s.mode == ModeRegister {
+		return key % s.keys
+	}
+	return key
+}
+
+// Apply appends one committed transaction's write-set at commit seq.
+// Seqs must be strictly monotonic — they are machine commit stamps,
+// dispatched in order under the recorder mutex; a violation here means
+// the commit-order witness is broken, so fail loudly.
+func (s *Store) Apply(seq uint64, writes []Write) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq <= s.watermark {
+		panic(fmt.Sprintf("mvcc: commit seq %d not above watermark %d (commit order witness broken)", seq, s.watermark))
+	}
+	for _, w := range writes {
+		k := w.Key // applier feeds slot keys already
+		s.chains[k] = &version{seq: seq, val: w.Val, present: w.Present, prev: s.chains[k]}
+	}
+	n := int64(len(writes))
+	s.versions += n
+	s.gcDebt += n
+	s.watermark = seq
+	if s.obs != nil && n != 0 {
+		s.obs.MVCCVersionsAdd(n)
+	}
+	if s.gcDebt >= gcEvery {
+		s.gcLocked()
+	}
+}
+
+// Watermark returns the highest applied commit seq.
+func (s *Store) Watermark() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.watermark
+}
+
+// Snapshot pins the current watermark and returns a handle serving
+// reads at it. The caller must Close it to release the pin (and let
+// the garbage collector advance).
+func (s *Store) Snapshot() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := s.watermark
+	s.pins[w]++
+	if w < s.minPin {
+		s.minPin = w
+	}
+	s.snaps++
+	if s.obs != nil {
+		s.obs.MVCCSnapshotsAdd(1)
+	}
+	return &Snapshot{st: s, w: w}
+}
+
+// unpin releases one snapshot at watermark w.
+func (s *Store) unpin(w uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pins[w]--
+	if s.pins[w] <= 0 {
+		delete(s.pins, w)
+		if w == s.minPin {
+			s.minPin = noPin
+			for p := range s.pins {
+				if p < s.minPin {
+					s.minPin = p
+				}
+			}
+		}
+	}
+	s.snaps--
+	if s.obs != nil {
+		s.obs.MVCCSnapshotsAdd(-1)
+	}
+	// A closing snapshot may have been the oldest pin holding history
+	// back; sweep if enough garbage accrued while it was open.
+	if s.gcDebt >= gcEvery {
+		s.gcLocked()
+	}
+}
+
+// gcBoundLocked is the truncation watermark: nothing below the oldest
+// pinned snapshot (or the head, when no snapshot is open) is
+// reachable by any current or future reader.
+func (s *Store) gcBoundLocked() uint64 {
+	if s.minPin != noPin {
+		return s.minPin
+	}
+	return s.watermark
+}
+
+// gcLocked truncates every chain below the GC bound: the newest
+// version at-or-below the bound is kept (it is the visible version for
+// the oldest possible reader), everything older is cut. Map-mode
+// chains whose only surviving version is a tombstone are dropped
+// entirely.
+func (s *Store) gcLocked() {
+	bound := s.gcBoundLocked()
+	var dropped int64
+	for k, head := range s.chains {
+		// Find the first (newest) version at or below the bound.
+		v := head
+		for v != nil && v.seq > bound {
+			v = v.prev
+		}
+		if v == nil {
+			continue // whole chain above the bound: all reachable
+		}
+		for p := v.prev; p != nil; p = p.prev {
+			dropped++
+		}
+		v.prev = nil
+		if v == head && s.mode == ModeMap && !v.present {
+			// The chain is a single unreferenced tombstone: the key is
+			// absent at every reachable watermark, same as no chain.
+			delete(s.chains, k)
+			dropped++
+		}
+	}
+	s.versions -= dropped
+	s.truncated += uint64(dropped)
+	s.gcDebt = 0
+	if s.obs != nil && dropped != 0 {
+		s.obs.MVCCVersionsAdd(-dropped)
+	}
+	if s.truncHook != nil {
+		s.truncHook(bound)
+	}
+}
+
+// TruncateNow forces a GC sweep (tests and shutdown).
+func (s *Store) TruncateNow() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gcLocked()
+}
+
+// Stats is a point-in-time census of the store.
+type Stats struct {
+	Versions      int64  `json:"versions"`
+	Chains        int    `json:"chains"`
+	SnapshotsOpen int    `json:"snapshots_open"`
+	Watermark     uint64 `json:"watermark"`
+	Truncated     uint64 `json:"truncated"`
+}
+
+// StoreStats returns the census.
+func (s *Store) StoreStats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Versions:      s.versions,
+		Chains:        len(s.chains),
+		SnapshotsOpen: s.snaps,
+		Watermark:     s.watermark,
+		Truncated:     s.truncated,
+	}
+}
+
+// Snapshot is a pinned read view: a PULL-only transaction over the
+// committed prefix of G at watermark w. Reads never block writers
+// beyond the store's RLock and can never abort.
+type Snapshot struct {
+	st     *Store
+	w      uint64
+	closed bool
+	mu     sync.Mutex // guards closed
+}
+
+// Watermark returns the pinned commit seq.
+func (sn *Snapshot) Watermark() uint64 { return sn.w }
+
+// Get reads key at the pinned watermark. In ModeRegister every key is
+// found (registers default to zero); in ModeMap found reflects map
+// presence at the watermark.
+func (sn *Snapshot) Get(key uint64) (int64, bool) {
+	s := sn.st
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v := s.chains[s.slot(key)]
+	for v != nil && v.seq > sn.w {
+		v = v.prev
+	}
+	if v == nil || !v.present {
+		if s.mode == ModeRegister {
+			return 0, true
+		}
+		return 0, false
+	}
+	return v.val, true
+}
+
+// Fold visits every key present at the pinned watermark. ModeRegister
+// visits only slots that have been written (unwritten slots are zero).
+// Iteration order is unspecified.
+func (sn *Snapshot) Fold(fn func(key uint64, val int64)) {
+	s := sn.st
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for k, head := range s.chains {
+		v := head
+		for v != nil && v.seq > sn.w {
+			v = v.prev
+		}
+		if v != nil && v.present {
+			fn(k, v.val)
+		}
+	}
+}
+
+// Close releases the pin. Idempotent.
+func (sn *Snapshot) Close() {
+	sn.mu.Lock()
+	if sn.closed {
+		sn.mu.Unlock()
+		return
+	}
+	sn.closed = true
+	sn.mu.Unlock()
+	sn.st.unpin(sn.w)
+}

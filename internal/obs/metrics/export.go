@@ -103,6 +103,24 @@ func writeProm(w io.Writer, s Snapshot) error {
 		p("# TYPE pushpull_lease_epoch gauge\n")
 		p("pushpull_lease_epoch %d\n", s.LeaseEpoch)
 	}
+	if s.MVCCVersions > 0 {
+		p("# HELP pushpull_mvcc_versions Live versions held across MVCC chains (post-GC).\n")
+		p("# TYPE pushpull_mvcc_versions gauge\n")
+		p("pushpull_mvcc_versions %d\n", s.MVCCVersions)
+	}
+	if s.MVCCSnapshotsOpen > 0 {
+		p("# HELP pushpull_mvcc_snapshots_open Snapshots currently pinning a watermark against GC.\n")
+		p("# TYPE pushpull_mvcc_snapshots_open gauge\n")
+		p("pushpull_mvcc_snapshots_open %d\n", s.MVCCSnapshotsOpen)
+	}
+	if s.ROCommits > 0 || s.ROAborts > 0 {
+		p("# HELP pushpull_ro_commits_total Read-only snapshot transactions served and certified.\n")
+		p("# TYPE pushpull_ro_commits_total counter\n")
+		p("pushpull_ro_commits_total %d\n", s.ROCommits)
+		p("# HELP pushpull_ro_aborts_total Read-only transactions rejected (certification or protocol errors).\n")
+		p("# TYPE pushpull_ro_aborts_total counter\n")
+		p("pushpull_ro_aborts_total %d\n", s.ROAborts)
+	}
 
 	if len(s.Requests) > 0 {
 		p("# HELP pushpull_requests_total KV server requests by endpoint and outcome.\n")

@@ -180,6 +180,11 @@ type Metrics struct {
 	dedupHits  counter       // exactly-once retries answered from the session table
 	failovers  counter       // automatic promotions driven to completion
 	leaseEpoch atomic.Uint64 // current lease epoch held (0 = no lease)
+
+	mvccVersions  atomic.Int64 // live version-chain links across MVCC stores
+	mvccSnapshots atomic.Int64 // pinned snapshots currently open
+	roCommits     counter      // read-only snapshot txns certified and committed
+	roAborts      counter      // read-only txns refused (certification/misuse)
 }
 
 // New returns an empty Metrics with the default bucket layouts:
@@ -390,6 +395,35 @@ func (m *Metrics) LeaseEpochSet(epoch uint64) { m.leaseEpoch.Store(epoch) }
 // LeaseEpoch reads the published lease epoch.
 func (m *Metrics) LeaseEpoch() uint64 { return m.leaseEpoch.Load() }
 
+// MVCCVersionsAdd moves the live version-chain gauge (mvcc.Observer).
+// Exported as pushpull_mvcc_versions.
+func (m *Metrics) MVCCVersionsAdd(delta int64) { m.mvccVersions.Add(delta) }
+
+// MVCCVersions reads the live version-count gauge.
+func (m *Metrics) MVCCVersions() int64 { return m.mvccVersions.Load() }
+
+// MVCCSnapshotsAdd moves the open-snapshot gauge (mvcc.Observer).
+// Exported as pushpull_mvcc_snapshots_open.
+func (m *Metrics) MVCCSnapshotsAdd(delta int64) { m.mvccSnapshots.Add(delta) }
+
+// MVCCSnapshotsOpen reads the open-snapshot gauge.
+func (m *Metrics) MVCCSnapshotsOpen() int64 { return m.mvccSnapshots.Load() }
+
+// ROCommit counts one read-only snapshot transaction certified against
+// the committed history and answered. Exported as
+// pushpull_ro_commits_total.
+func (m *Metrics) ROCommit() { m.roCommits.add(0) }
+
+// ROCommits reads the read-only commit total.
+func (m *Metrics) ROCommits() uint64 { return m.roCommits.Load() }
+
+// ROAbort counts one read-only transaction refused — certification
+// failure or protocol misuse (a write inside the read-only class).
+func (m *Metrics) ROAbort() { m.roAborts.add(0) }
+
+// ROAborts reads the read-only abort total.
+func (m *Metrics) ROAborts() uint64 { return m.roAborts.Load() }
+
 // Snapshot is a plain-value copy of every aggregate. Each counter is
 // internally consistent (monotonic); the snapshot as a whole is taken
 // without stopping writers, so cross-counter sums may be mid-update by
@@ -413,6 +447,11 @@ type Snapshot struct {
 	DedupHits     uint64                     `json:"dedup_hits,omitempty"`
 	FailoverTotal uint64                     `json:"failover_total,omitempty"`
 	LeaseEpoch    uint64                     `json:"lease_epoch,omitempty"`
+
+	MVCCVersions      int64  `json:"mvcc_versions,omitempty"`
+	MVCCSnapshotsOpen int64  `json:"mvcc_snapshots_open,omitempty"`
+	ROCommits         uint64 `json:"ro_commits,omitempty"`
+	ROAborts          uint64 `json:"ro_aborts,omitempty"`
 
 	RetryDepth  HistogramSnapshot `json:"retry_depth"`
 	PushToCmtNs HistogramSnapshot `json:"push_to_cmt_ns"`
@@ -484,6 +523,10 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.DedupHits = m.dedupHits.Load()
 	s.FailoverTotal = m.failovers.Load()
 	s.LeaseEpoch = m.leaseEpoch.Load()
+	s.MVCCVersions = m.mvccVersions.Load()
+	s.MVCCSnapshotsOpen = m.mvccSnapshots.Load()
+	s.ROCommits = m.roCommits.Load()
+	s.ROAborts = m.roAborts.Load()
 	m.replMu.RLock()
 	s.ReplRole = m.replRole
 	if len(m.replLag) > 0 {

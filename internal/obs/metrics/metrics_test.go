@@ -443,3 +443,79 @@ func TestFailoverMetricsSnapshotConsistency(t *testing.T) {
 		}
 	}
 }
+
+// TestMVCCMetricsSnapshotConsistency hammers the snapshot-store
+// telemetry (version/open-snapshot gauges, read-only commit/abort
+// counters) from writers while snapshotting and rendering
+// concurrently; under -race this proves the atomics discipline, and
+// every snapshot must be internally coherent (counters monotone, the
+// version gauge never below the floor the writers maintain).
+func TestMVCCMetricsSnapshotConsistency(t *testing.T) {
+	m := metrics.New()
+	m.MVCCVersionsAdd(1)
+	m.MVCCSnapshotsAdd(1)
+	m.ROCommit()
+	m.ROAbort()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Version churn: add two, GC one — the gauge only grows
+				// or holds, never dips below the primed floor.
+				m.MVCCVersionsAdd(2)
+				m.MVCCVersionsAdd(-1)
+				m.MVCCSnapshotsAdd(1)
+				m.MVCCSnapshotsAdd(-1)
+				m.ROCommit()
+				if i%16 == 0 {
+					m.ROAbort()
+				}
+			}
+		}(w)
+	}
+	var lastCommits, lastAborts uint64
+	for i := 0; i < 200; i++ {
+		s := m.Snapshot()
+		if s.ROCommits < lastCommits {
+			t.Fatalf("ro commits regressed: %d after %d", s.ROCommits, lastCommits)
+		}
+		if s.ROAborts < lastAborts {
+			t.Fatalf("ro aborts regressed: %d after %d", s.ROAborts, lastAborts)
+		}
+		lastCommits, lastAborts = s.ROCommits, s.ROAborts
+		if s.MVCCVersions < 1 {
+			t.Fatalf("version gauge dipped below its floor: %d", s.MVCCVersions)
+		}
+		if s.MVCCSnapshotsOpen < 1 || s.MVCCSnapshotsOpen > 4 {
+			t.Fatalf("snapshot gauge saw impossible value %d", s.MVCCSnapshotsOpen)
+		}
+		var b strings.Builder
+		if err := m.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	s := m.Snapshot()
+	if s.MVCCVersions == 0 || s.MVCCSnapshotsOpen == 0 || s.ROCommits == 0 || s.ROAborts == 0 {
+		t.Fatalf("final snapshot lost mvcc state: %+v", s)
+	}
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"pushpull_mvcc_versions ", "pushpull_mvcc_snapshots_open ", "pushpull_ro_commits_total ", "pushpull_ro_aborts_total "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -6,7 +6,7 @@ import (
 	"fmt"
 	"sync"
 
-	"pushpull/internal/adt"
+	"pushpull/internal/mvcc"
 	"pushpull/internal/recovery"
 	"pushpull/internal/shard"
 	"pushpull/internal/wal"
@@ -62,8 +62,9 @@ type Replica struct {
 	coord      []shard.CommitRec
 	coordSess  map[uint64]recovery.SessionEntry
 	leaseEpoch uint64
-	words      []map[int]int64   // word substrates: per-shard addr → value
-	maps       []map[int64]int64 // map substrates: per-shard key → value
+	mode       mvcc.Mode
+	stores     []*mvcc.Store  // per-shard committed version chains
+	certs      []*mvcc.Shadow // per-shard independent read certifiers
 
 	dups     uint64
 	gaps     uint64
@@ -75,14 +76,29 @@ type Replica struct {
 // NewReplica builds an empty replica for the given primary shape.
 func NewReplica(cfg Config) *Replica {
 	cfg = cfg.withDefaults()
-	r := &Replica{cfg: cfg, router: shard.NewRouter(cfg.Shards)}
+	r := &Replica{
+		cfg:    cfg,
+		router: shard.NewRouter(cfg.Shards),
+		mode:   mvcc.ModeFor(cfg.Substrate),
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		r.streams = append(r.streams, &streamState{rp: recovery.NewReplayer()})
-		r.words = append(r.words, make(map[int]int64))
-		r.maps = append(r.maps, make(map[int64]int64))
+		st := mvcc.NewStore(r.mode, cfg.Keys)
+		sh := mvcc.NewShadow(r.mode, cfg.Keys)
+		st.OnTruncate(sh.TrimTo)
+		r.stores = append(r.stores, st)
+		r.certs = append(r.certs, sh)
 	}
 	r.streams = append(r.streams, &streamState{}) // coordinator
 	return r
+}
+
+// SetObserver wires o into every per-shard version store. Call before
+// the replica starts ingesting batches.
+func (r *Replica) SetObserver(o mvcc.Observer) {
+	for _, st := range r.stores {
+		st.SetObserver(o)
+	}
 }
 
 // Config returns the replica's configuration.
@@ -257,75 +273,109 @@ func (r *Replica) advanceCoord(st *streamState) error {
 }
 
 // foldNewLocked projects newly committed transactions of shard s onto
-// the KV read image, mirroring backend.FoldKV's substrate semantics
-// incrementally (word substrates fold the register image, map
-// substrates fold the "ht" put/remove stream).
+// the per-shard MVCC version store at their recovery commit stamps,
+// mirroring the primary applier's projection (word substrates fold the
+// register image, map substrates fold the "ht" put/remove stream). The
+// replayer rejects stamp regressions as anomalies before this runs, so
+// Apply's commit-order precondition holds by construction.
 func (r *Replica) foldNewLocked(s int, st *streamState) {
 	for _, t := range st.rp.CommittedSince(st.folded) {
 		st.chain = append(st.chain, t.Name)
-		switch r.cfg.Substrate {
-		case "boost", "hybrid":
-			for _, op := range t.Ops {
-				if op.Obj != "ht" || len(op.Args) < 1 {
-					continue
-				}
-				switch op.Method {
-				case adt.MMapPut:
-					if len(op.Args) >= 2 {
-						r.maps[s][op.Args[0]] = op.Args[1]
-					}
-				case adt.MMapRemove:
-					delete(r.maps[s], op.Args[0])
-				}
-			}
-		default:
-			for _, op := range t.Ops {
-				if op.Obj == "mem" && op.Method == adt.MWrite && len(op.Args) >= 2 {
-					r.words[s][int(op.Args[0])] = op.Args[1]
-				}
+		var writes []mvcc.Write
+		for _, op := range t.Ops {
+			if w, ok := mvcc.TranslateOp(r.mode, op); ok {
+				writes = append(writes, w)
 			}
 		}
+		// Shadow first: Apply's GC may TrimTo the new watermark, and
+		// the certifier must already hold this commit by then.
+		r.certs[s].Append(t.Stamp, writes)
+		r.stores[s].Apply(t.Stamp, writes)
 	}
 	st.folded = st.rp.CommittedLen()
 }
 
-// Get serves one key from the committed read image — the follower's
-// stale-bounded read path. Word substrates always report found (a
-// register's default value is 0), map substrates report presence,
-// matching the primary's semantics.
+// Get serves one key from a pinned snapshot of its home shard's
+// version store — the follower's stale-bounded read path. Word
+// substrates always report found (a register's default value is 0),
+// map substrates report presence, matching the primary's semantics.
 func (r *Replica) Get(key uint64) (int64, bool) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.readTxns++
-	s := r.router.Shard(key)
-	switch r.cfg.Substrate {
-	case "boost", "hybrid":
-		v, ok := r.maps[s][int64(key)]
-		return v, ok
-	default:
-		return r.words[s][int(key%uint64(r.cfg.Keys))], true
-	}
+	snap := r.stores[r.router.Shard(key)].Snapshot()
+	r.mu.Unlock()
+	defer snap.Close()
+	return snap.Get(key)
 }
 
-// ReadTxn serves a read-only transaction: every key is read under one
-// lock acquisition, so the result is a consistent cut of the committed
-// prefix — stale-bounded, but never straddling a half-applied batch.
-func (r *Replica) ReadTxn(keys []uint64) (vals []int64, found []bool) {
+// SnapshotCut pins one snapshot per shard under a single lock
+// acquisition — a consistent cut of the folded committed prefix,
+// stale-bounded but never straddling a half-applied batch — and
+// returns the per-shard certifiers the reads must be checked against.
+// The caller must Close every snapshot; until it does, GC holds every
+// version the cut can see.
+func (r *Replica) SnapshotCut() ([]*mvcc.Snapshot, []*mvcc.Shadow) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.readTxns++
+	snaps := make([]*mvcc.Snapshot, r.cfg.Shards)
+	for i := 0; i < r.cfg.Shards; i++ {
+		snaps[i] = r.stores[i].Snapshot()
+	}
+	return snaps, r.certs
+}
+
+// Shard returns key's home shard (the router is immutable state).
+func (r *Replica) Shard(key uint64) int { return r.router.Shard(key) }
+
+// ReadTxn serves a read-only transaction from a pinned snapshot cut:
+// reads happen outside the replica lock, then every observed read is
+// certified against the shard's independent committed-history shadow.
+// A certification error means the version store diverged from the
+// shipped log — a bug, not a conflict — and the caller must refuse
+// the response rather than serve an unserializable read.
+func (r *Replica) ReadTxn(keys []uint64) (vals []int64, found []bool, err error) {
+	snaps, certs := r.SnapshotCut()
+	defer func() {
+		for _, sn := range snaps {
+			sn.Close()
+		}
+	}()
 	vals = make([]int64, len(keys))
 	found = make([]bool, len(keys))
+	perShard := make([][]mvcc.ReadObs, len(snaps))
 	for i, key := range keys {
 		s := r.router.Shard(key)
-		switch r.cfg.Substrate {
-		case "boost", "hybrid":
-			vals[i], found[i] = r.maps[s][int64(key)]
-		default:
-			vals[i], found[i] = r.words[s][int(key%uint64(r.cfg.Keys))], true
+		vals[i], found[i] = snaps[s].Get(key)
+		perShard[s] = append(perShard[s], mvcc.ReadObs{Key: key, Val: vals[i], Found: found[i]})
+	}
+	for s, reads := range perShard {
+		if len(reads) == 0 {
+			continue
+		}
+		if err := certs[s].Certify(snaps[s].Watermark(), reads); err != nil {
+			return nil, nil, fmt.Errorf("repl: shard %d: %w", s, err)
 		}
 	}
-	return vals, found
+	return vals, found, nil
+}
+
+// MVCCStats sums the per-shard version-store censuses.
+func (r *Replica) MVCCStats() mvcc.Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out mvcc.Stats
+	for _, st := range r.stores {
+		s := st.StoreStats()
+		out.Versions += s.Versions
+		out.Chains += s.Chains
+		out.SnapshotsOpen += s.SnapshotsOpen
+		out.Truncated += s.Truncated
+		if s.Watermark > out.Watermark {
+			out.Watermark = s.Watermark
+		}
+	}
+	return out
 }
 
 // Watermark returns one stream's contiguous durable prefix — the ack

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"pushpull/internal/kvapi"
+)
+
+// TestMVCCSmoke is the `make mvcc-smoke` target: a replicated sharded
+// primary plus a follower, a 90%-read-only skewed wire campaign on
+// both the one-shot and interactive paths, and the headline claim
+// checked live — the read-only class commits without a single abort
+// while the writer mix churns underneath. Then follower snapshot
+// reads (served locally from the replica's pinned cut, certified),
+// stats visibility, and a certified shutdown of both nodes.
+func TestMVCCSmoke(t *testing.T) {
+	const shards, keys = 2, 32
+	prim, err := New(Options{
+		Substrate: "tl2", Shards: shards, Keys: keys, Seed: 31,
+		Replicate: true, SegmentBytes: 2 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrP, err := prim.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fol, err := New(Options{
+		Substrate: "tl2", Shards: shards, Keys: keys, Seed: 32,
+		Follow: addrP.String(), PollInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrF, err := fol.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The campaign: 90% declared read-only transactions over a hot
+	// skewed key range, writers churning the rest. Any RO abort at all
+	// fails the build — that is the property the MVCC store exists for.
+	for _, leg := range []struct {
+		name        string
+		interactive bool
+	}{{"oneshot", false}, {"interactive", true}} {
+		res, err := kvapi.RunLoad(kvapi.LoadParams{
+			Addr: addrP.String(), Clients: 6,
+			Duration: 300 * time.Millisecond,
+			Keys:     keys, ReadPct: 50, OpsPerTxn: 3,
+			Skew: 1.2, ReadOnlyPct: 90,
+			Interactive: leg.interactive, Seed: 31,
+			Shards: shards, CrossPct: 20,
+		})
+		if err != nil {
+			t.Fatalf("%s load: %v", leg.name, err)
+		}
+		if res.Errors != 0 {
+			t.Fatalf("%s load: %d StatusError outcomes", leg.name, res.Errors)
+		}
+		if res.ROCommits == 0 {
+			t.Fatalf("%s load: no read-only transaction ever committed", leg.name)
+		}
+		if res.ROAborts != 0 {
+			t.Fatalf("%s load: %d read-only aborts — the never-abort claim is broken", leg.name, res.ROAborts)
+		}
+		t.Logf("%s: %s", leg.name, res)
+	}
+
+	// Seed a known footprint, let the follower converge, then read it
+	// back through the follower's flagged snapshot path.
+	w, err := kvapi.Dial(addrP.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[uint64]int64)
+	for k := uint64(0); k < keys; k++ {
+		v := int64(9000 + k)
+		resp, err := w.Do([]kvapi.Op{{Kind: kvapi.OpPut, Key: k, Val: v}})
+		if err != nil || resp.Status != kvapi.StatusOK {
+			t.Fatalf("seed write %d: %v %+v", k, err, resp)
+		}
+		want[k] = v
+	}
+	w.Close()
+	waitCaughtUp(t, fol)
+
+	rdr, err := kvapi.Dial(addrF.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := make([]kvapi.Op, 0, len(want))
+	for k := range want {
+		ops = append(ops, kvapi.Op{Kind: kvapi.OpGet, Key: k})
+	}
+	resp, err := rdr.DoReadOnly(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != kvapi.StatusOK {
+		t.Fatalf("follower snapshot read refused: %s %s", resp.Status, resp.Msg)
+	}
+	if resp.Snapshot == 0 {
+		t.Fatal("follower snapshot read carries no watermark")
+	}
+	for i, op := range ops {
+		if r := resp.Results[i]; !r.Found || r.Val != want[op.Key] {
+			t.Fatalf("follower snapshot read %d: got (%d,%v), want %d",
+				op.Key, r.Val, r.Found, want[op.Key])
+		}
+	}
+
+	// Interactive read-only session on the follower — the one
+	// interactive class a follower serves locally — and the protocol
+	// boundary: a Put inside it is refused and kills the session.
+	if resp, err = rdr.BeginReadOnly(); err != nil || resp.Status != kvapi.StatusOK {
+		t.Fatalf("follower BeginReadOnly: %v %+v", err, resp)
+	}
+	if resp, err = rdr.Get(3); err != nil || resp.Status != kvapi.StatusOK || resp.Results[0].Val != want[3] {
+		t.Fatalf("follower RO session get: %v %+v", err, resp)
+	}
+	if resp, err = rdr.Commit(); err != nil || resp.Status != kvapi.StatusOK {
+		t.Fatalf("follower RO session commit: %v %+v", err, resp)
+	}
+	if resp, err = rdr.BeginReadOnly(); err != nil || resp.Status != kvapi.StatusOK {
+		t.Fatalf("follower BeginReadOnly (2nd): %v %+v", err, resp)
+	}
+	if resp, err = rdr.Put(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status == kvapi.StatusOK {
+		t.Fatal("a Put inside a read-only session was accepted")
+	}
+	rdr.Close()
+
+	// Both nodes surface the read-only and version-store gauges.
+	stP, stF := prim.Stats(), fol.Stats()
+	if stP.ROCommits == 0 || stP.MVCCVersions == 0 || stP.MVCCWatermark == 0 {
+		t.Fatalf("primary stats missing mvcc evidence: %+v", stP)
+	}
+	if stF.ROCommits == 0 || stF.MVCCVersions == 0 {
+		t.Fatalf("follower stats missing mvcc evidence: %+v", stF)
+	}
+	if stP.ROAborts != 0 {
+		t.Fatalf("primary counted %d read-only aborts", stP.ROAborts)
+	}
+	// The follower counted one RO abort: the rejected in-session Put.
+	if stF.ROAborts != 1 {
+		t.Fatalf("follower RO aborts = %d, want exactly the rejected Put", stF.ROAborts)
+	}
+
+	// Certified shutdown, both nodes.
+	prim.Stop()
+	fol.Stop()
+	for name, srv := range map[string]*Server{"primary": prim, "follower": fol} {
+		if err := srv.LeakCheck(); err != nil {
+			t.Fatalf("%s leak check: %v", name, err)
+		}
+		if err := srv.FinalCheck(); err != nil {
+			t.Fatalf("%s final check: %v", name, err)
+		}
+	}
+}

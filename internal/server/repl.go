@@ -30,6 +30,7 @@ func (s *Server) newFollower() (*Server, error) {
 		Substrate: s.opts.Substrate, Shards: s.opts.Shards, Keys: s.opts.Keys,
 	}
 	s.replica = repl.NewReplica(cfg)
+	s.replica.SetObserver(s.suite.Metrics)
 	s.puller = repl.NewPuller(s.replica, 0)
 	// The poll loop must fail fast when the primary dies — promotion
 	// waits for it — so the upstream client backs off briefly and gives
@@ -143,21 +144,22 @@ func streamLabel(cfg repl.Config, i int) string {
 	return fmt.Sprintf("shard-%d", i)
 }
 
-// redirectResponse points a client at where writes go.
-func (s *Server) redirectResponse() kvapi.Response {
-	s.replMu.RLock()
-	addr := s.opts.Advertise
-	s.replMu.RUnlock()
+// redirectResponse points a client at where writes go. The address
+// comes from the caller's roleView — taken in the same replMu
+// acquisition as the role itself, so a redirect never pairs the old
+// role with the new primary's address mid-failover.
+func (s *Server) redirectResponse(addr string) kvapi.Response {
 	return kvapi.Response{
 		Status: kvapi.StatusRedirect, Redirect: addr,
 		Msg: "follower: writes go to the primary",
 	}
 }
 
-// doTxnFollower serves a read-only one-shot transaction from the
-// replica's committed prefix — a consistent (stale-bounded) cut. Any
-// write redirects the whole transaction to the primary.
-func (s *Server) doTxnFollower(ops []kvapi.Op) kvapi.Response {
+// doTxnFollower serves an unflagged all-Get one-shot from the
+// replica's pinned snapshots — a consistent (stale-bounded) certified
+// cut. Any write redirects the whole transaction to the primary.
+// (Clients that declare ReadOnly skip this path and the gate both.)
+func (s *Server) doTxnFollower(rv roleView, ops []kvapi.Op) kvapi.Response {
 	ok, hint := s.gate.acquire()
 	if !ok {
 		return busyResponse(hint)
@@ -166,14 +168,14 @@ func (s *Server) doTxnFollower(ops []kvapi.Op) kvapi.Response {
 	keys := make([]uint64, len(ops))
 	for i, op := range ops {
 		if op.Kind != kvapi.OpGet {
-			return s.redirectResponse()
+			return s.redirectResponse(rv.advertise)
 		}
 		keys[i] = op.Key
 	}
-	s.replMu.RLock()
-	rep := s.replica
-	s.replMu.RUnlock()
-	vals, found := rep.ReadTxn(keys)
+	vals, found, err := rv.replica.ReadTxn(keys)
+	if err != nil {
+		return kvapi.Response{Status: kvapi.StatusError, Msg: err.Error()}
+	}
 	results := make([]kvapi.Result, len(ops))
 	for i := range ops {
 		results[i] = kvapi.Result{Val: vals[i], Found: found[i]}
@@ -314,6 +316,7 @@ func (s *Server) Demote(addr string, epoch uint64) error {
 		cfg = s.replica.Config()
 	}
 	s.replica = repl.NewReplica(cfg)
+	s.replica.SetObserver(s.suite.Metrics)
 	s.puller = repl.NewPuller(s.replica, 0)
 	s.opts.Follow, s.opts.Advertise = addr, addr
 	up := s.upstream
@@ -348,6 +351,7 @@ func (s *Server) Refollow(addr string) error {
 	s.replMu.Lock()
 	cfg := s.replica.Config()
 	s.replica = repl.NewReplica(cfg)
+	s.replica.SetObserver(s.suite.Metrics)
 	s.puller = repl.NewPuller(s.replica, 0)
 	s.opts.Follow, s.opts.Advertise = addr, addr
 	s.replMu.Unlock()

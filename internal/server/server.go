@@ -12,6 +12,7 @@ import (
 	"pushpull/internal/backend"
 	"pushpull/internal/chaos"
 	"pushpull/internal/kvapi"
+	"pushpull/internal/mvcc"
 	"pushpull/internal/obs"
 	"pushpull/internal/recovery"
 	"pushpull/internal/repl"
@@ -333,6 +334,9 @@ func New(opts Options) (*Server, error) {
 		rec.SetSite(opts.Substrate)
 		rec.AttachSink(suite)
 	}
+	if store := be.Snapshots(); store != nil {
+		store.SetObserver(suite.Metrics)
+	}
 
 	// Re-apply the recovered image through normal certified (and, now,
 	// WAL-logged) transactions: the new log starts with a checkpoint.
@@ -404,6 +408,9 @@ func (s *Server) handleConn(conn net.Conn) {
 			cs.stx.Abandon()
 			s.endSession(&cs)
 		}
+		if cs.ro != nil {
+			s.endROSession(&cs)
+		}
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -428,40 +435,48 @@ func (s *Server) handleConn(conn net.Conn) {
 }
 
 // connState is one connection's open interactive transaction: a
-// single-machine session or a sharded transaction, never both.
+// single-machine session, a sharded transaction, or a read-only
+// snapshot transaction — never more than one.
 type connState struct {
 	sess *session
 	stx  *shard.Txn
+	ro   *roTxn
 }
 
-func (cs *connState) open() bool { return cs.sess != nil || cs.stx != nil }
+func (cs *connState) open() bool { return cs.sess != nil || cs.stx != nil || cs.ro != nil }
 
 // dispatch routes one request and feeds the per-endpoint request
 // counters and latency histograms.
 func (s *Server) dispatch(cs *connState, req kvapi.Request) kvapi.Response {
 	t0 := time.Now()
 	var resp kvapi.Response
-	// A follower (or a mid-promotion server, whose engine is not yet
-	// serving) answers read-only one-shots from the replica and points
-	// everything transactional at the primary.
-	follower := false
-	switch s.Role() {
-	case roleFollower, rolePromoting:
-		follower = true
-	}
+	// One consistent view of the replication state per request: role,
+	// engine, replica, and redirect target move together under replMu
+	// during promotion/demotion, and reading them piecemeal races the
+	// poll loop and the supervisor. A follower (or a mid-promotion
+	// server, whose engine is not yet serving) answers read-only
+	// one-shots from the replica and points everything transactional at
+	// the primary.
+	rv := s.roleView()
 	switch req.Type {
 	case kvapi.MsgPing:
 		resp = kvapi.Response{Status: kvapi.StatusOK}
 	case kvapi.MsgTxn:
-		if follower {
-			resp = s.doTxnFollower(req.Ops)
-		} else {
+		switch {
+		case req.ReadOnly:
+			resp = s.doTxnReadOnly(rv, req.Ops, req.Session, req.Seq)
+		case rv.follower():
+			resp = s.doTxnFollower(rv, req.Ops)
+		default:
 			resp = s.doTxnSession(req.Ops, req.Session, req.Seq)
 		}
 	case kvapi.MsgBegin:
-		if follower {
-			resp = s.redirectResponse()
-		} else {
+		switch {
+		case req.ReadOnly:
+			resp = s.doBeginRO(cs, rv)
+		case rv.follower():
+			resp = s.redirectResponse(rv.advertise)
+		default:
 			resp = s.doBegin(cs)
 		}
 	case kvapi.MsgGet, kvapi.MsgPut:
@@ -506,7 +521,7 @@ func (s *Server) doTxnSession(ops []kvapi.Op, session, seqNo uint64) kvapi.Respo
 	if eng == nil && s.be == nil {
 		// A follower reached outside dispatch (the HTTP fallback):
 		// read-only one-shots are served, everything else redirects.
-		return s.doTxnFollower(ops)
+		return s.doTxnFollower(s.roleView(), ops)
 	}
 	ok, hint := s.gate.acquire()
 	if !ok {
@@ -636,6 +651,9 @@ func (s *Server) doOp(cs *connState, req kvapi.Request) kvapi.Response {
 	if !cs.open() {
 		return kvapi.Response{Status: kvapi.StatusError, Msg: "no open transaction (send begin first)"}
 	}
+	if cs.ro != nil {
+		return s.doOpRO(cs, req)
+	}
 	if tx := cs.stx; tx != nil {
 		var r kvapi.Result
 		var err error
@@ -677,6 +695,9 @@ func (s *Server) doOp(cs *connState, req kvapi.Request) kvapi.Response {
 func (s *Server) doEnd(cs *connState, commit bool) kvapi.Response {
 	if !cs.open() {
 		return kvapi.Response{Status: kvapi.StatusError, Msg: "no open transaction"}
+	}
+	if cs.ro != nil {
+		return s.doEndRO(cs, commit)
 	}
 	if tx := cs.stx; tx != nil {
 		var err error
@@ -802,6 +823,14 @@ type Stats struct {
 	DedupHits  uint64 `json:"dedup_hits,omitempty"`
 	LeaseEpoch uint64 `json:"lease_epoch,omitempty"`
 
+	// Read-only snapshot transactions and the version store behind
+	// them (zero when certification is disabled).
+	ROCommits     uint64 `json:"ro_commits,omitempty"`
+	ROAborts      uint64 `json:"ro_aborts,omitempty"`
+	MVCCVersions  int64  `json:"mvcc_versions,omitempty"`
+	MVCCSnapshots int64  `json:"mvcc_snapshots_open,omitempty"`
+	MVCCWatermark uint64 `json:"mvcc_watermark,omitempty"`
+
 	// Replicated serving (empty when unreplicated).
 	Role       string            `json:"role,omitempty"`
 	Epoch      uint64            `json:"epoch,omitempty"`
@@ -813,6 +842,28 @@ type Stats struct {
 
 // Stats snapshots the server.
 func (s *Server) Stats() Stats {
+	st := s.statsBase()
+	st.ROCommits = s.suite.Metrics.ROCommits()
+	st.ROAborts = s.suite.Metrics.ROAborts()
+	var ms mvcc.Stats
+	rv := s.roleView()
+	switch {
+	case rv.eng != nil:
+		ms = rv.eng.MVCCStats()
+	case rv.replica != nil:
+		ms = rv.replica.MVCCStats()
+	case s.be != nil:
+		if store := s.be.Snapshots(); store != nil {
+			ms = store.StoreStats()
+		}
+	}
+	st.MVCCVersions = ms.Versions
+	st.MVCCSnapshots = int64(ms.SnapshotsOpen)
+	st.MVCCWatermark = ms.Watermark
+	return st
+}
+
+func (s *Server) statsBase() Stats {
 	s.replMu.RLock()
 	role, eng, replica := s.role, s.eng, s.replica
 	s.replMu.RUnlock()

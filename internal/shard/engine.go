@@ -277,6 +277,9 @@ func New(opts Options) (*Engine, error) {
 			rec.SetSite(opts.Substrate + "/s" + st.label)
 			rec.AttachSink(suite)
 		}
+		if store := be.Snapshots(); store != nil {
+			store.SetObserver(suite.Metrics)
+		}
 		e.shards = append(e.shards, st)
 	}
 
