@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check race chaos-smoke chaos crash-smoke crash obs-smoke obs serve-smoke serve-campaign shard-smoke repl-smoke repl failover-smoke failover mvcc-smoke bench bench-repl bench-mvcc ci
+.PHONY: build test vet fmt-check race chaos-smoke chaos crash-smoke crash obs-smoke obs serve-smoke serve-campaign shard-smoke repl-smoke repl failover-smoke failover mvcc-smoke seq-smoke bench bench-repl bench-mvcc bench-seq ci
 
 build:
 	$(GO) build ./...
@@ -109,6 +109,14 @@ mvcc-smoke:
 	$(GO) test ./internal/server/ -run TestMVCCSmoke -v
 	$(GO) test ./internal/shard/ -run 'TestSnapshotCutNeverTorn|TestDoReadOnlyRejectsWrites' -v
 
+# Deterministic ordered-commit smoke: the sequenced cross-shard path's
+# own certificates — per-shard cross-commit order equals the GSN order,
+# recovery idempotence over forced batch records, the epoch murder
+# windows, and the wire-level campaign with a batch-crash restart.
+seq-smoke:
+	$(GO) test ./internal/shard/ -run 'TestSeqCrossShardDo|TestSeqHammerGSNOrder|TestSeqRecoveryIdempotentBatches|TestSeqCrashBeforeBatchForce' -v
+	$(GO) test ./internal/server/ -run TestSeqSmoke -v
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -125,4 +133,10 @@ bench-mvcc:
 	$(GO) run ./cmd/pushpull-load -clients 32 -duration 10s -skew 1.2 -readonly-pct 90 -json > BENCH_mvcc.json
 	@cat BENCH_mvcc.json
 
-ci: test vet race chaos-smoke crash-smoke obs-smoke serve-smoke shard-smoke repl-smoke failover-smoke mvcc-smoke
+# Regenerate the committed sequencer benchmark: interleaved
+# mutex-coordinator vs sequencer rounds, both sides certified.
+bench-seq:
+	$(GO) run ./cmd/pushpull-seq -duration 6s -rounds 6 -batch-interval 1ms > BENCH_seq.json
+	@cat BENCH_seq.json
+
+ci: test vet race chaos-smoke crash-smoke obs-smoke serve-smoke shard-smoke repl-smoke failover-smoke mvcc-smoke seq-smoke

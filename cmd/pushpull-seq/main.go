@@ -1,0 +1,60 @@
+// Command pushpull-seq benchmarks the deterministic ordered-commit
+// sequencer against the mutex cross-shard coordinator:
+//
+//	pushpull-seq -duration 3s > BENCH_seq.json
+//
+// It drives the same zipf-skewed, cross-shard-heavy workload through
+// two otherwise identical sharded engines — the mutex coordinator
+// (one forced coordinator record and all branch CMTs per transaction,
+// serialized under commitMu) and the sequencer (GSNs assigned at
+// admission, one forced batch record per sealed epoch, per-shard
+// executors releasing commits in GSN order) — over real on-disk WALs
+// under SyncOnCommit. The sides run in interleaved rounds (mutex, seq,
+// mutex, seq, ...) and each side's throughput aggregates across its
+// rounds, so slow environmental drift is charged to both paths.
+// Both sides must pass the full certificate
+// (leak check, per-shard shadow machines, merged global cross-shard
+// commit order) or the run fails; the JSON reports both certified
+// throughputs and the speedup.
+//
+// Exit status is non-zero if either side fails its certificate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pushpull/internal/bench"
+)
+
+func main() {
+	shards := flag.Int("shards", 4, "partition count")
+	keys := flag.Int("keys", 256, "total key range")
+	clients := flag.Int("clients", 32, "concurrent client goroutines")
+	cross := flag.Int("cross", 50, "percent of transactions spanning two shards")
+	skew := flag.Float64("skew", 1.2, "zipf exponent over the key space (>1)")
+	seed := flag.Int64("seed", 1, "workload/retry seed")
+	duration := flag.Duration("duration", 2*time.Second, "total wall-clock per side, split across rounds")
+	rounds := flag.Int("rounds", 4, "interleaved mutex/seq segments per side")
+	batchInterval := flag.Duration("batch-interval", 0, "sequencer accumulation window (0 = adaptive)")
+	flag.Parse()
+
+	res, err := bench.RunSeqBench(bench.SeqBenchParams{
+		Shards: *shards, Keys: *keys, Clients: *clients,
+		CrossPct: *cross, Skew: *skew, Seed: *seed,
+		Duration: *duration, Rounds: *rounds,
+		BatchInterval: *batchInterval,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pushpull-seq:", err)
+		os.Exit(1)
+	}
+	out, err := bench.EncodeSeqBench(res)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pushpull-seq:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+}

@@ -36,6 +36,8 @@ func main() {
 		"TM substrate: "+strings.Join(server.Substrates(), " | "))
 	keys := flag.Int("keys", 64, "word-substrate key range (restart must reuse it)")
 	shards := flag.Int("shards", 1, "hash partitions; > 1 serves through the sharded engine (restart must reuse it)")
+	seqMode := flag.Bool("seq", false, "commit cross-shard transactions through the deterministic sequencer (one forced batch record per epoch) instead of the coordinator mutex")
+	batchInterval := flag.Duration("batch-interval", 0, "sequencer accumulation window under -seq (0 = adaptive group commit)")
 	seed := flag.Int64("seed", 1, "retry/chaos seed")
 	walDir := flag.String("wal-dir", "", "WAL directory (empty: in-memory durability only)")
 	sync := flag.String("sync", "record", "WAL sync policy: record | commit | group | none")
@@ -57,6 +59,7 @@ func main() {
 	}
 	opts := server.Options{
 		Substrate: *substrate, Keys: *keys, Seed: *seed, Shards: *shards,
+		Seq: *seqMode, BatchInterval: *batchInterval,
 		DisableCert: *noCert,
 		MaxInflight: *maxInflight, MaxQueue: *maxQueue,
 		WALDir: *walDir, SyncPolicy: policy, GroupEvery: *groupEvery,
@@ -114,6 +117,10 @@ func main() {
 	if st.Shards > 1 {
 		fmt.Printf("sharded: shards=%d cross_commits=%d cross_aborts=%d redos=%d\n",
 			st.Shards, st.CrossCommits, st.CrossAborts, st.Redos)
+	}
+	if st.SeqEpochs > 0 {
+		fmt.Printf("sequenced: epochs=%d batched=%d max_batch=%d\n",
+			st.SeqEpochs, st.SeqBatched, st.SeqMaxBatch)
 	}
 	failed := false
 	if err := s.LeakCheck(); err != nil {

@@ -81,10 +81,12 @@ func (p ChaosParams) WithDefaults() ChaosParams {
 // ChaosTargets lists the chaos-campaign targets: the five goroutine
 // substrates, the hybrid runtime, the cooperative model under the
 // chaos scheduler, the sharded engine with coordinator death and
-// per-shard WAL crashes, and the replicated failover target (primary
-// death under faulty replication links, certified promotion).
+// per-shard WAL crashes (both cross-shard commit paths: "shard" is the
+// mutex coordinator, "shardseq" the deterministic sequencer), and the
+// replicated failover target (primary death under faulty replication
+// links, certified promotion).
 func ChaosTargets() []string {
-	return []string{"tl2", "pess", "boost", "htmsim", "dep", "hybrid", "model", "shard", "failover"}
+	return []string{"tl2", "pess", "boost", "htmsim", "dep", "hybrid", "model", "shard", "shardseq", "failover"}
 }
 
 // CrashTargets lists the crash-campaign targets: every single-machine
@@ -175,7 +177,12 @@ func RunChaosOne(target string, seed int64, p ChaosParams) ChaosOutcome {
 		// The sharded engine derives per-shard injectors and its own
 		// coordinator injector from the plan; it fills out.Plan and
 		// out.Faults itself.
-		out.Err = runChaosShard(seed, p, &out)
+		out.Err = runChaosShard(seed, p, &out, false)
+		return out
+	case "shardseq":
+		// Same sweep, same murder window, but cross-shard commits run
+		// through the deterministic sequencer's batch path.
+		out.Err = runChaosShard(seed, p, &out, true)
 		return out
 	case "failover":
 		// Replicated primary death and certified promotion; derives its

@@ -270,6 +270,40 @@ type ReplBenchJSON struct {
 	LagAtStop  uint64   `json:"lag_at_load_stop_records"`
 }
 
+// SeqBenchJSON is the BENCH_seq.json schema: the same cross-shard
+// workload through the mutex coordinator and the deterministic
+// sequencer, both certified at shutdown.
+type SeqBenchJSON struct {
+	Benchmark     string        `json:"benchmark"`
+	Shards        int           `json:"shards"`
+	Keys          int           `json:"keys"`
+	Clients       int           `json:"clients"`
+	CrossPct      int           `json:"cross_pct"`
+	Skew          float64       `json:"skew"`
+	Seed          int64         `json:"seed"`
+	Rounds        int           `json:"rounds"` // interleaved mutex/seq segments per side
+	BatchInterval string        `json:"batch_interval,omitempty"`
+	Mutex         SeqSideResult `json:"mutex_coordinator"`
+	Seq           SeqSideResult `json:"sequencer"`
+	Speedup       float64       `json:"speedup_txn_per_sec"`
+}
+
+// EncodeSeqBench renders one sequencer bench result as indented JSON.
+func EncodeSeqBench(r SeqBenchResult) ([]byte, error) {
+	j := SeqBenchJSON{
+		Benchmark: "deterministic ordered commit: mutex coordinator vs sequencer, certified cross-shard throughput",
+		Shards:    r.Params.Shards, Keys: r.Params.Keys,
+		Clients: r.Params.Clients, CrossPct: r.Params.CrossPct,
+		Skew: r.Params.Skew, Seed: r.Params.Seed,
+		Rounds: r.Params.Rounds,
+		Mutex:  r.Mutex, Seq: r.Seq, Speedup: r.Speedup,
+	}
+	if r.Params.BatchInterval > 0 {
+		j.BatchInterval = r.Params.BatchInterval.String()
+	}
+	return json.MarshalIndent(j, "", "  ")
+}
+
 // EncodeReplBench renders one replication bench result as indented
 // JSON.
 func EncodeReplBench(r ReplBenchResult) ([]byte, error) {

@@ -126,7 +126,7 @@ func TestObsSnapshotConsistency(t *testing.T) {
 				t.Fatalf("leaked spans: %v", err)
 			}
 			s := suite.Metrics.Snapshot()
-			if target == "shard" || target == "failover" {
+			if target == "shard" || target == "shardseq" || target == "failover" {
 				// These targets run through the sharded engine, which
 				// records one site per shard ("tl2/s0".."tl2/s3"); each
 				// must have fired and balance.

@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pushpull/internal/chaos"
+	"pushpull/internal/shard"
+	"pushpull/internal/wal"
+)
+
+// The sequencer bench: the same cross-shard-heavy workload driven
+// through both commit paths — the mutex coordinator (which holds
+// commitMu across the forced decision record AND every branch CMT) and
+// the deterministic sequencer (one forced batch record per epoch,
+// per-shard GSN-ordered release) — on otherwise identical engines with
+// real on-disk WALs under SyncOnCommit, so the per-transaction fsync
+// the sequencer amortizes is a real fsync. Both sides must pass the
+// full certificate at shutdown (leak check, per-shard shadow machines,
+// merged cross-shard commit order); an uncertified side's throughput
+// is meaningless and the run fails instead.
+
+// SeqBenchParams configures one side-by-side run.
+type SeqBenchParams struct {
+	Shards   int
+	Keys     int
+	Clients  int
+	CrossPct int     // percent of transactions spanning two shards
+	Skew     float64 // zipf exponent over the key space (>1)
+	Seed     int64
+	Duration time.Duration // total wall-clock per side, split across rounds
+	// Rounds interleaves the two sides (mutex, seq, mutex, seq, ...)
+	// in Duration/Rounds segments and aggregates each side across its
+	// rounds, so slow environmental drift (disk latency, noisy
+	// neighbours) is charged to both paths instead of whichever side
+	// happened to run second.
+	Rounds int
+	// BatchInterval is the sequencer side's accumulation window
+	// (0 = adaptive group commit).
+	BatchInterval time.Duration
+}
+
+func (p SeqBenchParams) WithDefaults() SeqBenchParams {
+	if p.Shards <= 0 {
+		p.Shards = 4
+	}
+	if p.Keys <= 0 {
+		p.Keys = 256
+	}
+	if p.Clients <= 0 {
+		p.Clients = 32
+	}
+	if p.Keys < 2*p.Clients {
+		p.Keys = 2 * p.Clients // every client needs a non-degenerate slice
+	}
+	if p.CrossPct <= 0 {
+		p.CrossPct = 50
+	}
+	if p.Skew <= 1 {
+		p.Skew = 1.2
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Duration <= 0 {
+		p.Duration = 2 * time.Second
+	}
+	if p.Rounds <= 0 {
+		p.Rounds = 4
+	}
+	return p
+}
+
+// SeqSideResult is one commit path's certified measurement.
+type SeqSideResult struct {
+	Mode         string   `json:"mode"` // "mutex" | "seq"
+	DurationMs   float64  `json:"duration_ms"`
+	Commits      uint64   `json:"commits"` // client-observed committed txns
+	Aborts       uint64   `json:"aborts"`  // client-observed aborts (incl. give-ups)
+	CrossCommits uint64   `json:"cross_commits"`
+	CrossAborts  uint64   `json:"cross_aborts"`
+	SeqEpochs    uint64   `json:"seq_epochs,omitempty"`
+	SeqBatched   uint64   `json:"seq_batched,omitempty"`
+	SeqMaxBatch  int      `json:"seq_max_batch,omitempty"`
+	Certified    bool     `json:"certified"`
+	Perf         PerfJSON `json:"perf"`
+}
+
+// SeqBenchResult is the side-by-side comparison.
+type SeqBenchResult struct {
+	Params  SeqBenchParams
+	Mutex   SeqSideResult
+	Seq     SeqSideResult
+	Speedup float64 // seq txn/s over mutex txn/s
+}
+
+// RunSeqBench runs the workload through both commit paths in
+// interleaved rounds and reports both certified aggregate throughputs.
+func RunSeqBench(p SeqBenchParams) (SeqBenchResult, error) {
+	p = p.WithDefaults()
+	out := SeqBenchResult{Params: p}
+	out.Mutex.Mode, out.Seq.Mode = "mutex", "seq"
+	out.Mutex.Certified, out.Seq.Certified = true, true
+	per := p.Duration / time.Duration(p.Rounds)
+	for r := 0; r < p.Rounds; r++ {
+		rp := p
+		rp.Duration = per
+		rp.Seed = p.Seed + int64(r)*1_000_003
+		for _, seqMode := range []bool{false, true} {
+			side, err := runSeqSide(rp, seqMode)
+			if err != nil {
+				return out, fmt.Errorf("%s side round %d: %w", side.Mode, r, err)
+			}
+			acc := &out.Mutex
+			if seqMode {
+				acc = &out.Seq
+			}
+			acc.accumulate(side)
+		}
+	}
+	out.Mutex.finalize()
+	out.Seq.finalize()
+	if out.Mutex.Perf.TxnPerSec > 0 {
+		out.Speedup = out.Seq.Perf.TxnPerSec / out.Mutex.Perf.TxnPerSec
+	}
+	return out, nil
+}
+
+// accumulate folds one round's measurement into the side aggregate.
+func (r *SeqSideResult) accumulate(round SeqSideResult) {
+	r.DurationMs += round.DurationMs
+	r.Commits += round.Commits
+	r.Aborts += round.Aborts
+	r.CrossCommits += round.CrossCommits
+	r.CrossAborts += round.CrossAborts
+	r.SeqEpochs += round.SeqEpochs
+	r.SeqBatched += round.SeqBatched
+	if round.SeqMaxBatch > r.SeqMaxBatch {
+		r.SeqMaxBatch = round.SeqMaxBatch
+	}
+	r.Certified = r.Certified && round.Certified
+}
+
+// finalize computes the aggregate throughput over all rounds.
+func (r *SeqSideResult) finalize() {
+	if r.DurationMs > 0 {
+		r.Perf = PerfJSON{TxnPerSec: float64(r.Commits) / (r.DurationMs / 1000)}
+	}
+}
+
+func runSeqSide(p SeqBenchParams, seqMode bool) (SeqSideResult, error) {
+	mode := "mutex"
+	if seqMode {
+		mode = "seq"
+	}
+	res := SeqSideResult{Mode: mode}
+	dir, err := os.MkdirTemp("", "pushpull-seqbench-"+mode+"-*")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+	eng, err := shard.New(shard.Options{
+		Shards: p.Shards, Substrate: "tl2",
+		Keys: p.Keys, Seed: p.Seed,
+		WALDir: dir, SyncPolicy: wal.SyncOnCommit,
+		Retry: chaos.Default(p.Seed),
+		Seq:   seqMode, BatchInterval: p.BatchInterval,
+	})
+	if err != nil {
+		return res, err
+	}
+
+	var commits, aborts atomic.Uint64
+	var wg sync.WaitGroup
+	errCh := make(chan error, p.Clients)
+	start := time.Now()
+	deadline := start.Add(p.Duration)
+	for g := 0; g < p.Clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(p.Seed + int64(g)*7919))
+			// Each client owns the disjoint slice {k : k % Clients == g},
+			// zipf-skewed within it (the failover sweep's ownKey pattern):
+			// the bench measures the commit paths, so substrate-level
+			// write-write conflict retries — identical on both sides —
+			// are designed out rather than letting their latency drown
+			// the contrast. The slice is pre-bucketed by home shard so a
+			// cross transaction can write one key on every shard it
+			// covers — the widest (and fairest) coordinator stress.
+			zipf := rand.NewZipf(rng, p.Skew, 1, uint64(p.Keys/p.Clients-1))
+			ownKey := func() uint64 { return zipf.Uint64()*uint64(p.Clients) + uint64(g) }
+			byShard := make([][]uint64, p.Shards)
+			for d := 0; d < p.Keys/p.Clients; d++ {
+				k := uint64(d*p.Clients + g)
+				sid := eng.ShardOf(k)
+				byShard[sid] = append(byShard[sid], k)
+			}
+			for i := 0; time.Now().Before(deadline); i++ {
+				val := int64(g*1_000_000 + i)
+				var ops []shard.Op
+				if rng.Intn(100) < p.CrossPct {
+					// One put per covered shard: a full-width cross-shard
+					// transaction (hash may leave a thin slice off a shard;
+					// two or more participants always remain in practice).
+					sign := int64(1)
+					for _, pool := range byShard {
+						if len(pool) == 0 {
+							continue
+						}
+						ops = append(ops, shard.Op{
+							Kind: shard.OpPut,
+							Key:  pool[rng.Intn(len(pool))],
+							Val:  sign * val,
+						})
+						sign = -sign
+					}
+				} else {
+					k1 := ownKey()
+					ops = []shard.Op{
+						{Kind: shard.OpGet, Key: k1},
+						{Kind: shard.OpPut, Key: k1, Val: val},
+					}
+				}
+				_, _, err := eng.Do(ops)
+				switch {
+				case err == nil:
+					commits.Add(1)
+				case errors.Is(err, chaos.ErrRetriesExhausted):
+					aborts.Add(1)
+				default:
+					errCh <- fmt.Errorf("%s client %d txn %d: %w", mode, g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	if werr := <-errCh; werr != nil {
+		_ = eng.Close()
+		return res, werr
+	}
+
+	st := eng.Stats()
+	res.DurationMs = float64(elapsed.Milliseconds())
+	res.Commits = commits.Load()
+	res.Aborts = aborts.Load()
+	res.CrossCommits, res.CrossAborts = st.CrossCommits, st.CrossAborts
+	res.SeqEpochs, res.SeqBatched = st.SeqEpochs, st.SeqBatched
+	res.SeqMaxBatch = st.SeqMaxBatch
+	res.Perf = PerfJSON{TxnPerSec: float64(res.Commits) / elapsed.Seconds()}
+
+	// The certificate gates the number: leaks, per-shard shadow
+	// machines, and the Kahn-merged global cross-shard commit order.
+	if err := eng.LeakCheck(); err != nil {
+		_ = eng.Close()
+		return res, fmt.Errorf("leak check: %w", err)
+	}
+	if err := eng.FinalCheck(); err != nil {
+		_ = eng.Close()
+		return res, fmt.Errorf("certificate: %w", err)
+	}
+	res.Certified = true
+	return res, eng.Close()
+}

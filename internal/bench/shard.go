@@ -45,8 +45,12 @@ func ShardChaosPlanFor(seed int64, rate float64, p ChaosParams) chaos.Plan {
 	return plan.WithCrash(n, chaos.CrashMode(uint64(seed)%3))
 }
 
-// runChaosShard is the "shard" chaos target (see RunChaosOne).
-func runChaosShard(seed int64, p ChaosParams, out *ChaosOutcome) error {
+// runChaosShard is the "shard" (mutex coordinator) and "shardseq"
+// (deterministic sequencer) chaos target (see RunChaosOne): the only
+// difference between the two sweeps is which cross-shard commit path
+// the engine routes through — the fault plan, the murder window, and
+// both certificates are identical.
+func runChaosShard(seed int64, p ChaosParams, out *ChaosOutcome, seqMode bool) error {
 	plan := ShardChaosPlanFor(seed, p.Rate, p)
 	out.Plan = plan.String()
 	eng, err := shard.New(shard.Options{
@@ -55,6 +59,7 @@ func runChaosShard(seed int64, p ChaosParams, out *ChaosOutcome) error {
 		Plan: &plan, Durable: true,
 		Retry: chaos.Default(seed),
 		Suite: p.Obs,
+		Seq:   seqMode,
 	})
 	if err != nil {
 		return err
@@ -132,6 +137,7 @@ func runChaosShard(seed int64, p ChaosParams, out *ChaosOutcome) error {
 		Shards: shardChaosShards, Substrate: "tl2",
 		Keys: p.Keys * shardChaosShards, Seed: seed + 1,
 		Durable: true, RecoverFrom: img,
+		Seq: seqMode,
 	})
 	if err != nil {
 		return fmt.Errorf("restart: %w", err)

@@ -48,3 +48,31 @@ func (m *Machine) LogHook() LogHook { return m.hook }
 type Durable interface {
 	CommitBarrier() error
 }
+
+// NamedDurable is an optional extension of Durable: a barrier that may
+// use the committing transaction's name to decide whether this commit
+// needs an immediate force. The canonical implementor is the sharded
+// engine's sequenced commit path, where a cross-shard branch's CMT is
+// already covered by the coordinator's forced batch record (decision
+// and roll-forward write-set durable before the branch is released),
+// so the per-commit force would buy nothing. Implementations must
+// treat an unrecognized name exactly like CommitBarrier — skipping is
+// only sound for commits whose durability is carried elsewhere.
+type NamedDurable interface {
+	Durable
+	CommitBarrierFor(name string) error
+}
+
+// Barrier runs d's commit barrier for the named transaction, routing
+// through the name-aware variant when d implements it. Substrates call
+// this instead of d.CommitBarrier() wherever the transaction's name is
+// in scope; a nil d is a no-op.
+func Barrier(d Durable, name string) error {
+	if d == nil {
+		return nil
+	}
+	if nd, ok := d.(NamedDurable); ok {
+		return nd.CommitBarrierFor(name)
+	}
+	return d.CommitBarrier()
+}

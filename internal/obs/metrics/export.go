@@ -113,6 +113,16 @@ func writeProm(w io.Writer, s Snapshot) error {
 		p("# TYPE pushpull_mvcc_snapshots_open gauge\n")
 		p("pushpull_mvcc_snapshots_open %d\n", s.MVCCSnapshotsOpen)
 	}
+	if s.SeqEpoch > 0 {
+		p("# HELP pushpull_seq_epoch Latest sequencer epoch sealed (0 = sequencer idle or disabled).\n")
+		p("# TYPE pushpull_seq_epoch gauge\n")
+		p("pushpull_seq_epoch %d\n", s.SeqEpoch)
+	}
+	if s.SeqQueueDepth > 0 {
+		p("# HELP pushpull_seq_queue_depth Admitted-but-unsettled transactions in the sequencer.\n")
+		p("# TYPE pushpull_seq_queue_depth gauge\n")
+		p("pushpull_seq_queue_depth %d\n", s.SeqQueueDepth)
+	}
 	if s.ROCommits > 0 || s.ROAborts > 0 {
 		p("# HELP pushpull_ro_commits_total Read-only snapshot transactions served and certified.\n")
 		p("# TYPE pushpull_ro_commits_total counter\n")
@@ -147,6 +157,9 @@ func writeProm(w io.Writer, s Snapshot) error {
 	promHist(p, "pushpull_push_to_commit_seconds", "Latency from an attempt's first PUSH to its CMT.", s.PushToCmtNs, 1e9)
 	promHist(p, "pushpull_pull_fanin", "PULLed foreign operations per finished attempt.", s.PullFanIn, 1)
 	promHist(p, "pushpull_wal_sync_seconds", "Write-ahead log sync latency.", s.WALSyncNs, 1e9)
+	if s.SeqBatchSize.Count > 0 {
+		promHist(p, "pushpull_seq_batch_size", "Transactions per sealed sequencer epoch.", s.SeqBatchSize, 1)
+	}
 	return err
 }
 

@@ -185,6 +185,10 @@ type Metrics struct {
 	mvccSnapshots atomic.Int64 // pinned snapshots currently open
 	roCommits     counter      // read-only snapshot txns certified and committed
 	roAborts      counter      // read-only txns refused (certification/misuse)
+
+	seqBatch *Histogram    // transactions per sealed sequencer epoch
+	seqEpoch atomic.Uint64 // latest sealed epoch number (0 = none yet)
+	seqQueue atomic.Int64  // admitted-but-unsettled sequencer queue depth
 }
 
 // New returns an empty Metrics with the default bucket layouts:
@@ -196,6 +200,7 @@ func New() *Metrics {
 		pushToCmt:  NewHistogram(ExpBounds(1000, 24)),
 		pullFanIn:  NewHistogram(ExpBounds(1, 9)),
 		walSync:    NewHistogram(ExpBounds(1000, 24)),
+		seqBatch:   NewHistogram(ExpBounds(1, 9)),
 		sites:      make(map[string]*siteCounters),
 		faults:     make(map[string]uint64),
 		reqs:       make(map[string]*endpointStats),
@@ -424,6 +429,25 @@ func (m *Metrics) ROAbort() { m.roAborts.add(0) }
 // ROAborts reads the read-only abort total.
 func (m *Metrics) ROAborts() uint64 { return m.roAborts.Load() }
 
+// SeqBatchSealed observes one sealed sequencer epoch (seq.Observer):
+// the batch size lands in the pushpull_seq_batch_size histogram and the
+// epoch number in the pushpull_seq_epoch gauge.
+func (m *Metrics) SeqBatchSealed(size int, epoch uint64) {
+	m.seqBatch.Observe(int64(size))
+	m.seqEpoch.Store(epoch)
+}
+
+// SeqQueueAdd moves the sequencer queue-depth gauge (seq.Observer):
+// +1 at admission, -1 when the transaction settles. Exported as
+// pushpull_seq_queue_depth.
+func (m *Metrics) SeqQueueAdd(delta int64) { m.seqQueue.Add(delta) }
+
+// SeqEpoch reads the latest sealed epoch number.
+func (m *Metrics) SeqEpoch() uint64 { return m.seqEpoch.Load() }
+
+// SeqQueueDepth reads the sequencer queue-depth gauge.
+func (m *Metrics) SeqQueueDepth() int64 { return m.seqQueue.Load() }
+
 // Snapshot is a plain-value copy of every aggregate. Each counter is
 // internally consistent (monotonic); the snapshot as a whole is taken
 // without stopping writers, so cross-counter sums may be mid-update by
@@ -453,10 +477,14 @@ type Snapshot struct {
 	ROCommits         uint64 `json:"ro_commits,omitempty"`
 	ROAborts          uint64 `json:"ro_aborts,omitempty"`
 
-	RetryDepth  HistogramSnapshot `json:"retry_depth"`
-	PushToCmtNs HistogramSnapshot `json:"push_to_cmt_ns"`
-	PullFanIn   HistogramSnapshot `json:"pull_fan_in"`
-	WALSyncNs   HistogramSnapshot `json:"wal_sync_ns"`
+	SeqEpoch      uint64 `json:"seq_epoch,omitempty"`
+	SeqQueueDepth int64  `json:"seq_queue_depth,omitempty"`
+
+	RetryDepth   HistogramSnapshot `json:"retry_depth"`
+	PushToCmtNs  HistogramSnapshot `json:"push_to_cmt_ns"`
+	PullFanIn    HistogramSnapshot `json:"pull_fan_in"`
+	WALSyncNs    HistogramSnapshot `json:"wal_sync_ns"`
+	SeqBatchSize HistogramSnapshot `json:"seq_batch_size,omitempty"`
 }
 
 // SiteSnapshot is one substrate's tally.
@@ -527,6 +555,9 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.MVCCSnapshotsOpen = m.mvccSnapshots.Load()
 	s.ROCommits = m.roCommits.Load()
 	s.ROAborts = m.roAborts.Load()
+	s.SeqEpoch = m.seqEpoch.Load()
+	s.SeqQueueDepth = m.seqQueue.Load()
+	s.SeqBatchSize = m.seqBatch.Snapshot()
 	m.replMu.RLock()
 	s.ReplRole = m.replRole
 	if len(m.replLag) > 0 {

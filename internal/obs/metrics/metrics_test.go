@@ -3,6 +3,7 @@ package metrics_test
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -514,6 +515,78 @@ func TestMVCCMetricsSnapshotConsistency(t *testing.T) {
 	}
 	out := b.String()
 	for _, want := range []string{"pushpull_mvcc_versions ", "pushpull_mvcc_snapshots_open ", "pushpull_ro_commits_total ", "pushpull_ro_aborts_total "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSeqMetricsSnapshotConsistency hammers the sequencer telemetry
+// (batch-size histogram, epoch gauge, queue-depth gauge) from writers
+// while snapshotting and rendering concurrently; under -race this
+// proves the atomics discipline, and every snapshot must be internally
+// coherent: the epoch gauge never regresses, the queue gauge stays in
+// the writers' invariant band, and the histogram count is monotone.
+func TestSeqMetricsSnapshotConsistency(t *testing.T) {
+	m := metrics.New()
+	m.SeqQueueAdd(1) // primed floor so the gauge never dips to zero
+	var epoch atomic.Uint64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// One admitted transaction per sealed singleton epoch.
+				m.SeqQueueAdd(1)
+				m.SeqBatchSealed(1+i%8, epoch.Add(1))
+				m.SeqQueueAdd(-1)
+			}
+		}(w)
+	}
+	// On a single-CPU box the snapshot loop below can finish before the
+	// writers are ever scheduled; wait for the first sealed epoch so the
+	// final-state assertions have something to see.
+	for epoch.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	var lastEpoch, lastCount uint64
+	for i := 0; i < 200; i++ {
+		s := m.Snapshot()
+		if s.SeqEpoch < lastEpoch {
+			t.Fatalf("epoch gauge regressed: %d after %d", s.SeqEpoch, lastEpoch)
+		}
+		lastEpoch = s.SeqEpoch
+		if s.SeqBatchSize.Count < lastCount {
+			t.Fatalf("batch histogram count regressed: %d after %d", s.SeqBatchSize.Count, lastCount)
+		}
+		lastCount = s.SeqBatchSize.Count
+		if s.SeqQueueDepth < 1 || s.SeqQueueDepth > 4 {
+			t.Fatalf("queue gauge saw impossible value %d", s.SeqQueueDepth)
+		}
+		var b strings.Builder
+		if err := m.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	s := m.Snapshot()
+	if s.SeqEpoch == 0 || s.SeqBatchSize.Count == 0 || s.SeqQueueDepth != 1 {
+		t.Fatalf("final snapshot lost sequencer state: %+v", s)
+	}
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"pushpull_seq_epoch ", "pushpull_seq_queue_depth ", "pushpull_seq_batch_size_bucket"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("prometheus output missing %q:\n%s", want, out)
 		}

@@ -1,0 +1,481 @@
+// Package seq is the deterministic ordered-commit subsystem: a
+// sequencer that admits cross-shard transactions into numbered epochs,
+// assigns the global serial number (GSN) at admission — before
+// execution — and retires them in exactly that order through one
+// durable batch force per epoch plus per-shard ordered release queues.
+//
+// This is the Calvin-shaped alternative to a coordinator mutex, mapped
+// onto Push/Pull: the PUSH order is pinned up front (the GSN), the CMT
+// criterion is checked per batch (the single forced batch record is
+// the durable commit point for every transaction in the epoch), and
+// each shard's executor releases branch CMTs strictly in GSN order —
+// so every shard's cross-commit subsequence equals the global order by
+// construction, commits on different shards proceed concurrently, and
+// the per-transaction forced log write plus global mutex hold of the
+// 2PC coordinator collapse into one log force per epoch.
+//
+// Lifecycle of one transaction:
+//
+//	tk, _ := s.Admit()          // GSN assigned; order now fixed
+//	  ... execute + prepare on every participant shard ...
+//	s.Ready(tk, shards, load)   // prepared: eligible for the next epoch
+//	  — or —
+//	s.Abort(tk)                 // never prepared: the GSN is skipped
+//
+// The sealer goroutine advances a cursor through contiguous
+// resolved GSNs (ready or aborted); the unresolved head blocks the
+// epoch — head-of-line blocking is the price of a predetermined order.
+// Each sealed epoch is forced durable as one batch (Force), then its
+// items are dispatched, in GSN order, to every participant shard's
+// ordered queue; executors call Retire sequentially per shard, and
+// Done fires once per item when its last shard has retired it.
+//
+// Batching is adaptive group commit: the sealer seals whatever
+// accumulated while the previous force was in flight, so batch size
+// grows with load and idle latency stays at one force. BatchInterval
+// optionally stretches the accumulation window; MaxBatch caps an
+// epoch.
+package seq
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrClosed reports an admission or readiness report against a closed
+// sequencer; the transaction must abort (its epoch will never seal).
+var ErrClosed = errors.New("seq: sequencer closed")
+
+// Ticket is an admitted transaction's place in the global order.
+type Ticket struct {
+	GSN uint64
+}
+
+// Item is one ready transaction riding an epoch: its GSN, the
+// participant shards whose executors must retire it, and the caller's
+// payload (opaque to the sequencer).
+type Item struct {
+	GSN     uint64
+	Shards  []int
+	Payload any
+}
+
+// Observer receives sequencer telemetry. Implementations must be
+// cheap and non-blocking; obs/metrics.Metrics satisfies it.
+type Observer interface {
+	// SeqBatchSealed fires once per sealed epoch with its size.
+	SeqBatchSealed(size int, epoch uint64)
+	// SeqQueueAdd moves the queue-depth gauge: +1 at admission, -1 when
+	// the transaction settles (committed, aborted, or closed out).
+	SeqQueueAdd(delta int64)
+}
+
+// Options configure a Sequencer.
+type Options struct {
+	// Shards is the executor count; Items may only name shards in
+	// [0, Shards).
+	Shards int
+	// BatchInterval stretches the accumulation window after the first
+	// retireable transaction of an epoch appears. Zero is pure adaptive
+	// group commit: the epoch seals as soon as the sealer is free, and
+	// batch size grows naturally with the duration of the previous
+	// force.
+	BatchInterval time.Duration
+	// MaxBatch caps an epoch's size (default 256). The cap also keeps
+	// the encoded batch record well under the coordinator log's frame
+	// limit.
+	MaxBatch int
+	// Force durably journals one sealed epoch — the batch's single
+	// commit point. A non-nil error aborts every item in the batch
+	// (none was released, so the abort is consistent).
+	Force func(epoch uint64, items []Item) error
+	// Gate, when non-nil, runs after a successful Force and before any
+	// item of the batch is dispatched — the engine's snapshot-cut
+	// barrier hangs here. It may block; it must not call back into the
+	// sequencer.
+	Gate func(items int)
+	// Retire releases one item's branch on one shard and drives its CMT
+	// to completion. Called sequentially per shard, in GSN order.
+	Retire func(shard int, it Item)
+	// Done fires exactly once per admitted-and-reported item: committed
+	// after every participant shard retired it, aborted (err non-nil)
+	// when its batch force failed or the sequencer closed under it.
+	Done func(it Item, committed bool, err error)
+	// Observer receives telemetry (optional).
+	Observer Observer
+}
+
+// Stats is a sequencer census.
+type Stats struct {
+	Epochs   uint64 // sealed epochs (batches forced)
+	Batched  uint64 // transactions committed through sealed epochs
+	Aborted  uint64 // admissions that settled without sealing
+	MaxBatch int    // largest sealed epoch
+	Queue    int64  // admitted minus settled (current depth)
+}
+
+// pending tracks one dispatched item across its participant shards.
+type pending struct {
+	it   Item
+	left int32
+}
+
+// shardQueue is one shard's ordered release queue.
+type shardQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  list.List // of *pending, GSN order
+	closed bool
+}
+
+func newShardQueue() *shardQueue {
+	q := &shardQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *shardQueue) push(p *pending) {
+	q.mu.Lock()
+	q.items.PushBack(p)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+func (q *shardQueue) pop() (*pending, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.items.Len() == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.items.Len() == 0 {
+		return nil, false
+	}
+	front := q.items.Front()
+	q.items.Remove(front)
+	return front.Value.(*pending), true
+}
+
+func (q *shardQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+func (q *shardQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.items.Len()
+}
+
+// Sequencer is the deterministic ordered-commit core.
+type Sequencer struct {
+	opts Options
+
+	mu      sync.Mutex
+	cond    *sync.Cond // wakes the sealer
+	nextGSN uint64
+	cursor  uint64 // lowest unretired GSN
+	ready   map[uint64]Item
+	aborted map[uint64]bool
+	closed  bool
+
+	epoch    uint64
+	batched  atomic.Uint64
+	abortCnt atomic.Uint64
+	maxBatch int
+	queue    atomic.Int64
+
+	queues []*shardQueue
+	sealWG sync.WaitGroup
+	execWG sync.WaitGroup
+}
+
+// New starts a sequencer: one sealer goroutine plus one executor per
+// shard. Close releases them.
+func New(opts Options) *Sequencer {
+	if opts.Shards <= 0 {
+		opts.Shards = 1
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 256
+	}
+	s := &Sequencer{
+		opts:    opts,
+		cursor:  1,
+		ready:   make(map[uint64]Item),
+		aborted: make(map[uint64]bool),
+		queues:  make([]*shardQueue, opts.Shards),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := range s.queues {
+		s.queues[i] = newShardQueue()
+		s.execWG.Add(1)
+		go s.executor(i)
+	}
+	s.sealWG.Add(1)
+	go s.run()
+	return s
+}
+
+// Admit assigns the next GSN — the transaction's final place in the
+// global commit order, fixed before it executes. Every admission must
+// be resolved with exactly one Ready or Abort, or the cursor stalls.
+func (s *Sequencer) Admit() (Ticket, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Ticket{}, ErrClosed
+	}
+	s.nextGSN++
+	tk := Ticket{GSN: s.nextGSN}
+	s.mu.Unlock()
+	s.observeQueue(1)
+	return tk, nil
+}
+
+// Ready reports the transaction prepared on every participant shard:
+// it joins the next epoch its GSN is contiguous with. After Close the
+// item is aborted immediately (Done with ErrClosed).
+func (s *Sequencer) Ready(tk Ticket, shards []int, payload any) {
+	it := Item{GSN: tk.GSN, Shards: shards, Payload: payload}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.settle(it, false, ErrClosed)
+		return
+	}
+	s.ready[tk.GSN] = it
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// Abort reports the transaction dead before it prepared: its GSN is
+// skipped and the cursor may advance past it.
+func (s *Sequencer) Abort(tk Ticket) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.abortCnt.Add(1)
+		s.observeQueue(-1)
+		return
+	}
+	s.aborted[tk.GSN] = true
+	s.mu.Unlock()
+	s.abortCnt.Add(1)
+	s.observeQueue(-1)
+	s.cond.Signal()
+}
+
+// retireableLocked reports whether the cursor can advance (its GSN is
+// resolved).
+func (s *Sequencer) retireableLocked() bool {
+	if s.aborted[s.cursor] {
+		return true
+	}
+	_, ok := s.ready[s.cursor]
+	return ok
+}
+
+// collectLocked advances the cursor through contiguous resolved GSNs,
+// gathering up to MaxBatch ready items; aborted GSNs are skipped and
+// forgotten. Returns the epoch number iff the batch is non-empty.
+func (s *Sequencer) collectLocked() (uint64, []Item) {
+	var batch []Item
+	for len(batch) < s.opts.MaxBatch {
+		if s.aborted[s.cursor] {
+			delete(s.aborted, s.cursor)
+			s.cursor++
+			continue
+		}
+		it, ok := s.ready[s.cursor]
+		if !ok {
+			break
+		}
+		delete(s.ready, s.cursor)
+		batch = append(batch, it)
+		s.cursor++
+	}
+	if len(batch) == 0 {
+		return 0, nil
+	}
+	s.epoch++
+	if len(batch) > s.maxBatch {
+		s.maxBatch = len(batch)
+	}
+	return s.epoch, batch
+}
+
+// run is the sealer: wait for a retireable head, optionally stretch
+// the accumulation window, seal, force, dispatch; on Close, drain what
+// can seal and abort the rest.
+func (s *Sequencer) run() {
+	defer s.sealWG.Done()
+	for {
+		s.mu.Lock()
+		for !s.closed && !s.retireableLocked() {
+			s.cond.Wait()
+		}
+		if s.closed {
+			for s.retireableLocked() {
+				epoch, batch := s.collectLocked()
+				s.mu.Unlock()
+				s.seal(epoch, batch)
+				s.mu.Lock()
+			}
+			leftovers := make([]Item, 0, len(s.ready))
+			for _, it := range s.ready {
+				leftovers = append(leftovers, it)
+			}
+			s.ready = make(map[uint64]Item)
+			s.mu.Unlock()
+			for _, it := range leftovers {
+				s.settle(it, false, ErrClosed)
+			}
+			return
+		}
+		grown := len(s.ready)
+		s.mu.Unlock()
+		if s.opts.BatchInterval > 0 && grown < s.opts.MaxBatch {
+			time.Sleep(s.opts.BatchInterval)
+		}
+		s.mu.Lock()
+		epoch, batch := s.collectLocked()
+		s.mu.Unlock()
+		if len(batch) > 0 {
+			s.seal(epoch, batch)
+		}
+	}
+}
+
+// seal forces one epoch durable and dispatches it in GSN order; a
+// failed force aborts the whole batch (nothing was released).
+func (s *Sequencer) seal(epoch uint64, batch []Item) {
+	if s.opts.Observer != nil {
+		s.opts.Observer.SeqBatchSealed(len(batch), epoch)
+	}
+	if err := s.opts.Force(epoch, batch); err != nil {
+		for _, it := range batch {
+			s.settle(it, false, err)
+		}
+		return
+	}
+	if s.opts.Gate != nil {
+		s.opts.Gate(len(batch))
+	}
+	for _, it := range batch {
+		p := &pending{it: it, left: int32(len(it.Shards))}
+		if p.left == 0 {
+			s.settle(it, true, nil)
+			continue
+		}
+		for _, sid := range it.Shards {
+			s.queues[sid].push(p)
+		}
+	}
+}
+
+// executor retires one shard's queue strictly in arrival (= GSN)
+// order; the last shard to retire an item settles it.
+func (s *Sequencer) executor(sid int) {
+	defer s.execWG.Done()
+	q := s.queues[sid]
+	for {
+		p, ok := q.pop()
+		if !ok {
+			return
+		}
+		s.opts.Retire(sid, p.it)
+		if atomic.AddInt32(&p.left, -1) == 0 {
+			s.settle(p.it, true, nil)
+		}
+	}
+}
+
+// settle fires Done exactly once per reported item and moves the
+// counters.
+func (s *Sequencer) settle(it Item, committed bool, err error) {
+	if committed {
+		s.batched.Add(1)
+	} else {
+		s.abortCnt.Add(1)
+	}
+	s.observeQueue(-1)
+	if s.opts.Done != nil {
+		s.opts.Done(it, committed, err)
+	}
+}
+
+func (s *Sequencer) observeQueue(delta int64) {
+	s.queue.Add(delta)
+	if s.opts.Observer != nil {
+		s.opts.Observer.SeqQueueAdd(delta)
+	}
+}
+
+// Flush blocks until every transaction reported before the call has
+// settled (tests; the sealer needs no nudge, only time).
+func (s *Sequencer) Flush() {
+	for {
+		s.mu.Lock()
+		idle := len(s.ready) == 0 && len(s.aborted) == 0
+		s.mu.Unlock()
+		if idle {
+			depth := 0
+			for _, q := range s.queues {
+				depth += q.depth()
+			}
+			if depth == 0 {
+				return
+			}
+		}
+		s.cond.Signal()
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// Close seals and dispatches everything retireable, aborts ready items
+// stuck behind unreported GSNs, drains the executors, and stops. Ready
+// and Abort remain safe to call after Close (the item settles with
+// ErrClosed); Admit fails with ErrClosed.
+func (s *Sequencer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.sealWG.Wait()
+		s.execWG.Wait()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.sealWG.Wait()
+	for _, q := range s.queues {
+		q.close()
+	}
+	s.execWG.Wait()
+}
+
+// Epoch returns the latest sealed epoch number.
+func (s *Sequencer) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Stats returns a census.
+func (s *Sequencer) Stats() Stats {
+	s.mu.Lock()
+	epochs, maxBatch := s.epoch, s.maxBatch
+	s.mu.Unlock()
+	return Stats{
+		Epochs:   epochs,
+		Batched:  s.batched.Load(),
+		Aborted:  s.abortCnt.Load(),
+		MaxBatch: maxBatch,
+		Queue:    s.queue.Load(),
+	}
+}

@@ -1,0 +1,324 @@
+package seq
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// harness collects forced batches, per-shard retire orders, and
+// settled outcomes behind one mutex.
+type harness struct {
+	mu       sync.Mutex
+	batches  [][]uint64 // forced GSNs per epoch
+	epochs   []uint64
+	retired  map[int][]uint64 // shard -> GSNs in retire order
+	done     map[uint64]error // GSN -> settle error (nil = committed)
+	forceErr error
+}
+
+func newHarness() *harness {
+	return &harness{retired: make(map[int][]uint64), done: make(map[uint64]error)}
+}
+
+func (h *harness) options(shards int) Options {
+	return Options{
+		Shards: shards,
+		Force: func(epoch uint64, items []Item) error {
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			if h.forceErr != nil {
+				return h.forceErr
+			}
+			var gsns []uint64
+			for _, it := range items {
+				gsns = append(gsns, it.GSN)
+			}
+			h.batches = append(h.batches, gsns)
+			h.epochs = append(h.epochs, epoch)
+			return nil
+		},
+		Retire: func(shard int, it Item) {
+			h.mu.Lock()
+			h.retired[shard] = append(h.retired[shard], it.GSN)
+			h.mu.Unlock()
+		},
+		Done: func(it Item, committed bool, err error) {
+			h.mu.Lock()
+			if committed {
+				h.done[it.GSN] = nil
+			} else {
+				if err == nil {
+					err = errors.New("aborted without cause")
+				}
+				h.done[it.GSN] = err
+			}
+			h.mu.Unlock()
+		},
+	}
+}
+
+func waitSettled(t *testing.T, h *harness, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h.mu.Lock()
+		got := len(h.done)
+		h.mu.Unlock()
+		if got >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout: %d/%d settled", got, n)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// ascending asserts a slice is strictly increasing.
+func ascending(t *testing.T, label string, gsns []uint64) {
+	t.Helper()
+	for i := 1; i < len(gsns); i++ {
+		if gsns[i] <= gsns[i-1] {
+			t.Fatalf("%s out of GSN order: %v", label, gsns)
+		}
+	}
+}
+
+// TestRetireOrderIsGSNOrder readies admissions out of order from many
+// goroutines and asserts every shard retires its subsequence in
+// strictly ascending GSN order, with every epoch's batch ascending and
+// epoch numbers consecutive.
+func TestRetireOrderIsGSNOrder(t *testing.T) {
+	h := newHarness()
+	s := New(h.options(3))
+	const n = 200
+	rng := rand.New(rand.NewSource(7))
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		tk, err := s.Admit()
+		if err != nil {
+			t.Fatalf("admit: %v", err)
+		}
+		shards := []int{int(tk.GSN % 3), int((tk.GSN + 1) % 3)}
+		wg.Add(1)
+		go func(tk Ticket, d time.Duration) {
+			defer wg.Done()
+			time.Sleep(d) // scramble readiness order
+			s.Ready(tk, shards, nil)
+		}(tk, time.Duration(rng.Intn(300))*time.Microsecond)
+	}
+	wg.Wait()
+	waitSettled(t, h, n)
+	s.Close()
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for sid, got := range h.retired {
+		ascending(t, "shard retire order", got)
+		_ = sid
+	}
+	var all []uint64
+	for i, b := range h.batches {
+		ascending(t, "batch", b)
+		if h.epochs[i] != uint64(i+1) {
+			t.Fatalf("epoch %d sealed as %d", i+1, h.epochs[i])
+		}
+		all = append(all, b...)
+	}
+	ascending(t, "cross-batch order", all)
+	if len(all) != n {
+		t.Fatalf("forced %d items, want %d", len(all), n)
+	}
+	for gsn, err := range h.done {
+		if err != nil {
+			t.Fatalf("gsn %d aborted: %v", gsn, err)
+		}
+	}
+}
+
+// TestAbortSkipsGSN aborts the head admission and asserts the rest
+// still seal (the cursor advances past the hole).
+func TestAbortSkipsGSN(t *testing.T) {
+	h := newHarness()
+	s := New(h.options(2))
+	first, _ := s.Admit()
+	second, _ := s.Admit()
+	third, _ := s.Admit()
+	s.Ready(second, []int{0}, nil)
+	s.Ready(third, []int{1}, nil)
+	// Nothing can seal while GSN 1 is unresolved.
+	time.Sleep(2 * time.Millisecond)
+	h.mu.Lock()
+	if len(h.batches) != 0 {
+		t.Fatalf("sealed %v before the head resolved", h.batches)
+	}
+	h.mu.Unlock()
+	s.Abort(first)
+	waitSettled(t, h, 2)
+	s.Close()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.done[second.GSN] != nil || h.done[third.GSN] != nil {
+		t.Fatalf("ready items aborted: %v", h.done)
+	}
+	st := s.Stats()
+	if st.Aborted != 1 || st.Batched != 2 || st.Queue != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestForceFailureAbortsBatch fails the force and asserts every item
+// of the batch settles aborted with the force error, nothing retired.
+func TestForceFailureAbortsBatch(t *testing.T) {
+	h := newHarness()
+	boom := errors.New("log crashed")
+	h.forceErr = boom
+	s := New(h.options(2))
+	a, _ := s.Admit()
+	b, _ := s.Admit()
+	s.Ready(a, []int{0, 1}, nil)
+	s.Ready(b, []int{1}, nil)
+	waitSettled(t, h, 2)
+	s.Close()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for gsn, err := range h.done {
+		if !errors.Is(err, boom) {
+			t.Fatalf("gsn %d settled with %v, want the force error", gsn, err)
+		}
+	}
+	if len(h.retired) != 0 {
+		t.Fatalf("retired %v after a failed force", h.retired)
+	}
+}
+
+// TestCloseAbortsStuckItems closes with GSN 1 unreported and asserts
+// the ready-but-blocked items settle with ErrClosed, and that Ready
+// and Admit after Close fail fast.
+func TestCloseAbortsStuckItems(t *testing.T) {
+	h := newHarness()
+	s := New(h.options(1))
+	stuck, _ := s.Admit()
+	blocked, _ := s.Admit()
+	s.Ready(blocked, []int{0}, nil)
+	s.Close()
+	waitSettled(t, h, 1)
+	h.mu.Lock()
+	if !errors.Is(h.done[blocked.GSN], ErrClosed) {
+		t.Fatalf("blocked item settled with %v, want ErrClosed", h.done[blocked.GSN])
+	}
+	h.mu.Unlock()
+	// The unreported admission can still report; it settles closed.
+	s.Ready(stuck, []int{0}, nil)
+	waitSettled(t, h, 2)
+	h.mu.Lock()
+	if !errors.Is(h.done[stuck.GSN], ErrClosed) {
+		t.Fatalf("late ready settled with %v, want ErrClosed", h.done[stuck.GSN])
+	}
+	h.mu.Unlock()
+	if _, err := s.Admit(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("admit after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestAdaptiveBatching stalls the force and asserts transactions
+// arriving during it accumulate into one later epoch (group commit:
+// batch size grows with force latency).
+func TestAdaptiveBatching(t *testing.T) {
+	h := newHarness()
+	opts := h.options(1)
+	slow := make(chan struct{})
+	first := true
+	inner := opts.Force
+	opts.Force = func(epoch uint64, items []Item) error {
+		if first {
+			first = false
+			<-slow // hold epoch 1 open while more admissions arrive
+		}
+		return inner(epoch, items)
+	}
+	s := New(opts)
+	head, _ := s.Admit()
+	s.Ready(head, []int{0}, nil)
+	// Wait for the sealer to enter the stalled force, then pile on.
+	time.Sleep(time.Millisecond)
+	const pile = 20
+	for i := 0; i < pile; i++ {
+		tk, _ := s.Admit()
+		s.Ready(tk, []int{0}, nil)
+	}
+	close(slow)
+	waitSettled(t, h, pile+1)
+	s.Close()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.batches) < 2 {
+		t.Fatalf("want >= 2 epochs, got %v", h.batches)
+	}
+	if got := s.Stats().MaxBatch; got < 2 {
+		t.Fatalf("accumulation never batched: max batch %d", got)
+	}
+}
+
+// TestMaxBatchCapsEpoch seals 10 ready items with MaxBatch 4 and
+// asserts no epoch exceeds the cap while all items commit.
+func TestMaxBatchCapsEpoch(t *testing.T) {
+	h := newHarness()
+	opts := h.options(1)
+	opts.MaxBatch = 4
+	s := New(opts)
+	const n = 10
+	for i := 0; i < n; i++ {
+		tk, _ := s.Admit()
+		s.Ready(tk, []int{0}, nil)
+	}
+	waitSettled(t, h, n)
+	s.Close()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	total := 0
+	for _, b := range h.batches {
+		if len(b) > 4 {
+			t.Fatalf("epoch exceeded MaxBatch: %v", b)
+		}
+		total += len(b)
+	}
+	if total != n {
+		t.Fatalf("committed %d, want %d", total, n)
+	}
+}
+
+// TestGateRunsBeforeDispatch asserts the gate observes each batch
+// before any of its retires run.
+func TestGateRunsBeforeDispatch(t *testing.T) {
+	h := newHarness()
+	opts := h.options(2)
+	var mu sync.Mutex
+	retiredAtGate := -1
+	opts.Gate = func(items int) {
+		mu.Lock()
+		defer mu.Unlock()
+		h.mu.Lock()
+		n := 0
+		for _, r := range h.retired {
+			n += len(r)
+		}
+		h.mu.Unlock()
+		if retiredAtGate == -1 {
+			retiredAtGate = n
+		}
+	}
+	s := New(opts)
+	tk, _ := s.Admit()
+	s.Ready(tk, []int{0, 1}, nil)
+	waitSettled(t, h, 1)
+	s.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if retiredAtGate != 0 {
+		t.Fatalf("gate ran after %d retires", retiredAtGate)
+	}
+}

@@ -39,6 +39,16 @@ type Options struct {
 	// shard unchanged, cross-shard ones through the journaled two-phase
 	// coordinator (internal/shard).
 	Shards int
+	// Seq switches the cross-shard commit path from the coordinator
+	// mutex to the deterministic sequencer (internal/seq): GSNs are
+	// assigned at admission, one forced batch record per epoch replaces
+	// the per-transaction force, and per-shard executors release commits
+	// in GSN order. Ignored when Shards <= 1.
+	Seq bool
+	// BatchInterval is the sequencer's optional accumulation window
+	// (zero = pure adaptive group commit: each epoch seals whatever
+	// piled up during the previous force).
+	BatchInterval time.Duration
 
 	// MaxInflight bounds concurrently running transactions (default
 	// 64); MaxQueue bounds waiters beyond that (default 2*MaxInflight;
@@ -227,6 +237,7 @@ func New(opts Options) (*Server, error) {
 			SegmentBytes: opts.SegmentBytes,
 			RecoverFrom:  opts.RecoverFromImage, Suite: suite,
 			Epoch: opts.Epoch, AckCheck: s.ackCheck,
+			Seq: opts.Seq, BatchInterval: opts.BatchInterval,
 		})
 		if err != nil {
 			return nil, err
@@ -823,6 +834,11 @@ type Stats struct {
 	DedupHits  uint64 `json:"dedup_hits,omitempty"`
 	LeaseEpoch uint64 `json:"lease_epoch,omitempty"`
 
+	// Deterministic ordered commit (zero when the sequencer is off).
+	SeqEpochs   uint64 `json:"seq_epochs,omitempty"`
+	SeqBatched  uint64 `json:"seq_batched,omitempty"`
+	SeqMaxBatch int    `json:"seq_max_batch,omitempty"`
+
 	// Read-only snapshot transactions and the version store behind
 	// them (zero when certification is disabled).
 	ROCommits     uint64 `json:"ro_commits,omitempty"`
@@ -880,7 +896,9 @@ func (s *Server) statsBase() Stats {
 			RecoveredTxns: es.RecoveredTxns, SeededTxns: es.SeededTxns,
 			InDoubtFixed: es.InDoubtFixed, WALCrashed: es.WALCrashed,
 			DedupHits: es.DedupHits, LeaseEpoch: es.LeaseEpoch,
-			Role: role, Epoch: eng.Epoch(),
+			SeqEpochs: es.SeqEpochs, SeqBatched: es.SeqBatched,
+			SeqMaxBatch: es.SeqMaxBatch,
+			Role:        role, Epoch: eng.Epoch(),
 		}
 	}
 	if replica != nil {

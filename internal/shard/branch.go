@@ -1,6 +1,9 @@
 package shard
 
-import "errors"
+import (
+	"errors"
+	"sync"
+)
 
 // A branch is one shard's slice of a transaction: a dedicated
 // goroutine running the shard backend's Atomic whose closure blocks on
@@ -67,9 +70,15 @@ type journalEntry struct {
 	idx      int
 }
 
-// decision is a cross-shard transaction's shared outcome: decided
-// closes once, after which commit is immutable.
+// decision is one branch's commit/abort gate. Every branch owns its
+// own decision so the release order is per branch: the mutex
+// coordinator decides all of a transaction's branches together, while
+// the sequencer's shard executors decide each branch at its queue
+// position — that per-shard release order IS the GSN order. decide is
+// idempotent (first caller wins), so a commit-path release and an
+// engine-teardown abort can race without a double-close.
 type decision struct {
+	once   sync.Once
 	ch     chan struct{}
 	commit bool
 }
@@ -86,10 +95,12 @@ func (d *decision) state() (bool, bool) {
 	}
 }
 
-// decide publishes the outcome (call at most once).
+// decide publishes the outcome; later calls are no-ops.
 func (d *decision) decide(commit bool) {
-	d.commit = commit
-	close(d.ch)
+	d.once.Do(func() {
+		d.commit = commit
+		close(d.ch)
+	})
 }
 
 // branch is one shard's open slice of a transaction.

@@ -95,9 +95,24 @@ const (
 	// granted — the supervisor's "at most one acking primary per lease
 	// epoch" token, durable and shipped next to the serving-epoch fence.
 	cRecLease = 5
+	// cRecBatch journals one sealed sequencer epoch: every commit
+	// decision of the batch, GSN-ascending, forced as ONE durable
+	// record — the deterministic ordered-commit path's commit point for
+	// the whole epoch. Recovery folds the contained decisions exactly
+	// like individual CCommit records, so roll-forward, presumed abort,
+	// and the merged-order certificate are unchanged: batch durable and
+	// a branch CMT missing → redo; batch absent → no branch of any of
+	// its transactions CMTed (executors release only after the force) →
+	// consistent presumed abort. Zero in doubt either way.
+	cRecBatch = 6
 
 	maxCoordRec = 1 << 20
 )
+
+// maxBatchCommits bounds a batch record's declared commit count (the
+// sequencer's MaxBatch keeps real batches far below this and under the
+// frame limit).
+const maxBatchCommits = 1 << 16
 
 var coordCRC = crc32.MakeTable(crc32.Castagnoli)
 
@@ -152,9 +167,10 @@ func OpenCoordLog(path string) (*CoordLog, error) {
 	return l, nil
 }
 
-func encodeCommitRec(r CommitRec) []byte {
-	p := make([]byte, 0, 64)
-	p = append(p, cRecCommit)
+// encodeCommitBody appends one commit decision's body (GSN, name,
+// branches) — shared by the standalone CCommit record and each entry
+// of a batch record.
+func encodeCommitBody(p []byte, r CommitRec) []byte {
 	p = binary.AppendUvarint(p, r.GSN)
 	p = binary.AppendUvarint(p, uint64(len(r.Name)))
 	p = append(p, r.Name...)
@@ -166,6 +182,28 @@ func encodeCommitRec(r CommitRec) []byte {
 			p = binary.AppendUvarint(p, kv.Key)
 			p = binary.AppendVarint(p, kv.Val)
 		}
+	}
+	return p
+}
+
+func encodeCommitRec(r CommitRec) []byte {
+	return encodeCommitBody(append(make([]byte, 0, 64), cRecCommit), r)
+}
+
+// BatchRec is one sealed sequencer epoch: its number and the commit
+// decisions it carries in GSN order.
+type BatchRec struct {
+	Epoch   uint64
+	Commits []CommitRec
+}
+
+func encodeBatchRec(r BatchRec) []byte {
+	p := make([]byte, 0, 16+64*len(r.Commits))
+	p = append(p, cRecBatch)
+	p = binary.AppendUvarint(p, r.Epoch)
+	p = binary.AppendUvarint(p, uint64(len(r.Commits)))
+	for _, c := range r.Commits {
+		p = encodeCommitBody(p, c)
 	}
 	return p
 }
@@ -233,6 +271,13 @@ func (l *CoordLog) SetOnDurable(fn func(off int, data []byte)) {
 // the cross-shard commit point. No branch may CMT before this returns.
 func (l *CoordLog) AppendCommit(r CommitRec) error {
 	return l.append(encodeCommitRec(r), true)
+}
+
+// AppendBatch journals one sealed sequencer epoch and forces it
+// durable — the commit point of every transaction in the batch. No
+// branch of any contained transaction may CMT before this returns.
+func (l *CoordLog) AppendBatch(r BatchRec) error {
+	return l.append(encodeBatchRec(r), true)
 }
 
 // AppendEnd journals a lazy completion marker (not forced; see the
@@ -469,7 +514,12 @@ type CoordRecovery struct {
 	Epoch      uint64
 	LeaseEpoch uint64
 	Sessions   map[uint64]recovery.SessionEntry
-	Truncated  error
+	// Batches counts durable sequencer batch records; SeqEpoch is the
+	// highest sealed sequencer epoch in the prefix (0 when the log has
+	// none — the mutex-coordinated path, or a pre-sequencer image).
+	Batches   int
+	SeqEpoch  uint64
+	Truncated error
 }
 
 // DecodeCoordLogFull decodes a coordinator log image completely. Like
@@ -532,6 +582,18 @@ func DecodeCoordLogFull(data []byte) (cr CoordRecovery) {
 			}
 		case rec.isSession:
 			sessRecs = append(sessRecs, rec.session)
+		case rec.isBatch:
+			// A batch folds as if its decisions had been appended
+			// individually: downstream recovery (roll-forward probe,
+			// merged-order certificate, session fold) is unchanged.
+			cr.Batches++
+			if rec.batch.Epoch > cr.SeqEpoch {
+				cr.SeqEpoch = rec.batch.Epoch
+			}
+			for _, c := range rec.batch.Commits {
+				byGSN[c.GSN] = len(cr.Commits)
+				cr.Commits = append(cr.Commits, c)
+			}
 		case rec.end:
 			ended[rec.gsn] = true
 		default:
@@ -576,10 +638,12 @@ type coordPayload struct {
 	isEpoch   bool
 	isLease   bool
 	isSession bool
+	isBatch   bool
 	epoch     uint64
 	gsn       uint64
 	commit    CommitRec
 	session   SessionRec
+	batch     BatchRec
 }
 
 // maxCoordBranches bounds declared counts so a corrupt length cannot
@@ -635,32 +699,60 @@ func decodeCoordPayload(p []byte) (coordPayload, error) {
 		}
 		return coordPayload{isSession: true, session: r}, nil
 	case cRecCommit:
-		var r CommitRec
-		r.GSN = d.uvarint()
-		r.Name = d.str()
-		nb := d.uvarint()
-		if nb > maxCoordBranches {
-			return coordPayload{}, fmt.Errorf("absurd branch count %d", nb)
-		}
-		for i := uint64(0); i < nb && !d.bad; i++ {
-			var b BranchRec
-			b.Shard = int(d.uvarint())
-			np := d.uvarint()
-			if np > maxCoordRec {
-				return coordPayload{}, fmt.Errorf("absurd put count %d", np)
-			}
-			for j := uint64(0); j < np && !d.bad; j++ {
-				b.Puts = append(b.Puts, KV{Key: d.uvarint(), Val: d.varint()})
-			}
-			r.Branches = append(r.Branches, b)
+		r, err := decodeCommitBody(d)
+		if err != nil {
+			return coordPayload{}, err
 		}
 		if d.bad || len(d.b) != 0 {
 			return coordPayload{}, errors.New("truncated commit record")
 		}
 		return coordPayload{commit: r}, nil
+	case cRecBatch:
+		var br BatchRec
+		br.Epoch = d.uvarint()
+		nc := d.uvarint()
+		if nc > maxBatchCommits {
+			return coordPayload{}, fmt.Errorf("absurd batch commit count %d", nc)
+		}
+		for i := uint64(0); i < nc && !d.bad; i++ {
+			c, err := decodeCommitBody(d)
+			if err != nil {
+				return coordPayload{}, err
+			}
+			br.Commits = append(br.Commits, c)
+		}
+		if d.bad || len(d.b) != 0 {
+			return coordPayload{}, errors.New("truncated batch record")
+		}
+		return coordPayload{isBatch: true, batch: br}, nil
 	default:
 		return coordPayload{}, fmt.Errorf("unknown record type %d", p[0])
 	}
+}
+
+// decodeCommitBody decodes one commit decision's body — the inverse of
+// encodeCommitBody, shared by standalone and batched records.
+func decodeCommitBody(d *cdec) (CommitRec, error) {
+	var r CommitRec
+	r.GSN = d.uvarint()
+	r.Name = d.str()
+	nb := d.uvarint()
+	if nb > maxCoordBranches {
+		return r, fmt.Errorf("absurd branch count %d", nb)
+	}
+	for i := uint64(0); i < nb && !d.bad; i++ {
+		var b BranchRec
+		b.Shard = int(d.uvarint())
+		np := d.uvarint()
+		if np > maxCoordRec {
+			return r, fmt.Errorf("absurd put count %d", np)
+		}
+		for j := uint64(0); j < np && !d.bad; j++ {
+			b.Puts = append(b.Puts, KV{Key: d.uvarint(), Val: d.varint()})
+		}
+		r.Branches = append(r.Branches, b)
+	}
+	return r, nil
 }
 
 type cdec struct {

@@ -131,3 +131,72 @@ func TestDecodeCoordLogEmptyAndBad(t *testing.T) {
 		t.Fatal("expected header error")
 	}
 }
+
+// TestCoordLogBatchRoundTrip appends a mix of batch and standalone
+// commit records and asserts the full decode folds the batched
+// decisions in order, tracks the sealed epoch, and still applies CEnd
+// markers to batched commits.
+func TestCoordLogBatchRoundTrip(t *testing.T) {
+	l, err := OpenCoordLog("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecs()
+	if err := l.AppendBatch(BatchRec{Epoch: 1, Commits: recs[:1]}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendCommit(recs[1]); err != nil {
+		t.Fatal(err)
+	}
+	third := CommitRec{GSN: 3, Name: "g3", Branches: []BranchRec{
+		{Shard: 0, Puts: []KV{{Key: 1, Val: 5}}},
+		{Shard: 1, Puts: []KV{{Key: 2, Val: 6}}},
+	}}
+	if err := l.AppendBatch(BatchRec{Epoch: 2, Commits: []CommitRec{third}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendEnd(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	cr := DecodeCoordLogFull(l.Image())
+	if cr.Truncated != nil {
+		t.Fatalf("unexpected truncation: %v", cr.Truncated)
+	}
+	if cr.Batches != 2 || cr.SeqEpoch != 2 {
+		t.Fatalf("batches %d epoch %d, want 2 and 2", cr.Batches, cr.SeqEpoch)
+	}
+	want := []CommitRec{recs[0], recs[1], third}
+	want[2].Ended = true
+	if !reflect.DeepEqual(cr.Commits, want) {
+		t.Fatalf("batch fold mismatch:\n got %+v\nwant %+v", cr.Commits, want)
+	}
+}
+
+// TestCoordLogBatchTornTail kills the log with an unsynced batch
+// pending and asserts the surviving image decodes to the pre-batch
+// prefix — presumed abort for the whole torn epoch.
+func TestCoordLogBatchTornTail(t *testing.T) {
+	l, err := OpenCoordLog("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecs()
+	if err := l.AppendBatch(BatchRec{Epoch: 1, Commits: recs[:1]}); err != nil {
+		t.Fatal(err)
+	}
+	// A torn second batch: garbage tail shorter than a frame header.
+	img := append(l.Image(), 0xFF, 0x00)
+	cr := DecodeCoordLogFull(img)
+	if cr.Truncated == nil {
+		t.Fatal("expected a truncation reason for the torn tail")
+	}
+	if len(cr.Commits) != 1 || cr.Commits[0].Name != recs[0].Name {
+		t.Fatalf("torn decode kept %+v, want just %q", cr.Commits, recs[0].Name)
+	}
+	if cr.SeqEpoch != 1 {
+		t.Fatalf("torn decode epoch %d, want 1", cr.SeqEpoch)
+	}
+}

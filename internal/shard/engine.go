@@ -8,10 +8,13 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pushpull/internal/backend"
 	"pushpull/internal/chaos"
+	"pushpull/internal/core"
 	"pushpull/internal/obs"
+	"pushpull/internal/seq"
 	"pushpull/internal/serial"
 	"pushpull/internal/trace"
 	"pushpull/internal/wal"
@@ -72,6 +75,17 @@ type Options struct {
 	// gate hang here — a primary whose lease expired or whose replica
 	// links are backed up keeps committing locally but stops promising.
 	AckCheck func() error
+	// Seq routes cross-shard commits through the deterministic ordered
+	// sequencer (internal/seq) instead of the mutex coordinator: GSNs
+	// are assigned at admission, one batch record is forced per sealed
+	// epoch, and per-shard executors release branch CMTs in GSN order —
+	// commits on different shards proceed concurrently.
+	Seq bool
+	// BatchInterval stretches the sequencer's epoch accumulation window
+	// (0 = pure adaptive group commit); SeqMaxBatch caps an epoch
+	// (default 256).
+	BatchInterval time.Duration
+	SeqMaxBatch   int
 }
 
 func (o Options) withDefaults() Options {
@@ -99,6 +113,7 @@ type shardState struct {
 	log   *wal.Log
 	hook  *wal.MachineHook
 	group *backend.GroupCommit
+	seqB  *seqBarrier // name-aware barrier, sequenced engines only
 	inj   *chaos.Faults
 }
 
@@ -116,18 +131,41 @@ type Engine struct {
 
 	seq atomic.Uint64
 
-	// The cross-shard commit phase is serialized: commitMu covers the
-	// GSN assignment, the forced decision record, every branch CMT, and
-	// the order bookkeeping. That makes each shard's cross-shard commit
-	// subsequence literally equal to the GSN order — the coordinator-
-	// imposed commit order the merged check certifies — while
-	// single-shard transactions interleave freely (they cannot create a
-	// cross-shard cycle: any such cycle needs two cross-shard
+	// The mutex cross-shard commit phase is serialized: commitMu covers
+	// the GSN assignment, the forced decision record, every branch CMT,
+	// and the order bookkeeping. That makes each shard's cross-shard
+	// commit subsequence literally equal to the GSN order — the
+	// coordinator-imposed commit order the merged check certifies —
+	// while single-shard transactions interleave freely (they cannot
+	// create a cross-shard cycle: any such cycle needs two cross-shard
 	// transactions ordered oppositely on two shards).
-	commitMu   sync.Mutex
-	gsn        uint64
+	//
+	// With Options.Seq the sequencer replaces this mutex entirely: the
+	// GSN is assigned at admission, the durable decision is one forced
+	// batch record per epoch, and per-shard executors release CMTs in
+	// GSN order — same certificate, held by construction instead of by
+	// exclusion.
+	commitMu sync.Mutex
+	gsn      uint64
+	seqr     *seq.Sequencer
+
+	// orderMu guards the commit-order bookkeeping for both paths: the
+	// mutex path appends under commitMu too, the sequenced path appends
+	// coordOrder at the batch force and shardCross at each executor's
+	// retire.
+	orderMu    sync.Mutex
 	coordOrder []string   // cross-shard commits in GSN order
 	shardCross [][]string // per shard: cross-shard commits in local CMT order
+
+	// The sequenced snapshot-cut gate: a Cut must not observe a batch
+	// item on some participant shards but not others, so cuts wait out
+	// in-flight releases (releasing) and block new batch dispatches
+	// (cutters) while pinning. The mutex path gets the same atomicity
+	// from commitMu.
+	cutMu     sync.Mutex
+	cutCond   *sync.Cond
+	cutters   int
+	releasing int
 
 	crossCommits atomic.Uint64
 	crossAborts  atomic.Uint64
@@ -163,6 +201,7 @@ func New(opts Options) (*Engine, error) {
 		router:     NewRouter(opts.Shards),
 		shardCross: make([][]string, opts.Shards),
 	}
+	e.cutCond = sync.NewCond(&e.cutMu)
 	if opts.Plan != nil {
 		e.inj = opts.Plan.Injector()
 		e.inj.SetObserver(func(site chaos.Site) { suite.Metrics.FaultFired(string(site)) })
@@ -259,11 +298,20 @@ func New(opts Options) (*Engine, error) {
 		} else {
 			st.group = backend.NewGroupCommit(nil)
 		}
+		// Sequenced engines interpose the name-aware barrier: a released
+		// branch's CMT skips the per-commit force (the epoch's batch
+		// record already carries its decision and write-set), everything
+		// else still rides the shard's group commit.
+		var durableBarrier core.Durable = st.group
+		if opts.Seq && durable {
+			st.seqB = newSeqBarrier(st.group)
+			durableBarrier = st.seqB
+		}
 		be, err := backend.NewBackend(backend.Config{
 			Substrate: opts.Substrate, Keys: opts.Keys,
 			Seed:        opts.Seed + int64(i)*7919,
 			DisableCert: opts.DisableCert, Injector: inj, Retry: retry,
-			Durable: st.group,
+			Durable: durableBarrier,
 		})
 		if err != nil {
 			return nil, err
@@ -336,7 +384,31 @@ func New(opts Options) (*Engine, error) {
 	if err := e.seedSessions(); err != nil {
 		return nil, err
 	}
+	if opts.Seq && opts.Shards > 1 {
+		e.seqr = seq.New(seq.Options{
+			Shards:        opts.Shards,
+			BatchInterval: opts.BatchInterval,
+			MaxBatch:      opts.SeqMaxBatch,
+			Force:         e.seqForce,
+			Gate:          e.seqGate,
+			Retire:        e.seqRetire,
+			Done:          e.seqDone,
+			Observer:      suite.Metrics,
+		})
+	}
 	return e, nil
+}
+
+// Seq reports whether the deterministic ordered-commit path is active.
+func (e *Engine) Seq() bool { return e.seqr != nil }
+
+// SeqStats returns the sequencer census (zero when the mutex
+// coordinator is active).
+func (e *Engine) SeqStats() seq.Stats {
+	if e.seqr == nil {
+		return seq.Stats{}
+	}
+	return e.seqr.Stats()
 }
 
 // Shards returns the partition count.
@@ -485,8 +557,12 @@ func (e *Engine) Image() *Image {
 	return img
 }
 
-// Close closes every log (no-op for crashed ones).
+// Close closes every log (no-op for crashed ones). The sequencer
+// drains first so no executor releases a CMT into a closing log.
 func (e *Engine) Close() error {
+	if e.seqr != nil {
+		e.seqr.Close()
+	}
 	var first error
 	for _, st := range e.shards {
 		if st.log != nil {
@@ -549,6 +625,8 @@ func (e *Engine) do(ops []Op, sess *sessInfo) ([]Result, uint32, error) {
 			}
 		}
 		res, retries, err = e.doSingle(sid, ops, sess)
+	} else if e.seqr != nil {
+		res, retries, err = e.doCrossSeq(parts, len(ops), sess)
 	} else {
 		res, retries, err = e.doCross(parts, len(ops), sess)
 	}
@@ -633,28 +711,42 @@ func (e *Engine) doSingle(sid int, ops []Op, sess *sessInfo) ([]Result, uint32, 
 // prepare (PUSH everywhere), then the coordinated decision.
 func (e *Engine) doCross(parts [][]opAt, nops int, sess *sessInfo) ([]Result, uint32, error) {
 	name := fmt.Sprintf("x%d", e.seq.Add(1))
-	dec := newDecision()
 	var branches []*branch
 	for sid, p := range parts {
 		if p == nil {
 			continue
 		}
 		st := e.shards[sid]
-		b := newBranch(st, name, dec, false)
+		b := newBranch(st, name, newDecision(), false)
 		e.enter(st)
 		go b.run()
 		branches = append(branches, b)
 	}
 	results := make([]Result, nops)
 
-	// Phase 1 — prepare: feed each branch its ops and park it on the
+	// Phase 1 — prepare: feed each branch its ops and park it on its
 	// decision, concurrently across shards.
-	type feedRes struct {
-		b   *branch
-		err error
+	if prepErr := e.feedBranches(parts, branches, results); prepErr != nil {
+		e.finishCross(branches)
+		e.crossAborts.Add(1)
+		return nil, e.maxRetries(branches), prepErr
 	}
-	feedCh := make(chan feedRes, len(branches))
-	for i, b := range branches {
+
+	// Phase 2 — the coordinated CMT.
+	if err := e.commitCross(name, branches, sess, results); err != nil {
+		e.crossAborts.Add(1)
+		return nil, e.maxRetries(branches), err
+	}
+	e.crossCommits.Add(1)
+	return results, e.maxRetries(branches), nil
+}
+
+// feedBranches feeds every branch its ops and parks each on its
+// decision (prepare), concurrently across shards; the first error
+// wins. Shared by the mutex and sequenced cross paths.
+func (e *Engine) feedBranches(parts [][]opAt, branches []*branch, results []Result) error {
+	feedCh := make(chan error, len(branches))
+	for _, b := range branches {
 		go func(b *branch, ops []opAt) {
 			for _, oa := range ops {
 				c := cmd{key: oa.op.Key, val: oa.op.Val, idx: oa.idx}
@@ -665,45 +757,30 @@ func (e *Engine) doCross(parts [][]opAt, nops int, sess *sessInfo) ([]Result, ui
 				}
 				r, err := b.send(c)
 				if err != nil {
-					feedCh <- feedRes{b: b, err: err}
+					feedCh <- err
 					return
 				}
 				results[r.idx] = Result{Val: r.val, Found: r.found}
 			}
-			feedCh <- feedRes{b: b, err: b.prepare()}
-		}(b, partsFor(parts, b.st.id))
-		_ = i
+			feedCh <- b.prepare()
+		}(b, parts[b.st.id])
 	}
 	var prepErr error
 	for range branches {
-		if fr := <-feedCh; fr.err != nil && prepErr == nil {
-			prepErr = fr.err
+		if err := <-feedCh; err != nil && prepErr == nil {
+			prepErr = err
 		}
 	}
-	if prepErr != nil {
-		e.finishCross(branches, dec, false)
-		e.crossAborts.Add(1)
-		return nil, e.maxRetries(branches), prepErr
-	}
-
-	// Phase 2 — the coordinated CMT.
-	if err := e.commitCross(name, branches, dec, sess, results); err != nil {
-		e.crossAborts.Add(1)
-		return nil, e.maxRetries(branches), err
-	}
-	e.crossCommits.Add(1)
-	return results, e.maxRetries(branches), nil
+	return prepErr
 }
 
-func partsFor(parts [][]opAt, sid int) []opAt { return parts[sid] }
-
-// finishCross publishes an abort decision (if not yet decided) and
-// reaps every branch: abandon both unblocks a branch still parked in
-// its op loop (closing cmds) and drains a decision-parked or already
-// dead one.
-func (e *Engine) finishCross(branches []*branch, dec *decision, decided bool) {
-	if !decided {
-		dec.decide(false)
+// finishCross publishes an abort on every undecided branch and reaps
+// them all: abandon both unblocks a branch still parked in its op loop
+// (closing cmds) and drains a decision-parked or already dead one.
+// decide is idempotent, so branches already released stay released.
+func (e *Engine) finishCross(branches []*branch) {
+	for _, b := range branches {
+		b.dec.decide(false)
 	}
 	for _, b := range branches {
 		_ = b.abandon()
@@ -718,7 +795,7 @@ func (e *Engine) finishCross(branches []*branch, dec *decision, decided bool) {
 // any branch that dies after the decision, and appends the completion
 // marker. Every prepared branch either commits or is redone; on a
 // pre-decision coordinator crash the transaction aborts consistently.
-func (e *Engine) commitCross(name string, branches []*branch, dec *decision, sess *sessInfo, results []Result) error {
+func (e *Engine) commitCross(name string, branches []*branch, sess *sessInfo, results []Result) error {
 	e.commitMu.Lock()
 	// Death between prepare and the durable decision: no CCommit record
 	// survives, so recovery presumes abort — and so does the in-memory
@@ -752,7 +829,7 @@ func (e *Engine) commitCross(name string, branches []*branch, dec *decision, ses
 		// The decision never became durable (crashed or failing
 		// coordinator log) — global abort.
 		e.commitMu.Unlock()
-		e.finishCross(branches, dec, false)
+		e.finishCross(branches)
 		if errors.Is(decideErr, ErrCoordCrashed) {
 			return fmt.Errorf("%w: coordinator died before the commit decision", decideErr)
 		}
@@ -765,7 +842,9 @@ func (e *Engine) commitCross(name string, branches []*branch, dec *decision, ses
 		e.killAll()
 	}
 	e.gsn = crec.GSN
-	dec.decide(true)
+	for _, b := range branches {
+		b.dec.decide(true)
+	}
 	for _, b := range branches {
 		err := b.wait()
 		if err != nil {
@@ -796,10 +875,12 @@ func (e *Engine) commitCross(name string, branches []*branch, dec *decision, ses
 	if e.coord != nil && ended {
 		_ = e.coord.AppendEnd(crec.GSN)
 	}
+	e.orderMu.Lock()
 	e.coordOrder = append(e.coordOrder, name)
 	for _, b := range branches {
 		e.shardCross[b.st.id] = append(e.shardCross[b.st.id], name)
 	}
+	e.orderMu.Unlock()
 	e.commitMu.Unlock()
 	for _, b := range branches {
 		e.noteCrash(b.st)
@@ -869,6 +950,13 @@ type Stats struct {
 	WALCrashed    bool   `json:"wal_crashed"`
 	DedupHits     uint64 `json:"dedup_hits"`
 	LeaseEpoch    uint64 `json:"lease_epoch"`
+	// Sequencer shape (zero when the mutex coordinator is active).
+	SeqEpochs   uint64 `json:"seq_epochs,omitempty"`
+	SeqBatched  uint64 `json:"seq_batched,omitempty"`
+	SeqMaxBatch int    `json:"seq_max_batch,omitempty"`
+	// SeqUnforced counts branch CMTs whose per-commit force was skipped
+	// because the epoch's batch record already covered them.
+	SeqUnforced uint64 `json:"seq_unforced,omitempty"`
 }
 
 // Stats sums substrate and coordinator counters across shards.
@@ -884,6 +972,15 @@ func (e *Engine) Stats() Stats {
 		WALCrashed:    e.Crashed(),
 		DedupHits:     e.dedupHits.Load(),
 		LeaseEpoch:    e.leaseEpoch.Load(),
+	}
+	if e.seqr != nil {
+		ss := e.seqr.Stats()
+		s.SeqEpochs, s.SeqBatched, s.SeqMaxBatch = ss.Epochs, ss.Batched, ss.MaxBatch
+		for _, st := range e.shards {
+			if st.seqB != nil {
+				s.SeqUnforced += st.seqB.skipped.Load()
+			}
+		}
 	}
 	for _, st := range e.shards {
 		c, a := st.be.Stats()
@@ -972,8 +1069,8 @@ func (e *Engine) rollError() error {
 // restricted to that shard's participations, and the union of all
 // chains must merge into one total order.
 func (e *Engine) checkCrossOrder() error {
-	e.commitMu.Lock()
-	defer e.commitMu.Unlock()
+	e.orderMu.Lock()
+	defer e.orderMu.Unlock()
 	// Restriction check: exact by construction (commits happen under
 	// commitMu), so any mismatch is a real ordering bug.
 	pos := make(map[string]int, len(e.coordOrder))
@@ -1036,8 +1133,8 @@ func (e *Engine) FaultStats() chaos.Stats {
 // CrossOrders returns copies of the coordinator's GSN order and each
 // shard's local cross-commit order (tests, fuzzing).
 func (e *Engine) CrossOrders() (coord []string, perShard [][]string) {
-	e.commitMu.Lock()
-	defer e.commitMu.Unlock()
+	e.orderMu.Lock()
+	defer e.orderMu.Unlock()
 	coord = append([]string(nil), e.coordOrder...)
 	perShard = make([][]string, len(e.shardCross))
 	for i, c := range e.shardCross {

@@ -74,6 +74,12 @@ type MultiReport struct {
 	// CoordTruncated records a torn coordinator tail (tolerated).
 	CoordCommits   int
 	CoordTruncated error
+	// CoordBatches counts durable sequencer batch records; SeqEpoch is
+	// the highest sealed sequencer epoch in the prefix (zero for a
+	// mutex-coordinated image). Batched decisions are already folded
+	// into CoordCommits — these report the batching shape.
+	CoordBatches int
+	SeqEpoch     uint64
 	// Redos lists the branches resolved by roll-forward; InDoubtResolved
 	// counts the cross-shard transactions that needed it. InDoubt is the
 	// count left unresolved — zero by construction, reported so sweeps
@@ -143,6 +149,8 @@ func RecoverAndCertifyImage(img *Image, substrate string) (MultiReport, error) {
 	out.LeaseEpoch = cr.LeaseEpoch
 	out.CoordTruncated = cr.Truncated
 	out.CoordCommits = len(recs)
+	out.CoordBatches = cr.Batches
+	out.SeqEpoch = cr.SeqEpoch
 	mergeSessions := func(src map[uint64]recovery.SessionEntry) {
 		for sess, e := range src {
 			if cur, ok := out.Sessions[sess]; ok && cur.SeqNo >= e.SeqNo {

@@ -1,0 +1,275 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pushpull/internal/backend"
+	"pushpull/internal/chaos"
+	"pushpull/internal/core"
+	"pushpull/internal/seq"
+)
+
+// The sequenced cross-shard commit path (Options.Seq): the engine's
+// side of internal/seq. The serial order is fixed at admission — the
+// sequencer hands out the GSN before the transaction executes — and
+// the commit phase is split across the sequencer's hooks:
+//
+//	seqForce   one forced batch record per sealed epoch (the durable
+//	           commit point for every transaction in it), with the
+//	           coordinator death sites fired around the force exactly
+//	           as the mutex path fires them around AppendCommit;
+//	seqGate    the snapshot-cut barrier (no cut straddles a batch);
+//	seqRetire  per-shard, GSN-ordered release of each branch's CMT;
+//	seqDone    the transaction's terminal settle back to its waiter.
+//
+// Push/Pull reading: PUSH order is pinned up front by the GSN, and the
+// CMT criterion for the whole epoch is discharged by the single batch
+// force — each executor then merely realizes the already-decided order
+// on its shard, so every shard's cross-commit subsequence equals the
+// global order by construction and the Kahn merge is acyclic.
+
+// seqBarrier is a shard's name-aware durability barrier (see
+// core.NamedDurable) on the sequenced path. A sequenced branch's CMT
+// needs no per-commit force: the epoch's batch record — forced before
+// any executor releases — already journals the decision and the
+// branch's write-set, so a CMT lost in a crash is rolled forward from
+// the coordinator journal at recovery, exactly the invariant the
+// shardseq chaos sweep certifies. This is where "one forced record per
+// epoch" is realized on the shard side: the whole batch costs one
+// coordinator fsync, while single-shard commits (whose shard CMT is
+// their only durability point) and redo roll-forwards still run the
+// group-commit barrier.
+type seqBarrier struct {
+	g *backend.GroupCommit
+
+	mu     sync.Mutex
+	exempt map[string]struct{} // branches between decide and retire
+
+	skipped atomic.Uint64
+}
+
+func newSeqBarrier(g *backend.GroupCommit) *seqBarrier {
+	return &seqBarrier{g: g, exempt: make(map[string]struct{})}
+}
+
+// CommitBarrier is the nameless fallback: always force.
+func (s *seqBarrier) CommitBarrier() error { return s.g.CommitBarrier() }
+
+// CommitBarrierFor skips the force for a branch the executor has
+// marked released (its durability is the already-forced batch record).
+func (s *seqBarrier) CommitBarrierFor(name string) error {
+	s.mu.Lock()
+	_, ok := s.exempt[name]
+	s.mu.Unlock()
+	if ok {
+		s.skipped.Add(1)
+		return nil
+	}
+	return s.g.CommitBarrier()
+}
+
+func (s *seqBarrier) mark(name string)   { s.mu.Lock(); s.exempt[name] = struct{}{}; s.mu.Unlock() }
+func (s *seqBarrier) unmark(name string) { s.mu.Lock(); delete(s.exempt, name); s.mu.Unlock() }
+
+var _ core.NamedDurable = (*seqBarrier)(nil)
+
+// seqTxn is the engine payload riding one sequencer item.
+type seqTxn struct {
+	name     string
+	branches []*branch // shard-ascending
+	byShard  map[int]*branch
+	sess     *sessInfo
+	results  []Result
+	outcome  chan seqOutcome // buffered(1): settled exactly once
+}
+
+type seqOutcome struct {
+	committed bool
+	err       error
+}
+
+// doCrossSeq is the sequenced one-shot cross path: admit (GSN fixed
+// before execution), execute + prepare on every participant, then hand
+// the prepared transaction to the sequencer and wait for its epoch.
+func (e *Engine) doCrossSeq(parts [][]opAt, nops int, sess *sessInfo) ([]Result, uint32, error) {
+	tk, err := e.seqr.Admit()
+	if err != nil {
+		return nil, 0, err
+	}
+	name := fmt.Sprintf("g%d", tk.GSN)
+	var branches []*branch
+	for sid, p := range parts {
+		if p == nil {
+			continue
+		}
+		st := e.shards[sid]
+		b := newBranch(st, name, newDecision(), false)
+		e.enter(st)
+		go b.run()
+		branches = append(branches, b)
+	}
+	results := make([]Result, nops)
+	if prepErr := e.feedBranches(parts, branches, results); prepErr != nil {
+		e.seqr.Abort(tk)
+		e.finishCross(branches)
+		e.crossAborts.Add(1)
+		return nil, e.maxRetries(branches), prepErr
+	}
+	if err := e.seqCommitPrepared(tk, name, branches, sess, results); err != nil {
+		e.crossAborts.Add(1)
+		return nil, e.maxRetries(branches), err
+	}
+	e.crossCommits.Add(1)
+	return results, e.maxRetries(branches), nil
+}
+
+// seqCommitPrepared hands a fully prepared transaction to the
+// sequencer and blocks until its epoch settles it. Both the one-shot
+// and the interactive path end here. On a nil return every branch has
+// retired (committed); on error the branches are already reaped.
+func (e *Engine) seqCommitPrepared(tk seq.Ticket, name string, branches []*branch, sess *sessInfo, results []Result) error {
+	tx := &seqTxn{
+		name: name, branches: branches,
+		byShard: make(map[int]*branch, len(branches)),
+		sess:    sess, results: results,
+		outcome: make(chan seqOutcome, 1),
+	}
+	shards := make([]int, 0, len(branches))
+	for _, b := range branches {
+		tx.byShard[b.st.id] = b
+		shards = append(shards, b.st.id)
+	}
+	e.seqr.Ready(tk, shards, tx)
+	out := <-tx.outcome
+	if !out.committed {
+		if out.err == nil {
+			out.err = errors.New("shard: sequenced commit aborted")
+		}
+		return out.err
+	}
+	return nil
+}
+
+// seqForce durably journals one sealed epoch: session entries ride
+// unforced just before the single forced batch record (decision
+// durable implies entry durable, and the conditional fold discards an
+// entry whose decision is missing). The coordinator death sites fire
+// on either side of the force, preserving the chaos sweep's
+// prepare→commit murder window: death before the force leaves no
+// durable decision for the whole epoch (presumed abort, and the
+// in-memory path aborts consistently via the force error); death after
+// it lets recovery roll every transaction of the batch forward.
+func (e *Engine) seqForce(epoch uint64, items []seq.Item) error {
+	if e.inj != nil && e.inj.Fire(chaos.SiteCoordPrepared) {
+		e.killAll()
+	}
+	if e.coord != nil {
+		batch := BatchRec{Epoch: epoch}
+		for _, it := range items {
+			tx := it.Payload.(*seqTxn)
+			if tx.sess != nil {
+				if err := e.coord.AppendSession(SessionRec{
+					Session: tx.sess.session, SeqNo: tx.sess.seq, Name: tx.name,
+					Results: sessResultsOf(tx.results),
+				}, false); err != nil && !errors.Is(err, ErrCoordCrashed) && !errors.Is(err, ErrCoordFenced) {
+					return fmt.Errorf("shard: journaling session entry: %w", err)
+				}
+			}
+			crec := CommitRec{GSN: it.GSN, Name: tx.name}
+			for _, b := range tx.branches {
+				crec.Branches = append(crec.Branches, BranchRec{Shard: b.st.id, Puts: b.puts()})
+			}
+			batch.Commits = append(batch.Commits, crec)
+		}
+		if err := e.coord.AppendBatch(batch); err != nil {
+			if errors.Is(err, ErrCoordCrashed) {
+				return fmt.Errorf("%w: coordinator died before the batch decision", err)
+			}
+			return fmt.Errorf("shard: journaling batch decision: %w", err)
+		}
+	}
+	if e.inj != nil && e.inj.Fire(chaos.SiteCoordCommit) {
+		e.killAll()
+	}
+	// The epoch's names enter the global order now, in GSN order — the
+	// executors append each shard's chain as they release.
+	e.orderMu.Lock()
+	for _, it := range items {
+		e.coordOrder = append(e.coordOrder, it.Payload.(*seqTxn).name)
+	}
+	e.orderMu.Unlock()
+	return nil
+}
+
+// seqGate holds a forced batch's dispatch while a snapshot cut is
+// pinning, then counts its items as releasing (seqDone balances).
+func (e *Engine) seqGate(items int) {
+	e.cutMu.Lock()
+	for e.cutters > 0 {
+		e.cutCond.Wait()
+	}
+	e.releasing += items
+	e.cutMu.Unlock()
+}
+
+// seqRetire releases one branch's CMT at its shard's queue position —
+// the per-shard realization of the GSN order. The decision is already
+// durable (batch forced), so a branch that cannot retire (retry budget
+// exhausted post-decision) is rolled forward from its journaled
+// write-set, exactly like the mutex path.
+func (e *Engine) seqRetire(sid int, it seq.Item) {
+	tx := it.Payload.(*seqTxn)
+	b := tx.byShard[sid]
+	if sb := b.st.seqB; sb != nil {
+		// The CMT this decision releases is covered by the forced batch
+		// record; exempt it from the per-commit force for the decide→
+		// retire window (names are GSN-unique, so the mark is exact).
+		sb.mark(tx.name)
+		defer sb.unmark(tx.name)
+	}
+	b.dec.decide(true)
+	if err := b.wait(); err != nil {
+		if rerr := e.applyRedo(b.st, "redo-"+tx.name, b.puts()); rerr != nil {
+			e.setRollErr(fmt.Errorf("shard %d: rolling forward %q: %w", b.st.id, tx.name, rerr))
+		}
+		e.redoCount.Add(1)
+	}
+	e.exit(b.st)
+	e.orderMu.Lock()
+	e.shardCross[sid] = append(e.shardCross[sid], tx.name)
+	e.orderMu.Unlock()
+	e.noteCrash(b.st)
+}
+
+// seqDone settles one transaction back to its waiter. Committed: all
+// branches retired — append the lazy completion marker (same honesty
+// rule as the mutex path) and release the snapshot-cut gate. Aborted
+// (failed force or sequencer close): the branches are still parked on
+// their decisions, so reap them.
+func (e *Engine) seqDone(it seq.Item, committed bool, err error) {
+	tx := it.Payload.(*seqTxn)
+	if committed {
+		ended := true
+		for _, b := range tx.branches {
+			if b.st.log != nil && b.st.log.Crashed() {
+				ended = false
+				break
+			}
+		}
+		if e.coord != nil && ended {
+			_ = e.coord.AppendEnd(it.GSN)
+		}
+		e.cutMu.Lock()
+		e.releasing--
+		if e.releasing == 0 {
+			e.cutCond.Broadcast()
+		}
+		e.cutMu.Unlock()
+	} else {
+		e.finishCross(tx.branches)
+	}
+	tx.outcome <- seqOutcome{committed: committed, err: err}
+}

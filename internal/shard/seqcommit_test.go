@@ -1,0 +1,272 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pushpull/internal/chaos"
+)
+
+// The sequenced commit path's own certificates: determinism (every
+// shard's cross-commit subsequence equals the sequencer's GSN order),
+// the one-force-per-epoch durability shape, and recovery idempotence
+// over batch records.
+
+func TestSeqCrossShardDo(t *testing.T) {
+	e := newTestEngine(t, Options{Shards: 4, Seq: true, Durable: true})
+	keys := keysOnDistinctShards(t, e, 4)
+
+	if _, _, err := e.Do([]Op{{Kind: OpPut, Key: keys[0], Val: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Do([]Op{
+		{Kind: OpPut, Key: keys[0], Val: 2},
+		{Kind: OpPut, Key: keys[1], Val: 3},
+	}); err != nil {
+		t.Fatalf("cross Do: %v", err)
+	}
+	// The interactive path admits at Commit and rides the same epochs.
+	tx := e.Begin()
+	if err := tx.Put(keys[2], 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put(keys[3], 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("interactive Commit: %v", err)
+	}
+
+	for i, want := range []int64{2, 3, 4, 5} {
+		if v, ok := e.ReadKey(keys[i]); !ok || v != want {
+			t.Fatalf("key %d: got %d,%v want %d", keys[i], v, ok, want)
+		}
+	}
+	st := e.Stats()
+	if st.SeqEpochs == 0 || st.SeqBatched != 2 {
+		t.Fatalf("sequencer shape: %+v", st)
+	}
+	if st.SeqUnforced == 0 {
+		t.Fatalf("sequenced CMTs should skip the per-commit force: %+v", st)
+	}
+	finishEngine(t, e)
+}
+
+// TestSeqHammerGSNOrder interleaves single-shard and cross-shard
+// commits from many clients across many epochs, then checks the
+// deterministic ordered-commit property directly: the coordinator's
+// order is strictly GSN-ascending, and each shard's local cross-commit
+// sequence EQUALS the global order restricted to the transactions that
+// touched it (participant sets decoded back out of the coordinator
+// log's batch records).
+func TestSeqHammerGSNOrder(t *testing.T) {
+	e := newTestEngine(t, Options{Shards: 4, Seq: true, Durable: true, Keys: 512})
+	const clients, txns = 8, 60
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)*7919 + 3))
+			for i := 0; i < txns; i++ {
+				val := int64(g*txns + i + 1)
+				var ops []Op
+				switch i % 3 {
+				case 0: // single-shard
+					k := uint64(rng.Intn(512))
+					ops = []Op{{Kind: OpGet, Key: k}, {Kind: OpPut, Key: k, Val: val}}
+				case 1: // two random keys: cross when they land apart
+					ops = []Op{
+						{Kind: OpPut, Key: uint64(rng.Intn(512)), Val: val},
+						{Kind: OpPut, Key: uint64(rng.Intn(512)), Val: -val},
+					}
+				default: // full width
+					for s := 0; s < 4; s++ {
+						ops = append(ops, Op{Kind: OpPut, Key: uint64(rng.Intn(128)*4 + s), Val: val})
+					}
+				}
+				if _, _, err := e.Do(ops); err != nil && !errors.Is(err, chaos.ErrRetriesExhausted) {
+					errCh <- fmt.Errorf("client %d txn %d: %w", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+
+	coord, perShard := e.CrossOrders()
+	if len(coord) == 0 {
+		t.Fatal("hammer produced no cross-shard commits")
+	}
+	// GSN-ascending: names are "g<gsn>", minted at admission.
+	last := -1
+	for _, name := range coord {
+		var gsn int
+		if _, err := fmt.Sscanf(name, "g%d", &gsn); err != nil {
+			t.Fatalf("unexpected cross-commit name %q: %v", name, err)
+		}
+		if gsn <= last {
+			t.Fatalf("coordinator order not GSN-ascending: %d after %d", gsn, last)
+		}
+		last = gsn
+	}
+	// Recover each transaction's participant set from the batch records
+	// and demand per-shard equality with the restricted global order.
+	recs, trunc := DecodeCoordLog(e.Image().Coord)
+	if trunc != nil {
+		t.Fatalf("decoding coordinator log: %v", trunc)
+	}
+	shardsOf := make(map[string]map[int]bool, len(recs))
+	for _, r := range recs {
+		set := make(map[int]bool, len(r.Branches))
+		for _, b := range r.Branches {
+			set[b.Shard] = true
+		}
+		shardsOf[r.Name] = set
+	}
+	for sid, got := range perShard {
+		var want []string
+		for _, name := range coord {
+			if shardsOf[name][sid] {
+				want = append(want, name)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("shard %d: %d cross commits, want %d", sid, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("shard %d position %d: committed %q, GSN order demands %q",
+					sid, i, got[i], want[i])
+			}
+		}
+	}
+	st := e.Stats()
+	if st.SeqUnforced == 0 || st.SeqEpochs == 0 {
+		t.Fatalf("sequencer shape: %+v", st)
+	}
+	finishEngine(t, e)
+}
+
+// TestSeqRecoveryIdempotentBatches kills the coordinator right after a
+// batch force (the decision is durable, no branch CMT is), then
+// recovers TWICE — image the recovered engine and recover again — and
+// demands both recoveries resolve to the same certified state: batch
+// records must fold idempotently.
+func TestSeqRecoveryIdempotentBatches(t *testing.T) {
+	plan := chaos.NewPlan(7).WithScript(chaos.SiteCoordCommit, []bool{true})
+	e := newTestEngine(t, Options{Shards: 4, Seq: true, Durable: true, Plan: &plan})
+	keys := keysOnDistinctShards(t, e, 2)
+
+	if _, _, err := e.Do([]Op{{Kind: OpPut, Key: keys[0], Val: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// The batch carrying this transaction is forced, then the scripted
+	// death fires: globally committed, branch CMTs unforced AND lost.
+	if _, _, err := e.Do([]Op{
+		{Kind: OpPut, Key: keys[0], Val: 2},
+		{Kind: OpPut, Key: keys[1], Val: 3},
+	}); err != nil {
+		t.Fatalf("cross Do: %v", err)
+	}
+	if !e.Crashed() {
+		t.Fatal("scripted coordinator death did not fire")
+	}
+	img := e.Image()
+	_ = e.Close()
+
+	check := func(stage string, e2 *Engine) {
+		t.Helper()
+		rep := e2.Recovered()
+		if rep.InDoubt != 0 {
+			t.Fatalf("%s: %d in doubt", stage, rep.InDoubt)
+		}
+		if v, ok := e2.ReadKey(keys[0]); !ok || v != 2 {
+			t.Fatalf("%s: key %d = %d,%v want 2", stage, keys[0], v, ok)
+		}
+		if v, ok := e2.ReadKey(keys[1]); !ok || v != 3 {
+			t.Fatalf("%s: key %d = %d,%v want 3", stage, keys[1], v, ok)
+		}
+		if err := e2.FinalCheck(); err != nil {
+			t.Fatalf("%s: certificate: %v", stage, err)
+		}
+	}
+
+	// Idempotence proper: two independent recoveries of the SAME image
+	// must fold the batch record to the same resolution and state.
+	for _, stage := range []string{"first recovery", "replayed recovery"} {
+		e2 := newTestEngine(t, Options{Shards: 4, Seq: true, Durable: true, RecoverFrom: img})
+		rep := e2.Recovered()
+		if rep.CoordBatches != 1 || rep.InDoubtResolved != 1 || len(rep.Redos) != 2 {
+			t.Fatalf("%s should fold one batch and roll both branches forward: %+v", stage, rep)
+		}
+		check(stage, e2)
+		if stage == "first recovery" {
+			if err := e2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		// Chain: image the recovered engine (redo CMTs now durable in
+		// the shard logs) and recover once more — same certified state,
+		// nothing left to resolve.
+		img2 := e2.Image()
+		if err := e2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		e3 := newTestEngine(t, Options{Shards: 4, Seq: true, Durable: true, RecoverFrom: img2})
+		if rep := e3.Recovered(); len(rep.Redos) != 0 {
+			t.Fatalf("chained recovery re-ran redos: %+v", rep)
+		}
+		check("chained recovery", e3)
+		if err := e3.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSeqCrashBeforeBatchForce kills the coordinator before the batch
+// record is forced: every transaction of the epoch must abort
+// consistently in memory and by presumed abort at recovery.
+func TestSeqCrashBeforeBatchForce(t *testing.T) {
+	plan := chaos.NewPlan(7).WithScript(chaos.SiteCoordPrepared, []bool{true})
+	e := newTestEngine(t, Options{Shards: 4, Seq: true, Durable: true, Plan: &plan})
+	keys := keysOnDistinctShards(t, e, 2)
+
+	if _, _, err := e.Do([]Op{{Kind: OpPut, Key: keys[0], Val: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := e.Do([]Op{
+		{Kind: OpPut, Key: keys[0], Val: 2},
+		{Kind: OpPut, Key: keys[1], Val: 3},
+	})
+	if !errors.Is(err, ErrCoordCrashed) {
+		t.Fatalf("want ErrCoordCrashed, got %v", err)
+	}
+	img := e.Image()
+
+	e2 := newTestEngine(t, Options{Shards: 4, Seq: true, Durable: true, RecoverFrom: img})
+	rep := e2.Recovered()
+	if rep.InDoubt != 0 || rep.InDoubtResolved != 0 || len(rep.Redos) != 0 {
+		t.Fatalf("presumed abort should need no resolution: %+v", rep)
+	}
+	if rep.CoordCommits != 0 || rep.CoordBatches != 0 {
+		t.Fatalf("no decision should be durable: %+v", rep)
+	}
+	if v, ok := e2.ReadKey(keys[0]); !ok || v != 1 {
+		t.Fatalf("pre-crash value: %d,%v", v, ok)
+	}
+	if v, _ := e2.ReadKey(keys[1]); v == 3 {
+		t.Fatal("aborted write resurrected")
+	}
+	finishEngine(t, e2)
+	_ = e.Close()
+}

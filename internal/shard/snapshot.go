@@ -27,10 +27,27 @@ type Cut struct {
 }
 
 // SnapshotCut pins one snapshot per shard at a GSN-consistent point.
-// The caller must Close it.
+// The caller must Close it. Under the mutex coordinator, commitMu
+// alone gives cross-shard atomicity; under the sequencer the cut gate
+// does: new batch dispatches block while a cut is pinning (cutters)
+// and the cut waits out every in-flight release (releasing), so no cut
+// observes an epoch's transaction on some participant shards but not
+// others.
 func (e *Engine) SnapshotCut() (*Cut, error) {
 	e.commitMu.Lock()
 	defer e.commitMu.Unlock()
+	if e.seqr != nil {
+		e.cutMu.Lock()
+		e.cutters++
+		for e.releasing > 0 {
+			e.cutCond.Wait()
+		}
+		defer func() {
+			e.cutters--
+			e.cutCond.Broadcast()
+			e.cutMu.Unlock()
+		}()
+	}
 	snaps := make([]*mvcc.Snapshot, len(e.shards))
 	for i, st := range e.shards {
 		store := st.be.Snapshots()

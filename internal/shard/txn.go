@@ -13,7 +13,6 @@ import (
 type Txn struct {
 	e        *Engine
 	name     string
-	dec      *decision
 	branches map[int]*branch
 	done     bool
 	err      error
@@ -24,7 +23,6 @@ func (e *Engine) Begin() *Txn {
 	return &Txn{
 		e:        e,
 		name:     fmt.Sprintf("x%d", e.seq.Add(1)),
-		dec:      newDecision(),
 		branches: make(map[int]*branch),
 	}
 }
@@ -36,7 +34,7 @@ func (t *Txn) branchFor(key uint64) *branch {
 		return b
 	}
 	st := t.e.shards[sid]
-	b := newBranch(st, t.name, t.dec, true)
+	b := newBranch(st, t.name, newDecision(), true)
 	t.e.enter(st)
 	go b.run()
 	t.branches[sid] = b
@@ -44,11 +42,13 @@ func (t *Txn) branchFor(key uint64) *branch {
 }
 
 // reap tears down every branch after the abort decision: decide(false)
-// unblocks branches parked on the decision (prepared), abandon closes
-// the command channel of branches still parked in their op loop, and
-// both paths drain to the Atomic outcome.
+// unblocks branches parked on their decisions (prepared), abandon
+// closes the command channel of branches still parked in their op
+// loop, and both paths drain to the Atomic outcome.
 func (t *Txn) reap() {
-	t.dec.decide(false)
+	for _, b := range t.branches {
+		b.dec.decide(false)
+	}
 	for _, b := range t.branches {
 		_ = b.abandon()
 		t.e.exit(b.st)
@@ -123,6 +123,31 @@ func (t *Txn) Commit() error {
 	for _, sid := range sids {
 		branches = append(branches, t.branches[sid])
 	}
+	// Sequenced path: the GSN is pinned now — before prepare — so the
+	// commit order is fixed ahead of the decision phase (an interactive
+	// session's reads already happened; admission any earlier would
+	// stall the sequencer's cursor for the whole client think-time).
+	if t.e.seqr != nil {
+		tk, err := t.e.seqr.Admit()
+		if err != nil {
+			return t.fail(err)
+		}
+		for _, b := range branches {
+			if err := b.prepare(); err != nil {
+				t.e.seqr.Abort(tk)
+				return t.fail(err)
+			}
+		}
+		// seqCommitPrepared owns the branches from here.
+		err = t.e.seqCommitPrepared(tk, t.name, branches, nil, nil)
+		t.done, t.err = true, err
+		if err != nil {
+			t.e.crossAborts.Add(1)
+			return err
+		}
+		t.e.crossCommits.Add(1)
+		return nil
+	}
 	for _, b := range branches {
 		if err := b.prepare(); err != nil {
 			return t.fail(err)
@@ -130,7 +155,7 @@ func (t *Txn) Commit() error {
 	}
 	// commitCross owns the branches from here: it decides, reaps, and
 	// moves the gauges on both outcomes.
-	err := t.e.commitCross(t.name, branches, t.dec, nil, nil)
+	err := t.e.commitCross(t.name, branches, nil, nil)
 	t.done, t.err = true, err
 	if err != nil {
 		t.e.crossAborts.Add(1)

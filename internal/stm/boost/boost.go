@@ -146,9 +146,7 @@ func (rt *Runtime) Atomic(name string, fn func(*Txn) error) error {
 				return fmt.Errorf("boost: commit certification failed: %w", rt.Recorder.Err())
 			}
 			rt.lm.ReleaseAll(t.owner)
-			if rt.Durable != nil {
-				_ = rt.Durable.CommitBarrier()
-			}
+			_ = core.Barrier(rt.Durable, name)
 			rt.commits.Add(1)
 			return nil
 		}

@@ -240,9 +240,7 @@ func (m *Memory) Atomic(name string, fn func(*Tx) error) error {
 			err = m.commit(tx)
 		}
 		if err == nil {
-			if m.Durable != nil {
-				_ = m.Durable.CommitBarrier()
-			}
+			_ = core.Barrier(m.Durable, name)
 			m.commits.Add(1)
 			return nil
 		}

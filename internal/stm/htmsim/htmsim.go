@@ -146,11 +146,11 @@ func (h *HTM) Stats() Stats {
 
 // ReadNoTx reads a word non-transactionally.
 // durableBarrier flushes the write-ahead log (when attached) so an
-// acknowledged commit is on stable storage.
-func (h *HTM) durableBarrier() {
-	if h.Durable != nil {
-		_ = h.Durable.CommitBarrier()
-	}
+// acknowledged commit is on stable storage. The committing
+// transaction's name routes through the name-aware barrier when the
+// attached Durable implements it (see core.Barrier).
+func (h *HTM) durableBarrier(name string) {
+	_ = core.Barrier(h.Durable, name)
 }
 
 func (h *HTM) ReadNoTx(addr int) int64 { return h.values[addr].Load() }
@@ -384,7 +384,7 @@ func (h *HTM) TxnOnce(name string, fn func(*Tx) error) error {
 	}
 	tx.releaseOwnership()
 	if err == nil {
-		h.durableBarrier()
+		h.durableBarrier(name)
 		h.commits.Add(1)
 		return nil
 	}
@@ -451,7 +451,7 @@ func (h *HTM) runFallback(name string, fn func(*Tx) error) error {
 	for a, v := range tx.writes {
 		h.values[a].Store(v)
 	}
-	h.durableBarrier()
+	h.durableBarrier(name)
 	h.commits.Add(1)
 	return nil
 }
@@ -471,7 +471,7 @@ func (tx *Tx) Commit(name string) error {
 	err := tx.commit(name)
 	tx.releaseOwnership()
 	if err == nil {
-		tx.h.durableBarrier()
+		tx.h.durableBarrier(name)
 		tx.h.commits.Add(1)
 		return nil
 	}
@@ -515,7 +515,7 @@ func (tx *Tx) EndFallback(commit bool) {
 		for a, v := range tx.writes {
 			tx.h.values[a].Store(v)
 		}
-		tx.h.durableBarrier()
+		tx.h.durableBarrier("") // manual fallback: no transaction name
 		tx.h.commits.Add(1)
 	}
 	tx.h.fbEpoch.Add(1)

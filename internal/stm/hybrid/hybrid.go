@@ -145,7 +145,7 @@ func (rt *Runtime) Atomic(name string, fn func(*Tx) error) error {
 	// Skip when the boosting runtime owns the same barrier — it has
 	// already run it on its own unlocked commit path.
 	if err == nil && rt.Durable != nil && rt.Durable != rt.Boost.Durable {
-		_ = rt.Durable.CommitBarrier()
+		_ = core.Barrier(rt.Durable, name)
 	}
 	return err
 }

@@ -268,9 +268,7 @@ func (m *Memory) AtomicNamed(name string, fn func(*Tx) error) error {
 				return fmt.Errorf("pess: commit certification failed: %w", m.Recorder.Err())
 			}
 			tx.releaseAll()
-			if m.Durable != nil {
-				_ = m.Durable.CommitBarrier()
-			}
+			_ = core.Barrier(m.Durable, name)
 			m.commits.Add(1)
 			return nil
 		}

@@ -156,9 +156,7 @@ func (m *Memory) AtomicNamed(name string, fn func(*Tx) error) error {
 			err = m.commit(name, tx)
 		}
 		if err == nil {
-			if m.Durable != nil {
-				_ = m.Durable.CommitBarrier()
-			}
+			_ = core.Barrier(m.Durable, name)
 			m.commits.Add(1)
 			return nil
 		}
