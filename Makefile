@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check race chaos-smoke chaos crash-smoke crash obs-smoke obs serve-smoke serve-campaign shard-smoke repl-smoke repl failover-smoke failover mvcc-smoke seq-smoke bench bench-repl bench-mvcc bench-seq ci
+.PHONY: build test vet fmt-check race chaos-smoke chaos crash-smoke crash obs-smoke obs serve-smoke serve-campaign shard-smoke repl-smoke repl failover-smoke failover mvcc-smoke seq-smoke ops-smoke bench bench-repl bench-mvcc bench-seq bench-ops ci
 
 build:
 	$(GO) build ./...
@@ -117,6 +117,19 @@ seq-smoke:
 	$(GO) test ./internal/shard/ -run 'TestSeqCrossShardDo|TestSeqHammerGSNOrder|TestSeqRecoveryIdempotentBatches|TestSeqCrashBeforeBatchForce' -v
 	$(GO) test ./internal/server/ -run TestSeqSmoke -v
 
+# Typed-operations smoke: the commutativity-aware ops surface end to
+# end — wire/engine/registry kind parity, the Limits-of-boosting
+# boundary table (partial ops abort, total ops commit concurrently
+# with commute hits), a typed wire campaign recovered byte-identically
+# from its logical-op WAL, the follower fold reaching the same bytes
+# through promotion, and the typed metrics counters under -race.
+ops-smoke:
+	$(GO) test ./internal/ops/ -v
+	$(GO) test ./internal/stm/boost/ -run 'TestLimitsBoundary|TestTotalOpsCommitConcurrently|TestEscrowGuardSpansHolders' -v
+	$(GO) test ./internal/server/ -run 'TestShardKindsMatchWire|TestOpsSmoke|TestOpsFollowerFold' -v
+	$(GO) test -race ./internal/obs/metrics/ -run TestTypedCountersSnapshotConsistency -v
+	$(GO) test ./internal/bench/ -run 'TestOpsBenchSmoke|TestParseOpMixRejectsUnknown' -v
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -139,4 +152,11 @@ bench-seq:
 	$(GO) run ./cmd/pushpull-seq -duration 6s -rounds 6 -batch-interval 1ms > BENCH_seq.json
 	@cat BENCH_seq.json
 
-ci: test vet race chaos-smoke crash-smoke obs-smoke serve-smoke shard-smoke repl-smoke failover-smoke mvcc-smoke seq-smoke
+# Regenerate the committed hot-counter benchmark: the same skewed
+# increment-heavy load through typed commuting ops vs the blind
+# GET-then-PUT read-modify-write, both legs certified at shutdown.
+bench-ops:
+	$(GO) run ./cmd/pushpull-hot -json > BENCH_ops.json
+	@cat BENCH_ops.json
+
+ci: test vet race chaos-smoke crash-smoke obs-smoke serve-smoke shard-smoke repl-smoke failover-smoke mvcc-smoke seq-smoke ops-smoke

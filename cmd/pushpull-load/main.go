@@ -29,6 +29,7 @@ func main() {
 	keys := flag.Int("keys", 64, "key range")
 	readPct := flag.Int("readpct", 50, "percentage of get operations")
 	opsPerTxn := flag.Int("ops", 3, "operations per transaction")
+	opMix := flag.String("op-mix", "", `typed operation mix, e.g. "incr:70,cget:20,cas:10" (overrides -readpct op drawing)`)
 	skew := flag.Float64("skew", 0, "Zipf exponent for key choice (<=1 uniform)")
 	interactive := flag.Bool("interactive", false, "begin/op/commit sessions instead of one-shot transactions")
 	readonlyPct := flag.Int("readonly-pct", 0, "percentage of transactions issued as declared read-only snapshot transactions")
@@ -38,10 +39,16 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the BENCH JSON summary instead of text")
 	flag.Parse()
 
+	mix, err := kvapi.ParseOpMix(*opMix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pushpull-load:", err)
+		os.Exit(2)
+	}
+
 	res, err := kvapi.RunLoad(kvapi.LoadParams{
 		Addr: *addr, Clients: *clients, Duration: *duration,
 		MaxTxns: *maxTxns, Keys: *keys, ReadPct: *readPct,
-		OpsPerTxn: *opsPerTxn, Skew: *skew,
+		OpsPerTxn: *opsPerTxn, OpMix: mix, Skew: *skew,
 		Interactive: *interactive, ReadOnlyPct: *readonlyPct, Seed: *seed,
 		Shards: *shards, CrossPct: *cross,
 	})
@@ -57,14 +64,15 @@ func main() {
 	sum := bench.LoadSummaryJSON{
 		Addr: res.Params.Addr, Clients: res.Params.Clients,
 		Keys: res.Params.Keys, ReadPct: res.Params.ReadPct,
-		OpsPerTxn: res.Params.OpsPerTxn, Skew: res.Params.Skew,
+		OpsPerTxn: res.Params.OpsPerTxn, OpMix: *opMix, Skew: res.Params.Skew,
 		Interactive: res.Params.Interactive, Seed: res.Params.Seed,
 		Shards: res.Params.Shards, CrossPct: res.Params.CrossPct,
 		ReadOnlyPct: res.Params.ReadOnlyPct,
 		DurationMs:  float64(res.Elapsed.Milliseconds()),
 		Commits:     res.Commits, Aborts: res.Aborts, Busy: res.Busy,
 		Errors: res.Errors, Retries: res.Retries,
-		ROCommits: res.ROCommits, ROAborts: res.ROAborts,
+		CommuteHits: res.CommuteHits,
+		ROCommits:   res.ROCommits, ROAborts: res.ROAborts,
 		Perf: bench.PerfJSON{
 			TxnPerSec: res.Throughput(),
 			P50Ms:     float64(res.P50) / float64(time.Millisecond),

@@ -10,6 +10,7 @@ var (
 	_ spec.MethodLister = Set{}
 	_ spec.MethodLister = Map{}
 	_ spec.MethodLister = Queue{}
+	_ spec.MethodLister = TypedKV{}
 )
 
 // Methods implements spec.MethodLister.
@@ -56,5 +57,20 @@ func (Queue) Methods() []spec.MethodSig {
 		{Name: MEnq, Arity: 1},
 		{Name: MDeq, Arity: 0},
 		{Name: MPeek, Arity: 0, ReadOnly: true},
+	}
+}
+
+// Methods implements spec.MethodLister.
+func (TypedKV) Methods() []spec.MethodSig {
+	return []spec.MethodSig{
+		{Name: MOpsAdd, Arity: 2},
+		{Name: MOpsGet, Arity: 1, ReadOnly: true},
+		{Name: MOpsWd, Arity: 2},
+		{Name: MOpsCAS, Arity: 3},
+		{Name: MOpsSAdd, Arity: 2},
+		{Name: MOpsSRem, Arity: 2},
+		{Name: MOpsSCont, Arity: 2, ReadOnly: true},
+		{Name: MOpsQPush, Arity: 2},
+		{Name: MOpsQPop, Arity: 1},
 	}
 }

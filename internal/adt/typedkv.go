@@ -1,0 +1,478 @@
+package adt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pushpull/internal/spec"
+)
+
+// TypedKV methods — the wire-facing typed operations of internal/ops.
+// Counter cells carry unit-returning arithmetic (the commuting hot
+// path), set cells carry blind add/remove (unit-returning, so same-key
+// adds commute — the Limits-paper observation that returning "was it
+// new?" would destroy commutativity), queue cells carry FIFO push/pop,
+// and cas is the deliberately non-commuting control.
+const (
+	// MOpsAdd is add(k, d) -> 0: total counter arithmetic.
+	MOpsAdd = "add"
+	// MOpsGet is cget(k) -> current counter value (0 when the cell is
+	// missing).
+	MOpsGet = "cget"
+	// MOpsWd is wd(k, n) -> 0: bounded withdraw, PARTIAL — undefined
+	// unless the counter holds at least n (the Limits-paper boundary:
+	// partiality is what stops withdraw commuting in general).
+	MOpsWd = "wd"
+	// MOpsCAS is cas(k, expect, new) -> old value: total, writes new iff
+	// old == expect. Its return observes the value, so it commutes with
+	// nothing that moves the cell — the control the benchmarks lean on.
+	MOpsCAS = "cas"
+	// MOpsSAdd is sadd(k, m) -> 0: blind set insert.
+	MOpsSAdd = "sadd"
+	// MOpsSRem is srem(k, m) -> 0: blind set remove.
+	MOpsSRem = "srem"
+	// MOpsSCont is scont(k, m) -> 1/0 membership.
+	MOpsSCont = "scont"
+	// MOpsQPush is qpush(k, v) -> 0: FIFO enqueue.
+	MOpsQPush = "qpush"
+	// MOpsQPop is qpop(k) -> front, PARTIAL on an empty (or missing)
+	// queue.
+	MOpsQPop = "qpop"
+)
+
+// Cell kinds. A cell's kind is fixed by the first mutator that creates
+// it and is sticky: a typed operation against a cell of another kind is
+// not allowed (ok=false), mirroring the runtime's kind check.
+const (
+	tkNone byte = iota
+	tkCtr
+	tkSet
+	tkQueue
+)
+
+// TypedKV is the typed-operation keyspace: an int64-keyed family of
+// counter, set, and queue cells living beside the blind GET/PUT map.
+// It is the certification spec for the "ops" object every typed wire
+// operation is recorded against, and the replay spec recovery and
+// follower folds use.
+type TypedKV struct{}
+
+var (
+	_ spec.Object      = TypedKV{}
+	_ spec.Inverter    = TypedKV{}
+	_ spec.MoverOracle = TypedKV{}
+)
+
+// Type implements spec.Object.
+func (TypedKV) Type() string { return "typedkv" }
+
+type tkCell struct {
+	kind byte
+	v    int64
+	set  map[int64]bool
+	q    []int64
+}
+
+func (c tkCell) eq(d tkCell) bool {
+	if c.kind != d.kind || c.v != d.v || len(c.set) != len(d.set) || len(c.q) != len(d.q) {
+		return false
+	}
+	for m := range c.set {
+		if !d.set[m] {
+			return false
+		}
+	}
+	for i, v := range c.q {
+		if d.q[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+type tkState struct {
+	cells map[int64]tkCell
+}
+
+func (s tkState) Eq(t spec.State) bool {
+	u, ok := t.(tkState)
+	if !ok || len(s.cells) != len(u.cells) {
+		return false
+	}
+	for k, c := range s.cells {
+		d, ok := u.cells[k]
+		if !ok || !c.eq(d) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s tkState) String() string {
+	keys := make([]int64, 0, len(s.cells))
+	for k := range s.cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		c := s.cells[k]
+		switch c.kind {
+		case tkCtr:
+			parts = append(parts, fmt.Sprintf("%d:c%d", k, c.v))
+		case tkSet:
+			ms := make([]int64, 0, len(c.set))
+			for m := range c.set {
+				ms = append(ms, m)
+			}
+			sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+			b := make([]string, len(ms))
+			for i, m := range ms {
+				b[i] = fmt.Sprintf("%d", m)
+			}
+			parts = append(parts, fmt.Sprintf("%d:s{%s}", k, strings.Join(b, ",")))
+		case tkQueue:
+			b := make([]string, len(c.q))
+			for i, v := range c.q {
+				b[i] = fmt.Sprintf("%d", v)
+			}
+			parts = append(parts, fmt.Sprintf("%d:q[%s]", k, strings.Join(b, ",")))
+		}
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// Init implements spec.Object: no cells.
+func (TypedKV) Init() spec.State { return tkState{cells: map[int64]tkCell{}} }
+
+// with returns a copy of s with key k replaced by cell c.
+func (s tkState) with(k int64, c tkCell) tkState {
+	next := make(map[int64]tkCell, len(s.cells)+1)
+	for key, cell := range s.cells {
+		next[key] = cell
+	}
+	next[k] = c
+	return tkState{cells: next}
+}
+
+func copySet(m map[int64]bool) map[int64]bool {
+	out := make(map[int64]bool, len(m)+1)
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+// cell fetches k's cell, checking it is absent or of the wanted kind.
+func (s tkState) cell(k int64, kind byte) (tkCell, bool) {
+	c, ok := s.cells[k]
+	if !ok {
+		return tkCell{kind: kind}, true
+	}
+	if c.kind != kind {
+		return tkCell{}, false
+	}
+	return c, true
+}
+
+// Apply implements spec.Object.
+func (TypedKV) Apply(s spec.State, method string, args []int64) (spec.State, int64, bool) {
+	st, ok := s.(tkState)
+	if !ok {
+		return nil, 0, false
+	}
+	switch method {
+	case MOpsAdd:
+		if len(args) != 2 {
+			return nil, 0, false
+		}
+		c, ok := st.cell(args[0], tkCtr)
+		if !ok {
+			return nil, 0, false
+		}
+		c.v += args[1]
+		return st.with(args[0], c), 0, true
+	case MOpsGet:
+		if len(args) != 1 {
+			return nil, 0, false
+		}
+		c, ok := st.cell(args[0], tkCtr)
+		if !ok {
+			return nil, 0, false
+		}
+		return st, c.v, true
+	case MOpsWd:
+		if len(args) != 2 || args[1] < 0 {
+			return nil, 0, false
+		}
+		c, ok := st.cell(args[0], tkCtr)
+		if !ok || c.v < args[1] {
+			// The partial boundary: a withdraw below balance is not
+			// allowed in this state, no return value can fix it.
+			return nil, 0, false
+		}
+		c.v -= args[1]
+		return st.with(args[0], c), 0, true
+	case MOpsCAS:
+		if len(args) != 3 {
+			return nil, 0, false
+		}
+		c, ok := st.cell(args[0], tkCtr)
+		if !ok {
+			return nil, 0, false
+		}
+		old := c.v
+		if old == args[1] {
+			c.v = args[2]
+			return st.with(args[0], c), old, true
+		}
+		return st, old, true
+	case MOpsSAdd:
+		if len(args) != 2 {
+			return nil, 0, false
+		}
+		c, ok := st.cell(args[0], tkSet)
+		if !ok {
+			return nil, 0, false
+		}
+		c.set = copySet(c.set)
+		c.set[args[1]] = true
+		return st.with(args[0], c), 0, true
+	case MOpsSRem:
+		if len(args) != 2 {
+			return nil, 0, false
+		}
+		c, ok := st.cell(args[0], tkSet)
+		if !ok {
+			return nil, 0, false
+		}
+		c.set = copySet(c.set)
+		delete(c.set, args[1])
+		return st.with(args[0], c), 0, true
+	case MOpsSCont:
+		if len(args) != 2 {
+			return nil, 0, false
+		}
+		c, ok := st.cell(args[0], tkSet)
+		if !ok {
+			return nil, 0, false
+		}
+		if c.set[args[1]] {
+			return st, 1, true
+		}
+		return st, 0, true
+	case MOpsQPush:
+		if len(args) != 2 {
+			return nil, 0, false
+		}
+		c, ok := st.cell(args[0], tkQueue)
+		if !ok {
+			return nil, 0, false
+		}
+		c.q = append(append([]int64(nil), c.q...), args[1])
+		return st.with(args[0], c), 0, true
+	case MOpsQPop:
+		if len(args) != 1 {
+			return nil, 0, false
+		}
+		c, ok := st.cell(args[0], tkQueue)
+		if !ok || len(c.q) == 0 {
+			// Pop on empty is partial, the queue-side Limits boundary.
+			return nil, 0, false
+		}
+		front := c.q[0]
+		c.q = append([]int64(nil), c.q[1:]...)
+		return st.with(args[0], c), front, true
+	default:
+		return nil, 0, false
+	}
+}
+
+// Invert implements spec.Inverter. Arithmetic inverts syntactically
+// (add ↔ add of the negation, wd ↔ add back); cas inverts through its
+// recorded return; reads invert to themselves (effect-free). The blind
+// set mutators and the queue ops have NO syntactic inverse — a blind
+// add cannot know whether the member was already present — which is
+// exactly why the runtime undoes them with support sets and undo
+// closures instead of inverse operations.
+func (TypedKV) Invert(op spec.Op) (string, []int64, bool) {
+	switch op.Method {
+	case MOpsAdd:
+		return MOpsAdd, []int64{op.Args[0], -op.Args[1]}, true
+	case MOpsWd:
+		return MOpsAdd, []int64{op.Args[0], op.Args[1]}, true
+	case MOpsCAS:
+		if op.Ret == op.Args[1] {
+			// It wrote new; swing it back.
+			return MOpsCAS, []int64{op.Args[0], op.Args[2], op.Ret}, true
+		}
+		return MOpsGet, []int64{op.Args[0]}, true
+	case MOpsGet, MOpsSCont:
+		return op.Method, append([]int64(nil), op.Args...), true
+	default:
+		return "", nil, false
+	}
+}
+
+// TypedCells is the exported projection of a TypedKV state: what
+// backend seeding folds into a freshly booted typed keyspace. Empty
+// slices are meaningful — an empty committed set or queue cell keeps
+// its sticky kind and must be re-seeded as such.
+type TypedCells struct {
+	Counters map[int64]int64
+	Sets     map[int64][]int64
+	Queues   map[int64][]int64
+}
+
+// FoldTypedKV projects a TypedKV spec state (e.g. out of a recovery
+// image's composite) into seedable cells; set members and queue
+// contents come out deterministically ordered.
+func FoldTypedKV(s spec.State) (TypedCells, bool) {
+	st, ok := s.(tkState)
+	if !ok {
+		return TypedCells{}, false
+	}
+	out := TypedCells{
+		Counters: map[int64]int64{},
+		Sets:     map[int64][]int64{},
+		Queues:   map[int64][]int64{},
+	}
+	for k, c := range st.cells {
+		switch c.kind {
+		case tkCtr:
+			out.Counters[k] = c.v
+		case tkSet:
+			ms := make([]int64, 0, len(c.set))
+			for m := range c.set {
+				ms = append(ms, m)
+			}
+			sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+			out.Sets[k] = ms
+		case tkQueue:
+			out.Queues[k] = append([]int64(nil), c.q...)
+		}
+	}
+	return out, true
+}
+
+// tkFamily maps a method to the cell kind it touches.
+func tkFamily(method string) byte {
+	switch method {
+	case MOpsAdd, MOpsGet, MOpsWd, MOpsCAS:
+		return tkCtr
+	case MOpsSAdd, MOpsSRem, MOpsSCont:
+		return tkSet
+	case MOpsQPush, MOpsQPop:
+		return tkQueue
+	}
+	return tkNone
+}
+
+// LeftMover implements spec.MoverOracle — the typed-operation
+// commutativity table the lock classes in internal/ops realize, with
+// the Limits-paper boundary cases spelled out:
+//
+//   - distinct keys always commute;
+//   - add/add commute (unit returns, commutative arithmetic), and so do
+//     blind sadd/sadd and srem/srem even on the SAME member (both
+//     orders reach the same state and both return unit);
+//   - wd ⋖ add(d≥0) holds (withdraw then deposit can always be
+//     reordered to deposit first) but add(d>0) ⋖ wd FAILS — the Lipton
+//     asymmetry partiality induces: the deposit may be what made the
+//     withdraw allowed;
+//   - wd/wd commute: both orders are allowed exactly when the balance
+//     covers their sum;
+//   - cas and cget observe the value, so they refuse to move across any
+//     effective counter mutation; qpush/qpop order is observable, so
+//     queue ops only commute trivially.
+func (TypedKV) LeftMover(op1, op2 spec.Op) (holds, known bool) {
+	if len(op1.Args) < 1 || len(op2.Args) < 1 {
+		return false, false
+	}
+	if op1.Args[0] != op2.Args[0] {
+		return true, true
+	}
+	f1, f2 := tkFamily(op1.Method), tkFamily(op2.Method)
+	if f1 != f2 {
+		// Same key, different families: one order (at least) is never
+		// allowed; vacuous cases are left to the dynamic checker.
+		return false, false
+	}
+	switch f1 {
+	case tkCtr:
+		return ctrLeftMover(op1, op2)
+	case tkSet:
+		return setTypedLeftMover(op1, op2)
+	case tkQueue:
+		return queueTypedLeftMover(op1, op2)
+	}
+	return false, false
+}
+
+func ctrLeftMover(op1, op2 spec.Op) (bool, bool) {
+	m1, m2 := op1.Method, op2.Method
+	switch {
+	case m1 == MOpsAdd && m2 == MOpsAdd:
+		return true, true
+	case m1 == MOpsWd && m2 == MOpsWd:
+		return true, true
+	case m1 == MOpsWd && m2 == MOpsAdd:
+		// Withdraw then deposit ⇒ deposit first is also allowed (it only
+		// raises the balance) — provided it IS a deposit.
+		return op2.Args[1] >= 0, true
+	case m1 == MOpsAdd && m2 == MOpsWd:
+		if op1.Args[1] <= 0 {
+			// A non-positive "deposit" moves left of a withdraw it could
+			// not have enabled... but it may have been what KEPT the
+			// balance low; left order allowed ⇒ right order allowed only
+			// for d == 0.
+			return op1.Args[1] == 0, true
+		}
+		// The deposit may be exactly what made the withdraw allowed:
+		// add(d)·wd(n) allowed from v = n-d, wd first is not.
+		return false, true
+	case m1 == MOpsGet && m2 == MOpsGet:
+		return true, true
+	case m1 == MOpsGet || m2 == MOpsGet:
+		mut := op1
+		if m1 == MOpsGet {
+			mut = op2
+		}
+		if mut.Method == MOpsAdd && mut.Args[1] == 0 {
+			return true, true
+		}
+		return false, true
+	default:
+		// cas against anything (including cas) observes and moves the
+		// value: refuted except in vacuous corners.
+		return false, false
+	}
+}
+
+func setTypedLeftMover(op1, op2 spec.Op) (bool, bool) {
+	m1, m2 := op1.Method, op2.Method
+	sameMember := len(op1.Args) > 1 && len(op2.Args) > 1 && op1.Args[1] == op2.Args[1]
+	if !sameMember {
+		return true, true
+	}
+	switch {
+	case m1 == m2:
+		// Blind add/add and remove/remove on one member: unit returns,
+		// idempotent effect — both orders agree. contains/contains reads.
+		return true, true
+	default:
+		// add vs remove flips the final state; contains vs a mutator
+		// flips the return. Not movers.
+		return false, true
+	}
+}
+
+func queueTypedLeftMover(op1, op2 spec.Op) (bool, bool) {
+	if op1.Method == MOpsQPush && op2.Method == MOpsQPush {
+		// Same value pushed twice: indistinguishable orders.
+		return op1.Args[1] == op2.Args[1], true
+	}
+	// Pop order and pop-vs-push are observable (FIFO).
+	return false, true
+}

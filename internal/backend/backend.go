@@ -24,6 +24,7 @@ import (
 	"pushpull/internal/chaos"
 	"pushpull/internal/core"
 	"pushpull/internal/mvcc"
+	"pushpull/internal/ops"
 	"pushpull/internal/recovery"
 	"pushpull/internal/spec"
 	"pushpull/internal/stm/boost"
@@ -42,6 +43,18 @@ import (
 type View interface {
 	Get(key uint64) (val int64, found bool, err error)
 	Put(key uint64, val int64) error
+}
+
+// TypedView extends View with typed-operation execution (internal/ops
+// codes). Every backend view implements it: boosting-based substrates
+// run typed ops natively on the boosted typed keyspace, where
+// commuting ops share their cells' abstract locks (commuted reports a
+// sharing hit); word substrates emulate the counter family as register
+// read-modify-write on the same register array (fully conflicting,
+// never commuted) and reject the set/queue families.
+type TypedView interface {
+	View
+	Typed(code ops.Code, key uint64, a, b int64) (ret int64, commuted bool, err error)
 }
 
 // Backend runs atomic transactions on one substrate.
@@ -82,6 +95,11 @@ type Backend interface {
 	// independent fold of the same commit stream. Nil when
 	// certification is disabled.
 	SnapshotCert() *mvcc.Shadow
+	// TypedState serializes the committed typed keyspace in the
+	// canonical adt.TypedKV format — quiescent verification against a
+	// spec-side replay (empty string on substrates without typed
+	// cells).
+	TypedState() string
 }
 
 // mvccState carries the version store and its certifier; every
@@ -138,9 +156,11 @@ func RegistryFor(substrate string) (*spec.Registry, error) {
 		reg.Register("mem", adt.Register{})
 	case "boost":
 		reg.Register("ht", adt.Map{})
+		reg.Register(ops.Obj, adt.TypedKV{})
 	case "hybrid":
 		reg.Register("ht", adt.Map{})
 		reg.Register("htm", adt.Register{})
+		reg.Register(ops.Obj, adt.TypedKV{})
 	default:
 		return nil, fmt.Errorf("backend: unknown substrate %q", substrate)
 	}
@@ -150,6 +170,15 @@ func RegistryFor(substrate string) (*spec.Registry, error) {
 // Substrates lists the accepted backend names.
 func Substrates() []string {
 	return []string{"tl2", "pess", "boost", "htmsim", "dep", "hybrid"}
+}
+
+// TypedNative reports whether the substrate executes typed operations
+// on boosted ADT cells (certified as ops.Obj methods, folded into the
+// version store under the ops.KeyBit namespace). Word-family
+// substrates instead emulate typed counters on the plain register
+// array, so their committed state folds at the bare key.
+func TypedNative(substrate string) bool {
+	return substrate == "boost" || substrate == "hybrid"
 }
 
 // mvccAttacher is satisfied by every concrete backend through the
@@ -255,7 +284,8 @@ func newBackend(cfg Config) (Backend, error) {
 			rt.Injector = cfg.Injector
 		}
 		return &boostBackend{
-			rt: rt, ht: boost.NewMap(rt, "ht", cfg.Seed), rec: rec,
+			rt: rt, ht: boost.NewMap(rt, "ht", cfg.Seed),
+			typed: boost.NewTyped(rt, ops.Obj), rec: rec,
 		}, nil
 	case "hybrid":
 		b := boost.NewRuntime()
@@ -272,7 +302,8 @@ func newBackend(cfg Config) (Backend, error) {
 		rt.Durable = cfg.Durable
 		return &hybridBackend{
 			b: b, h: h, rt: rt, rec: rec,
-			ht: boost.NewMap(b, "ht", cfg.Seed),
+			ht:    boost.NewMap(b, "ht", cfg.Seed),
+			typed: boost.NewTyped(b, ops.Obj),
 		}, nil
 	default:
 		return nil, fmt.Errorf("backend: unknown substrate %q", cfg.Substrate)
@@ -315,10 +346,58 @@ func (v wordView) Put(key uint64, val int64) error {
 	return v.tx.Write(v.addr(key), val)
 }
 
+// Typed emulates the counter family as register read-modify-write —
+// semantically faithful but fully conflicting (no commute classes on a
+// word substrate, so commuted is always false; the benchmark contrast
+// lives here). The set/queue families have no register encoding and
+// are rejected.
+func (v wordView) Typed(code ops.Code, key uint64, a, b int64) (int64, bool, error) {
+	addr := v.addr(key)
+	switch code {
+	case ops.Add:
+		r, err := v.tx.Read(addr)
+		if err != nil {
+			return 0, false, err
+		}
+		return 0, false, v.tx.Write(addr, r+a)
+	case ops.CGet:
+		r, err := v.tx.Read(addr)
+		return r, false, err
+	case ops.Wd:
+		if a < 0 {
+			return 0, false, fmt.Errorf("backend: wd of negative amount %d", a)
+		}
+		r, err := v.tx.Read(addr)
+		if err != nil {
+			return 0, false, err
+		}
+		if r < a {
+			// The partial boundary surfaces as an abort on this
+			// substrate: there is no pending-deposit escrow to wait on.
+			return 0, false, fmt.Errorf("backend: wd %d below balance %d: %w", a, r, chaos.ErrRetriesExhausted)
+		}
+		return 0, false, v.tx.Write(addr, r-a)
+	case ops.CAS:
+		r, err := v.tx.Read(addr)
+		if err != nil {
+			return 0, false, err
+		}
+		if r == a {
+			if err := v.tx.Write(addr, b); err != nil {
+				return 0, false, err
+			}
+		}
+		return r, false, nil
+	default:
+		return 0, false, fmt.Errorf("backend: op %d unsupported on a word substrate", code)
+	}
+}
+
 func (b *wordBackend) Substrate() string         { return b.name }
 func (b *wordBackend) Recorder() *trace.Recorder { return b.rec }
 func (b *wordBackend) LeakCheck() error          { return nil }
 func (b *wordBackend) CheckInvariant() error     { return nil }
+func (b *wordBackend) TypedState() string        { return "" }
 
 func (b *wordBackend) Stats() (uint64, uint64) { return b.stats() }
 
@@ -377,14 +456,16 @@ func (b *wordBackend) seedWords(words map[int]int64, prefix string) (int, error)
 
 type boostBackend struct {
 	mvccState
-	rt  *boost.Runtime
-	ht  *boost.Map
-	rec *trace.Recorder
+	rt    *boost.Runtime
+	ht    *boost.Map
+	typed *boost.Typed
+	rec   *trace.Recorder
 }
 
 type boostView struct {
-	ht *boost.Map
-	tx *boost.Txn
+	ht    *boost.Map
+	typed *boost.Typed
+	tx    *boost.Txn
 }
 
 func (v boostView) Get(key uint64) (int64, bool, error) {
@@ -396,10 +477,15 @@ func (v boostView) Put(key uint64, val int64) error {
 	return err
 }
 
+func (v boostView) Typed(code ops.Code, key uint64, a, b int64) (int64, bool, error) {
+	return v.typed.Do(v.tx, code, key, a, b)
+}
+
 func (b *boostBackend) Substrate() string         { return "boost" }
 func (b *boostBackend) Recorder() *trace.Recorder { return b.rec }
 func (b *boostBackend) LeakCheck() error          { return b.rt.LeakCheck() }
 func (b *boostBackend) CheckInvariant() error     { return nil }
+func (b *boostBackend) TypedState() string        { return b.typed.Dump() }
 
 func (b *boostBackend) Stats() (uint64, uint64) {
 	s := b.rt.Stats()
@@ -408,7 +494,7 @@ func (b *boostBackend) Stats() (uint64, uint64) {
 
 func (b *boostBackend) Atomic(name string, fn func(View) error) error {
 	return b.rt.Atomic(name, func(tx *boost.Txn) error {
-		return fn(boostView{ht: b.ht, tx: tx})
+		return fn(boostView{ht: b.ht, typed: b.typed, tx: tx})
 	})
 }
 
@@ -417,9 +503,16 @@ func (b *boostBackend) ReadKey(key uint64) (int64, bool) {
 }
 
 func (b *boostBackend) Seed(st recovery.State, prefix string) (int, error) {
-	return seedMap(st, "ht", prefix, func(name string, fn func(*boost.Txn) error) error {
+	txns, err := seedMap(st, "ht", prefix, func(name string, fn func(*boost.Txn) error) error {
 		return b.rt.Atomic(name, fn)
 	}, b.ht)
+	if err != nil {
+		return txns, err
+	}
+	more, err := seedTyped(st, prefix, txns, func(name string, fn func(*boost.Txn) error) error {
+		return b.rt.Atomic(name, fn)
+	}, b.typed)
+	return txns + more, err
 }
 
 // seedMap re-applies a recovered map image through boosted puts.
@@ -459,11 +552,12 @@ func seedMap(st recovery.State, obj, prefix string,
 
 type hybridBackend struct {
 	mvccState
-	b   *boost.Runtime
-	h   *htmsim.HTM
-	rt  *hybrid.Runtime
-	ht  *boost.Map
-	rec *trace.Recorder
+	b     *boost.Runtime
+	h     *htmsim.HTM
+	rt    *hybrid.Runtime
+	ht    *boost.Map
+	typed *boost.Typed
+	rec   *trace.Recorder
 
 	// ctrBase is the HTM counter value restored at seed time; ctrTxns
 	// counts client transactions committed since. Their sum is the
@@ -473,8 +567,9 @@ type hybridBackend struct {
 }
 
 type hybridView struct {
-	ht *boost.Map
-	tx *hybrid.Tx
+	ht    *boost.Map
+	typed *boost.Typed
+	tx    *hybrid.Tx
 }
 
 func (v hybridView) Get(key uint64) (int64, bool, error) {
@@ -486,9 +581,14 @@ func (v hybridView) Put(key uint64, val int64) error {
 	return err
 }
 
+func (v hybridView) Typed(code ops.Code, key uint64, a, b int64) (int64, bool, error) {
+	return v.typed.Do(v.tx.Boosted(), code, key, a, b)
+}
+
 func (b *hybridBackend) Substrate() string         { return "hybrid" }
 func (b *hybridBackend) Recorder() *trace.Recorder { return b.rec }
 func (b *hybridBackend) LeakCheck() error          { return b.b.LeakCheck() }
+func (b *hybridBackend) TypedState() string        { return b.typed.Dump() }
 
 func (b *hybridBackend) Stats() (uint64, uint64) {
 	s := b.rt.Stats()
@@ -507,7 +607,7 @@ func (b *hybridBackend) Atomic(name string, fn func(View) error) error {
 			}
 			return htx.Write(0, v+1)
 		})
-		return fn(hybridView{ht: b.ht, tx: tx})
+		return fn(hybridView{ht: b.ht, typed: b.typed, tx: tx})
 	})
 	if err == nil {
 		b.ctrTxns.Add(1)
@@ -558,7 +658,104 @@ func (b *hybridBackend) Seed(st recovery.State, prefix string) (int, error) {
 		txns++
 		b.ctrBase = v
 	}
+	more, err := seedTyped(st, prefix, txns, func(name string, fn func(*boost.Txn) error) error {
+		return b.b.Atomic(name, fn)
+	}, b.typed)
+	return txns + more, err
+}
+
+// seedOp is one typed operation of the recovery checkpoint.
+type seedOp struct {
+	code ops.Code
+	key  uint64
+	a, b int64
+}
+
+// seedTyped re-applies the recovered typed keyspace as fresh certified
+// typed transactions. Every cell is rebuilt through the operations
+// that define it — counters by one add, sets by one sadd per member,
+// queues by pushes in order — and empty-but-present cells (whose
+// sticky kind must survive) by a do-undo pair (sadd+srem, qpush+qpop),
+// so the runtime state, the shadow machine, and the MVCC fold all
+// agree with the pre-crash spec state.
+func seedTyped(st recovery.State, prefix string, startTxn int,
+	atomic func(string, func(*boost.Txn) error) error, typed *boost.Typed) (int, error) {
+	cells := foldTyped(st)
+	var list []seedOp
+	ctrKeys := sortedKeys(cells.Counters)
+	for _, k := range ctrKeys {
+		list = append(list, seedOp{code: ops.Add, key: uint64(k), a: cells.Counters[k]})
+	}
+	for _, k := range sortedKeys(cells.Sets) {
+		ms := cells.Sets[k]
+		if len(ms) == 0 {
+			list = append(list, seedOp{code: ops.SAdd, key: uint64(k)}, seedOp{code: ops.SRem, key: uint64(k)})
+			continue
+		}
+		for _, m := range ms {
+			list = append(list, seedOp{code: ops.SAdd, key: uint64(k), a: m})
+		}
+	}
+	for _, k := range sortedKeys(cells.Queues) {
+		q := cells.Queues[k]
+		if len(q) == 0 {
+			list = append(list, seedOp{code: ops.QPush, key: uint64(k)}, seedOp{code: ops.QPop, key: uint64(k)})
+			continue
+		}
+		for _, v := range q {
+			list = append(list, seedOp{code: ops.QPush, key: uint64(k), a: v})
+		}
+	}
+	const chunk = 16
+	txns := 0
+	for lo := 0; lo < len(list); lo += chunk {
+		hi := lo + chunk
+		if hi > len(list) {
+			hi = len(list)
+		}
+		part := list[lo:hi]
+		err := atomic(fmt.Sprintf("%s-%d", prefix, startTxn+txns), func(tx *boost.Txn) error {
+			for _, op := range part {
+				if _, _, err := typed.Do(tx, op.code, op.key, op.a, op.b); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return txns, fmt.Errorf("backend: seeding recovered typed state: %w", err)
+		}
+		txns++
+	}
 	return txns, nil
+}
+
+func sortedKeys[V any](m map[int64]V) []int64 {
+	keys := make([]int64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// foldTyped replays a recovered state's "ops" operations through the
+// TypedKV spec into the final cell image.
+func foldTyped(st recovery.State) adt.TypedCells {
+	obj := adt.TypedKV{}
+	s := obj.Init()
+	for _, t := range st.Txns {
+		for _, op := range t.Ops {
+			if op.Obj != ops.Obj {
+				continue
+			}
+			if next, _, ok := obj.Apply(s, op.Method, op.Args); ok {
+				s = next
+			}
+		}
+	}
+	cells, _ := adt.FoldTypedKV(s)
+	return cells
 }
 
 // ---- recovered-state folds ----

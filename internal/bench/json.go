@@ -133,27 +133,31 @@ func SubstrateResultsJSON(results []SubstrateResult) ([]byte, error) {
 // LoadSummaryJSON is the load generator's BENCH-compatible summary —
 // the network-side counterpart of SubstrateResultJSON, sharing PerfJSON.
 type LoadSummaryJSON struct {
-	Addr        string   `json:"addr"`
-	Substrate   string   `json:"substrate,omitempty"` // from the server's /stats when known
-	Clients     int      `json:"clients"`
-	Keys        int      `json:"keys"`
-	ReadPct     int      `json:"read_pct"`
-	OpsPerTxn   int      `json:"ops_per_txn"`
-	Skew        float64  `json:"skew,omitempty"`
-	Interactive bool     `json:"interactive"`
-	Seed        int64    `json:"seed"`
-	Shards      int      `json:"shards,omitempty"`
-	CrossPct    int      `json:"cross_pct,omitempty"`
-	ReadOnlyPct int      `json:"readonly_pct,omitempty"`
-	DurationMs  float64  `json:"duration_ms"`
-	Commits     uint64   `json:"commits"`
-	Aborts      uint64   `json:"aborts"`
-	Busy        uint64   `json:"busy"`
-	Errors      uint64   `json:"errors"`
-	Retries     uint64   `json:"retries"`
-	ROCommits   uint64   `json:"ro_commits,omitempty"`
-	ROAborts    uint64   `json:"ro_aborts"`
+	Addr        string  `json:"addr"`
+	Substrate   string  `json:"substrate,omitempty"` // from the server's /stats when known
+	Clients     int     `json:"clients"`
+	Keys        int     `json:"keys"`
+	ReadPct     int     `json:"read_pct"`
+	OpsPerTxn   int     `json:"ops_per_txn"`
+	OpMix       string  `json:"op_mix,omitempty"`
+	Skew        float64 `json:"skew,omitempty"`
+	Interactive bool    `json:"interactive"`
+	Seed        int64   `json:"seed"`
+	Shards      int     `json:"shards,omitempty"`
+	CrossPct    int     `json:"cross_pct,omitempty"`
+	ReadOnlyPct int     `json:"readonly_pct,omitempty"`
+	DurationMs  float64 `json:"duration_ms"`
+	Commits     uint64  `json:"commits"`
+	Aborts      uint64  `json:"aborts"`
+	Busy        uint64  `json:"busy"`
+	Errors      uint64  `json:"errors"`
+	Retries     uint64  `json:"retries"`
+	ROCommits   uint64  `json:"ro_commits,omitempty"`
+	ROAborts    uint64  `json:"ro_aborts"`
+	// AbortRatio and CommuteHits deliberately never omit their zero
+	// values: "0 aborts" and "0 commute hits" are findings, not noise.
 	AbortRatio  float64  `json:"abort_ratio"`
+	CommuteHits uint64   `json:"commute_hits"`
 	Perf        PerfJSON `json:"perf"`
 }
 
@@ -268,6 +272,32 @@ type ReplBenchJSON struct {
 	Syncs      uint64   `json:"pull_syncs"`
 	MaxLag     uint64   `json:"max_lag_records"`
 	LagAtStop  uint64   `json:"lag_at_load_stop_records"`
+}
+
+// OpsBenchJSON is the BENCH_ops.json schema: the skewed hot-counter
+// workload through the typed commuting surface and through the blind
+// GET-then-PUT emulation, both certified at shutdown.
+type OpsBenchJSON struct {
+	Benchmark string        `json:"benchmark"`
+	Clients   int           `json:"clients"`
+	Keys      int           `json:"keys"`
+	OpsPerTxn int           `json:"ops_per_txn"`
+	Skew      float64       `json:"skew"`
+	Mix       string        `json:"op_mix"`
+	Seed      int64         `json:"seed"`
+	Typed     OpsSideResult `json:"typed"`
+	Blind     OpsSideResult `json:"blind_rmw"`
+}
+
+// EncodeOpsBench renders one hot-counter bench result as indented JSON.
+func EncodeOpsBench(r OpsBenchResult) ([]byte, error) {
+	return json.MarshalIndent(OpsBenchJSON{
+		Benchmark: "commutativity-aware typed operations: hot-counter abort ratio, typed vs blind RMW",
+		Clients:   r.Params.Clients, Keys: r.Params.Keys,
+		OpsPerTxn: r.Params.OpsPerTxn, Skew: r.Params.Skew,
+		Mix: r.Params.Mix, Seed: r.Params.Seed,
+		Typed: r.Typed, Blind: r.Blind,
+	}, "", "  ")
 }
 
 // SeqBenchJSON is the BENCH_seq.json schema: the same cross-shard

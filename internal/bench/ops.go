@@ -1,0 +1,305 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"pushpull/internal/kvapi"
+	"pushpull/internal/server"
+)
+
+// This file is the hot-counter benchmark: the same skewed increment
+// workload driven twice against a boosted server — once through the
+// typed operation surface (INCR-heavy one-shot transactions whose hot
+// cells commute under shared abstract locks) and once through the
+// blind read-modify-write emulation every untyped KV client is forced
+// into (interactive GET-then-PUT sessions, whose answered reads go
+// stale the moment a peer commits). Both sides shut down through the
+// full certification gate, so the abort-ratio gap is a measured
+// property of two serializable executions, not of a weakened one.
+
+// OpsBenchParams shapes the hot-counter campaign. Both legs share the
+// key range, skew, client count, and seed; only the op surface differs.
+type OpsBenchParams struct {
+	Clients   int
+	Keys      int
+	OpsPerTxn int
+	Skew      float64       // Zipf exponent (hot head at key 0)
+	Duration  time.Duration // per leg
+	MaxTxns   int           // per client per leg (0 = duration-bound)
+	Mix       string        // typed-leg op mix, ParseOpMix form
+	Seed      int64
+}
+
+func (p OpsBenchParams) withDefaults() OpsBenchParams {
+	if p.Clients <= 0 {
+		p.Clients = 32
+	}
+	if p.Keys <= 0 {
+		p.Keys = 64
+	}
+	if p.OpsPerTxn <= 0 {
+		p.OpsPerTxn = 3
+	}
+	if p.Skew == 0 {
+		p.Skew = 1.4
+	}
+	if p.Duration <= 0 {
+		p.Duration = 3 * time.Second
+	}
+	if p.Mix == "" {
+		p.Mix = "incr:80,cget:10,cas:10"
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// OpsSideResult is one leg's outcome.
+type OpsSideResult struct {
+	Commits     uint64  `json:"commits"`
+	Aborts      uint64  `json:"aborts"`
+	Busy        uint64  `json:"busy"`
+	Errors      uint64  `json:"errors"`
+	Retries     uint64  `json:"retries"`
+	CommuteHits uint64  `json:"commute_hits"`
+	AbortRatio  float64 `json:"abort_ratio"`
+	TxnPerSec   float64 `json:"txn_per_sec"`
+	DurationMs  float64 `json:"duration_ms"`
+	Certified   bool    `json:"certified"`
+}
+
+// OpsBenchResult pairs the two legs.
+type OpsBenchResult struct {
+	Params OpsBenchParams
+	Typed  OpsSideResult // typed operations, commuting hot cells
+	Blind  OpsSideResult // interactive GET-then-PUT emulation
+}
+
+func (r OpsBenchResult) String() string {
+	f := func(name string, s OpsSideResult) string {
+		return fmt.Sprintf("%-5s commits=%-7d aborts=%-7d abort_ratio=%.3f commute_hits=%-7d %.0f txn/s certified=%v",
+			name, s.Commits, s.Aborts, s.AbortRatio, s.CommuteHits, s.TxnPerSec, s.Certified)
+	}
+	return f("typed", r.Typed) + "\n" + f("blind", r.Blind)
+}
+
+// RunOpsBench runs both legs sequentially, each against a fresh
+// in-process boosted server, and certifies each server at shutdown. An
+// error is a harness or certification failure, not an abort count.
+func RunOpsBench(p OpsBenchParams) (OpsBenchResult, error) {
+	p = p.withDefaults()
+	res := OpsBenchResult{Params: p}
+
+	typed, err := runOpsLeg(p, true)
+	if err != nil {
+		return res, fmt.Errorf("bench: typed leg: %w", err)
+	}
+	res.Typed = typed
+
+	blind, err := runOpsLeg(p, false)
+	if err != nil {
+		return res, fmt.Errorf("bench: blind leg: %w", err)
+	}
+	res.Blind = blind
+	return res, nil
+}
+
+// runOpsLeg boots one boosted server, drives one leg, and tears the
+// server down through the certification gate.
+func runOpsLeg(p OpsBenchParams, typed bool) (OpsSideResult, error) {
+	s, err := server.New(server.Options{
+		Substrate: "boost", Keys: p.Keys, Seed: p.Seed,
+		MaxInflight: 2 * p.Clients, MaxQueue: 4 * p.Clients,
+	})
+	if err != nil {
+		return OpsSideResult{}, err
+	}
+	bound, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		return OpsSideResult{}, err
+	}
+	addr := bound.String()
+	defer s.Stop()
+
+	var out OpsSideResult
+	start := time.Now()
+	if typed {
+		mix, err := kvapi.ParseOpMix(p.Mix)
+		if err != nil {
+			return out, err
+		}
+		lr, err := kvapi.RunLoad(kvapi.LoadParams{
+			Addr: addr, Clients: p.Clients, Duration: p.Duration,
+			MaxTxns: p.MaxTxns, Keys: p.Keys, OpsPerTxn: p.OpsPerTxn,
+			OpMix: mix, Skew: p.Skew, Seed: p.Seed,
+		})
+		if err != nil {
+			return out, err
+		}
+		out = OpsSideResult{
+			Commits: lr.Commits, Aborts: lr.Aborts, Busy: lr.Busy,
+			Errors: lr.Errors, Retries: lr.Retries, CommuteHits: lr.CommuteHits,
+		}
+	} else {
+		out, err = runBlindRMW(addr, p)
+		if err != nil {
+			return out, err
+		}
+	}
+	out.DurationMs = float64(time.Since(start).Milliseconds())
+	if out.Commits > 0 {
+		out.AbortRatio = float64(out.Aborts) / float64(out.Commits+out.Aborts)
+		out.TxnPerSec = float64(out.Commits) / (out.DurationMs / 1000)
+	}
+
+	s.Stop()
+	if err := s.LeakCheck(); err != nil {
+		return out, err
+	}
+	if err := s.FinalCheck(); err != nil {
+		return out, err
+	}
+	out.Certified = true
+	return out, nil
+}
+
+// runBlindRMW is the untyped emulation of the increment workload: each
+// transaction opens an interactive session and, per key, reads the
+// counter and writes back value+1 — the answered read makes the
+// session's fate hinge on no peer committing the same key first.
+func runBlindRMW(addr string, p OpsBenchParams) (OpsSideResult, error) {
+	var (
+		mu  sync.Mutex
+		out OpsSideResult
+	)
+	// Confine keys to the typed leg's counter partition so both legs
+	// hammer the same hot cells.
+	ctrN := p.Keys / 2
+	if ctrN < 1 {
+		ctrN = 1
+	}
+	deadline := time.Now().Add(p.Duration)
+	errs := make([]error, p.Clients)
+	var wg sync.WaitGroup
+	for i := 0; i < p.Clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			var t OpsSideResult
+			errs[id] = blindClient(addr, p, id, ctrN, deadline, &t)
+			mu.Lock()
+			out.Commits += t.Commits
+			out.Aborts += t.Aborts
+			out.Busy += t.Busy
+			out.Errors += t.Errors
+			out.Retries += t.Retries
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+func blindClient(addr string, p OpsBenchParams, id, ctrN int, deadline time.Time, t *OpsSideResult) error {
+	c, err := kvapi.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	rng := rand.New(rand.NewSource(p.Seed + int64(id)*7919))
+	var zipf *rand.Zipf
+	if p.Skew > 1 && p.Keys > 1 {
+		zipf = rand.NewZipf(rng, p.Skew, 1, uint64(p.Keys-1))
+	}
+	pick := func() uint64 {
+		k := uint64(rng.Intn(p.Keys))
+		if zipf != nil {
+			k = zipf.Uint64()
+		}
+		return k % uint64(ctrN)
+	}
+
+	for n := 0; time.Now().Before(deadline); n++ {
+		if p.MaxTxns > 0 && n >= p.MaxTxns {
+			break
+		}
+		if err := blindTxn(c, p, pick, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// blindTxn is one GET-then-PUT increment transaction over an
+// interactive session; a non-OK mid-session status is one abort (the
+// server closes the session).
+func blindTxn(c *kvapi.Client, p OpsBenchParams, pick func() uint64, t *OpsSideResult) error {
+	for {
+		resp, err := c.Begin()
+		if err != nil {
+			return err
+		}
+		if resp.Status == kvapi.StatusBusy {
+			t.Busy++
+			time.Sleep(time.Duration(resp.RetryAfterMs) * time.Millisecond)
+			continue
+		}
+		if resp.Status != kvapi.StatusOK {
+			t.Errors++
+			return nil
+		}
+		break
+	}
+	for j := 0; j < p.OpsPerTxn; j++ {
+		key := pick()
+		resp, err := c.Get(key)
+		if err != nil {
+			return err
+		}
+		t.Retries += uint64(resp.Retries)
+		if resp.Status != kvapi.StatusOK {
+			return blindEnd(resp.Status, t)
+		}
+		val := int64(0)
+		if len(resp.Results) > 0 {
+			val = resp.Results[0].Val
+		}
+		resp, err = c.Put(key, val+1)
+		if err != nil {
+			return err
+		}
+		t.Retries += uint64(resp.Retries)
+		if resp.Status != kvapi.StatusOK {
+			return blindEnd(resp.Status, t)
+		}
+	}
+	resp, err := c.Commit()
+	if err != nil {
+		return err
+	}
+	t.Retries += uint64(resp.Retries)
+	if resp.Status == kvapi.StatusOK {
+		t.Commits++
+		return nil
+	}
+	return blindEnd(resp.Status, t)
+}
+
+func blindEnd(status kvapi.Status, t *OpsSideResult) error {
+	if status == kvapi.StatusAborted {
+		t.Aborts++
+	} else {
+		t.Errors++
+	}
+	return nil
+}

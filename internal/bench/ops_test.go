@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"pushpull/internal/kvapi"
+)
+
+// TestOpsBenchSmoke runs a short hot-counter campaign — both legs,
+// certified shutdowns — and checks the shape of the result: the typed
+// leg commits through the commuting surface, the blind leg pays for
+// its answered reads, and the JSON encoding never omits the zero-able
+// observables (abort_ratio, commute_hits).
+func TestOpsBenchSmoke(t *testing.T) {
+	res, err := RunOpsBench(OpsBenchParams{
+		Clients: 4, Keys: 16, OpsPerTxn: 2, Skew: 1.4,
+		Duration: 300 * time.Millisecond, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Typed.Commits == 0 {
+		t.Fatal("typed leg committed nothing")
+	}
+	if res.Blind.Commits == 0 {
+		t.Fatal("blind leg committed nothing")
+	}
+	if !res.Typed.Certified || !res.Blind.Certified {
+		t.Fatalf("uncertified legs: typed=%v blind=%v",
+			res.Typed.Certified, res.Blind.Certified)
+	}
+	if res.Typed.AbortRatio > res.Blind.AbortRatio {
+		t.Fatalf("typed abort ratio %.3f exceeds blind %.3f on a hot-counter load",
+			res.Typed.AbortRatio, res.Blind.AbortRatio)
+	}
+
+	out, err := EncodeOpsBench(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero is a finding here, not noise: both fields must survive
+	// encoding even when they are 0.
+	for _, field := range []string{`"abort_ratio"`, `"commute_hits"`, `"typed"`, `"blind_rmw"`} {
+		if !strings.Contains(string(out), field) {
+			t.Fatalf("encoded summary omits %s:\n%s", field, out)
+		}
+	}
+	var back OpsBenchJSON
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if back.Typed.Commits != res.Typed.Commits || back.Blind.Aborts != res.Blind.Aborts {
+		t.Fatalf("round-trip drifted: %+v", back)
+	}
+}
+
+// TestParseOpMixRejectsUnknown pins the load generator's mix parser on
+// its error path: an unknown op name or a malformed weight is a usage
+// error, not a silently dropped term.
+func TestParseOpMixRejectsUnknown(t *testing.T) {
+	for _, bad := range []string{"incr", "frob:50", "incr:x", "incr:-3", "incr:0,cget:0"} {
+		if _, err := kvapi.ParseOpMix(bad); err == nil {
+			t.Errorf("ParseOpMix(%q) accepted", bad)
+		}
+	}
+	mix, err := kvapi.ParseOpMix("incr:70,cget:20,cas:10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix == nil {
+		t.Fatal("valid mix parsed to nil")
+	}
+}

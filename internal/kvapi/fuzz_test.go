@@ -19,6 +19,17 @@ func FuzzDecodeRequest(f *testing.F) {
 		{Type: MsgGet, Key: 1<<63 - 1},
 		{Type: MsgPut, Key: 7, Val: -42},
 		{Type: MsgReplPoll, Stream: 4, Seg: 2, Off: 8190, Max: 1 << 16},
+		{Type: MsgTxn, Ops: []Op{
+			{Kind: OpAdd, Key: 1, Val: 5},
+			{Kind: OpCGet, Key: 1},
+			{Kind: OpWd, Key: 1, Val: 2},
+			{Kind: OpCAS, Key: 2, Val: 0, Arg: 9},
+			{Kind: OpSAdd, Key: 3, Val: 7},
+			{Kind: OpSRem, Key: 3, Val: 7},
+			{Kind: OpSCont, Key: 3, Val: 7},
+			{Kind: OpQPush, Key: 4, Val: -3},
+			{Kind: OpQPop, Key: 4},
+		}, Session: 9, Seq: 1},
 	}
 	for _, r := range seeds {
 		f.Add(AppendRequest(nil, r))
@@ -26,6 +37,8 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{byte(MsgTxn), 0xff, 0xff, 0xff, 0xff, 0xff})
 	f.Add(AppendRequest(nil, seeds[1])[:5])
+	// One past the last known kind: must stay a total-decode error.
+	f.Add([]byte{byte(MsgTxn), 1, byte(opKindCount), 3, 0, 0, 0})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, err := DecodeRequest(data)
@@ -52,6 +65,7 @@ func FuzzDecodeResponse(f *testing.F) {
 		{Status: StatusBusy, RetryAfterMs: 15, Msg: "queue full"},
 		{Status: StatusRedirect, Redirect: "127.0.0.1:7001"},
 		{Status: StatusOK, Data: []byte{1, 2, 3}, More: true, Next: true, Appends: 42},
+		{Status: StatusOK, Results: []Result{{Val: 12, Found: true}}, CommuteHits: 3},
 	}
 	for _, r := range seeds {
 		f.Add(AppendResponse(nil, r))

@@ -18,12 +18,15 @@ type TxnRequestJSON struct {
 	Seq     uint64 `json:"seq,omitempty"`
 }
 
-// OpJSON is one operation: {"op":"get","key":7} or
-// {"op":"put","key":7,"val":42}.
+// OpJSON is one operation: {"op":"get","key":7},
+// {"op":"put","key":7,"val":42}, a typed op like
+// {"op":"incr","key":7,"val":1}, or {"op":"cas","key":7,"val":0,"arg":9}
+// (val=expect, arg=new).
 type OpJSON struct {
 	Op  string `json:"op"`
 	Key uint64 `json:"key"`
 	Val int64  `json:"val,omitempty"`
+	Arg int64  `json:"arg,omitempty"`
 }
 
 // TxnResponseJSON is the body answering POST /txn.
@@ -50,16 +53,23 @@ type ResultJSON struct {
 func (r TxnRequestJSON) WireOps() ([]Op, error) {
 	ops := make([]Op, 0, len(r.Ops))
 	for i, o := range r.Ops {
-		switch o.Op {
-		case "get":
-			ops = append(ops, Op{Kind: OpGet, Key: o.Key})
-		case "put":
-			ops = append(ops, Op{Kind: OpPut, Key: o.Key, Val: o.Val})
-		default:
-			return nil, fmt.Errorf("kvapi: op %d: unknown op %q (want get|put)", i, o.Op)
+		kind, ok := opKindByName(o.Op)
+		if !ok {
+			return nil, fmt.Errorf("kvapi: op %d: unknown op %q (want get|put|incr|cget|wd|cas|sadd|srem|scont|qpush|qpop)", i, o.Op)
 		}
+		ops = append(ops, Op{Kind: kind, Key: o.Key, Val: o.Val, Arg: o.Arg})
 	}
 	return ops, nil
+}
+
+// opKindByName inverts OpKind.String for the JSON mirror and -op-mix.
+func opKindByName(name string) (OpKind, bool) {
+	for k := OpKind(0); k < opKindCount; k++ {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
 }
 
 // ToJSON converts a wire response to its JSON mirror.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -48,6 +50,45 @@ type LoadParams struct {
 	// home shard (the fast path). Zero leaves key choice unshaped.
 	Shards   int
 	CrossPct int
+	// OpMix, when non-empty, draws every read-write transaction's ops
+	// from this weighted typed-op mix instead of the ReadPct get/put
+	// split (ParseOpMix parses the "incr:70,cget:20,cas:10" flag form).
+	// Typed keys are partitioned by family — counters on [0, Keys/2),
+	// sets on [Keys/2, 3·Keys/4), queues on the rest — so a draw never
+	// hits a cell of another kind. Declared read-only transactions
+	// under a mix issue cget-only snapshots.
+	OpMix []OpMixEntry
+}
+
+// OpMixEntry weights one op kind in a typed mix.
+type OpMixEntry struct {
+	Kind   OpKind
+	Weight int
+}
+
+// ParseOpMix parses "incr:70,cget:20,cas:10" into mix entries. Weights
+// are relative; names are OpKind.String names.
+func ParseOpMix(s string) ([]OpMixEntry, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var mix []OpMixEntry
+	for _, part := range strings.Split(s, ",") {
+		name, wstr, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("kvapi: op-mix entry %q: want name:weight", part)
+		}
+		kind, known := opKindByName(strings.TrimSpace(name))
+		if !known {
+			return nil, fmt.Errorf("kvapi: op-mix entry %q: unknown op %q", part, name)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(wstr))
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("kvapi: op-mix entry %q: bad weight", part)
+		}
+		mix = append(mix, OpMixEntry{Kind: kind, Weight: w})
+	}
+	return mix, nil
 }
 
 func (p LoadParams) withDefaults() LoadParams {
@@ -90,6 +131,11 @@ type LoadResult struct {
 	// under test is that ROAborts stays zero under any contention.
 	ROCommits uint64
 	ROAborts  uint64 // any non-OK outcome on the read-only path
+
+	// CommuteHits sums the servers' per-transaction commute-hit counts:
+	// typed operations that shared their cell's abstract lock with
+	// other live transactions instead of conflicting.
+	CommuteHits uint64
 }
 
 // Throughput is committed transactions per second.
@@ -109,6 +155,9 @@ func (r LoadResult) String() string {
 	if r.Params.ReadOnlyPct > 0 {
 		s += fmt.Sprintf("  ro_commits=%d ro_aborts=%d", r.ROCommits, r.ROAborts)
 	}
+	if len(r.Params.OpMix) > 0 {
+		s += fmt.Sprintf("  commute_hits=%d", r.CommuteHits)
+	}
 	return s
 }
 
@@ -116,6 +165,7 @@ func (r LoadResult) String() string {
 type clientTally struct {
 	commits, aborts, busy, errs, retries uint64
 	roCommits, roAborts                  uint64
+	commuteHits                          uint64
 	lats                                 []time.Duration
 	err                                  error // transport failure, fatal for the campaign
 }
@@ -154,6 +204,7 @@ func RunLoad(p LoadParams) (LoadResult, error) {
 		res.Retries += t.retries
 		res.ROCommits += t.roCommits
 		res.ROAborts += t.roAborts
+		res.CommuteHits += t.commuteHits
 		all = append(all, t.lats...)
 	}
 	res.P50, res.P95, res.P99 = quantiles(all)
@@ -181,6 +232,11 @@ func runClient(p LoadParams, id int, deadline time.Time) clientTally {
 		return uint64(rng.Intn(p.Keys))
 	}
 
+	mixTotal := 0
+	for _, e := range p.OpMix {
+		mixTotal += e.Weight
+	}
+
 	for n := 0; time.Now().Before(deadline); n++ {
 		if p.MaxTxns > 0 && n >= p.MaxTxns {
 			break
@@ -189,9 +245,15 @@ func runClient(p LoadParams, id int, deadline time.Time) clientTally {
 		readOnly := p.ReadOnlyPct > 0 && rng.Intn(100) < p.ReadOnlyPct
 		ops := make([]Op, p.OpsPerTxn)
 		for j := range ops {
-			if readOnly || rng.Intn(100) < p.ReadPct {
+			switch {
+			case mixTotal > 0 && readOnly:
+				// Typed read-only snapshots read counters.
+				ops[j] = Op{Kind: OpCGet, Key: typedKeyFor(OpCGet, keys[j], p.Keys)}
+			case mixTotal > 0:
+				ops[j] = drawTypedOp(p, rng, keys[j], mixTotal)
+			case readOnly || rng.Intn(100) < p.ReadPct:
 				ops[j] = Op{Kind: OpGet, Key: keys[j]}
-			} else {
+			default:
 				ops[j] = Op{Kind: OpPut, Key: keys[j], Val: rng.Int63n(1 << 20)}
 			}
 		}
@@ -213,6 +275,68 @@ func runClient(p LoadParams, id int, deadline time.Time) clientTally {
 		t.lats = append(t.lats, time.Since(t0))
 	}
 	return t
+}
+
+// typedKeyFor confines a raw key draw to its family's partition of the
+// keyspace: counters on [0, Keys/2), sets on [Keys/2, 3·Keys/4),
+// queues on [3·Keys/4, Keys). The hot head of a zipf draw (key 0)
+// lands in the counter range, which is where the commuting ops live.
+func typedKeyFor(kind OpKind, k uint64, keys int) uint64 {
+	ctrN := keys / 2
+	if ctrN < 1 {
+		ctrN = 1
+	}
+	setN := keys / 4
+	if setN < 1 {
+		setN = 1
+	}
+	qN := keys - ctrN - setN
+	if qN < 1 {
+		qN = 1
+	}
+	switch kind {
+	case OpSAdd, OpSRem, OpSCont:
+		return uint64(ctrN) + k%uint64(setN)
+	case OpQPush, OpQPop:
+		return uint64(ctrN+setN) + k%uint64(qN)
+	case OpGet, OpPut:
+		return k
+	default:
+		return k % uint64(ctrN)
+	}
+}
+
+// drawTypedOp draws one op from the weighted mix and shapes its
+// operands: incr adds 1 (the hot-counter op), wd withdraws 1, cas
+// swings between small values, set members and queue values are small
+// draws.
+func drawTypedOp(p LoadParams, rng *rand.Rand, key uint64, mixTotal int) Op {
+	w := rng.Intn(mixTotal)
+	kind := p.OpMix[len(p.OpMix)-1].Kind
+	for _, e := range p.OpMix {
+		if w < e.Weight {
+			kind = e.Kind
+			break
+		}
+		w -= e.Weight
+	}
+	op := Op{Kind: kind, Key: typedKeyFor(kind, key, p.Keys)}
+	switch kind {
+	case OpPut:
+		op.Val = rng.Int63n(1 << 20)
+	case OpAdd:
+		op.Val = 1
+	case OpWd:
+		op.Val = 1
+	case OpCAS:
+		op.Val = rng.Int63n(4)
+		op.Arg = rng.Int63n(4)
+	case OpSAdd, OpSRem, OpSCont:
+		op.Val = rng.Int63n(16)
+	case OpQPush:
+		op.Val = rng.Int63n(1 << 10)
+	}
+	return op
 }
 
 // pickKeys draws one transaction's key footprint. Unsharded (or
@@ -263,6 +387,7 @@ func runOneShot(c *Client, ops []Op, t *clientTally) error {
 		switch resp.Status {
 		case StatusOK:
 			t.commits++
+			t.commuteHits += resp.CommuteHits
 			return nil
 		case StatusAborted:
 			t.aborts++

@@ -77,20 +77,90 @@ func (t MsgType) String() string {
 	}
 }
 
-// OpKind discriminates operations inside a MsgTxn.
+// OpKind discriminates operations inside a MsgTxn. Kinds ≥ OpAdd are
+// the typed operations of internal/ops (the numeric values match
+// ops.Code exactly); they execute against the typed "ops" keyspace,
+// disjoint from the blind GET/PUT map — get k and cget k are different
+// cells.
 type OpKind byte
 
 // Operation kinds.
 const (
 	OpGet OpKind = iota
 	OpPut
+	// OpAdd: add Val to counter Key (INCR is Val=1); returns 0.
+	OpAdd
+	// OpCGet: read counter Key.
+	OpCGet
+	// OpWd: withdraw Val from counter Key; aborts (after retries) while
+	// the balance is below Val — the partial-operation boundary.
+	OpWd
+	// OpCAS: compare-and-set counter Key from Val (expect) to Arg
+	// (new); returns the old value. The non-commuting control.
+	OpCAS
+	// OpSAdd: blind-insert member Val into set Key; returns 0.
+	OpSAdd
+	// OpSRem: blind-remove member Val from set Key; returns 0.
+	OpSRem
+	// OpSCont: membership of Val in set Key (1/0).
+	OpSCont
+	// OpQPush: enqueue Val onto queue Key; returns 0.
+	OpQPush
+	// OpQPop: dequeue the front of queue Key; aborts while empty.
+	OpQPop
+
+	// opKindCount bounds the kind space for total decoding.
+	opKindCount
 )
+
+func (k OpKind) String() string {
+	switch k {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpAdd:
+		return "incr"
+	case OpCGet:
+		return "cget"
+	case OpWd:
+		return "wd"
+	case OpCAS:
+		return "cas"
+	case OpSAdd:
+		return "sadd"
+	case OpSRem:
+		return "srem"
+	case OpSCont:
+		return "scont"
+	case OpQPush:
+		return "qpush"
+	case OpQPop:
+		return "qpop"
+	default:
+		return fmt.Sprintf("op(%d)", byte(k))
+	}
+}
+
+// opVals is each kind's payload operand count after the key: Val, then
+// Arg. Only OpCAS carries two (Val=expect, Arg=new).
+func opVals(k OpKind) int {
+	switch k {
+	case OpGet, OpCGet, OpQPop:
+		return 0
+	case OpCAS:
+		return 2
+	default:
+		return 1
+	}
+}
 
 // Op is one KV operation.
 type Op struct {
 	Kind OpKind
 	Key  uint64
-	Val  int64 // puts only
+	Val  int64 // first operand (put value, delta, member, expect, ...)
+	Arg  int64 // second operand (OpCAS: the new value)
 }
 
 // Request is one client message.
@@ -205,6 +275,11 @@ type Response struct {
 	// was served and certified at (0 for read-write transactions; on
 	// multi-shard cuts, the coordinator shard's watermark).
 	Snapshot uint64
+	// CommuteHits counts this transaction's typed operations that
+	// JOINED other live holders of their cell's abstract lock under a
+	// shared commute class — operations that would have conflicted on
+	// the blind GET/PUT path.
+	CommuteHits uint64
 }
 
 // MaxFrame bounds one message's body; anything larger is a protocol
@@ -251,8 +326,11 @@ func AppendRequest(b []byte, r Request) []byte {
 		for _, op := range r.Ops {
 			b = append(b, byte(op.Kind))
 			b = binary.AppendUvarint(b, op.Key)
-			if op.Kind == OpPut {
+			if n := opVals(op.Kind); n >= 1 {
 				b = binary.AppendVarint(b, op.Val)
+				if n == 2 {
+					b = binary.AppendVarint(b, op.Arg)
+				}
 			}
 		}
 		b = binary.AppendUvarint(b, r.Session)
@@ -298,15 +376,20 @@ func DecodeRequest(b []byte) (Request, error) {
 			}
 			op := Op{Kind: OpKind(b[0])}
 			b = b[1:]
-			if op.Kind != OpGet && op.Kind != OpPut {
+			if op.Kind >= opKindCount {
 				return r, fmt.Errorf("kvapi: unknown op kind %d", op.Kind)
 			}
 			if op.Key, b, err = takeUvarint(b); err != nil {
 				return r, err
 			}
-			if op.Kind == OpPut {
+			if n := opVals(op.Kind); n >= 1 {
 				if op.Val, b, err = takeVarint(b); err != nil {
 					return r, err
+				}
+				if n == 2 {
+					if op.Arg, b, err = takeVarint(b); err != nil {
+						return r, err
+					}
 				}
 			}
 			r.Ops = append(r.Ops, op)
@@ -393,6 +476,7 @@ func AppendResponse(b []byte, r Response) []byte {
 	b = binary.AppendUvarint(b, uint64(len(r.Redirect)))
 	b = append(b, r.Redirect...)
 	b = binary.AppendUvarint(b, r.Snapshot)
+	b = binary.AppendUvarint(b, r.CommuteHits)
 	return b
 }
 
@@ -469,6 +553,9 @@ func DecodeResponse(b []byte) (Response, error) {
 	r.Redirect = string(b[:u])
 	b = b[u:]
 	if r.Snapshot, b, err = takeUvarint(b); err != nil {
+		return r, err
+	}
+	if r.CommuteHits, b, err = takeUvarint(b); err != nil {
 		return r, err
 	}
 	if len(b) != 0 {

@@ -3,12 +3,20 @@
 // over (object, key) pairs so that only commutative operations proceed
 // in parallel.
 //
-// Key operations take a shared intent lock on the object plus an
-// exclusive lock on their key; whole-object operations (size) take the
-// object lock exclusively. Acquisition is try-lock style with owner
-// bookkeeping, so cooperative drivers implement timeout/wait-die abort
-// policies on top, exactly as boosted transactions abort on lock
-// timeout to avoid deadlock.
+// Key operations take a shared intent lock on the object plus a lock on
+// their key; whole-object operations (size) take the object lock
+// exclusively. Acquisition is try-lock style with owner bookkeeping, so
+// cooperative drivers implement timeout/wait-die abort policies on top,
+// exactly as boosted transactions abort on lock timeout to avoid
+// deadlock.
+//
+// Key locks come in two modes. The default (TryAcquire) is exclusive:
+// one owner at a time, re-entrant. TryAcquireClass additionally admits
+// commute classes: any number of owners may hold the same key
+// concurrently provided they all declared the same non-empty class —
+// the lock-level realization of an ADT commutativity judgment ("two
+// unit-returning adds to one counter commute"), so commuting typed
+// operations need not conflict while everything else still does.
 //
 // The manager is also usable under real concurrency (internal/stm/boost)
 // — all state is guarded by an internal mutex and waiting is the
@@ -29,6 +37,9 @@ type Owner uint64
 // None is the zero Owner, held by nobody.
 const None Owner = 0
 
+// Exclusive is the empty commute class: no sharing.
+const Exclusive = ""
+
 // Key identifies one abstract lock: an object instance and a key within
 // it. Whole-object locks use the object's entry with WholeObject true.
 type Key struct {
@@ -44,15 +55,23 @@ func (k Key) String() string {
 	return fmt.Sprintf("%s/%d", k.Obj, k.K)
 }
 
+// keyHold is one key's lock state: the commute class every current
+// holder agreed on ("" = exclusive, at most one owner) and per-owner
+// hold counts for re-entrancy.
+type keyHold struct {
+	class  string
+	owners map[Owner]int
+}
+
 type objLocks struct {
 	// exclusive whole-object owner, if any
 	objOwner Owner
-	// shared intent holders: owner -> count of key locks held
+	// wholeHolds counts re-entrant whole-object holds.
+	wholeHolds int
+	// shared intent holders: owner -> count of key holds
 	intent map[Owner]int
-	// per-key exclusive owners (re-entrant per owner)
-	keys map[int64]Owner
-	// per-key hold counts for re-entrancy
-	holds map[int64]int
+	// per-key lock state
+	keys map[int64]*keyHold
 }
 
 // Manager is the abstract lock table.
@@ -69,17 +88,31 @@ func NewManager() *Manager {
 func (m *Manager) obj(name string) *objLocks {
 	ol, ok := m.objs[name]
 	if !ok {
-		ol = &objLocks{intent: make(map[Owner]int), keys: make(map[int64]Owner), holds: make(map[int64]int)}
+		ol = &objLocks{intent: make(map[Owner]int), keys: make(map[int64]*keyHold)}
 		m.objs[name] = ol
 	}
 	return ol
 }
 
-// TryAcquire attempts to take the lock for owner. It is re-entrant:
-// re-acquiring a held lock succeeds and increments the hold count.
-// It returns false (without blocking or partial effects) when the lock
-// conflicts with another owner.
+// TryAcquire attempts to take the lock for owner in exclusive mode. It
+// is re-entrant: re-acquiring a held lock succeeds and increments the
+// hold count. It returns false (without blocking or partial effects)
+// when the lock conflicts with another owner.
 func (m *Manager) TryAcquire(o Owner, k Key) bool {
+	ok, _ := m.TryAcquireClass(o, k, Exclusive)
+	return ok
+}
+
+// TryAcquireClass attempts to take the lock for owner under a commute
+// class. A non-empty class is a sharing ticket: owners whose operations
+// commute declare the same class and hold the key together; class
+// Exclusive ("") admits one owner only. Re-acquisition by the sole
+// holder under a different class escalates the key to exclusive (the
+// owner's operations no longer all commute with one class, so nobody
+// else may join). shared reports whether the acquisition joined other
+// live holders — a commute hit: the acquisition that would have
+// conflicted on an exclusive-only table.
+func (m *Manager) TryAcquireClass(o Owner, k Key, class string) (ok, shared bool) {
 	if o == None {
 		panic("locks: owner 0 is reserved")
 	}
@@ -89,32 +122,51 @@ func (m *Manager) TryAcquire(o Owner, k Key) bool {
 	if k.WholeObject {
 		// Conflicts with any other owner's object lock or intent.
 		if ol.objOwner != None && ol.objOwner != o {
-			return false
+			return false, false
 		}
 		for other, n := range ol.intent {
 			if other != o && n > 0 {
-				return false
+				return false, false
 			}
 		}
 		ol.objOwner = o
-		ol.holds[allKeysSentinel]++
-		return true
+		ol.wholeHolds++
+		return true, false
 	}
-	// Key lock: conflicts with another owner's whole-object lock or the
-	// key's exclusive owner.
+	// Key lock: conflicts with another owner's whole-object lock, and
+	// with the key's holders unless everyone shares one commute class.
 	if ol.objOwner != None && ol.objOwner != o {
-		return false
+		return false, false
 	}
-	if cur := ol.keys[k.K]; cur != None && cur != o {
-		return false
+	kh := ol.keys[k.K]
+	if kh == nil {
+		ol.keys[k.K] = &keyHold{class: class, owners: map[Owner]int{o: 1}}
+		ol.intent[o]++
+		return true, false
 	}
-	ol.keys[k.K] = o
-	ol.holds[k.K]++
+	others := len(kh.owners)
+	if kh.owners[o] > 0 {
+		others--
+	}
+	if kh.owners[o] > 0 && others == 0 {
+		// Sole holder re-entering: always allowed; a different class
+		// escalates to exclusive.
+		if kh.class != class {
+			kh.class = Exclusive
+		}
+		kh.owners[o]++
+		ol.intent[o]++
+		return true, false
+	}
+	// Other owners hold the key: join only under the matching shared
+	// class.
+	if class == Exclusive || kh.class != class {
+		return false, false
+	}
+	kh.owners[o]++
 	ol.intent[o]++
-	return true
+	return true, true
 }
-
-const allKeysSentinel = int64(-1) << 62
 
 // Release drops one hold of the lock. Releasing a lock not held by o
 // panics: that is a driver bug, not a recoverable condition.
@@ -126,20 +178,23 @@ func (m *Manager) Release(o Owner, k Key) {
 		if ol.objOwner != o {
 			panic(fmt.Sprintf("locks: %v releasing whole-object %s held by %v", o, k.Obj, ol.objOwner))
 		}
-		ol.holds[allKeysSentinel]--
-		if ol.holds[allKeysSentinel] == 0 {
+		ol.wholeHolds--
+		if ol.wholeHolds == 0 {
 			ol.objOwner = None
 		}
 		return
 	}
-	if ol.keys[k.K] != o {
-		panic(fmt.Sprintf("locks: %v releasing %v held by %v", o, k, ol.keys[k.K]))
+	kh := ol.keys[k.K]
+	if kh == nil || kh.owners[o] == 0 {
+		panic(fmt.Sprintf("locks: %v releasing %v it does not hold", o, k))
 	}
-	ol.holds[k.K]--
+	kh.owners[o]--
 	ol.intent[o]--
-	if ol.holds[k.K] == 0 {
-		delete(ol.keys, k.K)
-		delete(ol.holds, k.K)
+	if kh.owners[o] == 0 {
+		delete(kh.owners, o)
+		if len(kh.owners) == 0 {
+			delete(ol.keys, k.K)
+		}
 	}
 	if ol.intent[o] == 0 {
 		delete(ol.intent, o)
@@ -160,16 +215,18 @@ func (m *Manager) ReleaseAll(o Owner) int {
 	for _, name := range names {
 		ol := m.objs[name]
 		if ol.objOwner == o {
-			released += ol.holds[allKeysSentinel]
-			ol.holds[allKeysSentinel] = 0
+			released += ol.wholeHolds
+			ol.wholeHolds = 0
 			ol.objOwner = None
 		}
-		for key, owner := range ol.keys {
-			if owner == o {
-				released += ol.holds[key]
-				ol.intent[o] -= ol.holds[key]
-				delete(ol.keys, key)
-				delete(ol.holds, key)
+		for key, kh := range ol.keys {
+			if n := kh.owners[o]; n > 0 {
+				released += n
+				ol.intent[o] -= n
+				delete(kh.owners, o)
+				if len(kh.owners) == 0 {
+					delete(ol.keys, key)
+				}
 			}
 		}
 		if ol.intent[o] <= 0 {
@@ -190,11 +247,13 @@ func (m *Manager) Holds(o Owner, k Key) bool {
 	if k.WholeObject {
 		return ol.objOwner == o
 	}
-	return ol.keys[k.K] == o
+	kh := ol.keys[k.K]
+	return kh != nil && kh.owners[o] > 0
 }
 
-// OwnerOf returns the current exclusive owner of the lock (None if
-// free). Whole-object queries report the object owner.
+// OwnerOf returns the current sole owner of the lock (None if free or
+// held by several commuting owners). Whole-object queries report the
+// object owner.
 func (m *Manager) OwnerOf(k Key) Owner {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -205,7 +264,14 @@ func (m *Manager) OwnerOf(k Key) Owner {
 	if k.WholeObject {
 		return ol.objOwner
 	}
-	return ol.keys[k.K]
+	kh := ol.keys[k.K]
+	if kh == nil || len(kh.owners) != 1 {
+		return None
+	}
+	for o := range kh.owners {
+		return o
+	}
+	return None
 }
 
 // HeldCount returns the total number of holds across all owners —
@@ -216,8 +282,11 @@ func (m *Manager) HeldCount() int {
 	defer m.mu.Unlock()
 	n := 0
 	for _, ol := range m.objs {
-		for _, c := range ol.holds {
-			n += c
+		n += ol.wholeHolds
+		for _, kh := range ol.keys {
+			for _, c := range kh.owners {
+				n += c
+			}
 		}
 	}
 	return n
@@ -233,8 +302,8 @@ func (m *Manager) HeldOwners() []Owner {
 		if ol.objOwner != None {
 			seen[ol.objOwner] = true
 		}
-		for _, o := range ol.keys {
-			if o != None {
+		for _, kh := range ol.keys {
+			for o := range kh.owners {
 				seen[o] = true
 			}
 		}
@@ -255,14 +324,16 @@ func (m *Manager) Clone() *Manager {
 	for name, ol := range m.objs {
 		col := c.obj(name)
 		col.objOwner = ol.objOwner
+		col.wholeHolds = ol.wholeHolds
 		for o, n := range ol.intent {
 			col.intent[o] = n
 		}
-		for k, o := range ol.keys {
-			col.keys[k] = o
-		}
-		for k, n := range ol.holds {
-			col.holds[k] = n
+		for k, kh := range ol.keys {
+			ckh := &keyHold{class: kh.class, owners: make(map[Owner]int, len(kh.owners))}
+			for o, n := range kh.owners {
+				ckh.owners[o] = n
+			}
+			col.keys[k] = ckh
 		}
 	}
 	return c

@@ -5,6 +5,7 @@ import (
 
 	"pushpull/internal/adt"
 	"pushpull/internal/core"
+	"pushpull/internal/ops"
 	"pushpull/internal/spec"
 )
 
@@ -24,6 +25,7 @@ type Applier struct {
 
 	mu      sync.Mutex
 	pending map[uint64][]pendingWrite // machine thread -> buffered writes
+	fold    DeltaFold                 // typed-counter delta resolution, in commit order
 }
 
 type pendingWrite struct {
@@ -55,21 +57,75 @@ func TranslateOp(mode Mode, op spec.Op) (Write, bool) {
 			return Write{Key: uint64(op.Args[0]), Val: op.Args[1], Present: true}, true
 		}
 	case ModeMap:
-		if op.Obj != "ht" {
-			return Write{}, false
-		}
-		switch op.Method {
-		case adt.MMapPut:
-			if len(op.Args) >= 2 {
-				return Write{Key: uint64(op.Args[0]), Val: op.Args[1], Present: true}, true
+		switch op.Obj {
+		case "ht":
+			switch op.Method {
+			case adt.MMapPut:
+				if len(op.Args) >= 2 {
+					return Write{Key: uint64(op.Args[0]), Val: op.Args[1], Present: true}, true
+				}
+			case adt.MMapRemove:
+				if len(op.Args) >= 1 {
+					return Write{Key: uint64(op.Args[0]), Present: false}, true
+				}
 			}
-		case adt.MMapRemove:
-			if len(op.Args) >= 1 {
-				return Write{Key: uint64(op.Args[0]), Present: false}, true
+		case ops.Obj:
+			// Typed counter cells fold at ops.KeyBit|k so snapshot reads
+			// of counters never collide with the blind map's keys. Adds
+			// and approved withdraws fold as deltas (two commuting
+			// increments must both land, whichever order they commit);
+			// a cas that installed folds as the absolute it wrote. Set
+			// and queue methods have no snapshot surface and fold to
+			// nothing, as do reads.
+			switch op.Method {
+			case adt.MOpsAdd:
+				if len(op.Args) >= 2 {
+					return Write{Key: ops.KeyBit | uint64(op.Args[0]), Val: op.Args[1], Present: true, Delta: true}, true
+				}
+			case adt.MOpsWd:
+				if len(op.Args) >= 2 {
+					return Write{Key: ops.KeyBit | uint64(op.Args[0]), Val: -op.Args[1], Present: true, Delta: true}, true
+				}
+			case adt.MOpsCAS:
+				if len(op.Args) >= 3 && op.Ret == op.Args[1] {
+					return Write{Key: ops.KeyBit | uint64(op.Args[0]), Val: op.Args[2], Present: true}, true
+				}
 			}
 		}
 	}
 	return Write{}, false
+}
+
+// DeltaFold resolves delta writes (typed counter arithmetic) to the
+// absolute values the Store and Shadow require, accumulating per-key
+// running totals. Callers must feed it committed write-sets in commit
+// order under their own serialization (the applier resolves under the
+// recorder-serialized commit stream, the replica under its fold lock).
+type DeltaFold struct {
+	vals map[uint64]int64
+}
+
+// Resolve rewrites writes in place: each delta becomes the new absolute
+// value of its key, and absolute writes into the typed-counter
+// namespace (a resolved cas) reset the running total.
+func (f *DeltaFold) Resolve(writes []Write) {
+	for i := range writes {
+		w := &writes[i]
+		switch {
+		case w.Delta:
+			if f.vals == nil {
+				f.vals = make(map[uint64]int64)
+			}
+			nv := f.vals[w.Key] + w.Val
+			f.vals[w.Key] = nv
+			w.Val, w.Delta = nv, false
+		case w.Present && w.Key&ops.KeyBit != 0:
+			if f.vals == nil {
+				f.vals = make(map[uint64]int64)
+			}
+			f.vals[w.Key] = w.Val
+		}
+	}
 }
 
 // Emit observes one rule transition. Cheap by contract: a map append
@@ -98,11 +154,14 @@ func (a *Applier) Emit(e core.SinkEvent) {
 		a.mu.Lock()
 		buf := a.pending[e.Tx]
 		delete(a.pending, e.Tx)
-		a.mu.Unlock()
 		writes := make([]Write, len(buf))
 		for i, pw := range buf {
 			writes[i] = pw.w
 		}
+		// Commits arrive serialized by the recorder mutex, so the delta
+		// fold accumulates in true commit order; a.mu keeps it visible.
+		a.fold.Resolve(writes)
+		a.mu.Unlock()
 		// Shadow first: Apply may cross the GC-debt threshold and call
 		// TrimTo(watermark) through the truncation hook — the shadow
 		// must already hold this commit before the bound reaches it.

@@ -1,0 +1,84 @@
+package mvcc
+
+import (
+	"testing"
+
+	"pushpull/internal/adt"
+	"pushpull/internal/ops"
+	"pushpull/internal/spec"
+)
+
+// TestTranslateTypedOps pins the typed-op projection onto the
+// version-store write-set: arithmetic folds as namespaced deltas, an
+// installed cas as a namespaced absolute, a refused cas and every
+// set/queue method (no snapshot surface) to nothing.
+func TestTranslateTypedOps(t *testing.T) {
+	mk := func(method string, ret int64, args ...int64) spec.Op {
+		return spec.Op{Obj: ops.Obj, Method: method, Args: args, Ret: ret}
+	}
+	for _, tc := range []struct {
+		name string
+		op   spec.Op
+		want Write
+		ok   bool
+	}{
+		{"add folds as delta", mk(adt.MOpsAdd, 0, 7, 5),
+			Write{Key: ops.KeyBit | 7, Val: 5, Present: true, Delta: true}, true},
+		{"wd folds as negative delta", mk(adt.MOpsWd, 0, 7, 3),
+			Write{Key: ops.KeyBit | 7, Val: -3, Present: true, Delta: true}, true},
+		{"installed cas folds absolute", mk(adt.MOpsCAS, 10, 7, 10, 99),
+			Write{Key: ops.KeyBit | 7, Val: 99, Present: true}, true},
+		{"refused cas folds to nothing", mk(adt.MOpsCAS, 4, 7, 10, 99), Write{}, false},
+		{"cget folds to nothing", mk(adt.MOpsGet, 12, 7), Write{}, false},
+		{"sadd folds to nothing", mk(adt.MOpsSAdd, 0, 7, 1), Write{}, false},
+		{"qpush folds to nothing", mk(adt.MOpsQPush, 0, 7, 1), Write{}, false},
+	} {
+		got, ok := TranslateOp(ModeMap, tc.op)
+		if ok != tc.ok || got != tc.want {
+			t.Errorf("%s: TranslateOp = (%+v, %v), want (%+v, %v)",
+				tc.name, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+// TestDeltaFoldResolve pins the commit-order delta resolution: deltas
+// accumulate into running absolutes, an absolute write into the typed
+// namespace (an installed cas) resets the running total, and writes
+// outside the namespace pass through untouched.
+func TestDeltaFoldResolve(t *testing.T) {
+	k := ops.KeyBit | 7
+	var f DeltaFold
+	steps := []struct {
+		in      Write
+		wantVal int64
+	}{
+		{Write{Key: k, Val: 5, Present: true, Delta: true}, 5},
+		{Write{Key: k, Val: 3, Present: true, Delta: true}, 8},
+		{Write{Key: k, Val: -2, Present: true, Delta: true}, 6},
+		{Write{Key: k, Val: 100, Present: true}, 100}, // cas reset
+		{Write{Key: k, Val: 1, Present: true, Delta: true}, 101},
+		{Write{Key: 7, Val: 42, Present: true}, 42}, // plain map key: untouched
+	}
+	for i, st := range steps {
+		ws := []Write{st.in}
+		f.Resolve(ws)
+		if ws[0].Delta {
+			t.Fatalf("step %d: delta survived resolution", i)
+		}
+		if ws[0].Val != st.wantVal {
+			t.Fatalf("step %d: resolved to %d, want %d", i, ws[0].Val, st.wantVal)
+		}
+	}
+
+	// Independent folds on independent keys, resolved in one batch.
+	var g DeltaFold
+	batch := []Write{
+		{Key: ops.KeyBit | 1, Val: 4, Present: true, Delta: true},
+		{Key: ops.KeyBit | 2, Val: 9, Present: true, Delta: true},
+		{Key: ops.KeyBit | 1, Val: 4, Present: true, Delta: true},
+	}
+	g.Resolve(batch)
+	if batch[0].Val != 4 || batch[1].Val != 9 || batch[2].Val != 8 {
+		t.Fatalf("batch resolved to %v", batch)
+	}
+}

@@ -51,11 +51,15 @@ func ModeFor(substrate string) Mode {
 
 // Write is one committed mutation: key (a register address in
 // ModeRegister, a full key in ModeMap), the value, and whether the key
-// is present afterwards (false = map remove, a tombstone).
+// is present afterwards (false = map remove, a tombstone). Delta marks
+// a typed-counter increment whose Val is a relative amount rather than
+// an absolute value; a DeltaFold must resolve it before the write
+// reaches a Store or Shadow (both are absolute-only).
 type Write struct {
 	Key     uint64
 	Val     int64
 	Present bool
+	Delta   bool
 }
 
 // Observer receives gauge deltas (version count, open snapshots) so a

@@ -123,6 +123,14 @@ func writeProm(w io.Writer, s Snapshot) error {
 		p("# TYPE pushpull_seq_queue_depth gauge\n")
 		p("pushpull_seq_queue_depth %d\n", s.SeqQueueDepth)
 	}
+	if s.TypedOps > 0 || s.CommuteHits > 0 {
+		p("# HELP pushpull_ops_typed_total Typed (commutativity-aware) operations executed.\n")
+		p("# TYPE pushpull_ops_typed_total counter\n")
+		p("pushpull_ops_typed_total %d\n", s.TypedOps)
+		p("# HELP pushpull_ops_commute_hits_total Typed operations that shared an abstract lock with a commuting peer.\n")
+		p("# TYPE pushpull_ops_commute_hits_total counter\n")
+		p("pushpull_ops_commute_hits_total %d\n", s.CommuteHits)
+	}
 	if s.ROCommits > 0 || s.ROAborts > 0 {
 		p("# HELP pushpull_ro_commits_total Read-only snapshot transactions served and certified.\n")
 		p("# TYPE pushpull_ro_commits_total counter\n")

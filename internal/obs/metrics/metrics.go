@@ -189,6 +189,9 @@ type Metrics struct {
 	seqBatch *Histogram    // transactions per sealed sequencer epoch
 	seqEpoch atomic.Uint64 // latest sealed epoch number (0 = none yet)
 	seqQueue atomic.Int64  // admitted-but-unsettled sequencer queue depth
+
+	typedOps    counter // typed (commutativity-aware) operations executed
+	commuteHits counter // typed ops that shared an abstract lock with a peer
 }
 
 // New returns an empty Metrics with the default bucket layouts:
@@ -442,6 +445,22 @@ func (m *Metrics) SeqBatchSealed(size int, epoch uint64) {
 // pushpull_seq_queue_depth.
 func (m *Metrics) SeqQueueAdd(delta int64) { m.seqQueue.Add(delta) }
 
+// TypedOp counts one typed (commutativity-aware) operation executed on
+// a committed transaction's final attempt; key picks the counter
+// stripe. Exported as pushpull_ops_typed_total.
+func (m *Metrics) TypedOp(key uint64) { m.typedOps.add(key) }
+
+// TypedOps reads the typed-operation total.
+func (m *Metrics) TypedOps() uint64 { return m.typedOps.Load() }
+
+// CommuteHit counts one typed operation that acquired its abstract
+// lock in a shared commute class — concurrency a read/write substrate
+// would have refused. Exported as pushpull_ops_commute_hits_total.
+func (m *Metrics) CommuteHit(key uint64) { m.commuteHits.add(key) }
+
+// CommuteHits reads the commute-hit total.
+func (m *Metrics) CommuteHits() uint64 { return m.commuteHits.Load() }
+
 // SeqEpoch reads the latest sealed epoch number.
 func (m *Metrics) SeqEpoch() uint64 { return m.seqEpoch.Load() }
 
@@ -479,6 +498,9 @@ type Snapshot struct {
 
 	SeqEpoch      uint64 `json:"seq_epoch,omitempty"`
 	SeqQueueDepth int64  `json:"seq_queue_depth,omitempty"`
+
+	TypedOps    uint64 `json:"ops_typed_total,omitempty"`
+	CommuteHits uint64 `json:"ops_commute_hits_total,omitempty"`
 
 	RetryDepth   HistogramSnapshot `json:"retry_depth"`
 	PushToCmtNs  HistogramSnapshot `json:"push_to_cmt_ns"`
@@ -558,6 +580,8 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.SeqEpoch = m.seqEpoch.Load()
 	s.SeqQueueDepth = m.seqQueue.Load()
 	s.SeqBatchSize = m.seqBatch.Snapshot()
+	s.TypedOps = m.typedOps.Load()
+	s.CommuteHits = m.commuteHits.Load()
 	m.replMu.RLock()
 	s.ReplRole = m.replRole
 	if len(m.replLag) > 0 {

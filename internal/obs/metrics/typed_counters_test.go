@@ -1,0 +1,101 @@
+package metrics_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"pushpull/internal/obs/metrics"
+)
+
+// TestTypedCountersSnapshotConsistency hammers the typed-operation
+// counters from many writers while readers snapshot and export
+// concurrently (run under -race in ci). Each reader's sequential
+// snapshots must be monotone — the striped counters only grow — and
+// the quiescent totals must account for every recorded event exactly,
+// with the hit count bounded by the op count.
+func TestTypedCountersSnapshotConsistency(t *testing.T) {
+	m := metrics.New()
+	const writers, perWriter = 8, 2000
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	readerErr := make(chan string, 4)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastOps, lastHits uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := m.Snapshot()
+				if s.TypedOps < lastOps || s.CommuteHits < lastHits {
+					select {
+					case readerErr <- "snapshot went backwards":
+					default:
+					}
+					return
+				}
+				lastOps, lastHits = s.TypedOps, s.CommuteHits
+				var sb strings.Builder
+				if err := m.WritePrometheus(&sb); err != nil {
+					select {
+					case readerErr <- err.Error():
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for i := 0; i < perWriter; i++ {
+				key := uint64(w*perWriter + i)
+				m.TypedOp(key)
+				if i%2 == 0 {
+					m.CommuteHit(key)
+				}
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-readerErr:
+		t.Fatal(msg)
+	default:
+	}
+
+	s := m.Snapshot()
+	if want := uint64(writers * perWriter); s.TypedOps != want {
+		t.Fatalf("typed ops = %d, want %d", s.TypedOps, want)
+	}
+	if want := uint64(writers * perWriter / 2); s.CommuteHits != want {
+		t.Fatalf("commute hits = %d, want %d", s.CommuteHits, want)
+	}
+	if s.CommuteHits > s.TypedOps {
+		t.Fatalf("hits %d exceed typed ops %d", s.CommuteHits, s.TypedOps)
+	}
+
+	// The Prometheus export names are the observable contract.
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{"pushpull_ops_typed_total", "pushpull_ops_commute_hits_total"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("export missing %s:\n%s", name, out)
+		}
+	}
+}

@@ -63,8 +63,9 @@ type Replica struct {
 	coordSess  map[uint64]recovery.SessionEntry
 	leaseEpoch uint64
 	mode       mvcc.Mode
-	stores     []*mvcc.Store  // per-shard committed version chains
-	certs      []*mvcc.Shadow // per-shard independent read certifiers
+	stores     []*mvcc.Store     // per-shard committed version chains
+	certs      []*mvcc.Shadow    // per-shard independent read certifiers
+	folds      []*mvcc.DeltaFold // per-shard typed-counter delta resolution
 
 	dups     uint64
 	gaps     uint64
@@ -88,6 +89,7 @@ func NewReplica(cfg Config) *Replica {
 		st.OnTruncate(sh.TrimTo)
 		r.stores = append(r.stores, st)
 		r.certs = append(r.certs, sh)
+		r.folds = append(r.folds, &mvcc.DeltaFold{})
 	}
 	r.streams = append(r.streams, &streamState{}) // coordinator
 	return r
@@ -287,6 +289,10 @@ func (r *Replica) foldNewLocked(s int, st *streamState) {
 				writes = append(writes, w)
 			}
 		}
+		// Typed counter deltas resolve to absolutes under r.mu, in the
+		// replayer's commit-stamp order — the same fold the primary's
+		// applier runs, so both build identical version chains.
+		r.folds[s].Resolve(writes)
 		// Shadow first: Apply's GC may TrimTo the new watermark, and
 		// the certifier must already hold this commit by then.
 		r.certs[s].Append(t.Stamp, writes)

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 
+	"pushpull/internal/backend"
 	"pushpull/internal/kvapi"
 	"pushpull/internal/mvcc"
+	typedops "pushpull/internal/ops"
 	"pushpull/internal/repl"
 	"pushpull/internal/shard"
 )
@@ -140,11 +142,26 @@ var errROWrite = errors.New("read-only transaction: writes rejected")
 // transactional path, which still answers it correctly, just without
 // the never-abort guarantee.
 func (s *Server) doTxnReadOnly(rv roleView, ops []kvapi.Op, session, seqNo uint64) kvapi.Response {
+	hasCGet := false
 	for _, op := range ops {
-		if op.Kind != kvapi.OpGet {
+		switch op.Kind {
+		case kvapi.OpGet:
+		case kvapi.OpCGet:
+			hasCGet = true
+		default:
 			s.suite.Metrics.ROAbort()
 			return kvapi.Response{Status: kvapi.StatusError, Msg: errROWrite.Error()}
 		}
+	}
+	if hasCGet && !backend.TypedNative(s.opts.Substrate) {
+		// Word-family substrates keep typed counters in the plain
+		// register array, not the ops.KeyBit fold namespace the
+		// snapshot read below would consult — answer on the normal
+		// transactional path, which reads the registers directly.
+		if rv.follower() {
+			return s.doTxnFollower(rv, ops)
+		}
+		return s.doTxnSession(ops, session, seqNo)
 	}
 	tx, ok := s.beginRO(rv)
 	if !ok {
@@ -156,6 +173,14 @@ func (s *Server) doTxnReadOnly(rv roleView, ops []kvapi.Op, session, seqNo uint6
 	defer tx.close()
 	results := make([]kvapi.Result, len(ops))
 	for i, op := range ops {
+		if op.Kind == kvapi.OpCGet {
+			// Committed counter cells fold into the version store under
+			// the high-bit namespace; an absent cell reads as 0, the
+			// same answer the typed substrate gives.
+			val, _ := tx.get(typedops.KeyBit | op.Key)
+			results[i] = kvapi.Result{Val: val, Found: true}
+			continue
+		}
 		val, found := tx.get(op.Key)
 		results[i] = kvapi.Result{Val: val, Found: found}
 	}

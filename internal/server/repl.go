@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"pushpull/internal/kvapi"
+	typedops "pushpull/internal/ops"
 	"pushpull/internal/repl"
 	"pushpull/internal/shard"
 )
@@ -166,11 +167,19 @@ func (s *Server) doTxnFollower(rv roleView, ops []kvapi.Op) kvapi.Response {
 	}
 	defer s.gate.release()
 	keys := make([]uint64, len(ops))
+	cget := make([]bool, len(ops))
 	for i, op := range ops {
-		if op.Kind != kvapi.OpGet {
+		switch op.Kind {
+		case kvapi.OpGet:
+			keys[i] = op.Key
+		case kvapi.OpCGet:
+			// Committed counter cells fold into the follower's read
+			// image under the high-bit namespace.
+			keys[i] = typedops.KeyBit | op.Key
+			cget[i] = true
+		default:
 			return s.redirectResponse(rv.advertise)
 		}
-		keys[i] = op.Key
 	}
 	vals, found, err := rv.replica.ReadTxn(keys)
 	if err != nil {
@@ -179,6 +188,11 @@ func (s *Server) doTxnFollower(rv roleView, ops []kvapi.Op) kvapi.Response {
 	results := make([]kvapi.Result, len(ops))
 	for i := range ops {
 		results[i] = kvapi.Result{Val: vals[i], Found: found[i]}
+		if cget[i] {
+			// An absent counter cell reads as 0, matching the typed
+			// substrate's answer.
+			results[i].Found = true
+		}
 	}
 	return kvapi.Response{Status: kvapi.StatusOK, Results: results}
 }

@@ -14,6 +14,7 @@ import (
 	"pushpull/internal/kvapi"
 	"pushpull/internal/mvcc"
 	"pushpull/internal/obs"
+	typedops "pushpull/internal/ops"
 	"pushpull/internal/recovery"
 	"pushpull/internal/repl"
 	"pushpull/internal/serial"
@@ -558,9 +559,13 @@ func (s *Server) doTxnLocal(ops []kvapi.Op, session, seqNo uint64) kvapi.Respons
 	}
 	results := make([]kvapi.Result, len(ops))
 	attempts := uint32(0)
+	var typedN, commuteN uint64
 	name := txnName(s.seq.Add(1))
 	err := s.be.Atomic(name, func(v View) error {
 		attempts++
+		// Only the attempt that commits gets to report its commute
+		// hits: an aborted attempt's shares were rewound with it.
+		typedN, commuteN = 0, 0
 		for i, op := range ops {
 			switch op.Kind {
 			case kvapi.OpGet:
@@ -575,7 +580,19 @@ func (s *Server) doTxnLocal(ops []kvapi.Op, session, seqNo uint64) kvapi.Respons
 				}
 				results[i] = kvapi.Result{}
 			default:
-				return fmt.Errorf("unknown op kind %d", op.Kind)
+				tv, ok := v.(backend.TypedView)
+				if !ok {
+					return fmt.Errorf("op %v: typed operations unsupported on this substrate", op.Kind)
+				}
+				val, commuted, err := tv.Typed(typedops.Code(op.Kind), op.Key, op.Val, op.Arg)
+				if err != nil {
+					return err
+				}
+				typedN++
+				if commuted {
+					commuteN++
+				}
+				results[i] = kvapi.Result{Val: val, Found: true}
 			}
 		}
 		if session != 0 {
@@ -596,10 +613,24 @@ func (s *Server) doTxnLocal(ops []kvapi.Op, session, seqNo uint64) kvapi.Respons
 	if err != nil {
 		return abortResponse(err, retries)
 	}
+	if typedN > 0 {
+		s.countTyped(typedN, commuteN)
+	}
 	if session != 0 {
 		s.sessRemember(session, seqNo, results)
 	}
-	return kvapi.Response{Status: kvapi.StatusOK, Results: results, Retries: retries}
+	return kvapi.Response{Status: kvapi.StatusOK, Results: results, Retries: retries, CommuteHits: commuteN}
+}
+
+// countTyped feeds the committed attempt's typed/commute tallies into
+// the metrics suite (the loop index spreads the stripes).
+func (s *Server) countTyped(typed, commuted uint64) {
+	for i := uint64(0); i < typed; i++ {
+		s.suite.Metrics.TypedOp(i)
+	}
+	for i := uint64(0); i < commuted; i++ {
+		s.suite.Metrics.CommuteHit(i)
+	}
 }
 
 // doTxnSharded routes a one-shot transaction through the sharded
@@ -608,12 +639,9 @@ func (s *Server) doTxnLocal(ops []kvapi.Op, session, seqNo uint64) kvapi.Respons
 func (s *Server) doTxnSharded(eng *shard.Engine, ops []kvapi.Op, session, seqNo uint64) kvapi.Response {
 	sops := make([]shard.Op, len(ops))
 	for i, op := range ops {
-		sops[i] = shard.Op{Key: op.Key, Val: op.Val}
-		if op.Kind == kvapi.OpGet {
-			sops[i].Kind = shard.OpGet
-		} else {
-			sops[i].Kind = shard.OpPut
-		}
+		// shard.OpKind values mirror kvapi.OpKind numerically (pinned
+		// by TestShardKindsMatchWire), so the conversion is a cast.
+		sops[i] = shard.Op{Kind: shard.OpKind(op.Kind), Key: op.Key, Val: op.Val, Arg: op.Arg}
 	}
 	var (
 		res     []shard.Result
@@ -630,10 +658,20 @@ func (s *Server) doTxnSharded(eng *shard.Engine, ops []kvapi.Op, session, seqNo 
 		return abortResponse(err, retries)
 	}
 	results := make([]kvapi.Result, len(res))
+	var typedN, commuteN uint64
 	for i, r := range res {
 		results[i] = kvapi.Result{Val: r.Val, Found: r.Found}
+		if sops[i].Kind.Typed() {
+			typedN++
+		}
+		if r.Commuted {
+			commuteN++
+		}
 	}
-	return kvapi.Response{Status: kvapi.StatusOK, Results: results, Retries: retries, DedupHit: dedup}
+	if typedN > 0 && !dedup {
+		s.countTyped(typedN, commuteN)
+	}
+	return kvapi.Response{Status: kvapi.StatusOK, Results: results, Retries: retries, DedupHit: dedup, CommuteHits: commuteN}
 }
 
 func (s *Server) doBegin(cs *connState) kvapi.Response {
@@ -839,6 +877,11 @@ type Stats struct {
 	SeqBatched  uint64 `json:"seq_batched,omitempty"`
 	SeqMaxBatch int    `json:"seq_max_batch,omitempty"`
 
+	// Typed (commutativity-aware) operations executed and the subset
+	// that shared an abstract lock with a commuting peer.
+	TypedOps    uint64 `json:"ops_typed,omitempty"`
+	CommuteHits uint64 `json:"ops_commute_hits,omitempty"`
+
 	// Read-only snapshot transactions and the version store behind
 	// them (zero when certification is disabled).
 	ROCommits     uint64 `json:"ro_commits,omitempty"`
@@ -861,6 +904,8 @@ func (s *Server) Stats() Stats {
 	st := s.statsBase()
 	st.ROCommits = s.suite.Metrics.ROCommits()
 	st.ROAborts = s.suite.Metrics.ROAborts()
+	st.TypedOps = s.suite.Metrics.TypedOps()
+	st.CommuteHits = s.suite.Metrics.CommuteHits()
 	var ms mvcc.Stats
 	rv := s.roleView()
 	switch {

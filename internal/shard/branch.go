@@ -2,7 +2,11 @@ package shard
 
 import (
 	"errors"
+	"fmt"
 	"sync"
+
+	"pushpull/internal/backend"
+	typedops "pushpull/internal/ops"
 )
 
 // A branch is one shard's slice of a transaction: a dedicated
@@ -41,31 +45,37 @@ type cmdKind int
 const (
 	cmdGet cmdKind = iota
 	cmdPut
+	cmdTyped   // typed ADT operation; cmd.opKind discriminates
 	cmdCommit  // direct single-branch commit (no coordinator)
 	cmdAbort   // client-requested rollback
 	cmdPrepare // end of op stream; block for the coordinator's decision
 )
 
 type cmd struct {
-	kind cmdKind
-	key  uint64
-	val  int64
-	idx  int // result index (one-shot feeding)
+	kind   cmdKind
+	opKind OpKind // cmdTyped only
+	key    uint64
+	val    int64
+	arg    int64 // second typed operand (CAS: val=expect, arg=new)
+	idx    int   // result index (one-shot feeding)
 }
 
 type reply struct {
-	val   int64
-	found bool
-	idx   int
+	val      int64
+	found    bool
+	commuted bool
+	idx      int
 }
 
 // journalEntry is one answered operation, kept for conflict replay and
 // (puts) for the coordinator's roll-forward write-set.
 type journalEntry struct {
 	kind     cmdKind
+	opKind   OpKind // cmdTyped only
 	key      uint64
-	val      int64 // put argument
-	retVal   int64 // answered get value
+	val      int64 // put argument / first typed operand
+	arg      int64 // second typed operand
+	retVal   int64 // answered get/typed value
 	retFound bool
 	idx      int
 }
@@ -180,6 +190,15 @@ func (b *branch) body(v view) error {
 			if err := v.Put(j.key, j.val); err != nil {
 				return err
 			}
+		case cmdTyped:
+			ret, _, err := typedDo(v, j.opKind, j.key, j.val, j.arg)
+			if err != nil {
+				return err
+			}
+			// The roll-forward write-set derives from the executed
+			// answer (a CAS resolves against what this attempt read),
+			// so the journal tracks the latest attempt's value.
+			j.retVal = ret
 		}
 	}
 	if b.preparedSent {
@@ -227,8 +246,31 @@ func (b *branch) body(v view) error {
 			idx := b.pending.idx
 			b.pending = nil
 			b.replies <- reply{idx: idx}
+		case cmdTyped:
+			ret, commuted, err := typedDo(v, b.pending.opKind, b.pending.key, b.pending.val, b.pending.arg)
+			if err != nil {
+				return err
+			}
+			b.journal = append(b.journal, journalEntry{
+				kind: cmdTyped, opKind: b.pending.opKind,
+				key: b.pending.key, val: b.pending.val, arg: b.pending.arg,
+				retVal: ret, idx: b.pending.idx,
+			})
+			idx := b.pending.idx
+			b.pending = nil
+			b.replies <- reply{val: ret, found: true, commuted: commuted, idx: idx}
 		}
 	}
+}
+
+// typedDo routes one typed ADT operation through the backend's typed
+// surface (shard.OpKind values mirror ops.Code numerically).
+func typedDo(v view, k OpKind, key uint64, a, b int64) (ret int64, commuted bool, err error) {
+	tv, ok := v.(backend.TypedView)
+	if !ok {
+		return 0, false, fmt.Errorf("shard: op %v: typed operations unsupported on this substrate", k)
+	}
+	return tv.Typed(typedops.Code(k), key, a, b)
 }
 
 // await blocks for the coordinator's decision: nil commits the
@@ -242,12 +284,22 @@ func (b *branch) await() error {
 }
 
 // puts extracts the branch's journaled write-set in op order — the
-// coordinator's roll-forward evidence.
+// coordinator's roll-forward evidence. Typed operations journal their
+// logical effect (wd as a negative WAdd, a resolved CAS as the WPut it
+// installed, reads nothing), so a redo replays the operation rather
+// than racing concurrent writers to a final value.
 func (b *branch) puts() []KV {
 	var out []KV
 	for _, j := range b.journal {
-		if j.kind == cmdPut {
-			out = append(out, KV{Key: j.key, Val: j.val})
+		switch j.kind {
+		case cmdPut:
+			out = append(out, KV{Key: j.key, Val: j.val, Method: typedops.WPut})
+		case cmdTyped:
+			m, val, write, ok := typedops.Effect(typedops.Code(j.opKind), j.val, j.arg, j.retVal)
+			if !ok || !write {
+				continue // reads, and ops barred from cross-shard txns
+			}
+			out = append(out, KV{Key: j.key, Val: val, Method: m})
 		}
 	}
 	return out

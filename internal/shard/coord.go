@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pushpull/internal/ops"
 	"pushpull/internal/recovery"
 	"pushpull/internal/wal"
 )
@@ -44,10 +45,17 @@ var ErrCoordCrashed = errors.New("shard: coordinator log crashed (simulated proc
 // refused decision, so no durable-but-lost window opens.
 var ErrCoordFenced = errors.New("shard: coordinator log fenced by a higher epoch")
 
-// KV is one journaled write.
+// KV is one journaled write: a logical operation, not a final value.
+// Method says how Val folds into the key's cell — ops.WPut is the
+// plain register overwrite, ops.WAdd/WSAdd/WSRem/WQPush are the typed
+// effects (a withdrawal journals as WAdd of a negative delta, a
+// resolved CAS as WPut of the installed value), so a roll-forward
+// replays the operation instead of racing other writers to a final
+// value.
 type KV struct {
-	Key uint64
-	Val int64
+	Key    uint64
+	Val    int64
+	Method ops.WireMethod
 }
 
 // BranchRec is one participant's journaled branch: its shard and the
@@ -70,10 +78,11 @@ type CommitRec struct {
 // Coordinator log framing: an 8-byte header ("PPCRD", version, two
 // reserved bytes), then records framed u32 len | u32 crc32c | payload,
 // same discipline as the WAL — any byte stream decodes to a longest
-// valid prefix plus a truncation point.
+// valid prefix plus a truncation point. Version 2 added a write-method
+// byte to every journaled KV (logical-op write-sets).
 const (
 	coordMagic   = "PPCRD"
-	coordVersion = 1
+	coordVersion = 2
 	coordHdrLen  = 8
 
 	cRecCommit = 1
@@ -181,6 +190,7 @@ func encodeCommitBody(p []byte, r CommitRec) []byte {
 		for _, kv := range b.Puts {
 			p = binary.AppendUvarint(p, kv.Key)
 			p = binary.AppendVarint(p, kv.Val)
+			p = append(p, byte(kv.Method))
 		}
 	}
 	return p
@@ -748,7 +758,11 @@ func decodeCommitBody(d *cdec) (CommitRec, error) {
 			return r, fmt.Errorf("absurd put count %d", np)
 		}
 		for j := uint64(0); j < np && !d.bad; j++ {
-			b.Puts = append(b.Puts, KV{Key: d.uvarint(), Val: d.varint()})
+			kv := KV{Key: d.uvarint(), Val: d.varint(), Method: ops.WireMethod(d.byte())}
+			if kv.Method > ops.WQPush {
+				return r, fmt.Errorf("unknown write method %d", kv.Method)
+			}
+			b.Puts = append(b.Puts, kv)
 		}
 		r.Branches = append(r.Branches, b)
 	}

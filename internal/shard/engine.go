@@ -14,6 +14,7 @@ import (
 	"pushpull/internal/chaos"
 	"pushpull/internal/core"
 	"pushpull/internal/obs"
+	typedops "pushpull/internal/ops"
 	"pushpull/internal/seq"
 	"pushpull/internal/serial"
 	"pushpull/internal/trace"
@@ -614,6 +615,17 @@ func (e *Engine) do(ops []Op, sess *sessInfo) ([]Result, uint32, error) {
 		return nil, 0, ErrFenced
 	}
 	parts, participants := partition(ops, e.router)
+	if participants > 1 {
+		for _, op := range ops {
+			// A qpop's write-set cannot be journaled as a logical
+			// effect (which element it removed depends on execution
+			// order), so the roll-forward evidence cross-shard commits
+			// rely on cannot cover it.
+			if op.Kind == OpQPop {
+				return nil, 0, fmt.Errorf("shard: %v unsupported in cross-shard transactions", op.Kind)
+			}
+		}
+	}
 	var res []Result
 	var retries uint32
 	var err error
@@ -676,7 +688,11 @@ func (e *Engine) doSingle(sid int, ops []Op, sess *sessInfo) ([]Result, uint32, 
 				}
 				results[i] = Result{}
 			default:
-				return fmt.Errorf("shard: unknown op kind %d", op.Kind)
+				val, commuted, err := typedDo(v, op.Kind, op.Key, op.Val, op.Arg)
+				if err != nil {
+					return err
+				}
+				results[i] = Result{Val: val, Found: true, Commuted: commuted}
 			}
 		}
 		// The session record rides the shard's own WAL just before the
@@ -749,18 +765,22 @@ func (e *Engine) feedBranches(parts [][]opAt, branches []*branch, results []Resu
 	for _, b := range branches {
 		go func(b *branch, ops []opAt) {
 			for _, oa := range ops {
-				c := cmd{key: oa.op.Key, val: oa.op.Val, idx: oa.idx}
-				if oa.op.Kind == OpGet {
+				c := cmd{key: oa.op.Key, val: oa.op.Val, arg: oa.op.Arg, idx: oa.idx}
+				switch oa.op.Kind {
+				case OpGet:
 					c.kind = cmdGet
-				} else {
+				case OpPut:
 					c.kind = cmdPut
+				default:
+					c.kind = cmdTyped
+					c.opKind = oa.op.Kind
 				}
 				r, err := b.send(c)
 				if err != nil {
 					feedCh <- err
 					return
 				}
-				results[r.idx] = Result{Val: r.val, Found: r.found}
+				results[r.idx] = Result{Val: r.val, Found: r.found, Commuted: r.commuted}
 			}
 			feedCh <- b.prepare()
 		}(b, parts[b.st.id])
@@ -908,7 +928,15 @@ func (e *Engine) applyRedo(st *shardState, name string, puts []KV) error {
 func (e *Engine) applyRedoOnce(st *shardState, name string, puts []KV) error {
 	return st.be.Atomic(name, func(v view) error {
 		for _, kv := range puts {
-			if err := v.Put(kv.Key, kv.Val); err != nil {
+			if kv.Method == typedops.WPut {
+				if err := v.Put(kv.Key, kv.Val); err != nil {
+					return err
+				}
+				continue
+			}
+			// Logical-op entry: replay the operation, not a final
+			// value — a redo racing a concurrent add folds both.
+			if _, _, err := typedDo(v, OpKind(kv.Method.Code()), kv.Key, kv.Val, 0); err != nil {
 				return err
 			}
 		}

@@ -18,17 +18,26 @@
 // cross-shard serializability obligation.
 package shard
 
-import "fmt"
+import (
+	"fmt"
+
+	"pushpull/internal/ops"
+)
 
 // ShardOf maps a key to its home shard among n by a splitmix64
 // finalizer — a pure function of (key, n), so the placement is stable
 // across processes, restarts, and routers. Keys spread uniformly even
 // when the client key space is dense small integers.
+//
+// The ops.KeyBit fold namespace is masked off first: a typed counter's
+// MVCC cell (KeyBit|k) is a per-shard artifact of the typed operations
+// on k, so it must route to k's home shard — snapshot and follower
+// reads of KeyBit|k consult the shard whose applier folds it.
 func ShardOf(key uint64, n int) int {
 	if n <= 1 {
 		return 0
 	}
-	h := key
+	h := key &^ ops.KeyBit
 	h ^= h >> 30
 	h *= 0xbf58476d1ce4e5b9
 	h ^= h >> 27
@@ -51,29 +60,50 @@ func NewRouter(n int) Router {
 // Shard returns key's home shard.
 func (r Router) Shard(key uint64) int { return ShardOf(key, r.N) }
 
-// OpKind discriminates engine operations.
+// OpKind discriminates engine operations. Values mirror
+// kvapi.OpKind numerically (pinned by TestShardKindsMatchWire in the
+// server package) so the wire→engine conversion is a cast.
 type OpKind uint8
 
-// Operation kinds.
+// Operation kinds. OpAdd and beyond are the typed
+// (commutativity-aware) operations executed on boosted ADT cells.
 const (
 	OpGet OpKind = iota
 	OpPut
+	OpAdd
+	OpCGet
+	OpWd
+	OpCAS
+	OpSAdd
+	OpSRem
+	OpSCont
+	OpQPush
+	OpQPop
+	numOpKinds
 )
+
+// Typed reports whether the kind is a typed ADT operation (anything
+// beyond the plain register get/put pair).
+func (k OpKind) Typed() bool { return k >= OpAdd && k < numOpKinds }
 
 // Op is one engine operation. The engine has its own op type (rather
 // than the kvapi wire one) so the dependency points the right way:
 // kvapi's load generator imports shard for routing; shard imports
-// nothing above the backend layer.
+// nothing above the backend layer. Arg is the second typed operand
+// (CAS: Val=expect, Arg=new).
 type Op struct {
 	Kind OpKind
 	Key  uint64
 	Val  int64
+	Arg  int64
 }
 
-// Result answers one Op (Get only; Put results are zero).
+// Result answers one Op (Put results are zero). Commuted marks a typed
+// op that acquired its abstract lock in a shared commute class.
 type Result struct {
-	Val   int64
-	Found bool
+	Val      int64
+	Found    bool
+	Commuted bool
 }
 
 // opAt carries an op with its index in the client's op list, so a
@@ -104,6 +134,24 @@ func (k OpKind) String() string {
 		return "get"
 	case OpPut:
 		return "put"
+	case OpAdd:
+		return "incr"
+	case OpCGet:
+		return "cget"
+	case OpWd:
+		return "wd"
+	case OpCAS:
+		return "cas"
+	case OpSAdd:
+		return "sadd"
+	case OpSRem:
+		return "srem"
+	case OpSCont:
+		return "scont"
+	case OpQPush:
+		return "qpush"
+	case OpQPop:
+		return "qpop"
 	default:
 		return fmt.Sprintf("op%d", uint8(k))
 	}

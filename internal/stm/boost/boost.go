@@ -42,6 +42,12 @@ var ErrConflict = errors.New("boost: abstract lock timeout")
 type Stats struct {
 	Commits uint64
 	Aborts  uint64
+	// TypedOps counts executed typed operations (internal/ops codes).
+	TypedOps uint64
+	// CommuteHits counts abstract-lock acquisitions that JOINED other
+	// live holders under a shared commute class — each one is an
+	// operation that would have conflicted on an exclusive-only table.
+	CommuteHits uint64
 }
 
 // Runtime coordinates boosted transactions: the abstract lock table,
@@ -67,8 +73,10 @@ type Runtime struct {
 	// the write-ahead log is flushed before a commit is acknowledged.
 	Durable core.Durable
 
-	commits atomic.Uint64
-	aborts  atomic.Uint64
+	commits     atomic.Uint64
+	aborts      atomic.Uint64
+	typedOps    atomic.Uint64
+	commuteHits atomic.Uint64
 }
 
 // NewRuntime returns a fresh boosting runtime.
@@ -78,7 +86,12 @@ func NewRuntime() *Runtime {
 
 // Stats returns commit/abort counts.
 func (rt *Runtime) Stats() Stats {
-	return Stats{Commits: rt.commits.Load(), Aborts: rt.aborts.Load()}
+	return Stats{
+		Commits:     rt.commits.Load(),
+		Aborts:      rt.aborts.Load(),
+		TypedOps:    rt.typedOps.Load(),
+		CommuteHits: rt.commuteHits.Load(),
+	}
 }
 
 // LeakCheck asserts, at quiescence, that no abstract lock survived its
@@ -101,24 +114,42 @@ type Txn struct {
 	rt    *Runtime
 	owner locks.Owner
 	undo  []func()
+	hooks []func()
 	sess  *trace.Session
 }
 
+// onCommit registers fn to run iff the transaction commits, after
+// certification succeeds and BEFORE the abstract locks release — the
+// window where typed objects fold their pending per-owner effects
+// (counter deltas, set support entries) into committed state. Commuting
+// transactions fold in whichever order they commit; by construction of
+// the commute classes the orders agree.
+func (t *Txn) onCommit(fn func()) { t.hooks = append(t.hooks, fn) }
+
 func (t *Txn) lock(k locks.Key) error {
+	_, err := t.lockClass(k, locks.Exclusive)
+	return err
+}
+
+// lockClass acquires k under a commute class (locks.TryAcquireClass),
+// spinning LockSpins times before the deadlock-avoidance ErrConflict
+// abort. shared reports a commute hit: the acquisition joined other
+// live holders instead of conflicting with them.
+func (t *Txn) lockClass(k locks.Key, class string) (shared bool, err error) {
 	if inj := t.rt.Injector; inj != nil && inj.Fire(chaos.SiteBoostTimeout) {
-		return ErrConflict
+		return false, ErrConflict
 	}
 	spins := t.rt.LockSpins
 	if spins <= 0 {
 		spins = 256
 	}
 	for i := 0; i < spins; i++ {
-		if t.rt.lm.TryAcquire(t.owner, k) {
-			return nil
+		if ok, sh := t.rt.lm.TryAcquireClass(t.owner, k, class); ok {
+			return sh, nil
 		}
 		runtime.Gosched()
 	}
-	return ErrConflict
+	return false, ErrConflict
 }
 
 func (t *Txn) certify(obj, method string, args []int64, ret int64) error {
@@ -144,6 +175,9 @@ func (rt *Runtime) Atomic(name string, fn func(*Txn) error) error {
 			if t.sess != nil && !t.sess.Commit() {
 				rt.lm.ReleaseAll(t.owner)
 				return fmt.Errorf("boost: commit certification failed: %w", rt.Recorder.Err())
+			}
+			for _, h := range t.hooks {
+				h()
 			}
 			rt.lm.ReleaseAll(t.owner)
 			_ = core.Barrier(rt.Durable, name)

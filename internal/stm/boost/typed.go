@@ -1,0 +1,463 @@
+package boost
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"pushpull/internal/locks"
+	"pushpull/internal/ops"
+)
+
+// ErrKindMismatch reports a typed operation against a cell of another
+// kind (qpush on a counter, incr on a set). It is a permanent client
+// error, not a conflict: Atomic aborts without retrying.
+var ErrKindMismatch = errors.New("boost: typed operation against cell of another kind")
+
+// Typed is the boosted realization of adt.TypedKV — the "ops" keyspace
+// of counter, set, and queue cells whose commuting operations share
+// their cells' abstract locks instead of conflicting on them.
+//
+// Isolation comes from the lock classes (internal/ops): one cell is
+// held either exclusively or by owners who all declared the same
+// commute class. Concurrency-safe bookkeeping under that sharing:
+//
+//   - counter cells keep a committed value plus per-owner pending
+//     deltas; add/wd accumulate a delta, commit folds it in, abort
+//     subtracts it back. Withdraw guards with classic escrow: the
+//     balance minus every OTHER owner's pending withdrawals must cover
+//     the amount, so the operation stays allowed in every commit order
+//     of its commuting peers (the shadow machine re-checks this at
+//     certification).
+//   - set cells keep committed membership plus per-owner pending
+//     membership overrides (+1 add / -1 remove) per member — the
+//     support sets that rewind blind sadd/srem, which have no
+//     syntactic inverse. Classes make concurrent holders single-method,
+//     so every live override on a member agrees and commit folds
+//     commute.
+//   - queue cells are exclusive-only: push/pop mutate eagerly with undo
+//     closures, exactly like the boosted Map.
+//
+// Partial operations surface their boundary as ErrConflict — a wd
+// below balance or a qpop on empty aborts and retries, and exhausts the
+// retry budget if the state never allows it. That is the Limits-paper
+// behavior: partiality is a conflict, not a commute.
+type Typed struct {
+	rt *Runtime
+	// Name is the certification object name (the adt.TypedKV binding,
+	// normally ops.Obj).
+	Name string
+
+	mu    sync.Mutex
+	cells map[int64]*tcell
+}
+
+type cellKind uint8
+
+const (
+	kindCtr cellKind = iota + 1
+	kindSet
+	kindQueue
+)
+
+// tcell is one typed cell. ever marks that at least one transaction
+// committed an effect here: cells created only by in-flight (later
+// aborted) transactions are garbage-collected back to absence so an
+// aborted creator does not leak its kind choice into the spec state.
+type tcell struct {
+	kind cellKind
+	ever bool
+
+	// Counter: committed value + per-owner pending deltas.
+	val    int64
+	deltas map[locks.Owner]int64
+
+	// Set: per-member support entries.
+	members map[int64]*tmember
+
+	// Queue: eager contents (exclusive lock ⇒ no pending split needed).
+	q []int64
+}
+
+// tmember is one set member's support entry: committed membership plus
+// per-owner pending overrides (+1 after a pending sadd, -1 after a
+// pending srem; an owner's later op overwrites its earlier one).
+type tmember struct {
+	committed bool
+	pend      map[locks.Owner]int8
+}
+
+// NewTyped builds the boosted typed keyspace in the runtime.
+func NewTyped(rt *Runtime, name string) *Typed {
+	return &Typed{rt: rt, Name: name, cells: make(map[int64]*tcell)}
+}
+
+func opsKind(c ops.Code) cellKind {
+	switch c {
+	case ops.Add, ops.CGet, ops.Wd, ops.CAS:
+		return kindCtr
+	case ops.SAdd, ops.SRem, ops.SCont:
+		return kindSet
+	default:
+		return kindQueue
+	}
+}
+
+// cellLocked fetches key's cell, creating it with the wanted kind when
+// create is set. Callers hold ob.mu.
+func (ob *Typed) cellLocked(key int64, kind cellKind, create bool) (*tcell, error) {
+	c := ob.cells[key]
+	if c == nil {
+		if !create {
+			return nil, nil
+		}
+		c = &tcell{kind: kind}
+		switch kind {
+		case kindCtr:
+			c.deltas = make(map[locks.Owner]int64)
+		case kindSet:
+			c.members = make(map[int64]*tmember)
+		}
+		ob.cells[key] = c
+		return c, nil
+	}
+	if c.kind != kind {
+		return nil, fmt.Errorf("%w: cell %d", ErrKindMismatch, key)
+	}
+	return c, nil
+}
+
+// gcLocked drops a cell no committed transaction ever touched once its
+// pending state empties — the runtime mirror of an UNPUSHed creation.
+func (ob *Typed) gcLocked(key int64, c *tcell) {
+	if c.ever || len(c.deltas) > 0 || len(c.members) > 0 || len(c.q) > 0 {
+		return
+	}
+	delete(ob.cells, key)
+}
+
+// Do executes one typed operation inside t: acquire the cell's
+// abstract lock under the op's commute class, mutate/pend with undo and
+// commit-fold hooks, then certify the spec operation at its
+// linearization point. shared reports a commute hit.
+func (ob *Typed) Do(t *Txn, c ops.Code, key uint64, a, b int64) (ret int64, shared bool, err error) {
+	d, ok := ops.ByCode(c)
+	if !ok || d.Method == "" {
+		return 0, false, fmt.Errorf("boost: code %d is not a typed operation", c)
+	}
+	shared, err = t.lockClass(locks.Key{Obj: ob.Name, K: int64(key)}, d.Class)
+	if err != nil {
+		return 0, false, err
+	}
+	t.rt.typedOps.Add(1)
+	if shared {
+		t.rt.commuteHits.Add(1)
+	}
+	k := int64(key)
+	switch c {
+	case ops.Add:
+		err = ob.ctrPend(t, k, a)
+	case ops.CGet:
+		ret, err = ob.ctrGet(t, k)
+	case ops.Wd:
+		err = ob.ctrWd(t, k, a)
+	case ops.CAS:
+		ret, err = ob.ctrCAS(t, k, a, b)
+	case ops.SAdd:
+		err = ob.setPend(t, k, a, +1)
+	case ops.SRem:
+		err = ob.setPend(t, k, a, -1)
+	case ops.SCont:
+		ret, err = ob.setContains(t, k, a)
+	case ops.QPush:
+		err = ob.qPush(t, k, a)
+	case ops.QPop:
+		ret, err = ob.qPop(t, k)
+	default:
+		err = fmt.Errorf("boost: unhandled typed code %d", c)
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	method, args, _ := ops.SpecOp(c, key, a, b)
+	if err := t.certify(ob.Name, method, args, ret); err != nil {
+		return 0, false, err
+	}
+	return ret, shared, nil
+}
+
+// ctrPend accumulates a pending delta for t on key's counter, with the
+// undo and commit-fold bookkeeping shared by add, wd, and cas.
+func (ob *Typed) ctrPend(t *Txn, key, d int64) error {
+	ob.mu.Lock()
+	defer ob.mu.Unlock()
+	c, err := ob.cellLocked(key, kindCtr, true)
+	if err != nil {
+		return err
+	}
+	ob.ctrPendLocked(t, key, c, d)
+	return nil
+}
+
+func (ob *Typed) ctrPendLocked(t *Txn, key int64, c *tcell, d int64) {
+	o := t.owner
+	if _, live := c.deltas[o]; !live {
+		// First pending op by this owner: fold on commit.
+		t.onCommit(func() {
+			ob.mu.Lock()
+			defer ob.mu.Unlock()
+			if dv, ok := c.deltas[o]; ok {
+				c.val += dv
+				delete(c.deltas, o)
+			}
+			c.ever = true
+		})
+	}
+	c.deltas[o] += d
+	t.undo = append(t.undo, func() {
+		ob.mu.Lock()
+		defer ob.mu.Unlock()
+		c.deltas[o] -= d
+		ob.unpendCtrLocked(key, c, o)
+	})
+}
+
+// unpendCtrLocked clears a zeroed delta entry (aborts only: the commit
+// hook never ran) and garbage-collects a cell left untouched.
+func (ob *Typed) unpendCtrLocked(key int64, c *tcell, o locks.Owner) {
+	if c.deltas[o] == 0 {
+		delete(c.deltas, o)
+	}
+	ob.gcLocked(key, c)
+}
+
+func (ob *Typed) ctrGet(t *Txn, key int64) (int64, error) {
+	ob.mu.Lock()
+	defer ob.mu.Unlock()
+	c, err := ob.cellLocked(key, kindCtr, false)
+	if err != nil {
+		return 0, err
+	}
+	if c == nil {
+		return 0, nil
+	}
+	return c.val + c.deltas[t.owner], nil
+}
+
+func (ob *Typed) ctrWd(t *Txn, key, n int64) error {
+	if n < 0 {
+		return fmt.Errorf("boost: wd of negative amount %d", n)
+	}
+	ob.mu.Lock()
+	defer ob.mu.Unlock()
+	c, err := ob.cellLocked(key, kindCtr, true)
+	if err != nil {
+		return err
+	}
+	// Escrow guard: our own pending delta counts in full (our ops
+	// serialize with us), other holders' pending deposits count for
+	// NOTHING and their pending withdrawals in full — so the withdraw
+	// stays allowed in every commit order of the commuting holders.
+	avail := c.val + c.deltas[t.owner]
+	for o, d := range c.deltas {
+		if o != t.owner && d < 0 {
+			avail += d
+		}
+	}
+	if avail < n {
+		ob.gcLocked(key, c)
+		return ErrConflict
+	}
+	ob.ctrPendLocked(t, key, c, -n)
+	return nil
+}
+
+func (ob *Typed) ctrCAS(t *Txn, key, expect, newv int64) (int64, error) {
+	ob.mu.Lock()
+	defer ob.mu.Unlock()
+	c, err := ob.cellLocked(key, kindCtr, false)
+	if err != nil {
+		return 0, err
+	}
+	old := int64(0)
+	if c != nil {
+		old = c.val + c.deltas[t.owner]
+	}
+	if old != expect {
+		// No write: a failed cas does not even create the cell (the
+		// spec's Apply leaves the state untouched).
+		return old, nil
+	}
+	if c == nil {
+		if c, err = ob.cellLocked(key, kindCtr, true); err != nil {
+			return 0, err
+		}
+	}
+	ob.ctrPendLocked(t, key, c, newv-old)
+	return old, nil
+}
+
+func (ob *Typed) setPend(t *Txn, key, member int64, dir int8) error {
+	ob.mu.Lock()
+	defer ob.mu.Unlock()
+	c, err := ob.cellLocked(key, kindSet, true)
+	if err != nil {
+		return err
+	}
+	m := c.members[member]
+	if m == nil {
+		m = &tmember{pend: make(map[locks.Owner]int8)}
+		c.members[member] = m
+	}
+	o := t.owner
+	old, had := m.pend[o]
+	if !had {
+		// First pending override by this owner on this member.
+		t.onCommit(func() {
+			ob.mu.Lock()
+			defer ob.mu.Unlock()
+			if p, ok := m.pend[o]; ok {
+				m.committed = p > 0
+				delete(m.pend, o)
+			}
+			ob.gcMemberLocked(c, member, m)
+			c.ever = true
+		})
+	}
+	m.pend[o] = dir
+	t.undo = append(t.undo, func() {
+		ob.mu.Lock()
+		defer ob.mu.Unlock()
+		if had {
+			m.pend[o] = old
+		} else {
+			delete(m.pend, o)
+		}
+		ob.gcMemberLocked(c, member, m)
+		ob.gcLocked(key, c)
+	})
+	return nil
+}
+
+func (ob *Typed) gcMemberLocked(c *tcell, member int64, m *tmember) {
+	if !m.committed && len(m.pend) == 0 {
+		delete(c.members, member)
+	}
+}
+
+func (ob *Typed) setContains(t *Txn, key, member int64) (int64, error) {
+	ob.mu.Lock()
+	defer ob.mu.Unlock()
+	c, err := ob.cellLocked(key, kindSet, false)
+	if err != nil {
+		return 0, err
+	}
+	if c == nil {
+		return 0, nil
+	}
+	m := c.members[member]
+	if m == nil {
+		return 0, nil
+	}
+	in := m.committed
+	if p, ok := m.pend[t.owner]; ok {
+		in = p > 0
+	}
+	if in {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func (ob *Typed) qPush(t *Txn, key, v int64) error {
+	ob.mu.Lock()
+	defer ob.mu.Unlock()
+	c, err := ob.cellLocked(key, kindQueue, true)
+	if err != nil {
+		return err
+	}
+	c.q = append(c.q, v)
+	t.undo = append(t.undo, func() {
+		ob.mu.Lock()
+		defer ob.mu.Unlock()
+		c.q = c.q[:len(c.q)-1]
+		ob.gcLocked(key, c)
+	})
+	t.onCommit(func() {
+		ob.mu.Lock()
+		defer ob.mu.Unlock()
+		c.ever = true
+	})
+	return nil
+}
+
+func (ob *Typed) qPop(t *Txn, key int64) (int64, error) {
+	ob.mu.Lock()
+	defer ob.mu.Unlock()
+	c, err := ob.cellLocked(key, kindQueue, false)
+	if err != nil {
+		return 0, err
+	}
+	if c == nil || len(c.q) == 0 {
+		// Pop on empty is partial: conflict, retry, and exhaust the
+		// budget if the queue never fills.
+		return 0, ErrConflict
+	}
+	front := c.q[0]
+	c.q = append([]int64(nil), c.q[1:]...)
+	t.undo = append(t.undo, func() {
+		ob.mu.Lock()
+		defer ob.mu.Unlock()
+		c.q = append([]int64{front}, c.q...)
+	})
+	t.onCommit(func() {
+		ob.mu.Lock()
+		defer ob.mu.Unlock()
+		c.ever = true
+	})
+	return front, nil
+}
+
+// Dump serializes the committed state in the canonical format of
+// adt.TypedKV's spec state String() — "{k:c<v> k:s{m,...} k:q[v,...]}"
+// sorted by key — so quiescent runtime state compares byte-for-byte
+// with a spec-side replay (recovery images, follower folds).
+func (ob *Typed) Dump() string {
+	ob.mu.Lock()
+	defer ob.mu.Unlock()
+	keys := make([]int64, 0, len(ob.cells))
+	for k := range ob.cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		c := ob.cells[k]
+		switch c.kind {
+		case kindCtr:
+			parts = append(parts, fmt.Sprintf("%d:c%d", k, c.val))
+		case kindSet:
+			ms := make([]int64, 0, len(c.members))
+			for m, e := range c.members {
+				if e.committed {
+					ms = append(ms, m)
+				}
+			}
+			sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+			b := make([]string, len(ms))
+			for i, m := range ms {
+				b[i] = fmt.Sprintf("%d", m)
+			}
+			parts = append(parts, fmt.Sprintf("%d:s{%s}", k, strings.Join(b, ",")))
+		case kindQueue:
+			b := make([]string, len(c.q))
+			for i, v := range c.q {
+				b[i] = fmt.Sprintf("%d", v)
+			}
+			parts = append(parts, fmt.Sprintf("%d:q[%s]", k, strings.Join(b, ",")))
+		}
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}

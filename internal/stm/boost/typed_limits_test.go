@@ -1,0 +1,252 @@
+package boost_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"pushpull/internal/adt"
+	"pushpull/internal/chaos"
+	"pushpull/internal/ops"
+	"pushpull/internal/spec"
+	"pushpull/internal/stm/boost"
+	"pushpull/internal/trace"
+)
+
+// newTypedRuntime boots a certified boosting runtime with the typed
+// keyspace bound to its spec object, the configuration every typed
+// transaction on a server runs under.
+func newTypedRuntime(t *testing.T) (*boost.Runtime, *boost.Typed) {
+	t.Helper()
+	rt := boost.NewRuntime()
+	reg := spec.NewRegistry()
+	reg.Register(ops.Obj, adt.TypedKV{})
+	rt.Recorder = trace.NewRecorder(reg)
+	ob := boost.NewTyped(rt, ops.Obj)
+	t.Cleanup(func() {
+		if err := rt.LeakCheck(); err != nil {
+			t.Errorf("lock leak: %v", err)
+		}
+		if err := rt.Recorder.FinalCheck(); err != nil {
+			t.Errorf("final certification: %v", err)
+		}
+	})
+	return rt, ob
+}
+
+// TestLimitsBoundary is the Limits-of-boosting boundary table
+// (Koskinen & Herlihy): an operation commutes only on states where it
+// is TOTAL. Partial operations (withdraw below balance, pop on empty)
+// must surface the boundary as a conflict — abort, retry, and exhaust
+// the budget if the state never allows them — while the total fragment
+// of the same ADT commits concurrently under shared locks.
+func TestLimitsBoundary(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		seed func(tx *boost.Txn, ob *boost.Typed) error // committed first
+		op   func(tx *boost.Txn, ob *boost.Typed) error // then attempted
+		ok   bool                                       // commits vs exhausts retries
+	}{
+		{
+			name: "wd within balance is total",
+			seed: func(tx *boost.Txn, ob *boost.Typed) error {
+				_, _, err := ob.Do(tx, ops.Add, 1, 10, 0)
+				return err
+			},
+			op: func(tx *boost.Txn, ob *boost.Typed) error {
+				_, _, err := ob.Do(tx, ops.Wd, 1, 7, 0)
+				return err
+			},
+			ok: true,
+		},
+		{
+			name: "wd below balance is partial",
+			seed: func(tx *boost.Txn, ob *boost.Typed) error {
+				_, _, err := ob.Do(tx, ops.Add, 1, 5, 0)
+				return err
+			},
+			op: func(tx *boost.Txn, ob *boost.Typed) error {
+				_, _, err := ob.Do(tx, ops.Wd, 1, 10, 0)
+				return err
+			},
+			ok: false,
+		},
+		{
+			name: "qpop on filled queue is total",
+			seed: func(tx *boost.Txn, ob *boost.Typed) error {
+				_, _, err := ob.Do(tx, ops.QPush, 2, 42, 0)
+				return err
+			},
+			op: func(tx *boost.Txn, ob *boost.Typed) error {
+				ret, _, err := ob.Do(tx, ops.QPop, 2, 0, 0)
+				if err == nil && ret != 42 {
+					t.Errorf("qpop = %d, want 42", ret)
+				}
+				return err
+			},
+			ok: true,
+		},
+		{
+			name: "qpop on empty queue is partial",
+			seed: func(tx *boost.Txn, ob *boost.Typed) error {
+				_, _, err := ob.Do(tx, ops.QPush, 2, 42, 0)
+				if err != nil {
+					return err
+				}
+				_, _, err = ob.Do(tx, ops.QPop, 2, 0, 0)
+				return err
+			},
+			op: func(tx *boost.Txn, ob *boost.Typed) error {
+				_, _, err := ob.Do(tx, ops.QPop, 2, 0, 0)
+				return err
+			},
+			ok: false,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rt, ob := newTypedRuntime(t)
+			rt.Retry = &chaos.RetryPolicy{MaxRetries: 3}
+			if err := rt.Atomic("seed", func(tx *boost.Txn) error {
+				return tc.seed(tx, ob)
+			}); err != nil {
+				t.Fatalf("seed: %v", err)
+			}
+			err := rt.Atomic("probe", func(tx *boost.Txn) error {
+				return tc.op(tx, ob)
+			})
+			if tc.ok && err != nil {
+				t.Fatalf("total op aborted: %v", err)
+			}
+			if !tc.ok && !errors.Is(err, chaos.ErrRetriesExhausted) {
+				t.Fatalf("partial op err = %v, want retries exhausted", err)
+			}
+		})
+	}
+}
+
+// TestTotalOpsCommitConcurrently forces true lock-hold overlap — each
+// transaction parks inside Atomic until its peer has acquired the same
+// cell's lock — and asserts the total commuting fragment commits on
+// both sides with the overlap counted as commute hits. The same
+// schedule with exclusive locks would deadlock-abort one side.
+func TestTotalOpsCommitConcurrently(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		do   func(tx *boost.Txn, ob *boost.Typed, v int64) error
+	}{
+		{"incr-incr", func(tx *boost.Txn, ob *boost.Typed, v int64) error {
+			_, _, err := ob.Do(tx, ops.Add, 5, v, 0)
+			return err
+		}},
+		{"sadd-sadd", func(tx *boost.Txn, ob *boost.Typed, v int64) error {
+			_, _, err := ob.Do(tx, ops.SAdd, 6, v, 0)
+			return err
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rt, ob := newTypedRuntime(t)
+			var (
+				wg     sync.WaitGroup
+				errs   [2]error
+				rendez sync.WaitGroup
+			)
+			rendez.Add(2)
+			for i := 0; i < 2; i++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					first := true
+					errs[id] = rt.Atomic("peer", func(tx *boost.Txn) error {
+						if err := tc.do(tx, ob, int64(id+1)); err != nil {
+							return err
+						}
+						if first {
+							// Hold the lock until the peer holds it too —
+							// only possible because the class is shared.
+							first = false
+							rendez.Done()
+							rendez.Wait()
+						}
+						return nil
+					})
+				}(i)
+			}
+			wg.Wait()
+			for id, err := range errs {
+				if err != nil {
+					t.Fatalf("peer %d: %v", id, err)
+				}
+			}
+			st := rt.Stats()
+			if st.Commits != 2 {
+				t.Fatalf("commits = %d, want 2", st.Commits)
+			}
+			if st.CommuteHits == 0 {
+				t.Fatal("no commute hits despite forced lock-hold overlap")
+			}
+		})
+	}
+}
+
+// TestEscrowGuardSpansHolders pins the escrow rule across concurrent
+// holders: with balance 10 and one holder's pending wd 6 live, a
+// second holder's wd 6 must abort (it would overdraw in the order that
+// commits the first one first), while a wd 4 must succeed.
+func TestEscrowGuardSpansHolders(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		second int64
+		ok     bool
+	}{
+		{"within remaining escrow", 4, true},
+		{"overdraws against peer wd", 6, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rt, ob := newTypedRuntime(t)
+			rt.Retry = &chaos.RetryPolicy{MaxRetries: 2}
+			if err := rt.Atomic("seed", func(tx *boost.Txn) error {
+				_, _, err := ob.Do(tx, ops.Add, 9, 10, 0)
+				return err
+			}); err != nil {
+				t.Fatal(err)
+			}
+			held := make(chan struct{})
+			release := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			var firstErr error
+			go func() {
+				defer wg.Done()
+				parked := false
+				firstErr = rt.Atomic("first-wd", func(tx *boost.Txn) error {
+					_, _, err := ob.Do(tx, ops.Wd, 9, 6, 0)
+					if err != nil {
+						return err
+					}
+					if !parked {
+						parked = true
+						close(held)
+						<-release
+					}
+					return nil
+				})
+			}()
+			<-held
+			err := rt.Atomic("second-wd", func(tx *boost.Txn) error {
+				_, _, err := ob.Do(tx, ops.Wd, 9, tc.second, 0)
+				return err
+			})
+			close(release)
+			wg.Wait()
+			if firstErr != nil {
+				t.Fatalf("first wd: %v", firstErr)
+			}
+			if tc.ok && err != nil {
+				t.Fatalf("second wd aborted: %v", err)
+			}
+			if !tc.ok && !errors.Is(err, chaos.ErrRetriesExhausted) {
+				t.Fatalf("second wd err = %v, want retries exhausted", err)
+			}
+		})
+	}
+}
